@@ -1,0 +1,647 @@
+(* Benchmark and experiment harness.
+
+   Regenerates every evaluation artifact of the paper (see DESIGN.md and
+   EXPERIMENTS.md):
+
+     table2   Table 2  — max flows admitted per scheme/setting/bound
+     fig9     Figure 9 — mean reserved bandwidth vs number of flows
+     fig10    Figure 10 — flow blocking rate vs offered load (5 seeds)
+     fig5     Figure 5 — monotonicity of the R_fea / R_del rate ranges
+     fig7     Figure 7 — dynamic-aggregation edge transient
+     bounds   packet-level validation: measured delays vs analytic bounds
+
+   plus extension ablations:
+
+     overhead     broker (COPS) vs RSVP control-message load
+     hierarchy    quota-delegating edge brokers vs central transactions
+     state        QoS-state footprint per architecture
+     scaling      admission cost vs M; bounds vs path length
+     statistical  Hoeffding effective-bandwidth multiplexing gain
+     micro        Bechamel micro-benchmarks of the admission hot paths
+
+   Run everything:      dune exec bench/main.exe
+   Run one section:     dune exec bench/main.exe -- table2 fig9 ... *)
+
+module Topology = Bbr_vtrs.Topology
+module Traffic = Bbr_vtrs.Traffic
+module Delay = Bbr_vtrs.Delay
+module Vtedf = Bbr_vtrs.Vtedf
+module Types = Bbr_broker.Types
+module Broker = Bbr_broker.Broker
+module Admission = Bbr_broker.Admission
+module Aggregate = Bbr_broker.Aggregate
+module Engine = Bbr_netsim.Engine
+module Net = Bbr_netsim.Net
+module Sink = Bbr_netsim.Sink
+module Source = Bbr_netsim.Source
+module Edge_conditioner = Bbr_netsim.Edge_conditioner
+module Fig8 = Bbr_workload.Fig8
+module Profiles = Bbr_workload.Profiles
+module Static = Bbr_workload.Static
+module Dynamic = Bbr_workload.Dynamic
+module Transient = Bbr_workload.Transient
+
+let type0 = Profiles.profile 0
+
+let section title = Fmt.pr "@.==== %s ====@.@." title
+
+(* ------------------------------------------------------------------ *)
+(* Table 2 *)
+
+let table2_expected =
+  (* (scheme, setting, bound) -> paper value *)
+  [
+    (("IntServ/GS", `Rate_only, 2.44), 30);
+    (("IntServ/GS", `Rate_only, 2.19), 27);
+    (("IntServ/GS", `Mixed, 2.44), 30);
+    (("IntServ/GS", `Mixed, 2.19), 27);
+    (("Per-flow BB/VTRS", `Rate_only, 2.44), 30);
+    (("Per-flow BB/VTRS", `Rate_only, 2.19), 27);
+    (("Per-flow BB/VTRS", `Mixed, 2.44), 30);
+    (("Per-flow BB/VTRS", `Mixed, 2.19), 27);
+    (("Aggr BB/VTRS cd=0.10", `Rate_only, 2.44), 29);
+    (("Aggr BB/VTRS cd=0.10", `Rate_only, 2.19), 29);
+    (("Aggr BB/VTRS cd=0.10", `Mixed, 2.44), 29);
+    (("Aggr BB/VTRS cd=0.10", `Mixed, 2.19), 29);
+    (("Aggr BB/VTRS cd=0.24", `Rate_only, 2.44), 29);
+    (("Aggr BB/VTRS cd=0.24", `Rate_only, 2.19), 29);
+    (("Aggr BB/VTRS cd=0.24", `Mixed, 2.44), 29);
+    (("Aggr BB/VTRS cd=0.24", `Mixed, 2.19), 29);
+    (("Aggr BB/VTRS cd=0.50", `Rate_only, 2.44), 29);
+    (("Aggr BB/VTRS cd=0.50", `Rate_only, 2.19), 29);
+    (("Aggr BB/VTRS cd=0.50", `Mixed, 2.44), 29);
+    (("Aggr BB/VTRS cd=0.50", `Mixed, 2.19), 28);
+  ]
+
+let run_table2 () =
+  section "Table 2: number of calls admitted — measured [paper]";
+  let schemes =
+    [
+      ("IntServ/GS", Static.Intserv_gs);
+      ("Per-flow BB/VTRS", Static.Perflow_bb);
+      ("Aggr BB/VTRS cd=0.10", Static.Aggr_bb { cd = 0.10; method_ = Aggregate.Bounding });
+      ("Aggr BB/VTRS cd=0.24", Static.Aggr_bb { cd = 0.24; method_ = Aggregate.Bounding });
+      ("Aggr BB/VTRS cd=0.50", Static.Aggr_bb { cd = 0.50; method_ = Aggregate.Bounding });
+    ]
+  in
+  Fmt.pr "%-22s %14s %14s %14s %14s@." "" "rate 2.44" "rate 2.19" "mixed 2.44"
+    "mixed 2.19";
+  let mismatches = ref 0 in
+  List.iter
+    (fun (name, scheme) ->
+      Fmt.pr "%-22s" name;
+      List.iter
+        (fun (setting, dreq) ->
+          let got = (Static.fill ~setting ~dreq scheme).Static.admitted in
+          let want = List.assoc (name, setting, dreq) table2_expected in
+          if got <> want then incr mismatches;
+          Fmt.pr "      %2d [%2d]%s" got want (if got = want then " " else "!"))
+        [ (`Rate_only, 2.44); (`Rate_only, 2.19); (`Mixed, 2.44); (`Mixed, 2.19) ];
+      Fmt.pr "@.")
+    schemes;
+  if !mismatches = 0 then Fmt.pr "@.all 20 cells match the paper.@."
+  else Fmt.pr "@.%d cells differ from the paper!@." !mismatches
+
+(* ------------------------------------------------------------------ *)
+(* Figure 9 *)
+
+let run_fig9 () =
+  section "Figure 9: mean reserved bandwidth per flow (mixed setting, bound 2.19 s)";
+  let gs = Static.fill ~setting:`Mixed ~dreq:2.19 Static.Intserv_gs in
+  let pf = Static.fill ~setting:`Mixed ~dreq:2.19 Static.Perflow_bb in
+  let ag =
+    Static.fill ~setting:`Mixed ~dreq:2.19
+      (Static.Aggr_bb { cd = 0.10; method_ = Aggregate.Bounding })
+  in
+  let mean r n =
+    match List.nth_opt r.Static.steps (n - 1) with
+    | Some s -> Fmt.str "%10.1f" s.Static.mean_rate
+    | None -> Fmt.str "%10s" "-"
+  in
+  Fmt.pr "%4s  %10s  %10s  %10s@." "n" "IntServ/GS" "Perflow-BB" "Aggr cd=.1";
+  let maxn = List.fold_left (fun m r -> max m r.Static.admitted) 0 [ gs; pf; ag ] in
+  for n = 1 to maxn do
+    if n mod 2 = 1 || n >= 25 then
+      Fmt.pr "%4d  %s  %s  %s@." n (mean gs n) (mean pf n) (mean ag n)
+  done;
+  Fmt.pr "@.paper shape: GS flat; Per-flow starts at the mean rate and rises@.";
+  Fmt.pr "but stays below GS; Aggregate sits at the mean rate, below both.@."
+
+(* ------------------------------------------------------------------ *)
+(* Figure 10 *)
+
+let run_fig10 () =
+  section "Figure 10: flow blocking rate vs offered load (mean of 5 seeds)";
+  let loads = [ 0.05; 0.1; 0.15; 0.2; 0.25; 0.3; 0.4 ] in
+  let base = { Dynamic.default_config with Dynamic.duration = 20_000. } in
+  let schemes =
+    [
+      Dynamic.Perflow;
+      Dynamic.Aggr Aggregate.Feedback;
+      Dynamic.Aggr Aggregate.Bounding;
+    ]
+  in
+  Fmt.pr "%-10s" "load(f/s)";
+  List.iter (fun s -> Fmt.pr " %24s" (Fmt.str "%a" Dynamic.pp_scheme s)) schemes;
+  Fmt.pr "@.";
+  let curves = List.map (fun s -> Dynamic.blocking_vs_load ~base ~loads s) schemes in
+  List.iteri
+    (fun i load ->
+      Fmt.pr "%-10.3f" load;
+      List.iter (fun curve -> Fmt.pr " %24.4f" (snd (List.nth curve i))) curves;
+      Fmt.pr "@.")
+    loads;
+  Fmt.pr "@.paper shape: per-flow lowest, feedback between, bounding highest;@.";
+  Fmt.pr "the three converge as the network approaches saturation.@."
+
+(* ------------------------------------------------------------------ *)
+(* Figure 5 *)
+
+let run_fig5 () =
+  section "Figure 5: monotonicity of R_fea and R_del across delay intervals";
+  (* A loaded mixed path; the interval table is what the Figure-4 scan
+     walks.  Moving left (m decreasing) R_fea shifts left and R_del
+     shrinks. *)
+  let capacity = 1.5e6 in
+  let edf = [ Vtedf.create ~capacity; Vtedf.create ~capacity ] in
+  let reserved = ref 0. in
+  List.iter
+    (fun (rate, delay) ->
+      List.iter (fun s -> Vtedf.add s ~rate ~delay ~lmax:12_000.) edf;
+      reserved := !reserved +. rate)
+    [ (600_000., 0.05); (300_000., 0.20); (200_000., 0.45); (150_000., 0.80) ];
+  let ps =
+    {
+      Admission.hops = 5;
+      rate_hops = 3;
+      delay_hops = 2;
+      d_tot = 5. *. (12_000. /. capacity);
+      cres = capacity -. !reserved;
+      edf;
+    }
+  in
+  let views = Admission.intervals ps type0 ~dreq:2.19 in
+  Fmt.pr "%3s  %19s  %25s  %25s@." "m" "delay interval" "R_fea [l, r]" "R_del [l, r]";
+  List.iter
+    (fun (v : Admission.interval_view) ->
+      Fmt.pr "%3d  [%7.4f, %7.4f)  [%10.1f, %12.1f]  [%10.1f, %12.1f]@."
+        v.Admission.index v.Admission.d_lo v.Admission.d_hi v.Admission.fea_l
+        v.Admission.fea_r v.Admission.del_l v.Admission.del_r)
+    views;
+  let ok = ref true in
+  let rec check = function
+    | (a : Admission.interval_view) :: (b :: _ as rest) ->
+        if not (a.Admission.fea_l <= b.Admission.fea_l +. 1e-6) then ok := false;
+        if not (a.Admission.del_l >= b.Admission.del_l -. 1e-6) then ok := false;
+        if not (a.Admission.del_r <= b.Admission.del_r +. 1e-6) then ok := false;
+        check rest
+    | _ -> ()
+  in
+  check views;
+  Fmt.pr "@.monotonicity (R_fea shifts left, R_del shrinks, as m decreases): %s@."
+    (if !ok then "holds" else "VIOLATED")
+
+(* ------------------------------------------------------------------ *)
+(* Figure 7 *)
+
+let run_fig7 () =
+  section "Figure 7: dynamic-aggregation transient at the edge conditioner";
+  let r = Transient.leave_scenario () in
+  Fmt.pr "microflow-leave scenario (2 greedy type-0 flows, one departs at T_on):@.";
+  Fmt.pr "  edge-delay bound of the remaining macroflow: %8.3f s@." r.Transient.bound;
+  Fmt.pr "  naive immediate rate reduction:              %8.3f s  %s@." r.Transient.naive
+    (if r.Transient.naive > r.Transient.bound then "<- violation, as the paper warns"
+     else "(no violation?)");
+  Fmt.pr "  Theorem-3 contingency hold:                  %8.3f s  %s@."
+    r.Transient.with_contingency
+    (if r.Transient.with_contingency <= r.Transient.bound +. 1e-6 then
+       "<- bound restored"
+     else "still violated?!");
+  let observed, bound = Transient.join_holds () in
+  Fmt.pr "@.microflow-join scenario (type-3 joins a type-0 macroflow, Theorem 2):@.";
+  Fmt.pr "  eq. (13) bound max(old, new):                %8.3f s@." bound;
+  Fmt.pr "  worst observed edge delay:                   %8.3f s  %s@." observed
+    (if observed <= bound +. 1e-6 then "<- within bound" else "VIOLATED")
+
+(* ------------------------------------------------------------------ *)
+(* Packet-level bound validation *)
+
+let run_bounds () =
+  section "Bound validation: saturated packet-level runs vs eq. (4)";
+  let run ~setting ~dreq ~mode =
+    let topo = Fig8.topology setting in
+    let engine = Engine.create () in
+    let net = Net.create engine topo mode in
+    let path_links = Fig8.path1 topo in
+    let path = Array.of_list path_links in
+    let q = Topology.rate_based_hops path_links in
+    let dh = Topology.delay_based_hops path_links in
+    let d_tot = Topology.d_tot path_links in
+    let req =
+      { Types.profile = type0; dreq; ingress = Fig8.ingress1; egress = Fig8.egress1 }
+    in
+    let flows = ref [] in
+    (match mode with
+    | Net.Core_stateless ->
+        let broker = Broker.create topo in
+        let continue = ref true in
+        while !continue do
+          match Broker.request broker req with
+          | Ok (flow, res) -> flows := (flow, res) :: !flows
+          | Error _ -> continue := false
+        done
+    | Net.Intserv ->
+        let gs = Bbr_intserv.Gs_admission.create topo in
+        let continue = ref true in
+        while !continue do
+          match Bbr_intserv.Gs_admission.request gs req with
+          | Ok (flow, res) ->
+              Net.install_flow net ~flow ~path:path_links ~rate:res.Types.rate
+                ~deadline:res.Types.delay;
+              flows := (flow, res) :: !flows
+          | Error _ -> continue := false
+        done);
+    List.iter
+      (fun (flow, (res : Types.reservation)) ->
+        let cond =
+          Net.make_conditioner net ~rate:res.Types.rate ~delay_param:res.Types.delay
+            ~lmax:type0.Traffic.lmax ()
+        in
+        ignore
+          (Source.greedy engine ~profile:type0 ~flow ~path
+             ~next:(fun p -> Edge_conditioner.submit cond p)
+             ()))
+      !flows;
+    Engine.run ~until:40. engine;
+    let sink = Net.sink net in
+    let worst_margin = ref infinity in
+    let worst_delay = ref 0. in
+    let violations = ref 0 in
+    List.iter
+      (fun (flow, (res : Types.reservation)) ->
+        match Sink.stats sink ~flow with
+        | Some s ->
+            let bound =
+              Delay.e2e_bound type0 ~q ~delay_hops:dh ~rate:res.Types.rate
+                ~delay:res.Types.delay ~d_tot
+            in
+            worst_delay := Float.max !worst_delay s.Sink.max_e2e;
+            worst_margin := Float.min !worst_margin (bound -. s.Sink.max_e2e);
+            if s.Sink.max_e2e > bound +. 1e-9 then incr violations
+        | None -> incr violations)
+      !flows;
+    ( List.length !flows,
+      !worst_delay,
+      !worst_margin,
+      !violations,
+      Net.core_flow_state net )
+  in
+  Fmt.pr "%-28s %6s %12s %12s %10s %10s@." "configuration" "flows" "worst delay"
+    "min margin" "violations" "core state";
+  List.iter
+    (fun (label, setting, dreq, mode) ->
+      let flows, delay, margin, viol, state = run ~setting ~dreq ~mode in
+      Fmt.pr "%-28s %6d %12.4f %12.4f %10d %10d@." label flows delay margin viol state)
+    [
+      ("BB/VTRS rate-only 2.44", `Rate_only, 2.44, Net.Core_stateless);
+      ("BB/VTRS rate-only 2.19", `Rate_only, 2.19, Net.Core_stateless);
+      ("BB/VTRS mixed 2.19", `Mixed, 2.19, Net.Core_stateless);
+      ("IntServ VC/RC-EDF 2.19", `Mixed, 2.19, Net.Intserv);
+    ];
+  Fmt.pr "@.(margin = analytic bound minus worst observed delay; must stay >= 0)@."
+
+(* ------------------------------------------------------------------ *)
+(* Statistical service ablation: multiplexing gain vs epsilon. *)
+
+let run_statistical () =
+  section "Statistical service: admitted flows vs overflow budget (15 Mb/s link)";
+  let fill epsilon =
+    let t = Topology.create () in
+    ignore (Topology.add_link t ~src:"A" ~dst:"B" ~capacity:15e6 Topology.Rate_based);
+    let broker = Broker.create t in
+    let stat = Bbr_broker.Statistical.create broker ~epsilon in
+    let req = { Types.profile = type0; dreq = 0.; ingress = "A"; egress = "B" } in
+    let n = ref 0 in
+    let continue = ref true in
+    while !continue do
+      match Bbr_broker.Statistical.request stat req with
+      | Ok _ -> incr n
+      | Error _ -> continue := false
+    done;
+    (!n, Bbr_broker.Statistical.surcharge stat ~link_id:0)
+  in
+  Fmt.pr "%-24s %10s %20s@." "service" "admitted" "surcharge (b/s)";
+  Fmt.pr "%-24s %10d %20s@." "deterministic (peak)" 150 "-";
+  List.iter
+    (fun epsilon ->
+      let n, s = fill epsilon in
+      Fmt.pr "statistical e=%-10g %10d %20.0f@." epsilon n s)
+    [ 1e-9; 1e-6; 1e-3; 1e-2; 0.05 ];
+  Fmt.pr "%-24s %10d %20s@." "mean-rate (no guarantee)" 300 "-";
+  Fmt.pr
+    "@.Hoeffding effective-bandwidth admission: the sqrt(n) surcharge buys a@.";
+  Fmt.pr "provable overflow probability <= epsilon with no core-router support.@."
+
+(* ------------------------------------------------------------------ *)
+(* Scaling ablations: admission cost vs M, bounds vs path length. *)
+
+let run_scaling () =
+  section "Scaling: Figure-4 O(M) scan vs exact O(M^2) oracle";
+  let mk_mixed n =
+    let capacity = float_of_int n *. 12_000. *. 4. in
+    let edf = [ Vtedf.create ~capacity; Vtedf.create ~capacity ] in
+    for i = 1 to n do
+      let delay = 0.02 +. (0.02 *. float_of_int i) in
+      List.iter (fun s -> Vtedf.add s ~rate:10_000. ~delay ~lmax:12_000.) edf
+    done;
+    {
+      Admission.hops = 5;
+      rate_hops = 3;
+      delay_hops = 2;
+      d_tot = 0.04;
+      cres = capacity -. (float_of_int n *. 10_000.);
+      edf;
+    }
+  in
+  let time_of f =
+    let reps = 2_000 in
+    let t0 = Sys.time () in
+    for _ = 1 to reps do
+      ignore (f ())
+    done;
+    (Sys.time () -. t0) /. float_of_int reps *. 1e6
+  in
+  Fmt.pr "%8s %16s %16s %10s@." "M" "Fig-4 (us)" "oracle (us)" "ratio";
+  List.iter
+    (fun m ->
+      let ps = mk_mixed m in
+      let fast = time_of (fun () -> Admission.mixed ps type0 ~dreq:2.19) in
+      let exact = time_of (fun () -> Admission.mixed_reference ps type0 ~dreq:2.19) in
+      Fmt.pr "%8d %16.1f %16.1f %10.1f@." m fast exact (exact /. fast))
+    [ 5; 10; 25; 50; 100; 200 ];
+  Fmt.pr "@.==== Scaling: end-to-end bound vs path length (type-0 at mean rate) ====@.@.";
+  Fmt.pr "%6s %18s %22s@." "hops" "bound at rho (s)" "min achievable dreq (s)";
+  List.iter
+    (fun h ->
+      let d_tot = float_of_int h *. 0.008 in
+      let at_rho =
+        Delay.e2e_bound type0 ~q:h ~delay_hops:0 ~rate:50_000. ~delay:0. ~d_tot
+      in
+      let at_peak =
+        Delay.e2e_bound type0 ~q:h ~delay_hops:0 ~rate:100_000. ~delay:0. ~d_tot
+      in
+      Fmt.pr "%6d %18.3f %22.3f@." h at_rho at_peak)
+    [ 1; 2; 5; 10; 20; 40 ];
+  Fmt.pr "@.(each extra rate-based hop adds lmax/r + psi to the bound — eq. (4))@."
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks *)
+
+let run_micro () =
+  section "Micro-benchmarks: admission-control hot paths (Bechamel OLS, ns/op)";
+  let open Bechamel in
+  let rate_ps =
+    {
+      Admission.hops = 5;
+      rate_hops = 5;
+      delay_hops = 0;
+      d_tot = 0.04;
+      cres = 1.5e6;
+      edf = [];
+    }
+  in
+  (* Mixed-path states with M distinct delay values already booked. *)
+  let mk_mixed n =
+    let capacity = 1.5e6 in
+    let edf = [ Vtedf.create ~capacity; Vtedf.create ~capacity ] in
+    for i = 1 to n do
+      let delay = 0.02 +. (0.02 *. float_of_int i) in
+      List.iter (fun s -> Vtedf.add s ~rate:10_000. ~delay ~lmax:12_000.) edf
+    done;
+    {
+      Admission.hops = 5;
+      rate_hops = 3;
+      delay_hops = 2;
+      d_tot = 0.04;
+      cres = capacity -. (float_of_int n *. 10_000.);
+      edf;
+    }
+  in
+  let ps10 = mk_mixed 10 and ps50 = mk_mixed 50 in
+  let gs = Bbr_intserv.Gs_admission.create (Fig8.topology `Mixed) in
+  let gs_req =
+    { Types.profile = type0; dreq = 3.5; ingress = Fig8.ingress1; egress = Fig8.egress1 }
+  in
+  let tests =
+    Test.make_grouped ~name:"admission"
+      [
+        Test.make ~name:"rate-based O(1) test"
+          (Staged.stage (fun () -> Admission.rate_based rate_ps type0 ~dreq:2.44));
+        Test.make ~name:"mixed Fig-4, M=10"
+          (Staged.stage (fun () -> Admission.mixed ps10 type0 ~dreq:2.19));
+        Test.make ~name:"mixed Fig-4, M=50"
+          (Staged.stage (fun () -> Admission.mixed ps50 type0 ~dreq:2.19));
+        Test.make ~name:"mixed oracle, M=50"
+          (Staged.stage (fun () -> Admission.mixed_reference ps50 type0 ~dreq:2.19));
+        Test.make ~name:"IntServ hop-by-hop admit+teardown"
+          (Staged.stage (fun () ->
+               match Bbr_intserv.Gs_admission.request gs gs_req with
+               | Ok (flow, _) -> Bbr_intserv.Gs_admission.teardown gs flow
+               | Error _ -> ()));
+      ]
+  in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+  let raw = Benchmark.all cfg Toolkit.Instance.[ monotonic_clock ] tests in
+  let ols = Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let est = match Analyze.OLS.estimates ols with Some [ e ] -> e | _ -> nan in
+        (name, est) :: acc)
+      results []
+    |> List.sort compare
+  in
+  Fmt.pr "%-45s %14s@." "benchmark" "ns/op";
+  List.iter (fun (name, est) -> Fmt.pr "%-45s %14.1f@." name est) rows;
+  (* Event-engine throughput as a plain wall-clock measurement. *)
+  let t0 = Sys.time () in
+  let engine = Engine.create () in
+  let n = 200_000 in
+  for i = 1 to n do
+    Engine.schedule engine ~at:(float_of_int i *. 1e-3) (fun () -> ())
+  done;
+  Engine.run engine;
+  let dt = Sys.time () -. t0 in
+  Fmt.pr "%-45s %14.1f@." "event engine (schedule+dispatch)"
+    (dt /. float_of_int n *. 1e9)
+
+(* ------------------------------------------------------------------ *)
+(* Control-plane message overhead: COPS-style broker signaling vs RSVP
+   hop-by-hop soft state (extension; quantifies Section 1's motivation). *)
+
+let run_overhead () =
+  section "Control-plane overhead: broker (COPS) vs hop-by-hop (RSVP)";
+  let horizon = 600. in
+  let n_flows = 27 in
+  (* Broker side. *)
+  let engine = Engine.create () in
+  let broker = Broker.create (Fig8.topology `Rate_only) in
+  let cops =
+    Bbr_broker.Cops.create broker
+      ~defer:(fun delay f -> Engine.schedule_after engine ~delay f)
+      ()
+  in
+  let req =
+    { Types.profile = type0; dreq = 2.19; ingress = Fig8.ingress1; egress = Fig8.egress1 }
+  in
+  for _ = 1 to n_flows do
+    Bbr_broker.Cops.request cops req ~on_decision:(fun _ -> ())
+  done;
+  Engine.run ~until:horizon engine;
+  let cops_messages = Bbr_broker.Cops.messages cops in
+  (* RSVP side: same flows, same horizon, default 30 s refreshes. *)
+  let engine = Engine.create () in
+  let topo = Fig8.topology `Rate_only in
+  let rsvp = Bbr_intserv.Rsvp.create engine topo () in
+  for flow = 1 to n_flows do
+    Bbr_intserv.Rsvp.open_session rsvp ~flow ~path:(Fig8.path1 topo) ~rate:54_020.
+      ~on_result:(fun _ -> ())
+  done;
+  Engine.run ~until:horizon engine;
+  let rsvp_messages = Bbr_intserv.Rsvp.messages rsvp in
+  let rsvp_state = Bbr_intserv.Rsvp.state_count rsvp in
+  Fmt.pr "%d flows held for %.0f s on the 5-hop Figure-8 path:@.@." n_flows horizon;
+  Fmt.pr "%-34s %10s %18s@." "" "messages" "router state";
+  Fmt.pr "%-34s %10d %18d@." "bandwidth broker (COPS-style)" cops_messages 0;
+  Fmt.pr "%-34s %10d %18d@." "RSVP soft state (30 s refresh)" rsvp_messages rsvp_state;
+  Fmt.pr "@.ratio: %.0fx fewer control messages, and none of them touch core routers.@."
+    (float_of_int rsvp_messages /. float_of_int (max 1 cops_messages))
+
+(* ------------------------------------------------------------------ *)
+(* Hierarchical broker ablation: quota chunk size vs central load. *)
+
+let run_hierarchy () =
+  section "Hierarchical BB ablation: quota chunk size vs central-broker load";
+  let fill chunk =
+    let central = Broker.create (Fig8.topology `Rate_only) in
+    match
+      Bbr_broker.Edge_broker.create ~central ~ingress:Fig8.ingress1 ~egress:Fig8.egress1
+        ~chunk
+    with
+    | Error _ -> (0, 0)
+    | Ok eb ->
+        let req =
+          {
+            Types.profile = type0;
+            dreq = 2.44;
+            ingress = Fig8.ingress1;
+            egress = Fig8.egress1;
+          }
+        in
+        let n = ref 0 in
+        let continue = ref true in
+        while !continue do
+          match Bbr_broker.Edge_broker.request eb req with
+          | Ok _ -> incr n
+          | Error _ -> continue := false
+        done;
+        (!n, Bbr_broker.Edge_broker.central_transactions eb)
+  in
+  Fmt.pr "%-24s %10s %24s@." "chunk (b/s)" "admitted" "central transactions";
+  Fmt.pr "%-24s %10d %24d@." "(flat: no hierarchy)" 30 30;
+  List.iter
+    (fun chunk ->
+      let admitted, tx = fill chunk in
+      Fmt.pr "%-24.0f %10d %24d@." chunk admitted tx)
+    [ 50_000.; 150_000.; 500_000.; 1_500_000. ];
+  Fmt.pr
+    "@.admission counts are unchanged; central transactions drop with chunk size@.";
+  Fmt.pr "(the cost is bandwidth fragmentation across edge brokers under churn).@."
+
+(* ------------------------------------------------------------------ *)
+(* QoS-state footprint: where reservation state lives at saturation. *)
+
+let run_state () =
+  section "QoS-state footprint at admission saturation (mixed setting, 2.19 s)";
+  let req =
+    { Types.profile = type0; dreq = 2.19; ingress = Fig8.ingress1; egress = Fig8.egress1 }
+  in
+  (* Per-flow BB. *)
+  let broker = Broker.create (Fig8.topology `Mixed) in
+  let continue = ref true in
+  while !continue do
+    match Broker.request broker req with Ok _ -> () | Error _ -> continue := false
+  done;
+  let perflow_broker_state = Broker.per_flow_count broker in
+  (* Aggregate BB: one class. *)
+  (* Bounding method: with the default immediate-time hooks contingency
+     timers fire synchronously, matching the sequential-arrival setting. *)
+  let broker_agg =
+    Broker.create
+      ~classes:[ { Aggregate.class_id = 0; dreq = 2.19; cd = 0.1 } ]
+      ~method_:Aggregate.Bounding
+      (Fig8.topology `Mixed)
+  in
+  let admitted_agg = ref 0 in
+  let continue = ref true in
+  while !continue do
+    match Broker.request_class broker_agg req with
+    | Ok _ -> incr admitted_agg
+    | Error _ -> continue := false
+  done;
+  let macros = List.length (Aggregate.all_macroflows (Broker.aggregate broker_agg)) in
+  (* IntServ. *)
+  let gs = Bbr_intserv.Gs_admission.create (Fig8.topology `Mixed) in
+  let continue = ref true in
+  while !continue do
+    match Bbr_intserv.Gs_admission.request gs req with
+    | Ok _ -> ()
+    | Error _ -> continue := false
+  done;
+  Fmt.pr "%-26s %8s %22s %20s@." "architecture" "flows" "control-plane state"
+    "core-router state";
+  Fmt.pr "%-26s %8d %22s %20d@." "IntServ/GS (hop-by-hop)"
+    (Bbr_intserv.Gs_admission.flow_count gs)
+    "n/a (in routers)"
+    (Bbr_intserv.Gs_admission.router_flow_state gs);
+  Fmt.pr "%-26s %8d %22d %20d@." "Per-flow BB/VTRS" perflow_broker_state
+    perflow_broker_state 0;
+  Fmt.pr "%-26s %8d %22d %20d@." "Aggr BB/VTRS (1 class)" !admitted_agg macros 0;
+  Fmt.pr
+    "@.aggregation shrinks broker state from one entry per flow to one per@.";
+  Fmt.pr "(class x path) macroflow; core routers hold none in either BB mode.@."
+
+(* ------------------------------------------------------------------ *)
+
+let sections =
+  [
+    ("table2", run_table2);
+    ("fig9", run_fig9);
+    ("fig10", run_fig10);
+    ("fig5", run_fig5);
+    ("fig7", run_fig7);
+    ("bounds", run_bounds);
+    ("overhead", run_overhead);
+    ("hierarchy", run_hierarchy);
+    ("state", run_state);
+    ("scaling", run_scaling);
+    ("statistical", run_statistical);
+    ("micro", run_micro);
+  ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as args) -> args
+    | _ -> List.map fst sections
+  in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name sections with
+      | Some f -> f ()
+      | None ->
+          Fmt.epr "unknown section %S; available: %s@." name
+            (String.concat ", " (List.map fst sections));
+          exit 1)
+    requested

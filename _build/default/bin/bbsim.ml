@@ -1,0 +1,304 @@
+(* bbsim — command-line front end for the bandwidth-broker reproduction.
+
+   Subcommands:
+     fill      static fill of the Figure-8 domain under one scheme
+     simulate  one dynamic churn run (Figure-10 style)
+     sweep     blocking rate across offered loads
+     admit     one-shot admission decision for a custom flow
+     transient the Figure-7 edge transient
+
+   Try: dune exec bin/bbsim.exe -- fill --scheme perflow --dreq 2.19 *)
+
+open Cmdliner
+
+module Types = Bbr_broker.Types
+module Aggregate = Bbr_broker.Aggregate
+module Broker = Bbr_broker.Broker
+module Traffic = Bbr_vtrs.Traffic
+module Static = Bbr_workload.Static
+module Dynamic = Bbr_workload.Dynamic
+module Fig8 = Bbr_workload.Fig8
+module Profiles = Bbr_workload.Profiles
+module Transient = Bbr_workload.Transient
+
+(* --- shared arguments ---------------------------------------------- *)
+
+let setting_arg =
+  let parse = function
+    | "rate" | "rate-only" -> Ok `Rate_only
+    | "mixed" -> Ok `Mixed
+    | s -> Error (`Msg (Printf.sprintf "unknown setting %S (rate|mixed)" s))
+  in
+  let print ppf s =
+    Fmt.string ppf (match s with `Rate_only -> "rate" | `Mixed -> "mixed")
+  in
+  Arg.conv (parse, print)
+
+let setting =
+  Arg.(
+    value
+    & opt setting_arg `Mixed
+    & info [ "setting" ] ~docv:"SETTING"
+        ~doc:"Scheduler setting: $(b,rate) (all rate-based) or $(b,mixed).")
+
+let dreq =
+  Arg.(
+    value
+    & opt float 2.19
+    & info [ "dreq" ] ~docv:"SECONDS" ~doc:"End-to-end delay requirement.")
+
+let cd =
+  Arg.(
+    value
+    & opt float 0.24
+    & info [ "cd" ] ~docv:"SECONDS"
+        ~doc:"Fixed class delay parameter at delay-based schedulers.")
+
+let seed =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"INT" ~doc:"PRNG seed.")
+
+let duration =
+  Arg.(
+    value
+    & opt float 20_000.
+    & info [ "duration" ] ~docv:"SECONDS" ~doc:"Simulated horizon.")
+
+(* --- fill ----------------------------------------------------------- *)
+
+let scheme_arg =
+  let parse = function
+    | "intserv" -> Ok `Intserv
+    | "perflow" -> Ok `Perflow
+    | "aggr" | "aggr-feedback" -> Ok (`Aggr Aggregate.Feedback)
+    | "aggr-bounding" -> Ok (`Aggr Aggregate.Bounding)
+    | s ->
+        Error
+          (`Msg
+             (Printf.sprintf
+                "unknown scheme %S (intserv|perflow|aggr|aggr-bounding)" s))
+  in
+  let print ppf = function
+    | `Intserv -> Fmt.string ppf "intserv"
+    | `Perflow -> Fmt.string ppf "perflow"
+    | `Aggr Aggregate.Feedback -> Fmt.string ppf "aggr"
+    | `Aggr Aggregate.Bounding -> Fmt.string ppf "aggr-bounding"
+  in
+  Arg.conv (parse, print)
+
+let scheme =
+  Arg.(
+    value
+    & opt scheme_arg `Perflow
+    & info [ "scheme" ] ~docv:"SCHEME"
+        ~doc:
+          "Admission scheme: $(b,intserv), $(b,perflow), $(b,aggr) \
+           (feedback) or $(b,aggr-bounding).")
+
+let run_fill setting dreq cd scheme verbose =
+  let static_scheme =
+    match scheme with
+    | `Intserv -> Static.Intserv_gs
+    | `Perflow -> Static.Perflow_bb
+    | `Aggr method_ -> Static.Aggr_bb { cd; method_ }
+  in
+  let r = Static.fill ~setting ~dreq static_scheme in
+  Fmt.pr "admitted %d flows before the first rejection@." r.Static.admitted;
+  if verbose then begin
+    Fmt.pr "%4s  %12s  %12s  %12s@." "n" "flow rate" "total" "mean/flow";
+    List.iter
+      (fun (s : Static.step) ->
+        Fmt.pr "%4d  %12.1f  %12.1f  %12.1f@." s.Static.n s.Static.flow_rate
+          s.Static.total_rate s.Static.mean_rate)
+      r.Static.steps
+  end
+  else
+    match List.rev r.Static.steps with
+    | last :: _ ->
+        Fmt.pr "total reserved %.1f b/s, mean per flow %.1f b/s@."
+          last.Static.total_rate last.Static.mean_rate
+    | [] -> ()
+
+let verbose =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print every admission step.")
+
+let fill_cmd =
+  let doc = "Fill the Figure-8 domain with identical flows until rejection (Table 2)." in
+  Cmd.v (Cmd.info "fill" ~doc)
+    Term.(const run_fill $ setting $ dreq $ cd $ scheme $ verbose)
+
+(* --- simulate ------------------------------------------------------- *)
+
+let load =
+  Arg.(
+    value
+    & opt float 0.2
+    & info [ "load" ] ~docv:"FLOWS/S" ~doc:"Total flow arrival rate.")
+
+let run_simulate setting cd scheme seed load duration =
+  let dyn_scheme =
+    match scheme with
+    | `Perflow -> Dynamic.Perflow
+    | `Aggr m -> Dynamic.Aggr m
+    | `Intserv ->
+        Fmt.epr "simulate supports perflow/aggr schemes only@.";
+        exit 1
+  in
+  let cfg =
+    { Dynamic.seed; setting; arrival_rate = load; mean_holding = 200.; duration; cd }
+  in
+  let o = Dynamic.run cfg dyn_scheme in
+  Fmt.pr "scheme: %a@." Dynamic.pp_scheme dyn_scheme;
+  Fmt.pr "offered %d, blocked %d, completed %d@." o.Dynamic.offered o.Dynamic.blocked
+    o.Dynamic.completed;
+  Fmt.pr "blocking rate: %.4f@." o.Dynamic.blocking_rate
+
+let simulate_cmd =
+  let doc = "One dynamic churn run: Poisson arrivals, exponential holding times." in
+  Cmd.v (Cmd.info "simulate" ~doc)
+    Term.(const run_simulate $ setting $ cd $ scheme $ seed $ load $ duration)
+
+(* --- sweep ---------------------------------------------------------- *)
+
+let loads =
+  Arg.(
+    value
+    & opt (list float) [ 0.05; 0.1; 0.15; 0.2; 0.25; 0.3; 0.4 ]
+    & info [ "loads" ] ~docv:"L1,L2,..." ~doc:"Arrival rates to sweep.")
+
+let seeds =
+  Arg.(
+    value
+    & opt (list int) [ 1; 2; 3; 4; 5 ]
+    & info [ "seeds" ] ~docv:"S1,S2,..." ~doc:"Seeds averaged per point.")
+
+let run_sweep setting cd seeds loads duration =
+  let base = { Dynamic.default_config with Dynamic.setting; cd; duration } in
+  let schemes =
+    [ Dynamic.Perflow; Dynamic.Aggr Aggregate.Feedback; Dynamic.Aggr Aggregate.Bounding ]
+  in
+  Fmt.pr "%-10s" "load(f/s)";
+  List.iter (fun s -> Fmt.pr " %24s" (Fmt.str "%a" Dynamic.pp_scheme s)) schemes;
+  Fmt.pr "@.";
+  let curves = List.map (fun s -> Dynamic.blocking_vs_load ~seeds ~base ~loads s) schemes in
+  List.iteri
+    (fun i load ->
+      Fmt.pr "%-10.3f" load;
+      List.iter (fun curve -> Fmt.pr " %24.4f" (snd (List.nth curve i))) curves;
+      Fmt.pr "@.")
+    loads
+
+let sweep_cmd =
+  let doc = "Blocking rate vs offered load for all three schemes (Figure 10)." in
+  Cmd.v (Cmd.info "sweep" ~doc)
+    Term.(const run_sweep $ setting $ cd $ seeds $ loads $ duration)
+
+(* --- admit ---------------------------------------------------------- *)
+
+let run_admit setting dreq sigma rho peak lmax =
+  let topo = Fig8.topology setting in
+  let broker = Broker.create topo in
+  let profile = Traffic.make ~sigma ~rho ~peak ~lmax in
+  let req = { Types.profile; dreq; ingress = Fig8.ingress1; egress = Fig8.egress1 } in
+  match Broker.request broker req with
+  | Ok (flow, res) ->
+      Fmt.pr "admitted as flow %d on I1->E1@." flow;
+      Fmt.pr "reserved rate:   %.1f b/s@." res.Types.rate;
+      Fmt.pr "delay parameter: %.4f s@." res.Types.delay
+  | Error reason -> Fmt.pr "rejected: %a@." Types.pp_reject_reason reason
+
+let sigma =
+  Arg.(value & opt float 60_000. & info [ "sigma" ] ~docv:"BITS" ~doc:"Burst size.")
+
+let rho =
+  Arg.(
+    value & opt float 50_000. & info [ "rho" ] ~docv:"BITS/S" ~doc:"Sustained rate.")
+
+let peak =
+  Arg.(value & opt float 100_000. & info [ "peak" ] ~docv:"BITS/S" ~doc:"Peak rate.")
+
+let lmax =
+  Arg.(
+    value & opt float 12_000. & info [ "lmax" ] ~docv:"BITS" ~doc:"Max packet size.")
+
+let admit_cmd =
+  let doc = "One-shot admission decision for a custom dual-token-bucket flow." in
+  Cmd.v (Cmd.info "admit" ~doc)
+    Term.(const run_admit $ setting $ dreq $ sigma $ rho $ peak $ lmax)
+
+(* --- transient ------------------------------------------------------ *)
+
+let run_transient () =
+  let r = Transient.leave_scenario () in
+  Fmt.pr "edge-delay bound:       %.3f s@." r.Transient.bound;
+  Fmt.pr "naive rate reduction:   %.3f s%s@." r.Transient.naive
+    (if r.Transient.naive > r.Transient.bound then "  (violation)" else "");
+  Fmt.pr "Theorem-3 contingency:  %.3f s@." r.Transient.with_contingency
+
+let transient_cmd =
+  let doc = "The Figure-7 dynamic-aggregation transient and its repair." in
+  Cmd.v (Cmd.info "transient" ~doc) Term.(const run_transient $ const ())
+
+(* --- trace / replay -------------------------------------------------- *)
+
+let run_trace_gen setting cd seed load duration =
+  let cfg =
+    { Dynamic.seed; setting; arrival_rate = load; mean_holding = 200.; duration; cd }
+  in
+  print_string (Bbr_workload.Trace.to_string (Bbr_workload.Trace.generate cfg))
+
+let trace_gen_cmd =
+  let doc = "Emit a synthetic flow-arrival trace on stdout (replayable with replay)." in
+  Cmd.v (Cmd.info "trace-gen" ~doc)
+    Term.(const run_trace_gen $ setting $ cd $ seed $ load $ duration)
+
+let trace_file =
+  Arg.(
+    required
+    & opt (some file) None
+    & info [ "file" ] ~docv:"PATH" ~doc:"Trace file (see trace-gen).")
+
+let run_replay setting cd scheme file =
+  let dyn_scheme =
+    match scheme with
+    | `Perflow -> Dynamic.Perflow
+    | `Aggr m -> Dynamic.Aggr m
+    | `Intserv ->
+        Fmt.epr "replay supports perflow/aggr schemes only@.";
+        exit 1
+  in
+  let ic = open_in file in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  match Bbr_workload.Trace.of_string text with
+  | Error e ->
+      Fmt.epr "%s@." e;
+      exit 1
+  | Ok entries ->
+      let o = Bbr_workload.Trace.replay ~setting ~cd entries dyn_scheme in
+      Fmt.pr "scheme: %a@." Dynamic.pp_scheme dyn_scheme;
+      Fmt.pr "offered %d, blocked %d, completed %d, blocking rate %.4f@."
+        o.Dynamic.offered o.Dynamic.blocked o.Dynamic.completed o.Dynamic.blocking_rate
+
+let replay_cmd =
+  let doc = "Replay a flow-arrival trace through an admission scheme." in
+  Cmd.v (Cmd.info "replay" ~doc)
+    Term.(const run_replay $ setting $ cd $ scheme $ trace_file)
+
+(* -------------------------------------------------------------------- *)
+
+let () =
+  let doc = "bandwidth-broker / VTRS simulator (SIGCOMM 2000 reproduction)" in
+  let info = Cmd.info "bbsim" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            fill_cmd;
+            simulate_cmd;
+            sweep_cmd;
+            admit_cmd;
+            transient_cmd;
+            trace_gen_cmd;
+            replay_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/aggregation_contingency.ml: Bbr_broker Bbr_netsim Bbr_vtrs Bbr_workload Float Fmt Hashtbl Option

@@ -1,0 +1,1 @@
+examples/blocking_sweep.ml: Array Bbr_broker Bbr_workload Fmt List Sys

@@ -1,0 +1,1 @@
+examples/interdomain_sla.ml: Bbr_broker Bbr_interdomain Bbr_vtrs Fmt Printf

@@ -1,0 +1,1 @@
+examples/perflow_path_admission.ml: Bbr_broker Bbr_intserv Bbr_vtrs Bbr_workload Float Fmt List Set

@@ -1,0 +1,1 @@
+examples/perflow_path_admission.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bbr_broker Bbr_netsim Bbr_vtrs Fmt

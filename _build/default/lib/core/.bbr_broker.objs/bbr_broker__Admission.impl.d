@@ -1,0 +1,1 @@
+lib/core/admission.ml: Array Bbr_util Bbr_vtrs Float List Map Node_mib Path_mib Types

@@ -1,0 +1,1 @@
+lib/core/admission.mli: Bbr_vtrs Node_mib Path_mib Types

@@ -1,0 +1,1 @@
+lib/core/aggregate.ml: Bbr_util Bbr_vtrs Float Hashtbl List Node_mib Option Path_mib Printf Types

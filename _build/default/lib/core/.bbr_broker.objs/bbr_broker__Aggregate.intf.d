@@ -1,0 +1,1 @@
+lib/core/aggregate.mli: Bbr_vtrs Node_mib Path_mib Types

@@ -1,0 +1,1 @@
+lib/core/broker.mli: Aggregate Bbr_vtrs Flow_mib Node_mib Path_mib Policy Routing Types

@@ -1,0 +1,1 @@
+lib/core/cops.ml: Broker

@@ -1,0 +1,1 @@
+lib/core/cops.mli: Aggregate Broker Types

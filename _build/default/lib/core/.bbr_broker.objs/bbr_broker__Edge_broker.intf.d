@@ -1,0 +1,1 @@
+lib/core/edge_broker.mli: Broker Types

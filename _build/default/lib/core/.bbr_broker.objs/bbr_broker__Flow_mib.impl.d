@@ -1,0 +1,1 @@
+lib/core/flow_mib.ml: Hashtbl Path_mib Printf Types

@@ -1,0 +1,1 @@
+lib/core/flow_mib.mli: Path_mib Types

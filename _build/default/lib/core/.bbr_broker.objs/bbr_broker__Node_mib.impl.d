@@ -1,0 +1,1 @@
+lib/core/node_mib.ml: Array Bbr_util Bbr_vtrs Float List Printf

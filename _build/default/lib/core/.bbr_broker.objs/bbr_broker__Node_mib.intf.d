@@ -1,0 +1,1 @@
+lib/core/node_mib.mli: Bbr_vtrs

@@ -1,0 +1,1 @@
+lib/core/path_mib.ml: Bbr_vtrs Float Fmt Hashtbl List Node_mib Option

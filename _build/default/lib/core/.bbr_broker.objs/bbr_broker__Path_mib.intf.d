@@ -1,0 +1,1 @@
+lib/core/path_mib.mli: Bbr_vtrs Fmt Node_mib

@@ -1,0 +1,1 @@
+lib/core/policy.ml: Bbr_vtrs List Types

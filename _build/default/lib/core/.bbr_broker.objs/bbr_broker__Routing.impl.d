@@ -1,0 +1,1 @@
+lib/core/routing.ml: Bbr_vtrs Hashtbl List Option Path_mib Queue

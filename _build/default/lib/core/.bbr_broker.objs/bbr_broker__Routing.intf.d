@@ -1,0 +1,1 @@
+lib/core/routing.mli: Bbr_vtrs Path_mib

@@ -1,0 +1,1 @@
+lib/core/snapshot.ml: Aggregate Bbr_vtrs Broker Buffer Flow_mib Fmt List Printf String Types

@@ -1,0 +1,1 @@
+lib/core/statistical.ml: Bbr_util Bbr_vtrs Broker Float Hashtbl List Node_mib Path_mib Printf Types

@@ -1,0 +1,363 @@
+module Traffic = Bbr_vtrs.Traffic
+module Delay = Bbr_vtrs.Delay
+module Vtedf = Bbr_vtrs.Vtedf
+module Topology = Bbr_vtrs.Topology
+module Fp = Bbr_util.Fp
+
+type path_state = {
+  hops : int;
+  rate_hops : int;
+  delay_hops : int;
+  d_tot : float;
+  cres : float;
+  edf : Vtedf.t list;
+}
+
+let path_state node_mib path_mib (info : Path_mib.info) =
+  let edf =
+    List.filter_map
+      (fun (l : Topology.link) ->
+        (Node_mib.entry node_mib ~link_id:l.Topology.link_id).Node_mib.edf)
+      info.Path_mib.links
+  in
+  {
+    hops = info.Path_mib.hops;
+    rate_hops = info.Path_mib.rate_hops;
+    delay_hops = info.Path_mib.delay_hops;
+    d_tot = info.Path_mib.d_tot;
+    cres = Path_mib.residual path_mib info;
+    edf;
+  }
+
+let rate_based ps (p : Traffic.t) ~dreq =
+  if ps.delay_hops <> 0 then
+    invalid_arg "Admission.rate_based: path has delay-based hops";
+  match Delay.min_rate_rate_based p ~hops:ps.hops ~d_tot:ps.d_tot ~dreq with
+  | None -> Error Types.Delay_unachievable
+  | Some rmin ->
+      let low = Float.max p.Traffic.rho rmin in
+      let up = Float.min p.Traffic.peak ps.cres in
+      if Fp.leq low up then Ok low
+      else if Fp.gt rmin p.Traffic.peak then Error Types.Delay_unachievable
+      else Error Types.Insufficient_bandwidth
+
+let schedulable ps ~rate ~delay ~lmax =
+  Fp.leq rate ps.cres
+  && List.for_all (fun edf -> Vtedf.can_admit edf ~rate ~delay ~lmax) ps.edf
+
+(* ------------------------------------------------------------------ *)
+(* Mixed rate/delay-based paths (Section 3.2).                        *)
+
+(* The merged breakpoint table: every distinct delay value [d^m] supported
+   across the delay-based schedulers of the path, with the minimal residual
+   service [S^m] of the path at [d^m] (paper, Section 3.2). *)
+type breakpoint = { d : float; s : float }
+
+let breakpoints ps =
+  let module M = Map.Make (Float) in
+  let merge acc edf =
+    List.fold_left
+      (fun acc (d, s) ->
+        M.update d (function None -> Some s | Some s0 -> Some (Float.min s0 s)) acc)
+      acc (Vtedf.breakpoints edf)
+  in
+  let merged = List.fold_left merge M.empty ps.edf in
+  Array.of_list (List.map (fun (d, s) -> { d; s }) (M.bindings merged))
+
+(* Shared precomputation for [mixed] and [mixed_reference]. *)
+type mixed_ctx = {
+  tval : float;  (* t^nu *)
+  xi : float;  (* Xi^nu *)
+  lmax : float;
+  rho : float;
+  r_cap : float;  (* min(peak, cres) *)
+  bps : breakpoint array;
+  n_lt : int;  (* number of breakpoints with d < t (index of interval count - 1) *)
+  ub_tail : float;  (* upper bound on r from breakpoints with d >= t; can be < 0 *)
+}
+
+let make_ctx ps (p : Traffic.t) ~dreq =
+  if ps.delay_hops = 0 then invalid_arg "Admission.mixed: path has no delay-based hop";
+  let dh = float_of_int ps.delay_hops in
+  let ton = Traffic.t_on p in
+  let tval = (dreq -. ps.d_tot +. ton) /. dh in
+  if tval <= 0. then Error Types.Delay_unachievable
+  else begin
+    let xi =
+      ((ton *. p.Traffic.peak) +. (float_of_int (ps.rate_hops + 1) *. p.Traffic.lmax))
+      /. dh
+    in
+    let bps = breakpoints ps in
+    let n_lt =
+      let count = ref 0 in
+      Array.iter (fun bp -> if bp.d < tval then incr count) bps;
+      !count
+    in
+    (* Constraints from flows whose delay parameter is >= t apply to every
+       candidate: r (d^k - t) + Xi + lmax <= S^k. *)
+    let ub_tail = ref infinity in
+    let feasible = ref true in
+    for k = n_lt to Array.length bps - 1 do
+      let bp = bps.(k) in
+      if Fp.approx bp.d tval then begin
+        if Fp.lt bp.s (xi +. p.Traffic.lmax) then feasible := false
+      end
+      else begin
+        let bound = (bp.s -. xi -. p.Traffic.lmax) /. (bp.d -. tval) in
+        if bound < !ub_tail then ub_tail := bound
+      end
+    done;
+    if not !feasible then Error Types.Not_schedulable
+    else
+      Ok
+        {
+          tval;
+          xi;
+          lmax = p.Traffic.lmax;
+          rho = p.Traffic.rho;
+          r_cap = Float.min p.Traffic.peak ps.cres;
+          bps;
+          n_lt;
+          ub_tail = !ub_tail;
+        }
+  end
+
+(* Interval j (0-based, j in [0, n_lt]) covers candidate delays
+   [lo_j, hi_j) with lo_j = d^{j-1} (0 for j = 0) and hi_j = d^j
+   (t for j = n_lt). *)
+let interval_lo ctx j = if j = 0 then 0. else ctx.bps.(j - 1).d
+
+let interval_hi ctx j = if j = ctx.n_lt then ctx.tval else ctx.bps.(j).d
+
+(* Lower bound on r from flows with delay parameter in [hi_j, t):
+   r >= (Xi + lmax - S^k) / (t - d^k) for k in [j, n_lt). *)
+let del_lower ctx j =
+  let lb = ref 0. in
+  for k = j to ctx.n_lt - 1 do
+    let bp = ctx.bps.(k) in
+    let bound = (ctx.xi +. ctx.lmax -. bp.s) /. (ctx.tval -. bp.d) in
+    if bound > !lb then lb := bound
+  done;
+  !lb
+
+(* The corresponding published upper-bound term of eq. (11); vacuous for
+   candidates inside interval j (see DESIGN.md) but kept as printed. *)
+let del_upper ctx j =
+  let ub = ref ctx.ub_tail in
+  for k = j to ctx.n_lt - 1 do
+    let bp = ctx.bps.(k) in
+    let bound = (ctx.xi +. ctx.lmax) /. (ctx.tval -. bp.d) in
+    if bound < !ub then ub := bound
+  done;
+  !ub
+
+let delay_for ctx rate = Float.max 0. (ctx.tval -. (ctx.xi /. rate))
+
+(* Figure-4 scan: from the rightmost interval [m*] leftwards, maintaining
+   the R_del edges incrementally — moving one interval left adds exactly
+   one breakpoint's constraints, which keeps the whole scan O(M) as the
+   paper claims.  Theorem 1 gives both the early-accept rule (the
+   delay-constraint lower edge is globally minimal) and the early-reject
+   rule. *)
+let mixed_scan ctx =
+  let candidate = ref None in
+  let result = ref None in
+  let j = ref ctx.n_lt in
+  let stop = ref false in
+  let del_l_run = ref 0. and del_r_run = ref ctx.ub_tail in
+  while (not !stop) && !j >= 0 do
+    (* Entering interval j brings breakpoint j (delays in [d^j, t)) into
+       the constraint set. *)
+    if !j < ctx.n_lt then begin
+      let bp = ctx.bps.(!j) in
+      let gap = ctx.tval -. bp.d in
+      del_l_run := Float.max !del_l_run ((ctx.xi +. ctx.lmax -. bp.s) /. gap);
+      del_r_run := Float.min !del_r_run ((ctx.xi +. ctx.lmax) /. gap)
+    end;
+    let lo_d = interval_lo ctx !j and hi_d = interval_hi ctx !j in
+    let fea_l =
+      let from_interval =
+        if ctx.tval -. lo_d > 0. then ctx.xi /. (ctx.tval -. lo_d) else infinity
+      in
+      Float.max ctx.rho from_interval
+    in
+    let fea_r =
+      if !j = ctx.n_lt then ctx.r_cap
+      else if ctx.tval -. hi_d > 0. then
+        Float.min ctx.r_cap (ctx.xi /. (ctx.tval -. hi_d))
+      else ctx.r_cap
+    in
+    let del_l = !del_l_run in
+    let del_r = !del_r_run in
+    let lo = Float.max fea_l del_l and hi = Float.min fea_r del_r in
+    if Fp.leq lo hi then begin
+      if Fp.lt fea_l del_l then begin
+        (* Theorem 1: r = r_del^{m,l} is the globally minimal rate. *)
+        result := Some (del_l, delay_for ctx del_l);
+        stop := true
+      end
+      else begin
+        candidate := Some (fea_l, delay_for ctx fea_l);
+        decr j
+      end
+    end
+    else begin
+      (* Empty intersection.  Moving left, [fea_r] and [del_r] only
+         shrink while [del_l] only grows (the Figure-5 monotonicity), so
+         emptiness caused by [del] or by the constant caps is final;
+         emptiness caused by the interval membership edge
+         [xi / (t - d^{m-1})] alone is recoverable further left. *)
+      let break_now =
+        Fp.gt del_l del_r || Fp.lt fea_r del_l || Fp.lt fea_r ctx.rho
+      in
+      if break_now then stop := true else decr j
+    end
+  done;
+  match !result with Some r -> Some r | None -> !candidate
+
+(* ------------------------------------------------------------------ *)
+(* Exact reference oracle: evaluate every constraint per interval.    *)
+
+(* Smallest delay in [lo, hi) at which a packet of size [lmax] meets the
+   candidate's own schedulability constraint at scheduler [edf]
+   (residual_service >= lmax); the residual service is linear within the
+   interval. *)
+let own_delay_in edf ~lmax ~lo ~hi =
+  let g0 = Vtedf.residual_service edf ~at:lo in
+  if Fp.geq g0 lmax then Some lo
+  else begin
+    let slope = Vtedf.capacity edf -. Vtedf.rate_below edf ~at:lo in
+    if slope <= 0. then None
+    else
+      let d = lo +. ((lmax -. g0) /. slope) in
+      if d < hi then Some d else None
+  end
+
+let mixed_reference_scan ps ctx =
+  let best = ref None in
+  for j = 0 to ctx.n_lt do
+    let lo_d = interval_lo ctx j and hi_d = interval_hi ctx j in
+    (* Own-deadline constraint at each delay-based scheduler. *)
+    let d_own =
+      List.fold_left
+        (fun acc edf ->
+          match acc with
+          | None -> None
+          | Some d -> (
+              match own_delay_in edf ~lmax:ctx.lmax ~lo:lo_d ~hi:hi_d with
+              | None -> None
+              | Some d' -> Some (Float.max d d')))
+        (Some lo_d) ps.edf
+    in
+    match d_own with
+    | None -> ()
+    | Some dlo ->
+        let r_lo =
+          let from_delay =
+            if ctx.tval -. dlo > 0. then ctx.xi /. (ctx.tval -. dlo) else infinity
+          in
+          Float.max ctx.rho (Float.max from_delay (del_lower ctx j))
+        in
+        let r_hi =
+          let from_interval =
+            if j = ctx.n_lt then infinity
+            else if ctx.tval -. hi_d > 0. then ctx.xi /. (ctx.tval -. hi_d)
+            else infinity
+          in
+          Float.min ctx.r_cap (Float.min ctx.ub_tail from_interval)
+        in
+        if Fp.leq r_lo r_hi then begin
+          match !best with
+          | Some (r, _) when r <= r_lo -> ()
+          | _ -> best := Some (r_lo, delay_for ctx r_lo)
+        end
+  done;
+  !best
+
+let classify_reject ps (p : Traffic.t) ctx =
+  (* Distinguish "never admissible on this path" from load-dependent
+     rejections.  Even an idle path cannot push the delay parameter below
+     the per-scheduler floor lmax/C (the candidate's own constraint), so
+     the load-independent minimal rate is Xi / (t - d_floor); if that
+     exceeds the peak rate, no load relief can ever help. *)
+  let d_floor =
+    List.fold_left
+      (fun acc edf -> Float.max acc (p.Traffic.lmax /. Vtedf.capacity edf))
+      0. ps.edf
+  in
+  if
+    ctx.tval <= d_floor
+    || Fp.gt (ctx.xi /. (ctx.tval -. d_floor)) p.Traffic.peak
+  then Types.Delay_unachievable
+  else if Fp.lt ps.cres p.Traffic.rho then Types.Insufficient_bandwidth
+  else Types.Not_schedulable
+
+let mixed_reference ps p ~dreq =
+  match make_ctx ps p ~dreq with
+  | Error e -> Error e
+  | Ok ctx -> (
+      match mixed_reference_scan ps ctx with
+      | Some pair -> Ok pair
+      | None -> Error (classify_reject ps p ctx))
+
+let mixed ps p ~dreq =
+  match make_ctx ps p ~dreq with
+  | Error e -> Error e
+  | Ok ctx -> (
+      let fallback () = mixed_reference ps p ~dreq in
+      match mixed_scan ctx with
+      | Some (rate, delay) ->
+          if schedulable ps ~rate ~delay ~lmax:p.Traffic.lmax then Ok (rate, delay)
+          else fallback ()
+      | None -> (
+          (* The Figure-4 formulas can be conservative in corner cases
+             (own-deadline constraint): double-check with the oracle. *)
+          match fallback () with
+          | Ok pair -> Ok pair
+          | Error _ -> Error (classify_reject ps p ctx)))
+
+type interval_view = {
+  index : int;
+  d_lo : float;
+  d_hi : float;
+  fea_l : float;
+  fea_r : float;
+  del_l : float;
+  del_r : float;
+}
+
+let intervals ps p ~dreq =
+  match make_ctx ps p ~dreq with
+  | Error _ -> []
+  | Ok ctx ->
+      List.init (ctx.n_lt + 1) (fun j ->
+          let lo_d = interval_lo ctx j and hi_d = interval_hi ctx j in
+          let fea_l =
+            Float.max ctx.rho
+              (if ctx.tval -. lo_d > 0. then ctx.xi /. (ctx.tval -. lo_d) else infinity)
+          in
+          let fea_r =
+            if j = ctx.n_lt then ctx.r_cap
+            else if ctx.tval -. hi_d > 0. then
+              Float.min ctx.r_cap (ctx.xi /. (ctx.tval -. hi_d))
+            else ctx.r_cap
+          in
+          {
+            index = j + 1;
+            d_lo = lo_d;
+            d_hi = hi_d;
+            fea_l;
+            fea_r;
+            del_l = del_lower ctx j;
+            del_r = del_upper ctx j;
+          })
+
+let admit ps p ~dreq =
+  if ps.delay_hops = 0 then
+    match rate_based ps p ~dreq with
+    | Ok rate -> Ok { Types.rate; delay = 0. }
+    | Error e -> Error e
+  else
+    match mixed ps p ~dreq with
+    | Ok (rate, delay) -> Ok { Types.rate; delay }
+    | Error e -> Error e

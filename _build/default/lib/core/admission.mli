@@ -1,0 +1,89 @@
+(** Path-oriented admission control for per-flow guaranteed services
+    (paper Section 3).
+
+    Because the broker holds the QoS state of the whole path, admissibility
+    is tested against the entire path at once instead of hop by hop:
+
+    - {!rate_based} — paths with only rate-based schedulers (Section 3.1):
+      a closed-form O(1) test returning the minimal feasible reserved rate.
+    - {!mixed} — paths mixing rate- and delay-based schedulers
+      (Section 3.2, Figure 4): an O(M) scan over the [M] distinct delay
+      values supported by the delay-based schedulers of the path, returning
+      a rate–delay pair with the minimal feasible rate.
+    - {!mixed_reference} — an exact oracle that evaluates the VT-EDF
+      schedulability condition (eq. (5)) directly on every delay interval;
+      used to cross-validate {!mixed} and as a fallback.
+
+    All tests are pure with respect to the MIBs: they never mutate
+    reservation state. *)
+
+type path_state = {
+  hops : int;
+  rate_hops : int;
+  delay_hops : int;
+  d_tot : float;
+  cres : float;  (** minimal residual bandwidth along the path *)
+  edf : Bbr_vtrs.Vtedf.t list;  (** delay-based schedulers along the path *)
+}
+
+val path_state : Node_mib.t -> Path_mib.t -> Path_mib.info -> path_state
+(** Snapshot view of a path assembled from the MIBs. *)
+
+val rate_based :
+  path_state -> Bbr_vtrs.Traffic.t -> dreq:float -> (float, Types.reject_reason) result
+(** Minimal feasible reserved rate on an all-rate-based path, or why none
+    exists.  Raises [Invalid_argument] when the path has delay-based
+    hops. *)
+
+val mixed :
+  path_state ->
+  Bbr_vtrs.Traffic.t ->
+  dreq:float ->
+  (float * float, Types.reject_reason) result
+(** Figure-4 algorithm: [(rate, delay)] with minimal [rate] on a mixed
+    path.  Any returned pair is re-validated against the exact
+    schedulability condition; on the rare disagreement (the published
+    interval formulas omit the candidate's own-deadline constraint) the
+    result of {!mixed_reference} is returned instead.  Raises
+    [Invalid_argument] when the path has no delay-based hop. *)
+
+val mixed_reference :
+  path_state ->
+  Bbr_vtrs.Traffic.t ->
+  dreq:float ->
+  (float * float, Types.reject_reason) result
+(** Exact reference implementation (see module doc). *)
+
+val admit :
+  path_state ->
+  Bbr_vtrs.Traffic.t ->
+  dreq:float ->
+  (Types.reservation, Types.reject_reason) result
+(** Dispatch on the path kind: {!rate_based} when [delay_hops = 0]
+    (reservation delay 0), {!mixed} otherwise. *)
+
+val schedulable : path_state -> rate:float -> delay:float -> lmax:float -> bool
+(** Exact check that a candidate pair fits every constraint of the path:
+    rate window, residual bandwidth, and eq. (5) at every delay-based
+    scheduler. *)
+
+(** {1 Introspection} *)
+
+(** One delay interval of the Figure-4 scan, with the two rate ranges of
+    eqs. (10) and (11).  Exposed for diagnostics and for reproducing the
+    monotonicity illustration of the paper's Figure 5. *)
+type interval_view = {
+  index : int;  (** [m], 1-based from the leftmost interval *)
+  d_lo : float;  (** [d^{m-1}] *)
+  d_hi : float;  (** [min (d^m, t)] *)
+  fea_l : float;  (** left edge of [R_fea^m] *)
+  fea_r : float;  (** right edge of [R_fea^m] *)
+  del_l : float;  (** left edge of [R_del^m] *)
+  del_r : float;  (** right edge of [R_del^m] *)
+}
+
+val intervals :
+  path_state -> Bbr_vtrs.Traffic.t -> dreq:float -> interval_view list
+(** The interval table the Figure-4 scan walks, left to right.  Empty when
+    the request is trivially unachievable.  Raises [Invalid_argument] on a
+    path without delay-based hops. *)

@@ -1,0 +1,367 @@
+module Traffic = Bbr_vtrs.Traffic
+module Delay = Bbr_vtrs.Delay
+module Vtedf = Bbr_vtrs.Vtedf
+module Topology = Bbr_vtrs.Topology
+module Fp = Bbr_util.Fp
+
+type method_ = Bounding | Feedback
+
+type class_def = { class_id : int; dreq : float; cd : float }
+
+type hooks = {
+  now : unit -> float;
+  after : float -> (unit -> unit) -> unit;
+  rate_changed : class_id:int -> path_id:int -> total_rate:float -> unit;
+}
+
+type macroflow = {
+  cls : class_def;
+  path : Path_mib.info;
+  members : (Types.flow_id, Traffic.t) Hashtbl.t;
+  mutable profile : Traffic.t option;  (* None when empty *)
+  mutable base : float;  (* reserved rate excluding contingency *)
+  mutable conting : float;  (* total active contingency bandwidth *)
+  grants : (int, float) Hashtbl.t;  (* grant id -> amount *)
+  mutable next_grant : int;
+  mutable edge_bound : float;  (* current worst-case edge-delay bound *)
+}
+
+type macro_stats = {
+  class_id : int;
+  path_id : int;
+  members : int;
+  base_rate : float;
+  contingency : float;
+  edge_bound : float;
+}
+
+type t = {
+  node_mib : Node_mib.t;
+  path_mib : Path_mib.t;
+  classes : class_def list;
+  method_ : method_;
+  hooks : hooks;
+  macros : (int * int, macroflow) Hashtbl.t;  (* (class_id, path_id) *)
+  owners : (Types.flow_id, int * int) Hashtbl.t;
+}
+
+let create node_mib path_mib ~classes ~method_ ~hooks =
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun (c : class_def) ->
+      if Hashtbl.mem seen c.class_id then
+        invalid_arg "Aggregate.create: duplicate class id";
+      if c.dreq <= 0. then invalid_arg "Aggregate.create: class bound must be positive";
+      if c.cd < 0. then invalid_arg "Aggregate.create: negative class delay parameter";
+      Hashtbl.replace seen c.class_id ())
+    classes;
+  {
+    node_mib;
+    path_mib;
+    classes;
+    method_;
+    hooks;
+    macros = Hashtbl.create 16;
+    owners = Hashtbl.create 64;
+  }
+
+let classes t = t.classes
+
+let find_class t ~class_id =
+  List.find_opt (fun (c : class_def) -> c.class_id = class_id) t.classes
+
+let best_class t ~dreq =
+  List.fold_left
+    (fun acc (c : class_def) ->
+      if c.dreq <= dreq then
+        match acc with
+        | Some best when best.dreq >= c.dreq -> acc
+        | _ -> Some c
+      else acc)
+    None t.classes
+
+(* ------------------------------------------------------------------ *)
+(* Per-macroflow helpers.                                             *)
+
+let total mf = mf.base +. mf.conting
+
+let edf_entries t mf =
+  List.filter_map
+    (fun (l : Topology.link) ->
+      (Node_mib.entry t.node_mib ~link_id:l.Topology.link_id).Node_mib.edf)
+    mf.path.Path_mib.links
+
+(* The macroflow appears at every delay-based scheduler of its path as one
+   flow with rate = total allocation, delay = cd and the path MTU as
+   maximum packet size. *)
+let edf_update t mf ~old_total ~new_total =
+  List.iter
+    (fun edf ->
+      if old_total > 0. then
+        Vtedf.remove edf ~rate:old_total ~delay:mf.cls.cd ~lmax:Topology.mtu_bits;
+      if new_total > 0. then
+        Vtedf.add edf ~rate:new_total ~delay:mf.cls.cd ~lmax:Topology.mtu_bits)
+    (edf_entries t mf)
+
+let edf_can t mf ~old_total ~new_total =
+  List.for_all
+    (fun edf ->
+      if old_total > 0. then
+        Vtedf.remove edf ~rate:old_total ~delay:mf.cls.cd ~lmax:Topology.mtu_bits;
+      let ok =
+        new_total <= 0.
+        || Vtedf.can_admit edf ~rate:new_total ~delay:mf.cls.cd ~lmax:Topology.mtu_bits
+      in
+      if old_total > 0. then
+        Vtedf.add edf ~rate:old_total ~delay:mf.cls.cd ~lmax:Topology.mtu_bits;
+      ok)
+    (edf_entries t mf)
+
+let reserve_links t mf amount =
+  if amount > 0. then
+    List.iter
+      (fun (l : Topology.link) ->
+        Node_mib.reserve t.node_mib ~link_id:l.Topology.link_id amount)
+      mf.path.Path_mib.links
+
+let release_links t mf amount =
+  if amount > 0. then
+    List.iter
+      (fun (l : Topology.link) ->
+        Node_mib.release t.node_mib ~link_id:l.Topology.link_id amount)
+      mf.path.Path_mib.links
+
+let steady_edge_bound mf =
+  match mf.profile with
+  | None -> 0.
+  | Some p -> Delay.edge_bound p ~rate:mf.base
+
+let notify_rate t mf =
+  t.hooks.rate_changed ~class_id:mf.cls.class_id ~path_id:mf.path.Path_mib.path_id
+    ~total_rate:(total mf)
+
+(* Release one contingency grant (idempotent: the grant may have been
+   swept already by a queue-empty reset). *)
+let release_grant t mf gid =
+  match Hashtbl.find_opt mf.grants gid with
+  | None -> ()
+  | Some amount ->
+      Hashtbl.remove mf.grants gid;
+      let old_total = total mf in
+      mf.conting <- Float.max 0. (mf.conting -. amount);
+      release_links t mf amount;
+      edf_update t mf ~old_total ~new_total:(total mf);
+      if Hashtbl.length mf.grants = 0 then mf.edge_bound <- steady_edge_bound mf;
+      notify_rate t mf
+
+(* Grant [amount] of contingency bandwidth, already reserved on the links
+   by the caller.  Under [Bounding] a release timer is armed with the
+   period bound of eq. (17); under [Feedback] the grant waits for the
+   queue-empty signal. *)
+let add_grant t mf ~amount ~alloc_before =
+  if amount > 0. then begin
+    let gid = mf.next_grant in
+    mf.next_grant <- mf.next_grant + 1;
+    Hashtbl.replace mf.grants gid amount;
+    mf.conting <- mf.conting +. amount;
+    match t.method_ with
+    | Feedback -> ()
+    | Bounding ->
+        let tau = mf.edge_bound *. alloc_before /. amount in
+        t.hooks.after (Float.max 0. tau) (fun () -> release_grant t mf gid)
+  end
+
+(* Minimal aggregate reserved rate meeting the class end-to-end bound.
+   [core_rate] is the rate used in the macroflow core bound (the smaller of
+   the rates across the change, per eq. (19)); [None] means the core bound
+   also runs at the rate being solved for (first microflow). *)
+let min_class_rate mf profile ~core_rate =
+  let cls = mf.cls in
+  let q = mf.path.Path_mib.rate_hops
+  and dh = mf.path.Path_mib.delay_hops
+  and d_tot = mf.path.Path_mib.d_tot in
+  let ton = Traffic.t_on profile in
+  let numer_edge = (ton *. profile.Traffic.peak) +. profile.Traffic.lmax in
+  let cd_part = (float_of_int dh *. cls.cd) +. d_tot in
+  match core_rate with
+  | Some r_core ->
+      let core =
+        Delay.macroflow_core_bound ~hops:q ~path_lmax:Topology.mtu_bits ~rate:r_core
+          ~d_tot:cd_part
+      in
+      let budget = cls.dreq -. core +. ton in
+      if budget <= 0. then None else Some (numer_edge /. budget)
+  | None ->
+      let budget = cls.dreq -. cd_part +. ton in
+      if budget <= 0. then None
+      else Some ((numer_edge +. (float_of_int q *. Topology.mtu_bits)) /. budget)
+
+let get_macro t ~class_id ~path =
+  let key = (class_id, path.Path_mib.path_id) in
+  match Hashtbl.find_opt t.macros key with
+  | Some mf -> Some mf
+  | None -> (
+      match find_class t ~class_id with
+      | None -> None
+      | Some cls ->
+          let mf =
+            {
+              cls;
+              path;
+              members = Hashtbl.create 16;
+              profile = None;
+              base = 0.;
+              conting = 0.;
+              grants = Hashtbl.create 8;
+              next_grant = 0;
+              edge_bound = 0.;
+            }
+          in
+          Hashtbl.replace t.macros key mf;
+          Some mf)
+
+(* ------------------------------------------------------------------ *)
+
+let join t ~class_id ~path ~flow profile =
+  match get_macro t ~class_id ~path with
+  | None -> Error (Types.Policy_denied "unknown service class")
+  | Some mf -> (
+      let new_profile =
+        match mf.profile with
+        | None -> profile
+        | Some p -> Traffic.add p profile
+      in
+      (* The rate the class bound demands for the new aggregate; the core
+         bound is evaluated at the pre-join rate when the macroflow already
+         exists (eq. (19)). *)
+      let core_rate = if Hashtbl.length mf.members = 0 then None else Some mf.base in
+      match min_class_rate mf new_profile ~core_rate with
+      | None -> Error Types.Delay_unachievable
+      | Some r_delay ->
+          (* Never below the aggregate sustained rate, never decreased by a
+             join. *)
+          let base' =
+            Float.max mf.base (Float.max new_profile.Traffic.rho r_delay)
+          in
+          let increment = base' -. mf.base in
+          let contingency = Float.max 0. (profile.Traffic.peak -. increment) in
+          let extra = increment +. contingency in
+          let cres = Path_mib.residual t.path_mib mf.path in
+          if not (Fp.leq extra cres) then Error Types.Insufficient_bandwidth
+          else if
+            not
+              (edf_can t mf ~old_total:(total mf)
+                 ~new_total:(total mf +. extra))
+          then Error Types.Not_schedulable
+          else begin
+            let alloc_before = total mf in
+            let old_total = alloc_before in
+            Hashtbl.replace mf.members flow profile;
+            Hashtbl.replace t.owners flow (class_id, mf.path.Path_mib.path_id);
+            mf.profile <- Some new_profile;
+            mf.base <- base';
+            reserve_links t mf extra;
+            edf_update t mf ~old_total ~new_total:(old_total +. extra);
+            add_grant t mf ~amount:contingency ~alloc_before;
+            (* eq. (13): the edge bound after the change is at most the max
+               of the old bound and the steady bound of the new aggregate. *)
+            mf.edge_bound <- Float.max mf.edge_bound (steady_edge_bound mf);
+            notify_rate t mf;
+            Ok ()
+          end)
+
+let leave t ~flow =
+  match Hashtbl.find_opt t.owners flow with
+  | None -> invalid_arg (Printf.sprintf "Aggregate.leave: unknown flow %d" flow)
+  | Some key ->
+      Hashtbl.remove t.owners flow;
+      let mf = Hashtbl.find t.macros key in
+      if not (Hashtbl.mem mf.members flow) then assert false;
+      Hashtbl.remove mf.members flow;
+      let alloc_before = total mf in
+      (* Re-aggregate from the surviving members rather than subtracting:
+         immune to floating-point drift over long join/leave histories. *)
+      let rest =
+        if Hashtbl.length mf.members = 0 then None
+        else
+          Some
+            (Traffic.aggregate
+               (Hashtbl.fold (fun _ p acc -> p :: acc) mf.members []))
+      in
+      let base' =
+        match rest with
+        | None -> 0.
+        | Some p ->
+            (* eq. (19) on a leave reduces to the steady condition at the
+               new (smaller) rate, whose core bound is evaluated at that
+               same rate — solved by [min_class_rate] with the closed
+               form. *)
+            let r_delay =
+              match min_class_rate mf p ~core_rate:None with
+              | Some r -> r
+              | None -> mf.base
+            in
+            Float.min mf.base (Float.max p.Traffic.rho r_delay)
+      in
+      let decrement = mf.base -. base' in
+      mf.profile <- rest;
+      mf.base <- base';
+      (* Theorem 3: keep serving at the old allocation; the decrement
+         becomes contingency bandwidth and is only released after the
+         contingency period (or the queue-empty signal). *)
+      add_grant t mf ~amount:decrement ~alloc_before;
+      mf.edge_bound <- Float.max mf.edge_bound (steady_edge_bound mf);
+      notify_rate t mf
+
+let queue_empty t ~class_id ~path_id =
+  match t.method_ with
+  | Bounding -> ()
+  | Feedback -> (
+      match Hashtbl.find_opt t.macros (class_id, path_id) with
+      | None -> ()
+      | Some mf ->
+          let gids = Hashtbl.fold (fun gid _ acc -> gid :: acc) mf.grants [] in
+          List.iter (release_grant t mf) (List.sort compare gids))
+
+let macroflow_stats t ~class_id ~path_id =
+  Option.map
+    (fun (mf : macroflow) ->
+      {
+        class_id;
+        path_id;
+        members = Hashtbl.length mf.members;
+        base_rate = mf.base;
+        contingency = mf.conting;
+        edge_bound = mf.edge_bound;
+      })
+    (Hashtbl.find_opt t.macros (class_id, path_id))
+
+let all_macroflows t =
+  Hashtbl.fold
+    (fun (class_id, path_id) _ acc ->
+      match macroflow_stats t ~class_id ~path_id with
+      | Some s -> s :: acc
+      | None -> acc)
+    t.macros []
+  |> List.sort compare
+
+let member_count t = Hashtbl.length t.owners
+
+let owner t ~flow = Hashtbl.find_opt t.owners flow
+
+let members t ~class_id ~path_id =
+  match Hashtbl.find_opt t.macros (class_id, path_id) with
+  | None -> []
+  | Some mf ->
+      Hashtbl.fold (fun flow p acc -> (flow, p) :: acc) mf.members []
+      |> List.sort compare
+
+let path_endpoints t ~class_id ~path_id =
+  match Hashtbl.find_opt t.macros (class_id, path_id) with
+  | None -> None
+  | Some mf -> (
+      match mf.path.Path_mib.links with
+      | [] -> None
+      | first :: _ as links ->
+          let last = List.nth links (List.length links - 1) in
+          Some (first.Topology.src, last.Topology.dst))

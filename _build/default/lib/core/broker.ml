@@ -1,0 +1,177 @@
+module Topology = Bbr_vtrs.Topology
+module Vtedf = Bbr_vtrs.Vtedf
+
+type time_hooks = { now : unit -> float; after : float -> (unit -> unit) -> unit }
+
+let immediate_time = { now = (fun () -> 0.); after = (fun _ f -> f ()) }
+
+type t = {
+  topology : Topology.t;
+  policy : Policy.t;
+  node_mib : Node_mib.t;
+  path_mib : Path_mib.t;
+  flow_mib : Flow_mib.t;
+  routing : Routing.t;
+  aggregate : Aggregate.t;
+  time : time_hooks;
+  on_edge_config : flow:Types.flow_id -> Types.reservation -> unit;
+}
+
+let create ?policy ?(classes = []) ?(method_ = Aggregate.Feedback) ?time
+    ?(on_edge_config = fun ~flow:_ _ -> ()) ?(on_class_rate = fun ~class_id:_ ~path_id:_ ~total_rate:_ -> ())
+    topology =
+  let policy = match policy with Some p -> p | None -> Policy.create () in
+  let time = Option.value ~default:immediate_time time in
+  let node_mib = Node_mib.create topology in
+  let path_mib = Path_mib.create topology node_mib in
+  let aggregate =
+    Aggregate.create node_mib path_mib ~classes ~method_
+      ~hooks:
+        {
+          Aggregate.now = time.now;
+          after = time.after;
+          rate_changed = on_class_rate;
+        }
+  in
+  {
+    topology;
+    policy;
+    node_mib;
+    path_mib;
+    flow_mib = Flow_mib.create ();
+    routing = Routing.create topology path_mib;
+    aggregate;
+    time;
+    on_edge_config;
+  }
+
+let route_of t (req : Types.request) =
+  Routing.path t.routing ~ingress:req.Types.ingress ~egress:req.Types.egress
+
+(* Shared front half of both admission procedures: policy check, then path
+   selection. *)
+let preamble t req =
+  match Policy.check t.policy req with
+  | Error rule -> Error (Types.Policy_denied rule)
+  | Ok () -> (
+      match route_of t req with
+      | None -> Error Types.No_route
+      | Some path -> Ok path)
+
+let book_per_flow t (req : Types.request) path (res : Types.reservation) =
+  let flow = Flow_mib.fresh_id t.flow_mib in
+  List.iter
+    (fun (l : Topology.link) ->
+      let link_id = l.Topology.link_id in
+      Node_mib.reserve t.node_mib ~link_id res.Types.rate;
+      match (Node_mib.entry t.node_mib ~link_id).Node_mib.edf with
+      | Some edf ->
+          Vtedf.add edf ~rate:res.Types.rate ~delay:res.Types.delay
+            ~lmax:req.Types.profile.Bbr_vtrs.Traffic.lmax
+      | None -> ())
+    path.Path_mib.links;
+  Flow_mib.add t.flow_mib
+    {
+      Flow_mib.flow;
+      request = req;
+      reservation = res;
+      path;
+      admitted_at = t.time.now ();
+    };
+  t.on_edge_config ~flow res;
+  flow
+
+let request t req =
+  match preamble t req with
+  | Error e -> Error e
+  | Ok path -> (
+      let ps = Admission.path_state t.node_mib t.path_mib path in
+      match Admission.admit ps req.Types.profile ~dreq:req.Types.dreq with
+      | Error e -> Error e
+      | Ok res -> Ok (book_per_flow t req path res, res))
+
+let request_fixed t req ~rate ?delay () =
+  match preamble t req with
+  | Error e -> Error e
+  | Ok path ->
+      let p = req.Types.profile in
+      if not (Bbr_vtrs.Traffic.conforms p ~rate) then Error Types.Delay_unachievable
+      else begin
+        let ps = Admission.path_state t.node_mib t.path_mib path in
+        let delay =
+          match (delay, ps.Admission.delay_hops) with
+          | Some d, _ -> d
+          | None, 0 -> 0.
+          | None, _ ->
+              invalid_arg "Broker.request_fixed: delay required on a mixed path"
+        in
+        if not (Admission.schedulable ps ~rate ~delay ~lmax:p.Bbr_vtrs.Traffic.lmax)
+        then
+          if Bbr_util.Fp.gt rate ps.Admission.cres then
+            Error Types.Insufficient_bandwidth
+          else Error Types.Not_schedulable
+        else Ok (book_per_flow t req path { Types.rate; delay })
+      end
+
+let teardown t flow =
+  match Flow_mib.remove t.flow_mib flow with
+  | None -> invalid_arg (Printf.sprintf "Broker.teardown: unknown flow %d" flow)
+  | Some record ->
+      let res = record.Flow_mib.reservation in
+      List.iter
+        (fun (l : Topology.link) ->
+          let link_id = l.Topology.link_id in
+          (match (Node_mib.entry t.node_mib ~link_id).Node_mib.edf with
+          | Some edf ->
+              Vtedf.remove edf ~rate:res.Types.rate ~delay:res.Types.delay
+                ~lmax:record.Flow_mib.request.Types.profile.Bbr_vtrs.Traffic.lmax
+          | None -> ());
+          Node_mib.release t.node_mib ~link_id res.Types.rate)
+        record.Flow_mib.path.Path_mib.links
+
+let request_class t ?class_id req =
+  match preamble t req with
+  | Error e -> Error e
+  | Ok path -> (
+      let cls =
+        match class_id with
+        | Some id -> (
+            match Aggregate.find_class t.aggregate ~class_id:id with
+            | Some c when c.Aggregate.dreq <= req.Types.dreq +. 1e-12 -> Ok c
+            | Some _ -> Error Types.Delay_unachievable
+            | None -> Error (Types.Policy_denied "unknown service class"))
+        | None -> (
+            match Aggregate.best_class t.aggregate ~dreq:req.Types.dreq with
+            | Some c -> Ok c
+            | None -> Error Types.Delay_unachievable)
+      in
+      match cls with
+      | Error e -> Error e
+      | Ok cls -> (
+          let flow = Flow_mib.fresh_id t.flow_mib in
+          match
+            Aggregate.join t.aggregate ~class_id:cls.Aggregate.class_id ~path ~flow
+              req.Types.profile
+          with
+          | Ok () -> Ok (flow, cls)
+          | Error e -> Error e))
+
+let teardown_class t flow = Aggregate.leave t.aggregate ~flow
+
+let queue_empty t ~class_id ~path_id = Aggregate.queue_empty t.aggregate ~class_id ~path_id
+
+let topology t = t.topology
+
+let node_mib t = t.node_mib
+
+let path_mib t = t.path_mib
+
+let flow_mib t = t.flow_mib
+
+let routing t = t.routing
+
+let aggregate t = t.aggregate
+
+let per_flow_count t = Flow_mib.count t.flow_mib
+
+let class_flow_count t = Aggregate.member_count t.aggregate

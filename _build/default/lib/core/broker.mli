@@ -1,0 +1,96 @@
+(** The bandwidth broker: the front end that receives flow service requests
+    from ingress routers and runs the full control loop of the paper's
+    Figure 1 — policy check, path selection, admissibility test, and
+    bookkeeping — entirely outside the core routers.
+
+    Two service models are offered:
+    - {!request}: per-flow guaranteed delay service (Section 3); and
+    - {!request_class}: class-based guaranteed delay service with dynamic
+      flow aggregation (Section 4).
+
+    On admission the broker pushes the resulting edge-conditioner
+    configuration to the ingress router through the [on_edge_config] /
+    [on_class_rate] callbacks (the COPS leg of Section 2.2). *)
+
+type time_hooks = {
+  now : unit -> float;  (** the broker's clock *)
+  after : float -> (unit -> unit) -> unit;  (** run an action after a delay *)
+}
+
+val immediate_time : time_hooks
+(** A clock pinned at 0 whose timers fire immediately — suitable for static
+    (non-simulated) use where contingency periods play no role. *)
+
+type t
+
+val create :
+  ?policy:Policy.t ->
+  ?classes:Aggregate.class_def list ->
+  ?method_:Aggregate.method_ ->
+  ?time:time_hooks ->
+  ?on_edge_config:(flow:Types.flow_id -> Types.reservation -> unit) ->
+  ?on_class_rate:(class_id:int -> path_id:int -> total_rate:float -> unit) ->
+  Bbr_vtrs.Topology.t ->
+  t
+(** [method_] defaults to {!Aggregate.Feedback}; [classes] to none;
+    [policy] to allow-all; [time] to {!immediate_time}. *)
+
+(** {1 Per-flow guaranteed service} *)
+
+val request : t -> Types.request -> (Types.flow_id * Types.reservation, Types.reject_reason) result
+(** Full admission-control procedure for a new flow.  On success the flow
+    is booked in the MIBs and the reservation pushed to the edge. *)
+
+val teardown : t -> Types.flow_id -> unit
+(** Release a per-flow reservation.  Raises [Invalid_argument] for an
+    unknown flow. *)
+
+val request_fixed :
+  t ->
+  Types.request ->
+  rate:float ->
+  ?delay:float ->
+  unit ->
+  (Types.flow_id, Types.reject_reason) result
+(** Book a reservation at an externally chosen rate–delay pair, checking
+    policy, routing, the profile's rate window, residual bandwidth and (on
+    paths with delay-based hops, where [delay] is then mandatory) exact
+    schedulability — but {e not} the end-to-end delay budget, which the
+    caller owns.  This is the hook the inter-domain coordinator uses: it
+    solves the delay budget across domains and books the resulting rate in
+    each domain.  Raises [Invalid_argument] when [delay] is missing on a
+    mixed path.  Tear down with {!teardown}. *)
+
+(** {1 Class-based guaranteed service} *)
+
+val request_class :
+  t -> ?class_id:int -> Types.request -> (Types.flow_id * Aggregate.class_def, Types.reject_reason) result
+(** Admit the flow into a delay service class — [class_id] if given
+    (rejected when the class bound exceeds the flow's requirement),
+    otherwise the loosest class satisfying the requirement. *)
+
+val teardown_class : t -> Types.flow_id -> unit
+
+val queue_empty : t -> class_id:int -> path_id:int -> unit
+(** Forwarded edge-conditioner feedback (see {!Aggregate.queue_empty}). *)
+
+(** {1 Introspection} *)
+
+val topology : t -> Bbr_vtrs.Topology.t
+
+val node_mib : t -> Node_mib.t
+
+val path_mib : t -> Path_mib.t
+
+val flow_mib : t -> Flow_mib.t
+
+val routing : t -> Routing.t
+
+val aggregate : t -> Aggregate.t
+
+val route_of : t -> Types.request -> Path_mib.info option
+(** The path the broker would select for this request. *)
+
+val per_flow_count : t -> int
+
+val class_flow_count : t -> int

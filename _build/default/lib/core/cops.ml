@@ -1,0 +1,47 @@
+type t = {
+  broker : Broker.t;
+  latency : float;
+  defer : float -> (unit -> unit) -> unit;
+  mutable messages : int;
+  mutable pending : int;
+}
+
+let create broker ?(latency = 0.005) ~defer () =
+  { broker; latency; defer; messages = 0; pending = 0 }
+
+let send t action =
+  t.messages <- t.messages + 1;
+  t.defer t.latency action
+
+(* One request/decision exchange; [decide] runs at the broker, [report]
+   says whether an RPT follows a positive decision. *)
+let exchange t ~decide ~accepted ~on_decision =
+  t.pending <- t.pending + 1;
+  send t (fun () ->
+      (* REQ arrived at the PDP: decide and send DEC back. *)
+      let decision = decide () in
+      send t (fun () ->
+          t.pending <- t.pending - 1;
+          on_decision decision;
+          (* The PEP reports successful installation of the decision. *)
+          if accepted decision then send t (fun () -> ())))
+
+let request t req ~on_decision =
+  exchange t
+    ~decide:(fun () -> Broker.request t.broker req)
+    ~accepted:(function Ok _ -> true | Error _ -> false)
+    ~on_decision
+
+let request_class t ?class_id req ~on_decision =
+  exchange t
+    ~decide:(fun () -> Broker.request_class t.broker ?class_id req)
+    ~accepted:(function Ok _ -> true | Error _ -> false)
+    ~on_decision
+
+let teardown t flow = send t (fun () -> Broker.teardown t.broker flow)
+
+let teardown_class t flow = send t (fun () -> Broker.teardown_class t.broker flow)
+
+let messages t = t.messages
+
+let pending t = t.pending

@@ -1,0 +1,49 @@
+(** COPS-style signaling between ingress routers and the broker.
+
+    Under the BB architecture the only control messages in the domain run
+    between an ingress router (the PEP, in COPS terms) and the broker (the
+    PDP): a request, a decision, an installation report, and a delete
+    notice — {e per flow}, regardless of path length, with no refresh
+    traffic at all.  This module models that channel with an injectable
+    transport delay so the message overhead can be measured and compared
+    against hop-by-hop soft-state signaling ({!Bbr_intserv.Rsvp}), which
+    costs two messages per hop per set-up plus a perpetual refresh stream.
+
+    Message accounting per admitted flow: REQ + DEC + RPT = 3, plus DRQ = 1
+    on teardown; a rejected flow costs REQ + DEC = 2. *)
+
+type t
+
+val create :
+  Broker.t -> ?latency:float -> defer:(float -> (unit -> unit) -> unit) -> unit -> t
+(** [defer delay action] delivers a message: it must run [action] after
+    [delay] (e.g. [Engine.schedule_after]).  [latency] is the one-way
+    PEP↔PDP delay (default 0.005 s). *)
+
+val request :
+  t ->
+  Types.request ->
+  on_decision:((Types.flow_id * Types.reservation, Types.reject_reason) result -> unit) ->
+  unit
+(** Per-flow service request: REQ travels to the broker, the decision is
+    made there, DEC travels back; on an admit the PEP configures its edge
+    conditioner and sends the RPT report. *)
+
+val request_class :
+  t ->
+  ?class_id:int ->
+  Types.request ->
+  on_decision:((Types.flow_id * Aggregate.class_def, Types.reject_reason) result -> unit) ->
+  unit
+(** Class-based variant. *)
+
+val teardown : t -> Types.flow_id -> unit
+(** DRQ: the PEP tells the broker the per-flow reservation is gone. *)
+
+val teardown_class : t -> Types.flow_id -> unit
+
+val messages : t -> int
+(** Total signaling messages exchanged so far. *)
+
+val pending : t -> int
+(** Requests in flight (REQ sent, DEC not yet delivered). *)

@@ -1,0 +1,142 @@
+module Traffic = Bbr_vtrs.Traffic
+module Delay = Bbr_vtrs.Delay
+module Topology = Bbr_vtrs.Topology
+module Fp = Bbr_util.Fp
+
+type grant = { central_flow : Types.flow_id; amount : float }
+
+type t = {
+  central : Broker.t;
+  ingress : string;
+  egress : string;
+  chunk : float;
+  hops : int;
+  d_tot : float;
+  mutable grants : grant list;
+  mutable quota : float;
+  mutable used : float;
+  flows : (Types.flow_id, float) Hashtbl.t;  (* local flow -> rate *)
+  mutable next_id : int;
+  mutable transactions : int;
+}
+
+(* Quota is acquired as a constant-bit-rate pseudo-flow: its reserved rate
+   equals its sustained (= peak) rate for any loose delay requirement. *)
+let quota_request t amount =
+  {
+    Types.profile =
+      Traffic.make ~sigma:Topology.mtu_bits ~rho:amount ~peak:amount
+        ~lmax:Topology.mtu_bits;
+    dreq = 1e9;
+    ingress = t.ingress;
+    egress = t.egress;
+  }
+
+let create ~central ~ingress ~egress ~chunk =
+  if chunk <= 0. then invalid_arg "Edge_broker.create: chunk must be positive";
+  let probe =
+    {
+      Types.profile =
+        Traffic.make ~sigma:Topology.mtu_bits ~rho:1. ~peak:1. ~lmax:Topology.mtu_bits;
+      dreq = 1e9;
+      ingress;
+      egress;
+    }
+  in
+  match Broker.route_of central probe with
+  | None -> Error Types.No_route
+  | Some info ->
+      if info.Path_mib.delay_hops > 0 then Error Types.Not_schedulable
+      else
+        Ok
+          {
+            central;
+            ingress;
+            egress;
+            chunk;
+            hops = info.Path_mib.hops;
+            d_tot = info.Path_mib.d_tot;
+            grants = [];
+            quota = 0.;
+            used = 0.;
+            flows = Hashtbl.create 32;
+            next_id = 0;
+            transactions = 0;
+          }
+
+let available t = t.quota -. t.used
+
+(* Acquire at least [shortfall] more quota: chunk-sized first, then the
+   exact remainder if the chunk is refused. *)
+let rec acquire t shortfall =
+  if shortfall <= 0. then true
+  else begin
+    let ask = Float.max t.chunk shortfall in
+    t.transactions <- t.transactions + 1;
+    match Broker.request t.central (quota_request t ask) with
+    | Ok (central_flow, res) ->
+        t.grants <- { central_flow; amount = res.Types.rate } :: t.grants;
+        t.quota <- t.quota +. res.Types.rate;
+        acquire t (shortfall -. res.Types.rate)
+    | Error _ ->
+        if ask > shortfall +. 1e-9 then begin
+          (* The full chunk did not fit; retry with the exact shortfall. *)
+          t.transactions <- t.transactions + 1;
+          match Broker.request t.central (quota_request t shortfall) with
+          | Ok (central_flow, res) ->
+              t.grants <- { central_flow; amount = res.Types.rate } :: t.grants;
+              t.quota <- t.quota +. res.Types.rate;
+              true
+          | Error _ -> false
+        end
+        else false
+  end
+
+let request t (req : Types.request) =
+  let p = req.Types.profile in
+  match Delay.min_rate_rate_based p ~hops:t.hops ~d_tot:t.d_tot ~dreq:req.Types.dreq with
+  | None -> Error Types.Delay_unachievable
+  | Some rmin ->
+      if Fp.gt rmin p.Traffic.peak then Error Types.Delay_unachievable
+      else begin
+        let rate = Float.max p.Traffic.rho rmin in
+        let ok =
+          Fp.leq rate (available t) || acquire t (rate -. available t)
+        in
+        if not ok then Error Types.Insufficient_bandwidth
+        else begin
+          let flow = t.next_id in
+          t.next_id <- t.next_id + 1;
+          t.used <- t.used +. rate;
+          Hashtbl.replace t.flows flow rate;
+          Ok (flow, { Types.rate; delay = 0. })
+        end
+      end
+
+let teardown t flow =
+  match Hashtbl.find_opt t.flows flow with
+  | None -> invalid_arg (Printf.sprintf "Edge_broker.teardown: unknown flow %d" flow)
+  | Some rate ->
+      Hashtbl.remove t.flows flow;
+      t.used <- Float.max 0. (t.used -. rate)
+
+let return_idle_quota t =
+  let rec give_back () =
+    match t.grants with
+    | grant :: rest when Fp.geq (available t -. grant.amount) t.chunk ->
+        t.transactions <- t.transactions + 1;
+        Broker.teardown t.central grant.central_flow;
+        t.grants <- rest;
+        t.quota <- t.quota -. grant.amount;
+        give_back ()
+    | _ -> ()
+  in
+  give_back ()
+
+let quota_total t = t.quota
+
+let quota_used t = t.used
+
+let local_flows t = Hashtbl.length t.flows
+
+let central_transactions t = t.transactions

@@ -1,0 +1,54 @@
+(** Two-tier (hierarchical) bandwidth brokering.
+
+    The paper's conclusion names a distributed/hierarchical broker
+    architecture as the way to scale the control plane beyond one central
+    BB.  This module implements the quota-delegation design point: an
+    {e edge broker} sits next to an ingress router, holds a bandwidth
+    {e quota} on one ingress→egress path that it acquired from the central
+    broker in chunks, and performs per-flow admission {e locally} using the
+    O(1) closed form of Section 3.1 — contacting the central broker only
+    when its quota runs out (or to hand idle quota back).
+
+    The effect: per-flow admission no longer transits the central broker,
+    whose transaction load drops from one per flow to one per quota chunk,
+    at the price of bandwidth fragmentation when quota sits idle at one
+    edge while another starves (measurable with {!central_transactions}
+    and the hierarchy benchmark).
+
+    Restricted to paths made of rate-based schedulers only: a delay-based
+    quota would have to carve up VT-EDF schedulability, which requires the
+    global view (this is exactly the trade-off the paper hints at). *)
+
+type t
+
+val create :
+  central:Broker.t -> ingress:string -> egress:string -> chunk:float -> (t, Types.reject_reason) result
+(** [chunk] is the quota acquisition granularity in bits/s.  Fails with
+    [No_route] when the central broker has no path, and with
+    [Not_schedulable] when the path contains delay-based hops. *)
+
+val request : t -> Types.request -> (Types.flow_id * Types.reservation, Types.reject_reason) result
+(** Local admission against the quota; transparently acquires more quota
+    from the central broker when needed (first in [chunk] units, then the
+    exact shortfall).  Flow ids are local to this edge broker. *)
+
+val teardown : t -> Types.flow_id -> unit
+(** Release a local reservation back into the quota.  Raises
+    [Invalid_argument] for an unknown flow. *)
+
+val return_idle_quota : t -> unit
+(** Hand whole idle chunks back to the central broker (keeps at most one
+    chunk of slack). *)
+
+val quota_total : t -> float
+(** Bandwidth currently delegated to this edge broker. *)
+
+val quota_used : t -> float
+(** Of which reserved by local flows. *)
+
+val local_flows : t -> int
+
+val central_transactions : t -> int
+(** Quota acquisitions, refusals and returns — the central-broker load this
+    edge broker has generated (compare with one transaction per flow under
+    the flat architecture). *)

@@ -1,0 +1,38 @@
+type record = {
+  flow : Types.flow_id;
+  request : Types.request;
+  reservation : Types.reservation;
+  path : Path_mib.info;
+  admitted_at : float;
+}
+
+type t = { table : (Types.flow_id, record) Hashtbl.t; mutable next_id : int }
+
+let create () = { table = Hashtbl.create 64; next_id = 0 }
+
+let fresh_id t =
+  let id = t.next_id in
+  t.next_id <- t.next_id + 1;
+  id
+
+let add t record =
+  if Hashtbl.mem t.table record.flow then
+    invalid_arg (Printf.sprintf "Flow_mib.add: duplicate flow id %d" record.flow);
+  if record.flow >= t.next_id then t.next_id <- record.flow + 1;
+  Hashtbl.replace t.table record.flow record
+
+let find t flow = Hashtbl.find_opt t.table flow
+
+let remove t flow =
+  match Hashtbl.find_opt t.table flow with
+  | Some record ->
+      Hashtbl.remove t.table flow;
+      Some record
+  | None -> None
+
+let count t = Hashtbl.length t.table
+
+let fold t ~init ~f = Hashtbl.fold (fun _ record acc -> f acc record) t.table init
+
+let total_reserved_rate t =
+  fold t ~init:0. ~f:(fun acc r -> acc +. r.reservation.Types.rate)

@@ -1,0 +1,32 @@
+(** Flow information base (paper Section 2.2): per-flow traffic profile,
+    service profile and current QoS reservation, kept only at the broker. *)
+
+type record = {
+  flow : Types.flow_id;
+  request : Types.request;
+  reservation : Types.reservation;
+  path : Path_mib.info;
+  admitted_at : float;  (** broker clock at admission *)
+}
+
+type t
+
+val create : unit -> t
+
+val fresh_id : t -> Types.flow_id
+(** Allocate the next unused flow id. *)
+
+val add : t -> record -> unit
+(** Raises [Invalid_argument] if the id is already present. *)
+
+val find : t -> Types.flow_id -> record option
+
+val remove : t -> Types.flow_id -> record option
+(** Remove and return the record, or [None] if absent. *)
+
+val count : t -> int
+
+val fold : t -> init:'a -> f:('a -> record -> 'a) -> 'a
+
+val total_reserved_rate : t -> float
+(** Sum of reserved rates over all flows (diagnostics). *)

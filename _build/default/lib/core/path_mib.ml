@@ -1,0 +1,98 @@
+module Topology = Bbr_vtrs.Topology
+
+type info = {
+  path_id : int;
+  links : Topology.link list;
+  hops : int;
+  rate_hops : int;
+  delay_hops : int;
+  d_tot : float;
+}
+
+type t = {
+  node_mib : Node_mib.t;
+  mutable infos : info list;  (* reversed registration order *)
+  by_links : (int list, info) Hashtbl.t;
+  cres : (int, float) Hashtbl.t;  (* path_id -> cached min residual *)
+  through : (int, info list) Hashtbl.t;  (* link_id -> paths crossing it *)
+  mutable next_id : int;
+}
+
+let recompute t info =
+  let cres =
+    List.fold_left
+      (fun acc (l : Topology.link) ->
+        Float.min acc (Node_mib.residual t.node_mib ~link_id:l.Topology.link_id))
+      infinity info.links
+  in
+  Hashtbl.replace t.cres info.path_id cres
+
+let create topology node_mib =
+  ignore topology;
+  let t =
+    {
+      node_mib;
+      infos = [];
+      by_links = Hashtbl.create 16;
+      cres = Hashtbl.create 16;
+      through = Hashtbl.create 16;
+      next_id = 0;
+    }
+  in
+  Node_mib.on_change node_mib (fun ~link_id ->
+      match Hashtbl.find_opt t.through link_id with
+      | None -> ()
+      | Some infos -> List.iter (recompute t) infos);
+  t
+
+let rec connected = function
+  | [] | [ _ ] -> true
+  | (a : Topology.link) :: (b :: _ as rest) ->
+      a.Topology.dst = b.Topology.src && connected rest
+
+let register t links =
+  if links = [] then invalid_arg "Path_mib.register: empty path";
+  if not (connected links) then invalid_arg "Path_mib.register: disconnected path";
+  let key = List.map (fun (l : Topology.link) -> l.Topology.link_id) links in
+  match Hashtbl.find_opt t.by_links key with
+  | Some info -> info
+  | None ->
+      let info =
+        {
+          path_id = t.next_id;
+          links;
+          hops = Topology.hop_count links;
+          rate_hops = Topology.rate_based_hops links;
+          delay_hops = Topology.delay_based_hops links;
+          d_tot = Topology.d_tot links;
+        }
+      in
+      t.next_id <- t.next_id + 1;
+      t.infos <- info :: t.infos;
+      Hashtbl.replace t.by_links key info;
+      List.iter
+        (fun (l : Topology.link) ->
+          let id = l.Topology.link_id in
+          let existing = Option.value ~default:[] (Hashtbl.find_opt t.through id) in
+          Hashtbl.replace t.through id (info :: existing))
+        links;
+      recompute t info;
+      info
+
+let residual t info =
+  match Hashtbl.find_opt t.cres info.path_id with
+  | Some c -> c
+  | None -> invalid_arg "Path_mib.residual: unregistered path"
+
+let find t ~path_id = List.find_opt (fun i -> i.path_id = path_id) t.infos
+
+let paths t = List.rev t.infos
+
+let pp_info ppf info =
+  Fmt.pf ppf "path#%d [%a] h=%d q=%d d_tot=%g" info.path_id
+    Fmt.(list ~sep:(any " -> ") string)
+    (match info.links with
+    | [] -> []
+    | first :: _ ->
+        first.Topology.src :: List.map (fun (l : Topology.link) -> l.Topology.dst) info.links)
+    info.hops info.rate_hops info.d_tot

@@ -1,0 +1,36 @@
+(** Path QoS state information base (paper Section 2.2).
+
+    For every ingress→egress path in use, the broker caches the path-level
+    quantities that make the admissibility tests fast: hop counts, the sum
+    of error terms and propagation delays [D_tot], and the {e minimal
+    residual bandwidth along the path} [C_res] — updated incrementally
+    whenever a reservation changes on any link of the path, so the
+    rate-based admissibility test of Section 3.1 is O(1). *)
+
+type info = {
+  path_id : int;
+  links : Bbr_vtrs.Topology.link list;
+  hops : int;  (** [h] *)
+  rate_hops : int;  (** [q] *)
+  delay_hops : int;  (** [h - q] *)
+  d_tot : float;  (** [sum (psi_i + pi_i)] *)
+}
+
+type t
+
+val create : Bbr_vtrs.Topology.t -> Node_mib.t -> t
+(** Registers the cache-maintenance hook with the node MIB. *)
+
+val register : t -> Bbr_vtrs.Topology.link list -> info
+(** Register (or look up) a path.  Paths are deduplicated by their link-id
+    sequence.  Raises [Invalid_argument] on an empty or disconnected link
+    list. *)
+
+val residual : t -> info -> float
+(** Cached [C_res^P = min over links of (capacity - reserved)] — O(1). *)
+
+val find : t -> path_id:int -> info option
+
+val paths : t -> info list
+
+val pp_info : info Fmt.t

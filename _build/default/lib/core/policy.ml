@@ -1,0 +1,33 @@
+type action = Allow | Deny
+
+type rule = { name : string; matches : Types.request -> bool; action : action }
+
+type t = { default : action; mutable rules : rule list (* reversed priority *) }
+
+let create ?(default = Allow) () = { default; rules = [] }
+
+let add_rule t ~name ~matches action = t.rules <- { name; matches; action } :: t.rules
+
+let add_ingress_rule t ~name ~ingress action =
+  add_rule t ~name ~matches:(fun req -> req.Types.ingress = ingress) action
+
+let add_peak_limit t ~name ~max_peak =
+  add_rule t ~name
+    ~matches:(fun req -> req.Types.profile.Bbr_vtrs.Traffic.peak > max_peak)
+    Deny
+
+let add_delay_floor t ~name ~min_dreq =
+  add_rule t ~name ~matches:(fun req -> req.Types.dreq < min_dreq) Deny
+
+let check t req =
+  let rec eval = function
+    | [] -> (
+        match t.default with Allow -> Ok () | Deny -> Error "default")
+    | rule :: rest ->
+        if rule.matches req then
+          match rule.action with Allow -> Ok () | Deny -> Error rule.name
+        else eval rest
+  in
+  eval (List.rev t.rules)
+
+let rule_count t = List.length t.rules

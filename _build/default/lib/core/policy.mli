@@ -1,0 +1,32 @@
+(** Policy information base (paper Figure 1).
+
+    Before any resource test, the broker checks an incoming service request
+    against an ordered list of administrative rules.  A rule matches on
+    request attributes and either allows or denies; the first matching rule
+    wins, and an overridable default applies when none match. *)
+
+type action = Allow | Deny
+
+type t
+
+val create : ?default:action -> unit -> t
+(** [default] is [Allow]. *)
+
+val add_rule : t -> name:string -> matches:(Types.request -> bool) -> action -> unit
+(** Appends a rule (lowest priority so far). *)
+
+val add_ingress_rule : t -> name:string -> ingress:string -> action -> unit
+(** Convenience: match on the ingress router. *)
+
+val add_peak_limit : t -> name:string -> max_peak:float -> unit
+(** Convenience: deny any request whose profile peak rate exceeds
+    [max_peak]. *)
+
+val add_delay_floor : t -> name:string -> min_dreq:float -> unit
+(** Convenience: deny requests asking for an end-to-end bound below
+    [min_dreq] (e.g. bounds the provider never sells). *)
+
+val check : t -> Types.request -> (unit, string) result
+(** [Error rule_name] when denied. *)
+
+val rule_count : t -> int

@@ -1,0 +1,50 @@
+module Topology = Bbr_vtrs.Topology
+
+type t = {
+  topology : Topology.t;
+  path_mib : Path_mib.t;
+  cache : (string * string, Path_mib.info option) Hashtbl.t;
+}
+
+let create topology path_mib = { topology; path_mib; cache = Hashtbl.create 16 }
+
+(* Breadth-first search: minimum hop count; neighbours are explored in link
+   insertion order, so the first path found is deterministic. *)
+let bfs topology ~ingress ~egress =
+  if not (Topology.mem_node topology ingress && Topology.mem_node topology egress)
+  then None
+  else if ingress = egress then None
+  else begin
+    let visited = Hashtbl.create 16 in
+    Hashtbl.replace visited ingress ();
+    let frontier = Queue.create () in
+    Queue.add (ingress, []) frontier;
+    let result = ref None in
+    while !result = None && not (Queue.is_empty frontier) do
+      let node, rev_path = Queue.take frontier in
+      List.iter
+        (fun (link : Topology.link) ->
+          if !result = None && not (Hashtbl.mem visited link.Topology.dst) then begin
+            Hashtbl.replace visited link.Topology.dst ();
+            let rev_path' = link :: rev_path in
+            if link.Topology.dst = egress then result := Some (List.rev rev_path')
+            else Queue.add (link.Topology.dst, rev_path') frontier
+          end)
+        (Topology.out_links topology node)
+    done;
+    !result
+  end
+
+let shortest_path topology ~ingress ~egress = bfs topology ~ingress ~egress
+
+let path t ~ingress ~egress =
+  match Hashtbl.find_opt t.cache (ingress, egress) with
+  | Some cached -> cached
+  | None ->
+      let selected =
+        Option.map (Path_mib.register t.path_mib) (bfs t.topology ~ingress ~egress)
+      in
+      Hashtbl.replace t.cache (ingress, egress) selected;
+      selected
+
+let clear_cache t = Hashtbl.reset t.cache

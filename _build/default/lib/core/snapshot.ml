@@ -1,0 +1,120 @@
+module Traffic = Bbr_vtrs.Traffic
+
+let header = "bbr-snapshot v1"
+
+(* Floats are printed in full hex precision so a round trip is
+   bit-exact. *)
+let pf = Printf.sprintf "%h"
+
+let save broker =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf header;
+  Buffer.add_char buf '\n';
+  (* Per-flow reservations, in admission (flow-id) order so that a replay
+     reproduces identical bookkeeping. *)
+  let records =
+    Flow_mib.fold (Broker.flow_mib broker) ~init:[] ~f:(fun acc r -> r :: acc)
+    |> List.sort (fun (a : Flow_mib.record) b -> compare a.Flow_mib.flow b.Flow_mib.flow)
+  in
+  List.iter
+    (fun (r : Flow_mib.record) ->
+      let p = r.Flow_mib.request.Types.profile in
+      let res = r.Flow_mib.reservation in
+      Buffer.add_string buf
+        (Printf.sprintf "flow %d %s %s %s %s %s %s %s %s %s\n" r.Flow_mib.flow
+           (pf p.Traffic.sigma) (pf p.Traffic.rho) (pf p.Traffic.peak)
+           (pf p.Traffic.lmax)
+           (pf r.Flow_mib.request.Types.dreq)
+           r.Flow_mib.request.Types.ingress r.Flow_mib.request.Types.egress
+           (pf res.Types.rate) (pf res.Types.delay)))
+    records;
+  (* Class-based memberships, macroflow by macroflow, member order by flow
+     id. *)
+  let agg = Broker.aggregate broker in
+  List.iter
+    (fun (s : Aggregate.macro_stats) ->
+      match Aggregate.path_endpoints agg ~class_id:s.Aggregate.class_id
+              ~path_id:s.Aggregate.path_id
+      with
+      | None -> ()
+      | Some (ingress, egress) ->
+          List.iter
+            (fun (flow, (p : Traffic.t)) ->
+              Buffer.add_string buf
+                (Printf.sprintf "member %d %d %s %s %s %s %s %s\n" flow
+                   s.Aggregate.class_id (pf p.Traffic.sigma) (pf p.Traffic.rho)
+                   (pf p.Traffic.peak) (pf p.Traffic.lmax) ingress egress))
+            (Aggregate.members agg ~class_id:s.Aggregate.class_id
+               ~path_id:s.Aggregate.path_id))
+    (Aggregate.all_macroflows agg);
+  Buffer.contents buf
+
+let parse_line line =
+  match String.split_on_char ' ' (String.trim line) with
+  | [ "flow"; _id; sigma; rho; peak; lmax; dreq; ingress; egress; rate; delay ] ->
+      Ok
+        (`Flow
+           ( Traffic.make ~sigma:(float_of_string sigma) ~rho:(float_of_string rho)
+               ~peak:(float_of_string peak) ~lmax:(float_of_string lmax),
+             float_of_string dreq,
+             ingress,
+             egress,
+             float_of_string rate,
+             float_of_string delay ))
+  | [ "member"; _id; class_id; sigma; rho; peak; lmax; ingress; egress ] ->
+      Ok
+        (`Member
+           ( int_of_string class_id,
+             Traffic.make ~sigma:(float_of_string sigma) ~rho:(float_of_string rho)
+               ~peak:(float_of_string peak) ~lmax:(float_of_string lmax),
+             ingress,
+             egress ))
+  | [] | [ "" ] -> Ok `Blank
+  | _ -> Error (Printf.sprintf "unparseable snapshot line: %S" line)
+
+let restore broker text =
+  match String.split_on_char '\n' text with
+  | first :: rest when String.trim first = header ->
+      let restored = ref 0 in
+      let rec go = function
+        | [] -> Ok !restored
+        | line :: lines -> (
+            match parse_line line with
+            | Error e -> Error e
+            | Ok `Blank -> go lines
+            | Ok (`Flow (profile, dreq, ingress, egress, rate, delay)) -> (
+                match
+                  Broker.request_fixed broker
+                    { Types.profile; dreq; ingress; egress }
+                    ~rate ~delay ()
+                with
+                | Ok _ ->
+                    incr restored;
+                    go lines
+                | Error reason ->
+                    Error
+                      (Fmt.str "re-booking a per-flow reservation failed: %a"
+                         Types.pp_reject_reason reason))
+            | Ok (`Member (class_id, profile, ingress, egress)) -> (
+                match
+                  Broker.request_class broker ~class_id
+                    { Types.profile; dreq = infinity; ingress; egress }
+                with
+                | Ok _ ->
+                    incr restored;
+                    go lines
+                | Error reason ->
+                    Error
+                      (Fmt.str "re-joining a class member failed: %a"
+                         Types.pp_reject_reason reason)))
+      in
+      go rest
+  | first :: _ -> Error (Printf.sprintf "bad snapshot header: %S" (String.trim first))
+  | [] -> Error "empty snapshot"
+
+let flows_in text =
+  String.split_on_char '\n' text
+  |> List.filter (fun l ->
+         String.starts_with ~prefix:"flow " l
+         || String.starts_with ~prefix:"member " l)
+  |> List.length

@@ -1,0 +1,33 @@
+(** Broker state snapshots for warm-standby failover.
+
+    The paper argues (Section 2, footnote 2) that concentrating the QoS
+    control state at the broker lets reliability be solved in the control
+    plane alone — e.g. by replicating the broker — without touching core
+    routers.  This module provides the mechanism: serialize every active
+    reservation to a plain-text snapshot, and rebuild an equivalent broker
+    from it by replaying the bookings in admission order.
+
+    Restored state is exact for per-flow reservations (the original
+    rate–delay pairs are re-booked verbatim via
+    {!Broker.request_fixed}) and deterministic for class-based
+    reservations (joins replay in flow-id order, reproducing the same
+    aggregate rates).  Transient contingency bandwidth is deliberately
+    {e not} captured: after a fail-over the standby starts from the steady
+    allocation, which a fresh queue-empty signal would have produced
+    anyway.
+
+    The snapshot format is a versioned line-oriented text format, one
+    reservation per line. *)
+
+val save : Broker.t -> string
+(** Serialize all current reservations. *)
+
+val restore : Broker.t -> string -> (int, string) result
+(** Replay a snapshot into a broker, which must be freshly created over
+    the same topology (with the same service classes).  Returns the number
+    of reservations restored, or a description of the first parse or
+    re-booking failure (in which case the broker may hold a partial
+    restore). *)
+
+val flows_in : string -> int
+(** Number of reservation lines in a snapshot (cheap sanity check). *)

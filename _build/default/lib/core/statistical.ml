@@ -1,0 +1,124 @@
+module Traffic = Bbr_vtrs.Traffic
+module Topology = Bbr_vtrs.Topology
+module Fp = Bbr_util.Fp
+
+type link_state = {
+  mutable sum_rho : float;
+  mutable sum_p2 : float;
+  mutable sum_peak : float;
+}
+
+type record = { path : Topology.link list; profile : Traffic.t }
+
+type t = {
+  broker : Broker.t;
+  epsilon : float;
+  ln_term : float;  (* ln(1/epsilon) / 2 *)
+  links : (int, link_state) Hashtbl.t;
+  flows : (Types.flow_id, record) Hashtbl.t;
+  mutable next_id : int;
+}
+
+let create broker ~epsilon =
+  if not (epsilon > 0. && epsilon < 1.) then
+    invalid_arg "Statistical.create: epsilon must be in (0, 1)";
+  {
+    broker;
+    epsilon;
+    ln_term = log (1. /. epsilon) /. 2.;
+    links = Hashtbl.create 16;
+    flows = Hashtbl.create 64;
+    next_id = 0;
+  }
+
+let epsilon t = t.epsilon
+
+let state t ~link_id =
+  match Hashtbl.find_opt t.links link_id with
+  | Some s -> s
+  | None ->
+      let s = { sum_rho = 0.; sum_p2 = 0.; sum_peak = 0. } in
+      Hashtbl.replace t.links link_id s;
+      s
+
+(* Hoeffding can exceed the trivially safe peak sum at tight epsilon;
+   never charge more than peak allocation. *)
+let eff t (s : link_state) =
+  Float.min s.sum_peak (s.sum_rho +. sqrt (t.ln_term *. s.sum_p2))
+
+let effective_bandwidth t ~link_id =
+  match Hashtbl.find_opt t.links link_id with
+  | Some s -> eff t s
+  | None -> 0.
+
+let surcharge t ~link_id =
+  match Hashtbl.find_opt t.links link_id with
+  | Some s -> sqrt (t.ln_term *. s.sum_p2)
+  | None -> 0.
+
+(* The node MIB carries the statistical flows' effective bandwidth, so the
+   deterministic service sees it as ordinary load; on every change we book
+   the difference. *)
+let rebook t ~link_id ~before ~after =
+  let node_mib = Broker.node_mib t.broker in
+  if after > before then Node_mib.reserve node_mib ~link_id (after -. before)
+  else if before > after then Node_mib.release node_mib ~link_id (before -. after)
+
+let request t (req : Types.request) =
+  match Broker.route_of t.broker req with
+  | None -> Error Types.No_route
+  | Some info ->
+      let p = req.Types.profile in
+      let p2 = p.Traffic.peak *. p.Traffic.peak in
+      let node_mib = Broker.node_mib t.broker in
+      let fits (l : Topology.link) =
+        let link_id = l.Topology.link_id in
+        let s = state t ~link_id in
+        let before = eff t s in
+        let after =
+          Float.min
+            (s.sum_peak +. p.Traffic.peak)
+            (s.sum_rho +. p.Traffic.rho +. sqrt (t.ln_term *. (s.sum_p2 +. p2)))
+        in
+        (* The link must absorb the effective-bandwidth increase on top of
+           everything else already reserved (deterministic flows
+           included). *)
+        Fp.leq (after -. before) (Node_mib.residual node_mib ~link_id)
+      in
+      if not (List.for_all fits info.Path_mib.links) then
+        Error Types.Insufficient_bandwidth
+      else begin
+        List.iter
+          (fun (l : Topology.link) ->
+            let link_id = l.Topology.link_id in
+            let s = state t ~link_id in
+            let before = eff t s in
+            s.sum_rho <- s.sum_rho +. p.Traffic.rho;
+            s.sum_p2 <- s.sum_p2 +. p2;
+            s.sum_peak <- s.sum_peak +. p.Traffic.peak;
+            rebook t ~link_id ~before ~after:(eff t s))
+          info.Path_mib.links;
+        let flow = t.next_id in
+        t.next_id <- t.next_id + 1;
+        Hashtbl.replace t.flows flow { path = info.Path_mib.links; profile = p };
+        Ok flow
+      end
+
+let teardown t flow =
+  match Hashtbl.find_opt t.flows flow with
+  | None -> invalid_arg (Printf.sprintf "Statistical.teardown: unknown flow %d" flow)
+  | Some record ->
+      Hashtbl.remove t.flows flow;
+      let p = record.profile in
+      List.iter
+        (fun (l : Topology.link) ->
+          let link_id = l.Topology.link_id in
+          let s = state t ~link_id in
+          let before = eff t s in
+          s.sum_rho <- Float.max 0. (s.sum_rho -. p.Traffic.rho);
+          s.sum_p2 <- Float.max 0. (s.sum_p2 -. (p.Traffic.peak *. p.Traffic.peak));
+          s.sum_peak <- Float.max 0. (s.sum_peak -. p.Traffic.peak);
+          rebook t ~link_id ~before ~after:(eff t s))
+        record.path
+
+let flow_count t = Hashtbl.length t.flows

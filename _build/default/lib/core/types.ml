@@ -1,0 +1,45 @@
+(** Shared control-plane types of the bandwidth broker. *)
+
+type flow_id = int
+
+(** A new-flow service request, as sent by an ingress router to the broker
+    (paper Section 2.2): the flow's dual-token-bucket traffic profile, its
+    end-to-end delay requirement [D^{j,req}], and where it enters and leaves
+    the domain. *)
+type request = {
+  profile : Bbr_vtrs.Traffic.t;
+  dreq : float;  (** end-to-end delay requirement, seconds *)
+  ingress : string;
+  egress : string;
+}
+
+(** The QoS reservation the broker hands back to the ingress router for
+    edge-conditioner (re)configuration: the rate–delay parameter pair
+    [<r^j, d^j>].  [delay] is 0 on paths with no delay-based scheduler. *)
+type reservation = { rate : float; delay : float }
+
+type reject_reason =
+  | Policy_denied of string  (** failed the policy information base *)
+  | No_route  (** no ingress→egress path in the domain *)
+  | Insufficient_bandwidth  (** residual bandwidth along the path too small *)
+  | Delay_unachievable
+      (** no rate–delay pair can meet the requested bound on this path,
+          regardless of load *)
+  | Not_schedulable
+      (** a delay-based scheduler along the path would violate its
+          schedulability condition *)
+
+type decision = Admitted of reservation | Rejected of reject_reason
+
+let pp_reject_reason ppf = function
+  | Policy_denied rule -> Fmt.pf ppf "policy denied (rule %s)" rule
+  | No_route -> Fmt.string ppf "no route"
+  | Insufficient_bandwidth -> Fmt.string ppf "insufficient bandwidth"
+  | Delay_unachievable -> Fmt.string ppf "delay requirement unachievable"
+  | Not_schedulable -> Fmt.string ppf "not schedulable"
+
+let pp_decision ppf = function
+  | Admitted r -> Fmt.pf ppf "admitted (rate=%g delay=%g)" r.rate r.delay
+  | Rejected reason -> Fmt.pf ppf "rejected: %a" pp_reject_reason reason
+
+let is_admitted = function Admitted _ -> true | Rejected _ -> false

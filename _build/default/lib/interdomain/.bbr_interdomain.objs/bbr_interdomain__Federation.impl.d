@@ -1,0 +1,1 @@
+lib/interdomain/federation.ml: Bbr_broker Bbr_util Bbr_vtrs Float Hashtbl List Printf Queue

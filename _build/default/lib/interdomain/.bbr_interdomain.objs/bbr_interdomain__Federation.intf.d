@@ -1,0 +1,1 @@
+lib/interdomain/federation.mli: Bbr_broker Bbr_vtrs

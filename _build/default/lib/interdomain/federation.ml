@@ -1,0 +1,238 @@
+module Traffic = Bbr_vtrs.Traffic
+module Topology = Bbr_vtrs.Topology
+module Types = Bbr_broker.Types
+module Broker = Bbr_broker.Broker
+module Path_mib = Bbr_broker.Path_mib
+module Fp = Bbr_util.Fp
+
+type peering = {
+  from_domain : string;
+  from_egress : string;
+  to_domain : string;
+  to_ingress : string;
+  committed : float;
+  delay : float;
+  mutable used : float;
+}
+
+type dom = { name : string; broker : Broker.t }
+
+type booking = {
+  rate : float;
+  legs : (string * Types.flow_id) list;  (* domain name, per-domain flow *)
+  peers : peering list;
+}
+
+type endpoints = {
+  src_domain : string;
+  src_ingress : string;
+  dst_domain : string;
+  dst_egress : string;
+}
+
+type reservation = { flow : int; rate : float; domains : string list; bound : float }
+
+type t = {
+  domains : (string, dom) Hashtbl.t;
+  mutable peerings : peering list;  (* reversed registration order *)
+  flows : (int, booking) Hashtbl.t;
+  mutable next_id : int;
+}
+
+let create () =
+  { domains = Hashtbl.create 8; peerings = []; flows = Hashtbl.create 32; next_id = 0 }
+
+let add_domain t ~name topology =
+  if Hashtbl.mem t.domains name then
+    invalid_arg (Printf.sprintf "Federation.add_domain: duplicate domain %s" name);
+  let broker = Broker.create topology in
+  Hashtbl.replace t.domains name { name; broker };
+  broker
+
+let broker t ~domain =
+  match Hashtbl.find_opt t.domains domain with
+  | Some d -> d.broker
+  | None -> raise Not_found
+
+let add_peering t ~from_domain ~from_egress ~to_domain ~to_ingress ~committed_rate
+    ?(delay = 0.01) () =
+  if not (Hashtbl.mem t.domains from_domain && Hashtbl.mem t.domains to_domain) then
+    invalid_arg "Federation.add_peering: unknown domain";
+  if
+    List.exists
+      (fun p -> p.from_domain = from_domain && p.to_domain = to_domain)
+      t.peerings
+  then invalid_arg "Federation.add_peering: duplicate peering";
+  if committed_rate <= 0. then
+    invalid_arg "Federation.add_peering: committed rate must be positive";
+  t.peerings <-
+    {
+      from_domain;
+      from_egress;
+      to_domain;
+      to_ingress;
+      committed = committed_rate;
+      delay;
+      used = 0.;
+    }
+    :: t.peerings
+
+(* Shortest domain-level route as a list of peerings, BFS over the domain
+   graph in peering registration order for determinism. *)
+let domain_route t ~src ~dst =
+  if src = dst then Some []
+  else begin
+    let visited = Hashtbl.create 8 in
+    Hashtbl.replace visited src ();
+    let frontier = Queue.create () in
+    Queue.add (src, []) frontier;
+    let result = ref None in
+    let ordered = List.rev t.peerings in
+    while !result = None && not (Queue.is_empty frontier) do
+      let here, rev_path = Queue.take frontier in
+      List.iter
+        (fun p ->
+          if
+            !result = None && p.from_domain = here
+            && not (Hashtbl.mem visited p.to_domain)
+          then begin
+            Hashtbl.replace visited p.to_domain ();
+            let rev_path' = p :: rev_path in
+            if p.to_domain = dst then result := Some (List.rev rev_path')
+            else Queue.add (p.to_domain, rev_path') frontier
+          end)
+        ordered
+    done;
+    !result
+  end
+
+(* The intra-domain segments a flow crosses, as (domain, ingress, egress). *)
+let segments ep peers =
+  match peers with
+  | [] -> [ (ep.src_domain, ep.src_ingress, ep.dst_egress) ]
+  | first :: _ ->
+      let rec transits = function
+        | a :: (b :: _ as rest) ->
+            (a.to_domain, a.to_ingress, b.from_egress) :: transits rest
+        | [ last ] -> [ (ep.dst_domain, last.to_ingress, ep.dst_egress) ]
+        | [] -> []
+      in
+      (ep.src_domain, ep.src_ingress, first.from_egress) :: transits peers
+
+let e2e_bound ~profile ~rate ~segment_infos ~peer_delay =
+  let l = profile.Traffic.lmax in
+  let ton = Traffic.t_on profile in
+  List.fold_left
+    (fun acc (info : Path_mib.info) ->
+      acc
+      +. (float_of_int (info.Path_mib.hops + 1) *. l /. rate)
+      +. info.Path_mib.d_tot)
+    ((ton *. (profile.Traffic.peak -. rate) /. rate) +. peer_delay)
+    segment_infos
+
+let request t ep ~profile ~dreq =
+  match domain_route t ~src:ep.src_domain ~dst:ep.dst_domain with
+  | None -> Error Types.No_route
+  | Some peers -> (
+      let segs = segments ep peers in
+      (* Resolve each segment's path through its domain's broker. *)
+      let rec resolve acc = function
+        | [] -> Ok (List.rev acc)
+        | (domain, ingress, egress) :: rest -> (
+            let dom = Hashtbl.find t.domains domain in
+            let probe = { Types.profile; dreq; ingress; egress } in
+            match Broker.route_of dom.broker probe with
+            | None -> Error Types.No_route
+            | Some info ->
+                if info.Path_mib.delay_hops > 0 then Error Types.Not_schedulable
+                else resolve ((dom, probe, info) :: acc) rest)
+      in
+      match resolve [] segs with
+      | Error e -> Error e
+      | Ok legs ->
+          let infos = List.map (fun (_, _, info) -> info) legs in
+          let peer_delay = List.fold_left (fun acc p -> acc +. p.delay) 0. peers in
+          (* Every domain conditioner re-shapes the flow, acting as one
+             extra rate-based hop: the Section-3.1 closed form extends
+             across the federation. *)
+          let total_hops_terms =
+            List.fold_left
+              (fun acc (info : Path_mib.info) -> acc + info.Path_mib.hops + 1)
+              0 infos
+          in
+          let d_tot_sum =
+            List.fold_left
+              (fun acc (info : Path_mib.info) -> acc +. info.Path_mib.d_tot)
+              peer_delay infos
+          in
+          let ton = Traffic.t_on profile in
+          let denom = dreq -. d_tot_sum +. ton in
+          if denom <= 0. then Error Types.Delay_unachievable
+          else begin
+            let rmin =
+              ((ton *. profile.Traffic.peak)
+              +. (float_of_int total_hops_terms *. profile.Traffic.lmax))
+              /. denom
+            in
+            if Fp.gt rmin profile.Traffic.peak then Error Types.Delay_unachievable
+            else begin
+              let rate = Float.max profile.Traffic.rho rmin in
+              (* SLA admission on every peering crossed. *)
+              if
+                not
+                  (List.for_all (fun p -> Fp.leq (p.used +. rate) p.committed) peers)
+              then Error Types.Insufficient_bandwidth
+              else begin
+                (* Book domain by domain; roll back on the first failure. *)
+                let rec book acc = function
+                  | [] -> Ok (List.rev acc)
+                  | (dom, probe, _) :: rest -> (
+                      match Broker.request_fixed dom.broker probe ~rate () with
+                      | Ok flow -> book ((dom.name, flow) :: acc) rest
+                      | Error e ->
+                          List.iter
+                            (fun (name, flow) ->
+                              Broker.teardown (Hashtbl.find t.domains name).broker flow)
+                            acc;
+                          Error e)
+                in
+                match book [] legs with
+                | Error e -> Error e
+                | Ok booked ->
+                    List.iter (fun p -> p.used <- p.used +. rate) peers;
+                    let flow = t.next_id in
+                    t.next_id <- t.next_id + 1;
+                    Hashtbl.replace t.flows flow { rate; legs = booked; peers };
+                    Ok
+                      {
+                        flow;
+                        rate;
+                        domains = List.map (fun (d, _, _) -> d) segs;
+                        bound = e2e_bound ~profile ~rate ~segment_infos:infos ~peer_delay;
+                      }
+              end
+            end
+          end)
+
+let teardown t flow =
+  match Hashtbl.find_opt t.flows flow with
+  | None -> invalid_arg (Printf.sprintf "Federation.teardown: unknown flow %d" flow)
+  | Some booking ->
+      Hashtbl.remove t.flows flow;
+      List.iter
+        (fun (name, leg) -> Broker.teardown (Hashtbl.find t.domains name).broker leg)
+        booking.legs;
+      List.iter
+        (fun p -> p.used <- Float.max 0. (p.used -. booking.rate))
+        booking.peers
+
+let sla_usage t ~from_domain ~to_domain =
+  match
+    List.find_opt
+      (fun p -> p.from_domain = from_domain && p.to_domain = to_domain)
+      t.peerings
+  with
+  | Some p -> (p.used, p.committed)
+  | None -> raise Not_found
+
+let flow_count t = Hashtbl.length t.flows

@@ -1,0 +1,84 @@
+(** Inter-domain guaranteed services across a federation of
+    broker-managed domains.
+
+    The paper confines itself to one domain and names inter-domain QoS
+    reservation and service-level agreements as the open problem
+    (Sections 1 and 6).  This module implements the natural composition:
+
+    - every domain runs its own bandwidth broker;
+    - adjacent domains are connected by {e peering links}, each governed by
+      an {e SLA} that commits an aggregate bandwidth between the two
+      domains (and contributes a fixed delay);
+    - an end-to-end request is routed over the {e domain graph}, the
+      end-to-end delay budget is solved once by the coordinator — each
+      transit domain's conditioner acts as one extra rate-based hop, so
+      the closed form of Section 3.1 extends across domains — and the
+      resulting rate is then booked in every domain
+      ({!Bbr_broker.Broker.request_fixed}) and against every SLA.
+
+    Either everything commits or nothing does: a failure at the k-th
+    domain rolls back the k-1 earlier bookings.
+
+    Restricted to domains whose transit paths are rate-based (the same
+    restriction as {!Bbr_broker.Edge_broker}, and for the same reason:
+    delay-based budget splitting needs per-domain schedulability
+    negotiation, a further research problem). *)
+
+type t
+
+val create : unit -> t
+
+val add_domain : t -> name:string -> Bbr_vtrs.Topology.t -> Bbr_broker.Broker.t
+(** Register a domain and its broker (created internally so the federation
+    can bookkeep).  Raises [Invalid_argument] on duplicate names. *)
+
+val broker : t -> domain:string -> Bbr_broker.Broker.t
+(** Raises [Not_found]. *)
+
+val add_peering :
+  t ->
+  from_domain:string ->
+  from_egress:string ->
+  to_domain:string ->
+  to_ingress:string ->
+  committed_rate:float ->
+  ?delay:float ->
+  unit ->
+  unit
+(** Declare a (directed) peering with its SLA: at most [committed_rate]
+    bits/s of guaranteed traffic may cross it; [delay] (default 0.01 s) is
+    the peering link's contribution to end-to-end bounds.  Raises
+    [Invalid_argument] on unknown domains or a duplicate peering. *)
+
+(** Where a federation-wide flow enters and leaves. *)
+type endpoints = {
+  src_domain : string;
+  src_ingress : string;  (** ingress router inside the source domain *)
+  dst_domain : string;
+  dst_egress : string;  (** egress router inside the destination domain *)
+}
+
+type reservation = {
+  flow : int;  (** federation-wide flow id *)
+  rate : float;
+  domains : string list;  (** the domain-level path *)
+  bound : float;  (** end-to-end delay bound achieved *)
+}
+
+val request :
+  t ->
+  endpoints ->
+  profile:Bbr_vtrs.Traffic.t ->
+  dreq:float ->
+  (reservation, Bbr_broker.Types.reject_reason) result
+(** Full inter-domain admission: domain-level routing, end-to-end minimal
+    rate, SLA checks, per-domain booking with rollback on failure. *)
+
+val teardown : t -> int -> unit
+(** Release a federation reservation everywhere.  Raises
+    [Invalid_argument] for an unknown flow. *)
+
+val sla_usage : t -> from_domain:string -> to_domain:string -> float * float
+(** [(used, committed)] on the peering.  Raises [Not_found]. *)
+
+val flow_count : t -> int

@@ -1,0 +1,1 @@
+lib/intserv/gs_admission.ml: Array Bbr_broker Bbr_util Bbr_vtrs Float Hashtbl List Option Printf

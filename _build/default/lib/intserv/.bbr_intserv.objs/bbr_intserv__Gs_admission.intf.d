@@ -1,0 +1,1 @@
+lib/intserv/gs_admission.mli: Bbr_broker Bbr_vtrs

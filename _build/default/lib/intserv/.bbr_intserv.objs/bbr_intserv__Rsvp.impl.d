@@ -1,0 +1,1 @@
+lib/intserv/rsvp.ml: Array Bbr_netsim Bbr_util Bbr_vtrs Float Hashtbl List

@@ -1,0 +1,1 @@
+lib/intserv/rsvp.mli: Bbr_netsim Bbr_vtrs

@@ -1,0 +1,133 @@
+module Topology = Bbr_vtrs.Topology
+module Traffic = Bbr_vtrs.Traffic
+module Delay = Bbr_vtrs.Delay
+module Vtedf = Bbr_vtrs.Vtedf
+module Types = Bbr_broker.Types
+module Fp = Bbr_util.Fp
+
+(* Local QoS state of one router outgoing link, as IntServ keeps it. *)
+type router_state = {
+  link : Topology.link;
+  mutable reserved : float;
+  edf : Vtedf.t option;
+  flows : (Types.flow_id, float) Hashtbl.t;  (* flow -> reserved rate *)
+}
+
+type record = {
+  path : Topology.link list;
+  rate : float;
+  deadline : float;
+  lmax : float;
+}
+
+type t = {
+  topology : Topology.t;
+  routers : router_state array;  (* by link_id *)
+  table : (Types.flow_id, record) Hashtbl.t;
+  mutable next_id : int;
+  mutable hop_tests : int;
+}
+
+let create topology =
+  let make (link : Topology.link) =
+    let edf =
+      match link.Topology.sched with
+      | Topology.Delay_based -> Some (Vtedf.create ~capacity:link.Topology.capacity)
+      | Topology.Rate_based -> None
+    in
+    { link; reserved = 0.; edf; flows = Hashtbl.create 16 }
+  in
+  {
+    topology;
+    routers = Array.of_list (List.map make (Topology.links topology));
+    table = Hashtbl.create 64;
+    next_id = 0;
+    hop_tests = 0;
+  }
+
+(* The local admission test a single router runs (one RSVP RESV hop). *)
+let local_test t rs ~rate ~deadline ~lmax =
+  t.hop_tests <- t.hop_tests + 1;
+  Fp.leq (rs.reserved +. rate) rs.link.Topology.capacity
+  &&
+  match rs.edf with
+  | None -> true
+  | Some edf -> Vtedf.can_admit edf ~rate ~delay:deadline ~lmax
+
+let reserve_hop rs ~flow ~rate ~deadline ~lmax =
+  rs.reserved <- rs.reserved +. rate;
+  Hashtbl.replace rs.flows flow rate;
+  match rs.edf with
+  | None -> ()
+  | Some edf -> Vtedf.add edf ~rate ~delay:deadline ~lmax
+
+let release_hop rs ~flow ~rate ~deadline ~lmax =
+  rs.reserved <- Float.max 0. (rs.reserved -. rate);
+  Hashtbl.remove rs.flows flow;
+  match rs.edf with
+  | None -> ()
+  | Some edf -> Vtedf.remove edf ~rate ~delay:deadline ~lmax
+
+let request t (req : Types.request) =
+  match
+    Bbr_broker.Routing.shortest_path t.topology ~ingress:req.Types.ingress
+      ~egress:req.Types.egress
+  with
+  | None -> Error Types.No_route
+  | Some path -> (
+      let p = req.Types.profile in
+      let hops = Topology.hop_count path in
+      let d_tot = Topology.d_tot path in
+      (* WFQ reference system: every hop contributes lmax/rate, so the
+         minimal rate is the same closed form as a rate-based-only path. *)
+      match Delay.min_rate_rate_based p ~hops ~d_tot ~dreq:req.Types.dreq with
+      | None -> Error Types.Delay_unachievable
+      | Some rmin ->
+          if Fp.gt rmin p.Traffic.peak then Error Types.Delay_unachievable
+          else begin
+            let rate = Float.max p.Traffic.rho rmin in
+            let deadline = p.Traffic.lmax /. rate in
+            let lmax = p.Traffic.lmax in
+            (* Hop-by-hop walk: each router runs its local test in turn
+               (the RESV message progressing upstream). *)
+            let ok =
+              List.for_all
+                (fun (l : Topology.link) ->
+                  local_test t t.routers.(l.Topology.link_id) ~rate ~deadline ~lmax)
+                path
+            in
+            if not ok then Error Types.Insufficient_bandwidth
+            else begin
+              let flow = t.next_id in
+              t.next_id <- t.next_id + 1;
+              List.iter
+                (fun (l : Topology.link) ->
+                  reserve_hop t.routers.(l.Topology.link_id) ~flow ~rate ~deadline
+                    ~lmax)
+                path;
+              Hashtbl.replace t.table flow { path; rate; deadline; lmax };
+              Ok (flow, { Types.rate; delay = deadline })
+            end
+          end)
+
+let teardown t flow =
+  match Hashtbl.find_opt t.table flow with
+  | None -> invalid_arg (Printf.sprintf "Gs_admission.teardown: unknown flow %d" flow)
+  | Some record ->
+      Hashtbl.remove t.table flow;
+      List.iter
+        (fun (l : Topology.link) ->
+          release_hop t.routers.(l.Topology.link_id) ~flow ~rate:record.rate
+            ~deadline:record.deadline ~lmax:record.lmax)
+        record.path
+
+let flow_count t = Hashtbl.length t.table
+
+let reserved t ~link_id = t.routers.(link_id).reserved
+
+let router_flow_state t =
+  Array.fold_left (fun acc rs -> acc + Hashtbl.length rs.flows) 0 t.routers
+
+let hop_tests t = t.hop_tests
+
+let path_of t flow = Option.map (fun r -> r.path) (Hashtbl.find_opt t.table flow)

@@ -1,0 +1,45 @@
+(** IntServ Guaranteed Service admission control — the paper's baseline.
+
+    Follows the conventional model the paper compares against (Section 5):
+    the reserved rate of a flow is determined from the {e WFQ reference
+    system} of the IETF Guaranteed Service (RFC 2212) — every hop is
+    treated as a rate server, so the rate is the Section-3.1 closed form
+    with [hops = h] — and admission is then performed {e hop by hop}: each
+    router runs a local test against its own QoS state database.  At
+    rate-based (VC) hops the test is a capacity check; at delay-based
+    (RC-EDF) hops the WFQ-derived rate fixes the local deadline to
+    [lmax / rate], and the EDF schedulability condition is tested with it.
+
+    Unlike the broker, this module keeps per-flow state conceptually {e at
+    every router} ({!router_flow_state}), and an admission decision costs
+    one local test per hop ({!hop_tests}). *)
+
+type t
+
+val create : Bbr_vtrs.Topology.t -> t
+
+val request :
+  t ->
+  Bbr_broker.Types.request ->
+  (Bbr_broker.Types.flow_id * Bbr_broker.Types.reservation, Bbr_broker.Types.reject_reason) result
+(** Run the GS admission procedure.  The returned reservation's [delay] is
+    the per-hop RC-EDF deadline [lmax / rate]. *)
+
+val teardown : t -> Bbr_broker.Types.flow_id -> unit
+(** Release a reservation hop by hop.  Raises [Invalid_argument] for an
+    unknown flow. *)
+
+val flow_count : t -> int
+
+val reserved : t -> link_id:int -> float
+
+val router_flow_state : t -> int
+(** Total per-flow entries across all routers — grows linearly with flows
+    times path length (contrast with the broker's core-stateless data
+    plane). *)
+
+val hop_tests : t -> int
+(** Cumulative number of local (per-hop) admission tests executed —
+    the hop-by-hop cost the paper's path-oriented approach avoids. *)
+
+val path_of : t -> Bbr_broker.Types.flow_id -> Bbr_vtrs.Topology.link list option

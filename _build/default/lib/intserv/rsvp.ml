@@ -1,0 +1,161 @@
+module Engine = Bbr_netsim.Engine
+module Topology = Bbr_vtrs.Topology
+module Fp = Bbr_util.Fp
+
+type soft_state = { rate : float; mutable expires : float }
+
+type node_state = {
+  link : Topology.link;
+  sessions : (int, soft_state) Hashtbl.t;  (* flow -> state *)
+  mutable reserved : float;
+}
+
+type session = {
+  path : Topology.link list;
+  rate : float;
+  mutable refreshing : bool;
+}
+
+type t = {
+  engine : Engine.t;
+  hop_latency : float;
+  refresh_interval : float;
+  keep : float;  (* state lifetime *)
+  nodes : node_state array;
+  sessions : (int, session) Hashtbl.t;
+  mutable messages : int;
+}
+
+let create engine topology ?(hop_latency = 0.005) ?(refresh_interval = 30.)
+    ?(keep_multiplier = 3) () =
+  let make link = { link; sessions = Hashtbl.create 16; reserved = 0. } in
+  let t =
+    {
+      engine;
+      hop_latency;
+      refresh_interval;
+      keep = float_of_int keep_multiplier *. refresh_interval;
+      nodes = Array.of_list (List.map make (Topology.links topology));
+      sessions = Hashtbl.create 64;
+      messages = 0;
+    }
+  in
+  t
+
+(* Periodic sweeper on each node would be heavy; instead expiry is lazy:
+   state is checked against its deadline whenever touched, and a timer per
+   installed state retires it if no refresh extended the deadline. *)
+let install t (node : node_state) ~flow ~rate =
+  let now = Engine.now t.engine in
+  match Hashtbl.find_opt node.sessions flow with
+  | Some ss -> ss.expires <- now +. t.keep
+  | None ->
+      let ss = { rate; expires = now +. t.keep } in
+      Hashtbl.replace node.sessions flow ss;
+      node.reserved <- node.reserved +. rate;
+      let rec watchdog () =
+        match Hashtbl.find_opt node.sessions flow with
+        | None -> ()
+        | Some ss ->
+            let now = Engine.now t.engine in
+            if now >= ss.expires -. 1e-9 then begin
+              Hashtbl.remove node.sessions flow;
+              node.reserved <- Float.max 0. (node.reserved -. ss.rate)
+            end
+            else Engine.schedule t.engine ~at:ss.expires watchdog
+      in
+      Engine.schedule t.engine ~at:ss.expires watchdog
+
+let remove_state (node : node_state) ~flow =
+  match Hashtbl.find_opt node.sessions flow with
+  | None -> ()
+  | Some ss ->
+      Hashtbl.remove node.sessions flow;
+      node.reserved <- Float.max 0. (node.reserved -. ss.rate)
+
+(* Walk a message along [links], invoking [at_hop] on each node in order
+   with [hop_latency] between hops, then [done_] at the far end. *)
+let walk t links ~at_hop ~done_ =
+  let rec go = function
+    | [] -> done_ ()
+    | node :: rest ->
+        t.messages <- t.messages + 1;
+        at_hop node;
+        Engine.schedule_after t.engine ~delay:t.hop_latency (fun () -> go rest)
+  in
+  go links
+
+let node_of t (l : Topology.link) = t.nodes.(l.Topology.link_id)
+
+let start_refresh t flow session =
+  session.refreshing <- true;
+  let rec tick () =
+    if session.refreshing && Hashtbl.mem t.sessions flow then begin
+      (* A refresh is a PATH + RESV pair re-walking the path. *)
+      walk t (List.map (node_of t) session.path)
+        ~at_hop:(fun node -> install t node ~flow ~rate:session.rate)
+        ~done_:(fun () -> ());
+      walk t (List.rev_map (node_of t) session.path)
+        ~at_hop:(fun node -> install t node ~flow ~rate:session.rate)
+        ~done_:(fun () -> ());
+      Engine.schedule_after t.engine ~delay:t.refresh_interval tick
+    end
+  in
+  Engine.schedule_after t.engine ~delay:t.refresh_interval tick
+
+let open_session t ~flow ~path ~rate ~on_result =
+  if Hashtbl.mem t.sessions flow then invalid_arg "Rsvp.open_session: duplicate flow";
+  let nodes_down = List.map (node_of t) path in
+  (* PATH downstream installs path state (modeled as a message count);
+     RESV upstream performs the local admission tests and reserves. *)
+  walk t nodes_down
+    ~at_hop:(fun _ -> ())
+    ~done_:(fun () ->
+      let accepted = ref true in
+      walk t (List.rev nodes_down)
+        ~at_hop:(fun node ->
+          if !accepted then
+            if Fp.leq (node.reserved +. rate) node.link.Topology.capacity then
+              install t node ~flow ~rate
+            else accepted := false)
+        ~done_:(fun () ->
+          if !accepted then begin
+            let session = { path; rate; refreshing = false } in
+            Hashtbl.replace t.sessions flow session;
+            start_refresh t flow session;
+            on_result true
+          end
+          else begin
+            (* ResvErr: tear the partial reservation downstream. *)
+            walk t nodes_down
+              ~at_hop:(fun node -> remove_state node ~flow)
+              ~done_:(fun () -> on_result false)
+          end))
+
+let close_session t ~flow =
+  match Hashtbl.find_opt t.sessions flow with
+  | None -> invalid_arg "Rsvp.close_session: unknown flow"
+  | Some session ->
+      session.refreshing <- false;
+      Hashtbl.remove t.sessions flow;
+      walk t (List.map (node_of t) session.path)
+        ~at_hop:(fun node -> remove_state node ~flow)
+        ~done_:(fun () -> ())
+
+let abandon t ~flow =
+  match Hashtbl.find_opt t.sessions flow with
+  | None -> invalid_arg "Rsvp.abandon: unknown flow"
+  | Some session ->
+      session.refreshing <- false;
+      Hashtbl.remove t.sessions flow
+
+let messages t = t.messages
+
+let state_count t =
+  Array.fold_left
+    (fun acc (node : node_state) -> acc + Hashtbl.length node.sessions)
+    0 t.nodes
+
+let reserved t ~link_id = t.nodes.(link_id).reserved
+
+let session_active t ~flow = Hashtbl.mem t.sessions flow

@@ -1,0 +1,57 @@
+(** Soft-state hop-by-hop reservation signaling, RSVP-style.
+
+    The paper motivates the broker by the cost of the conventional set-up
+    protocol: PATH/RESV messages walk the path hop by hop, every router
+    keeps per-session soft state, and that state must be refreshed
+    periodically or it expires.  This module simulates that machinery over
+    the event engine so the control-plane message and state overhead can be
+    measured and compared against the broker (which exchanges exactly two
+    messages per flow, both at the edge).
+
+    Message propagation takes [hop_latency] per hop.  Established sessions
+    are refreshed every [refresh_interval]; a router discards state (and
+    releases its bandwidth) when it has seen no refresh for
+    [keep_multiplier * refresh_interval]. *)
+
+type t
+
+val create :
+  Bbr_netsim.Engine.t ->
+  Bbr_vtrs.Topology.t ->
+  ?hop_latency:float ->
+  ?refresh_interval:float ->
+  ?keep_multiplier:int ->
+  unit ->
+  t
+(** Defaults: [hop_latency = 0.005] s, [refresh_interval = 30] s (the RSVP
+    default), [keep_multiplier = 3]. *)
+
+val open_session :
+  t ->
+  flow:int ->
+  path:Bbr_vtrs.Topology.link list ->
+  rate:float ->
+  on_result:(bool -> unit) ->
+  unit
+(** Launch the PATH walk downstream, then the RESV walk upstream with a
+    local capacity test at every hop; [on_result] fires at the sender once
+    the RESV (or the tear of a failed attempt) completes.  Refreshing
+    starts automatically for accepted sessions. *)
+
+val close_session : t -> flow:int -> unit
+(** Graceful PATHTEAR: walks the path releasing state. *)
+
+val abandon : t -> flow:int -> unit
+(** Stop refreshing without tearing down — the session's router state must
+    then expire by itself (soft-state cleanup). *)
+
+val messages : t -> int
+(** Total signaling messages processed so far (PATH, RESV, tears and all
+    refreshes). *)
+
+val state_count : t -> int
+(** Per-session soft-state entries currently held across all routers. *)
+
+val reserved : t -> link_id:int -> float
+
+val session_active : t -> flow:int -> bool

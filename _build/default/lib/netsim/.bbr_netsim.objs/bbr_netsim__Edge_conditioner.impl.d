@@ -1,0 +1,1 @@
+lib/netsim/edge_conditioner.ml: Bbr_vtrs Engine Float Packet Queue

@@ -1,0 +1,1 @@
+lib/netsim/edge_conditioner.mli: Engine Packet

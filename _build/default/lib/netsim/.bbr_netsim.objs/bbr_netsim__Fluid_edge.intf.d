@@ -1,0 +1,1 @@
+lib/netsim/fluid_edge.mli: Engine

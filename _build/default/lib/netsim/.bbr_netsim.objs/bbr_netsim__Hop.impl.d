@@ -1,0 +1,1 @@
+lib/netsim/hop.ml: Bbr_vtrs Engine Float Fmt Hashtbl Option Packet Printf Server

@@ -1,0 +1,1 @@
+lib/netsim/hop.mli: Bbr_vtrs Engine Fmt Packet

@@ -1,0 +1,1 @@
+lib/netsim/net.ml: Array Bbr_vtrs Edge_conditioner Engine Hop List Option Packet Sink

@@ -1,0 +1,1 @@
+lib/netsim/net.mli: Bbr_vtrs Edge_conditioner Engine Hop Packet Sink

@@ -1,0 +1,1 @@
+lib/netsim/server.ml: Bbr_util Engine Float Packet

@@ -1,0 +1,1 @@
+lib/netsim/server.mli: Engine Packet

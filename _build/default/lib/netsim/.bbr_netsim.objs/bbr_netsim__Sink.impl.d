@@ -1,0 +1,1 @@
+lib/netsim/sink.ml: Engine Float Hashtbl List Packet

@@ -1,0 +1,1 @@
+lib/netsim/sink.mli: Engine Packet

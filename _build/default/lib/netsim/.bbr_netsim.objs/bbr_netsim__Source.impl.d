@@ -1,0 +1,1 @@
+lib/netsim/source.ml: Bbr_util Bbr_vtrs Engine Float Packet

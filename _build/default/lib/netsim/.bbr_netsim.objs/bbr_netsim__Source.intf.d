@@ -1,0 +1,1 @@
+lib/netsim/source.mli: Bbr_util Bbr_vtrs Engine Packet

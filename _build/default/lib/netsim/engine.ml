@@ -1,0 +1,54 @@
+module Heap = Bbr_util.Heap
+
+type event = { time : float; action : unit -> unit }
+
+type t = {
+  mutable clock : float;
+  queue : event Heap.t;
+  mutable count : int;
+}
+
+let create () =
+  {
+    clock = 0.;
+    queue = Heap.create ~leq:(fun a b -> a.time <= b.time);
+    count = 0;
+  }
+
+let now t = t.clock
+
+let schedule t ~at action =
+  if at < t.clock then
+    invalid_arg
+      (Printf.sprintf "Engine.schedule: %g is in the past (now %g)" at t.clock);
+  Heap.push t.queue { time = at; action }
+
+let schedule_after t ~delay action =
+  if delay < 0. then invalid_arg "Engine.schedule_after: negative delay";
+  schedule t ~at:(t.clock +. delay) action
+
+let step t =
+  match Heap.pop t.queue with
+  | None -> false
+  | Some ev ->
+      t.clock <- ev.time;
+      t.count <- t.count + 1;
+      ev.action ();
+      true
+
+let run ?until t =
+  match until with
+  | None -> while step t do () done
+  | Some stop ->
+      let continue = ref true in
+      while !continue do
+        match Heap.peek t.queue with
+        | Some ev when ev.time <= stop -> ignore (step t)
+        | _ ->
+            t.clock <- Float.max t.clock stop;
+            continue := false
+      done
+
+let pending t = Heap.size t.queue
+
+let executed t = t.count

@@ -1,0 +1,34 @@
+(** Discrete-event simulation core.
+
+    A single mutable clock plus a pending-event priority queue.  Events
+    scheduled for the same instant fire in scheduling order, which keeps
+    runs deterministic. *)
+
+type t
+
+val create : unit -> t
+(** A fresh engine with the clock at 0. *)
+
+val now : t -> float
+(** Current simulation time, seconds. *)
+
+val schedule : t -> at:float -> (unit -> unit) -> unit
+(** Run the thunk when the clock reaches [at].  Raises [Invalid_argument]
+    when [at] lies in the past. *)
+
+val schedule_after : t -> delay:float -> (unit -> unit) -> unit
+(** [schedule t ~at:(now t +. delay)].  [delay] must be non-negative. *)
+
+val step : t -> bool
+(** Execute the next pending event; [false] when none remain. *)
+
+val run : ?until:float -> t -> unit
+(** Execute events until the queue drains, or — when [until] is given —
+    until the next event lies strictly beyond [until], in which case the
+    clock is advanced to exactly [until]. *)
+
+val pending : t -> int
+(** Number of queued events. *)
+
+val executed : t -> int
+(** Total events executed since creation (progress metric in tests). *)

@@ -1,0 +1,92 @@
+type t = {
+  engine : Engine.t;
+  on_empty : unit -> unit;
+  inputs : (int, float) Hashtbl.t;
+  mutable in_rate : float;
+  mutable service : float;
+  mutable backlog : float;
+  mutable last : float;  (* time of last integration *)
+  mutable epoch : int;  (* invalidates scheduled empty events *)
+}
+
+let create engine ~service ?(on_empty = fun () -> ()) () =
+  if service < 0. then invalid_arg "Fluid_edge.create: negative service rate";
+  {
+    engine;
+    on_empty;
+    inputs = Hashtbl.create 8;
+    in_rate = 0.;
+    service;
+    backlog = 0.;
+    last = Engine.now engine;
+    epoch = 0;
+  }
+
+(* Integrate the backlog up to now under the rates in force since [t.last]. *)
+let touch t =
+  let now = Engine.now t.engine in
+  let dt = now -. t.last in
+  if dt > 0. then begin
+    let net = t.in_rate -. t.service in
+    t.backlog <- Float.max 0. (t.backlog +. (net *. dt));
+    t.last <- now
+  end
+  else t.last <- now
+
+(* After any change, predict the emptying instant and schedule the
+   queue-empty notification for it.  A fired event whose backlog is not
+   yet (numerically) zero re-arms itself: the signal must never be lost,
+   the contingency-feedback method depends on it. *)
+let tolerance = 1e-6 (* bits *)
+
+let rec rearm t =
+  t.epoch <- t.epoch + 1;
+  let net = t.in_rate -. t.service in
+  if t.backlog > tolerance && net < 0. then begin
+    let epoch = t.epoch in
+    let eta = t.backlog /. -.net in
+    Engine.schedule_after t.engine ~delay:eta (fun () ->
+        if t.epoch = epoch then begin
+          touch t;
+          if t.backlog <= tolerance then begin
+            t.backlog <- 0.;
+            t.on_empty ()
+          end
+          else rearm t
+        end)
+  end
+  else if t.backlog <= tolerance then t.backlog <- 0.
+
+let set_service t rate =
+  if rate < 0. then invalid_arg "Fluid_edge.set_service: negative service rate";
+  touch t;
+  t.service <- rate;
+  rearm t
+
+let service t = t.service
+
+let recompute_in_rate t =
+  t.in_rate <- Hashtbl.fold (fun _ r acc -> acc +. r) t.inputs 0.
+
+let set_input t ~id ~rate =
+  if rate < 0. then invalid_arg "Fluid_edge.set_input: negative rate";
+  touch t;
+  if rate = 0. then Hashtbl.remove t.inputs id else Hashtbl.replace t.inputs id rate;
+  recompute_in_rate t;
+  rearm t
+
+let remove_input t ~id = set_input t ~id ~rate:0.
+
+let input_rate t = t.in_rate
+
+let add_burst t bits =
+  if bits < 0. then invalid_arg "Fluid_edge.add_burst: negative burst";
+  touch t;
+  t.backlog <- t.backlog +. bits;
+  rearm t
+
+let backlog t =
+  touch t;
+  t.backlog
+
+let is_empty t = backlog t <= tolerance

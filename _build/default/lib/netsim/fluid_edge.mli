@@ -1,0 +1,41 @@
+(** Fluid model of an edge-conditioner backlog.
+
+    The Figure-10 experiment simulates thousands of flow arrivals and
+    departures; what the contingency-feedback method (Section 4.2.1) needs
+    from the data plane is only {e when the macroflow's edge backlog next
+    empties}.  This module integrates the backlog of one edge conditioner
+    as a piecewise-linear function: inputs are fluid rates (microflows
+    turning on and off), service is the reserved rate plus any contingency
+    bandwidth, and a queue-empty callback fires exactly when the backlog
+    reaches zero.
+
+    The packet-level {!Edge_conditioner} is the reference model; property
+    tests check the two agree on emptying times for step inputs. *)
+
+type t
+
+val create : Engine.t -> service:float -> ?on_empty:(unit -> unit) -> unit -> t
+(** [service] is the initial drain rate (bits/s, non-negative). *)
+
+val set_service : t -> float -> unit
+(** Reconfigure the drain rate (reserved rate + contingency). *)
+
+val service : t -> float
+
+val set_input : t -> id:int -> rate:float -> unit
+(** Set the instantaneous arrival rate of input [id] (a microflow);
+    [rate = 0] removes it. *)
+
+val remove_input : t -> id:int -> unit
+
+val input_rate : t -> float
+(** Current total arrival rate. *)
+
+val add_burst : t -> float -> unit
+(** Instantaneous arrival of the given amount of bits (e.g. a joining
+    microflow dumping its burst [sigma]). *)
+
+val backlog : t -> float
+(** Current backlog in bits (integrated up to now). *)
+
+val is_empty : t -> bool

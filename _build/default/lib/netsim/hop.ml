@@ -1,0 +1,166 @@
+module Topology = Bbr_vtrs.Topology
+module Packet_state = Bbr_vtrs.Packet_state
+
+type discipline = Csvc | Cjvc | Vtedf | Vc | Scfq | Rcedf | Fifo
+
+let pp_discipline ppf d =
+  Fmt.string ppf
+    (match d with
+    | Csvc -> "CsVC"
+    | Cjvc -> "CJVC"
+    | Vtedf -> "VT-EDF"
+    | Vc -> "VC"
+    | Scfq -> "SCFQ"
+    | Rcedf -> "RC-EDF"
+    | Fifo -> "FIFO")
+
+type flow_state = {
+  rate : float;
+  deadline : float;
+  mutable vclock : float;  (* VC: per-flow virtual clock *)
+  mutable eligible : float;  (* RC-EDF: last shaper eligibility time *)
+}
+
+type t = {
+  engine : Engine.t;
+  link : Topology.link;
+  discipline : discipline;
+  server : Server.t;
+  flows : (int, flow_state) Hashtbl.t;
+  (* SCFQ: system virtual time = service tag of the last completed packet,
+     plus the tags of packets currently queued (keyed by flow, seq). *)
+  mutable vtime : float;
+  scfq_tags : (int * int, float) Hashtbl.t;
+  mutable fifo_seq : float;
+  mutable max_lateness : float;
+}
+
+let sched_class t =
+  match t.discipline with
+  | Csvc | Cjvc | Vc | Scfq -> Topology.Rate_based
+  | Vtedf | Rcedf -> Topology.Delay_based
+  | Fifo -> Topology.Rate_based
+
+let create engine ~link ~deliver discipline =
+  let self = ref None in
+  let on_depart pkt =
+    let hop = Option.get !self in
+    (match Hashtbl.find_opt hop.scfq_tags (pkt.Packet.flow, pkt.Packet.seq) with
+    | Some tag ->
+        Hashtbl.remove hop.scfq_tags (pkt.Packet.flow, pkt.Packet.seq);
+        hop.vtime <- tag
+    | None -> ());
+    (match pkt.Packet.state with
+    | Some st ->
+        let finish = Packet_state.virtual_finish st (sched_class hop) in
+        let lateness = Engine.now engine -. (finish +. link.Topology.psi) in
+        if lateness > hop.max_lateness then hop.max_lateness <- lateness;
+        pkt.Packet.state <- Some (Packet_state.advance st ~link)
+    | None -> ());
+    pkt.Packet.hop_ix <- pkt.Packet.hop_ix + 1;
+    if link.Topology.prop_delay = 0. then deliver pkt
+    else
+      Engine.schedule_after engine ~delay:link.Topology.prop_delay (fun () ->
+          deliver pkt)
+  in
+  let t =
+    {
+      engine;
+      link;
+      discipline;
+      server = Server.create engine ~capacity:link.Topology.capacity ~on_depart;
+      flows = Hashtbl.create 16;
+      vtime = 0.;
+      scfq_tags = Hashtbl.create 64;
+      fifo_seq = 0.;
+      max_lateness = neg_infinity;
+    }
+  in
+  self := Some t;
+  t
+
+let state_exn pkt =
+  match pkt.Packet.state with
+  | Some st -> st
+  | None -> invalid_arg "Hop.receive: packet without packet state at a core-stateless hop"
+
+let flow_exn t pkt =
+  match Hashtbl.find_opt t.flows pkt.Packet.flow with
+  | Some fs -> fs
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Hop.receive: flow %d not installed at stateful %s hop"
+           pkt.Packet.flow
+           (Fmt.str "%a" pp_discipline t.discipline))
+
+let receive t pkt =
+  match t.discipline with
+  | Csvc ->
+      let st = state_exn pkt in
+      Server.enqueue t.server ~key:(Packet_state.virtual_finish st Topology.Rate_based) pkt
+  | Cjvc ->
+      (* Core-jitter virtual clock: non-work-conserving — a packet only
+         becomes eligible at its virtual arrival time omega (the reality
+         check guarantees omega >= actual arrival), then competes by
+         virtual finish time.  Removes downstream jitter at the price of
+         idling the link. *)
+      let st = state_exn pkt in
+      let key = Packet_state.virtual_finish st Topology.Rate_based in
+      let eligible = st.Packet_state.omega in
+      let release () = Server.enqueue t.server ~key pkt in
+      if eligible <= Engine.now t.engine then release ()
+      else Engine.schedule t.engine ~at:eligible release
+  | Vtedf ->
+      let st = state_exn pkt in
+      Server.enqueue t.server ~key:(Packet_state.virtual_finish st Topology.Delay_based) pkt
+  | Vc ->
+      let fs = flow_exn t pkt in
+      let vc = Float.max (Engine.now t.engine) fs.vclock +. (pkt.Packet.size /. fs.rate) in
+      fs.vclock <- vc;
+      Server.enqueue t.server ~key:vc pkt
+  | Scfq ->
+      let fs = flow_exn t pkt in
+      (* Golestani's SCFQ: start tag = max(system vtime, flow's last finish
+         tag); finish tag = start + size/rate. *)
+      let start = Float.max t.vtime fs.vclock in
+      let tag = start +. (pkt.Packet.size /. fs.rate) in
+      fs.vclock <- tag;
+      Hashtbl.replace t.scfq_tags (pkt.Packet.flow, pkt.Packet.seq) tag;
+      Server.enqueue t.server ~key:tag pkt
+  | Rcedf ->
+      let fs = flow_exn t pkt in
+      (* Per-flow rate control: packet k becomes eligible no earlier than
+         [size/rate] after packet k-1 did. *)
+      let eligible =
+        Float.max (Engine.now t.engine) (fs.eligible +. (pkt.Packet.size /. fs.rate))
+      in
+      fs.eligible <- eligible;
+      let key = eligible +. fs.deadline in
+      let release () = Server.enqueue t.server ~key pkt in
+      if eligible <= Engine.now t.engine then release ()
+      else Engine.schedule t.engine ~at:eligible release
+  | Fifo ->
+      t.fifo_seq <- t.fifo_seq +. 1.;
+      Server.enqueue t.server ~key:t.fifo_seq pkt
+
+let install_flow t ~flow ~rate ~deadline =
+  match t.discipline with
+  | Vc | Scfq | Rcedf ->
+      if rate <= 0. then invalid_arg "Hop.install_flow: rate must be positive";
+      Hashtbl.replace t.flows flow
+        { rate; deadline; vclock = neg_infinity; eligible = neg_infinity }
+  | Csvc | Cjvc | Vtedf | Fifo -> ()
+
+let remove_flow t ~flow = Hashtbl.remove t.flows flow
+
+let flow_state_count t = Hashtbl.length t.flows
+
+let link t = t.link
+
+let served t = Server.served t.server
+
+let queue_len t = Server.queue_len t.server
+
+let max_backlog_bits t = Server.max_backlog_bits t.server
+
+let max_lateness t = t.max_lateness

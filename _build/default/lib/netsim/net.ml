@@ -1,0 +1,74 @@
+module Topology = Bbr_vtrs.Topology
+
+type mode = Core_stateless | Intserv
+
+type t = {
+  engine : Engine.t;
+  topology : Topology.t;
+  mode : mode;
+  hops : Hop.t array;  (* indexed by link_id *)
+  sink : Sink.t;
+}
+
+let discipline mode (link : Topology.link) =
+  match (mode, link.Topology.sched) with
+  | Core_stateless, Topology.Rate_based -> Hop.Csvc
+  | Core_stateless, Topology.Delay_based -> Hop.Vtedf
+  | Intserv, Topology.Rate_based -> Hop.Vc
+  | Intserv, Topology.Delay_based -> Hop.Rcedf
+
+let create engine topology mode =
+  let sink = Sink.create engine in
+  let n = Topology.num_links topology in
+  let hops = Array.make n None in
+  let deliver pkt =
+    if pkt.Packet.hop_ix < Array.length pkt.Packet.path then
+      let link = Packet.current_link pkt in
+      match hops.(link.Topology.link_id) with
+      | Some hop -> Hop.receive hop pkt
+      | None -> assert false
+    else Sink.receive sink pkt
+  in
+  List.iter
+    (fun link ->
+      hops.(link.Topology.link_id) <-
+        Some (Hop.create engine ~link ~deliver (discipline mode link)))
+    (Topology.links topology);
+  let hops = Array.map Option.get hops in
+  { engine; topology; mode; hops; sink }
+
+let engine t = t.engine
+
+let topology t = t.topology
+
+let mode t = t.mode
+
+let hop t ~link_id =
+  if link_id < 0 || link_id >= Array.length t.hops then raise Not_found;
+  t.hops.(link_id)
+
+let sink t = t.sink
+
+let inject t pkt =
+  let link = Packet.current_link pkt in
+  Hop.receive t.hops.(link.Topology.link_id) pkt
+
+let make_conditioner t ~rate ~delay_param ~lmax ?on_empty () =
+  Edge_conditioner.create t.engine ~rate ~delay_param ~lmax ?on_empty
+    ~next:(fun pkt -> inject t pkt)
+    ()
+
+let install_flow t ~flow ~path ~rate ~deadline =
+  List.iter
+    (fun (link : Topology.link) ->
+      Hop.install_flow t.hops.(link.Topology.link_id) ~flow ~rate ~deadline)
+    path
+
+let remove_flow t ~flow ~path =
+  List.iter
+    (fun (link : Topology.link) ->
+      Hop.remove_flow t.hops.(link.Topology.link_id) ~flow)
+    path
+
+let core_flow_state t =
+  Array.fold_left (fun acc hop -> acc + Hop.flow_state_count hop) 0 t.hops

@@ -1,0 +1,54 @@
+(** Data-plane instantiation of a domain topology.
+
+    Builds one {!Hop} per link of the topology and wires the forwarding
+    fabric: a packet carries its path (an array of links) and is handed
+    from hop to hop until it reaches the egress, where the built-in
+    {!Sink} records it.
+
+    Two modes mirror the paper's two reference systems:
+    - [Core_stateless]: rate-based links run C̄S-VC, delay-based links run
+      VT-EDF; core hops hold no per-flow state (BB/VTRS model).
+    - [Intserv]: rate-based links run per-flow Virtual Clock, delay-based
+      links run RC-EDF; per-flow state must be installed hop by hop
+      (IntServ/GS baseline). *)
+
+type mode = Core_stateless | Intserv
+
+type t
+
+val create : Engine.t -> Bbr_vtrs.Topology.t -> mode -> t
+
+val engine : t -> Engine.t
+
+val topology : t -> Bbr_vtrs.Topology.t
+
+val mode : t -> mode
+
+val hop : t -> link_id:int -> Hop.t
+(** Raises [Not_found] for an unknown link id. *)
+
+val sink : t -> Sink.t
+
+val inject : t -> Packet.t -> unit
+(** Entry point for conditioned packets: delivers the packet to the hop at
+    its current path index (used as the [next] of edge conditioners). *)
+
+val make_conditioner :
+  t ->
+  rate:float ->
+  delay_param:float ->
+  lmax:float ->
+  ?on_empty:(unit -> unit) ->
+  unit ->
+  Edge_conditioner.t
+(** An edge conditioner whose output feeds {!inject}. *)
+
+val install_flow : t -> flow:int -> path:Bbr_vtrs.Topology.link list -> rate:float -> deadline:float -> unit
+(** Install per-flow state at every stateful hop along [path] (the RESV
+    walk of the IntServ baseline).  No-op at core-stateless hops. *)
+
+val remove_flow : t -> flow:int -> path:Bbr_vtrs.Topology.link list -> unit
+
+val core_flow_state : t -> int
+(** Total per-flow entries held across all hops — 0 in [Core_stateless]
+    mode by construction, the paper's headline property. *)

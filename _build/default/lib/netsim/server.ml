@@ -1,0 +1,60 @@
+module Heap = Bbr_util.Heap
+
+type item = { key : float; pkt : Packet.t }
+
+type t = {
+  engine : Engine.t;
+  capacity : float;
+  on_depart : Packet.t -> unit;
+  queue : item Heap.t;
+  mutable busy : bool;
+  mutable served : int;
+  mutable bits : float;
+  mutable backlog : float;  (* bits queued or in transmission *)
+  mutable max_backlog : float;
+}
+
+let create engine ~capacity ~on_depart =
+  if capacity <= 0. then invalid_arg "Server.create: capacity must be positive";
+  {
+    engine;
+    capacity;
+    on_depart;
+    queue = Heap.create ~leq:(fun a b -> a.key <= b.key);
+    busy = false;
+    served = 0;
+    bits = 0.;
+    backlog = 0.;
+    max_backlog = 0.;
+  }
+
+let rec start_next t =
+  match Heap.pop t.queue with
+  | None -> t.busy <- false
+  | Some { pkt; _ } ->
+      t.busy <- true;
+      let tx = pkt.Packet.size /. t.capacity in
+      Engine.schedule_after t.engine ~delay:tx (fun () ->
+          t.served <- t.served + 1;
+          t.bits <- t.bits +. pkt.Packet.size;
+          t.backlog <- Float.max 0. (t.backlog -. pkt.Packet.size);
+          t.on_depart pkt;
+          start_next t)
+
+let enqueue t ~key pkt =
+  Heap.push t.queue { key; pkt };
+  t.backlog <- t.backlog +. pkt.Packet.size;
+  if t.backlog > t.max_backlog then t.max_backlog <- t.backlog;
+  if not t.busy then start_next t
+
+let queue_len t = Heap.size t.queue
+
+let busy t = t.busy
+
+let served t = t.served
+
+let utilization_bits t = t.bits
+
+let backlog_bits t = t.backlog
+
+let max_backlog_bits t = t.max_backlog

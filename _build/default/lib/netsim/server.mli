@@ -1,0 +1,32 @@
+(** Generic non-preemptive priority link server.
+
+    Serves queued packets one at a time at the link capacity, always picking
+    the packet with the smallest key (ties broken by enqueue order).  Every
+    scheduling discipline in the simulator — C̄S-VC, VT-EDF, VC, RC-EDF,
+    FIFO — reduces to this server with a discipline-specific key. *)
+
+type t
+
+val create : Engine.t -> capacity:float -> on_depart:(Packet.t -> unit) -> t
+(** [capacity] in bits/s; [on_depart p] is called at the instant the last
+    bit of [p] has been transmitted. *)
+
+val enqueue : t -> key:float -> Packet.t -> unit
+
+val queue_len : t -> int
+(** Packets waiting, excluding the one in transmission. *)
+
+val busy : t -> bool
+
+val served : t -> int
+(** Total packets fully transmitted. *)
+
+val utilization_bits : t -> float
+(** Total bits transmitted so far. *)
+
+val backlog_bits : t -> float
+(** Bits currently queued or in transmission. *)
+
+val max_backlog_bits : t -> float
+(** Largest backlog observed — the buffer requirement the node QoS MIB of
+    paper Section 2.2 tracks. *)

@@ -1,0 +1,118 @@
+module Traffic = Bbr_vtrs.Traffic
+
+type t = { mutable running : bool; mutable emitted : int }
+
+let emit t engine ~flow ~path ~size next =
+  let pkt =
+    Packet.make ~flow ~seq:t.emitted ~size ~born:(Engine.now engine) ~path
+  in
+  t.emitted <- t.emitted + 1;
+  next pkt
+
+(* Schedules [step] repeatedly; [step] returns the delay to the next
+   emission, or None to stop.  Delays are floored at a nanosecond: a
+   rounding-level wait could otherwise fail to advance the clock at all
+   and spin the engine, and delaying a source never breaks conformance. *)
+let min_delay = 1e-9
+
+let self_clocked engine ~start step =
+  let t = { running = true; emitted = 0 } in
+  let rec loop () =
+    if t.running then
+      match step t with
+      | None -> t.running <- false
+      | Some delay ->
+          Engine.schedule_after engine ~delay:(Float.max delay min_delay) loop
+  in
+  Engine.schedule engine ~at:(Float.max start (Engine.now engine)) loop;
+  t
+
+let greedy engine ~profile ~flow ~path ?(start = 0.) ?pkt_size ~next () =
+  let size = match pkt_size with Some s -> s | None -> profile.Traffic.lmax in
+  if size > profile.Traffic.lmax then
+    invalid_arg "Source.greedy: pkt_size exceeds profile lmax";
+  (* Dual token bucket, both full at start. *)
+  let b_sigma = ref profile.Traffic.sigma and b_peak = ref profile.Traffic.lmax in
+  let last = ref start in
+  let step t =
+    let now = Engine.now engine in
+    let dt = now -. !last in
+    last := now;
+    b_sigma := Float.min profile.Traffic.sigma (!b_sigma +. (profile.Traffic.rho *. dt));
+    b_peak := Float.min profile.Traffic.lmax (!b_peak +. (profile.Traffic.peak *. dt));
+    if !b_sigma >= size -. 1e-9 && !b_peak >= size -. 1e-9 then begin
+      b_sigma := !b_sigma -. size;
+      b_peak := !b_peak -. size;
+      emit t engine ~flow ~path ~size next
+    end;
+    let wait_sigma =
+      if !b_sigma >= size then 0. else (size -. !b_sigma) /. profile.Traffic.rho
+    and wait_peak =
+      if !b_peak >= size then 0. else (size -. !b_peak) /. profile.Traffic.peak
+    in
+    Some (Float.max wait_sigma wait_peak)
+  in
+  self_clocked engine ~start step
+
+(* On/off emission gated by the same dual token bucket as [greedy], so the
+   output provably conforms to the profile: greedy during ON windows of
+   length [T_on], silent for [sigma/rho] afterwards — exactly the time the
+   sigma-bucket (drained to zero by a greedy ON phase) needs to refill. *)
+let on_off engine ~profile ~flow ~path ?(start = 0.) ?pkt_size ~next () =
+  let size = match pkt_size with Some s -> s | None -> profile.Traffic.lmax in
+  let ton = Traffic.t_on profile in
+  let open Traffic in
+  if ton <= 0. then
+    (* CBR profile: steady emission at rho. *)
+    self_clocked engine ~start (fun t ->
+        emit t engine ~flow ~path ~size next;
+        Some (size /. profile.rho))
+  else begin
+    let cycle = ton +. (profile.sigma /. profile.rho) in
+    let b_sigma = ref profile.sigma and b_peak = ref profile.lmax in
+    let last = ref start in
+    let step t =
+      let now = Engine.now engine in
+      let dt = now -. !last in
+      last := now;
+      b_sigma := Float.min profile.sigma (!b_sigma +. (profile.rho *. dt));
+      b_peak := Float.min profile.lmax (!b_peak +. (profile.peak *. dt));
+      let phase = Float.rem (now -. start) cycle in
+      let till_next_on = cycle -. phase in
+      if phase < ton then begin
+        if !b_sigma >= size -. 1e-9 && !b_peak >= size -. 1e-9 then begin
+          b_sigma := !b_sigma -. size;
+          b_peak := !b_peak -. size;
+          emit t engine ~flow ~path ~size next
+        end;
+        let wait_sigma =
+          if !b_sigma >= size then 0. else (size -. !b_sigma) /. profile.rho
+        and wait_peak =
+          if !b_peak >= size then 0. else (size -. !b_peak) /. profile.peak
+        in
+        let wait = Float.max wait_sigma wait_peak in
+        (* If the next send slips outside this ON window, sleep to the
+           next one. *)
+        if phase +. wait < ton then Some wait else Some till_next_on
+      end
+      else Some till_next_on
+    in
+    self_clocked engine ~start step
+  end
+
+let cbr engine ~rate ~flow ~path ?(start = 0.) ~pkt_size ~next () =
+  if rate <= 0. then invalid_arg "Source.cbr: rate must be positive";
+  self_clocked engine ~start (fun t ->
+      emit t engine ~flow ~path ~size:pkt_size next;
+      Some (pkt_size /. rate))
+
+let poisson engine ~prng ~rate ~flow ~path ?(start = 0.) ~pkt_size ~next () =
+  if rate <= 0. then invalid_arg "Source.poisson: rate must be positive";
+  let mean_gap = pkt_size /. rate in
+  self_clocked engine ~start (fun t ->
+      emit t engine ~flow ~path ~size:pkt_size next;
+      Some (Bbr_util.Prng.exponential prng ~mean:mean_gap))
+
+let halt t = t.running <- false
+
+let emitted t = t.emitted

@@ -1,0 +1,68 @@
+(** Packet traffic generators.
+
+    Each source emits packets of one flow into a callback (normally an
+    {!Edge_conditioner}).  The greedy source reproduces the worst-case
+    arrivals used throughout the paper's analysis and in the Figure-7
+    scenario: it dumps the maximum traffic its dual-token-bucket profile
+    allows at every instant. *)
+
+type t
+
+val greedy :
+  Engine.t ->
+  profile:Bbr_vtrs.Traffic.t ->
+  flow:int ->
+  path:Bbr_vtrs.Topology.link array ->
+  ?start:float ->
+  ?pkt_size:float ->
+  next:(Packet.t -> unit) ->
+  unit ->
+  t
+(** Maximally greedy conforming source: sends a packet whenever both token
+    buckets hold one packet's worth, so the cumulative arrivals follow
+    [min (peak t + lmax, rho t + sigma)].  [pkt_size] defaults to the
+    profile's [lmax].  Starts at [start] (default 0). *)
+
+val on_off :
+  Engine.t ->
+  profile:Bbr_vtrs.Traffic.t ->
+  flow:int ->
+  path:Bbr_vtrs.Topology.link array ->
+  ?start:float ->
+  ?pkt_size:float ->
+  next:(Packet.t -> unit) ->
+  unit ->
+  t
+(** Deterministic on/off source: on at the peak rate for [T_on], off long
+    enough that the long-run average equals [rho]. *)
+
+val cbr :
+  Engine.t ->
+  rate:float ->
+  flow:int ->
+  path:Bbr_vtrs.Topology.link array ->
+  ?start:float ->
+  pkt_size:float ->
+  next:(Packet.t -> unit) ->
+  unit ->
+  t
+(** Constant bit rate: one [pkt_size] packet every [pkt_size/rate]
+    seconds. *)
+
+val poisson :
+  Engine.t ->
+  prng:Bbr_util.Prng.t ->
+  rate:float ->
+  flow:int ->
+  path:Bbr_vtrs.Topology.link array ->
+  ?start:float ->
+  pkt_size:float ->
+  next:(Packet.t -> unit) ->
+  unit ->
+  t
+(** Poisson packet arrivals with mean bit rate [rate]. *)
+
+val halt : t -> unit
+(** Stop emitting (the flow leaves). *)
+
+val emitted : t -> int

@@ -1,0 +1,13 @@
+let default_eps = 1e-9
+
+let tol eps a b = eps *. Float.max 1. (Float.max (Float.abs a) (Float.abs b))
+
+let leq ?(eps = default_eps) a b = a <= b +. tol eps a b
+
+let geq ?(eps = default_eps) a b = a >= b -. tol eps a b
+
+let lt ?(eps = default_eps) a b = a < b -. tol eps a b
+
+let gt ?(eps = default_eps) a b = a > b +. tol eps a b
+
+let approx ?(eps = default_eps) a b = Float.abs (a -. b) <= tol eps a b

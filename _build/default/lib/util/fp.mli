@@ -1,0 +1,23 @@
+(** Tolerant floating-point comparisons.
+
+    Admission control is full of boundary cases that are exact in real
+    arithmetic (e.g. thirty flows of 50 kb/s exactly filling a 1.5 Mb/s
+    link) but drift by a few ulps in floats.  All capacity and delay-bound
+    comparisons in the repository go through these helpers, which use a
+    relative tolerance of [1e-9] (absolute for magnitudes below 1). *)
+
+val default_eps : float
+(** [1e-9]. *)
+
+val leq : ?eps:float -> float -> float -> bool
+(** [leq a b] is [a <= b] up to the tolerance. *)
+
+val geq : ?eps:float -> float -> float -> bool
+
+val lt : ?eps:float -> float -> float -> bool
+(** Strictly less, by more than the tolerance. *)
+
+val gt : ?eps:float -> float -> float -> bool
+
+val approx : ?eps:float -> float -> float -> bool
+(** Equal up to the tolerance. *)

@@ -1,0 +1,42 @@
+(** Deterministic pseudo-random number generation.
+
+    All randomness in the repository flows through this module so that every
+    simulation run is reproducible from a single integer seed.  The generator
+    is splitmix64 (Steele, Lea & Flood 2014): tiny state, excellent
+    statistical quality for simulation workloads, and trivially splittable. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : seed:int -> t
+(** [create ~seed] returns a fresh generator.  Equal seeds yield equal
+    streams. *)
+
+val split : t -> t
+(** [split t] returns a new generator whose stream is independent of the
+    remainder of [t]'s stream.  Used to give each simulation component its
+    own stream so that adding draws in one component does not perturb
+    another. *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val float : t -> float
+(** [float t] draws uniformly from [\[0, 1)]. *)
+
+val float_range : t -> lo:float -> hi:float -> float
+(** Uniform draw from [\[lo, hi)].  Requires [lo <= hi]. *)
+
+val int : t -> bound:int -> int
+(** [int t ~bound] draws uniformly from [\[0, bound)].  [bound] must be
+    positive. *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val exponential : t -> mean:float -> float
+(** Exponentially distributed draw with the given mean (inter-arrival times,
+    holding times).  [mean] must be positive. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform draw from a non-empty array. *)

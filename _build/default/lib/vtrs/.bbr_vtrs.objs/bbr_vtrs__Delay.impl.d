@@ -1,0 +1,1 @@
+lib/vtrs/delay.ml: Float Traffic

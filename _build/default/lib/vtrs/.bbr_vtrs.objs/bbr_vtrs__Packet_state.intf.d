@@ -1,0 +1,1 @@
+lib/vtrs/packet_state.mli: Topology

@@ -1,0 +1,1 @@
+lib/vtrs/topology.ml: Fmt Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/vtrs/topology.mli: Fmt

@@ -1,0 +1,1 @@
+lib/vtrs/traffic.ml: Float Fmt List

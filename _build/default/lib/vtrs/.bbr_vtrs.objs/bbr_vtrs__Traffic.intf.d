@@ -1,0 +1,1 @@
+lib/vtrs/traffic.mli: Fmt

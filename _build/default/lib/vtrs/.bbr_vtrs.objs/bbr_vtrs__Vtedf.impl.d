@@ -1,0 +1,1 @@
+lib/vtrs/vtedf.ml: Bbr_util Fmt List

@@ -1,0 +1,1 @@
+lib/vtrs/vtedf.mli: Fmt

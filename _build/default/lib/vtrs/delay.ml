@@ -1,0 +1,28 @@
+let edge_bound p ~rate =
+  assert (rate > 0.);
+  let open Traffic in
+  (t_on p *. (p.peak -. rate) /. rate) +. (p.lmax /. rate)
+
+let core_bound ~q ~delay_hops ~lmax ~rate ~delay ~d_tot =
+  assert (rate > 0.);
+  (float_of_int q *. lmax /. rate) +. (float_of_int delay_hops *. delay) +. d_tot
+
+let e2e_bound p ~q ~delay_hops ~rate ~delay ~d_tot =
+  edge_bound p ~rate
+  +. core_bound ~q ~delay_hops ~lmax:p.Traffic.lmax ~rate ~delay ~d_tot
+
+let min_rate_rate_based p ~hops ~d_tot ~dreq =
+  let open Traffic in
+  let ton = t_on p in
+  let denom = dreq -. d_tot +. ton in
+  if denom <= 0. then None
+  else Some (((ton *. p.peak) +. (float_of_int (hops + 1) *. p.lmax)) /. denom)
+
+let macroflow_core_bound ~hops ~path_lmax ~rate ~d_tot =
+  assert (rate > 0.);
+  (float_of_int hops *. path_lmax /. rate) +. d_tot
+
+let modified_core_bound ~q ~delay_hops ~path_lmax ~rate_before ~rate_after ~delay ~d_tot =
+  assert (rate_before > 0. && rate_after > 0.);
+  let per_hop = Float.max (path_lmax /. rate_before) (path_lmax /. rate_after) in
+  (float_of_int q *. per_hop) +. (float_of_int delay_hops *. delay) +. d_tot

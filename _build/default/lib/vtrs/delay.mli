@@ -1,0 +1,47 @@
+(** End-to-end delay bounds of the virtual time reference system
+    (paper eqs. (2), (3), (4), (12), (18)) and the closed-form minimum
+    feasible rate for rate-based paths (Section 3.1).
+
+    All functions take rates in bits/s and return seconds. *)
+
+val edge_bound : Traffic.t -> rate:float -> float
+(** Eq. (3): worst-case delay in the edge shaper when flow [p] is shaped to
+    [rate]: [T_on * (P - r)/r + lmax/r].  Requires [rate > 0]. *)
+
+val core_bound :
+  q:int -> delay_hops:int -> lmax:float -> rate:float -> delay:float -> d_tot:float -> float
+(** Eq. (2): worst-case delay across the network core for a flow with
+    rate–delay pair [<rate, delay>] crossing [q] rate-based and
+    [delay_hops] delay-based schedulers:
+    [q * lmax/rate + delay_hops * delay + d_tot]. *)
+
+val e2e_bound :
+  Traffic.t -> q:int -> delay_hops:int -> rate:float -> delay:float -> d_tot:float -> float
+(** Eq. (4): [edge_bound + core_bound] with the flow's own [lmax]:
+    [T_on (P-r)/r + (q+1) lmax/r + (h-q) d + D_tot]. *)
+
+val min_rate_rate_based : Traffic.t -> hops:int -> d_tot:float -> dreq:float -> float option
+(** Section 3.1: the smallest rate [r] such that the end-to-end bound of a
+    path of [hops] rate-based schedulers meets the requirement [dreq]:
+    [r_min = (T_on P + (h+1) lmax) / (dreq - d_tot + T_on)].
+    [None] when no finite positive rate can meet [dreq] (the denominator is
+    not positive).  The result is {e not} clipped to [\[rho, peak\]]. *)
+
+val macroflow_core_bound : hops:int -> path_lmax:float -> rate:float -> d_tot:float -> float
+(** Core part of eq. (12): a macroflow on a rate-based path is limited in
+    the core by the path MTU [path_lmax], not by its aggregate [lmax]:
+    [h * path_lmax / rate + d_tot]. *)
+
+val modified_core_bound :
+  q:int ->
+  delay_hops:int ->
+  path_lmax:float ->
+  rate_before:float ->
+  rate_after:float ->
+  delay:float ->
+  d_tot:float ->
+  float
+(** Eq. (18), Theorem 4: core delay bound valid across a reserved-rate
+    change from [rate_before] to [rate_after]:
+    [q * max (path_lmax/rate_before, path_lmax/rate_after)
+     + delay_hops * delay + d_tot]. *)

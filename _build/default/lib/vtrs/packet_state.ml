@@ -1,0 +1,21 @@
+type t = {
+  rate : float;
+  delay : float;
+  lmax : float;
+  omega : float;
+  delta : float;
+}
+
+let init ~rate ~delay ~lmax ~edge_departure =
+  assert (rate > 0.);
+  { rate; delay; lmax; omega = edge_departure; delta = 0. }
+
+let virtual_delay t = function
+  | Topology.Rate_based -> (t.lmax /. t.rate) +. t.delta
+  | Topology.Delay_based -> t.delay
+
+let virtual_finish t klass = t.omega +. virtual_delay t klass
+
+let advance t ~link =
+  let d = virtual_delay t link.Topology.sched in
+  { t with omega = t.omega +. d +. link.Topology.psi +. link.Topology.prop_delay }

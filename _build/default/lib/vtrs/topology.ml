@@ -1,0 +1,91 @@
+type sched_class = Rate_based | Delay_based
+
+let pp_sched_class ppf = function
+  | Rate_based -> Fmt.string ppf "rate-based"
+  | Delay_based -> Fmt.string ppf "delay-based"
+
+type link = {
+  link_id : int;
+  src : string;
+  dst : string;
+  capacity : float;
+  prop_delay : float;
+  sched : sched_class;
+  psi : float;
+}
+
+type t = {
+  mutable node_order : string list;  (* reversed insertion order *)
+  node_set : (string, unit) Hashtbl.t;
+  mutable link_order : link list;  (* reversed insertion order *)
+  by_endpoints : (string * string, link) Hashtbl.t;
+  mutable next_id : int;
+}
+
+let create () =
+  {
+    node_order = [];
+    node_set = Hashtbl.create 16;
+    link_order = [];
+    by_endpoints = Hashtbl.create 16;
+    next_id = 0;
+  }
+
+let mem_node t name = Hashtbl.mem t.node_set name
+
+let add_node t name =
+  if not (mem_node t name) then begin
+    Hashtbl.replace t.node_set name ();
+    t.node_order <- name :: t.node_order
+  end
+
+let mtu_bits = 12000.
+
+let add_link t ~src ~dst ~capacity ?(prop_delay = 0.) ?psi sched =
+  if capacity <= 0. then invalid_arg "Topology.add_link: capacity must be positive";
+  if Hashtbl.mem t.by_endpoints (src, dst) then
+    invalid_arg (Printf.sprintf "Topology.add_link: duplicate link %s -> %s" src dst);
+  add_node t src;
+  add_node t dst;
+  let psi = match psi with Some p -> p | None -> mtu_bits /. capacity in
+  let link =
+    { link_id = t.next_id; src; dst; capacity; prop_delay; sched; psi }
+  in
+  t.next_id <- t.next_id + 1;
+  t.link_order <- link :: t.link_order;
+  Hashtbl.replace t.by_endpoints (src, dst) link;
+  link
+
+let nodes t = List.rev t.node_order
+
+let links t = List.rev t.link_order
+
+let num_links t = t.next_id
+
+let link_by_id t id =
+  match List.find_opt (fun l -> l.link_id = id) t.link_order with
+  | Some l -> l
+  | None -> raise Not_found
+
+let find_link t ~src ~dst = Hashtbl.find_opt t.by_endpoints (src, dst)
+
+let out_links t name = List.filter (fun l -> l.src = name) (links t)
+
+let rec is_path_links = function
+  | [] | [ _ ] -> true
+  | a :: (b :: _ as rest) -> a.dst = b.src && is_path_links rest
+
+let is_path t = function
+  | [] -> false
+  | l :: _ as path -> mem_node t l.src && is_path_links path
+
+let hop_count path = List.length path
+
+let rate_based_hops path =
+  List.length (List.filter (fun l -> l.sched = Rate_based) path)
+
+let delay_based_hops path =
+  List.length (List.filter (fun l -> l.sched = Delay_based) path)
+
+let d_tot path =
+  List.fold_left (fun acc l -> acc +. l.psi +. l.prop_delay) 0. path

@@ -1,0 +1,47 @@
+type t = { sigma : float; rho : float; peak : float; lmax : float }
+
+let make ~sigma ~rho ~peak ~lmax =
+  if not (lmax > 0.) then invalid_arg "Traffic.make: lmax must be positive";
+  if not (sigma >= lmax) then invalid_arg "Traffic.make: sigma must be >= lmax";
+  if not (rho > 0.) then invalid_arg "Traffic.make: rho must be positive";
+  if not (peak >= rho) then invalid_arg "Traffic.make: peak must be >= rho";
+  { sigma; rho; peak; lmax }
+
+let pp ppf p =
+  Fmt.pf ppf "(sigma=%g rho=%g peak=%g lmax=%g)" p.sigma p.rho p.peak p.lmax
+
+let equal a b =
+  a.sigma = b.sigma && a.rho = b.rho && a.peak = b.peak && a.lmax = b.lmax
+
+let t_on p =
+  if p.peak <= p.rho then 0. else (p.sigma -. p.lmax) /. (p.peak -. p.rho)
+
+let envelope p t =
+  assert (t >= 0.);
+  Float.min ((p.peak *. t) +. p.lmax) ((p.rho *. t) +. p.sigma)
+
+let aggregate = function
+  | [] -> invalid_arg "Traffic.aggregate: empty list"
+  | p :: ps ->
+      let f acc q =
+        {
+          sigma = acc.sigma +. q.sigma;
+          rho = acc.rho +. q.rho;
+          peak = acc.peak +. q.peak;
+          lmax = acc.lmax +. q.lmax;
+        }
+      in
+      List.fold_left f p ps
+
+let add a b = aggregate [ a; b ]
+
+let remove a b =
+  let sigma = a.sigma -. b.sigma
+  and rho = a.rho -. b.rho
+  and peak = a.peak -. b.peak
+  and lmax = a.lmax -. b.lmax in
+  (* Re-validate: subtracting a microflow that was never part of the
+     macroflow can produce nonsense. *)
+  make ~sigma ~rho ~peak ~lmax
+
+let conforms p ~rate = p.rho <= rate && rate <= p.peak

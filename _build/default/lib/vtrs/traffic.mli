@@ -1,0 +1,52 @@
+(** Dual-token-bucket traffic profiles.
+
+    A flow's traffic is described by the standard dual-token-bucket regulator
+    [(sigma, rho, peak, lmax)] of the paper (Section 2.1): maximum burst size
+    [sigma] (bits), sustained rate [rho] (bits/s), peak rate [peak] (bits/s)
+    and maximum packet size [lmax] (bits).  The arrival envelope is
+    [E(t) = min (peak*t + lmax, rho*t + sigma)].
+
+    All quantities are in bits and seconds. *)
+
+type t = private {
+  sigma : float;  (** maximum burst size, bits; [sigma >= lmax] *)
+  rho : float;  (** sustained rate, bits/s; [0 < rho <= peak] *)
+  peak : float;  (** peak rate, bits/s *)
+  lmax : float;  (** maximum packet size, bits; [lmax > 0] *)
+}
+
+val make : sigma:float -> rho:float -> peak:float -> lmax:float -> t
+(** Validates the profile.  Raises [Invalid_argument] unless
+    [0 < rho <= peak], [sigma >= lmax > 0]. *)
+
+val pp : t Fmt.t
+
+val equal : t -> t -> bool
+
+val t_on : t -> float
+(** Maximum duration of a peak-rate burst:
+    [T_on = (sigma - lmax) / (peak - rho)] (paper, below eq. (3)).
+    Returns 0 for a constant-bit-rate profile ([peak = rho]). *)
+
+val envelope : t -> float -> float
+(** [envelope p t] is the maximum amount of traffic (bits) the flow may send
+    in any interval of length [t >= 0]:
+    [min (peak*t + lmax, rho*t + sigma)]. *)
+
+val aggregate : t list -> t
+(** Aggregate profile of a macroflow (Section 4.1): component-wise sums
+    [sigma_a = sum sigma_j], [rho_a = sum rho_j], [peak_a = sum peak_j] and
+    [lmax_a = sum lmax_j] (a maximum-size packet may arrive from every
+    microflow simultaneously).  Raises [Invalid_argument] on an empty
+    list. *)
+
+val add : t -> t -> t
+(** [add a b] = [aggregate \[a; b\]]. *)
+
+val remove : t -> t -> t
+(** [remove a b] subtracts microflow [b] from macroflow [a] (component-wise).
+    Raises [Invalid_argument] if the result would not be a valid profile. *)
+
+val conforms : t -> rate:float -> bool
+(** [conforms p ~rate] checks [rho <= rate <= peak]: whether [rate] is an
+    admissible reserved rate for the profile. *)

@@ -1,0 +1,173 @@
+module Fp = Bbr_util.Fp
+
+type klass = {
+  delay : float;
+  sum_rate : float;
+  sum_lmax : float;
+  count : int;
+}
+
+type t = {
+  cap : float;
+  mutable by_delay : klass list;  (* sorted by increasing delay *)
+  mutable total : float;
+  mutable flows : int;
+}
+
+let create ~capacity =
+  if capacity <= 0. then invalid_arg "Vtedf.create: capacity must be positive";
+  { cap = capacity; by_delay = []; total = 0.; flows = 0 }
+
+let capacity t = t.cap
+
+let total_rate t = t.total
+
+let flow_count t = t.flows
+
+let classes t = t.by_delay
+
+let add t ~rate ~delay ~lmax =
+  if rate <= 0. then invalid_arg "Vtedf.add: rate must be positive";
+  if lmax <= 0. then invalid_arg "Vtedf.add: lmax must be positive";
+  if delay < 0. then invalid_arg "Vtedf.add: delay must be non-negative";
+  let rec insert = function
+    | [] -> [ { delay; sum_rate = rate; sum_lmax = lmax; count = 1 } ]
+    | k :: rest when k.delay = delay ->
+        {
+          k with
+          sum_rate = k.sum_rate +. rate;
+          sum_lmax = k.sum_lmax +. lmax;
+          count = k.count + 1;
+        }
+        :: rest
+    | k :: rest when k.delay > delay ->
+        { delay; sum_rate = rate; sum_lmax = lmax; count = 1 } :: k :: rest
+    | k :: rest -> k :: insert rest
+  in
+  t.by_delay <- insert t.by_delay;
+  t.total <- t.total +. rate;
+  t.flows <- t.flows + 1
+
+let remove t ~rate ~delay ~lmax =
+  let rec drop = function
+    | [] -> invalid_arg "Vtedf.remove: no flow with this delay"
+    | k :: rest when k.delay = delay ->
+        if k.count = 1 then rest
+        else
+          {
+            k with
+            sum_rate = k.sum_rate -. rate;
+            sum_lmax = k.sum_lmax -. lmax;
+            count = k.count - 1;
+          }
+          :: rest
+    | k :: _ when k.delay > delay ->
+        invalid_arg "Vtedf.remove: no flow with this delay"
+    | k :: rest -> k :: drop rest
+  in
+  t.by_delay <- drop t.by_delay;
+  t.total <- t.total -. rate;
+  t.flows <- t.flows - 1
+
+let demand t ~at =
+  List.fold_left
+    (fun acc k ->
+      if k.delay <= at then acc +. (k.sum_rate *. (at -. k.delay)) +. k.sum_lmax
+      else acc)
+    0. t.by_delay
+
+let rate_below t ~at =
+  List.fold_left
+    (fun acc k -> if k.delay <= at then acc +. k.sum_rate else acc)
+    0. t.by_delay
+
+let residual_service t ~at = (t.cap *. at) -. demand t ~at
+
+let breakpoints t =
+  let rec go acc demand rate_sum prev = function
+    | [] -> List.rev acc
+    | k :: rest ->
+        let demand = demand +. (rate_sum *. (k.delay -. prev)) +. k.sum_lmax in
+        go
+          ((k.delay, (t.cap *. k.delay) -. demand) :: acc)
+          demand (rate_sum +. k.sum_rate) k.delay rest
+  in
+  go [] 0. 0. 0. t.by_delay
+
+let schedulable t =
+  Fp.leq t.total t.cap
+  && List.for_all
+       (* Compare demand against supply rather than the residual against
+          zero: the relative tolerance then matches the one {!can_admit}
+          admitted under, so boundary admissions remain schedulable. *)
+       (fun (d, s) ->
+         let supply = t.cap *. d in
+         Fp.leq (supply -. s) supply)
+       (breakpoints t)
+
+(* Single linear pass: walk the breakpoints accumulating the demand,
+   checking the candidate's own constraint at [t = delay] and the eq.-(5)
+   constraint at every breakpoint >= [delay].  When [delay] coincides with
+   a breakpoint, that breakpoint's constraint subsumes the own constraint
+   (it reads residual >= rate*0 + lmax). *)
+let can_admit t ~rate ~delay ~lmax =
+  Fp.leq (t.total +. rate) t.cap
+  &&
+  (* Own constraint at a point strictly inside the segment beginning at
+     [prev]: demand grows linearly, no jump at [delay] itself. *)
+  let own_ok demand rate_sum prev =
+    let at_delay = demand +. (rate_sum *. (delay -. prev)) in
+    Fp.geq ((t.cap *. delay) -. at_delay) lmax
+  in
+  let rec go demand rate_sum prev own_done = function
+    | [] -> own_done || own_ok demand rate_sum prev
+    | k :: rest as all ->
+        if (not own_done) && k.delay > delay then
+          own_ok demand rate_sum prev && go demand rate_sum prev true all
+        else begin
+          let demand = demand +. (rate_sum *. (k.delay -. prev)) +. k.sum_lmax in
+          let s = (t.cap *. k.delay) -. demand in
+          let ok =
+            k.delay < delay || Fp.geq s ((rate *. (k.delay -. delay)) +. lmax)
+          in
+          ok
+          && go demand (rate_sum +. k.sum_rate) k.delay
+               (own_done || k.delay >= delay)
+               rest
+        end
+  in
+  go 0. 0. 0. false t.by_delay
+
+(* [residual_service] is piecewise linear in [at] with non-negative slope
+   between breakpoints (slope = capacity minus the rates of earlier classes)
+   and a downward jump of [sum_lmax] at each breakpoint; we scan segments in
+   order for the first point where it reaches [lmax]. *)
+let min_feasible_delay t ~lmax =
+  let solve_segment ~start ~value ~slope ~limit =
+    (* Smallest d in [start, limit) with value + slope (d - start) >= lmax;
+       [limit = infinity] for the last segment. *)
+    if Fp.geq value lmax then Some start
+    else if slope <= 0. then None
+    else
+      let d = start +. ((lmax -. value) /. slope) in
+      if d < limit then Some d else None
+  in
+  let rec scan start value slope = function
+    | [] -> solve_segment ~start ~value ~slope ~limit:infinity
+    | k :: rest -> (
+        match solve_segment ~start ~value ~slope ~limit:k.delay with
+        | Some d -> Some d
+        | None ->
+            let at_bp = value +. (slope *. (k.delay -. start)) -. k.sum_lmax in
+            scan k.delay at_bp (slope -. k.sum_rate) rest)
+  in
+  scan 0. 0. t.cap t.by_delay
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>VT-EDF capacity=%g total_rate=%g flows=%d" t.cap t.total t.flows;
+  List.iter
+    (fun k ->
+      Fmt.pf ppf "@,  d=%g rate=%g lmax=%g n=%d S=%g" k.delay k.sum_rate k.sum_lmax
+        k.count (residual_service t ~at:k.delay))
+    t.by_delay;
+  Fmt.pf ppf "@]"

@@ -1,0 +1,85 @@
+(** Schedulability state of a delay-based (VT-EDF) scheduler.
+
+    A VT-EDF scheduler of capacity [C] can guarantee every flow [j] its
+    delay parameter [d^j] with error term [lmax*/C] iff (paper eq. (5))
+
+    {v sum_j [ r^j (t - d^j) + lmax^j ] 1{t >= d^j}  <=  C t   for all t >= 0 v}
+
+    The left side is piecewise linear with upward jumps at the [d^j], so the
+    condition only needs checking at each distinct delay value (and the
+    total-rate slope condition at infinity).  This module maintains the flow
+    population of one scheduler grouped by {e distinct} delay value — the
+    structure behind the paper's O(M) path-oriented admission algorithm
+    (Section 3.2) — and answers exact schedulability queries.
+
+    The broker holds one [Vtedf.t] per delay-based link; the routers
+    themselves remain stateless. *)
+
+type t
+
+type klass = {
+  delay : float;  (** the distinct delay value [d^m] *)
+  sum_rate : float;  (** total reserved rate of flows at this delay *)
+  sum_lmax : float;  (** total max packet size of flows at this delay *)
+  count : int;  (** number of flows at this delay *)
+}
+
+val create : capacity:float -> t
+(** Raises [Invalid_argument] unless [capacity > 0]. *)
+
+val capacity : t -> float
+
+val total_rate : t -> float
+(** Sum of reserved rates of all flows. *)
+
+val flow_count : t -> int
+
+val classes : t -> klass list
+(** Current population grouped by distinct delay, in increasing delay
+    order.  [List.length (classes t)] is the paper's [M]. *)
+
+val add : t -> rate:float -> delay:float -> lmax:float -> unit
+(** Registers a flow.  No schedulability check is made — callers decide via
+    {!can_admit} first.  Raises [Invalid_argument] on non-positive [rate],
+    [lmax] or negative [delay]. *)
+
+val remove : t -> rate:float -> delay:float -> lmax:float -> unit
+(** Unregisters a flow previously added with the same parameters.  Raises
+    [Invalid_argument] if no flow with this delay is present. *)
+
+val demand : t -> at:float -> float
+(** Left side of eq. (5) at time [at]:
+    [sum over flows with d^j <= at of (r^j (at - d^j) + lmax^j)]. *)
+
+val rate_below : t -> at:float -> float
+(** Sum of reserved rates of flows with delay parameter [<= at] — the local
+    slope of {!demand}. *)
+
+val residual_service : t -> at:float -> float
+(** [S(at) = C*at - demand at]: the minimal residual service over any
+    interval of length [at].  At a breakpoint [d^m] this is the paper's
+    [S_i^k]. *)
+
+val breakpoints : t -> (float * float) list
+(** [(d^m, S at d^m)] for every distinct delay, ascending, computed in one
+    linear pass — the O(M) building block of the Section-3.2 admission
+    algorithm. *)
+
+val schedulable : t -> bool
+(** Exact check of eq. (5) over the current population. *)
+
+val can_admit : t -> rate:float -> delay:float -> lmax:float -> bool
+(** Exact check that eq. (5) still holds after adding the candidate flow:
+    the slope condition [total_rate + rate <= C], the candidate's own
+    constraint at [t = delay], and the constraint at every existing
+    breakpoint [d^m >= delay].  Assumes the current population is
+    schedulable. *)
+
+val min_feasible_delay : t -> lmax:float -> float option
+(** Smallest delay parameter [d] such that a {e zero-rate} flow of maximum
+    packet size [lmax] would be schedulable at [t = d]
+    ([residual_service d >= lmax]); the true minimum feasible delay for a
+    positive-rate candidate is at least this.  [None] if no such delay
+    exists (the scheduler is saturated). *)
+
+val pp : t Fmt.t

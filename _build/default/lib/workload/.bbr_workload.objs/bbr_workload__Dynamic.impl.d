@@ -1,0 +1,1 @@
+lib/workload/dynamic.ml: Array Bbr_broker Bbr_netsim Bbr_util Bbr_vtrs Fig8 Fmt Hashtbl List Option Profiles

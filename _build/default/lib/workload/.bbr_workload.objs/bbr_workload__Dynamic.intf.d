@@ -1,0 +1,1 @@
+lib/workload/dynamic.mli: Bbr_broker Bbr_vtrs Fig8 Fmt

@@ -1,0 +1,1 @@
+lib/workload/fig8.ml: Bbr_vtrs List Printf

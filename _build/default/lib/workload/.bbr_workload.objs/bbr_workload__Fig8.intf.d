@@ -1,0 +1,1 @@
+lib/workload/fig8.mli: Bbr_vtrs

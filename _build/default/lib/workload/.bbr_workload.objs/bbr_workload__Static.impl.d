@@ -1,0 +1,1 @@
+lib/workload/static.ml: Bbr_broker Bbr_intserv Bbr_netsim Bbr_vtrs Fig8 Hashtbl List Profiles

@@ -1,0 +1,1 @@
+lib/workload/static.mli: Bbr_broker Fig8

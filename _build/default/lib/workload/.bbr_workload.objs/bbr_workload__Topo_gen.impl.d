@@ -1,0 +1,1 @@
+lib/workload/topo_gen.ml: Array Bbr_util Bbr_vtrs Printf

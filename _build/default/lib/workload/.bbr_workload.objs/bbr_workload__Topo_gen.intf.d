@@ -1,0 +1,1 @@
+lib/workload/topo_gen.mli: Bbr_util Bbr_vtrs

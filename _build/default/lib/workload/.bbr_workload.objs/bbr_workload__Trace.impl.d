@@ -1,0 +1,1 @@
+lib/workload/trace.ml: Bbr_vtrs Buffer Dynamic List Printf String

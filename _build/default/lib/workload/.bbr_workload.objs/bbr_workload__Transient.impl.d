@@ -1,0 +1,1 @@
+lib/workload/transient.ml: Bbr_netsim Bbr_vtrs Float Hashtbl Profiles

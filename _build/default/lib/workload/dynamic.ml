@@ -1,0 +1,394 @@
+module Traffic = Bbr_vtrs.Traffic
+module Types = Bbr_broker.Types
+module Broker = Bbr_broker.Broker
+module Aggregate = Bbr_broker.Aggregate
+module Engine = Bbr_netsim.Engine
+module Fluid_edge = Bbr_netsim.Fluid_edge
+module Prng = Bbr_util.Prng
+
+type scheme = Perflow | Aggr of Aggregate.method_
+
+let pp_scheme ppf = function
+  | Perflow -> Fmt.string ppf "per-flow BB/VTRS"
+  | Aggr Aggregate.Bounding -> Fmt.string ppf "aggr BB/VTRS (bounding)"
+  | Aggr Aggregate.Feedback -> Fmt.string ppf "aggr BB/VTRS (feedback)"
+
+type config = {
+  seed : int;
+  setting : Fig8.setting;
+  arrival_rate : float;
+  mean_holding : float;
+  duration : float;
+  cd : float;
+}
+
+let default_config =
+  {
+    seed = 1;
+    setting = `Rate_only;
+    arrival_rate = 0.15;
+    mean_holding = 200.;
+    duration = 20_000.;
+    cd = 0.24;
+  }
+
+type outcome = {
+  offered : int;
+  blocked : int;
+  blocking_rate : float;
+  completed : int;
+}
+
+type entry = {
+  at : float;
+  holding : float;
+  profile : Traffic.t;
+  dreq : float;
+  ingress : string;
+  egress : string;
+}
+
+(* Materialize the arrival sequence a configuration induces; both [run]
+   variants replay this list, so a saved trace reproduces a run exactly. *)
+let arrivals config =
+  let prng = Prng.create ~seed:config.seed in
+  let arrivals_rng = Prng.split prng in
+  let holding_rng = Prng.split prng in
+  let mix_rng = Prng.split prng in
+  let rec go now acc =
+    let gap = Prng.exponential arrivals_rng ~mean:(1. /. config.arrival_rate) in
+    let at = now +. gap in
+    if at >= config.duration then List.rev acc
+    else begin
+      let flow_type = Prng.int mix_rng ~bound:4 in
+      let tight = Prng.bool mix_rng in
+      let dreq = Profiles.bound flow_type (if tight then `Tight else `Loose) in
+      let from_s1 = Prng.bool mix_rng in
+      let holding = Prng.exponential holding_rng ~mean:config.mean_holding in
+      go at
+        ({
+           at;
+           holding;
+           profile = Profiles.profile flow_type;
+           dreq;
+           ingress = (if from_s1 then Fig8.ingress1 else Fig8.ingress2);
+           egress = (if from_s1 then Fig8.egress1 else Fig8.egress2);
+         }
+        :: acc)
+    end
+  in
+  go 0. []
+
+(* One delay service class per distinct Table-1 bound: flows of different
+   types sharing a bound aggregate into the same macroflow per path. *)
+let service_classes cd =
+  List.mapi
+    (fun i dreq -> { Aggregate.class_id = i; dreq; cd })
+    Profiles.all_bounds
+
+let run_trace ?(setting = `Rate_only) ?(cd = 0.24) entries scheme =
+  let engine = Engine.create () in
+  let topology = Fig8.topology setting in
+  let fluids : (int * int, Fluid_edge.t) Hashtbl.t = Hashtbl.create 16 in
+  let broker_ref = ref None in
+  let fluid_for ~class_id ~path_id =
+    match Hashtbl.find_opt fluids (class_id, path_id) with
+    | Some f -> f
+    | None ->
+        let f =
+          Fluid_edge.create engine ~service:0.
+            ~on_empty:(fun () ->
+              match !broker_ref with
+              | Some broker -> Broker.queue_empty broker ~class_id ~path_id
+              | None -> ())
+            ()
+        in
+        Hashtbl.replace fluids (class_id, path_id) f;
+        f
+  in
+  let broker =
+    Broker.create
+      ~classes:(match scheme with Perflow -> [] | Aggr _ -> service_classes cd)
+      ~method_:(match scheme with Perflow | Aggr Aggregate.Feedback -> Aggregate.Feedback
+               | Aggr Aggregate.Bounding -> Aggregate.Bounding)
+      ~time:
+        {
+          Broker.now = (fun () -> Engine.now engine);
+          after = (fun delay f -> Engine.schedule_after engine ~delay f);
+        }
+      ~on_class_rate:(fun ~class_id ~path_id ~total_rate ->
+        Fluid_edge.set_service (fluid_for ~class_id ~path_id) total_rate)
+      topology
+  in
+  broker_ref := Some broker;
+  let offered = ref 0 and blocked = ref 0 and completed = ref 0 in
+  let admit_one entry =
+    let req =
+      {
+        Types.profile = entry.profile;
+        dreq = entry.dreq;
+        ingress = entry.ingress;
+        egress = entry.egress;
+      }
+    in
+    incr offered;
+    match scheme with
+    | Perflow -> (
+        match Broker.request broker req with
+        | Ok (flow, _) ->
+            Engine.schedule_after engine ~delay:entry.holding (fun () ->
+                Broker.teardown broker flow;
+                incr completed)
+        | Error _ -> incr blocked)
+    | Aggr _ -> (
+        match Broker.request_class broker req with
+        | Ok (flow, cls) ->
+            let profile = entry.profile in
+            let fluid =
+              match Broker.route_of broker req with
+              | Some path ->
+                  Some
+                    (fluid_for ~class_id:cls.Aggregate.class_id
+                       ~path_id:path.Bbr_broker.Path_mib.path_id)
+              | None -> None
+            in
+            (* The microflow dumps its burst at arrival, then sends at its
+               sustained rate until departure. *)
+            Option.iter
+              (fun f ->
+                Fluid_edge.add_burst f profile.Traffic.sigma;
+                Fluid_edge.set_input f ~id:flow ~rate:profile.Traffic.rho)
+              fluid;
+            Engine.schedule_after engine ~delay:entry.holding (fun () ->
+                Option.iter (fun f -> Fluid_edge.remove_input f ~id:flow) fluid;
+                Broker.teardown_class broker flow;
+                incr completed;
+                (* A departure with an already-empty edge backlog produces
+                   no emptying transition; signal explicitly so feedback
+                   contingency cannot linger. *)
+                Option.iter
+                  (fun f ->
+                    if Fluid_edge.is_empty f then
+                      match Broker.route_of broker req with
+                      | Some path ->
+                          Broker.queue_empty broker
+                            ~class_id:cls.Aggregate.class_id
+                            ~path_id:path.Bbr_broker.Path_mib.path_id
+                      | None -> ())
+                  fluid)
+        | Error _ -> incr blocked)
+  in
+  List.iter
+    (fun entry -> Engine.schedule engine ~at:entry.at (fun () -> admit_one entry))
+    entries;
+  Engine.run engine;
+  {
+    offered = !offered;
+    blocked = !blocked;
+    blocking_rate =
+      (if !offered = 0 then 0. else float_of_int !blocked /. float_of_int !offered);
+    completed = !completed;
+  }
+
+let run config scheme = run_trace ~setting:config.setting ~cd:config.cd (arrivals config) scheme
+
+(* ------------------------------------------------------------------ *)
+(* Packet-level variant: the same churn driven through the full data
+   plane. *)
+
+type packet_outcome = {
+  admission : outcome;
+  packets : int;
+  bound_violations : int;
+  worst_slack : float;
+}
+
+module Net = Bbr_netsim.Net
+module Source = Bbr_netsim.Source
+module Edge_conditioner = Bbr_netsim.Edge_conditioner
+module Sink = Bbr_netsim.Sink
+module Delay = Bbr_vtrs.Delay
+module Topology = Bbr_vtrs.Topology
+
+let run_packet_level config scheme =
+  let engine = Engine.create () in
+  let prng = Prng.create ~seed:config.seed in
+  let arrivals_rng = Prng.split prng in
+  let holding_rng = Prng.split prng in
+  let mix_rng = Prng.split prng in
+  let topology = Fig8.topology config.setting in
+  let net = Net.create engine topology Net.Core_stateless in
+  let broker_ref = ref None in
+  (* One edge conditioner per macroflow under the aggregate schemes,
+     keyed by (class, path); its queue-empty events are the real
+     contingency feedback. *)
+  let macro_conds : (int * int, Edge_conditioner.t) Hashtbl.t = Hashtbl.create 16 in
+  let classes =
+    match scheme with Perflow -> [] | Aggr _ -> service_classes config.cd
+  in
+  let class_def id =
+    List.find (fun (c : Aggregate.class_def) -> c.Aggregate.class_id = id) classes
+  in
+  let cond_for ~class_id ~path_id =
+    match Hashtbl.find_opt macro_conds (class_id, path_id) with
+    | Some c -> c
+    | None ->
+        let c =
+          Net.make_conditioner net ~rate:1. ~delay_param:(class_def class_id).Aggregate.cd
+            ~lmax:Topology.mtu_bits
+            ~on_empty:(fun () ->
+              match !broker_ref with
+              | Some broker -> Broker.queue_empty broker ~class_id ~path_id
+              | None -> ())
+            ()
+        in
+        Hashtbl.replace macro_conds (class_id, path_id) c;
+        c
+  in
+  let broker =
+    Broker.create ~classes
+      ~method_:(match scheme with
+               | Perflow | Aggr Aggregate.Feedback -> Aggregate.Feedback
+               | Aggr Aggregate.Bounding -> Aggregate.Bounding)
+      ~time:
+        {
+          Broker.now = (fun () -> Engine.now engine);
+          after = (fun delay f -> Engine.schedule_after engine ~delay f);
+        }
+      ~on_class_rate:(fun ~class_id ~path_id ~total_rate ->
+        (* A macroflow that lost its last member pushes rate 0; leave the
+           (idle) conditioner at its previous rate instead. *)
+        if total_rate > 0. then
+          Edge_conditioner.set_rate (cond_for ~class_id ~path_id) total_rate)
+      topology
+  in
+  broker_ref := Some broker;
+  let offered = ref 0 and blocked = ref 0 and completed = ref 0 in
+  (* For the bound audit: flow -> (its end-to-end bound). *)
+  let bounds : (int, float) Hashtbl.t = Hashtbl.create 256 in
+  let admit_one () =
+    let flow_type = Prng.int mix_rng ~bound:4 in
+    let tight = Prng.bool mix_rng in
+    let dreq = Profiles.bound flow_type (if tight then `Tight else `Loose) in
+    let from_s1 = Prng.bool mix_rng in
+    let req =
+      {
+        Types.profile = Profiles.profile flow_type;
+        dreq;
+        ingress = (if from_s1 then Fig8.ingress1 else Fig8.ingress2);
+        egress = (if from_s1 then Fig8.egress1 else Fig8.egress2);
+      }
+    in
+    incr offered;
+    let holding = Prng.exponential holding_rng ~mean:config.mean_holding in
+    let profile = req.Types.profile in
+    let path_info = Broker.route_of broker req in
+    let start_source ~flow ~submit =
+      let path =
+        match path_info with
+        | Some info -> Array.of_list info.Bbr_broker.Path_mib.links
+        | None -> [||]
+      in
+      Source.on_off engine ~profile ~flow ~path ~next:submit ()
+    in
+    match scheme with
+    | Perflow -> (
+        match Broker.request broker req with
+        | Ok (flow, res) ->
+            (match path_info with
+            | Some info ->
+                Hashtbl.replace bounds flow
+                  (Delay.e2e_bound profile ~q:info.Bbr_broker.Path_mib.rate_hops
+                     ~delay_hops:info.Bbr_broker.Path_mib.delay_hops
+                     ~rate:res.Types.rate ~delay:res.Types.delay
+                     ~d_tot:info.Bbr_broker.Path_mib.d_tot)
+            | None -> ());
+            let cond =
+              Net.make_conditioner net ~rate:res.Types.rate
+                ~delay_param:res.Types.delay ~lmax:profile.Traffic.lmax ()
+            in
+            let src =
+              start_source ~flow ~submit:(fun p -> Edge_conditioner.submit cond p)
+            in
+            Engine.schedule_after engine ~delay:holding (fun () ->
+                Source.halt src;
+                Broker.teardown broker flow;
+                incr completed)
+        | Error _ -> incr blocked)
+    | Aggr _ -> (
+        match Broker.request_class broker req with
+        | Ok (flow, cls) ->
+            (* Packets of every member are bounded by the class bound. *)
+            Hashtbl.replace bounds flow cls.Aggregate.dreq;
+            let cond =
+              match path_info with
+              | Some info ->
+                  cond_for ~class_id:cls.Aggregate.class_id
+                    ~path_id:info.Bbr_broker.Path_mib.path_id
+              | None -> assert false
+            in
+            let src =
+              start_source ~flow ~submit:(fun p -> Edge_conditioner.submit cond p)
+            in
+            Engine.schedule_after engine ~delay:holding (fun () ->
+                Source.halt src;
+                Broker.teardown_class broker flow;
+                incr completed;
+                (* A departure that leaves the macroflow backlog already
+                   empty produces no emptying transition. *)
+                if Edge_conditioner.backlog_bits cond = 0. then
+                  match path_info with
+                  | Some info ->
+                      Broker.queue_empty broker ~class_id:cls.Aggregate.class_id
+                        ~path_id:info.Bbr_broker.Path_mib.path_id
+                  | None -> ())
+        | Error _ -> incr blocked)
+  in
+  let rec schedule_arrival () =
+    let gap = Prng.exponential arrivals_rng ~mean:(1. /. config.arrival_rate) in
+    let at = Engine.now engine +. gap in
+    if at < config.duration then
+      Engine.schedule engine ~at (fun () ->
+          admit_one ();
+          schedule_arrival ())
+  in
+  schedule_arrival ();
+  Engine.run engine;
+  let sink = Net.sink net in
+  let violations = ref 0 and worst = ref infinity in
+  Hashtbl.iter
+    (fun flow bound ->
+      match Sink.stats sink ~flow with
+      | Some s ->
+          let slack = bound -. s.Sink.max_e2e in
+          if slack < !worst then worst := slack;
+          if slack < -1e-9 then incr violations
+      | None -> ())
+    bounds;
+  {
+    admission =
+      {
+        offered = !offered;
+        blocked = !blocked;
+        blocking_rate =
+          (if !offered = 0 then 0.
+           else float_of_int !blocked /. float_of_int !offered);
+        completed = !completed;
+      };
+    packets = Sink.total_received sink;
+    bound_violations = !violations;
+    worst_slack = !worst;
+  }
+
+let blocking_vs_load ?(seeds = [ 1; 2; 3; 4; 5 ]) ?(base = default_config) ~loads
+    scheme =
+  List.map
+    (fun load ->
+      let rates =
+        List.map
+          (fun seed ->
+            (run { base with seed; arrival_rate = load } scheme).blocking_rate)
+          seeds
+      in
+      (load, Bbr_util.Stats.mean_of rates))
+    loads

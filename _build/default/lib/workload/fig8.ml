@@ -1,0 +1,62 @@
+module Topology = Bbr_vtrs.Topology
+
+type setting = [ `Rate_only | `Mixed ]
+
+let capacity = 1_500_000.
+
+let ingress1 = "I1"
+
+let ingress2 = "I2"
+
+let egress1 = "E1"
+
+let egress2 = "E2"
+
+(* Links and their scheduler class in the [`Mixed] setting (paper
+   Section 5): VT-EDF on R3->R4, R4->R5 and R5->E2, CsVC elsewhere. *)
+let edges =
+  [
+    ("I1", "R2", `Rate);
+    ("I2", "R2", `Rate);
+    ("R2", "R3", `Rate);
+    ("R3", "R4", `Delay);
+    ("R4", "R5", `Delay);
+    ("R5", "E1", `Rate);
+    ("R5", "E2", `Delay);
+  ]
+
+let topology setting =
+  let t = Topology.create () in
+  List.iter
+    (fun (src, dst, kind) ->
+      let sched =
+        match (setting, kind) with
+        | `Rate_only, _ | `Mixed, `Rate -> Topology.Rate_based
+        | `Mixed, `Delay -> Topology.Delay_based
+      in
+      ignore (Topology.add_link t ~src ~dst ~capacity sched))
+    edges;
+  t
+
+let find t ~src ~dst =
+  match Topology.find_link t ~src ~dst with
+  | Some l -> l
+  | None -> invalid_arg (Printf.sprintf "Fig8: missing link %s -> %s" src dst)
+
+let path1 t =
+  [
+    find t ~src:"I1" ~dst:"R2";
+    find t ~src:"R2" ~dst:"R3";
+    find t ~src:"R3" ~dst:"R4";
+    find t ~src:"R4" ~dst:"R5";
+    find t ~src:"R5" ~dst:"E1";
+  ]
+
+let path2 t =
+  [
+    find t ~src:"I2" ~dst:"R2";
+    find t ~src:"R2" ~dst:"R3";
+    find t ~src:"R3" ~dst:"R4";
+    find t ~src:"R4" ~dst:"R5";
+    find t ~src:"R5" ~dst:"E2";
+  ]

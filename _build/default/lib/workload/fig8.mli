@@ -1,0 +1,34 @@
+(** The paper's simulation topology (Figure 8).
+
+    Eight QoS-domain routers: two ingresses I1, I2, four core routers
+    R2–R5, two egresses E1, E2.  All outgoing links run at 1.5 Mb/s with
+    zero propagation delay.  The access links S→I and E→D are outside the
+    QoS domain (infinite capacity in the paper) and are not modeled.
+
+    Two scheduler settings, as in Section 5:
+    - [`Rate_only]: every link is rate-based (C̄S-VC / VC);
+    - [`Mixed]: R3→R4, R4→R5 and R5→E2 are delay-based (VT-EDF / RC-EDF),
+      the rest rate-based. *)
+
+type setting = [ `Rate_only | `Mixed ]
+
+val capacity : float
+(** 1.5 Mb/s. *)
+
+val topology : setting -> Bbr_vtrs.Topology.t
+
+val ingress1 : string
+(** "I1" — flows from source S1. *)
+
+val ingress2 : string
+
+val egress1 : string
+(** "E1" — towards destination D1. *)
+
+val egress2 : string
+
+val path1 : Bbr_vtrs.Topology.t -> Bbr_vtrs.Topology.link list
+(** I1 → R2 → R3 → R4 → R5 → E1 (5 hops). *)
+
+val path2 : Bbr_vtrs.Topology.t -> Bbr_vtrs.Topology.link list
+(** I2 → R2 → R3 → R4 → R5 → E2 (5 hops). *)

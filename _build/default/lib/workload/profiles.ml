@@ -1,0 +1,42 @@
+module Traffic = Bbr_vtrs.Traffic
+
+type entry = {
+  flow_type : int;
+  profile : Bbr_vtrs.Traffic.t;
+  loose_bound : float;
+  tight_bound : float;
+}
+
+let pkt_bits = 12000.
+
+let mk flow_type ~sigma ~rho ~loose ~tight =
+  {
+    flow_type;
+    profile = Traffic.make ~sigma ~rho ~peak:100_000. ~lmax:pkt_bits;
+    loose_bound = loose;
+    tight_bound = tight;
+  }
+
+let table =
+  [|
+    mk 0 ~sigma:60_000. ~rho:50_000. ~loose:2.44 ~tight:2.19;
+    mk 1 ~sigma:48_000. ~rho:40_000. ~loose:2.74 ~tight:2.46;
+    mk 2 ~sigma:36_000. ~rho:30_000. ~loose:3.24 ~tight:2.91;
+    mk 3 ~sigma:24_000. ~rho:20_000. ~loose:4.24 ~tight:3.81;
+  |]
+
+let entry_of ty =
+  if ty < 0 || ty >= Array.length table then
+    invalid_arg (Printf.sprintf "Profiles: unknown flow type %d" ty);
+  table.(ty)
+
+let profile ty = (entry_of ty).profile
+
+let bound ty = function
+  | `Loose -> (entry_of ty).loose_bound
+  | `Tight -> (entry_of ty).tight_bound
+
+let all_bounds =
+  Array.to_list table
+  |> List.concat_map (fun e -> [ e.loose_bound; e.tight_bound ])
+  |> List.sort_uniq compare

@@ -1,0 +1,154 @@
+module Traffic = Bbr_vtrs.Traffic
+module Types = Bbr_broker.Types
+module Broker = Bbr_broker.Broker
+module Aggregate = Bbr_broker.Aggregate
+module Engine = Bbr_netsim.Engine
+module Fluid_edge = Bbr_netsim.Fluid_edge
+
+type scheme =
+  | Intserv_gs
+  | Perflow_bb
+  | Aggr_bb of { cd : float; method_ : Aggregate.method_ }
+
+type step = { n : int; flow_rate : float; total_rate : float; mean_rate : float }
+
+type result = { admitted : int; steps : step list }
+
+let request ~dreq ~flow_type =
+  {
+    Types.profile = Profiles.profile flow_type;
+    dreq;
+    ingress = Fig8.ingress1;
+    egress = Fig8.egress1;
+  }
+
+let max_offers = 10_000
+
+let fill_intserv ~setting ~dreq ~flow_type =
+  let gs = Bbr_intserv.Gs_admission.create (Fig8.topology setting) in
+  let req = request ~dreq ~flow_type in
+  let steps = ref [] in
+  let total = ref 0. in
+  let n = ref 0 in
+  let rejected = ref false in
+  while (not !rejected) && !n < max_offers do
+    match Bbr_intserv.Gs_admission.request gs req with
+    | Ok (_, res) ->
+        incr n;
+        total := !total +. res.Types.rate;
+        steps :=
+          {
+            n = !n;
+            flow_rate = res.Types.rate;
+            total_rate = !total;
+            mean_rate = !total /. float_of_int !n;
+          }
+          :: !steps
+    | Error _ -> rejected := true
+  done;
+  { admitted = !n; steps = List.rev !steps }
+
+let fill_perflow ~setting ~dreq ~flow_type =
+  let broker = Broker.create (Fig8.topology setting) in
+  let req = request ~dreq ~flow_type in
+  let steps = ref [] in
+  let total = ref 0. in
+  let n = ref 0 in
+  let rejected = ref false in
+  while (not !rejected) && !n < max_offers do
+    match Broker.request broker req with
+    | Ok (_, res) ->
+        incr n;
+        total := !total +. res.Types.rate;
+        steps :=
+          {
+            n = !n;
+            flow_rate = res.Types.rate;
+            total_rate = !total;
+            mean_rate = !total /. float_of_int !n;
+          }
+          :: !steps
+    | Error _ -> rejected := true
+  done;
+  { admitted = !n; steps = List.rev !steps }
+
+let fill_aggregate ~setting ~dreq ~flow_type ~gap ~cd ~method_ =
+  let engine = Engine.create () in
+  let topology = Fig8.topology setting in
+  let cls = { Aggregate.class_id = 0; dreq; cd } in
+  (* One fluid edge per macroflow; there is a single class and path here
+     but the plumbing is written for the general case. *)
+  let fluids : (int * int, Fluid_edge.t) Hashtbl.t = Hashtbl.create 4 in
+  let broker_ref = ref None in
+  let fluid_for ~class_id ~path_id =
+    match Hashtbl.find_opt fluids (class_id, path_id) with
+    | Some f -> f
+    | None ->
+        let f =
+          Fluid_edge.create engine ~service:0.
+            ~on_empty:(fun () ->
+              match !broker_ref with
+              | Some broker -> Broker.queue_empty broker ~class_id ~path_id
+              | None -> ())
+            ()
+        in
+        Hashtbl.replace fluids (class_id, path_id) f;
+        f
+  in
+  let broker =
+    Broker.create ~classes:[ cls ] ~method_
+      ~time:
+        {
+          Broker.now = (fun () -> Engine.now engine);
+          after = (fun delay f -> Engine.schedule_after engine ~delay f);
+        }
+      ~on_class_rate:(fun ~class_id ~path_id ~total_rate ->
+        Fluid_edge.set_service (fluid_for ~class_id ~path_id) total_rate)
+      topology
+  in
+  broker_ref := Some broker;
+  let req = request ~dreq ~flow_type in
+  let profile = req.Types.profile in
+  let steps = ref [] in
+  let n = ref 0 in
+  let rejected = ref false in
+  while (not !rejected) && !n < max_offers do
+    match Broker.request_class broker req with
+    | Ok (flow, c) ->
+        incr n;
+        (* The admitted microflow is greedy: it dumps its burst and then
+           sends at its sustained rate forever. *)
+        (match Broker.route_of broker req with
+        | Some path ->
+            let fluid =
+              fluid_for ~class_id:c.Aggregate.class_id
+                ~path_id:path.Bbr_broker.Path_mib.path_id
+            in
+            Fluid_edge.add_burst fluid profile.Traffic.sigma;
+            Fluid_edge.set_input fluid ~id:flow ~rate:profile.Traffic.rho
+        | None -> ());
+        let stats = Aggregate.all_macroflows (Broker.aggregate broker) in
+        let total =
+          List.fold_left (fun acc s -> acc +. s.Aggregate.base_rate) 0. stats
+        in
+        steps :=
+          {
+            n = !n;
+            flow_rate = total -. (match !steps with s :: _ -> s.total_rate | [] -> 0.);
+            total_rate = total;
+            mean_rate = total /. float_of_int !n;
+          }
+          :: !steps;
+        (* Idle period before the next arrival: contingency periods expire
+           and the fluid backlog drains. *)
+        Engine.run ~until:(Engine.now engine +. gap) engine
+    | Error _ -> rejected := true
+  done;
+  { admitted = !n; steps = List.rev !steps }
+
+let fill ~setting ~dreq ?(flow_type = 0) ?(gap = 1000.) scheme =
+  match scheme with
+  | Intserv_gs -> fill_intserv ~setting ~dreq ~flow_type
+  | Perflow_bb -> fill_perflow ~setting ~dreq ~flow_type
+  | Aggr_bb { cd; method_ } ->
+      fill_aggregate ~setting ~dreq ~flow_type ~gap ~cd ~method_

@@ -1,0 +1,34 @@
+(** Static fill experiment (paper Section 5, Table 2 and Figure 9).
+
+    Identical flows are offered sequentially on the S1→D1 path until the
+    first rejection, under one of the three admission-control schemes the
+    paper compares.  For the aggregate scheme a real event clock runs
+    between arrivals and a fluid model of the macroflow's edge backlog
+    feeds the contingency machinery, so both the bounding and the feedback
+    contingency methods behave as they would on a live data plane. *)
+
+type scheme =
+  | Intserv_gs  (** IntServ/GS: WFQ-reference rate + hop-by-hop tests *)
+  | Perflow_bb  (** Per-flow BB/VTRS: path-oriented admission *)
+  | Aggr_bb of { cd : float; method_ : Bbr_broker.Aggregate.method_ }
+      (** Aggregate BB/VTRS: one delay service class with fixed delay
+          parameter [cd] *)
+
+type step = {
+  n : int;  (** number of flows admitted so far *)
+  flow_rate : float;  (** rate reserved for (or attributed to) this flow *)
+  total_rate : float;  (** total steady-state reserved rate *)
+  mean_rate : float;  (** [total_rate / n] — the Figure-9 metric *)
+}
+
+type result = {
+  admitted : int;  (** Table-2 metric: flows admitted before first reject *)
+  steps : step list;  (** one per admitted flow, in admission order *)
+}
+
+val fill :
+  setting:Fig8.setting -> dreq:float -> ?flow_type:int -> ?gap:float -> scheme -> result
+(** [flow_type] defaults to 0 (the paper's choice); [gap] is the idle time
+    between successive arrivals in the aggregate scheme (default 1000 s —
+    long enough for contingency periods to expire and edge backlogs to
+    drain, matching the paper's masking observation). *)

@@ -1,0 +1,57 @@
+module Topology = Bbr_vtrs.Topology
+module Prng = Bbr_util.Prng
+
+let chain ?(prefix = "n") ?(capacity = 1.5e6) ?(sched = Topology.Rate_based) ~hops () =
+  if hops < 1 then invalid_arg "Topo_gen.chain: at least one hop";
+  let t = Topology.create () in
+  let name i = Printf.sprintf "%s%d" prefix i in
+  for i = 0 to hops - 1 do
+    ignore (Topology.add_link t ~src:(name i) ~dst:(name (i + 1)) ~capacity sched)
+  done;
+  (t, name 0, name hops)
+
+let star ?(capacity = 1.5e6) ~leaves () =
+  if leaves < 2 then invalid_arg "Topo_gen.star: at least two leaves";
+  let t = Topology.create () in
+  for i = 0 to leaves - 1 do
+    let n = Printf.sprintf "N%d" i in
+    ignore (Topology.add_link t ~src:n ~dst:"C" ~capacity Topology.Rate_based);
+    ignore (Topology.add_link t ~src:"C" ~dst:n ~capacity Topology.Rate_based)
+  done;
+  t
+
+let random prng ~nodes ~extra_links ?(delay_fraction = 0.3) ?(capacity_lo = 1e6)
+    ?(capacity_hi = 1e7) () =
+  if nodes < 2 then invalid_arg "Topo_gen.random: at least two nodes";
+  let t = Topology.create () in
+  let name i = Printf.sprintf "N%d" i in
+  let sched () =
+    if Prng.float prng < delay_fraction then Topology.Delay_based
+    else Topology.Rate_based
+  in
+  let capacity () = Prng.float_range prng ~lo:capacity_lo ~hi:capacity_hi in
+  let add_pair a b =
+    if Topology.find_link t ~src:a ~dst:b = None then begin
+      let c = capacity () and s = sched () in
+      ignore (Topology.add_link t ~src:a ~dst:b ~capacity:c s);
+      ignore (Topology.add_link t ~src:b ~dst:a ~capacity:c s)
+    end
+  in
+  (* Random spanning tree: attach each new node to a random earlier one. *)
+  for i = 1 to nodes - 1 do
+    add_pair (name (Prng.int prng ~bound:i)) (name i)
+  done;
+  for _ = 1 to extra_links do
+    let a = Prng.int prng ~bound:nodes and b = Prng.int prng ~bound:nodes in
+    if a <> b then add_pair (name a) (name b)
+  done;
+  t
+
+let random_endpoints prng topology =
+  let nodes = Array.of_list (Topology.nodes topology) in
+  let a = Prng.int prng ~bound:(Array.length nodes) in
+  let rec pick_b () =
+    let b = Prng.int prng ~bound:(Array.length nodes) in
+    if b = a then pick_b () else b
+  in
+  (nodes.(a), nodes.(pick_b ()))

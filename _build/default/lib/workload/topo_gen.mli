@@ -1,0 +1,42 @@
+(** Synthetic domain topologies beyond the paper's Figure 8 — used by the
+    robustness test-suites and available to users for their own
+    experiments.  All generators are deterministic in the supplied
+    generator state. *)
+
+val chain :
+  ?prefix:string ->
+  ?capacity:float ->
+  ?sched:Bbr_vtrs.Topology.sched_class ->
+  hops:int ->
+  unit ->
+  Bbr_vtrs.Topology.t * string * string
+(** A linear domain of [hops] links; returns (topology, ingress, egress).
+    Node names are [prefix ^ i]. *)
+
+val star :
+  ?capacity:float ->
+  leaves:int ->
+  unit ->
+  Bbr_vtrs.Topology.t
+(** [leaves] edge routers, each with a link to and from a hub "C"; edge
+    router [i] is named ["N<i>"].  Every pair of edge routers is connected
+    through the hub (2 hops). *)
+
+val random :
+  Bbr_util.Prng.t ->
+  nodes:int ->
+  extra_links:int ->
+  ?delay_fraction:float ->
+  ?capacity_lo:float ->
+  ?capacity_hi:float ->
+  unit ->
+  Bbr_vtrs.Topology.t
+(** A connected random domain: a random spanning arborescence plus
+    [extra_links] random extra directed links, with every link mirrored in
+    the reverse direction.  Each link's scheduler is delay-based with
+    probability [delay_fraction] (default 0.3) and its capacity uniform in
+    [[capacity_lo, capacity_hi]] (default 1–10 Mb/s).  Nodes are named
+    ["N0"… ].  Raises [Invalid_argument] for fewer than 2 nodes. *)
+
+val random_endpoints : Bbr_util.Prng.t -> Bbr_vtrs.Topology.t -> string * string
+(** Two distinct nodes of the topology. *)

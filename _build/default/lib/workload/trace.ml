@@ -1,0 +1,60 @@
+module Traffic = Bbr_vtrs.Traffic
+
+type entry = Dynamic.entry = {
+  at : float;
+  holding : float;
+  profile : Bbr_vtrs.Traffic.t;
+  dreq : float;
+  ingress : string;
+  egress : string;
+}
+
+let generate = Dynamic.arrivals
+
+let header = "bbr-trace v1"
+
+let to_string entries =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf header;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun e ->
+      Buffer.add_string buf
+        (Printf.sprintf "%h %h %h %h %h %h %h %s %s\n" e.at e.holding
+           e.profile.Traffic.sigma e.profile.Traffic.rho e.profile.Traffic.peak
+           e.profile.Traffic.lmax e.dreq e.ingress e.egress))
+    entries;
+  Buffer.contents buf
+
+let of_string text =
+  match String.split_on_char '\n' text with
+  | first :: rest when String.trim first = header ->
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | line :: lines -> (
+            if String.trim line = "" then go acc lines
+            else
+              match String.split_on_char ' ' (String.trim line) with
+              | [ at; holding; sigma; rho; peak; lmax; dreq; ingress; egress ] -> (
+                  match
+                    {
+                      at = float_of_string at;
+                      holding = float_of_string holding;
+                      profile =
+                        Traffic.make ~sigma:(float_of_string sigma)
+                          ~rho:(float_of_string rho) ~peak:(float_of_string peak)
+                          ~lmax:(float_of_string lmax);
+                      dreq = float_of_string dreq;
+                      ingress;
+                      egress;
+                    }
+                  with
+                  | entry -> go (entry :: acc) lines
+                  | exception _ -> Error (Printf.sprintf "bad trace line: %S" line))
+              | _ -> Error (Printf.sprintf "bad trace line: %S" line))
+      in
+      go [] rest
+  | first :: _ -> Error (Printf.sprintf "bad trace header: %S" (String.trim first))
+  | [] -> Error "empty trace"
+
+let replay ?setting ?cd entries scheme = Dynamic.run_trace ?setting ?cd entries scheme

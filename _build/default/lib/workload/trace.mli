@@ -1,0 +1,34 @@
+(** Flow-arrival traces: record, save, load and replay.
+
+    The paper's workloads are synthetic; a production deployment would be
+    driven by real flow-arrival logs.  This module defines a plain-text
+    trace format (one flow per line: arrival time, holding time, profile,
+    delay requirement, endpoints), a synthetic generator that emits the
+    paper's Figure-10 workload as a trace, and a replayer that runs any
+    trace through any admission scheme.  Replaying the generated trace is
+    bit-for-bit equivalent to {!Dynamic.run} with the same seed, so traces
+    double as a regression format. *)
+
+type entry = {
+  at : float;  (** arrival time, seconds *)
+  holding : float;  (** seconds *)
+  profile : Bbr_vtrs.Traffic.t;
+  dreq : float;
+  ingress : string;
+  egress : string;
+}
+
+val generate : Dynamic.config -> entry list
+(** The exact arrival sequence {!Dynamic.run} would produce for this
+    configuration (same PRNG discipline), as a materialized trace. *)
+
+val to_string : entry list -> string
+
+val of_string : string -> (entry list, string) result
+(** Inverse of {!to_string}; fails with a message naming the first bad
+    line. *)
+
+val replay :
+  ?setting:Fig8.setting -> ?cd:float -> entry list -> Dynamic.scheme -> Dynamic.outcome
+(** Run a trace through the admission machinery (fluid data plane, like
+    {!Dynamic.run}). *)

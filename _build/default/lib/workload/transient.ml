@@ -1,0 +1,105 @@
+module Traffic = Bbr_vtrs.Traffic
+module Delay = Bbr_vtrs.Delay
+module Engine = Bbr_netsim.Engine
+module Edge_conditioner = Bbr_netsim.Edge_conditioner
+module Source = Bbr_netsim.Source
+module Packet = Bbr_netsim.Packet
+
+type result = { bound : float; naive : float; with_contingency : float }
+
+(* A conditioner wrapper that tags every submitted packet with a unique
+   sequence number and tracks the worst queueing delay of packets arriving
+   at or after [from]. *)
+type probe = {
+  cond : Edge_conditioner.t;
+  submit : Packet.t -> unit;
+  max_wait_after : unit -> float;
+}
+
+let make_probe engine ~rate ~lmax ~from =
+  let arrivals : (int, float) Hashtbl.t = Hashtbl.create 512 in
+  let seq = ref 0 in
+  let worst = ref 0. in
+  let cond =
+    Edge_conditioner.create engine ~rate ~delay_param:0. ~lmax
+      ~next:(fun p ->
+        match Hashtbl.find_opt arrivals p.Packet.seq with
+        | Some at when at >= from -. 1e-9 ->
+            worst := Float.max !worst (Engine.now engine -. at)
+        | _ -> ())
+      ()
+  in
+  let submit p =
+    let tagged = { p with Packet.seq = !seq } in
+    incr seq;
+    Hashtbl.replace arrivals tagged.Packet.seq (Engine.now engine);
+    Edge_conditioner.submit cond tagged
+  in
+  { cond; submit; max_wait_after = (fun () -> !worst) }
+
+let type0 () = Profiles.profile 0
+
+let run_leave ~naive =
+  let profile = type0 () in
+  let engine = Engine.create () in
+  let t_leave = Traffic.t_on profile in
+  let r_before = 2. *. profile.Traffic.rho and r_after = profile.Traffic.rho in
+  let probe =
+    make_probe engine ~rate:r_before ~lmax:(2. *. profile.Traffic.lmax) ~from:t_leave
+  in
+  let _s1 =
+    Source.greedy engine ~profile ~flow:1 ~path:[||] ~next:probe.submit ()
+  in
+  let s2 = Source.greedy engine ~profile ~flow:2 ~path:[||] ~next:probe.submit () in
+  Engine.schedule engine ~at:t_leave (fun () ->
+      Source.halt s2;
+      if naive then Edge_conditioner.set_rate probe.cond r_after
+      else begin
+        (* Theorem 3: hold the departing flow's share for
+           tau = backlog / delta_r before reducing. *)
+        let tau = Edge_conditioner.backlog_bits probe.cond /. (r_before -. r_after) in
+        Engine.schedule_after engine ~delay:tau (fun () ->
+            Edge_conditioner.set_rate probe.cond r_after)
+      end);
+  Engine.run ~until:30. engine;
+  probe.max_wait_after ()
+
+let leave_scenario () =
+  let profile = type0 () in
+  {
+    bound = Delay.edge_bound profile ~rate:profile.Traffic.rho;
+    naive = run_leave ~naive:true;
+    with_contingency = run_leave ~naive:false;
+  }
+
+let join_holds () =
+  let alpha = type0 () in
+  let nu = Profiles.profile 3 in
+  let engine = Engine.create () in
+  let t_join = Traffic.t_on alpha -. Traffic.t_on nu in
+  let r_before = alpha.Traffic.rho in
+  let agg = Traffic.add alpha nu in
+  let r_after = agg.Traffic.rho in
+  let bound_before = Delay.edge_bound alpha ~rate:r_before in
+  let bound_after = Delay.edge_bound agg ~rate:r_after in
+  let bound = Float.max bound_before bound_after in
+  let probe = make_probe engine ~rate:r_before ~lmax:agg.Traffic.lmax ~from:0. in
+  let _s1 =
+    Source.greedy engine ~profile:alpha ~flow:1 ~path:[||] ~next:probe.submit ()
+  in
+  Engine.schedule engine ~at:t_join (fun () ->
+      (* Theorem 2: raise to the new rate plus peak-rate contingency,
+         release the contingency once the backlog clears. *)
+      ignore
+        (Source.greedy engine ~profile:nu ~flow:2 ~path:[||] ~start:t_join
+           ~next:probe.submit ());
+      let with_contingency = r_after +. (nu.Traffic.peak -. (r_after -. r_before)) in
+      Edge_conditioner.set_rate probe.cond with_contingency;
+      let rec watch () =
+        if Edge_conditioner.backlog_bits probe.cond <= 1e-6 then
+          Edge_conditioner.set_rate probe.cond r_after
+        else Engine.schedule_after engine ~delay:0.05 watch
+      in
+      watch ());
+  Engine.run ~until:30. engine;
+  (probe.max_wait_after (), bound)

@@ -1,0 +1,28 @@
+(** The Figure-7 transient scenario: dynamic-aggregation delay-bound
+    violation at the edge conditioner, and its repair by contingency
+    bandwidth (paper Section 4.1–4.2, Theorems 2 and 3).
+
+    Two greedy Table-1 type-0 microflows are aggregated and shaped at the
+    sum of their sustained rates (100 kb/s).  At [t* = T_on] — the moment
+    of maximum backlog — one microflow leaves. *)
+
+type result = {
+  bound : float;
+      (** edge-delay bound of the remaining macroflow, eq. (3) (= 1.2 s) *)
+  naive : float;
+      (** worst queueing delay after the leave when the reserved rate is
+          reduced immediately — exceeds [bound] *)
+  with_contingency : float;
+      (** same measurement when the old rate is held as contingency
+          bandwidth for [tau = backlog / delta_r] (Theorem 3) — within
+          [bound] *)
+}
+
+val leave_scenario : unit -> result
+(** Runs both packet-level simulations and returns the three numbers. *)
+
+val join_holds : unit -> float * float
+(** The join-side counterpart: a type-3 microflow joins a type-0
+    macroflow at [t* = T_on^alpha - T_on^nu] with peak-rate contingency
+    per Theorem 2; returns [(worst observed edge delay, eq. (13) bound)].
+    The observation never exceeds the bound. *)

@@ -1,0 +1,1 @@
+test/gen.ml: Bbr_vtrs Fmt QCheck

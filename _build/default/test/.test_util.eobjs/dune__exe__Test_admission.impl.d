@@ -1,0 +1,1 @@
+test/test_admission.ml: Alcotest Bbr_broker Bbr_vtrs Float Gen List Printf QCheck QCheck_alcotest

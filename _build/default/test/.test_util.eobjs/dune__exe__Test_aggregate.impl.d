@@ -1,0 +1,1 @@
+test/test_aggregate.ml: Alcotest Bbr_broker Bbr_netsim Bbr_util Bbr_vtrs Bbr_workload List Option

@@ -1,0 +1,1 @@
+test/test_broker.ml: Alcotest Bbr_broker Bbr_vtrs Fun List

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Bbr_broker Bbr_netsim Bbr_util Bbr_vtrs Bbr_workload Float Hashtbl List Option Printf

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Bbr_broker Bbr_intserv Bbr_netsim Bbr_vtrs Bbr_workload Hashtbl List Printf

@@ -1,0 +1,1 @@
+test/test_interdomain.ml: Alcotest Bbr_broker Bbr_interdomain Bbr_vtrs

@@ -1,0 +1,1 @@
+test/test_intserv.ml: Alcotest Bbr_broker Bbr_intserv Bbr_netsim Bbr_vtrs Bbr_workload Fun List Option Printf

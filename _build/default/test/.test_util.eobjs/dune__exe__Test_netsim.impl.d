@@ -1,0 +1,1 @@
+test/test_netsim.ml: Alcotest Array Bbr_netsim Bbr_util Bbr_vtrs Float List Option Printf

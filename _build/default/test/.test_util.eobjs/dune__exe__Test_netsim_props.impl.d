@@ -1,0 +1,1 @@
+test/test_netsim_props.ml: Alcotest Bbr_netsim Bbr_util Bbr_vtrs Float Gen Hashtbl List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_random_topology.ml: Alcotest Bbr_broker Bbr_util Bbr_vtrs Bbr_workload Float Hashtbl List Option Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Bbr_broker Bbr_workload List

@@ -1,0 +1,1 @@
+test/test_vtrs.ml: Alcotest Bbr_vtrs Float Gen List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Bbr_broker Bbr_vtrs Bbr_workload Float List Printf

@@ -1,0 +1,14 @@
+(* Shared QCheck generators for the test suites. *)
+
+module Traffic = Bbr_vtrs.Traffic
+
+let profile_gen =
+  QCheck.Gen.(
+    let* rho = float_range 1_000. 500_000. in
+    let* peak_mult = float_range 1.0 10. in
+    let* lmax = float_range 100. 20_000. in
+    let* burst_mult = float_range 1.0 20. in
+    return
+      (Traffic.make ~sigma:(lmax *. burst_mult) ~rho ~peak:(rho *. peak_mult) ~lmax))
+
+let arb_profile = QCheck.make ~print:(Fmt.str "%a" Traffic.pp) profile_gen

@@ -1,0 +1,327 @@
+(* End-to-end integration tests: broker control plane driving the packet
+   data plane.
+
+   These validate the paper's central claims on live simulations:
+   - admitted flows never exceed their analytic end-to-end delay bounds,
+     even at full admission-control saturation (eq. (4));
+   - core routers hold zero QoS state under the BB/VTRS model;
+   - the per-hop error-term guarantee holds at every scheduler;
+   - the IntServ baseline data plane (VC / RC-EDF) honours the GS bound;
+   - the Figure-7 phenomenon: naive rate reduction on a microflow leave
+     violates the edge delay bound, and the contingency-bandwidth
+     mechanism of Theorem 3 repairs it. *)
+
+module Topology = Bbr_vtrs.Topology
+module Traffic = Bbr_vtrs.Traffic
+module Delay = Bbr_vtrs.Delay
+module Types = Bbr_broker.Types
+module Broker = Bbr_broker.Broker
+module Path_mib = Bbr_broker.Path_mib
+module Engine = Bbr_netsim.Engine
+module Net = Bbr_netsim.Net
+module Hop = Bbr_netsim.Hop
+module Sink = Bbr_netsim.Sink
+module Source = Bbr_netsim.Source
+module Edge_conditioner = Bbr_netsim.Edge_conditioner
+module Fig8 = Bbr_workload.Fig8
+module Profiles = Bbr_workload.Profiles
+
+let type0 = Profiles.profile 0
+
+(* Admit as many flows as the broker accepts, attach a greedy source and a
+   conditioner per flow, run, and return per-flow (reservation, stats). *)
+let saturate_and_run ~setting ~dreq ~horizon =
+  let topo = Fig8.topology setting in
+  let engine = Engine.create () in
+  let net = Net.create engine topo Net.Core_stateless in
+  let broker = Broker.create topo in
+  let req = { Types.profile = type0; dreq; ingress = Fig8.ingress1; egress = Fig8.egress1 } in
+  let path = Array.of_list (Fig8.path1 topo) in
+  let flows = ref [] in
+  let continue = ref true in
+  while !continue do
+    match Broker.request broker req with
+    | Ok (flow, res) ->
+        flows := (flow, res) :: !flows;
+        let cond =
+          Net.make_conditioner net ~rate:res.Types.rate ~delay_param:res.Types.delay
+            ~lmax:type0.Traffic.lmax ()
+        in
+        ignore
+          (Source.greedy engine ~profile:type0 ~flow ~path
+             ~next:(fun p -> Edge_conditioner.submit cond p)
+             ())
+    | Error _ -> continue := false
+  done;
+  Engine.run ~until:horizon engine;
+  (topo, net, broker, List.rev !flows)
+
+let check_bounds_hold ~setting ~dreq ~expected_flows =
+  let topo, net, broker, flows = saturate_and_run ~setting ~dreq ~horizon:40. in
+  Alcotest.(check int) "saturation count" expected_flows (List.length flows);
+  let info = Path_mib.register (Broker.path_mib broker) (Fig8.path1 topo) in
+  let sink = Net.sink net in
+  List.iter
+    (fun (flow, (res : Types.reservation)) ->
+      match Sink.stats sink ~flow with
+      | Some s ->
+          let bound =
+            Delay.e2e_bound type0 ~q:info.Path_mib.rate_hops
+              ~delay_hops:info.Path_mib.delay_hops ~rate:res.Types.rate
+              ~delay:res.Types.delay ~d_tot:info.Path_mib.d_tot
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "flow %d: %.4f <= %.4f <= dreq" flow s.Sink.max_e2e bound)
+            true
+            (s.Sink.max_e2e <= bound +. 1e-9 && bound <= dreq +. 1e-9);
+          Alcotest.(check bool) "received traffic" true (s.Sink.received > 50)
+      | None -> Alcotest.failf "flow %d silent" flow)
+    flows;
+  (* The headline architectural property. *)
+  Alcotest.(check int) "core is stateless" 0 (Net.core_flow_state net);
+  (* Per-hop error terms never exceeded. *)
+  List.iter
+    (fun (l : Topology.link) ->
+      let hop = Net.hop net ~link_id:l.Topology.link_id in
+      Alcotest.(check bool)
+        (Printf.sprintf "error term link %d" l.Topology.link_id)
+        true
+        (Hop.max_lateness hop <= 1e-9))
+    (Topology.links topo)
+
+let test_bounds_rate_only_saturated () =
+  check_bounds_hold ~setting:`Rate_only ~dreq:2.44 ~expected_flows:30
+
+let test_bounds_mixed_saturated () =
+  check_bounds_hold ~setting:`Mixed ~dreq:2.19 ~expected_flows:27
+
+(* ------------------------------------------------------------------ *)
+(* IntServ baseline data plane *)
+
+let test_intserv_data_plane_bounds () =
+  let topo = Fig8.topology `Mixed in
+  let engine = Engine.create () in
+  let net = Net.create engine topo Net.Intserv in
+  let gs = Bbr_intserv.Gs_admission.create topo in
+  let dreq = 2.19 in
+  let req = { Types.profile = type0; dreq; ingress = Fig8.ingress1; egress = Fig8.egress1 } in
+  let path_list = Fig8.path1 topo in
+  let path = Array.of_list path_list in
+  let flows = ref [] in
+  let continue = ref true in
+  while !continue do
+    match Bbr_intserv.Gs_admission.request gs req with
+    | Ok (flow, res) ->
+        flows := (flow, res) :: !flows;
+        Net.install_flow net ~flow ~path:path_list ~rate:res.Types.rate
+          ~deadline:res.Types.delay;
+        let cond =
+          Net.make_conditioner net ~rate:res.Types.rate ~delay_param:res.Types.delay
+            ~lmax:type0.Traffic.lmax ()
+        in
+        ignore
+          (Source.greedy engine ~profile:type0 ~flow ~path
+             ~next:(fun p -> Edge_conditioner.submit cond p)
+             ())
+    | Error _ -> continue := false
+  done;
+  Alcotest.(check int) "27 flows" 27 (List.length !flows);
+  (* Stateful data plane: 5 entries per flow. *)
+  Alcotest.(check int) "router flow state" (27 * 5) (Net.core_flow_state net);
+  Engine.run ~until:40. engine;
+  let sink = Net.sink net in
+  List.iter
+    (fun (flow, _) ->
+      match Sink.stats sink ~flow with
+      | Some s ->
+          Alcotest.(check bool)
+            (Printf.sprintf "flow %d GS bound (%.4f <= %.4f)" flow s.Sink.max_e2e dreq)
+            true (s.Sink.max_e2e <= dreq +. 1e-9)
+      | None -> Alcotest.failf "flow %d silent" flow)
+    !flows
+
+(* ------------------------------------------------------------------ *)
+(* Figure 7: dynamic-aggregation transient at the edge conditioner. *)
+
+(* Two greedy type-0 microflows are aggregated at their sum of sustained
+   rates (100 kb/s).  At [t_leave] one leaves.  [rate_after t_leave]
+   decides the service rate from then on; returns the max edge queueing
+   delay observed among packets arriving after the leave. *)
+let run_leave_scenario ~naive =
+  let engine = Engine.create () in
+  let r_before = 100_000. in
+  let r_after = 50_000. in
+  let t_leave = Traffic.t_on type0 in
+  let max_wait_after = ref neg_infinity in
+  let arrivals : (int, float) Hashtbl.t = Hashtbl.create 256 in
+  let key = ref 0 in
+  let cond = ref None in
+  let c =
+    Edge_conditioner.create engine ~rate:r_before ~delay_param:0. ~lmax:24_000.
+      ~next:(fun p ->
+        match Hashtbl.find_opt arrivals p.Bbr_netsim.Packet.seq with
+        | Some arrived when arrived >= t_leave -. 1e-9 ->
+            let wait = Engine.now engine -. arrived in
+            if wait > !max_wait_after then max_wait_after := wait
+        | _ -> ())
+      ()
+  in
+  cond := Some c;
+  let submit p =
+    (* Tag every packet with a unique sequence and record its arrival. *)
+    let tagged = { p with Bbr_netsim.Packet.seq = !key } in
+    incr key;
+    Hashtbl.replace arrivals tagged.Bbr_netsim.Packet.seq (Engine.now engine);
+    Edge_conditioner.submit c tagged
+  in
+  let src1 = Source.greedy engine ~profile:type0 ~flow:1 ~path:[||] ~next:submit () in
+  let src2 = Source.greedy engine ~profile:type0 ~flow:2 ~path:[||] ~next:submit () in
+  ignore src1;
+  Engine.schedule engine ~at:t_leave (fun () ->
+      Source.halt src2;
+      if naive then Edge_conditioner.set_rate c r_after
+      else begin
+        (* Theorem 3: hold the old rate for tau = backlog / delta_r,
+           then reduce. *)
+        let tau = Edge_conditioner.backlog_bits c /. (r_before -. r_after) in
+        Engine.schedule_after engine ~delay:tau (fun () ->
+            Edge_conditioner.set_rate c r_after)
+      end);
+  Engine.run ~until:30. engine;
+  !max_wait_after
+
+let remaining_flow_edge_bound = Delay.edge_bound type0 ~rate:50_000.
+
+let test_fig7_naive_violates () =
+  let observed = run_leave_scenario ~naive:true in
+  Alcotest.(check bool)
+    (Printf.sprintf "naive rate cut violates the bound (%.3f > %.3f)" observed
+       remaining_flow_edge_bound)
+    true
+    (observed > remaining_flow_edge_bound +. 0.1)
+
+let test_fig7_contingency_repairs () =
+  let observed = run_leave_scenario ~naive:false in
+  (* eq. (13): bounded by max(old bound, new bound); both are 1.2 here. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "contingency keeps the bound (%.3f <= %.3f)" observed
+       remaining_flow_edge_bound)
+    true
+    (observed <= remaining_flow_edge_bound +. 1e-6)
+
+(* ------------------------------------------------------------------ *)
+(* Theorem 4: core delay across a reserved-rate change. *)
+
+let test_modified_core_bound_holds () =
+  let topo = Fig8.topology `Rate_only in
+  let engine = Engine.create () in
+  let net = Net.create engine topo Net.Core_stateless in
+  let path = Array.of_list (Fig8.path1 topo) in
+  let r1 = 100_000. and r2 = 200_000. in
+  let cond = Net.make_conditioner net ~rate:r1 ~delay_param:0. ~lmax:12_000. () in
+  let profile =
+    Traffic.make ~sigma:120_000. ~rho:200_000. ~peak:400_000. ~lmax:12_000.
+  in
+  ignore
+    (Source.greedy engine ~profile ~flow:5 ~path
+       ~next:(fun p -> Edge_conditioner.submit cond p)
+       ());
+  (* Double the macroflow's reserved rate after two seconds. *)
+  Engine.schedule engine ~at:2. (fun () -> Edge_conditioner.set_rate cond r2);
+  Engine.run ~until:20. engine;
+  let info_links = Fig8.path1 topo in
+  let d_tot = Topology.d_tot info_links in
+  let bound =
+    Delay.modified_core_bound ~q:5 ~delay_hops:0 ~path_lmax:12_000. ~rate_before:r1
+      ~rate_after:r2 ~delay:0. ~d_tot
+  in
+  match Sink.stats (Net.sink net) ~flow:5 with
+  | Some s ->
+      Alcotest.(check bool)
+        (Printf.sprintf "core delay %.4f <= modified bound %.4f" s.Sink.max_core bound)
+        true
+        (s.Sink.max_core <= bound +. 1e-9)
+  | None -> Alcotest.fail "no packets"
+
+(* ------------------------------------------------------------------ *)
+(* Cross-traffic: both paths of Figure 8 active simultaneously. *)
+
+let test_cross_traffic_bounds () =
+  let topo = Fig8.topology `Mixed in
+  let engine = Engine.create () in
+  let net = Net.create engine topo Net.Core_stateless in
+  let broker = Broker.create topo in
+  let mk_req ingress egress =
+    { Types.profile = type0; dreq = 2.44; ingress; egress }
+  in
+  let requests =
+    [
+      (mk_req Fig8.ingress1 Fig8.egress1, Fig8.path1 topo);
+      (mk_req Fig8.ingress2 Fig8.egress2, Fig8.path2 topo);
+    ]
+  in
+  let flows = ref [] in
+  (* Alternate sources until the shared core saturates. *)
+  let continue = ref true in
+  while !continue do
+    let admitted_this_round =
+      List.fold_left
+        (fun acc (req, path_links) ->
+          match Broker.request broker req with
+          | Ok (flow, res) ->
+              let path = Array.of_list path_links in
+              let cond =
+                Net.make_conditioner net ~rate:res.Types.rate
+                  ~delay_param:res.Types.delay ~lmax:type0.Traffic.lmax ()
+              in
+              ignore
+                (Source.greedy engine ~profile:type0 ~flow ~path
+                   ~next:(fun p -> Edge_conditioner.submit cond p)
+                   ());
+              flows := (flow, res, path_links) :: !flows;
+              acc + 1
+          | Error _ -> acc)
+        0 requests
+    in
+    if admitted_this_round = 0 then continue := false
+  done;
+  (* The shared middle links cap the total at 30 mean-rate flows. *)
+  Alcotest.(check int) "30 flows total over both paths" 30 (List.length !flows);
+  Engine.run ~until:40. engine;
+  let sink = Net.sink net in
+  List.iter
+    (fun (flow, (res : Types.reservation), path_links) ->
+      let q = Topology.rate_based_hops path_links in
+      let dh = Topology.delay_based_hops path_links in
+      let d_tot = Topology.d_tot path_links in
+      match Sink.stats sink ~flow with
+      | Some s ->
+          let bound =
+            Delay.e2e_bound type0 ~q ~delay_hops:dh ~rate:res.Types.rate
+              ~delay:res.Types.delay ~d_tot
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "flow %d bound with cross traffic" flow)
+            true
+            (s.Sink.max_e2e <= bound +. 1e-9)
+      | None -> Alcotest.failf "flow %d silent" flow)
+    !flows
+
+let () =
+  Alcotest.run "integration"
+    [
+      ( "bounds",
+        [
+          Alcotest.test_case "rate-only saturated" `Slow test_bounds_rate_only_saturated;
+          Alcotest.test_case "mixed saturated" `Slow test_bounds_mixed_saturated;
+          Alcotest.test_case "intserv data plane" `Slow test_intserv_data_plane_bounds;
+          Alcotest.test_case "cross traffic" `Slow test_cross_traffic_bounds;
+        ] );
+      ( "aggregation transients (Fig 7)",
+        [
+          Alcotest.test_case "naive violates" `Quick test_fig7_naive_violates;
+          Alcotest.test_case "contingency repairs" `Quick test_fig7_contingency_repairs;
+        ] );
+      ( "rate changes (Thm 4)",
+        [ Alcotest.test_case "modified core bound" `Quick test_modified_core_bound_holds ] );
+    ]

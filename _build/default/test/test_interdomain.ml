@@ -1,0 +1,205 @@
+(* Tests for inter-domain reservations across broker-managed domains with
+   SLA-governed peerings (extension; the paper's Section-6 open problem). *)
+
+module Topology = Bbr_vtrs.Topology
+module Traffic = Bbr_vtrs.Traffic
+module Types = Bbr_broker.Types
+module Broker = Bbr_broker.Broker
+module Federation = Bbr_interdomain.Federation
+
+let check_float = Alcotest.(check (float 1e-6))
+
+let type0 = Traffic.make ~sigma:60_000. ~rho:50_000. ~peak:100_000. ~lmax:12_000.
+
+(* A small chain domain: in -> mid -> out at the given capacity. *)
+let chain_topology ?(capacity = 1.5e6) ?(sched = Topology.Rate_based) prefix =
+  let t = Topology.create () in
+  let n s = prefix ^ s in
+  ignore (Topology.add_link t ~src:(n "in") ~dst:(n "mid") ~capacity sched);
+  ignore (Topology.add_link t ~src:(n "mid") ~dst:(n "out") ~capacity sched);
+  t
+
+let two_domains ?(committed = 600_000.) () =
+  let fed = Federation.create () in
+  let _a = Federation.add_domain fed ~name:"A" (chain_topology "a_") in
+  let _b = Federation.add_domain fed ~name:"B" (chain_topology "b_") in
+  Federation.add_peering fed ~from_domain:"A" ~from_egress:"a_out" ~to_domain:"B"
+    ~to_ingress:"b_in" ~committed_rate:committed ();
+  fed
+
+let ep =
+  {
+    Federation.src_domain = "A";
+    src_ingress = "a_in";
+    dst_domain = "B";
+    dst_egress = "b_out";
+  }
+
+let test_single_domain_request () =
+  let fed = two_domains () in
+  let ep_local = { ep with Federation.dst_domain = "A"; dst_egress = "a_out" } in
+  match Federation.request fed ep_local ~profile:type0 ~dreq:3. with
+  | Ok r ->
+      Alcotest.(check (list string)) "one domain" [ "A" ] r.Federation.domains;
+      check_float "rate at rho" 50_000. r.Federation.rate;
+      Alcotest.(check bool) "bound within dreq" true (r.Federation.bound <= 3.)
+  | Error e -> Alcotest.failf "rejected: %a" Types.pp_reject_reason e
+
+let test_two_domain_request () =
+  let fed = two_domains () in
+  match Federation.request fed ep ~profile:type0 ~dreq:4. with
+  | Ok r ->
+      Alcotest.(check (list string)) "A then B" [ "A"; "B" ] r.Federation.domains;
+      Alcotest.(check bool) "bound within dreq" true (r.Federation.bound <= 4.);
+      (* both domain brokers hold one leg each *)
+      Alcotest.(check int) "leg in A" 1 (Broker.per_flow_count (Federation.broker fed ~domain:"A"));
+      Alcotest.(check int) "leg in B" 1 (Broker.per_flow_count (Federation.broker fed ~domain:"B"));
+      let used, committed = Federation.sla_usage fed ~from_domain:"A" ~to_domain:"B" in
+      check_float "sla used" r.Federation.rate used;
+      check_float "sla committed" 600_000. committed
+  | Error e -> Alcotest.failf "rejected: %a" Types.pp_reject_reason e
+
+let test_rate_solves_global_budget () =
+  (* Tight budget: rate above rho, and the achieved bound is binding. *)
+  let fed = two_domains () in
+  match Federation.request fed ep ~profile:type0 ~dreq:2.3 with
+  | Ok r ->
+      Alcotest.(check bool) "rate above rho" true (r.Federation.rate > 50_000.);
+      Alcotest.(check (float 1e-6)) "budget binding" 2.3 r.Federation.bound
+  | Error e -> Alcotest.failf "rejected: %a" Types.pp_reject_reason e
+
+let test_sla_exhaustion () =
+  (* SLA of 150 kb/s admits three rho-rate flows, then blocks, although the
+     links themselves have plenty left. *)
+  let fed = two_domains ~committed:150_000. () in
+  let admitted = ref 0 in
+  let continue = ref true in
+  while !continue do
+    match Federation.request fed ep ~profile:type0 ~dreq:4. with
+    | Ok _ -> incr admitted
+    | Error Types.Insufficient_bandwidth -> continue := false
+    | Error e -> Alcotest.failf "unexpected: %a" Types.pp_reject_reason e
+  done;
+  Alcotest.(check int) "sla-bounded" 3 !admitted;
+  let used, _ = Federation.sla_usage fed ~from_domain:"A" ~to_domain:"B" in
+  check_float "sla full" 150_000. used
+
+let test_rollback_on_downstream_failure () =
+  (* Domain B has a small link: the booking fails there, and domain A must
+     be left clean. *)
+  let fed = Federation.create () in
+  ignore (Federation.add_domain fed ~name:"A" (chain_topology "a_"));
+  ignore
+    (Federation.add_domain fed ~name:"B" (chain_topology ~capacity:40_000. "b_"));
+  Federation.add_peering fed ~from_domain:"A" ~from_egress:"a_out" ~to_domain:"B"
+    ~to_ingress:"b_in" ~committed_rate:600_000. ();
+  (match Federation.request fed ep ~profile:type0 ~dreq:4. with
+  | Error Types.Insufficient_bandwidth -> ()
+  | Ok _ -> Alcotest.fail "should not fit in B"
+  | Error e -> Alcotest.failf "unexpected: %a" Types.pp_reject_reason e);
+  Alcotest.(check int) "A rolled back" 0
+    (Broker.per_flow_count (Federation.broker fed ~domain:"A"));
+  let used, _ = Federation.sla_usage fed ~from_domain:"A" ~to_domain:"B" in
+  check_float "sla untouched" 0. used;
+  Alcotest.(check int) "no federation flow" 0 (Federation.flow_count fed)
+
+let test_teardown_releases_everywhere () =
+  let fed = two_domains () in
+  match Federation.request fed ep ~profile:type0 ~dreq:4. with
+  | Ok r ->
+      Federation.teardown fed r.Federation.flow;
+      Alcotest.(check int) "A clean" 0
+        (Broker.per_flow_count (Federation.broker fed ~domain:"A"));
+      Alcotest.(check int) "B clean" 0
+        (Broker.per_flow_count (Federation.broker fed ~domain:"B"));
+      let used, _ = Federation.sla_usage fed ~from_domain:"A" ~to_domain:"B" in
+      check_float "sla released" 0. used
+  | Error _ -> Alcotest.fail "expected admit"
+
+let test_no_domain_route () =
+  let fed = Federation.create () in
+  ignore (Federation.add_domain fed ~name:"A" (chain_topology "a_"));
+  ignore (Federation.add_domain fed ~name:"B" (chain_topology "b_"));
+  (* no peering *)
+  match Federation.request fed ep ~profile:type0 ~dreq:4. with
+  | Error Types.No_route -> ()
+  | _ -> Alcotest.fail "expected no route"
+
+let test_delay_based_transit_refused () =
+  let fed = Federation.create () in
+  ignore (Federation.add_domain fed ~name:"A" (chain_topology "a_"));
+  ignore
+    (Federation.add_domain fed ~name:"B"
+       (chain_topology ~sched:Topology.Delay_based "b_"));
+  Federation.add_peering fed ~from_domain:"A" ~from_egress:"a_out" ~to_domain:"B"
+    ~to_ingress:"b_in" ~committed_rate:600_000. ();
+  match Federation.request fed ep ~profile:type0 ~dreq:4. with
+  | Error Types.Not_schedulable -> ()
+  | _ -> Alcotest.fail "expected refusal on a delay-based transit"
+
+let test_three_domain_chain () =
+  let fed = Federation.create () in
+  ignore (Federation.add_domain fed ~name:"A" (chain_topology "a_"));
+  ignore (Federation.add_domain fed ~name:"B" (chain_topology "b_"));
+  ignore (Federation.add_domain fed ~name:"C" (chain_topology "c_"));
+  Federation.add_peering fed ~from_domain:"A" ~from_egress:"a_out" ~to_domain:"B"
+    ~to_ingress:"b_in" ~committed_rate:600_000. ();
+  Federation.add_peering fed ~from_domain:"B" ~from_egress:"b_out" ~to_domain:"C"
+    ~to_ingress:"c_in" ~committed_rate:600_000. ();
+  let ep3 = { ep with Federation.dst_domain = "C"; dst_egress = "c_out" } in
+  match Federation.request fed ep3 ~profile:type0 ~dreq:5. with
+  | Ok r ->
+      Alcotest.(check (list string)) "three domains" [ "A"; "B"; "C" ]
+        r.Federation.domains;
+      Alcotest.(check int) "three legs booked" 1
+        (Broker.per_flow_count (Federation.broker fed ~domain:"C"));
+      Alcotest.(check bool) "bound within dreq" true (r.Federation.bound <= 5.)
+  | Error e -> Alcotest.failf "rejected: %a" Types.pp_reject_reason e
+
+let test_delay_unachievable_across_domains () =
+  let fed = two_domains () in
+  match Federation.request fed ep ~profile:type0 ~dreq:0.5 with
+  | Error Types.Delay_unachievable -> ()
+  | _ -> Alcotest.fail "expected delay rejection"
+
+let test_unknown_teardown () =
+  let fed = two_domains () in
+  Alcotest.(check bool) "raises" true
+    (try
+       Federation.teardown fed 7;
+       false
+     with Invalid_argument _ -> true)
+
+let test_duplicate_domain_and_peering () =
+  let fed = two_domains () in
+  Alcotest.(check bool) "duplicate domain" true
+    (try
+       ignore (Federation.add_domain fed ~name:"A" (chain_topology "x_"));
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "duplicate peering" true
+    (try
+       Federation.add_peering fed ~from_domain:"A" ~from_egress:"a_out"
+         ~to_domain:"B" ~to_ingress:"b_in" ~committed_rate:1. ();
+       false
+     with Invalid_argument _ -> true)
+
+let () =
+  Alcotest.run "interdomain"
+    [
+      ( "federation",
+        [
+          Alcotest.test_case "single domain" `Quick test_single_domain_request;
+          Alcotest.test_case "two domains" `Quick test_two_domain_request;
+          Alcotest.test_case "global budget" `Quick test_rate_solves_global_budget;
+          Alcotest.test_case "sla exhaustion" `Quick test_sla_exhaustion;
+          Alcotest.test_case "rollback" `Quick test_rollback_on_downstream_failure;
+          Alcotest.test_case "teardown" `Quick test_teardown_releases_everywhere;
+          Alcotest.test_case "no route" `Quick test_no_domain_route;
+          Alcotest.test_case "delay-based transit" `Quick test_delay_based_transit_refused;
+          Alcotest.test_case "three domains" `Quick test_three_domain_chain;
+          Alcotest.test_case "unachievable" `Quick test_delay_unachievable_across_domains;
+          Alcotest.test_case "unknown teardown" `Quick test_unknown_teardown;
+          Alcotest.test_case "duplicates" `Quick test_duplicate_domain_and_peering;
+        ] );
+    ]

@@ -1,0 +1,207 @@
+(* Tests for the IntServ/GS baseline: WFQ-reference admission with
+   hop-by-hop tests, and RSVP-style soft-state signaling. *)
+
+module Topology = Bbr_vtrs.Topology
+module Traffic = Bbr_vtrs.Traffic
+module Types = Bbr_broker.Types
+module Gs = Bbr_intserv.Gs_admission
+module Rsvp = Bbr_intserv.Rsvp
+module Engine = Bbr_netsim.Engine
+module Fig8 = Bbr_workload.Fig8
+
+let check_float = Alcotest.(check (float 1e-6))
+
+let type0 = Traffic.make ~sigma:60_000. ~rho:50_000. ~peak:100_000. ~lmax:12_000.
+
+let req ?(dreq = 2.44) () =
+  { Types.profile = type0; dreq; ingress = Fig8.ingress1; egress = Fig8.egress1 }
+
+(* ------------------------------------------------------------------ *)
+(* Gs_admission *)
+
+let test_gs_rate_from_wfq_reference () =
+  let gs = Gs.create (Fig8.topology `Rate_only) in
+  match Gs.request gs (req ~dreq:2.19 ()) with
+  | Ok (_, res) ->
+      check_float "WFQ rate" (168_000. /. 3.11) res.Types.rate;
+      check_float "per-hop deadline" (12_000. /. res.Types.rate) res.Types.delay
+  | Error e -> Alcotest.failf "rejected: %a" Types.pp_reject_reason e
+
+let test_gs_fill_counts_table2 () =
+  List.iter
+    (fun (setting, dreq, expect) ->
+      let gs = Gs.create (Fig8.topology setting) in
+      let n = ref 0 in
+      let continue = ref true in
+      while !continue do
+        match Gs.request gs (req ~dreq ()) with
+        | Ok _ -> incr n
+        | Error _ -> continue := false
+      done;
+      Alcotest.(check int) (Printf.sprintf "%.2f" dreq) expect !n)
+    [
+      (`Rate_only, 2.44, 30);
+      (`Rate_only, 2.19, 27);
+      (`Mixed, 2.44, 30);
+      (`Mixed, 2.19, 27);
+    ]
+
+let test_gs_state_grows_with_flows_and_hops () =
+  let gs = Gs.create (Fig8.topology `Mixed) in
+  ignore (Gs.request gs (req ()));
+  ignore (Gs.request gs (req ()));
+  (* Two flows, five hops each: ten per-router entries. *)
+  Alcotest.(check int) "router state" 10 (Gs.router_flow_state gs);
+  Alcotest.(check int) "flows" 2 (Gs.flow_count gs);
+  (* Each admission ran one local test per hop. *)
+  Alcotest.(check int) "hop tests" 10 (Gs.hop_tests gs)
+
+let test_gs_teardown_releases () =
+  let gs = Gs.create (Fig8.topology `Mixed) in
+  match Gs.request gs (req ()) with
+  | Ok (flow, res) ->
+      let path = Option.get (Gs.path_of gs flow) in
+      let link_id = (List.hd path).Topology.link_id in
+      check_float "reserved" res.Types.rate (Gs.reserved gs ~link_id);
+      Gs.teardown gs flow;
+      check_float "released" 0. (Gs.reserved gs ~link_id);
+      Alcotest.(check int) "no state" 0 (Gs.router_flow_state gs)
+  | Error _ -> Alcotest.fail "expected admission"
+
+let test_gs_teardown_unknown () =
+  let gs = Gs.create (Fig8.topology `Rate_only) in
+  Alcotest.(check bool) "raises" true
+    (try
+       Gs.teardown gs 4;
+       false
+     with Invalid_argument _ -> true)
+
+let test_gs_no_route () =
+  let gs = Gs.create (Fig8.topology `Rate_only) in
+  match Gs.request gs { (req ()) with Types.egress = "nowhere" } with
+  | Error Types.No_route -> ()
+  | _ -> Alcotest.fail "expected no-route"
+
+let test_gs_delay_unachievable () =
+  let gs = Gs.create (Fig8.topology `Rate_only) in
+  match Gs.request gs (req ~dreq:0.2 ()) with
+  | Error Types.Delay_unachievable -> ()
+  | _ -> Alcotest.fail "expected delay rejection"
+
+let test_gs_matches_perflow_bb_on_rate_only () =
+  (* On rate-based-only paths the two schemes use the same closed form, so
+     they must reserve identical rates (the paper's Table-2 equality). *)
+  let gs = Gs.create (Fig8.topology `Rate_only) in
+  let broker = Bbr_broker.Broker.create (Fig8.topology `Rate_only) in
+  match (Gs.request gs (req ~dreq:2.19 ()), Bbr_broker.Broker.request broker (req ~dreq:2.19 ())) with
+  | Ok (_, a), Ok (_, b) -> check_float "same rate" a.Types.rate b.Types.rate
+  | _ -> Alcotest.fail "expected both to admit"
+
+(* ------------------------------------------------------------------ *)
+(* Rsvp *)
+
+let mk_rsvp ?(refresh_interval = 30.) () =
+  let topo = Fig8.topology `Rate_only in
+  let engine = Engine.create () in
+  let rsvp = Rsvp.create engine topo ~refresh_interval () in
+  (engine, topo, rsvp)
+
+let test_rsvp_open_reserves () =
+  let engine, topo, rsvp = mk_rsvp () in
+  let result = ref None in
+  Rsvp.open_session rsvp ~flow:1 ~path:(Fig8.path1 topo) ~rate:50_000.
+    ~on_result:(fun ok -> result := Some ok);
+  Engine.run ~until:1. engine;
+  Alcotest.(check (option bool)) "accepted" (Some true) !result;
+  Alcotest.(check int) "five entries" 5 (Rsvp.state_count rsvp);
+  let link = List.hd (Fig8.path1 topo) in
+  check_float "reserved" 50_000. (Rsvp.reserved rsvp ~link_id:link.Topology.link_id)
+
+let test_rsvp_rejects_over_capacity () =
+  let engine, topo, rsvp = mk_rsvp () in
+  let results = ref [] in
+  for flow = 1 to 31 do
+    Rsvp.open_session rsvp ~flow ~path:(Fig8.path1 topo) ~rate:50_000.
+      ~on_result:(fun ok -> results := ok :: !results)
+  done;
+  Engine.run ~until:5. engine;
+  let accepted = List.length (List.filter Fun.id !results) in
+  Alcotest.(check int) "exactly 30 of 31" 30 accepted;
+  (* the failed attempt must leave no partial reservation *)
+  Alcotest.(check int) "state for 30 sessions" (30 * 5) (Rsvp.state_count rsvp)
+
+let test_rsvp_close_releases () =
+  let engine, topo, rsvp = mk_rsvp () in
+  Rsvp.open_session rsvp ~flow:1 ~path:(Fig8.path1 topo) ~rate:50_000.
+    ~on_result:(fun _ -> ());
+  Engine.run ~until:1. engine;
+  Rsvp.close_session rsvp ~flow:1;
+  Engine.run ~until:2. engine;
+  Alcotest.(check int) "state gone" 0 (Rsvp.state_count rsvp);
+  Alcotest.(check bool) "inactive" false (Rsvp.session_active rsvp ~flow:1)
+
+let test_rsvp_soft_state_expires () =
+  let engine, topo, rsvp = mk_rsvp ~refresh_interval:10. () in
+  Rsvp.open_session rsvp ~flow:1 ~path:(Fig8.path1 topo) ~rate:50_000.
+    ~on_result:(fun _ -> ());
+  Engine.run ~until:1. engine;
+  (* Stop refreshing: after keep_multiplier * refresh_interval = 30 s the
+     routers must clean up on their own. *)
+  Rsvp.abandon rsvp ~flow:1;
+  Engine.run ~until:25. engine;
+  Alcotest.(check bool) "still held before expiry" true (Rsvp.state_count rsvp > 0);
+  Engine.run ~until:60. engine;
+  Alcotest.(check int) "expired" 0 (Rsvp.state_count rsvp);
+  let link = List.hd (Fig8.path1 topo) in
+  check_float "bandwidth reclaimed" 0. (Rsvp.reserved rsvp ~link_id:link.Topology.link_id)
+
+let test_rsvp_refresh_keeps_state_alive () =
+  let engine, topo, rsvp = mk_rsvp ~refresh_interval:10. () in
+  Rsvp.open_session rsvp ~flow:1 ~path:(Fig8.path1 topo) ~rate:50_000.
+    ~on_result:(fun _ -> ());
+  (* Refreshes keep arriving: state survives well past the lifetime. *)
+  Engine.run ~until:200. engine;
+  Alcotest.(check int) "alive" 5 (Rsvp.state_count rsvp)
+
+let test_rsvp_refresh_overhead_grows () =
+  (* The overhead the paper's broker avoids: refresh messages accumulate
+     with session count and time. *)
+  let engine, topo, rsvp = mk_rsvp ~refresh_interval:10. () in
+  for flow = 1 to 10 do
+    Rsvp.open_session rsvp ~flow ~path:(Fig8.path1 topo) ~rate:10_000.
+      ~on_result:(fun _ -> ())
+  done;
+  Engine.run ~until:1. engine;
+  let after_setup = Rsvp.messages rsvp in
+  Engine.run ~until:101. engine;
+  let after_steady = Rsvp.messages rsvp in
+  (* 10 sessions x 10 refreshes x 2 walks x 5 hops = 1000 messages. *)
+  Alcotest.(check bool) "heavy refresh load" true
+    (after_steady - after_setup >= 900)
+
+let () =
+  Alcotest.run "intserv"
+    [
+      ( "gs_admission",
+        [
+          Alcotest.test_case "WFQ reference rate" `Quick test_gs_rate_from_wfq_reference;
+          Alcotest.test_case "Table-2 fill counts" `Quick test_gs_fill_counts_table2;
+          Alcotest.test_case "state growth" `Quick test_gs_state_grows_with_flows_and_hops;
+          Alcotest.test_case "teardown" `Quick test_gs_teardown_releases;
+          Alcotest.test_case "teardown unknown" `Quick test_gs_teardown_unknown;
+          Alcotest.test_case "no route" `Quick test_gs_no_route;
+          Alcotest.test_case "delay unachievable" `Quick test_gs_delay_unachievable;
+          Alcotest.test_case "matches per-flow BB (rate-only)" `Quick
+            test_gs_matches_perflow_bb_on_rate_only;
+        ] );
+      ( "rsvp",
+        [
+          Alcotest.test_case "open reserves" `Quick test_rsvp_open_reserves;
+          Alcotest.test_case "over capacity" `Quick test_rsvp_rejects_over_capacity;
+          Alcotest.test_case "close releases" `Quick test_rsvp_close_releases;
+          Alcotest.test_case "soft state expires" `Quick test_rsvp_soft_state_expires;
+          Alcotest.test_case "refresh keeps alive" `Quick
+            test_rsvp_refresh_keeps_state_alive;
+          Alcotest.test_case "refresh overhead" `Quick test_rsvp_refresh_overhead_grows;
+        ] );
+    ]

@@ -1,0 +1,623 @@
+(* Unit tests for Bbr_netsim: Engine, Server, Hop, Edge_conditioner,
+   Fluid_edge, Source, Sink, Net. *)
+
+module Engine = Bbr_netsim.Engine
+module Packet = Bbr_netsim.Packet
+module Server = Bbr_netsim.Server
+module Hop = Bbr_netsim.Hop
+module Edge_conditioner = Bbr_netsim.Edge_conditioner
+module Fluid_edge = Bbr_netsim.Fluid_edge
+module Source = Bbr_netsim.Source
+module Sink = Bbr_netsim.Sink
+module Net = Bbr_netsim.Net
+module Topology = Bbr_vtrs.Topology
+module Traffic = Bbr_vtrs.Traffic
+module Packet_state = Bbr_vtrs.Packet_state
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let type0 = Traffic.make ~sigma:60_000. ~rho:50_000. ~peak:100_000. ~lmax:12_000.
+
+let one_link ?(sched = Topology.Rate_based) ?(capacity = 1.5e6) () =
+  let t = Topology.create () in
+  let l = Topology.add_link t ~src:"A" ~dst:"B" ~capacity sched in
+  (t, l)
+
+let mk_pkt ?(flow = 0) ?(seq = 0) ?(size = 12_000.) ?(born = 0.) path =
+  Packet.make ~flow ~seq ~size ~born ~path
+
+(* ------------------------------------------------------------------ *)
+(* Engine *)
+
+let test_engine_ordering () =
+  let e = Engine.create () in
+  let log = ref [] in
+  Engine.schedule e ~at:2. (fun () -> log := 2 :: !log);
+  Engine.schedule e ~at:1. (fun () -> log := 1 :: !log);
+  Engine.schedule e ~at:3. (fun () -> log := 3 :: !log);
+  Engine.run e;
+  Alcotest.(check (list int)) "time order" [ 1; 2; 3 ] (List.rev !log);
+  check_float "clock at last event" 3. (Engine.now e)
+
+let test_engine_same_time_fifo () =
+  let e = Engine.create () in
+  let log = ref [] in
+  for i = 1 to 5 do
+    Engine.schedule e ~at:1. (fun () -> log := i :: !log)
+  done;
+  Engine.run e;
+  Alcotest.(check (list int)) "fifo at same instant" [ 1; 2; 3; 4; 5 ] (List.rev !log)
+
+let test_engine_past_rejected () =
+  let e = Engine.create () in
+  Engine.schedule e ~at:5. (fun () -> ());
+  Engine.run e;
+  Alcotest.check_raises "past" (Invalid_argument "Engine.schedule: 1 is in the past (now 5)")
+    (fun () -> Engine.schedule e ~at:1. (fun () -> ()))
+
+let test_engine_run_until () =
+  let e = Engine.create () in
+  let fired = ref 0 in
+  Engine.schedule e ~at:1. (fun () -> incr fired);
+  Engine.schedule e ~at:10. (fun () -> incr fired);
+  Engine.run ~until:5. e;
+  Alcotest.(check int) "only first" 1 !fired;
+  check_float "clock parked at until" 5. (Engine.now e);
+  Alcotest.(check int) "one pending" 1 (Engine.pending e);
+  Engine.run e;
+  Alcotest.(check int) "both" 2 !fired
+
+let test_engine_nested_scheduling () =
+  let e = Engine.create () in
+  let log = ref [] in
+  Engine.schedule e ~at:1. (fun () ->
+      log := "outer" :: !log;
+      Engine.schedule_after e ~delay:1. (fun () -> log := "inner" :: !log));
+  Engine.run e;
+  Alcotest.(check (list string)) "nested" [ "outer"; "inner" ] (List.rev !log);
+  Alcotest.(check int) "executed" 2 (Engine.executed e)
+
+(* ------------------------------------------------------------------ *)
+(* Server *)
+
+let test_server_serves_by_key () =
+  let e = Engine.create () in
+  let order = ref [] in
+  let srv =
+    Server.create e ~capacity:12_000. ~on_depart:(fun p ->
+        order := p.Packet.flow :: !order)
+  in
+  (* All enqueued at t=0; flow 1 enqueued first but has the larger key.
+     The server is non-preemptive so flow 1 transmits first, then the rest
+     follow by key. *)
+  Server.enqueue srv ~key:9. (mk_pkt ~flow:1 [||]);
+  Server.enqueue srv ~key:1. (mk_pkt ~flow:2 [||]);
+  Server.enqueue srv ~key:5. (mk_pkt ~flow:3 [||]);
+  Engine.run e;
+  Alcotest.(check (list int)) "priority order after head" [ 1; 2; 3 ] (List.rev !order)
+
+let test_server_rate () =
+  let e = Engine.create () in
+  let times = ref [] in
+  let srv =
+    Server.create e ~capacity:12_000. ~on_depart:(fun _ ->
+        times := Engine.now e :: !times)
+  in
+  Server.enqueue srv ~key:1. (mk_pkt ~flow:1 [||]);
+  Server.enqueue srv ~key:2. (mk_pkt ~flow:2 [||]);
+  Engine.run e;
+  (* 12000-bit packets at 12000 b/s: one second each, back to back. *)
+  Alcotest.(check (list (float 1e-9))) "departure times" [ 1.; 2. ] (List.rev !times);
+  Alcotest.(check int) "served" 2 (Server.served srv);
+  check_float "bits" 24_000. (Server.utilization_bits srv)
+
+let test_server_work_conserving () =
+  let e = Engine.create () in
+  let times = ref [] in
+  let srv =
+    Server.create e ~capacity:12_000. ~on_depart:(fun _ ->
+        times := Engine.now e :: !times)
+  in
+  Server.enqueue srv ~key:1. (mk_pkt [||]);
+  Engine.run e;
+  (* Idle gap, then another packet: service restarts immediately. *)
+  Engine.schedule e ~at:5. (fun () -> Server.enqueue srv ~key:2. (mk_pkt [||]));
+  Engine.run e;
+  Alcotest.(check (list (float 1e-9))) "no work lost" [ 1.; 6. ] (List.rev !times)
+
+(* ------------------------------------------------------------------ *)
+(* Hop *)
+
+let stamped ?(rate = 50_000.) ?(delay = 0.1) pkt at =
+  pkt.Packet.state <-
+    Some (Packet_state.init ~rate ~delay ~lmax:12_000. ~edge_departure:at);
+  pkt
+
+let test_hop_csvc_order_and_advance () =
+  let e = Engine.create () in
+  let _, link = one_link () in
+  let out = ref [] in
+  let hop = Hop.create e ~link ~deliver:(fun p -> out := p :: !out) Hop.Csvc in
+  (* Two flows; the one with the earlier virtual finish time goes first
+     (after the head-of-line packet). *)
+  let p1 = stamped ~rate:50_000. (mk_pkt ~flow:1 [| link |]) 1.0 in
+  let p2 = stamped ~rate:100_000. (mk_pkt ~flow:2 [| link |]) 1.0 in
+  Hop.receive hop p1;
+  Hop.receive hop p2;
+  Engine.run e;
+  Alcotest.(check int) "served" 2 (Hop.served hop);
+  (* Virtual finish: p1 = 1 + 0.24, p2 = 1 + 0.12: p1 was already in
+     service (non-preemptive), p2 second. *)
+  let delivered = List.rev_map (fun p -> p.Packet.flow) !out in
+  Alcotest.(check (list int)) "order" [ 1; 2 ] delivered;
+  (* State advanced by the concatenation rule. *)
+  List.iter
+    (fun p ->
+      match p.Packet.state with
+      | Some st -> Alcotest.(check bool) "omega advanced" true (st.Packet_state.omega > 1.0)
+      | None -> Alcotest.fail "state lost")
+    !out;
+  Alcotest.(check int) "hop_ix advanced" 1 (List.hd !out).Packet.hop_ix
+
+let test_hop_stateless_requires_state () =
+  let e = Engine.create () in
+  let _, link = one_link () in
+  let hop = Hop.create e ~link ~deliver:(fun _ -> ()) Hop.Csvc in
+  Alcotest.check_raises "no state"
+    (Invalid_argument "Hop.receive: packet without packet state at a core-stateless hop")
+    (fun () -> Hop.receive hop (mk_pkt [| link |]))
+
+let test_hop_stateless_no_flow_state () =
+  let e = Engine.create () in
+  let _, link = one_link () in
+  let hop = Hop.create e ~link ~deliver:(fun _ -> ()) Hop.Vtedf in
+  Hop.install_flow hop ~flow:1 ~rate:1_000. ~deadline:0.1;
+  Alcotest.(check int) "install is a no-op" 0 (Hop.flow_state_count hop)
+
+let test_hop_vc_requires_install () =
+  let e = Engine.create () in
+  let _, link = one_link () in
+  let hop = Hop.create e ~link ~deliver:(fun _ -> ()) Hop.Vc in
+  Alcotest.check_raises "uninstalled"
+    (Invalid_argument "Hop.receive: flow 7 not installed at stateful VC hop") (fun () ->
+      Hop.receive hop (mk_pkt ~flow:7 [| link |]))
+
+let test_hop_vc_spacing () =
+  let e = Engine.create () in
+  let _, link = one_link ~capacity:1.2e6 () in
+  let times = ref [] in
+  let hop = Hop.create e ~link ~deliver:(fun _ -> times := Engine.now e :: !times) Hop.Vc in
+  Hop.install_flow hop ~flow:1 ~rate:12_000. ~deadline:0.;
+  Alcotest.(check int) "stateful entry" 1 (Hop.flow_state_count hop);
+  (* Three back-to-back packets of a 12 kb/s flow: the virtual clock spaces
+     their priorities a second apart, but the link is fast and work
+     conserving, so they leave at line rate. *)
+  for seq = 0 to 2 do
+    Hop.receive hop (mk_pkt ~seq ~flow:1 [| link |])
+  done;
+  Engine.run e;
+  Alcotest.(check int) "served" 3 (Hop.served hop);
+  let tx = 12_000. /. 1.2e6 in
+  Alcotest.(check (list (float 1e-9))) "line-rate departures" [ tx; 2. *. tx; 3. *. tx ]
+    (List.rev !times)
+
+let test_hop_rcedf_shapes () =
+  let e = Engine.create () in
+  let _, link = one_link ~sched:Topology.Delay_based ~capacity:1.2e6 () in
+  let times = ref [] in
+  let hop =
+    Hop.create e ~link ~deliver:(fun _ -> times := Engine.now e :: !times) Hop.Rcedf
+  in
+  Hop.install_flow hop ~flow:1 ~rate:12_000. ~deadline:0.01;
+  (* RC-EDF rate-controls per flow: the second packet only becomes eligible
+     one second (12000 bits / 12 kb/s) after the first. *)
+  Hop.receive hop (mk_pkt ~seq:0 ~flow:1 [| link |]);
+  Hop.receive hop (mk_pkt ~seq:1 ~flow:1 [| link |]);
+  Engine.run e;
+  let tx = 12_000. /. 1.2e6 in
+  Alcotest.(check (list (float 1e-9))) "shaped departures" [ tx; 1. +. tx ]
+    (List.rev !times)
+
+let test_hop_fifo () =
+  let e = Engine.create () in
+  let _, link = one_link () in
+  let out = ref [] in
+  let hop = Hop.create e ~link ~deliver:(fun p -> out := p.Packet.flow :: !out) Hop.Fifo in
+  List.iter (fun f -> Hop.receive hop (mk_pkt ~flow:f [| link |])) [ 3; 1; 2 ];
+  Engine.run e;
+  Alcotest.(check (list int)) "arrival order" [ 3; 1; 2 ] (List.rev !out)
+
+let test_hop_prop_delay () =
+  let e = Engine.create () in
+  let t = Topology.create () in
+  let link =
+    Topology.add_link t ~src:"A" ~dst:"B" ~capacity:1.2e6 ~prop_delay:0.5
+      Topology.Rate_based
+  in
+  let arrival = ref nan in
+  let hop = Hop.create e ~link ~deliver:(fun _ -> arrival := Engine.now e) Hop.Fifo in
+  Hop.receive hop (mk_pkt [| link |]);
+  Engine.run e;
+  check_float "tx + propagation" ((12_000. /. 1.2e6) +. 0.5) !arrival
+
+(* ------------------------------------------------------------------ *)
+(* Edge_conditioner *)
+
+let test_conditioner_spacing () =
+  let e = Engine.create () in
+  let releases = ref [] in
+  let c =
+    Edge_conditioner.create e ~rate:12_000. ~delay_param:0. ~lmax:12_000.
+      ~next:(fun p -> releases := (Engine.now e, p) :: !releases)
+      ()
+  in
+  (* Three packets arrive together; they leave spaced size/rate apart. *)
+  for seq = 0 to 2 do
+    Edge_conditioner.submit c (mk_pkt ~seq [||])
+  done;
+  Engine.run e;
+  let times = List.rev_map fst !releases in
+  Alcotest.(check (list (float 1e-9))) "spacing" [ 0.; 1.; 2. ] times;
+  Alcotest.(check int) "released" 3 (Edge_conditioner.released c)
+
+let test_conditioner_stamps_state () =
+  let e = Engine.create () in
+  let got = ref None in
+  let c =
+    Edge_conditioner.create e ~rate:50_000. ~delay_param:0.2 ~lmax:12_000.
+      ~next:(fun p -> got := p.Packet.state)
+      ()
+  in
+  Edge_conditioner.submit c (mk_pkt [||]);
+  Engine.run e;
+  match !got with
+  | Some st ->
+      check_float "rate" 50_000. st.Packet_state.rate;
+      check_float "delay" 0.2 st.Packet_state.delay;
+      check_float "omega = departure" 0. st.Packet_state.omega
+  | None -> Alcotest.fail "no state stamped"
+
+let test_conditioner_rate_change_speeds_up () =
+  let e = Engine.create () in
+  let times = ref [] in
+  let c =
+    Edge_conditioner.create e ~rate:12_000. ~delay_param:0. ~lmax:12_000.
+      ~next:(fun _ -> times := Engine.now e :: !times)
+      ()
+  in
+  for seq = 0 to 2 do
+    Edge_conditioner.submit c (mk_pkt ~seq [||])
+  done;
+  (* Double the rate at t=0.5: the pending head release is re-armed. *)
+  Engine.schedule e ~at:0.5 (fun () -> Edge_conditioner.set_rate c 24_000.);
+  Engine.run e;
+  match List.rev !times with
+  | [ t1; t2; t3 ] ->
+      check_float "head unchanged" 0. t1;
+      Alcotest.(check bool) "second earlier than 1s" true (t2 < 1.);
+      Alcotest.(check bool) "third spaced at new rate" true (t3 -. t2 <= 0.5 +. 1e-9)
+  | other -> Alcotest.fail (Printf.sprintf "expected 3 releases, got %d" (List.length other))
+
+let test_conditioner_on_empty () =
+  let e = Engine.create () in
+  let empties = ref 0 in
+  let c =
+    Edge_conditioner.create e ~rate:12_000. ~delay_param:0. ~lmax:12_000.
+      ~on_empty:(fun () -> incr empties)
+      ~next:(fun _ -> ())
+      ()
+  in
+  Edge_conditioner.submit c (mk_pkt ~seq:0 [||]);
+  Edge_conditioner.submit c (mk_pkt ~seq:1 [||]);
+  Engine.run e;
+  Alcotest.(check int) "one emptying event" 1 !empties;
+  check_float "no backlog" 0. (Edge_conditioner.backlog_bits c)
+
+let test_conditioner_max_wait_matches_bound () =
+  (* A greedy type-0 source shaped at rho: the edge bound of eq. (3) must
+     hold, and a greedy source should get close to it. *)
+  let e = Engine.create () in
+  let c =
+    Edge_conditioner.create e ~rate:50_000. ~delay_param:0. ~lmax:12_000.
+      ~next:(fun _ -> ())
+      ()
+  in
+  let _src =
+    Source.greedy e ~profile:type0 ~flow:0 ~path:[||]
+      ~next:(fun p -> Edge_conditioner.submit c p)
+      ()
+  in
+  Engine.run ~until:60. e;
+  let bound = Bbr_vtrs.Delay.edge_bound type0 ~rate:50_000. in
+  let observed = Edge_conditioner.max_queueing_delay c in
+  Alcotest.(check bool) "within bound" true (observed <= bound +. 1e-6);
+  Alcotest.(check bool) "bound is tight-ish" true (observed >= 0.5 *. bound)
+
+(* ------------------------------------------------------------------ *)
+(* Fluid_edge *)
+
+let test_fluid_drains_and_signals () =
+  let e = Engine.create () in
+  let emptied_at = ref nan in
+  let f =
+    Fluid_edge.create e ~service:100. ~on_empty:(fun () -> emptied_at := Engine.now e) ()
+  in
+  Fluid_edge.add_burst f 50.;
+  Engine.run e;
+  check_float "empty at backlog/rate" 0.5 !emptied_at;
+  Alcotest.(check bool) "empty" true (Fluid_edge.is_empty f)
+
+let test_fluid_inputs () =
+  let e = Engine.create () in
+  let f = Fluid_edge.create e ~service:100. () in
+  Fluid_edge.set_input f ~id:1 ~rate:60.;
+  Fluid_edge.set_input f ~id:2 ~rate:70.;
+  check_float "in rate" 130. (Fluid_edge.input_rate f);
+  Engine.schedule e ~at:1. (fun () -> ());
+  Engine.run e;
+  (* net +30 for one second *)
+  check_float "integrated" 30. (Fluid_edge.backlog f);
+  Fluid_edge.remove_input f ~id:1;
+  Engine.schedule e ~at:2. (fun () -> ());
+  Engine.run e;
+  (* now net -30: backlog drains to zero *)
+  check_float "drained" 0. (Fluid_edge.backlog f)
+
+let test_fluid_service_change_reschedules () =
+  let e = Engine.create () in
+  let emptied_at = ref nan in
+  let f =
+    Fluid_edge.create e ~service:10. ~on_empty:(fun () -> emptied_at := Engine.now e) ()
+  in
+  Fluid_edge.add_burst f 100.;
+  (* would empty at t=10, but at t=1 the service quadruples *)
+  Engine.schedule e ~at:1. (fun () -> Fluid_edge.set_service f 40.);
+  Engine.run e;
+  (* 90 left at t=1, drains at 40/s: 1 + 2.25 = 3.25 *)
+  check_float "rescheduled emptying" 3.25 !emptied_at
+
+let test_fluid_no_signal_when_balanced () =
+  let e = Engine.create () in
+  let empties = ref 0 in
+  let f = Fluid_edge.create e ~service:50. ~on_empty:(fun () -> incr empties) () in
+  Fluid_edge.set_input f ~id:1 ~rate:50.;
+  Fluid_edge.add_burst f 10.;
+  Engine.schedule e ~at:100. (fun () -> ());
+  Engine.run e;
+  Alcotest.(check int) "never empties" 0 !empties;
+  check_float "backlog persists" 10. (Fluid_edge.backlog f)
+
+(* ------------------------------------------------------------------ *)
+(* Source *)
+
+let test_greedy_envelope_conformance () =
+  let e = Engine.create () in
+  let bits = ref 0. in
+  let _src =
+    Source.greedy e ~profile:type0 ~flow:0 ~path:[||]
+      ~next:(fun p -> bits := !bits +. p.Packet.size)
+      ()
+  in
+  let horizon = 10. in
+  Engine.run ~until:horizon e;
+  let env = Traffic.envelope type0 horizon in
+  Alcotest.(check bool) "within envelope" true (!bits <= env +. 1e-6);
+  (* and greedy should track it closely (within one packet) *)
+  Alcotest.(check bool) "tracks envelope" true (!bits >= env -. 12_000.)
+
+let test_greedy_peak_phase () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  let _src =
+    Source.greedy e ~profile:type0 ~flow:0 ~path:[||] ~next:(fun _ -> incr count) ()
+  in
+  (* During the burst (t_on = 0.96 s) emission is at the peak rate. *)
+  Engine.run ~until:0.96 e;
+  let expect = Traffic.envelope type0 0.96 /. 12_000. in
+  Alcotest.(check bool) "peak-phase count" true
+    (Float.abs (float_of_int !count -. expect) <= 1.)
+
+let test_cbr_spacing () =
+  let e = Engine.create () in
+  let times = ref [] in
+  let _src =
+    Source.cbr e ~rate:12_000. ~flow:0 ~path:[||] ~pkt_size:12_000.
+      ~next:(fun _ -> times := Engine.now e :: !times)
+      ()
+  in
+  Engine.run ~until:3.5 e;
+  Alcotest.(check (list (float 1e-9))) "cbr times" [ 0.; 1.; 2.; 3. ] (List.rev !times)
+
+let test_on_off_long_run_average () =
+  let e = Engine.create () in
+  let bits = ref 0. in
+  let _src =
+    Source.on_off e ~profile:type0 ~flow:0 ~path:[||]
+      ~next:(fun p -> bits := !bits +. p.Packet.size)
+      ()
+  in
+  let horizon = 500. in
+  Engine.run ~until:horizon e;
+  let avg = !bits /. horizon in
+  (* The source is token-bucket gated, so its average can never exceed rho;
+     the conservative sigma/rho refill period keeps it slightly below. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "average <= rho and close (%.0f)" avg)
+    true
+    (avg <= 50_000. +. 1. && avg >= 0.8 *. 50_000.)
+
+let test_poisson_average () =
+  let e = Engine.create () in
+  let prng = Bbr_util.Prng.create ~seed:123 in
+  let count = ref 0 in
+  let _src =
+    Source.poisson e ~prng ~rate:50_000. ~flow:0 ~path:[||] ~pkt_size:12_000.
+      ~next:(fun _ -> incr count)
+      ()
+  in
+  Engine.run ~until:1000. e;
+  (* 50 kb/s / 12 kb per pkt = 4.1667 pkt/s -> ~4167 packets *)
+  Alcotest.(check bool) "poisson mean" true
+    (!count > 3_800 && !count < 4_500)
+
+let test_source_halt () =
+  let e = Engine.create () in
+  let src = ref None in
+  let count = ref 0 in
+  let s =
+    Source.cbr e ~rate:12_000. ~flow:0 ~path:[||] ~pkt_size:12_000.
+      ~next:(fun _ ->
+        incr count;
+        if !count = 3 then Source.halt (Option.get !src))
+      ()
+  in
+  src := Some s;
+  Engine.run ~until:100. e;
+  Alcotest.(check int) "halted after 3" 3 !count;
+  Alcotest.(check int) "emitted" 3 (Source.emitted s)
+
+(* ------------------------------------------------------------------ *)
+(* Net *)
+
+let two_hop_topology () =
+  let t = Topology.create () in
+  let _ = Topology.add_link t ~src:"I" ~dst:"R" ~capacity:1.5e6 Topology.Rate_based in
+  let _ = Topology.add_link t ~src:"R" ~dst:"E" ~capacity:1.5e6 Topology.Delay_based in
+  t
+
+let test_net_end_to_end () =
+  let topo = two_hop_topology () in
+  let e = Engine.create () in
+  let net = Net.create e topo Net.Core_stateless in
+  let path =
+    [|
+      Option.get (Topology.find_link topo ~src:"I" ~dst:"R");
+      Option.get (Topology.find_link topo ~src:"R" ~dst:"E");
+    |]
+  in
+  let cond = Net.make_conditioner net ~rate:50_000. ~delay_param:0.1 ~lmax:12_000. () in
+  let _src =
+    Source.cbr e ~rate:50_000. ~flow:42 ~path ~pkt_size:12_000.
+      ~next:(fun p -> Edge_conditioner.submit cond p)
+      ()
+  in
+  Engine.run ~until:10. e;
+  let sink = Net.sink net in
+  match Sink.stats sink ~flow:42 with
+  | Some s ->
+      Alcotest.(check bool) "packets arrived" true (s.Sink.received > 30);
+      Alcotest.(check bool) "delay positive" true (s.Sink.max_e2e > 0.);
+      Alcotest.(check int) "no core flow state" 0 (Net.core_flow_state net)
+  | None -> Alcotest.fail "no packets at sink"
+
+let test_net_intserv_needs_install () =
+  let topo = two_hop_topology () in
+  let e = Engine.create () in
+  let net = Net.create e topo Net.Intserv in
+  let links = Topology.links topo in
+  let path = Array.of_list links in
+  Net.install_flow net ~flow:1 ~path:links ~rate:50_000. ~deadline:0.24;
+  Alcotest.(check int) "stateful entries" 2 (Net.core_flow_state net);
+  let cond = Net.make_conditioner net ~rate:50_000. ~delay_param:0.24 ~lmax:12_000. () in
+  let _src =
+    Source.cbr e ~rate:50_000. ~flow:1 ~path ~pkt_size:12_000.
+      ~next:(fun p -> Edge_conditioner.submit cond p)
+      ()
+  in
+  Engine.run ~until:5. e;
+  Alcotest.(check bool) "delivered" true (Sink.total_received (Net.sink net) > 10);
+  Net.remove_flow net ~flow:1 ~path:links;
+  Alcotest.(check int) "state released" 0 (Net.core_flow_state net)
+
+let test_net_per_hop_error_terms_hold () =
+  (* The per-hop guarantee: actual finish <= virtual finish + psi. *)
+  let topo = two_hop_topology () in
+  let e = Engine.create () in
+  let net = Net.create e topo Net.Core_stateless in
+  let path = Array.of_list (Topology.links topo) in
+  let conds =
+    List.init 8 (fun flow ->
+        let c = Net.make_conditioner net ~rate:150_000. ~delay_param:0.2 ~lmax:12_000. () in
+        let profile =
+          Traffic.make ~sigma:120_000. ~rho:150_000. ~peak:300_000. ~lmax:12_000.
+        in
+        ignore
+          (Source.greedy e ~profile ~flow ~path
+             ~next:(fun p -> Edge_conditioner.submit c p)
+             ());
+        c)
+  in
+  ignore conds;
+  Engine.run ~until:30. e;
+  List.iter
+    (fun (l : Topology.link) ->
+      let hop = Net.hop net ~link_id:l.Topology.link_id in
+      Alcotest.(check bool)
+        (Printf.sprintf "error term at link %d" l.Topology.link_id)
+        true
+        (Hop.max_lateness hop <= 1e-9))
+    (Topology.links topo)
+
+let () =
+  Alcotest.run "netsim"
+    [
+      ( "engine",
+        [
+          Alcotest.test_case "ordering" `Quick test_engine_ordering;
+          Alcotest.test_case "same-time fifo" `Quick test_engine_same_time_fifo;
+          Alcotest.test_case "past rejected" `Quick test_engine_past_rejected;
+          Alcotest.test_case "run until" `Quick test_engine_run_until;
+          Alcotest.test_case "nested" `Quick test_engine_nested_scheduling;
+        ] );
+      ( "server",
+        [
+          Alcotest.test_case "key order" `Quick test_server_serves_by_key;
+          Alcotest.test_case "service rate" `Quick test_server_rate;
+          Alcotest.test_case "work conserving" `Quick test_server_work_conserving;
+        ] );
+      ( "hop",
+        [
+          Alcotest.test_case "csvc order+advance" `Quick test_hop_csvc_order_and_advance;
+          Alcotest.test_case "stateless needs packet state" `Quick
+            test_hop_stateless_requires_state;
+          Alcotest.test_case "stateless holds no flow state" `Quick
+            test_hop_stateless_no_flow_state;
+          Alcotest.test_case "vc requires install" `Quick test_hop_vc_requires_install;
+          Alcotest.test_case "vc spacing" `Quick test_hop_vc_spacing;
+          Alcotest.test_case "rcedf shaping" `Quick test_hop_rcedf_shapes;
+          Alcotest.test_case "fifo" `Quick test_hop_fifo;
+          Alcotest.test_case "propagation delay" `Quick test_hop_prop_delay;
+        ] );
+      ( "edge_conditioner",
+        [
+          Alcotest.test_case "spacing" `Quick test_conditioner_spacing;
+          Alcotest.test_case "stamps state" `Quick test_conditioner_stamps_state;
+          Alcotest.test_case "rate change" `Quick test_conditioner_rate_change_speeds_up;
+          Alcotest.test_case "on_empty" `Quick test_conditioner_on_empty;
+          Alcotest.test_case "edge bound holds" `Quick
+            test_conditioner_max_wait_matches_bound;
+        ] );
+      ( "fluid_edge",
+        [
+          Alcotest.test_case "drain+signal" `Quick test_fluid_drains_and_signals;
+          Alcotest.test_case "inputs" `Quick test_fluid_inputs;
+          Alcotest.test_case "service change" `Quick test_fluid_service_change_reschedules;
+          Alcotest.test_case "balanced no signal" `Quick test_fluid_no_signal_when_balanced;
+        ] );
+      ( "source",
+        [
+          Alcotest.test_case "greedy conforms" `Quick test_greedy_envelope_conformance;
+          Alcotest.test_case "greedy peak phase" `Quick test_greedy_peak_phase;
+          Alcotest.test_case "cbr spacing" `Quick test_cbr_spacing;
+          Alcotest.test_case "on/off average" `Quick test_on_off_long_run_average;
+          Alcotest.test_case "poisson average" `Quick test_poisson_average;
+          Alcotest.test_case "halt" `Quick test_source_halt;
+        ] );
+      ( "net",
+        [
+          Alcotest.test_case "end to end" `Quick test_net_end_to_end;
+          Alcotest.test_case "intserv install" `Quick test_net_intserv_needs_install;
+          Alcotest.test_case "per-hop error terms" `Quick
+            test_net_per_hop_error_terms_hold;
+        ] );
+    ]

@@ -1,0 +1,182 @@
+(* Property tests for the data-plane building blocks: event ordering,
+   shaper spacing, conservation, and fluid/packet edge agreement. *)
+
+module Engine = Bbr_netsim.Engine
+module Packet = Bbr_netsim.Packet
+module Edge_conditioner = Bbr_netsim.Edge_conditioner
+module Fluid_edge = Bbr_netsim.Fluid_edge
+module Server = Bbr_netsim.Server
+module Source = Bbr_netsim.Source
+module Traffic = Bbr_vtrs.Traffic
+module Prng = Bbr_util.Prng
+
+let mk_pkt ?(flow = 0) ~seq ~size () =
+  Packet.make ~flow ~seq ~size ~born:0. ~path:[||]
+
+(* ------------------------------------------------------------------ *)
+
+let prop_engine_time_monotone =
+  QCheck.Test.make ~name:"events execute in nondecreasing time order" ~count:200
+    QCheck.(list_of_size Gen.(int_range 1 100) (float_bound_inclusive 1000.))
+    (fun times ->
+      let e = Engine.create () in
+      let seen = ref [] in
+      List.iter
+        (fun at -> Engine.schedule e ~at (fun () -> seen := Engine.now e :: !seen))
+        times;
+      Engine.run e;
+      let order = List.rev !seen in
+      List.length order = List.length times
+      && List.for_all2 ( = ) order (List.sort compare times))
+
+let prop_conditioner_spacing =
+  QCheck.Test.make
+    ~name:"conditioner releases are spaced at least size/rate apart" ~count:200
+    QCheck.(
+      pair (int_range 1 1_000_000)
+        (pair (float_range 10_000. 500_000.) (int_range 2 60)))
+    (fun (seed, (rate, n)) ->
+      let e = Engine.create () in
+      let prng = Prng.create ~seed in
+      let releases = ref [] in
+      let c =
+        Edge_conditioner.create e ~rate ~delay_param:0. ~lmax:12_000.
+          ~next:(fun p -> releases := (Engine.now e, p.Packet.size) :: !releases)
+          ()
+      in
+      (* Random bursty arrivals of random sizes. *)
+      let at = ref 0. in
+      for seq = 0 to n - 1 do
+        at := !at +. (if Prng.bool prng then 0. else Prng.float_range prng ~lo:0. ~hi:0.5);
+        let size = Prng.float_range prng ~lo:500. ~hi:12_000. in
+        let when_ = !at in
+        Engine.schedule e ~at:when_ (fun () ->
+            Edge_conditioner.submit c (mk_pkt ~seq ~size ()))
+      done;
+      Engine.run e;
+      let ordered = List.rev !releases in
+      let rec spaced = function
+        | (t1, _) :: ((t2, s2) :: _ as rest) ->
+            t2 -. t1 >= (s2 /. rate) -. 1e-9 && spaced rest
+        | _ -> true
+      in
+      List.length ordered = n && spaced ordered)
+
+let prop_conditioner_conserves_packets =
+  QCheck.Test.make ~name:"conditioner neither drops nor duplicates" ~count:200
+    QCheck.(pair (int_range 1 1_000_000) (int_range 1 80))
+    (fun (seed, n) ->
+      let e = Engine.create () in
+      let prng = Prng.create ~seed in
+      let got = Hashtbl.create 64 in
+      let c =
+        Edge_conditioner.create e ~rate:100_000. ~delay_param:0. ~lmax:12_000.
+          ~next:(fun p -> Hashtbl.replace got p.Packet.seq ())
+          ()
+      in
+      for seq = 0 to n - 1 do
+        let at = Prng.float_range prng ~lo:0. ~hi:5. in
+        Engine.schedule e ~at (fun () ->
+            Edge_conditioner.submit c (mk_pkt ~seq ~size:6_000. ()))
+      done;
+      Engine.run e;
+      Hashtbl.length got = n && Edge_conditioner.released c = n)
+
+let prop_server_conserves_bits =
+  QCheck.Test.make ~name:"server transmits exactly the bits enqueued" ~count:200
+    QCheck.(list_of_size Gen.(int_range 1 50) (float_range 100. 12_000.))
+    (fun sizes ->
+      let e = Engine.create () in
+      let srv = Server.create e ~capacity:1e6 ~on_depart:(fun _ -> ()) in
+      List.iteri (fun seq size -> Server.enqueue srv ~key:(float_of_int seq) (mk_pkt ~seq ~size ())) sizes;
+      Engine.run e;
+      Float.abs (Server.utilization_bits srv -. List.fold_left ( +. ) 0. sizes) < 1e-6
+      && Server.backlog_bits srv < 1e-6)
+
+(* The fluid edge and the packet edge must agree on when a shared step
+   workload drains: same service rate, a burst of B bits arriving at t=0,
+   constant input thereafter. *)
+let prop_fluid_matches_packet_drain =
+  QCheck.Test.make ~name:"fluid and packet edges drain bursts at the same time"
+    ~count:100
+    QCheck.(
+      pair (float_range 50_000. 200_000.) (pair (int_range 2 20) (float_range 1.2 3.)))
+    (fun (rate, (burst_pkts, speedup)) ->
+      let size = 12_000. in
+      let burst = float_of_int burst_pkts *. size in
+      let service = rate *. speedup in
+      (* Packet model: burst_pkts packets at t=0, drained at [service]. *)
+      let e = Engine.create () in
+      let last_release = ref 0. in
+      let c =
+        Edge_conditioner.create e ~rate:service ~delay_param:0. ~lmax:size
+          ~next:(fun _ -> last_release := Engine.now e)
+          ()
+      in
+      for seq = 0 to burst_pkts - 1 do
+        Edge_conditioner.submit c (mk_pkt ~seq ~size ())
+      done;
+      Engine.run e;
+      (* Fluid model: same burst, same service. *)
+      let e2 = Engine.create () in
+      let emptied = ref nan in
+      let f =
+        Fluid_edge.create e2 ~service ~on_empty:(fun () -> emptied := Engine.now e2) ()
+      in
+      Fluid_edge.add_burst f burst;
+      Engine.run e2;
+      Float.abs (!emptied -. !last_release) <= (size /. service) +. 1e-9)
+
+(* Greedy sources must conform to their own profile envelope at every
+   emission instant. *)
+let prop_greedy_conforms =
+  QCheck.Test.make ~name:"greedy source conforms to its envelope" ~count:100
+    Gen.arb_profile (fun profile ->
+      let e = Engine.create () in
+      let sent = ref 0. in
+      let ok = ref true in
+      let _src =
+        Source.greedy e ~profile ~flow:0 ~path:[||]
+          ~next:(fun p ->
+            sent := !sent +. p.Packet.size;
+            (* relative slack: float accumulation over millions of bits *)
+            let slack = 1e-6 +. (1e-9 *. !sent) in
+            if !sent > Traffic.envelope profile (Engine.now e) +. slack then
+              ok := false)
+          ()
+      in
+      Engine.run ~until:20. e;
+      !ok)
+
+let prop_on_off_conforms =
+  QCheck.Test.make ~name:"on/off source conforms to its envelope" ~count:100
+    Gen.arb_profile (fun profile ->
+      let e = Engine.create () in
+      let sent = ref 0. in
+      let ok = ref true in
+      let _src =
+        Source.on_off e ~profile ~flow:0 ~path:[||]
+          ~next:(fun p ->
+            sent := !sent +. p.Packet.size;
+            let slack = 1e-6 +. (1e-9 *. !sent) in
+            if !sent > Traffic.envelope profile (Engine.now e) +. slack then
+              ok := false)
+          ()
+      in
+      Engine.run ~until:20. e;
+      !ok)
+
+let () =
+  let props =
+    List.map QCheck_alcotest.to_alcotest
+      [
+        prop_engine_time_monotone;
+        prop_conditioner_spacing;
+        prop_conditioner_conserves_packets;
+        prop_server_conserves_bits;
+        prop_fluid_matches_packet_drain;
+        prop_greedy_conforms;
+        prop_on_off_conforms;
+      ]
+  in
+  Alcotest.run "netsim_props" [ ("properties", props) ]

@@ -1,0 +1,223 @@
+(* Robustness properties of the broker on random domains: the guarantees
+   must not depend on the particular Figure-8 topology. *)
+
+module Topology = Bbr_vtrs.Topology
+module Traffic = Bbr_vtrs.Traffic
+module Vtedf = Bbr_vtrs.Vtedf
+module Delay = Bbr_vtrs.Delay
+module Types = Bbr_broker.Types
+module Broker = Bbr_broker.Broker
+module Node_mib = Bbr_broker.Node_mib
+module Topo_gen = Bbr_workload.Topo_gen
+module Prng = Bbr_util.Prng
+
+(* ------------------------------------------------------------------ *)
+(* Generators *)
+
+let scenario_gen =
+  QCheck.Gen.(
+    let* seed = int_range 1 1_000_000 in
+    let* nodes = int_range 3 12 in
+    let* extra = int_range 0 10 in
+    let* ops = int_range 10 120 in
+    return (seed, nodes, extra, ops))
+
+let arb_scenario =
+  QCheck.make
+    ~print:(fun (seed, nodes, extra, ops) ->
+      Printf.sprintf "seed=%d nodes=%d extra=%d ops=%d" seed nodes extra ops)
+    scenario_gen
+
+(* Run a random admit/teardown storm against a random topology; returns
+   the broker, the live flows, and every (flow, reservation, path) ever
+   admitted. *)
+let run_storm (seed, nodes, extra, ops) =
+  let prng = Prng.create ~seed in
+  let topology = Topo_gen.random prng ~nodes ~extra_links:extra () in
+  let broker = Broker.create topology in
+  let live = ref [] in
+  let admitted = ref [] in
+  for _ = 1 to ops do
+    if !live <> [] && Prng.float prng < 0.35 then begin
+      match !live with
+      | flow :: rest ->
+          Broker.teardown broker flow;
+          live := rest
+      | [] -> ()
+    end
+    else begin
+      let ingress, egress = Topo_gen.random_endpoints prng topology in
+      let ty = Prng.int prng ~bound:4 in
+      let profile = Bbr_workload.Profiles.profile ty in
+      let dreq = Prng.float_range prng ~lo:0.3 ~hi:6. in
+      let req = { Types.profile; dreq; ingress; egress } in
+      match Broker.request broker req with
+      | Ok (flow, res) ->
+          live := flow :: !live;
+          admitted := (flow, req, res) :: !admitted
+      | Error _ -> ()
+    end
+  done;
+  (topology, broker, !live, !admitted)
+
+(* ------------------------------------------------------------------ *)
+(* Properties *)
+
+let prop_reservations_consistent =
+  QCheck.Test.make ~name:"link reservations equal the sum of live flows" ~count:100
+    arb_scenario (fun spec ->
+      let topology, broker, live, _ = run_storm spec in
+      let expected = Hashtbl.create 16 in
+      List.iter
+        (fun flow ->
+          match Bbr_broker.Flow_mib.find (Broker.flow_mib broker) flow with
+          | None -> ()
+          | Some r ->
+              List.iter
+                (fun (l : Topology.link) ->
+                  let id = l.Topology.link_id in
+                  Hashtbl.replace expected id
+                    (Option.value ~default:0. (Hashtbl.find_opt expected id)
+                    +. r.Bbr_broker.Flow_mib.reservation.Types.rate))
+                r.Bbr_broker.Flow_mib.path.Bbr_broker.Path_mib.links)
+        live;
+      List.for_all
+        (fun (l : Topology.link) ->
+          let id = l.Topology.link_id in
+          let want = Option.value ~default:0. (Hashtbl.find_opt expected id) in
+          Float.abs (Node_mib.reserved (Broker.node_mib broker) ~link_id:id -. want)
+          < 1e-3)
+        (Topology.links topology))
+
+let prop_never_over_capacity =
+  QCheck.Test.make ~name:"no link is ever reserved beyond capacity" ~count:100
+    arb_scenario (fun spec ->
+      let topology, broker, _, _ = run_storm spec in
+      List.for_all
+        (fun (l : Topology.link) ->
+          Node_mib.reserved (Broker.node_mib broker) ~link_id:l.Topology.link_id
+          <= l.Topology.capacity +. 1e-3)
+        (Topology.links topology))
+
+let prop_admitted_meet_their_bounds =
+  QCheck.Test.make ~name:"every admitted reservation satisfies its delay bound"
+    ~count:100 arb_scenario (fun spec ->
+      let _, broker, _, admitted = run_storm spec in
+      List.for_all
+        (fun (flow, (req : Types.request), (res : Types.reservation)) ->
+          match Bbr_broker.Flow_mib.find (Broker.flow_mib broker) flow with
+          | None -> true (* already torn down; was checked when admitted *)
+          | Some r ->
+              let info = r.Bbr_broker.Flow_mib.path in
+              Delay.e2e_bound req.Types.profile
+                ~q:info.Bbr_broker.Path_mib.rate_hops
+                ~delay_hops:info.Bbr_broker.Path_mib.delay_hops
+                ~rate:res.Types.rate ~delay:res.Types.delay
+                ~d_tot:info.Bbr_broker.Path_mib.d_tot
+              <= req.Types.dreq +. 1e-6)
+        admitted)
+
+let prop_edf_schedulable_after_storm =
+  QCheck.Test.make ~name:"all VT-EDF schedulers stay schedulable" ~count:100
+    arb_scenario (fun spec ->
+      let topology, broker, _, _ = run_storm spec in
+      List.for_all
+        (fun (l : Topology.link) ->
+          match
+            (Node_mib.entry (Broker.node_mib broker) ~link_id:l.Topology.link_id)
+              .Node_mib.edf
+          with
+          | Some edf -> Vtedf.schedulable edf
+          | None -> true)
+        (Topology.links topology))
+
+let prop_teardown_all_restores_blank =
+  QCheck.Test.make ~name:"tearing everything down leaves a blank broker" ~count:100
+    arb_scenario (fun spec ->
+      let topology, broker, live, _ = run_storm spec in
+      List.iter (Broker.teardown broker) live;
+      Node_mib.total_reserved (Broker.node_mib broker) < 1e-3
+      && Broker.per_flow_count broker = 0
+      && List.for_all
+           (fun (l : Topology.link) ->
+             match
+               (Node_mib.entry (Broker.node_mib broker) ~link_id:l.Topology.link_id)
+                 .Node_mib.edf
+             with
+             | Some edf -> Vtedf.flow_count edf = 0
+             | None -> true)
+           (Topology.links topology))
+
+let prop_snapshot_survives_storm =
+  QCheck.Test.make ~name:"snapshot/restore reproduces any storm state" ~count:50
+    arb_scenario (fun ((seed, nodes, extra, _) as spec) ->
+      let _, broker, _, _ = run_storm spec in
+      (* Rebuild the same topology from the same seed prefix. *)
+      let prng = Prng.create ~seed in
+      let topology' = Topo_gen.random prng ~nodes ~extra_links:extra () in
+      let standby = Broker.create topology' in
+      match Bbr_broker.Snapshot.restore standby (Bbr_broker.Snapshot.save broker) with
+      | Error _ -> false
+      | Ok _ ->
+          Float.abs
+            (Node_mib.total_reserved (Broker.node_mib broker)
+            -. Node_mib.total_reserved (Broker.node_mib standby))
+          < 1e-3
+          && Broker.per_flow_count broker = Broker.per_flow_count standby)
+
+(* Deterministic generator sanity checks. *)
+
+let test_chain () =
+  let t, ingress, egress = Topo_gen.chain ~hops:4 () in
+  Alcotest.(check int) "links" 4 (Topology.num_links t);
+  match Bbr_broker.Routing.shortest_path t ~ingress ~egress with
+  | Some path -> Alcotest.(check int) "chain route" 4 (List.length path)
+  | None -> Alcotest.fail "chain should route"
+
+let test_star () =
+  let t = Topo_gen.star ~leaves:5 () in
+  Alcotest.(check int) "links" 10 (Topology.num_links t);
+  match Bbr_broker.Routing.shortest_path t ~ingress:"N0" ~egress:"N3" with
+  | Some path -> Alcotest.(check int) "two hops via hub" 2 (List.length path)
+  | None -> Alcotest.fail "star should route"
+
+let test_random_connected () =
+  (* Every random topology must be strongly connected (links are mirrored). *)
+  let prng = Prng.create ~seed:5 in
+  for _ = 1 to 20 do
+    let t = Topo_gen.random prng ~nodes:8 ~extra_links:3 () in
+    let nodes = Topology.nodes t in
+    List.iter
+      (fun a ->
+        List.iter
+          (fun b ->
+            if a <> b then
+              match Bbr_broker.Routing.shortest_path t ~ingress:a ~egress:b with
+              | Some _ -> ()
+              | None -> Alcotest.failf "no route %s -> %s" a b)
+          nodes)
+      nodes
+  done
+
+let () =
+  let props =
+    List.map QCheck_alcotest.to_alcotest
+      [
+        prop_reservations_consistent;
+        prop_never_over_capacity;
+        prop_admitted_meet_their_bounds;
+        prop_edf_schedulable_after_storm;
+        prop_teardown_all_restores_blank;
+        prop_snapshot_survives_storm;
+      ]
+  in
+  Alcotest.run "random_topology"
+    [
+      ( "generators",
+        [
+          Alcotest.test_case "chain" `Quick test_chain;
+          Alcotest.test_case "star" `Quick test_star;
+          Alcotest.test_case "random connected" `Quick test_random_connected;
+        ] );
+      ("storm properties", props);
+    ]

@@ -1,0 +1,86 @@
+(* Tests for the flow-arrival trace format and replayer. *)
+
+module Dynamic = Bbr_workload.Dynamic
+module Trace = Bbr_workload.Trace
+module Aggregate = Bbr_broker.Aggregate
+
+let cfg = { Dynamic.default_config with Dynamic.duration = 2_000.; arrival_rate = 0.25 }
+
+let test_round_trip () =
+  let entries = Trace.generate cfg in
+  Alcotest.(check bool) "non-trivial trace" true (List.length entries > 100);
+  match Trace.of_string (Trace.to_string entries) with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok back ->
+      Alcotest.(check int) "same length" (List.length entries) (List.length back);
+      List.iter2
+        (fun (a : Trace.entry) (b : Trace.entry) ->
+          (* %h serialization is bit-exact *)
+          Alcotest.(check bool) "identical entry" true (a = b))
+        entries back
+
+let test_replay_equals_run () =
+  let entries = Trace.generate cfg in
+  List.iter
+    (fun scheme ->
+      let direct = Dynamic.run cfg scheme in
+      let replayed = Trace.replay entries scheme in
+      Alcotest.(check int) "same offered" direct.Dynamic.offered
+        replayed.Dynamic.offered;
+      Alcotest.(check int) "same blocked" direct.Dynamic.blocked
+        replayed.Dynamic.blocked;
+      Alcotest.(check int) "same completed" direct.Dynamic.completed
+        replayed.Dynamic.completed)
+    [ Dynamic.Perflow; Dynamic.Aggr Aggregate.Feedback ]
+
+let test_replay_of_serialized_equals_run () =
+  (* Even through serialization, the replay is exact. *)
+  let text = Trace.to_string (Trace.generate cfg) in
+  match Trace.of_string text with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok entries ->
+      let direct = Dynamic.run cfg Dynamic.Perflow in
+      let replayed = Trace.replay entries Dynamic.Perflow in
+      Alcotest.(check int) "blocked equal" direct.Dynamic.blocked
+        replayed.Dynamic.blocked
+
+let test_rejects_garbage () =
+  (match Trace.of_string "nonsense" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected header error");
+  match Trace.of_string "bbr-trace v1\n1.0 2.0 oops" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected parse error"
+
+let test_handcrafted_trace () =
+  (* Traces need not come from the generator. *)
+  let profile = Bbr_workload.Profiles.profile 0 in
+  let mk at =
+    {
+      Trace.at;
+      holding = 100.;
+      profile;
+      dreq = 2.44;
+      ingress = Bbr_workload.Fig8.ingress1;
+      egress = Bbr_workload.Fig8.egress1;
+    }
+  in
+  let entries = List.init 40 (fun i -> mk (float_of_int i)) in
+  let o = Trace.replay entries Dynamic.Perflow in
+  Alcotest.(check int) "offered" 40 o.Dynamic.offered;
+  (* 30 fit; the rest arrive while the first are still holding. *)
+  Alcotest.(check int) "blocked" 10 o.Dynamic.blocked
+
+let () =
+  Alcotest.run "trace"
+    [
+      ( "trace",
+        [
+          Alcotest.test_case "round trip" `Quick test_round_trip;
+          Alcotest.test_case "replay = run" `Quick test_replay_equals_run;
+          Alcotest.test_case "serialized replay = run" `Quick
+            test_replay_of_serialized_equals_run;
+          Alcotest.test_case "rejects garbage" `Quick test_rejects_garbage;
+          Alcotest.test_case "handcrafted" `Quick test_handcrafted_trace;
+        ] );
+    ]

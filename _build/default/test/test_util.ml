@@ -1,0 +1,265 @@
+(* Unit and property tests for Bbr_util: Prng, Stats, Heap, Fp. *)
+
+module Prng = Bbr_util.Prng
+module Stats = Bbr_util.Stats
+module Heap = Bbr_util.Heap
+module Fp = Bbr_util.Fp
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* ------------------------------------------------------------------ *)
+(* Prng *)
+
+let test_prng_deterministic () =
+  let a = Prng.create ~seed:42 and b = Prng.create ~seed:42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.bits64 a) (Prng.bits64 b)
+  done
+
+let test_prng_seed_sensitivity () =
+  let a = Prng.create ~seed:1 and b = Prng.create ~seed:2 in
+  Alcotest.(check bool) "different seeds differ" false
+    (Prng.bits64 a = Prng.bits64 b)
+
+let test_prng_float_range () =
+  let t = Prng.create ~seed:7 in
+  for _ = 1 to 10_000 do
+    let x = Prng.float t in
+    Alcotest.(check bool) "in [0,1)" true (x >= 0. && x < 1.)
+  done
+
+let test_prng_float_mean () =
+  let t = Prng.create ~seed:11 in
+  let acc = Stats.create () in
+  for _ = 1 to 50_000 do
+    Stats.add acc (Prng.float t)
+  done;
+  Alcotest.(check bool) "mean near 0.5" true (Float.abs (Stats.mean acc -. 0.5) < 0.01)
+
+let test_prng_int_bounds () =
+  let t = Prng.create ~seed:3 in
+  let seen = Array.make 7 0 in
+  for _ = 1 to 70_000 do
+    let v = Prng.int t ~bound:7 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 7);
+    seen.(v) <- seen.(v) + 1
+  done;
+  Array.iter
+    (fun count ->
+      Alcotest.(check bool) "roughly uniform" true (count > 8_000 && count < 12_000))
+    seen
+
+let test_prng_exponential_mean () =
+  let t = Prng.create ~seed:5 in
+  let acc = Stats.create () in
+  for _ = 1 to 50_000 do
+    Stats.add acc (Prng.exponential t ~mean:200.)
+  done;
+  Alcotest.(check bool) "mean near 200" true (Float.abs (Stats.mean acc -. 200.) < 5.)
+
+let test_prng_split_independent () =
+  let parent = Prng.create ~seed:9 in
+  let child = Prng.split parent in
+  (* Drawing from the child must not perturb the parent's future stream. *)
+  let parent2 = Prng.create ~seed:9 in
+  let _child2 = Prng.split parent2 in
+  let _ = Prng.bits64 child in
+  Alcotest.(check int64) "parent unaffected by child draws" (Prng.bits64 parent)
+    (Prng.bits64 parent2)
+
+let test_prng_pick () =
+  let t = Prng.create ~seed:13 in
+  let arr = [| "a"; "b"; "c" |] in
+  for _ = 1 to 100 do
+    let v = Prng.pick t arr in
+    Alcotest.(check bool) "picked element" true (Array.exists (( = ) v) arr)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Stats *)
+
+let test_stats_empty () =
+  let s = Stats.create () in
+  Alcotest.(check int) "count" 0 (Stats.count s);
+  check_float "mean" 0. (Stats.mean s);
+  check_float "variance" 0. (Stats.variance s)
+
+let test_stats_known_values () =
+  let s = Stats.create () in
+  List.iter (Stats.add s) [ 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. ];
+  check_float "mean" 5. (Stats.mean s);
+  Alcotest.(check (float 1e-6)) "variance" (32. /. 7.) (Stats.variance s);
+  check_float "min" 2. (Stats.min s);
+  check_float "max" 9. (Stats.max s)
+
+let test_stats_percentile () =
+  let a = [| 1.; 2.; 3.; 4.; 5. |] in
+  check_float "p0" 1. (Stats.percentile a ~p:0.);
+  check_float "p50" 3. (Stats.percentile a ~p:50.);
+  check_float "p100" 5. (Stats.percentile a ~p:100.);
+  check_float "p25" 2. (Stats.percentile a ~p:25.)
+
+let test_stats_percentile_interpolates () =
+  let a = [| 10.; 20. |] in
+  check_float "p50 interpolated" 15. (Stats.percentile a ~p:50.)
+
+let test_stats_percentile_empty () =
+  Alcotest.check_raises "empty" (Invalid_argument "Stats.percentile: empty array")
+    (fun () -> ignore (Stats.percentile [||] ~p:50.))
+
+let test_stats_ci_shrinks () =
+  let wide = Stats.create () and narrow = Stats.create () in
+  let p = Prng.create ~seed:21 in
+  for _ = 1 to 10 do
+    Stats.add wide (Prng.float p)
+  done;
+  for _ = 1 to 1000 do
+    Stats.add narrow (Prng.float p)
+  done;
+  Alcotest.(check bool) "more samples, tighter CI" true
+    (Stats.half_ci95 narrow < Stats.half_ci95 wide)
+
+let test_stats_mean_of () =
+  check_float "mean_of" 2. (Stats.mean_of [ 1.; 2.; 3. ])
+
+(* ------------------------------------------------------------------ *)
+(* Heap *)
+
+let test_heap_ordering () =
+  let h = Heap.create ~leq:(fun (a : int) b -> a <= b) in
+  List.iter (Heap.push h) [ 5; 3; 8; 1; 9; 2; 7 ];
+  let out = ref [] in
+  let rec drain () =
+    match Heap.pop h with
+    | Some v ->
+        out := v :: !out;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check (list int)) "sorted" [ 1; 2; 3; 5; 7; 8; 9 ] (List.rev !out)
+
+let test_heap_fifo_on_ties () =
+  (* Equal priorities must come out in insertion order. *)
+  let h = Heap.create ~leq:(fun (a, _) (b, _) -> (a : int) <= b) in
+  List.iter (Heap.push h) [ (1, "first"); (1, "second"); (1, "third") ];
+  Alcotest.(check (option string)) "first" (Some "first")
+    (Option.map snd (Heap.pop h));
+  Alcotest.(check (option string)) "second" (Some "second")
+    (Option.map snd (Heap.pop h));
+  Alcotest.(check (option string)) "third" (Some "third")
+    (Option.map snd (Heap.pop h))
+
+let test_heap_peek () =
+  let h = Heap.create ~leq:(fun (a : int) b -> a <= b) in
+  Alcotest.(check (option int)) "empty peek" None (Heap.peek h);
+  Heap.push h 4;
+  Heap.push h 2;
+  Alcotest.(check (option int)) "peek min" (Some 2) (Heap.peek h);
+  Alcotest.(check int) "peek does not remove" 2 (Heap.size h)
+
+let test_heap_clear () =
+  let h = Heap.create ~leq:(fun (a : int) b -> a <= b) in
+  List.iter (Heap.push h) [ 1; 2; 3 ];
+  Heap.clear h;
+  Alcotest.(check bool) "empty after clear" true (Heap.is_empty h);
+  Alcotest.(check (option int)) "pop empty" None (Heap.pop h)
+
+let test_heap_pop_exn () =
+  let h = Heap.create ~leq:(fun (a : int) b -> a <= b) in
+  Alcotest.check_raises "pop_exn empty" (Invalid_argument "Heap.pop_exn: empty heap")
+    (fun () -> ignore (Heap.pop_exn h))
+
+let prop_heap_sorts =
+  QCheck.Test.make ~name:"heap drains any list in sorted order" ~count:200
+    QCheck.(list int)
+    (fun xs ->
+      let h = Heap.create ~leq:(fun (a : int) b -> a <= b) in
+      List.iter (Heap.push h) xs;
+      let rec drain acc =
+        match Heap.pop h with Some v -> drain (v :: acc) | None -> List.rev acc
+      in
+      drain [] = List.sort compare xs)
+
+let prop_heap_interleaved =
+  QCheck.Test.make ~name:"heap size tracks pushes and pops" ~count:200
+    QCheck.(list small_int)
+    (fun xs ->
+      let h = Heap.create ~leq:(fun (a : int) b -> a <= b) in
+      let expected = ref 0 in
+      List.for_all
+        (fun x ->
+          if x mod 3 = 0 && not (Heap.is_empty h) then begin
+            ignore (Heap.pop h);
+            decr expected
+          end
+          else begin
+            Heap.push h x;
+            incr expected
+          end;
+          Heap.size h = !expected)
+        xs)
+
+(* ------------------------------------------------------------------ *)
+(* Fp *)
+
+let test_fp_basic () =
+  Alcotest.(check bool) "leq exact" true (Fp.leq 1. 1.);
+  Alcotest.(check bool) "leq below" true (Fp.leq 0.9 1.);
+  Alcotest.(check bool) "leq above tolerance" false (Fp.leq 1.001 1.);
+  Alcotest.(check bool) "leq within tolerance" true
+    (Fp.leq (1_500_000. +. 1e-6) 1_500_000.);
+  Alcotest.(check bool) "gt strict" true (Fp.gt 2. 1.);
+  Alcotest.(check bool) "gt equal" false (Fp.gt 1. 1.);
+  Alcotest.(check bool) "approx" true (Fp.approx 1. (1. +. 1e-12))
+
+let test_fp_thirty_times_rate () =
+  (* The motivating case: 30 flows of ~50 kb/s on a 1.5 Mb/s link. *)
+  let r = 168_000. /. (2.44 -. 0.04 +. 0.96) in
+  let sum = ref 0. in
+  for _ = 1 to 30 do
+    sum := !sum +. r
+  done;
+  Alcotest.(check bool) "30 * r_min fits capacity" true (Fp.leq !sum 1_500_000.)
+
+let () =
+  let qsuite = List.map QCheck_alcotest.to_alcotest [ prop_heap_sorts; prop_heap_interleaved ] in
+  Alcotest.run "util"
+    [
+      ( "prng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_prng_seed_sensitivity;
+          Alcotest.test_case "float range" `Quick test_prng_float_range;
+          Alcotest.test_case "float mean" `Quick test_prng_float_mean;
+          Alcotest.test_case "int bounds/uniformity" `Quick test_prng_int_bounds;
+          Alcotest.test_case "exponential mean" `Quick test_prng_exponential_mean;
+          Alcotest.test_case "split independence" `Quick test_prng_split_independent;
+          Alcotest.test_case "pick" `Quick test_prng_pick;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "empty" `Quick test_stats_empty;
+          Alcotest.test_case "known values" `Quick test_stats_known_values;
+          Alcotest.test_case "percentile" `Quick test_stats_percentile;
+          Alcotest.test_case "percentile interpolation" `Quick
+            test_stats_percentile_interpolates;
+          Alcotest.test_case "percentile empty" `Quick test_stats_percentile_empty;
+          Alcotest.test_case "ci shrinks" `Quick test_stats_ci_shrinks;
+          Alcotest.test_case "mean_of" `Quick test_stats_mean_of;
+        ] );
+      ( "heap",
+        [
+          Alcotest.test_case "ordering" `Quick test_heap_ordering;
+          Alcotest.test_case "fifo ties" `Quick test_heap_fifo_on_ties;
+          Alcotest.test_case "peek" `Quick test_heap_peek;
+          Alcotest.test_case "clear" `Quick test_heap_clear;
+          Alcotest.test_case "pop_exn" `Quick test_heap_pop_exn;
+        ] );
+      ( "fp",
+        [
+          Alcotest.test_case "basics" `Quick test_fp_basic;
+          Alcotest.test_case "capacity boundary" `Quick test_fp_thirty_times_rate;
+        ] );
+      ("properties", qsuite);
+    ]

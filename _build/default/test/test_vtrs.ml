@@ -1,0 +1,431 @@
+(* Unit and property tests for Bbr_vtrs: Traffic, Topology, Packet_state,
+   Delay, Vtedf. *)
+
+module Traffic = Bbr_vtrs.Traffic
+module Topology = Bbr_vtrs.Topology
+module Packet_state = Bbr_vtrs.Packet_state
+module Delay = Bbr_vtrs.Delay
+module Vtedf = Bbr_vtrs.Vtedf
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let type0 = Traffic.make ~sigma:60_000. ~rho:50_000. ~peak:100_000. ~lmax:12_000.
+
+(* ------------------------------------------------------------------ *)
+(* Traffic *)
+
+let test_traffic_validation () =
+  Alcotest.check_raises "lmax <= 0"
+    (Invalid_argument "Traffic.make: lmax must be positive") (fun () ->
+      ignore (Traffic.make ~sigma:1. ~rho:1. ~peak:1. ~lmax:0.));
+  Alcotest.check_raises "sigma < lmax"
+    (Invalid_argument "Traffic.make: sigma must be >= lmax") (fun () ->
+      ignore (Traffic.make ~sigma:10. ~rho:1. ~peak:2. ~lmax:20.));
+  Alcotest.check_raises "peak < rho"
+    (Invalid_argument "Traffic.make: peak must be >= rho") (fun () ->
+      ignore (Traffic.make ~sigma:100. ~rho:5. ~peak:2. ~lmax:10.))
+
+let test_t_on () =
+  (* Table 1 type 0: (60000 - 12000) / (100000 - 50000) = 0.96 s. *)
+  check_float "type0 t_on" 0.96 (Traffic.t_on type0)
+
+let test_t_on_cbr () =
+  let cbr = Traffic.make ~sigma:12_000. ~rho:1_000. ~peak:1_000. ~lmax:12_000. in
+  check_float "cbr t_on" 0. (Traffic.t_on cbr)
+
+let test_envelope () =
+  (* At t = 0 the envelope is the packet burst; at large t the sustained
+     line dominates. *)
+  check_float "env(0)" 12_000. (Traffic.envelope type0 0.);
+  check_float "env(0.96)" (100_000. *. 0.96 +. 12_000.) (Traffic.envelope type0 0.96);
+  check_float "env(10)" (50_000. *. 10. +. 60_000.) (Traffic.envelope type0 10.)
+
+let test_envelope_crossover () =
+  (* The two envelope lines cross exactly at t_on. *)
+  let t = Traffic.t_on type0 in
+  let open Traffic in
+  check_float "crossover" ((type0.peak *. t) +. type0.lmax) ((type0.rho *. t) +. type0.sigma)
+
+let test_aggregate () =
+  let agg = Traffic.aggregate [ type0; type0; type0 ] in
+  let open Traffic in
+  check_float "sigma" 180_000. agg.sigma;
+  check_float "rho" 150_000. agg.rho;
+  check_float "peak" 300_000. agg.peak;
+  check_float "lmax" 36_000. agg.lmax
+
+let test_aggregate_preserves_t_on_for_identical () =
+  (* Aggregating identical flows leaves T_on unchanged. *)
+  let agg = Traffic.aggregate [ type0; type0 ] in
+  check_float "t_on invariant" (Traffic.t_on type0) (Traffic.t_on agg)
+
+let test_remove_inverts_add () =
+  let other = Traffic.make ~sigma:24_000. ~rho:20_000. ~peak:100_000. ~lmax:12_000. in
+  let agg = Traffic.add type0 other in
+  let back = Traffic.remove agg other in
+  Alcotest.(check bool) "round trip" true (Traffic.equal back type0)
+
+let test_conforms () =
+  Alcotest.(check bool) "rho ok" true (Traffic.conforms type0 ~rate:50_000.);
+  Alcotest.(check bool) "peak ok" true (Traffic.conforms type0 ~rate:100_000.);
+  Alcotest.(check bool) "below rho" false (Traffic.conforms type0 ~rate:49_999.);
+  Alcotest.(check bool) "above peak" false (Traffic.conforms type0 ~rate:100_001.)
+
+let arb_profile = Gen.arb_profile
+
+let prop_envelope_monotone =
+  QCheck.Test.make ~name:"envelope is nondecreasing" ~count:200
+    QCheck.(pair arb_profile (pair (float_bound_inclusive 50.) (float_bound_inclusive 50.)))
+    (fun (p, (a, b)) ->
+      let lo = Float.min a b and hi = Float.max a b in
+      Traffic.envelope p lo <= Traffic.envelope p hi +. 1e-6)
+
+let prop_envelope_subadditive_aggregate =
+  QCheck.Test.make ~name:"aggregate envelope = sum of envelopes at 0" ~count:200
+    (QCheck.pair arb_profile arb_profile) (fun (a, b) ->
+      let agg = Traffic.add a b in
+      Float.abs (Traffic.envelope agg 0. -. (Traffic.envelope a 0. +. Traffic.envelope b 0.))
+      < 1e-6)
+
+(* ------------------------------------------------------------------ *)
+(* Topology *)
+
+let mk_topology () =
+  let t = Topology.create () in
+  let l1 = Topology.add_link t ~src:"A" ~dst:"B" ~capacity:1e6 Topology.Rate_based in
+  let l2 =
+    Topology.add_link t ~src:"B" ~dst:"C" ~capacity:2e6 ~prop_delay:0.01
+      Topology.Delay_based
+  in
+  (t, l1, l2)
+
+let test_topology_nodes_links () =
+  let t, l1, l2 = mk_topology () in
+  Alcotest.(check (list string)) "nodes" [ "A"; "B"; "C" ] (Topology.nodes t);
+  Alcotest.(check int) "num links" 2 (Topology.num_links t);
+  Alcotest.(check int) "ids dense" 0 l1.Topology.link_id;
+  Alcotest.(check int) "ids dense" 1 l2.Topology.link_id
+
+let test_topology_default_psi () =
+  let t, l1, _ = mk_topology () in
+  ignore t;
+  (* psi defaults to mtu/capacity *)
+  check_float "psi" (12_000. /. 1e6) l1.Topology.psi
+
+let test_topology_duplicate_link () =
+  let t, _, _ = mk_topology () in
+  Alcotest.check_raises "duplicate"
+    (Invalid_argument "Topology.add_link: duplicate link A -> B") (fun () ->
+      ignore (Topology.add_link t ~src:"A" ~dst:"B" ~capacity:1e6 Topology.Rate_based))
+
+let test_topology_find_out_links () =
+  let t, l1, l2 = mk_topology () in
+  Alcotest.(check bool) "find A->B" true
+    (Topology.find_link t ~src:"A" ~dst:"B" = Some l1);
+  Alcotest.(check bool) "find missing" true
+    (Topology.find_link t ~src:"C" ~dst:"A" = None);
+  Alcotest.(check int) "out links of B" 1 (List.length (Topology.out_links t "B"));
+  ignore l2
+
+let test_topology_path_quantities () =
+  let t, l1, l2 = mk_topology () in
+  ignore t;
+  let path = [ l1; l2 ] in
+  Alcotest.(check int) "hops" 2 (Topology.hop_count path);
+  Alcotest.(check int) "q" 1 (Topology.rate_based_hops path);
+  Alcotest.(check int) "h-q" 1 (Topology.delay_based_hops path);
+  check_float "d_tot" (l1.Topology.psi +. l2.Topology.psi +. 0.01) (Topology.d_tot path)
+
+let test_topology_is_path () =
+  let t, l1, l2 = mk_topology () in
+  Alcotest.(check bool) "valid" true (Topology.is_path t [ l1; l2 ]);
+  Alcotest.(check bool) "disconnected" false (Topology.is_path t [ l2; l1 ]);
+  Alcotest.(check bool) "empty" false (Topology.is_path t [])
+
+(* ------------------------------------------------------------------ *)
+(* Packet_state *)
+
+let test_packet_state_virtual_delay () =
+  let st = Packet_state.init ~rate:50_000. ~delay:0.1 ~lmax:12_000. ~edge_departure:3. in
+  check_float "rate-based d~" (12_000. /. 50_000.) (Packet_state.virtual_delay st Topology.Rate_based);
+  check_float "delay-based d~" 0.1 (Packet_state.virtual_delay st Topology.Delay_based);
+  check_float "virtual finish" (3. +. 0.24) (Packet_state.virtual_finish st Topology.Rate_based)
+
+let test_packet_state_advance () =
+  let t = Topology.create () in
+  let link =
+    Topology.add_link t ~src:"A" ~dst:"B" ~capacity:1.5e6 ~prop_delay:0.002
+      Topology.Rate_based
+  in
+  let st = Packet_state.init ~rate:50_000. ~delay:0. ~lmax:12_000. ~edge_departure:0. in
+  let st' = Packet_state.advance st ~link in
+  (* omega' = omega + lmax/r + psi + pi  (concatenation rule, eq. (1)) *)
+  check_float "omega advance" (0.24 +. (12_000. /. 1.5e6) +. 0.002) st'.Packet_state.omega
+
+let test_packet_state_advance_accumulates () =
+  let t = Topology.create () in
+  let mk i =
+    Topology.add_link t ~src:(Printf.sprintf "N%d" i) ~dst:(Printf.sprintf "N%d" (i + 1))
+      ~capacity:1.5e6 Topology.Rate_based
+  in
+  let links = List.init 5 mk in
+  let st = Packet_state.init ~rate:50_000. ~delay:0. ~lmax:12_000. ~edge_departure:0. in
+  let final = List.fold_left (fun st link -> Packet_state.advance st ~link) st links in
+  let per_hop = 0.24 +. (12_000. /. 1.5e6) in
+  check_float "five hops" (5. *. per_hop) final.Packet_state.omega
+
+(* ------------------------------------------------------------------ *)
+(* Delay bounds *)
+
+let test_edge_bound () =
+  (* eq. (3) at r = rho: T_on (P - r)/r + lmax/r *)
+  let b = Delay.edge_bound type0 ~rate:50_000. in
+  check_float "edge bound" ((0.96 *. 1.) +. 0.24) b
+
+let test_edge_bound_at_peak () =
+  (* At r = P the shaper adds only the packetisation delay. *)
+  check_float "edge bound at peak" (12_000. /. 100_000.)
+    (Delay.edge_bound type0 ~rate:100_000.)
+
+let test_core_bound () =
+  let b = Delay.core_bound ~q:3 ~delay_hops:2 ~lmax:12_000. ~rate:50_000. ~delay:0.1 ~d_tot:0.04 in
+  check_float "core bound" ((3. *. 0.24) +. (2. *. 0.1) +. 0.04) b
+
+let test_e2e_decomposition () =
+  let q = 3 and delay_hops = 2 and rate = 60_000. and delay = 0.15 and d_tot = 0.04 in
+  let total = Delay.e2e_bound type0 ~q ~delay_hops ~rate ~delay ~d_tot in
+  let parts =
+    Delay.edge_bound type0 ~rate
+    +. Delay.core_bound ~q ~delay_hops ~lmax:12_000. ~rate ~delay ~d_tot
+  in
+  check_float "e2e = edge + core" parts total
+
+let test_min_rate_rate_based_table2 () =
+  (* The two closed-form rates behind Table 2's per-flow rows. *)
+  let d_tot = 5. *. (12_000. /. 1.5e6) in
+  (match Delay.min_rate_rate_based type0 ~hops:5 ~d_tot ~dreq:2.44 with
+  | Some r -> Alcotest.(check (float 1e-6)) "2.44 -> mean rate" 50_000. r
+  | None -> Alcotest.fail "expected a rate");
+  match Delay.min_rate_rate_based type0 ~hops:5 ~d_tot ~dreq:2.19 with
+  | Some r -> Alcotest.(check (float 1e-3)) "2.19 -> higher rate" (168_000. /. 3.11) r
+  | None -> Alcotest.fail "expected a rate"
+
+let test_min_rate_unachievable () =
+  Alcotest.(check bool) "tiny dreq" true
+    (Delay.min_rate_rate_based type0 ~hops:5 ~d_tot:10. ~dreq:1. = None)
+
+let prop_min_rate_meets_bound =
+  QCheck.Test.make ~name:"min rate achieves the requested e2e bound" ~count:300
+    QCheck.(pair arb_profile (pair (int_range 1 10) (float_range 0.05 10.)))
+    (fun (p, (hops, dreq)) ->
+      let d_tot = float_of_int hops *. 0.008 in
+      match Delay.min_rate_rate_based p ~hops ~d_tot ~dreq with
+      | None -> true
+      | Some r ->
+          r <= 0.
+          || Delay.e2e_bound p ~q:hops ~delay_hops:0 ~rate:r ~delay:0. ~d_tot
+             <= dreq +. 1e-6)
+
+let prop_e2e_decreasing_in_rate =
+  QCheck.Test.make ~name:"e2e bound decreases with rate" ~count:300
+    QCheck.(pair arb_profile (pair (float_range 0.1 0.9) (float_range 1.01 2.)))
+    (fun (p, (frac, mult)) ->
+      let open Traffic in
+      let r1 = p.rho +. (frac *. (p.peak -. p.rho) /. 2.) in
+      let r2 = Float.min p.peak (r1 *. mult) in
+      r2 <= r1
+      || Delay.e2e_bound p ~q:3 ~delay_hops:0 ~rate:r2 ~delay:0. ~d_tot:0.04
+         <= Delay.e2e_bound p ~q:3 ~delay_hops:0 ~rate:r1 ~delay:0. ~d_tot:0.04 +. 1e-9)
+
+let test_modified_core_bound () =
+  (* eq. (18): across a rate change the worse of the two per-hop terms
+     applies. *)
+  let b =
+    Delay.modified_core_bound ~q:5 ~delay_hops:0 ~path_lmax:12_000. ~rate_before:50_000.
+      ~rate_after:100_000. ~delay:0. ~d_tot:0.04
+  in
+  check_float "uses smaller rate" ((5. *. 0.24) +. 0.04) b
+
+(* ------------------------------------------------------------------ *)
+(* Vtedf *)
+
+let test_vtedf_empty_schedulable () =
+  let s = Vtedf.create ~capacity:1.5e6 in
+  Alcotest.(check bool) "empty ok" true (Vtedf.schedulable s);
+  check_float "no demand" 0. (Vtedf.demand s ~at:1.)
+
+let test_vtedf_add_remove () =
+  let s = Vtedf.create ~capacity:1.5e6 in
+  Vtedf.add s ~rate:50_000. ~delay:0.1 ~lmax:12_000.;
+  Vtedf.add s ~rate:60_000. ~delay:0.1 ~lmax:12_000.;
+  Vtedf.add s ~rate:70_000. ~delay:0.2 ~lmax:12_000.;
+  Alcotest.(check int) "flows" 3 (Vtedf.flow_count s);
+  Alcotest.(check int) "distinct delays" 2 (List.length (Vtedf.classes s));
+  check_float "total" 180_000. (Vtedf.total_rate s);
+  Vtedf.remove s ~rate:60_000. ~delay:0.1 ~lmax:12_000.;
+  Alcotest.(check int) "flows after remove" 2 (Vtedf.flow_count s);
+  check_float "total after remove" 120_000. (Vtedf.total_rate s)
+
+let test_vtedf_remove_unknown () =
+  let s = Vtedf.create ~capacity:1.5e6 in
+  Alcotest.check_raises "unknown delay"
+    (Invalid_argument "Vtedf.remove: no flow with this delay") (fun () ->
+      Vtedf.remove s ~rate:1. ~delay:0.5 ~lmax:1.)
+
+let test_vtedf_demand_formula () =
+  let s = Vtedf.create ~capacity:1.5e6 in
+  Vtedf.add s ~rate:50_000. ~delay:0.1 ~lmax:12_000.;
+  Vtedf.add s ~rate:30_000. ~delay:0.3 ~lmax:12_000.;
+  (* at t = 0.2 only the first flow counts: 50000*(0.2-0.1) + 12000 *)
+  check_float "demand mid" 17_000. (Vtedf.demand s ~at:0.2);
+  (* at t = 0.4 both count *)
+  check_float "demand both"
+    ((50_000. *. 0.3) +. 12_000. +. (30_000. *. 0.1) +. 12_000.)
+    (Vtedf.demand s ~at:0.4)
+
+let test_vtedf_can_admit_boundary () =
+  let s = Vtedf.create ~capacity:100_000. in
+  (* A flow with delay d needs lmax <= C*d at its own deadline. *)
+  Alcotest.(check bool) "own constraint fails" false
+    (Vtedf.can_admit s ~rate:10_000. ~delay:0.05 ~lmax:12_000.);
+  Alcotest.(check bool) "own constraint passes" true
+    (Vtedf.can_admit s ~rate:10_000. ~delay:0.12 ~lmax:12_000.)
+
+let test_vtedf_can_admit_capacity () =
+  let s = Vtedf.create ~capacity:100_000. in
+  Vtedf.add s ~rate:90_000. ~delay:1. ~lmax:1_000.;
+  Alcotest.(check bool) "slope violation" false
+    (Vtedf.can_admit s ~rate:20_000. ~delay:2. ~lmax:1_000.)
+
+let test_vtedf_min_feasible_delay () =
+  let s = Vtedf.create ~capacity:100_000. in
+  (* Empty scheduler: smallest d with C*d >= lmax. *)
+  (match Vtedf.min_feasible_delay s ~lmax:12_000. with
+  | Some d -> check_float "empty" 0.12 d
+  | None -> Alcotest.fail "expected delay");
+  Vtedf.add s ~rate:50_000. ~delay:0.5 ~lmax:12_000.;
+  match Vtedf.min_feasible_delay s ~lmax:12_000. with
+  | Some d ->
+      (* The found point must genuinely offer lmax residual service. *)
+      Alcotest.(check bool) "feasible point" true
+        (Vtedf.residual_service s ~at:d >= 12_000. -. 1e-6)
+  | None -> Alcotest.fail "expected delay"
+
+let test_vtedf_saturated_min_delay () =
+  let s = Vtedf.create ~capacity:100_000. in
+  Vtedf.add s ~rate:100_000. ~delay:0.2 ~lmax:8_000.;
+  (* After 0.2 the slope is zero: a residual of 12000 is unreachable beyond
+     what accrued before the breakpoint. *)
+  (match Vtedf.min_feasible_delay s ~lmax:20_000. with
+  | Some _ -> Alcotest.fail "expected saturation"
+  | None -> ());
+  (* but a small packet still fits before the breakpoint *)
+  match Vtedf.min_feasible_delay s ~lmax:5_000. with
+  | Some d -> Alcotest.(check bool) "before breakpoint" true (d <= 0.2)
+  | None -> Alcotest.fail "expected delay"
+
+(* A random population of admitted flows must keep eq. (5) holding — adding
+   only via can_admit preserves schedulability. *)
+let prop_vtedf_can_admit_sound =
+  QCheck.Test.make ~name:"can_admit preserves schedulability" ~count:200
+    QCheck.(list_of_size Gen.(int_range 1 25) (triple (float_range 1_000. 200_000.) (float_range 0.01 2.) (float_range 500. 12_000.)))
+    (fun candidates ->
+      let s = Vtedf.create ~capacity:1.5e6 in
+      List.iter
+        (fun (rate, delay, lmax) ->
+          if Vtedf.can_admit s ~rate ~delay ~lmax then Vtedf.add s ~rate ~delay ~lmax)
+        candidates;
+      Vtedf.schedulable s)
+
+let prop_vtedf_residual_at_breakpoints =
+  QCheck.Test.make ~name:"admitted population has non-negative residual service"
+    ~count:200
+    QCheck.(list_of_size Gen.(int_range 1 25) (triple (float_range 1_000. 200_000.) (float_range 0.01 2.) (float_range 500. 12_000.)))
+    (fun candidates ->
+      let s = Vtedf.create ~capacity:1.5e6 in
+      List.iter
+        (fun (rate, delay, lmax) ->
+          if Vtedf.can_admit s ~rate ~delay ~lmax then Vtedf.add s ~rate ~delay ~lmax)
+        candidates;
+      List.for_all
+        (fun (k : Vtedf.klass) -> Vtedf.residual_service s ~at:k.Vtedf.delay >= -1e-6)
+        (Vtedf.classes s))
+
+let prop_vtedf_remove_restores =
+  QCheck.Test.make ~name:"remove restores demand exactly" ~count:200
+    QCheck.(pair (triple (float_range 1_000. 100_000.) (float_range 0.01 1.) (float_range 500. 12_000.)) (float_range 0.01 3.))
+    (fun ((rate, delay, lmax), at) ->
+      let s = Vtedf.create ~capacity:1.5e6 in
+      Vtedf.add s ~rate:40_000. ~delay:0.5 ~lmax:9_000.;
+      let before = Vtedf.demand s ~at in
+      Vtedf.add s ~rate ~delay ~lmax;
+      Vtedf.remove s ~rate ~delay ~lmax;
+      Float.abs (Vtedf.demand s ~at -. before) < 1e-6)
+
+let () =
+  let props =
+    List.map QCheck_alcotest.to_alcotest
+      [
+        prop_envelope_monotone;
+        prop_envelope_subadditive_aggregate;
+        prop_min_rate_meets_bound;
+        prop_e2e_decreasing_in_rate;
+        prop_vtedf_can_admit_sound;
+        prop_vtedf_residual_at_breakpoints;
+        prop_vtedf_remove_restores;
+      ]
+  in
+  Alcotest.run "vtrs"
+    [
+      ( "traffic",
+        [
+          Alcotest.test_case "validation" `Quick test_traffic_validation;
+          Alcotest.test_case "t_on" `Quick test_t_on;
+          Alcotest.test_case "t_on cbr" `Quick test_t_on_cbr;
+          Alcotest.test_case "envelope" `Quick test_envelope;
+          Alcotest.test_case "envelope crossover" `Quick test_envelope_crossover;
+          Alcotest.test_case "aggregate" `Quick test_aggregate;
+          Alcotest.test_case "aggregate t_on" `Quick
+            test_aggregate_preserves_t_on_for_identical;
+          Alcotest.test_case "remove inverts add" `Quick test_remove_inverts_add;
+          Alcotest.test_case "conforms" `Quick test_conforms;
+        ] );
+      ( "topology",
+        [
+          Alcotest.test_case "nodes and links" `Quick test_topology_nodes_links;
+          Alcotest.test_case "default psi" `Quick test_topology_default_psi;
+          Alcotest.test_case "duplicate link" `Quick test_topology_duplicate_link;
+          Alcotest.test_case "find/out links" `Quick test_topology_find_out_links;
+          Alcotest.test_case "path quantities" `Quick test_topology_path_quantities;
+          Alcotest.test_case "is_path" `Quick test_topology_is_path;
+        ] );
+      ( "packet_state",
+        [
+          Alcotest.test_case "virtual delay" `Quick test_packet_state_virtual_delay;
+          Alcotest.test_case "advance" `Quick test_packet_state_advance;
+          Alcotest.test_case "advance accumulates" `Quick
+            test_packet_state_advance_accumulates;
+        ] );
+      ( "delay",
+        [
+          Alcotest.test_case "edge bound" `Quick test_edge_bound;
+          Alcotest.test_case "edge bound at peak" `Quick test_edge_bound_at_peak;
+          Alcotest.test_case "core bound" `Quick test_core_bound;
+          Alcotest.test_case "e2e decomposition" `Quick test_e2e_decomposition;
+          Alcotest.test_case "Table-2 closed forms" `Quick test_min_rate_rate_based_table2;
+          Alcotest.test_case "unachievable" `Quick test_min_rate_unachievable;
+          Alcotest.test_case "modified core bound" `Quick test_modified_core_bound;
+        ] );
+      ( "vtedf",
+        [
+          Alcotest.test_case "empty schedulable" `Quick test_vtedf_empty_schedulable;
+          Alcotest.test_case "add/remove" `Quick test_vtedf_add_remove;
+          Alcotest.test_case "remove unknown" `Quick test_vtedf_remove_unknown;
+          Alcotest.test_case "demand formula" `Quick test_vtedf_demand_formula;
+          Alcotest.test_case "own-deadline boundary" `Quick test_vtedf_can_admit_boundary;
+          Alcotest.test_case "capacity slope" `Quick test_vtedf_can_admit_capacity;
+          Alcotest.test_case "min feasible delay" `Quick test_vtedf_min_feasible_delay;
+          Alcotest.test_case "saturated min delay" `Quick test_vtedf_saturated_min_delay;
+        ] );
+      ("properties", props);
+    ]

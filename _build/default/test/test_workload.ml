@@ -1,0 +1,301 @@
+(* Tests for the workload library: Table-1 profiles, the Figure-8
+   topology, the static fill (Table 2 / Figure 9) and the dynamic churn
+   experiment (Figure 10). *)
+
+module Traffic = Bbr_vtrs.Traffic
+module Topology = Bbr_vtrs.Topology
+module Profiles = Bbr_workload.Profiles
+module Fig8 = Bbr_workload.Fig8
+module Static = Bbr_workload.Static
+module Dynamic = Bbr_workload.Dynamic
+module Aggregate = Bbr_broker.Aggregate
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* ------------------------------------------------------------------ *)
+(* Profiles (Table 1) *)
+
+let test_profiles_values () =
+  let p0 = Profiles.profile 0 in
+  check_float "sigma" 60_000. p0.Traffic.sigma;
+  check_float "rho" 50_000. p0.Traffic.rho;
+  check_float "peak" 100_000. p0.Traffic.peak;
+  check_float "lmax" 12_000. p0.Traffic.lmax;
+  check_float "type3 rho" 20_000. (Profiles.profile 3).Traffic.rho;
+  check_float "bound 0 loose" 2.44 (Profiles.bound 0 `Loose);
+  check_float "bound 3 tight" 3.81 (Profiles.bound 3 `Tight)
+
+let test_profiles_out_of_range () =
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Profiles.profile 4);
+       false
+     with Invalid_argument _ -> true)
+
+let test_profiles_all_bounds () =
+  Alcotest.(check int) "eight bounds" 8 (List.length Profiles.all_bounds);
+  Alcotest.(check bool) "sorted" true
+    (List.sort compare Profiles.all_bounds = Profiles.all_bounds)
+
+(* ------------------------------------------------------------------ *)
+(* Fig8 topology *)
+
+let test_fig8_structure () =
+  let t = Fig8.topology `Mixed in
+  Alcotest.(check int) "links" 7 (Topology.num_links t);
+  Alcotest.(check int) "nodes" 8 (List.length (Topology.nodes t));
+  let p1 = Fig8.path1 t and p2 = Fig8.path2 t in
+  Alcotest.(check int) "path1 hops" 5 (Topology.hop_count p1);
+  Alcotest.(check int) "path2 hops" 5 (Topology.hop_count p2);
+  Alcotest.(check bool) "path1 valid" true (Topology.is_path t p1);
+  Alcotest.(check bool) "path2 valid" true (Topology.is_path t p2);
+  (* Mixed setting: path1 has 2 delay-based hops, path2 has 3. *)
+  Alcotest.(check int) "path1 q" 3 (Topology.rate_based_hops p1);
+  Alcotest.(check int) "path2 q" 2 (Topology.rate_based_hops p2)
+
+let test_fig8_rate_only () =
+  let t = Fig8.topology `Rate_only in
+  Alcotest.(check int) "no delay hops" 0 (Topology.delay_based_hops (Fig8.path1 t));
+  List.iter
+    (fun (l : Topology.link) -> check_float "capacity" Fig8.capacity l.Topology.capacity)
+    (Topology.links t)
+
+let test_fig8_routing_agrees_with_paths () =
+  (* The broker's shortest-path routing must pick exactly the paper's
+     paths. *)
+  let t = Fig8.topology `Mixed in
+  let ids path = List.map (fun (l : Topology.link) -> l.Topology.link_id) path in
+  (match Bbr_broker.Routing.shortest_path t ~ingress:Fig8.ingress1 ~egress:Fig8.egress1 with
+  | Some p -> Alcotest.(check (list int)) "path1" (ids (Fig8.path1 t)) (ids p)
+  | None -> Alcotest.fail "no route I1->E1");
+  match Bbr_broker.Routing.shortest_path t ~ingress:Fig8.ingress2 ~egress:Fig8.egress2 with
+  | Some p -> Alcotest.(check (list int)) "path2" (ids (Fig8.path2 t)) (ids p)
+  | None -> Alcotest.fail "no route I2->E2"
+
+(* ------------------------------------------------------------------ *)
+(* Static fill: the full Table 2 *)
+
+let table2_cases =
+  (* (scheme label, scheme, setting, dreq, expected flows) *)
+  [
+    ("intserv R 2.44", Static.Intserv_gs, `Rate_only, 2.44, 30);
+    ("intserv R 2.19", Static.Intserv_gs, `Rate_only, 2.19, 27);
+    ("intserv M 2.44", Static.Intserv_gs, `Mixed, 2.44, 30);
+    ("intserv M 2.19", Static.Intserv_gs, `Mixed, 2.19, 27);
+    ("perflow R 2.44", Static.Perflow_bb, `Rate_only, 2.44, 30);
+    ("perflow R 2.19", Static.Perflow_bb, `Rate_only, 2.19, 27);
+    ("perflow M 2.44", Static.Perflow_bb, `Mixed, 2.44, 30);
+    ("perflow M 2.19", Static.Perflow_bb, `Mixed, 2.19, 27);
+  ]
+
+let aggr_cases =
+  [
+    ("aggr .10 R 2.44", 0.10, `Rate_only, 2.44, 29);
+    ("aggr .10 R 2.19", 0.10, `Rate_only, 2.19, 29);
+    ("aggr .10 M 2.44", 0.10, `Mixed, 2.44, 29);
+    ("aggr .10 M 2.19", 0.10, `Mixed, 2.19, 29);
+    ("aggr .24 M 2.44", 0.24, `Mixed, 2.44, 29);
+    ("aggr .24 M 2.19", 0.24, `Mixed, 2.19, 29);
+    ("aggr .50 M 2.44", 0.50, `Mixed, 2.44, 29);
+    ("aggr .50 M 2.19", 0.50, `Mixed, 2.19, 28);
+  ]
+
+let test_table2_perflow_schemes () =
+  List.iter
+    (fun (label, scheme, setting, dreq, expect) ->
+      let r = Static.fill ~setting ~dreq scheme in
+      Alcotest.(check int) label expect r.Static.admitted)
+    table2_cases
+
+let test_table2_aggregate_bounding () =
+  List.iter
+    (fun (label, cd, setting, dreq, expect) ->
+      let r =
+        Static.fill ~setting ~dreq (Static.Aggr_bb { cd; method_ = Aggregate.Bounding })
+      in
+      Alcotest.(check int) label expect r.Static.admitted)
+    aggr_cases
+
+let test_table2_aggregate_feedback_matches () =
+  (* The contingency method affects transients, not the static fill. *)
+  List.iter
+    (fun (label, cd, setting, dreq, expect) ->
+      let r =
+        Static.fill ~setting ~dreq (Static.Aggr_bb { cd; method_ = Aggregate.Feedback })
+      in
+      Alcotest.(check int) label expect r.Static.admitted)
+    [
+      ("aggrF .10 R 2.44", 0.10, `Rate_only, 2.44, 29);
+      ("aggrF .50 M 2.19", 0.50, `Mixed, 2.19, 28);
+    ]
+
+let test_fig9_shapes () =
+  (* Figure 9's qualitative content, asserted quantitatively. *)
+  let gs = Static.fill ~setting:`Mixed ~dreq:2.19 Static.Intserv_gs in
+  let pf = Static.fill ~setting:`Mixed ~dreq:2.19 Static.Perflow_bb in
+  let ag =
+    Static.fill ~setting:`Mixed ~dreq:2.19
+      (Static.Aggr_bb { cd = 0.10; method_ = Aggregate.Bounding })
+  in
+  let mean_at r n = (List.nth r.Static.steps (n - 1)).Static.mean_rate in
+  (* IntServ/GS: flat. *)
+  Alcotest.(check (float 1e-6)) "GS flat" (mean_at gs 1) (mean_at gs 27);
+  (* Per-flow BB: starts at the sustained rate, grows, stays below GS. *)
+  Alcotest.(check (float 1e-6)) "BB starts at rho" 50_000. (mean_at pf 1);
+  Alcotest.(check bool) "BB grows" true (mean_at pf 27 > mean_at pf 1);
+  Alcotest.(check bool) "BB below GS" true (mean_at pf 27 < mean_at gs 27);
+  (* Aggregate: at the sustained rate, below both. *)
+  Alcotest.(check bool) "Aggr lowest" true
+    (mean_at ag 29 <= Float.min (mean_at pf 27) (mean_at gs 27));
+  Alcotest.(check (float 1e-6)) "Aggr = mean rate" 50_000. (mean_at ag 29)
+
+let test_static_steps_consistent () =
+  let r = Static.fill ~setting:`Rate_only ~dreq:2.44 Static.Perflow_bb in
+  Alcotest.(check int) "one step per admission" r.Static.admitted
+    (List.length r.Static.steps);
+  List.iteri
+    (fun i s ->
+      Alcotest.(check int) "n sequence" (i + 1) s.Static.n;
+      Alcotest.(check (float 1e-6)) "mean consistent"
+        (s.Static.total_rate /. float_of_int s.Static.n)
+        s.Static.mean_rate)
+    r.Static.steps
+
+(* ------------------------------------------------------------------ *)
+(* Dynamic churn (Figure 10) *)
+
+let quick_cfg =
+  { Dynamic.default_config with duration = 4_000.; arrival_rate = 0.2 }
+
+let test_dynamic_deterministic () =
+  let a = Dynamic.run quick_cfg Dynamic.Perflow in
+  let b = Dynamic.run quick_cfg Dynamic.Perflow in
+  Alcotest.(check int) "same offered" a.Dynamic.offered b.Dynamic.offered;
+  Alcotest.(check int) "same blocked" a.Dynamic.blocked b.Dynamic.blocked
+
+let test_dynamic_seed_changes_stream () =
+  let a = Dynamic.run quick_cfg Dynamic.Perflow in
+  let b = Dynamic.run { quick_cfg with Dynamic.seed = 2 } Dynamic.Perflow in
+  Alcotest.(check bool) "different streams" true
+    (a.Dynamic.offered <> b.Dynamic.offered || a.Dynamic.blocked <> b.Dynamic.blocked)
+
+let test_dynamic_all_flows_accounted () =
+  let o = Dynamic.run quick_cfg (Dynamic.Aggr Aggregate.Feedback) in
+  Alcotest.(check bool) "offered split" true
+    (o.Dynamic.offered >= o.Dynamic.blocked + o.Dynamic.completed)
+
+let test_dynamic_low_load_no_blocking () =
+  let o =
+    Dynamic.run { quick_cfg with Dynamic.arrival_rate = 0.01 } Dynamic.Perflow
+  in
+  Alcotest.(check int) "no blocking at trivial load" 0 o.Dynamic.blocked;
+  Alcotest.(check bool) "something offered" true (o.Dynamic.offered > 10)
+
+let test_dynamic_blocking_increases_with_load () =
+  let lo = Dynamic.run { quick_cfg with Dynamic.arrival_rate = 0.1 } Dynamic.Perflow in
+  let hi = Dynamic.run { quick_cfg with Dynamic.arrival_rate = 0.4 } Dynamic.Perflow in
+  Alcotest.(check bool) "monotone-ish in load" true
+    (hi.Dynamic.blocking_rate > lo.Dynamic.blocking_rate)
+
+let test_dynamic_fig10_ordering () =
+  (* The paper's Figure-10 ordering: per-flow <= feedback <= bounding at a
+     moderate load (averaged over seeds to beat noise). *)
+  let loads = [ 0.2 ] in
+  let rate scheme =
+    match Dynamic.blocking_vs_load ~seeds:[ 1; 2; 3 ] ~base:quick_cfg ~loads scheme with
+    | [ (_, r) ] -> r
+    | _ -> Alcotest.fail "expected one point"
+  in
+  let pf = rate Dynamic.Perflow in
+  let fb = rate (Dynamic.Aggr Aggregate.Feedback) in
+  let bd = rate (Dynamic.Aggr Aggregate.Bounding) in
+  Alcotest.(check bool)
+    (Printf.sprintf "perflow (%.3f) <= feedback (%.3f)" pf fb)
+    true (pf <= fb +. 0.01);
+  Alcotest.(check bool)
+    (Printf.sprintf "feedback (%.3f) <= bounding (%.3f)" fb bd)
+    true (fb <= bd +. 0.01)
+
+let test_dynamic_packet_level_perflow () =
+  (* Full data plane under churn: the admission decisions must line up
+     with the fluid model, and no packet may exceed its bound. *)
+  let cfg = { quick_cfg with Dynamic.duration = 1_500.; arrival_rate = 0.3 } in
+  let p = Dynamic.run_packet_level cfg Dynamic.Perflow in
+  let f = Dynamic.run cfg Dynamic.Perflow in
+  Alcotest.(check int) "same arrival stream" f.Dynamic.offered
+    p.Dynamic.admission.Dynamic.offered;
+  Alcotest.(check int) "same blocking decisions" f.Dynamic.blocked
+    p.Dynamic.admission.Dynamic.blocked;
+  Alcotest.(check bool) "packets flowed" true (p.Dynamic.packets > 10_000);
+  Alcotest.(check int) "no bound violations" 0 p.Dynamic.bound_violations;
+  Alcotest.(check bool)
+    (Printf.sprintf "positive worst slack (%.4f)" p.Dynamic.worst_slack)
+    true (p.Dynamic.worst_slack >= 0.)
+
+let test_dynamic_packet_level_aggregate () =
+  let cfg = { quick_cfg with Dynamic.duration = 1_500.; arrival_rate = 0.3 } in
+  let p = Dynamic.run_packet_level cfg (Dynamic.Aggr Aggregate.Feedback) in
+  let f = Dynamic.run cfg (Dynamic.Aggr Aggregate.Feedback) in
+  Alcotest.(check int) "same arrival stream" f.Dynamic.offered
+    p.Dynamic.admission.Dynamic.offered;
+  (* The fluid backlog model and the packet conditioners release feedback
+     contingency at slightly different instants; blocking must agree
+     closely but not exactly. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "blocking close to fluid (%.3f vs %.3f)"
+       p.Dynamic.admission.Dynamic.blocking_rate f.Dynamic.blocking_rate)
+    true
+    (Float.abs
+       (p.Dynamic.admission.Dynamic.blocking_rate -. f.Dynamic.blocking_rate)
+    <= 0.05);
+  Alcotest.(check int) "no bound violations" 0 p.Dynamic.bound_violations
+
+let test_dynamic_mixed_setting_runs () =
+  let cfg = { quick_cfg with Dynamic.setting = `Mixed; duration = 2_000. } in
+  let o = Dynamic.run cfg (Dynamic.Aggr Aggregate.Feedback) in
+  Alcotest.(check bool) "mixed setting works" true (o.Dynamic.offered > 0);
+  let o2 = Dynamic.run cfg Dynamic.Perflow in
+  Alcotest.(check bool) "perflow mixed works" true (o2.Dynamic.offered > 0)
+
+let () =
+  Alcotest.run "workload"
+    [
+      ( "profiles",
+        [
+          Alcotest.test_case "Table-1 values" `Quick test_profiles_values;
+          Alcotest.test_case "out of range" `Quick test_profiles_out_of_range;
+          Alcotest.test_case "all bounds" `Quick test_profiles_all_bounds;
+        ] );
+      ( "fig8",
+        [
+          Alcotest.test_case "structure" `Quick test_fig8_structure;
+          Alcotest.test_case "rate-only" `Quick test_fig8_rate_only;
+          Alcotest.test_case "routing agreement" `Quick test_fig8_routing_agrees_with_paths;
+        ] );
+      ( "static (Table 2 / Fig 9)",
+        [
+          Alcotest.test_case "Table 2 per-flow schemes" `Quick test_table2_perflow_schemes;
+          Alcotest.test_case "Table 2 aggregate (bounding)" `Quick
+            test_table2_aggregate_bounding;
+          Alcotest.test_case "Table 2 aggregate (feedback)" `Quick
+            test_table2_aggregate_feedback_matches;
+          Alcotest.test_case "Figure 9 shapes" `Quick test_fig9_shapes;
+          Alcotest.test_case "step bookkeeping" `Quick test_static_steps_consistent;
+        ] );
+      ( "dynamic (Fig 10)",
+        [
+          Alcotest.test_case "deterministic" `Quick test_dynamic_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_dynamic_seed_changes_stream;
+          Alcotest.test_case "accounting" `Quick test_dynamic_all_flows_accounted;
+          Alcotest.test_case "no blocking at low load" `Quick
+            test_dynamic_low_load_no_blocking;
+          Alcotest.test_case "blocking grows with load" `Quick
+            test_dynamic_blocking_increases_with_load;
+          Alcotest.test_case "Figure 10 ordering" `Slow test_dynamic_fig10_ordering;
+          Alcotest.test_case "packet-level per-flow" `Slow
+            test_dynamic_packet_level_perflow;
+          Alcotest.test_case "packet-level aggregate" `Slow
+            test_dynamic_packet_level_aggregate;
+          Alcotest.test_case "mixed setting" `Quick test_dynamic_mixed_setting_runs;
+        ] );
+    ]
