@@ -15,6 +15,7 @@
      overhead     broker (COPS) vs RSVP control-message load
      hierarchy    quota-delegating edge brokers vs central transactions
      state        QoS-state footprint per architecture
+     failover     recovery from link failure + broker crash vs COPS loss
      scaling      admission cost vs M; bounds vs path length
      statistical  Hoeffding effective-bandwidth multiplexing gain
      micro        Bechamel micro-benchmarks of the admission hot paths
@@ -613,6 +614,53 @@ let run_state () =
   Fmt.pr "(class x path) macroflow; core routers hold none in either BB mode.@."
 
 (* ------------------------------------------------------------------ *)
+(* Fault tolerance: recovery under link failure + broker crash, swept
+   over COPS loss rates (extension; EXPERIMENTS.md "recovery" section). *)
+
+let run_failover () =
+  section "Fault tolerance: link failure + broker crash vs COPS loss rate";
+  let scenario ~loss ~checkpoint_on_decision =
+    {
+      Bbr_workload.Failure.default_config with
+      loss;
+      extra_links = [ ("R3", "R6", Fig8.capacity); ("R6", "R4", Fig8.capacity) ];
+      link_down = [ (600., ("R3", "R4")) ];
+      link_up = [ (900., ("R3", "R4")) ];
+      crash_at = Some 1500.;
+      promote_after = 0.5;
+      checkpoint_every = (if checkpoint_on_decision then None else Some 50.);
+      checkpoint_on_decision;
+    }
+  in
+  Fmt.pr
+    "Figure-8 churn (0.15 flows/s, 200 s holding), R3->R4 fails at 600 s with@.";
+  Fmt.pr
+    "an R3->R6->R4 detour, broker crashes at 1500 s, standby promoted 0.5 s later.@.@.";
+  let row label o =
+    let open Bbr_workload.Failure in
+    Fmt.pr "%-26s %5d %5d %5d %6d %6d %5d %7d %7d %6d@." label o.admitted o.rerouted
+      o.dropped o.flows_at_crash o.flows_restored o.flows_lost o.messages
+      o.retransmissions o.unresolved
+  in
+  Fmt.pr "%-26s %5s %5s %5s %6s %6s %5s %7s %7s %6s@." "configuration" "admit" "rert"
+    "drop" "@crash" "restor" "lost" "msgs" "rexmit" "stuck";
+  List.iter
+    (fun loss ->
+      let o = Bbr_workload.Failure.run (scenario ~loss ~checkpoint_on_decision:true) in
+      row (Fmt.str "per-decision ckpt, p=%.2f" loss) o)
+    [ 0.; 0.01; 0.1 ];
+  List.iter
+    (fun loss ->
+      let o = Bbr_workload.Failure.run (scenario ~loss ~checkpoint_on_decision:false) in
+      row (Fmt.str "50 s periodic ckpt, p=%.2f" loss) o)
+    [ 0.; 0.01; 0.1 ];
+  Fmt.pr
+    "@.per-decision checkpoints lose nothing across the crash; periodic ones lose@.";
+  Fmt.pr
+    "only the admissions of the last window.  No request is ever stuck: the@.";
+  Fmt.pr "reliable channel retransmits every transaction to resolution.@."
+
+(* ------------------------------------------------------------------ *)
 
 let sections =
   [
@@ -625,6 +673,7 @@ let sections =
     ("overhead", run_overhead);
     ("hierarchy", run_hierarchy);
     ("state", run_state);
+    ("failover", run_failover);
     ("scaling", run_scaling);
     ("statistical", run_statistical);
     ("micro", run_micro);

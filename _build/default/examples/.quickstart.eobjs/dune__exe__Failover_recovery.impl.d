@@ -1,0 +1,1 @@
+examples/failover_recovery.ml: Bbr_workload Fmt

@@ -1,0 +1,1 @@
+examples/failover_recovery.mli:

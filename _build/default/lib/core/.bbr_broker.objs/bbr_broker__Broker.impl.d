@@ -1,1 +1,1 @@
-lib/core/broker.ml: Admission Aggregate Bbr_util Bbr_vtrs Flow_mib List Node_mib Option Path_mib Policy Printf Routing Types
+lib/core/broker.ml: Admission Aggregate Bbr_util Bbr_vtrs Either Flow_mib Fun List Node_mib Option Path_mib Policy Routing Types

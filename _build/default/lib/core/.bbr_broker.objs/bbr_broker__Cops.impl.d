@@ -1,1 +1,1 @@
-lib/core/cops.ml: Broker
+lib/core/cops.ml: Broker Float

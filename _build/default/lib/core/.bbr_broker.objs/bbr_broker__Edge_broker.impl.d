@@ -1,1 +1,1 @@
-lib/core/edge_broker.ml: Bbr_util Bbr_vtrs Broker Float Hashtbl Path_mib Printf Types
+lib/core/edge_broker.ml: Bbr_util Bbr_vtrs Broker Float Hashtbl Path_mib Types

@@ -313,6 +313,32 @@ let leave t ~flow =
       mf.edge_bound <- Float.max mf.edge_bound (steady_edge_bound mf);
       notify_rate t mf
 
+let evacuate t ~class_id ~path_id =
+  match Hashtbl.find_opt t.macros (class_id, path_id) with
+  | None -> []
+  | Some mf ->
+      let members =
+        Hashtbl.fold (fun flow p acc -> (flow, p) :: acc) mf.members []
+        |> List.sort compare
+      in
+      let old_total = total mf in
+      (* Hard-release everything at once — base and contingency alike.  No
+         contingency period applies: the path is gone, so there is no edge
+         backlog left to drain through it.  Pending bounding timers find
+         their grants already swept and fire as no-ops. *)
+      Hashtbl.reset mf.grants;
+      mf.conting <- 0.;
+      mf.base <- 0.;
+      mf.profile <- None;
+      mf.edge_bound <- 0.;
+      release_links t mf old_total;
+      edf_update t mf ~old_total ~new_total:0.;
+      Hashtbl.reset mf.members;
+      List.iter (fun (flow, _) -> Hashtbl.remove t.owners flow) members;
+      Hashtbl.remove t.macros (class_id, path_id);
+      notify_rate t mf;
+      members
+
 let queue_empty t ~class_id ~path_id =
   match t.method_ with
   | Bounding -> ()

@@ -71,6 +71,14 @@ val leave : t -> flow:Types.flow_id -> unit
 (** Microflow departure (Section 4.3, "Microflow Leave").  Raises
     [Invalid_argument] for an unknown flow. *)
 
+val evacuate :
+  t -> class_id:int -> path_id:int -> (Types.flow_id * Bbr_vtrs.Traffic.t) list
+(** Tear a whole macroflow out at once: release its entire allocation
+    (base {e and} contingency — the path has failed, so no contingency
+    period applies), forget the macroflow, and return its members in
+    ascending flow-id order so the broker can attempt re-admission on a
+    surviving path.  Empty list when the macroflow does not exist. *)
+
 val queue_empty : t -> class_id:int -> path_id:int -> unit
 (** Edge-conditioner feedback: the macroflow's backlog emptied.  Under
     {!Feedback} this releases all contingency bandwidth of the macroflow

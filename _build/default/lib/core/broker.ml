@@ -58,8 +58,14 @@ let preamble t req =
       | None -> Error Types.No_route
       | Some path -> Ok path)
 
-let book_per_flow t (req : Types.request) path (res : Types.reservation) =
-  let flow = Flow_mib.fresh_id t.flow_mib in
+let book_per_flow t ?flow (req : Types.request) path (res : Types.reservation) =
+  let flow =
+    match flow with
+    | Some f ->
+        Flow_mib.reserve_ids t.flow_mib ~below:(f + 1);
+        f
+    | None -> Flow_mib.fresh_id t.flow_mib
+  in
   List.iter
     (fun (l : Topology.link) ->
       let link_id = l.Topology.link_id in
@@ -81,16 +87,18 @@ let book_per_flow t (req : Types.request) path (res : Types.reservation) =
   t.on_edge_config ~flow res;
   flow
 
-let request t req =
+let request_full t ?flow req =
   match preamble t req with
   | Error e -> Error e
   | Ok path -> (
       let ps = Admission.path_state t.node_mib t.path_mib path in
       match Admission.admit ps req.Types.profile ~dreq:req.Types.dreq with
       | Error e -> Error e
-      | Ok res -> Ok (book_per_flow t req path res, res))
+      | Ok res -> Ok (book_per_flow t ?flow req path res, res))
 
-let request_fixed t req ~rate ?delay () =
+let request t req = request_full t req
+
+let request_fixed t ?flow req ~rate ?delay () =
   match preamble t req with
   | Error e -> Error e
   | Ok path ->
@@ -110,12 +118,15 @@ let request_fixed t req ~rate ?delay () =
           if Bbr_util.Fp.gt rate ps.Admission.cres then
             Error Types.Insufficient_bandwidth
           else Error Types.Not_schedulable
-        else Ok (book_per_flow t req path { Types.rate; delay })
+        else Ok (book_per_flow t ?flow req path { Types.rate; delay })
       end
 
+(* Idempotent: a teardown for an unknown (already-released) flow is a
+   no-op, so retransmitted DRQs and departures of flows dropped by a link
+   failure are harmless. *)
 let teardown t flow =
   match Flow_mib.remove t.flow_mib flow with
-  | None -> invalid_arg (Printf.sprintf "Broker.teardown: unknown flow %d" flow)
+  | None -> ()
   | Some record ->
       let res = record.Flow_mib.reservation in
       List.iter
@@ -129,7 +140,7 @@ let teardown t flow =
           Node_mib.release t.node_mib ~link_id res.Types.rate)
         record.Flow_mib.path.Path_mib.links
 
-let request_class t ?class_id req =
+let request_class t ?class_id ?flow req =
   match preamble t req with
   | Error e -> Error e
   | Ok path -> (
@@ -148,7 +159,13 @@ let request_class t ?class_id req =
       match cls with
       | Error e -> Error e
       | Ok cls -> (
-          let flow = Flow_mib.fresh_id t.flow_mib in
+          let flow =
+            match flow with
+            | Some f ->
+                Flow_mib.reserve_ids t.flow_mib ~below:(f + 1);
+                f
+            | None -> Flow_mib.fresh_id t.flow_mib
+          in
           match
             Aggregate.join t.aggregate ~class_id:cls.Aggregate.class_id ~path ~flow
               req.Types.profile
@@ -156,9 +173,98 @@ let request_class t ?class_id req =
           | Ok () -> Ok (flow, cls)
           | Error e -> Error e))
 
-let teardown_class t flow = Aggregate.leave t.aggregate ~flow
+(* Idempotent for the same reason as {!teardown}. *)
+let teardown_class t flow =
+  if Aggregate.owner t.aggregate ~flow <> None then Aggregate.leave t.aggregate ~flow
 
 let queue_empty t ~class_id ~path_id = Aggregate.queue_empty t.aggregate ~class_id ~path_id
+
+(* ------------------------------------------------------------------ *)
+(* Link failure handling (restore-or-preempt).                        *)
+
+type link_recovery = {
+  link_id : int;
+  perflow_rerouted : Types.flow_id list;
+  perflow_dropped : Types.flow_id list;
+  class_rerouted : Types.flow_id list;
+  class_dropped : Types.flow_id list;
+}
+
+let recovered_count r = List.length r.perflow_rerouted + List.length r.class_rerouted
+
+let dropped_count r = List.length r.perflow_dropped + List.length r.class_dropped
+
+let fail_link t ~link_id =
+  ignore (Topology.link_by_id t.topology link_id);
+  Topology.set_link_state t.topology ~link_id ~up:false;
+  let on_dead_link links =
+    List.exists (fun (l : Topology.link) -> l.Topology.link_id = link_id) links
+  in
+  (* Victims, released before any re-admission so survivors compete for the
+     full remaining capacity.  Per-flow records are captured first: teardown
+     removes them from the MIB. *)
+  let perflow_victims =
+    Flow_mib.fold t.flow_mib ~init:[] ~f:(fun acc r ->
+        if on_dead_link r.Flow_mib.path.Path_mib.links then r :: acc else acc)
+    |> List.sort (fun (a : Flow_mib.record) b -> compare a.Flow_mib.flow b.Flow_mib.flow)
+  in
+  List.iter (fun (r : Flow_mib.record) -> teardown t r.Flow_mib.flow) perflow_victims;
+  let class_victims =
+    List.filter_map
+      (fun (s : Aggregate.macro_stats) ->
+        match Path_mib.find t.path_mib ~path_id:s.Aggregate.path_id with
+        | Some info when on_dead_link info.Path_mib.links ->
+            let endpoints =
+              Aggregate.path_endpoints t.aggregate ~class_id:s.Aggregate.class_id
+                ~path_id:s.Aggregate.path_id
+            in
+            Some
+              ( s.Aggregate.class_id,
+                endpoints,
+                Aggregate.evacuate t.aggregate ~class_id:s.Aggregate.class_id
+                  ~path_id:s.Aggregate.path_id )
+        | _ -> None)
+      (Aggregate.all_macroflows t.aggregate)
+  in
+  (* Re-admission, flow-id order within each population: the flow keeps its
+     id across the reroute, so ingress routers and in-flight DRQs stay
+     valid; the edge is reconfigured through the usual hooks. *)
+  let perflow_rerouted, perflow_dropped =
+    List.partition_map
+      (fun (r : Flow_mib.record) ->
+        match request_full t ~flow:r.Flow_mib.flow r.Flow_mib.request with
+        | Ok _ -> Either.Left r.Flow_mib.flow
+        | Error _ -> Either.Right r.Flow_mib.flow)
+      perflow_victims
+  in
+  let class_rerouted, class_dropped =
+    List.concat_map
+      (fun (class_id, endpoints, members) ->
+        List.map
+          (fun (flow, profile) ->
+            let rejoined =
+              match endpoints with
+              | None -> false
+              | Some (ingress, egress) -> (
+                  match Routing.path t.routing ~ingress ~egress with
+                  | None -> false
+                  | Some path -> (
+                      match
+                        Aggregate.join t.aggregate ~class_id ~path ~flow profile
+                      with
+                      | Ok () -> true
+                      | Error _ -> false))
+            in
+            if rejoined then Either.Left flow else Either.Right flow)
+          members)
+      class_victims
+    |> List.partition_map Fun.id
+  in
+  { link_id; perflow_rerouted; perflow_dropped; class_rerouted; class_dropped }
+
+let restore_link t ~link_id =
+  ignore (Topology.link_by_id t.topology link_id);
+  Topology.set_link_state t.topology ~link_id ~up:true
 
 let topology t = t.topology
 

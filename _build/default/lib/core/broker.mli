@@ -42,11 +42,13 @@ val request : t -> Types.request -> (Types.flow_id * Types.reservation, Types.re
     is booked in the MIBs and the reservation pushed to the edge. *)
 
 val teardown : t -> Types.flow_id -> unit
-(** Release a per-flow reservation.  Raises [Invalid_argument] for an
-    unknown flow. *)
+(** Release a per-flow reservation.  Idempotent: an unknown
+    (already-released) flow is a no-op, so retransmitted DRQs are
+    harmless. *)
 
 val request_fixed :
   t ->
+  ?flow:Types.flow_id ->
   Types.request ->
   rate:float ->
   ?delay:float ->
@@ -59,20 +61,68 @@ val request_fixed :
     caller owns.  This is the hook the inter-domain coordinator uses: it
     solves the delay budget across domains and books the resulting rate in
     each domain.  Raises [Invalid_argument] when [delay] is missing on a
-    mixed path.  Tear down with {!teardown}. *)
+    mixed path.  Tear down with {!teardown}.
+
+    [flow] books under a caller-chosen id instead of a fresh one (the id
+    space is advanced past it) — used by snapshot restore and link-failure
+    rerouting, where the flow must keep the id the ingress router holds. *)
 
 (** {1 Class-based guaranteed service} *)
 
 val request_class :
-  t -> ?class_id:int -> Types.request -> (Types.flow_id * Aggregate.class_def, Types.reject_reason) result
+  t ->
+  ?class_id:int ->
+  ?flow:Types.flow_id ->
+  Types.request ->
+  (Types.flow_id * Aggregate.class_def, Types.reject_reason) result
 (** Admit the flow into a delay service class — [class_id] if given
     (rejected when the class bound exceeds the flow's requirement),
-    otherwise the loosest class satisfying the requirement. *)
+    otherwise the loosest class satisfying the requirement.  [flow] as in
+    {!request_fixed}. *)
 
 val teardown_class : t -> Types.flow_id -> unit
+(** Idempotent, like {!teardown}. *)
 
 val queue_empty : t -> class_id:int -> path_id:int -> unit
 (** Forwarded edge-conditioner feedback (see {!Aggregate.queue_empty}). *)
+
+(** {1 Link failure handling}
+
+    The paper's reliability argument (Section 2, footnote 2): all QoS
+    state lives at the broker, so recovering from a data-plane failure is
+    a pure control-plane operation — no core router is involved. *)
+
+type link_recovery = {
+  link_id : int;
+  perflow_rerouted : Types.flow_id list;
+      (** per-flow reservations re-admitted on a surviving path, keeping
+          their flow ids *)
+  perflow_dropped : Types.flow_id list;
+      (** per-flow reservations released with no feasible alternative *)
+  class_rerouted : Types.flow_id list;  (** class members re-joined elsewhere *)
+  class_dropped : Types.flow_id list;
+}
+
+val fail_link : t -> link_id:int -> link_recovery
+(** Restore-or-preempt recovery for a link failure: mark the link down,
+    release every per-flow reservation and macroflow riding it (found
+    through the path MIB), and attempt re-admission of each victim over
+    the surviving topology — full admission control on the new path, in
+    ascending flow-id order, per-flow reservations first.  Policy is not
+    re-checked (the flow was already authorized); the end-to-end delay
+    requirement is.  Victims that no longer fit anywhere are dropped — the
+    broker has no reservation for them afterwards, and their eventual
+    DRQs are no-ops.  Raises [Invalid_argument] for an unknown link id;
+    calling it again for an already-down link finds no victims and is
+    harmless. *)
+
+val restore_link : t -> link_id:int -> unit
+(** Mark a failed link up again.  Routing resumes using it for new
+    selections; existing reservations are not rebalanced. *)
+
+val recovered_count : link_recovery -> int
+
+val dropped_count : link_recovery -> int
 
 (** {1 Introspection} *)
 

@@ -1,47 +1,159 @@
-type t = {
-  broker : Broker.t;
-  latency : float;
-  defer : float -> (unit -> unit) -> unit;
-  mutable messages : int;
-  mutable pending : int;
+type reliability = {
+  loss : unit -> bool;
+  timeout : float;
+  backoff : float;
+  max_timeout : float;
 }
 
-let create broker ?(latency = 0.005) ~defer () =
-  { broker; latency; defer; messages = 0; pending = 0 }
+let reliability ?(timeout = 0.05) ?(backoff = 2.) ?(max_timeout = 1.) ~loss () =
+  if timeout <= 0. then invalid_arg "Cops.reliability: timeout must be positive";
+  if backoff < 1. then invalid_arg "Cops.reliability: backoff must be >= 1";
+  { loss; timeout; backoff; max_timeout = Float.max timeout max_timeout }
 
+type t = {
+  mutable broker : Broker.t;
+  latency : float;
+  defer : float -> (unit -> unit) -> unit;
+  rel : reliability option;
+  mutable pdp_up : bool;
+  mutable messages : int;
+  mutable pending : int;
+  mutable retransmissions : int;
+  mutable duplicates : int;
+}
+
+let create broker ?(latency = 0.005) ?reliability ~defer () =
+  {
+    broker;
+    latency;
+    defer;
+    rel = reliability;
+    pdp_up = true;
+    messages = 0;
+    pending = 0;
+    retransmissions = 0;
+    duplicates = 0;
+  }
+
+let set_broker t broker = t.broker <- broker
+
+let set_pdp_up t up = t.pdp_up <- up
+
+let next_timeout r timeout = Float.min r.max_timeout (timeout *. r.backoff)
+
+(* One message leg: counted whether or not it arrives (wire overhead is what
+   we measure), dropped by the loss process when reliability is on. *)
 let send t action =
   t.messages <- t.messages + 1;
-  t.defer t.latency action
+  let lost = match t.rel with Some r -> r.loss () | None -> false in
+  if not lost then t.defer t.latency action
 
-(* One request/decision exchange; [decide] runs at the broker, [report]
-   says whether an RPT follows a positive decision. *)
+(* One request/decision exchange.  [decide] runs at whichever broker is the
+   PDP when the (possibly retransmitted) REQ arrives; [accepted] says
+   whether an RPT follows a positive decision.
+
+   Reliability machinery, active only when the channel was created with a
+   [reliability]:
+   - the PEP retransmits the REQ on a capped exponential-backoff timer until
+     a DEC arrives;
+   - the PDP remembers the decision of this transaction and replays it for
+     duplicate REQs instead of re-deciding, so a lost DEC cannot double-book
+     a flow.  The memory is tied to the broker instance that decided: after
+     a fail-over to a standby the transaction is decided afresh (at-least-
+     once semantics across a crash);
+   - the PEP resolves each transaction exactly once, so duplicate DECs
+     cannot leak [pending] or fire [on_decision] twice. *)
 let exchange t ~decide ~accepted ~on_decision =
   t.pending <- t.pending + 1;
-  send t (fun () ->
-      (* REQ arrived at the PDP: decide and send DEC back. *)
-      let decision = decide () in
-      send t (fun () ->
-          t.pending <- t.pending - 1;
-          on_decision decision;
-          (* The PEP reports successful installation of the decision. *)
-          if accepted decision then send t (fun () -> ())))
+  let resolved = ref false in
+  let decided = ref None in
+  let pdp_decide () =
+    match !decided with
+    | Some (pdp, dec) when pdp == t.broker ->
+        t.duplicates <- t.duplicates + 1;
+        dec
+    | _ ->
+        let dec = decide t.broker in
+        decided := Some (t.broker, dec);
+        dec
+  in
+  let deliver_decision dec =
+    if not !resolved then begin
+      resolved := true;
+      t.pending <- t.pending - 1;
+      on_decision dec;
+      (* The PEP reports successful installation of the decision. *)
+      if accepted dec then send t (fun () -> ())
+    end
+  in
+  let rec attempt timeout =
+    send t (fun () ->
+        (* REQ arrived at the PDP: decide and send DEC back.  A crashed
+           PDP consumes the message without answering. *)
+        if t.pdp_up then begin
+          let dec = pdp_decide () in
+          send t (fun () -> deliver_decision dec)
+        end);
+    match t.rel with
+    | None -> ()
+    | Some r ->
+        t.defer timeout (fun () ->
+            if not !resolved then begin
+              t.retransmissions <- t.retransmissions + 1;
+              attempt (next_timeout r timeout)
+            end)
+  in
+  attempt (match t.rel with Some r -> r.timeout | None -> 0.)
 
 let request t req ~on_decision =
   exchange t
-    ~decide:(fun () -> Broker.request t.broker req)
+    ~decide:(fun broker -> Broker.request broker req)
     ~accepted:(function Ok _ -> true | Error _ -> false)
     ~on_decision
 
 let request_class t ?class_id req ~on_decision =
   exchange t
-    ~decide:(fun () -> Broker.request_class t.broker ?class_id req)
+    ~decide:(fun broker -> Broker.request_class broker ?class_id req)
     ~accepted:(function Ok _ -> true | Error _ -> false)
     ~on_decision
 
-let teardown t flow = send t (fun () -> Broker.teardown t.broker flow)
+(* A DRQ.  Unreliable channel: fire and forget, one message, exactly as the
+   base protocol.  Reliable channel: the PDP acknowledges, the PEP
+   retransmits until acknowledged, and the PDP applies the delete once per
+   transaction per broker (teardown is idempotent at the broker anyway, but
+   suppressing duplicates keeps the MIB churn honest). *)
+let one_way t apply =
+  match t.rel with
+  | None -> send t (fun () -> if t.pdp_up then apply t.broker)
+  | Some r ->
+      let acked = ref false in
+      let applied = ref None in
+      let rec attempt timeout =
+        send t (fun () ->
+            if t.pdp_up then begin
+              (match !applied with
+              | Some pdp when pdp == t.broker -> t.duplicates <- t.duplicates + 1
+              | _ ->
+                  applied := Some t.broker;
+                  apply t.broker);
+              send t (fun () -> acked := true)
+            end);
+        t.defer timeout (fun () ->
+            if not !acked then begin
+              t.retransmissions <- t.retransmissions + 1;
+              attempt (next_timeout r timeout)
+            end)
+      in
+      attempt r.timeout
 
-let teardown_class t flow = send t (fun () -> Broker.teardown_class t.broker flow)
+let teardown t flow = one_way t (fun broker -> Broker.teardown broker flow)
+
+let teardown_class t flow = one_way t (fun broker -> Broker.teardown_class broker flow)
 
 let messages t = t.messages
 
 let pending t = t.pending
+
+let retransmissions t = t.retransmissions
+
+let duplicates t = t.duplicates

@@ -9,16 +9,61 @@
     against hop-by-hop soft-state signaling ({!Bbr_intserv.Rsvp}), which
     costs two messages per hop per set-up plus a perpetual refresh stream.
 
-    Message accounting per admitted flow: REQ + DEC + RPT = 3, plus DRQ = 1
-    on teardown; a rejected flow costs REQ + DEC = 2. *)
+    Message accounting per admitted flow on a perfect channel:
+    REQ + DEC + RPT = 3, plus DRQ = 1 on teardown; a rejected flow costs
+    REQ + DEC = 2.
+
+    {2 Reliable operation}
+
+    Created with a {!reliability}, the channel tolerates message loss and
+    PDP fail-over: every transaction is retransmitted on a capped
+    exponential-backoff timer until resolved, the PDP suppresses duplicate
+    requests by replaying its recorded decision (so a lost DEC never
+    double-books a flow), and DRQs are acknowledged (DRQ + ACK = 2 on a
+    loss-free channel).  After {!set_broker} repoints the PEP at a promoted
+    standby, in-flight transactions drain to the new PDP through the same
+    retransmission path; transactions decided by the dead broker whose DEC
+    was lost are decided afresh by the standby (at-least-once semantics
+    across a crash). *)
 
 type t
 
+type reliability
+
+val reliability :
+  ?timeout:float ->
+  ?backoff:float ->
+  ?max_timeout:float ->
+  loss:(unit -> bool) ->
+  unit ->
+  reliability
+(** [loss] is sampled once per message leg; [true] drops that copy (see
+    {!Bbr_netsim.Fault.drop} for a seeded Bernoulli process).  [timeout]
+    (default 0.05 s) is the initial retransmission timeout, multiplied by
+    [backoff] (default 2) per retry and capped at [max_timeout] (default
+    1 s).  Retries are unbounded: with any loss rate below 1 every
+    transaction eventually resolves. *)
+
 val create :
-  Broker.t -> ?latency:float -> defer:(float -> (unit -> unit) -> unit) -> unit -> t
+  Broker.t ->
+  ?latency:float ->
+  ?reliability:reliability ->
+  defer:(float -> (unit -> unit) -> unit) ->
+  unit ->
+  t
 (** [defer delay action] delivers a message: it must run [action] after
     [delay] (e.g. [Engine.schedule_after]).  [latency] is the one-way
-    PEP↔PDP delay (default 0.005 s). *)
+    PEP↔PDP delay (default 0.005 s).  Without [reliability] the channel is
+    the base model: loss-free, no acknowledgements, no timers. *)
+
+val set_broker : t -> Broker.t -> unit
+(** Repoint the PEP at a new PDP (a promoted warm standby).  In-flight
+    reliable transactions retransmit to it automatically. *)
+
+val set_pdp_up : t -> bool -> unit
+(** Model a broker crash: while down, the PDP consumes incoming messages
+    without reacting.  Reliable PEPs keep retransmitting; on the base
+    channel the transaction is simply lost. *)
 
 val request :
   t ->
@@ -27,7 +72,8 @@ val request :
   unit
 (** Per-flow service request: REQ travels to the broker, the decision is
     made there, DEC travels back; on an admit the PEP configures its edge
-    conditioner and sends the RPT report. *)
+    conditioner and sends the RPT report.  [on_decision] fires exactly
+    once, when the first DEC copy reaches the PEP. *)
 
 val request_class :
   t ->
@@ -38,12 +84,23 @@ val request_class :
 (** Class-based variant. *)
 
 val teardown : t -> Types.flow_id -> unit
-(** DRQ: the PEP tells the broker the per-flow reservation is gone. *)
+(** DRQ: the PEP tells the broker the per-flow reservation is gone.
+    Acknowledged and retransmitted on a reliable channel. *)
 
 val teardown_class : t -> Types.flow_id -> unit
 
 val messages : t -> int
-(** Total signaling messages exchanged so far. *)
+(** Total signaling messages put on the wire so far, including lost
+    copies, retransmissions and acknowledgements. *)
 
 val pending : t -> int
-(** Requests in flight (REQ sent, DEC not yet delivered). *)
+(** Requests in flight (REQ sent, no DEC delivered yet).  On a reliable
+    channel with a live (or eventually promoted) PDP this always drains
+    to 0. *)
+
+val retransmissions : t -> int
+(** REQ/DRQ copies beyond the first per transaction. *)
+
+val duplicates : t -> int
+(** Duplicate REQ/DRQ copies the PDP answered from its transaction
+    memory instead of re-deciding. *)

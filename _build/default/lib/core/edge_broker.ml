@@ -113,9 +113,11 @@ let request t (req : Types.request) =
         end
       end
 
+(* Idempotent, matching {!Broker.teardown}: a retransmitted or stale DRQ
+   for an unknown flow is a no-op. *)
 let teardown t flow =
   match Hashtbl.find_opt t.flows flow with
-  | None -> invalid_arg (Printf.sprintf "Edge_broker.teardown: unknown flow %d" flow)
+  | None -> ()
   | Some rate ->
       Hashtbl.remove t.flows flow;
       t.used <- Float.max 0. (t.used -. rate)

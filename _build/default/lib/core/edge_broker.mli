@@ -33,8 +33,8 @@ val request : t -> Types.request -> (Types.flow_id * Types.reservation, Types.re
     exact shortfall).  Flow ids are local to this edge broker. *)
 
 val teardown : t -> Types.flow_id -> unit
-(** Release a local reservation back into the quota.  Raises
-    [Invalid_argument] for an unknown flow. *)
+(** Release a local reservation back into the quota.  Idempotent: an
+    unknown (already-released) flow is a no-op. *)
 
 val return_idle_quota : t -> unit
 (** Hand whole idle chunks back to the central broker (keeps at most one

@@ -1,0 +1,74 @@
+type t = {
+  make_standby : unit -> Broker.t;
+  time : Broker.time_hooks;
+  mutable active : Broker.t;
+  mutable up : bool;
+  mutable last : (float * string) option;
+  mutable checkpoints : int;
+  mutable generation : int;
+  mutable ticking : bool;
+  mutable stopped : bool;
+}
+
+let create ~make_standby ?time primary =
+  let time = Option.value ~default:Broker.immediate_time time in
+  {
+    make_standby;
+    time;
+    active = primary;
+    up = true;
+    last = None;
+    checkpoints = 0;
+    generation = 0;
+    ticking = false;
+    stopped = false;
+  }
+
+let active t = t.active
+
+let is_up t = t.up
+
+let checkpoint t =
+  if t.up then begin
+    t.last <- Some (t.time.Broker.now (), Snapshot.save t.active);
+    t.checkpoints <- t.checkpoints + 1
+  end
+
+let start_checkpoints t ~every =
+  if every <= 0. then invalid_arg "Failover.start_checkpoints: every must be positive";
+  if not t.ticking then begin
+    t.ticking <- true;
+    let rec tick () =
+      if not t.stopped then begin
+        checkpoint t;
+        t.time.Broker.after every tick
+      end
+    in
+    t.time.Broker.after every tick
+  end
+
+let stop t = t.stopped <- true
+
+let crash t = t.up <- false
+
+let promote t =
+  match t.last with
+  | None -> Error "no checkpoint to promote from"
+  | Some (_, snapshot) -> (
+      let standby = t.make_standby () in
+      match Snapshot.restore standby snapshot with
+      | Error e -> Error e
+      | Ok restored ->
+          t.active <- standby;
+          t.up <- true;
+          t.generation <- t.generation + 1;
+          Ok restored)
+
+let snapshot_age t =
+  match t.last with
+  | None -> None
+  | Some (at, _) -> Some (t.time.Broker.now () -. at)
+
+let checkpoints t = t.checkpoints
+
+let generation t = t.generation

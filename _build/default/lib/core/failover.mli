@@ -1,0 +1,67 @@
+(** Warm-standby broker failover.
+
+    The replication scheme the paper's footnote 2 gestures at: because
+    every piece of QoS state lives in the broker's MIBs, a standby fed
+    periodic {!Snapshot} checkpoints can take over after a crash without
+    involving any core router.  This module keeps the latest checkpoint,
+    models the crash, and promotes a freshly built standby from that
+    checkpoint.
+
+    Recovery semantics: flows admitted after the last checkpoint are lost
+    on promotion (their eventual DRQs are harmless no-ops thanks to
+    idempotent teardown); everything checkpointed is restored exactly,
+    under its original flow id.  In-flight requests are not the manager's
+    problem — a reliable {!Cops} channel retransmits them to the promoted
+    broker once {!Cops.set_broker} repoints it. *)
+
+type t
+
+val create : make_standby:(unit -> Broker.t) -> ?time:Broker.time_hooks -> Broker.t -> t
+(** [make_standby ()] must build a fresh broker over the same topology
+    and classes as the primary (it is called at promotion time, so the
+    standby starts empty).  [time] defaults to {!Broker.immediate_time} —
+    fine for manual {!checkpoint} calls, but see the warning on
+    {!start_checkpoints}. *)
+
+val active : t -> Broker.t
+(** The broker currently holding the PDP role: the primary until a
+    promotion, the latest standby afterwards. *)
+
+val is_up : t -> bool
+
+val checkpoint : t -> unit
+(** Snapshot the active broker now, replacing the previous checkpoint.
+    Ignored while crashed. *)
+
+val start_checkpoints : t -> every:float -> unit
+(** Checkpoint on a periodic timer.  Requires real (engine-driven) time
+    hooks: under {!Broker.immediate_time} the timer fires recursively on
+    the spot and never returns.  The timer keeps rescheduling until
+    {!stop}; when driving an {!Bbr_netsim.Engine}, bound the run with
+    [~until].  Idempotent: a second call does not start a second timer.
+    Raises [Invalid_argument] when [every <= 0]. *)
+
+val stop : t -> unit
+(** Stop the periodic checkpoint timer (it unschedules at its next
+    firing). *)
+
+val crash : t -> unit
+(** The active broker fails: checkpoints stop until promotion.  Pair with
+    {!Cops.set_pdp_up} to make the signaling channel see the outage. *)
+
+val promote : t -> (int, string) result
+(** Build a standby with [make_standby] and restore the latest checkpoint
+    into it.  On [Ok n] ([n] = reservations restored) the standby is the
+    new {!active} and is up; repoint signaling at it with
+    {!Cops.set_broker}.  [Error] when no checkpoint exists or the restore
+    fails — the previous active broker is left in place (still down). *)
+
+val snapshot_age : t -> float option
+(** Time since the last checkpoint — the window of admissions a crash
+    right now would lose.  [None] before the first checkpoint. *)
+
+val checkpoints : t -> int
+(** Checkpoints taken so far. *)
+
+val generation : t -> int
+(** Promotions so far: 0 while the original primary serves. *)

@@ -15,6 +15,10 @@ let fresh_id t =
   t.next_id <- t.next_id + 1;
   id
 
+let reserve_ids t ~below = if below > t.next_id then t.next_id <- below
+
+let next_id t = t.next_id
+
 let add t record =
   if Hashtbl.mem t.table record.flow then
     invalid_arg (Printf.sprintf "Flow_mib.add: duplicate flow id %d" record.flow);

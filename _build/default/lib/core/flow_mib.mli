@@ -16,6 +16,14 @@ val create : unit -> t
 val fresh_id : t -> Types.flow_id
 (** Allocate the next unused flow id. *)
 
+val reserve_ids : t -> below:Types.flow_id -> unit
+(** Ensure {!fresh_id} never returns an id below [below].  A restored
+    standby reserves the primary's id space so post-failover admissions
+    cannot collide with ids still held by ingress routers. *)
+
+val next_id : t -> Types.flow_id
+(** The id {!fresh_id} would allocate next (without allocating it). *)
+
 val add : t -> record -> unit
 (** Raises [Invalid_argument] if the id is already present. *)
 

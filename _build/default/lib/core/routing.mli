@@ -11,8 +11,11 @@ type t
 val create : Bbr_vtrs.Topology.t -> Path_mib.t -> t
 
 val path : t -> ingress:string -> egress:string -> Path_mib.info option
-(** Shortest path between two routers, memoized; [None] when unreachable
-    or either router is unknown. *)
+(** Shortest path between two routers over the links currently up,
+    memoized; [None] when unreachable or either router is unknown.  The
+    memo is dropped automatically whenever the topology's link up/down
+    state changes (see {!Bbr_vtrs.Topology.set_link_state}), so selections
+    steer around failed links and may return after repairs. *)
 
 val shortest_path :
   Bbr_vtrs.Topology.t ->
@@ -21,7 +24,7 @@ val shortest_path :
   Bbr_vtrs.Topology.link list option
 (** The underlying path computation, usable without a broker (the IntServ
     baseline routes with the same metric so comparisons are apples to
-    apples). *)
+    apples).  Skips links marked down. *)
 
 val clear_cache : t -> unit
 (** Drop memoized selections (after topology-facing changes in tests). *)

@@ -10,6 +10,10 @@ let save broker =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf header;
   Buffer.add_char buf '\n';
+  (* The primary's id horizon: a restored standby must never hand out an id
+     the primary may already have given to an ingress router. *)
+  Buffer.add_string buf
+    (Printf.sprintf "next %d\n" (Flow_mib.next_id (Broker.flow_mib broker)));
   (* Per-flow reservations, in admission (flow-id) order so that a replay
      reproduces identical bookkeeping. *)
   let records =
@@ -49,68 +53,118 @@ let save broker =
     (Aggregate.all_macroflows agg);
   Buffer.contents buf
 
-let parse_line line =
-  match String.split_on_char ' ' (String.trim line) with
-  | [ "flow"; _id; sigma; rho; peak; lmax; dreq; ingress; egress; rate; delay ] ->
-      Ok
-        (`Flow
-           ( Traffic.make ~sigma:(float_of_string sigma) ~rho:(float_of_string rho)
-               ~peak:(float_of_string peak) ~lmax:(float_of_string lmax),
-             float_of_string dreq,
-             ingress,
-             egress,
-             float_of_string rate,
-             float_of_string delay ))
-  | [ "member"; _id; class_id; sigma; rho; peak; lmax; ingress; egress ] ->
-      Ok
-        (`Member
-           ( int_of_string class_id,
-             Traffic.make ~sigma:(float_of_string sigma) ~rho:(float_of_string rho)
-               ~peak:(float_of_string peak) ~lmax:(float_of_string lmax),
-             ingress,
-             egress ))
-  | [] | [ "" ] -> Ok `Blank
-  | _ -> Error (Printf.sprintf "unparseable snapshot line: %S" line)
+type entry =
+  [ `Next of int
+  | `Flow of int * Traffic.t * float * string * string * float * float
+  | `Member of int * int * Traffic.t * string * string ]
 
-let restore broker text =
+let parse_line line : ([ entry | `Blank ], string) result =
+  let unparseable () = Error (Printf.sprintf "unparseable snapshot line: %S" line) in
+  match String.split_on_char ' ' (String.trim line) with
+  | exception _ -> unparseable ()
+  | fields -> (
+      (* Malformed numeric fields must yield a parse error, not an
+         exception escaping [restore]. *)
+      match
+        match fields with
+        | [ "next"; n ] -> `Next (int_of_string n)
+        | [ "flow"; id; sigma; rho; peak; lmax; dreq; ingress; egress; rate; delay ] ->
+            `Flow
+              ( int_of_string id,
+                Traffic.make ~sigma:(float_of_string sigma)
+                  ~rho:(float_of_string rho) ~peak:(float_of_string peak)
+                  ~lmax:(float_of_string lmax),
+                float_of_string dreq,
+                ingress,
+                egress,
+                float_of_string rate,
+                float_of_string delay )
+        | [ "member"; id; class_id; sigma; rho; peak; lmax; ingress; egress ] ->
+            `Member
+              ( int_of_string id,
+                int_of_string class_id,
+                Traffic.make ~sigma:(float_of_string sigma)
+                  ~rho:(float_of_string rho) ~peak:(float_of_string peak)
+                  ~lmax:(float_of_string lmax),
+                ingress,
+                egress )
+        | [] | [ "" ] -> `Blank
+        | _ -> `Malformed
+      with
+      | exception _ -> unparseable ()
+      | `Malformed -> unparseable ()
+      | #entry as e -> Ok e
+      | `Blank -> Ok `Blank)
+
+let parse text : (entry list, string) result =
   match String.split_on_char '\n' text with
   | first :: rest when String.trim first = header ->
-      let restored = ref 0 in
-      let rec go = function
-        | [] -> Ok !restored
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
         | line :: lines -> (
             match parse_line line with
             | Error e -> Error e
-            | Ok `Blank -> go lines
-            | Ok (`Flow (profile, dreq, ingress, egress, rate, delay)) -> (
-                match
-                  Broker.request_fixed broker
-                    { Types.profile; dreq; ingress; egress }
-                    ~rate ~delay ()
-                with
-                | Ok _ ->
-                    incr restored;
-                    go lines
-                | Error reason ->
-                    Error
-                      (Fmt.str "re-booking a per-flow reservation failed: %a"
-                         Types.pp_reject_reason reason))
-            | Ok (`Member (class_id, profile, ingress, egress)) -> (
-                match
-                  Broker.request_class broker ~class_id
-                    { Types.profile; dreq = infinity; ingress; egress }
-                with
-                | Ok _ ->
-                    incr restored;
-                    go lines
-                | Error reason ->
-                    Error
-                      (Fmt.str "re-joining a class member failed: %a"
-                         Types.pp_reject_reason reason)))
+            | Ok `Blank -> go acc lines
+            | Ok (#entry as e) -> go (e :: acc) lines)
       in
-      go rest
+      go [] rest
   | first :: _ -> Error (Printf.sprintf "bad snapshot header: %S" (String.trim first))
   | [] -> Error "empty snapshot"
+
+let replay broker entries =
+  let restored = ref 0 in
+  let rec go = function
+    | [] -> Ok !restored
+    | `Next below :: rest ->
+        Flow_mib.reserve_ids (Broker.flow_mib broker) ~below;
+        go rest
+    | `Flow (flow, profile, dreq, ingress, egress, rate, delay) :: rest -> (
+        match
+          Broker.request_fixed broker ~flow
+            { Types.profile; dreq; ingress; egress }
+            ~rate ~delay ()
+        with
+        | Ok _ ->
+            incr restored;
+            go rest
+        | Error reason ->
+            Error
+              (Fmt.str "re-booking a per-flow reservation failed: %a"
+                 Types.pp_reject_reason reason))
+    | `Member (flow, class_id, profile, ingress, egress) :: rest -> (
+        match
+          Broker.request_class broker ~class_id ~flow
+            { Types.profile; dreq = infinity; ingress; egress }
+        with
+        | Ok _ ->
+            incr restored;
+            go rest
+        | Error reason ->
+            Error
+              (Fmt.str "re-joining a class member failed: %a" Types.pp_reject_reason
+                 reason))
+  in
+  go entries
+
+let restore broker text =
+  match parse text with
+  | Error e -> Error e
+  | Ok entries -> (
+      (* Validate the whole replay against a scratch broker over the same
+         topology and classes before touching the target.  The scratch
+         holds every contingency grant for the duration of the replay
+         (Feedback method, no queue-empty signals), which is the strictest
+         admission the target can face — so a scratch success guarantees
+         the commit below goes through on a fresh target. *)
+      let scratch =
+        Broker.create
+          ~classes:(Aggregate.classes (Broker.aggregate broker))
+          ~method_:Aggregate.Feedback ~time:Broker.immediate_time
+          (Broker.topology broker)
+      in
+      match replay scratch entries with
+      | Error e -> Error e
+      | Ok _ -> replay broker entries)
 
 let flows_in text =
   String.split_on_char '\n' text

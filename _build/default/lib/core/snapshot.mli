@@ -16,6 +16,11 @@
     allocation, which a fresh queue-empty signal would have produced
     anyway.
 
+    Flow ids are preserved: every reservation is re-booked under its
+    original id, and the saved id horizon ([next] line) is reserved on
+    restore, so ids the failed primary already handed to ingress routers
+    stay valid for DRQs and are never re-issued by the standby.
+
     The snapshot format is a versioned line-oriented text format, one
     reservation per line. *)
 
@@ -26,8 +31,11 @@ val restore : Broker.t -> string -> (int, string) result
 (** Replay a snapshot into a broker, which must be freshly created over
     the same topology (with the same service classes).  Returns the number
     of reservations restored, or a description of the first parse or
-    re-booking failure (in which case the broker may hold a partial
-    restore). *)
+    re-booking failure.
+
+    Atomic: the full snapshot is parsed and then replayed against a
+    scratch broker first; the target broker is touched only once both
+    passes succeed, so on [Error] it is exactly as it was. *)
 
 val flows_in : string -> int
 (** Number of reservation lines in a snapshot (cheap sanity check). *)

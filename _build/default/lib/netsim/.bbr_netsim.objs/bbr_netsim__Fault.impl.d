@@ -1,0 +1,1 @@
+lib/netsim/fault.ml: Bbr_util Engine Fmt List

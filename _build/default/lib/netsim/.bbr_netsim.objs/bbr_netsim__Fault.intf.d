@@ -1,0 +1,1 @@
+lib/netsim/fault.mli: Bbr_util Engine Format

@@ -1,0 +1,62 @@
+(** Seeded fault injection for the simulated control plane.
+
+    The paper's reliability claim (Section 2, footnote 2) is that keeping
+    all QoS state at the broker turns failure handling into a pure
+    control-plane problem.  This module supplies the failures to handle:
+    a deterministic, seed-driven schedule of link outages and broker
+    crashes bound to the discrete-event {!Engine} clock, plus a Bernoulli
+    loss process for the COPS channel.  Everything is driven by
+    {!Bbr_util.Prng}, so a given seed reproduces the exact same fault
+    sequence on every run. *)
+
+type action =
+  | Link_down of int  (** take a topology link down (by link id) *)
+  | Link_up of int  (** repair it *)
+  | Crash of string  (** crash a named broker *)
+  | Recover of string
+
+type event = { at : float; action : action }
+
+val pp_action : Format.formatter -> action -> unit
+
+val pp_event : Format.formatter -> event -> unit
+
+type hooks = {
+  on_link_down : int -> unit;
+  on_link_up : int -> unit;
+  on_crash : string -> unit;
+  on_recover : string -> unit;
+}
+
+val hooks :
+  ?on_link_down:(int -> unit) ->
+  ?on_link_up:(int -> unit) ->
+  ?on_crash:(string -> unit) ->
+  ?on_recover:(string -> unit) ->
+  unit ->
+  hooks
+(** Omitted handlers default to no-ops. *)
+
+val install : Engine.t -> hooks -> event list -> unit
+(** Schedule every event on the engine; at its time the matching hook
+    fires. *)
+
+val drop : Bbr_util.Prng.t -> p:float -> unit -> bool
+(** A Bernoulli loss process: each call returns [true] (drop this
+    message) with probability [p].  [p = 0] never samples the stream, so
+    a loss-free run consumes no randomness.  Raises [Invalid_argument]
+    unless [0 <= p < 1].  Feed to {!Bbr_broker.Cops.reliability}. *)
+
+val link_plan :
+  Bbr_util.Prng.t ->
+  link_ids:int list ->
+  horizon:float ->
+  ?mtbf:float ->
+  ?mttr:float ->
+  unit ->
+  event list
+(** A seeded outage schedule over [link_ids] up to time [horizon]: each
+    link alternates exponentially distributed up-times (mean [mtbf],
+    default [horizon/2]) and down-times (mean [mttr], default
+    [horizon/20]), on its own split PRNG stream.  Events come back sorted
+    by time, ready for {!install}. *)

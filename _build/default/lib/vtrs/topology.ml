@@ -20,6 +20,8 @@ type t = {
   mutable link_order : link list;  (* reversed insertion order *)
   by_endpoints : (string * string, link) Hashtbl.t;
   mutable next_id : int;
+  down : (int, unit) Hashtbl.t;  (* link ids currently failed *)
+  mutable state_version : int;  (* bumped on every up/down transition *)
 }
 
 let create () =
@@ -29,6 +31,8 @@ let create () =
     link_order = [];
     by_endpoints = Hashtbl.create 16;
     next_id = 0;
+    down = Hashtbl.create 4;
+    state_version = 0;
   }
 
 let mem_node t name = Hashtbl.mem t.node_set name
@@ -70,6 +74,21 @@ let link_by_id t id =
 let find_link t ~src ~dst = Hashtbl.find_opt t.by_endpoints (src, dst)
 
 let out_links t name = List.filter (fun l -> l.src = name) (links t)
+
+let link_is_up t ~link_id = not (Hashtbl.mem t.down link_id)
+
+let set_link_state t ~link_id ~up =
+  if link_id < 0 || link_id >= t.next_id then
+    invalid_arg (Printf.sprintf "Topology.set_link_state: unknown link id %d" link_id);
+  let is_up = link_is_up t ~link_id in
+  if is_up <> up then begin
+    if up then Hashtbl.remove t.down link_id else Hashtbl.replace t.down link_id ();
+    t.state_version <- t.state_version + 1
+  end
+
+let down_links t = List.filter (fun l -> not (link_is_up t ~link_id:l.link_id)) (links t)
+
+let state_version t = t.state_version
 
 let rec is_path_links = function
   | [] | [ _ ] -> true

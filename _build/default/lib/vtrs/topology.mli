@@ -67,9 +67,32 @@ val link_by_id : t -> int -> link
 val find_link : t -> src:string -> dst:string -> link option
 
 val out_links : t -> string -> link list
-(** Links leaving the given router, in insertion order. *)
+(** Links leaving the given router, in insertion order (including links
+    currently marked down — the physical topology does not shrink). *)
 
 val mem_node : t -> string -> bool
+
+(** {1 Link failure state}
+
+    Links carry an up/down flag so the control plane can model data-plane
+    failures: a down link keeps its configuration (capacity, scheduler,
+    error term) but must not be used for new path selection.  Reservation
+    bookkeeping is the broker's concern — marking a link down here does not
+    touch any MIB. *)
+
+val set_link_state : t -> link_id:int -> up:bool -> unit
+(** Mark a link down (failed) or back up.  Idempotent per state; raises
+    [Invalid_argument] for an unknown link id. *)
+
+val link_is_up : t -> link_id:int -> bool
+(** Links start up; [false] after [set_link_state ~up:false]. *)
+
+val down_links : t -> link list
+(** Currently-failed links, in insertion order. *)
+
+val state_version : t -> int
+(** A counter bumped on every up/down transition — lets path caches detect
+    staleness without subscribing to events. *)
 
 (** {1 Path-level quantities}
 

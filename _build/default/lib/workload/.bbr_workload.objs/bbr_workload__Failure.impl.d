@@ -1,0 +1,1 @@
+lib/workload/failure.ml: Bbr_broker Bbr_netsim Bbr_util Bbr_vtrs Dynamic Fig8 Fmt List Printf

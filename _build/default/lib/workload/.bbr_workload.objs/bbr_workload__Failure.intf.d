@@ -1,0 +1,1 @@
+lib/workload/failure.mli: Fig8 Fmt

@@ -1,0 +1,214 @@
+module Engine = Bbr_netsim.Engine
+module Fault = Bbr_netsim.Fault
+module Broker = Bbr_broker.Broker
+module Cops = Bbr_broker.Cops
+module Failover = Bbr_broker.Failover
+module Types = Bbr_broker.Types
+module Topology = Bbr_vtrs.Topology
+module Prng = Bbr_util.Prng
+
+type config = {
+  seed : int;
+  setting : Fig8.setting;
+  arrival_rate : float;
+  mean_holding : float;
+  duration : float;
+  horizon : float;
+  loss : float;
+  latency : float;
+  link_down : (float * (string * string)) list;
+  link_up : (float * (string * string)) list;
+  crash_at : float option;
+  promote_after : float;
+  checkpoint_every : float option;
+  checkpoint_on_decision : bool;
+  extra_links : (string * string * float) list;
+}
+
+let default_config =
+  {
+    seed = 1;
+    setting = `Rate_only;
+    arrival_rate = 0.15;
+    mean_holding = 200.;
+    duration = 2000.;
+    horizon = 4000.;
+    loss = 0.;
+    latency = 0.005;
+    link_down = [];
+    link_up = [];
+    crash_at = None;
+    promote_after = 0.5;
+    checkpoint_every = Some 50.;
+    checkpoint_on_decision = false;
+    extra_links = [];
+  }
+
+type outcome = {
+  offered : int;
+  admitted : int;
+  rejected : int;
+  rerouted : int;
+  dropped : int;
+  flows_at_crash : int;
+  flows_restored : int;
+  flows_lost : int;
+  recovery_time : float option;
+  unresolved : int;
+  messages : int;
+  retransmissions : int;
+  promote_error : string option;
+}
+
+let pp_outcome ppf o =
+  Fmt.pf ppf
+    "@[<v>offered %d  admitted %d  rejected %d@,\
+     link failures: rerouted %d  dropped %d@,\
+     crash: %d active -> %d restored (%d lost)%a@,\
+     signaling: %d messages, %d retransmissions, %d unresolved%a@]"
+    o.offered o.admitted o.rejected o.rerouted o.dropped o.flows_at_crash
+    o.flows_restored o.flows_lost
+    (Fmt.option (fun ppf t -> Fmt.pf ppf ", recovered in %.3f s" t))
+    o.recovery_time o.messages o.retransmissions o.unresolved
+    (Fmt.option (fun ppf e -> Fmt.pf ppf "@,promotion FAILED: %s" e))
+    o.promote_error
+
+let link_id_of topo (src, dst) =
+  match Topology.find_link topo ~src ~dst with
+  | Some l -> l.Topology.link_id
+  | None -> invalid_arg (Printf.sprintf "Failure.run: no link %s -> %s" src dst)
+
+let run config =
+  if
+    config.crash_at <> None && config.checkpoint_every = None
+    && not config.checkpoint_on_decision
+  then
+    invalid_arg "Failure.run: a crash needs checkpointing, or recovery is impossible";
+  let engine = Engine.create () in
+  let topo = Fig8.topology config.setting in
+  List.iter
+    (fun (src, dst, capacity) ->
+      ignore (Topology.add_link topo ~src ~dst ~capacity Topology.Rate_based))
+    config.extra_links;
+  let time =
+    {
+      Broker.now = (fun () -> Engine.now engine);
+      after = (fun delay f -> Engine.schedule_after engine ~delay f);
+    }
+  in
+  let make () = Broker.create ~time topo in
+  let fw = Failover.create ~make_standby:make ~time (make ()) in
+  let prng = Prng.create ~seed:config.seed in
+  let loss_rng = Prng.split prng in
+  let cops =
+    Cops.create (Failover.active fw) ~latency:config.latency
+      ~reliability:(Cops.reliability ~loss:(Fault.drop loss_rng ~p:config.loss) ())
+      ~defer:(fun delay f -> Engine.schedule_after engine ~delay f)
+      ()
+  in
+  (* The same Poisson/Table-1 churn workload as the Figure-10 experiment,
+     materialized so the run is a pure function of the seed. *)
+  let arrivals =
+    Dynamic.arrivals
+      {
+        Dynamic.seed = config.seed;
+        setting = config.setting;
+        arrival_rate = config.arrival_rate;
+        mean_holding = config.mean_holding;
+        duration = config.duration;
+        cd = 0.24;
+      }
+  in
+  let admitted = ref 0 and rejected = ref 0 in
+  let rerouted = ref 0 and dropped = ref 0 in
+  let flows_at_crash = ref 0 and flows_restored = ref 0 in
+  let recovery_time = ref None and promote_error = ref None in
+  (* Eager checkpointing keeps the standby's snapshot fresh relative to
+     every booking the PEP has seen confirmed; teardowns checkpoint one
+     round trip later, once the DRQ has reached the broker. *)
+  let checkpoint_now () = if config.checkpoint_on_decision then Failover.checkpoint fw in
+  let checkpoint_soon () =
+    if config.checkpoint_on_decision then
+      Engine.schedule_after engine
+        ~delay:((2. *. config.latency) +. 1e-6)
+        (fun () -> Failover.checkpoint fw)
+  in
+  List.iter
+    (fun (e : Dynamic.entry) ->
+      Engine.schedule engine ~at:e.Dynamic.at (fun () ->
+          Cops.request cops
+            {
+              Types.profile = e.Dynamic.profile;
+              dreq = e.Dynamic.dreq;
+              ingress = e.Dynamic.ingress;
+              egress = e.Dynamic.egress;
+            }
+            ~on_decision:(function
+              | Ok (flow, _) ->
+                  incr admitted;
+                  checkpoint_now ();
+                  Engine.schedule_after engine ~delay:e.Dynamic.holding (fun () ->
+                      Cops.teardown cops flow;
+                      checkpoint_soon ())
+              | Error _ -> incr rejected)))
+    arrivals;
+  (match config.checkpoint_every with
+  | Some every -> Failover.start_checkpoints fw ~every
+  | None -> ());
+  let events =
+    List.map
+      (fun (at, ends) -> { Fault.at; action = Fault.Link_down (link_id_of topo ends) })
+      config.link_down
+    @ List.map
+        (fun (at, ends) -> { Fault.at; action = Fault.Link_up (link_id_of topo ends) })
+        config.link_up
+    @
+    match config.crash_at with
+    | Some at -> [ { Fault.at; action = Fault.Crash "broker" } ]
+    | None -> []
+  in
+  let hooks =
+    Fault.hooks
+      ~on_link_down:(fun link_id ->
+        let r = Broker.fail_link (Failover.active fw) ~link_id in
+        rerouted := !rerouted + Broker.recovered_count r;
+        dropped := !dropped + Broker.dropped_count r)
+      ~on_link_up:(fun link_id -> Broker.restore_link (Failover.active fw) ~link_id)
+      ~on_crash:(fun _ ->
+        let crashed_at = Engine.now engine in
+        flows_at_crash := Broker.per_flow_count (Failover.active fw);
+        Failover.crash fw;
+        Cops.set_pdp_up cops false;
+        Engine.schedule_after engine ~delay:config.promote_after (fun () ->
+            match Failover.promote fw with
+            | Ok n ->
+                flows_restored := n;
+                Cops.set_broker cops (Failover.active fw);
+                Cops.set_pdp_up cops true;
+                recovery_time := Some (Engine.now engine -. crashed_at)
+            | Error e -> promote_error := Some e))
+      ()
+  in
+  Fault.install engine hooks (List.stable_sort (fun a b -> compare a.Fault.at b.Fault.at) events);
+  Engine.run ~until:config.horizon engine;
+  (* Let the tail drain: departures past the horizon, in-flight
+     retransmissions, the final checkpoint tick (which sees [stop] and
+     unschedules).  Skipped when promotion failed — the PDP is then down
+     forever and reliable transactions would retransmit without end. *)
+  Failover.stop fw;
+  if !promote_error = None then Engine.run engine;
+  {
+    offered = List.length arrivals;
+    admitted = !admitted;
+    rejected = !rejected;
+    rerouted = !rerouted;
+    dropped = !dropped;
+    flows_at_crash = !flows_at_crash;
+    flows_restored = !flows_restored;
+    flows_lost = max 0 (!flows_at_crash - !flows_restored);
+    recovery_time = !recovery_time;
+    unresolved = Cops.pending cops;
+    messages = Cops.messages cops;
+    retransmissions = Cops.retransmissions cops;
+    promote_error = !promote_error;
+  }

@@ -1,0 +1,1 @@
+test/test_failover.ml: Alcotest Bbr_broker Bbr_netsim Bbr_util Bbr_vtrs Bbr_workload Fmt List Option QCheck QCheck_alcotest

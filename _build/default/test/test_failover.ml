@@ -1,0 +1,642 @@
+(* Tests for the fault-tolerance extensions: link-failure recovery at the
+   broker, the reliable COPS channel, snapshot atomicity, warm-standby
+   failover, and the seeded fault-injection scenario end to end. *)
+
+module Topology = Bbr_vtrs.Topology
+module Traffic = Bbr_vtrs.Traffic
+module Types = Bbr_broker.Types
+module Broker = Bbr_broker.Broker
+module Aggregate = Bbr_broker.Aggregate
+module Cops = Bbr_broker.Cops
+module Edge_broker = Bbr_broker.Edge_broker
+module Snapshot = Bbr_broker.Snapshot
+module Failover = Bbr_broker.Failover
+module Flow_mib = Bbr_broker.Flow_mib
+module Node_mib = Bbr_broker.Node_mib
+module Routing = Bbr_broker.Routing
+module Engine = Bbr_netsim.Engine
+module Fault = Bbr_netsim.Fault
+module Failure = Bbr_workload.Failure
+module Fig8 = Bbr_workload.Fig8
+module Profiles = Bbr_workload.Profiles
+module Prng = Bbr_util.Prng
+
+let type0 = Profiles.profile 0
+
+let req ?(ingress = "A") ?(egress = "B") ?(dreq = 3.) ?(profile = type0) () =
+  { Types.profile; dreq; ingress; egress }
+
+(* Two parallel 2-hop paths A -> M1 -> B (primary, by insertion order) and
+   A -> M2 -> B (backup). *)
+let two_path ?(primary = 200_000.) ?(backup = 200_000.) () =
+  let t = Topology.create () in
+  let a1 = Topology.add_link t ~src:"A" ~dst:"M1" ~capacity:primary Topology.Rate_based in
+  ignore (Topology.add_link t ~src:"M1" ~dst:"B" ~capacity:primary Topology.Rate_based);
+  ignore (Topology.add_link t ~src:"A" ~dst:"M2" ~capacity:backup Topology.Rate_based);
+  ignore (Topology.add_link t ~src:"M2" ~dst:"B" ~capacity:backup Topology.Rate_based);
+  (t, a1.Topology.link_id)
+
+let on_link links link_id =
+  List.exists (fun (l : Topology.link) -> l.Topology.link_id = link_id) links
+
+(* ------------------------------------------------------------------ *)
+(* Topology link state and routing invalidation *)
+
+let test_routing_avoids_down_links () =
+  let t = Topology.create () in
+  let direct = Topology.add_link t ~src:"A" ~dst:"B" ~capacity:1e6 Topology.Rate_based in
+  ignore (Topology.add_link t ~src:"A" ~dst:"M" ~capacity:1e6 Topology.Rate_based);
+  ignore (Topology.add_link t ~src:"M" ~dst:"B" ~capacity:1e6 Topology.Rate_based);
+  let node_mib = Node_mib.create t in
+  let path_mib = Bbr_broker.Path_mib.create t node_mib in
+  let routing = Routing.create t path_mib in
+  let hops () =
+    match Routing.path routing ~ingress:"A" ~egress:"B" with
+    | Some info -> List.length info.Bbr_broker.Path_mib.links
+    | None -> 0
+  in
+  Alcotest.(check int) "direct path first" 1 (hops ());
+  Topology.set_link_state t ~link_id:direct.Topology.link_id ~up:false;
+  Alcotest.(check int) "cache invalidated, detour found" 2 (hops ());
+  Topology.set_link_state t ~link_id:direct.Topology.link_id ~up:true;
+  Alcotest.(check int) "back on the direct path" 1 (hops ());
+  Alcotest.(check bool) "unknown id raises" true
+    (try
+       Topology.set_link_state t ~link_id:99 ~up:false;
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Idempotent teardown *)
+
+let test_teardown_class_idempotent () =
+  let t, _ = two_path () in
+  let broker =
+    Broker.create ~classes:[ { Aggregate.class_id = 0; dreq = 3.; cd = 0.24 } ] t
+  in
+  match Broker.request_class broker (req ()) with
+  | Error e -> Alcotest.failf "unexpected: %a" Types.pp_reject_reason e
+  | Ok (flow, _) ->
+      Broker.teardown_class broker flow;
+      Broker.teardown_class broker flow;
+      Broker.teardown_class broker 99;
+      Alcotest.(check int) "left once" 0 (Broker.class_flow_count broker)
+
+let test_edge_broker_teardown_idempotent () =
+  let central = Broker.create (Fig8.topology `Rate_only) in
+  match
+    Edge_broker.create ~central ~ingress:Fig8.ingress1 ~egress:Fig8.egress1
+      ~chunk:500_000.
+  with
+  | Error _ -> Alcotest.fail "edge broker creation failed"
+  | Ok eb -> (
+      Edge_broker.teardown eb 99;
+      match Edge_broker.request eb (req ~ingress:Fig8.ingress1 ~egress:Fig8.egress1 ()) with
+      | Error e -> Alcotest.failf "unexpected: %a" Types.pp_reject_reason e
+      | Ok (flow, _) ->
+          let used = Edge_broker.quota_used eb in
+          Alcotest.(check bool) "in use" true (used > 0.);
+          Edge_broker.teardown eb flow;
+          Edge_broker.teardown eb flow;
+          Alcotest.(check (float 1e-9)) "released once" 0. (Edge_broker.quota_used eb))
+
+(* ------------------------------------------------------------------ *)
+(* Link failure: restore-or-preempt at the broker *)
+
+let test_fail_link_reroutes_all () =
+  let t, primary_id = two_path () in
+  let broker = Broker.create t in
+  let flows =
+    List.map
+      (fun _ ->
+        match Broker.request broker (req ()) with
+        | Ok (flow, _) -> flow
+        | Error e -> Alcotest.failf "unexpected: %a" Types.pp_reject_reason e)
+      [ (); (); () ]
+  in
+  let r = Broker.fail_link broker ~link_id:primary_id in
+  Alcotest.(check (list int)) "all rerouted" flows r.Broker.perflow_rerouted;
+  Alcotest.(check (list int)) "none dropped" [] r.Broker.perflow_dropped;
+  Alcotest.(check int) "still booked" 3 (Broker.per_flow_count broker);
+  (* Every survivor now runs over the backup path, under its old id. *)
+  Flow_mib.fold (Broker.flow_mib broker) ~init:() ~f:(fun () rec_ ->
+      Alcotest.(check bool) "off the dead link" false
+        (on_link rec_.Flow_mib.path.Bbr_broker.Path_mib.links primary_id));
+  (* A second failure of the same link finds no victims. *)
+  let r = Broker.fail_link broker ~link_id:primary_id in
+  Alcotest.(check int) "no victims twice" 0
+    (Broker.recovered_count r + Broker.dropped_count r)
+
+let test_fail_link_drops_when_no_alternative () =
+  let t, primary_id = two_path () in
+  let broker = Broker.create t in
+  (match Broker.request broker (req ()) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "unexpected: %a" Types.pp_reject_reason e);
+  (* Take the backup down first; then the primary's victims have nowhere
+     to go. *)
+  let backup_id =
+    (Option.get (Topology.find_link t ~src:"A" ~dst:"M2")).Topology.link_id
+  in
+  Topology.set_link_state t ~link_id:backup_id ~up:false;
+  let r = Broker.fail_link broker ~link_id:primary_id in
+  Alcotest.(check int) "dropped" 1 (Broker.dropped_count r);
+  Alcotest.(check int) "nothing rerouted" 0 (Broker.recovered_count r);
+  Alcotest.(check int) "released" 0 (Broker.per_flow_count broker);
+  Alcotest.(check (float 1e-9)) "no stranded bandwidth" 0.
+    (Node_mib.total_reserved (Broker.node_mib broker));
+  (* The dropped flow's eventual DRQ is a harmless no-op. *)
+  List.iter (fun f -> Broker.teardown broker f) r.Broker.perflow_dropped
+
+let test_fail_link_partial_reroute () =
+  (* Backup holds only 2 of the 4 victim flows (type0 books 50 kb/s at
+     dreq 3).  Re-admission runs in ascending flow-id order, so the two
+     oldest flows survive. *)
+  let t, primary_id = two_path ~primary:200_000. ~backup:100_000. () in
+  let broker = Broker.create t in
+  let flows =
+    List.init 4 (fun _ ->
+        match Broker.request broker (req ()) with
+        | Ok (flow, _) -> flow
+        | Error e -> Alcotest.failf "unexpected: %a" Types.pp_reject_reason e)
+  in
+  let r = Broker.fail_link broker ~link_id:primary_id in
+  Alcotest.(check (list int)) "oldest two rerouted"
+    [ List.nth flows 0; List.nth flows 1 ]
+    r.Broker.perflow_rerouted;
+  Alcotest.(check (list int)) "youngest two dropped"
+    [ List.nth flows 2; List.nth flows 3 ]
+    r.Broker.perflow_dropped;
+  Alcotest.(check int) "two booked" 2 (Broker.per_flow_count broker)
+
+let test_fail_link_reroutes_class_members () =
+  (* Generous capacity: under Feedback with no queue-empty signal every
+     join's contingency bandwidth stays held. *)
+  let t, primary_id = two_path ~primary:800_000. ~backup:800_000. () in
+  let broker =
+    Broker.create ~classes:[ { Aggregate.class_id = 0; dreq = 3.; cd = 0.24 } ] t
+  in
+  let flows =
+    List.init 3 (fun _ ->
+        match Broker.request_class broker (req ()) with
+        | Ok (flow, _) -> flow
+        | Error e -> Alcotest.failf "unexpected: %a" Types.pp_reject_reason e)
+  in
+  let r = Broker.fail_link broker ~link_id:primary_id in
+  Alcotest.(check (list int)) "members rerouted" flows r.Broker.class_rerouted;
+  Alcotest.(check (list int)) "none dropped" [] r.Broker.class_dropped;
+  Alcotest.(check int) "members intact" 3 (Broker.class_flow_count broker);
+  (* The macroflow now lives on the backup path. *)
+  List.iter
+    (fun (s : Aggregate.macro_stats) ->
+      match Bbr_broker.Path_mib.find (Broker.path_mib broker) ~path_id:s.Aggregate.path_id with
+      | Some info ->
+          Alcotest.(check bool) "off the dead link" false
+            (on_link info.Bbr_broker.Path_mib.links primary_id)
+      | None -> Alcotest.fail "macroflow path unknown")
+    (Aggregate.all_macroflows (Broker.aggregate broker))
+
+(* ------------------------------------------------------------------ *)
+(* Reliable COPS *)
+
+let mk_reliable_cops ?(latency = 0.005) ?reliability broker =
+  let engine = Engine.create () in
+  let cops =
+    Cops.create broker ~latency ?reliability
+      ~defer:(fun delay f -> Engine.schedule_after engine ~delay f)
+      ()
+  in
+  (engine, cops)
+
+let test_cops_resolves_under_loss () =
+  (* Acceptance criterion: under 10% message loss every request resolves,
+     exactly once, with no pending leak. *)
+  let broker = Broker.create (Fig8.topology `Rate_only) in
+  let prng = Prng.create ~seed:42 in
+  let engine, cops =
+    mk_reliable_cops broker
+      ~reliability:(Cops.reliability ~loss:(Fault.drop prng ~p:0.1) ())
+  in
+  let n = 40 in
+  let decisions = ref 0 and admitted = ref [] in
+  for i = 1 to n do
+    Engine.schedule engine ~at:(float_of_int i) (fun () ->
+        Cops.request cops
+          (req ~ingress:Fig8.ingress1 ~egress:Fig8.egress1 ~dreq:2.44 ())
+          ~on_decision:(fun d ->
+            incr decisions;
+            match d with Ok (flow, _) -> admitted := flow :: !admitted | Error _ -> ()))
+  done;
+  Engine.run engine;
+  Alcotest.(check int) "every request decided exactly once" n !decisions;
+  Alcotest.(check int) "no pending leak" 0 (Cops.pending cops);
+  Alcotest.(check bool) "losses forced retransmissions" true
+    (Cops.retransmissions cops > 0);
+  Alcotest.(check int) "broker agrees with the PEP"
+    (List.length !admitted) (Broker.per_flow_count broker);
+  (* Reliable DRQs drain the reservations despite the same loss. *)
+  List.iter (fun flow -> Cops.teardown cops flow) !admitted;
+  Engine.run engine;
+  Alcotest.(check int) "all torn down" 0 (Broker.per_flow_count broker)
+
+let test_cops_duplicate_suppression () =
+  (* Drop exactly the first DEC: the retransmitted REQ must be answered
+     from the PDP's transaction memory, not re-decided. *)
+  let broker = Broker.create (Fig8.topology `Rate_only) in
+  let sent = ref 0 in
+  let loss () =
+    incr sent;
+    !sent = 2
+  in
+  let engine, cops =
+    mk_reliable_cops broker ~reliability:(Cops.reliability ~loss ())
+  in
+  let decisions = ref 0 in
+  Cops.request cops
+    (req ~ingress:Fig8.ingress1 ~egress:Fig8.egress1 ~dreq:2.44 ())
+    ~on_decision:(fun _ -> incr decisions);
+  Engine.run engine;
+  Alcotest.(check int) "decided once" 1 !decisions;
+  Alcotest.(check int) "one retransmission" 1 (Cops.retransmissions cops);
+  Alcotest.(check int) "answered from memory" 1 (Cops.duplicates cops);
+  Alcotest.(check int) "not double-booked" 1 (Broker.per_flow_count broker);
+  (* REQ, DEC(lost), REQ', DEC', RPT *)
+  Alcotest.(check int) "5 messages" 5 (Cops.messages cops);
+  Alcotest.(check int) "nothing pending" 0 (Cops.pending cops)
+
+let test_cops_drains_across_crash () =
+  (* Requests in flight when the PDP dies retransmit until a standby is
+     promoted, then resolve against it. *)
+  let topo = Fig8.topology `Rate_only in
+  let primary = Broker.create topo in
+  let engine, cops =
+    mk_reliable_cops primary
+      ~reliability:(Cops.reliability ~loss:(fun () -> false) ())
+  in
+  let decisions = ref 0 in
+  Engine.schedule engine ~at:1. (fun () ->
+      Cops.set_pdp_up cops false;
+      Cops.request cops
+        (req ~ingress:Fig8.ingress1 ~egress:Fig8.egress1 ~dreq:2.44 ())
+        ~on_decision:(fun _ -> incr decisions));
+  Engine.schedule engine ~at:2. (fun () ->
+      Cops.set_broker cops (Broker.create topo);
+      Cops.set_pdp_up cops true);
+  Engine.run engine;
+  Alcotest.(check int) "resolved after failover" 1 !decisions;
+  Alcotest.(check int) "no pending leak" 0 (Cops.pending cops);
+  Alcotest.(check bool) "outage forced retransmissions" true
+    (Cops.retransmissions cops > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot: atomicity and id preservation *)
+
+let test_snapshot_restore_atomic () =
+  let mk () =
+    let t = Topology.create () in
+    ignore (Topology.add_link t ~src:"A" ~dst:"B" ~capacity:100_000. Topology.Rate_based);
+    Broker.create t
+  in
+  let target = mk () in
+  (* Two 80 kb/s bookings cannot both fit a 100 kb/s link: the second line
+     must fail on the scratch broker, leaving the target untouched. *)
+  let overload =
+    "bbr-snapshot v1\n\
+     flow 0 1000. 80000. 90000. 1000. 1. A B 80000. 0.\n\
+     flow 1 1000. 80000. 90000. 1000. 1. A B 80000. 0.\n"
+  in
+  (match Snapshot.restore target overload with
+  | Ok _ -> Alcotest.fail "overloaded snapshot must be rejected"
+  | Error _ -> ());
+  Alcotest.(check int) "target untouched" 0 (Broker.per_flow_count target);
+  Alcotest.(check (float 1e-9)) "no bandwidth booked" 0.
+    (Node_mib.total_reserved (Broker.node_mib target));
+  (* Malformed numerics are a parse error, not an exception. *)
+  (match Snapshot.restore target "bbr-snapshot v1\nflow 0 oops 1 1 1 1 A B 1 0" with
+  | Ok _ -> Alcotest.fail "malformed float must be rejected"
+  | Error _ -> ());
+  Alcotest.(check int) "still untouched" 0 (Broker.per_flow_count target)
+
+let test_snapshot_preserves_flow_ids () =
+  let topo = Fig8.topology `Rate_only in
+  let primary = Broker.create topo in
+  let flows =
+    List.init 3 (fun _ ->
+        match
+          Broker.request primary (req ~ingress:Fig8.ingress1 ~egress:Fig8.egress1 ~dreq:2.44 ())
+        with
+        | Ok (flow, _) -> flow
+        | Error e -> Alcotest.failf "unexpected: %a" Types.pp_reject_reason e)
+  in
+  let snap = Snapshot.save primary in
+  let standby = Broker.create topo in
+  (match Snapshot.restore standby snap with
+  | Ok n -> Alcotest.(check int) "all restored" 3 n
+  | Error e -> Alcotest.failf "restore failed: %s" e);
+  (* An ingress router can tear down by the id the primary issued. *)
+  Broker.teardown standby (List.nth flows 1);
+  Alcotest.(check int) "teardown by original id" 2 (Broker.per_flow_count standby);
+  (* New admissions never collide with ids the primary handed out. *)
+  match Broker.request standby (req ~ingress:Fig8.ingress1 ~egress:Fig8.egress1 ~dreq:2.44 ()) with
+  | Ok (flow, _) ->
+      Alcotest.(check bool) "fresh id beyond the primary's horizon" true
+        (List.for_all (fun f -> flow > f) flows)
+  | Error e -> Alcotest.failf "unexpected: %a" Types.pp_reject_reason e
+
+let small_profile_gen =
+  QCheck.Gen.(
+    let* rho = float_range 50_000. 200_000. in
+    let* lmax = float_range 500. 12_000. in
+    let* burst = float_range 1. 4. in
+    let* pm = float_range 1.5 4. in
+    return (Traffic.make ~sigma:(lmax *. burst) ~rho ~peak:(rho *. pm) ~lmax))
+
+let arb_mixed_load =
+  QCheck.make
+    ~print:(fun l ->
+      Fmt.str "%a" (Fmt.list (Fmt.pair Fmt.bool Traffic.pp)) l)
+    QCheck.Gen.(list_size (int_range 1 8) (pair bool small_profile_gen))
+
+let prop_snapshot_round_trip_mixed =
+  (* Satellite property: a broker carrying per-flow bookings and class
+     members with contingency bandwidth in flight round-trips through
+     save/restore — same per_flow_count, class_flow_count, reservations
+     and aggregate base rates.  (Contingency itself is deliberately not
+     captured; see the Snapshot docs.) *)
+  QCheck.Test.make ~count:60 ~name:"snapshot round-trips mixed load" arb_mixed_load
+    (fun entries ->
+      let mk () =
+        let t = Topology.create () in
+        ignore
+          (Topology.add_link t ~src:"A" ~dst:"B" ~capacity:200e6 Topology.Rate_based);
+        Broker.create ~classes:[ { Aggregate.class_id = 0; dreq = 5.; cd = 0.24 } ] t
+      in
+      let original = mk () in
+      List.iter
+        (fun (per_flow, profile) ->
+          let r = req ~profile ~dreq:5. () in
+          let ok =
+            if per_flow then
+              match Broker.request original r with Ok _ -> true | Error _ -> false
+            else
+              match Broker.request_class original r with
+              | Ok _ -> true
+              | Error _ -> false
+          in
+          QCheck.assume ok)
+        entries;
+      (* Under Feedback with no queue-empty signal every join's contingency
+         is still held — snapshot under contingency in flight. *)
+      let restored = mk () in
+      (match Snapshot.restore restored (Snapshot.save original) with
+      | Ok _ -> ()
+      | Error e -> QCheck.Test.fail_reportf "restore failed: %s" e);
+      let reservations b =
+        Flow_mib.fold (Broker.flow_mib b) ~init:[] ~f:(fun acc r ->
+            (r.Flow_mib.flow, r.Flow_mib.reservation) :: acc)
+        |> List.sort compare
+      in
+      let base_rates b =
+        List.map
+          (fun (s : Aggregate.macro_stats) ->
+            (s.Aggregate.class_id, s.Aggregate.members, s.Aggregate.base_rate))
+          (Aggregate.all_macroflows (Broker.aggregate b))
+        |> List.sort compare
+      in
+      Broker.per_flow_count restored = Broker.per_flow_count original
+      && Broker.class_flow_count restored = Broker.class_flow_count original
+      && reservations restored = reservations original
+      && base_rates restored = base_rates original)
+
+(* ------------------------------------------------------------------ *)
+(* Failover manager *)
+
+let test_failover_promote_cycle () =
+  let topo = Fig8.topology `Rate_only in
+  let make () = Broker.create topo in
+  let primary = make () in
+  let fw = Failover.create ~make_standby:make primary in
+  (match Failover.promote fw with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "promotion without a checkpoint must fail");
+  (match Broker.request primary (req ~ingress:Fig8.ingress1 ~egress:Fig8.egress1 ~dreq:2.44 ()) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "unexpected: %a" Types.pp_reject_reason e);
+  Failover.checkpoint fw;
+  Alcotest.(check int) "one checkpoint" 1 (Failover.checkpoints fw);
+  (* Admissions after the checkpoint are the crash's loss window. *)
+  (match Broker.request primary (req ~ingress:Fig8.ingress2 ~egress:Fig8.egress2 ~dreq:2.44 ()) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "unexpected: %a" Types.pp_reject_reason e);
+  Failover.crash fw;
+  Alcotest.(check bool) "down" false (Failover.is_up fw);
+  Failover.checkpoint fw;
+  Alcotest.(check int) "no checkpoint while down" 1 (Failover.checkpoints fw);
+  (match Failover.promote fw with
+  | Ok n -> Alcotest.(check int) "checkpointed state restored" 1 n
+  | Error e -> Alcotest.failf "promotion failed: %s" e);
+  Alcotest.(check bool) "up again" true (Failover.is_up fw);
+  Alcotest.(check int) "generation bumped" 1 (Failover.generation fw);
+  Alcotest.(check bool) "standby took over" true (Failover.active fw != primary);
+  Alcotest.(check int) "standby holds the checkpointed flow" 1
+    (Broker.per_flow_count (Failover.active fw))
+
+let test_failover_periodic_checkpoints () =
+  let engine = Engine.create () in
+  let time =
+    {
+      Broker.now = (fun () -> Engine.now engine);
+      after = (fun delay f -> Engine.schedule_after engine ~delay f);
+    }
+  in
+  let topo = Fig8.topology `Rate_only in
+  let make () = Broker.create ~time topo in
+  let fw = Failover.create ~make_standby:make ~time (make ()) in
+  Failover.start_checkpoints fw ~every:1.;
+  Failover.start_checkpoints fw ~every:1.;
+  Engine.run ~until:5.5 engine;
+  Alcotest.(check int) "one timer, five ticks" 5 (Failover.checkpoints fw);
+  (match Failover.snapshot_age fw with
+  | Some age -> Alcotest.(check (float 1e-9)) "age since last tick" 0.5 age
+  | None -> Alcotest.fail "expected a checkpoint");
+  Failover.stop fw;
+  Engine.run engine;
+  Alcotest.(check int) "stopped" 5 (Failover.checkpoints fw)
+
+(* ------------------------------------------------------------------ *)
+(* Fault injection *)
+
+let test_fault_drop () =
+  let prng = Prng.create ~seed:7 in
+  let never = Fault.drop prng ~p:0. in
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "p=0 never drops" false (never ())
+  done;
+  let count p =
+    let prng = Prng.create ~seed:7 in
+    let d = Fault.drop prng ~p in
+    let n = ref 0 in
+    for _ = 1 to 10_000 do
+      if d () then incr n
+    done;
+    !n
+  in
+  let n = count 0.1 in
+  Alcotest.(check bool) "p=0.1 drops ~10%" true (n > 800 && n < 1200);
+  Alcotest.(check int) "seeded: reproducible" n (count 0.1);
+  Alcotest.(check bool) "invalid p raises" true
+    (try
+       ignore (Fault.drop prng ~p:1. ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_fault_link_plan_deterministic () =
+  let plan () =
+    Fault.link_plan (Prng.create ~seed:3) ~link_ids:[ 0; 1; 2 ] ~horizon:1000. ()
+  in
+  let a = plan () and b = plan () in
+  Alcotest.(check int) "same length" (List.length a) (List.length b);
+  Alcotest.(check bool) "identical" true (a = b);
+  Alcotest.(check bool) "non-empty" true (a <> []);
+  let rec sorted = function
+    | x :: (y :: _ as rest) -> x.Fault.at <= y.Fault.at && sorted rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "sorted by time" true (sorted a);
+  (* Per link, the schedule alternates down/up starting from up. *)
+  List.iter
+    (fun id ->
+      let mine =
+        List.filter_map
+          (function
+            | { Fault.action = Fault.Link_down i; _ } when i = id -> Some `Down
+            | { Fault.action = Fault.Link_up i; _ } when i = id -> Some `Up
+            | _ -> None)
+          a
+      in
+      let rec alternates expected = function
+        | [] -> true
+        | x :: rest -> x = expected && alternates (if x = `Down then `Up else `Down) rest
+      in
+      Alcotest.(check bool) "alternates from down" true (alternates `Down mine))
+    [ 0; 1; 2 ]
+
+let test_fault_install_fires_hooks () =
+  let engine = Engine.create () in
+  let log = ref [] in
+  let hooks =
+    Fault.hooks
+      ~on_link_down:(fun id -> log := (Engine.now engine, `Down id) :: !log)
+      ~on_link_up:(fun id -> log := (Engine.now engine, `Up id) :: !log)
+      ~on_crash:(fun who -> log := (Engine.now engine, `Crash who) :: !log)
+      ()
+  in
+  Fault.install engine hooks
+    [
+      { Fault.at = 1.; action = Fault.Link_down 4 };
+      { Fault.at = 2.; action = Fault.Crash "bb" };
+      { Fault.at = 3.; action = Fault.Link_up 4 };
+    ];
+  Engine.run engine;
+  Alcotest.(check bool) "hooks fired in order" true
+    (List.rev !log = [ (1., `Down 4); (2., `Crash "bb"); (3., `Up 4) ])
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end scenario *)
+
+let e2e_config ~loss =
+  {
+    Failure.default_config with
+    loss;
+    duration = 500.;
+    horizon = 1200.;
+    extra_links = [ ("R3", "R6", Fig8.capacity); ("R6", "R4", Fig8.capacity) ];
+    link_down = [ (200., ("R3", "R4")) ];
+    link_up = [ (350., ("R3", "R4")) ];
+    crash_at = Some 400.;
+    promote_after = 0.5;
+    checkpoint_every = None;
+    checkpoint_on_decision = true;
+  }
+
+let test_e2e_deterministic () =
+  let a = Failure.run (e2e_config ~loss:0.1) in
+  let b = Failure.run (e2e_config ~loss:0.1) in
+  Alcotest.(check bool) "same seed, same outcome" true (a = b)
+
+let test_e2e_no_loss_no_flows_lost () =
+  let o = Failure.run (e2e_config ~loss:0.) in
+  Alcotest.(check bool) "workload offered" true (o.Failure.offered > 0);
+  Alcotest.(check bool) "crash observed with active flows" true
+    (o.Failure.flows_at_crash > 0);
+  Alcotest.(check int) "fresh snapshot + no loss: nothing lost" 0 o.Failure.flows_lost;
+  Alcotest.(check int) "no stuck requests" 0 o.Failure.unresolved;
+  Alcotest.(check int) "loss-free channel never retransmits" 0
+    o.Failure.retransmissions;
+  Alcotest.(check bool) "recovery time observed" true (o.Failure.recovery_time <> None)
+
+let test_e2e_lossy_all_resolve () =
+  let o = Failure.run (e2e_config ~loss:0.1) in
+  Alcotest.(check int) "every request resolves under 10% loss" 0 o.Failure.unresolved;
+  Alcotest.(check bool) "losses actually happened" true (o.Failure.retransmissions > 0);
+  Alcotest.(check int) "promotion clean" 0
+    (match o.Failure.promote_error with None -> 0 | Some _ -> 1)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "failover"
+    [
+      ( "routing",
+        [ Alcotest.test_case "avoids down links" `Quick test_routing_avoids_down_links ] );
+      ( "teardown",
+        [
+          Alcotest.test_case "class idempotent" `Quick test_teardown_class_idempotent;
+          Alcotest.test_case "edge broker idempotent" `Quick
+            test_edge_broker_teardown_idempotent;
+        ] );
+      ( "fail_link",
+        [
+          Alcotest.test_case "reroutes all" `Quick test_fail_link_reroutes_all;
+          Alcotest.test_case "drops without alternative" `Quick
+            test_fail_link_drops_when_no_alternative;
+          Alcotest.test_case "partial reroute by id order" `Quick
+            test_fail_link_partial_reroute;
+          Alcotest.test_case "reroutes class members" `Quick
+            test_fail_link_reroutes_class_members;
+        ] );
+      ( "reliable cops",
+        [
+          Alcotest.test_case "resolves under 10% loss" `Quick
+            test_cops_resolves_under_loss;
+          Alcotest.test_case "duplicate suppression" `Quick
+            test_cops_duplicate_suppression;
+          Alcotest.test_case "drains across crash" `Quick test_cops_drains_across_crash;
+        ] );
+      ( "snapshot",
+        [
+          Alcotest.test_case "restore is atomic" `Quick test_snapshot_restore_atomic;
+          Alcotest.test_case "preserves flow ids" `Quick test_snapshot_preserves_flow_ids;
+          QCheck_alcotest.to_alcotest prop_snapshot_round_trip_mixed;
+        ] );
+      ( "failover",
+        [
+          Alcotest.test_case "promote cycle" `Quick test_failover_promote_cycle;
+          Alcotest.test_case "periodic checkpoints" `Quick
+            test_failover_periodic_checkpoints;
+        ] );
+      ( "fault injection",
+        [
+          Alcotest.test_case "drop process" `Quick test_fault_drop;
+          Alcotest.test_case "link plan deterministic" `Quick
+            test_fault_link_plan_deterministic;
+          Alcotest.test_case "install fires hooks" `Quick test_fault_install_fires_hooks;
+        ] );
+      ( "end to end",
+        [
+          Alcotest.test_case "deterministic" `Quick test_e2e_deterministic;
+          Alcotest.test_case "no loss, no flows lost" `Quick
+            test_e2e_no_loss_no_flows_lost;
+          Alcotest.test_case "lossy, all resolve" `Quick test_e2e_lossy_all_resolve;
+        ] );
+    ]

@@ -4,12 +4,20 @@ type t = {
   topology : Topology.t;
   path_mib : Path_mib.t;
   cache : (string * string, Path_mib.info option) Hashtbl.t;
+  mutable seen_version : int;  (* topology state version the cache reflects *)
 }
 
-let create topology path_mib = { topology; path_mib; cache = Hashtbl.create 16 }
+let create topology path_mib =
+  {
+    topology;
+    path_mib;
+    cache = Hashtbl.create 16;
+    seen_version = Topology.state_version topology;
+  }
 
-(* Breadth-first search: minimum hop count; neighbours are explored in link
-   insertion order, so the first path found is deterministic. *)
+(* Breadth-first search: minimum hop count over the links currently up;
+   neighbours are explored in link insertion order, so the first path found
+   is deterministic. *)
 let bfs topology ~ingress ~egress =
   if not (Topology.mem_node topology ingress && Topology.mem_node topology egress)
   then None
@@ -24,7 +32,11 @@ let bfs topology ~ingress ~egress =
       let node, rev_path = Queue.take frontier in
       List.iter
         (fun (link : Topology.link) ->
-          if !result = None && not (Hashtbl.mem visited link.Topology.dst) then begin
+          if
+            !result = None
+            && Topology.link_is_up topology ~link_id:link.Topology.link_id
+            && not (Hashtbl.mem visited link.Topology.dst)
+          then begin
             Hashtbl.replace visited link.Topology.dst ();
             let rev_path' = link :: rev_path in
             if link.Topology.dst = egress then result := Some (List.rev rev_path')
@@ -38,6 +50,13 @@ let bfs topology ~ingress ~egress =
 let shortest_path topology ~ingress ~egress = bfs topology ~ingress ~egress
 
 let path t ~ingress ~egress =
+  (* Link up/down transitions invalidate every memoized selection: routes
+     must steer around failed links and may return after repairs. *)
+  let version = Topology.state_version t.topology in
+  if version <> t.seen_version then begin
+    Hashtbl.reset t.cache;
+    t.seen_version <- version
+  end;
   match Hashtbl.find_opt t.cache (ingress, egress) with
   | Some cached -> cached
   | None ->

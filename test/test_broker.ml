@@ -318,13 +318,18 @@ let test_broker_edge_config_pushed () =
   | Error _ -> Alcotest.fail "expected admission")
 
 let test_broker_teardown_unknown () =
+  (* Idempotent: an unknown (or already-released) flow is a no-op, so
+     retransmitted DRQs are harmless. *)
   let t, _, _ = diamond () in
   let broker = Broker.create t in
-  Alcotest.(check bool) "unknown flow raises" true
-    (try
-       Broker.teardown broker 99;
-       false
-     with Invalid_argument _ -> true)
+  Broker.teardown broker 99;
+  Alcotest.(check int) "still empty" 0 (Broker.per_flow_count broker);
+  match Broker.request broker (req ~dreq:3. ()) with
+  | Error e -> Alcotest.failf "unexpected: %a" Types.pp_reject_reason e
+  | Ok (flow, _) ->
+      Broker.teardown broker flow;
+      Broker.teardown broker flow;
+      Alcotest.(check int) "released once" 0 (Broker.per_flow_count broker)
 
 let test_broker_request_fixed () =
   let t, _, _ = diamond () in
