@@ -6,6 +6,10 @@
      sweep     blocking rate across offered loads
      admit     one-shot admission decision for a custom flow
      transient the Figure-7 edge transient
+     metrics   run a static fill and print its telemetry snapshot
+
+   fill and simulate accept --metrics-out PATH (and --metrics-format) to
+   dump the control-plane metrics snapshot after the run.
 
    Try: dune exec bin/bbsim.exe -- fill --scheme perflow --dreq 2.19 *)
 
@@ -14,12 +18,16 @@ open Cmdliner
 module Types = Bbr_broker.Types
 module Aggregate = Bbr_broker.Aggregate
 module Broker = Bbr_broker.Broker
+module Telemetry = Bbr_broker.Telemetry
 module Traffic = Bbr_vtrs.Traffic
 module Static = Bbr_workload.Static
 module Dynamic = Bbr_workload.Dynamic
 module Fig8 = Bbr_workload.Fig8
 module Profiles = Bbr_workload.Profiles
 module Transient = Bbr_workload.Transient
+module Metrics = Bbr_obs.Metrics
+module Obs_trace = Bbr_obs.Trace
+module Exporter = Bbr_obs.Exporter
 
 (* --- shared arguments ---------------------------------------------- *)
 
@@ -63,6 +71,56 @@ let duration =
     & opt float 20_000.
     & info [ "duration" ] ~docv:"SECONDS" ~doc:"Simulated horizon.")
 
+(* --- metrics plumbing ----------------------------------------------- *)
+
+let metrics_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"PATH"
+        ~doc:
+          "Collect control-plane telemetry during the run and write the \
+           snapshot to $(docv) afterwards ($(b,-) = stdout).")
+
+let metrics_format_arg =
+  let parse = function
+    | "text" | "prometheus" -> Ok `Text
+    | "json" -> Ok `Json
+    | s -> Error (`Msg (Printf.sprintf "unknown metrics format %S (text|json)" s))
+  in
+  let print ppf f = Fmt.string ppf (match f with `Text -> "text" | `Json -> "json") in
+  Arg.conv (parse, print)
+
+let metrics_format =
+  Arg.(
+    value
+    & opt metrics_format_arg `Text
+    & info [ "metrics-format" ] ~docv:"FMT"
+        ~doc:
+          "Snapshot format: $(b,text) (Prometheus exposition) or $(b,json).")
+
+let render_metrics reg = function
+  | `Text -> Exporter.to_prometheus reg
+  | `Json -> Exporter.to_json reg
+
+(* Install a fresh registry + tracer around [f] and export the snapshot to
+   [out] afterwards; without --metrics-out, [f] runs uninstrumented. *)
+let with_metrics ~out ~format f =
+  match out with
+  | None -> f ()
+  | Some path ->
+      let reg = Metrics.create () in
+      Metrics.install reg;
+      Obs_trace.install (Obs_trace.create ());
+      Fun.protect
+        ~finally:(fun () ->
+          Metrics.uninstall ();
+          Obs_trace.uninstall ())
+        (fun () ->
+          let r = f () in
+          Exporter.write ~path (render_metrics reg format);
+          r)
+
 (* --- fill ----------------------------------------------------------- *)
 
 let scheme_arg =
@@ -94,14 +152,18 @@ let scheme =
           "Admission scheme: $(b,intserv), $(b,perflow), $(b,aggr) \
            (feedback) or $(b,aggr-bounding).")
 
-let run_fill setting dreq cd scheme verbose =
+let run_fill setting dreq cd scheme verbose out format =
   let static_scheme =
     match scheme with
     | `Intserv -> Static.Intserv_gs
     | `Perflow -> Static.Perflow_bb
     | `Aggr method_ -> Static.Aggr_bb { cd; method_ }
   in
-  let r = Static.fill ~setting ~dreq static_scheme in
+  let r =
+    with_metrics ~out ~format (fun () ->
+        Static.fill ~setting ~dreq ~observe:Telemetry.register_broker
+          static_scheme)
+  in
   Fmt.pr "admitted %d flows before the first rejection@." r.Static.admitted;
   if verbose then begin
     Fmt.pr "%4s  %12s  %12s  %12s@." "n" "flow rate" "total" "mean/flow";
@@ -124,7 +186,9 @@ let verbose =
 let fill_cmd =
   let doc = "Fill the Figure-8 domain with identical flows until rejection (Table 2)." in
   Cmd.v (Cmd.info "fill" ~doc)
-    Term.(const run_fill $ setting $ dreq $ cd $ scheme $ verbose)
+    Term.(
+      const run_fill $ setting $ dreq $ cd $ scheme $ verbose $ metrics_out
+      $ metrics_format)
 
 (* --- simulate ------------------------------------------------------- *)
 
@@ -134,7 +198,7 @@ let load =
     & opt float 0.2
     & info [ "load" ] ~docv:"FLOWS/S" ~doc:"Total flow arrival rate.")
 
-let run_simulate setting cd scheme seed load duration =
+let run_simulate setting cd scheme seed load duration out format =
   let dyn_scheme =
     match scheme with
     | `Perflow -> Dynamic.Perflow
@@ -146,7 +210,12 @@ let run_simulate setting cd scheme seed load duration =
   let cfg =
     { Dynamic.seed; setting; arrival_rate = load; mean_holding = 200.; duration; cd }
   in
-  let o = Dynamic.run cfg dyn_scheme in
+  let o =
+    with_metrics ~out ~format (fun () ->
+        Dynamic.run
+          ~observe:(fun _engine broker -> Telemetry.register_broker broker)
+          cfg dyn_scheme)
+  in
   Fmt.pr "scheme: %a@." Dynamic.pp_scheme dyn_scheme;
   Fmt.pr "offered %d, blocked %d, completed %d@." o.Dynamic.offered o.Dynamic.blocked
     o.Dynamic.completed;
@@ -155,7 +224,9 @@ let run_simulate setting cd scheme seed load duration =
 let simulate_cmd =
   let doc = "One dynamic churn run: Poisson arrivals, exponential holding times." in
   Cmd.v (Cmd.info "simulate" ~doc)
-    Term.(const run_simulate $ setting $ cd $ scheme $ seed $ load $ duration)
+    Term.(
+      const run_simulate $ setting $ cd $ scheme $ seed $ load $ duration
+      $ metrics_out $ metrics_format)
 
 (* --- sweep ---------------------------------------------------------- *)
 
@@ -238,6 +309,38 @@ let transient_cmd =
   let doc = "The Figure-7 dynamic-aggregation transient and its repair." in
   Cmd.v (Cmd.info "transient" ~doc) Term.(const run_transient $ const ())
 
+(* --- metrics --------------------------------------------------------- *)
+
+let run_metrics setting dreq cd scheme format =
+  let static_scheme =
+    match scheme with
+    | `Perflow -> Static.Perflow_bb
+    | `Aggr method_ -> Static.Aggr_bb { cd; method_ }
+    | `Intserv ->
+        Fmt.epr "metrics supports perflow/aggr schemes only@.";
+        exit 1
+  in
+  let reg = Metrics.create () in
+  Metrics.install reg;
+  Obs_trace.install (Obs_trace.create ());
+  Fun.protect
+    ~finally:(fun () ->
+      Metrics.uninstall ();
+      Obs_trace.uninstall ())
+    (fun () ->
+      ignore
+        (Static.fill ~setting ~dreq ~observe:Telemetry.register_broker
+           static_scheme);
+      print_string (render_metrics reg format))
+
+let metrics_cmd =
+  let doc =
+    "Run a Figure-8 static fill with telemetry on and print the snapshot \
+     (admission counters, per-link utilization, stage latency histograms)."
+  in
+  Cmd.v (Cmd.info "metrics" ~doc)
+    Term.(const run_metrics $ setting $ dreq $ cd $ scheme $ metrics_format)
+
 (* --- trace / replay -------------------------------------------------- *)
 
 let run_trace_gen setting cd seed load duration =
@@ -299,6 +402,7 @@ let () =
             sweep_cmd;
             admit_cmd;
             transient_cmd;
+            metrics_cmd;
             trace_gen_cmd;
             replay_cmd;
           ]))

@@ -137,6 +137,17 @@ let steady_edge_bound mf =
   | Some p -> Delay.edge_bound p ~rate:mf.base
 
 let notify_rate t mf =
+  if Obs_log.active () then begin
+    Obs_log.count "bb_agg_rate_changes_total"
+      ~labels:[ ("class", string_of_int mf.cls.class_id) ];
+    Obs_log.event ~at:(t.hooks.now ()) "bb.agg.rate_change"
+      ~attrs:
+        [
+          ("class", string_of_int mf.cls.class_id);
+          ("path", string_of_int mf.path.Path_mib.path_id);
+          ("total", Printf.sprintf "%.6g" (total mf));
+        ]
+  end;
   t.hooks.rate_changed ~class_id:mf.cls.class_id ~path_id:mf.path.Path_mib.path_id
     ~total_rate:(total mf)
 
@@ -147,6 +158,17 @@ let release_grant t mf gid =
   | None -> ()
   | Some amount ->
       Hashtbl.remove mf.grants gid;
+      if Obs_log.active () then begin
+        Obs_log.count "bb_agg_contingency_releases_total"
+          ~labels:[ ("class", string_of_int mf.cls.class_id) ];
+        Obs_log.event ~at:(t.hooks.now ()) "bb.agg.contingency_release"
+          ~attrs:
+            [
+              ("class", string_of_int mf.cls.class_id);
+              ("path", string_of_int mf.path.Path_mib.path_id);
+              ("amount", Printf.sprintf "%.6g" amount);
+            ]
+      end;
       let old_total = total mf in
       mf.conting <- Float.max 0. (mf.conting -. amount);
       release_links t mf amount;
@@ -164,6 +186,17 @@ let add_grant t mf ~amount ~alloc_before =
     mf.next_grant <- mf.next_grant + 1;
     Hashtbl.replace mf.grants gid amount;
     mf.conting <- mf.conting +. amount;
+    if Obs_log.active () then begin
+      Obs_log.count "bb_agg_contingency_grants_total"
+        ~labels:[ ("class", string_of_int mf.cls.class_id) ];
+      Obs_log.event ~at:(t.hooks.now ()) "bb.agg.contingency_grant"
+        ~attrs:
+          [
+            ("class", string_of_int mf.cls.class_id);
+            ("path", string_of_int mf.path.Path_mib.path_id);
+            ("amount", Printf.sprintf "%.6g" amount);
+          ]
+    end;
     match t.method_ with
     | Feedback -> ()
     | Bounding ->

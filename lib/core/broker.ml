@@ -5,6 +5,22 @@ type time_hooks = { now : unit -> float; after : float -> (unit -> unit) -> unit
 
 let immediate_time = { now = (fun () -> 0.); after = (fun _ f -> f ()) }
 
+type service = Perflow | Class_based | Fixed
+
+let service_label = function
+  | Perflow -> "perflow"
+  | Class_based -> "class"
+  | Fixed -> "fixed"
+
+type decision_record = {
+  service : service;
+  request : Types.request;
+  flow : Types.flow_id option;
+  rate : float;
+  rejected : Types.reject_reason option;
+  at : float;
+}
+
 type t = {
   topology : Topology.t;
   policy : Policy.t;
@@ -15,11 +31,12 @@ type t = {
   aggregate : Aggregate.t;
   time : time_hooks;
   on_edge_config : flow:Types.flow_id -> Types.reservation -> unit;
+  mutable on_decision : (decision_record -> unit) list;
 }
 
 let create ?policy ?(classes = []) ?(method_ = Aggregate.Feedback) ?time
     ?(on_edge_config = fun ~flow:_ _ -> ()) ?(on_class_rate = fun ~class_id:_ ~path_id:_ ~total_rate:_ -> ())
-    topology =
+    ?on_decision:decision_hook topology =
   let policy = match policy with Some p -> p | None -> Policy.create () in
   let time = Option.value ~default:immediate_time time in
   let node_mib = Node_mib.create topology in
@@ -43,18 +60,41 @@ let create ?policy ?(classes = []) ?(method_ = Aggregate.Feedback) ?time
     aggregate;
     time;
     on_edge_config;
+    on_decision = Option.to_list decision_hook;
   }
+
+let add_decision_hook t f = t.on_decision <- t.on_decision @ [ f ]
+
+let now t = t.time.now ()
+
+(* Every admission outcome funnels through here: subscriber hooks always
+   fire; the obs counters and decision log only when installed. *)
+let note_decision t ~service req outcome =
+  let at = t.time.now () in
+  Obs_log.decision ~service:(service_label service) ~at req outcome;
+  match t.on_decision with
+  | [] -> ()
+  | hooks ->
+      let flow, rate, rejected =
+        match outcome with
+        | Ok (flow, rate) -> (Some flow, rate, None)
+        | Error e -> (None, 0., Some e)
+      in
+      let record = { service; request = req; flow; rate; rejected; at } in
+      List.iter (fun f -> f record) hooks
+
+let stage t name f = Obs_log.stage ~now:t.time.now name f
 
 let route_of t (req : Types.request) =
   Routing.path t.routing ~ingress:req.Types.ingress ~egress:req.Types.egress
 
 (* Shared front half of both admission procedures: policy check, then path
-   selection. *)
+   selection — the first two stages of the Figure-1 control loop. *)
 let preamble t req =
-  match Policy.check t.policy req with
+  match stage t "policy" (fun () -> Policy.check t.policy req) with
   | Error rule -> Error (Types.Policy_denied rule)
   | Ok () -> (
-      match route_of t req with
+      match stage t "routing" (fun () -> route_of t req) with
       | None -> Error Types.No_route
       | Some path -> Ok path)
 
@@ -84,42 +124,79 @@ let book_per_flow t ?flow (req : Types.request) path (res : Types.reservation) =
       path;
       admitted_at = t.time.now ();
     };
-  t.on_edge_config ~flow res;
   flow
 
+(* The COPS leg: push the reservation to the ingress edge conditioner. *)
+let push_edge t ~flow res =
+  stage t "cops_push" (fun () -> t.on_edge_config ~flow res)
+
 let request_full t ?flow req =
-  match preamble t req with
-  | Error e -> Error e
-  | Ok path -> (
-      let ps = Admission.path_state t.node_mib t.path_mib path in
-      match Admission.admit ps req.Types.profile ~dreq:req.Types.dreq with
-      | Error e -> Error e
-      | Ok res -> Ok (book_per_flow t ?flow req path res, res))
+  let outcome =
+    match preamble t req with
+    | Error e -> Error e
+    | Ok path -> (
+        match
+          stage t "admissibility" (fun () ->
+              let ps = Admission.path_state t.node_mib t.path_mib path in
+              Admission.admit ps req.Types.profile ~dreq:req.Types.dreq)
+        with
+        | Error e -> Error e
+        | Ok res ->
+            let flow =
+              stage t "bookkeeping" (fun () -> book_per_flow t ?flow req path res)
+            in
+            push_edge t ~flow res;
+            Ok (flow, res))
+  in
+  note_decision t ~service:Perflow req
+    (Result.map (fun (flow, (res : Types.reservation)) -> (flow, res.Types.rate)) outcome);
+  outcome
 
 let request t req = request_full t req
 
 let request_fixed t ?flow req ~rate ?delay () =
-  match preamble t req with
-  | Error e -> Error e
-  | Ok path ->
-      let p = req.Types.profile in
-      if not (Bbr_vtrs.Traffic.conforms p ~rate) then Error Types.Delay_unachievable
-      else begin
-        let ps = Admission.path_state t.node_mib t.path_mib path in
-        let delay =
-          match (delay, ps.Admission.delay_hops) with
-          | Some d, _ -> d
-          | None, 0 -> 0.
-          | None, _ ->
-              invalid_arg "Broker.request_fixed: delay required on a mixed path"
-        in
-        if not (Admission.schedulable ps ~rate ~delay ~lmax:p.Bbr_vtrs.Traffic.lmax)
-        then
-          if Bbr_util.Fp.gt rate ps.Admission.cres then
-            Error Types.Insufficient_bandwidth
-          else Error Types.Not_schedulable
-        else Ok (book_per_flow t ?flow req path { Types.rate; delay })
-      end
+  let outcome =
+    match preamble t req with
+    | Error e -> Error e
+    | Ok path ->
+        let p = req.Types.profile in
+        if not (Bbr_vtrs.Traffic.conforms p ~rate) then Error Types.Delay_unachievable
+        else begin
+          let admissible =
+            stage t "admissibility" (fun () ->
+                let ps = Admission.path_state t.node_mib t.path_mib path in
+                let delay =
+                  match (delay, ps.Admission.delay_hops) with
+                  | Some d, _ -> d
+                  | None, 0 -> 0.
+                  | None, _ ->
+                      invalid_arg
+                        "Broker.request_fixed: delay required on a mixed path"
+                in
+                if
+                  not
+                    (Admission.schedulable ps ~rate ~delay
+                       ~lmax:p.Bbr_vtrs.Traffic.lmax)
+                then
+                  if Bbr_util.Fp.gt rate ps.Admission.cres then
+                    Error Types.Insufficient_bandwidth
+                  else Error Types.Not_schedulable
+                else Ok delay)
+          in
+          match admissible with
+          | Error e -> Error e
+          | Ok delay ->
+              let res = { Types.rate; delay } in
+              let flow =
+                stage t "bookkeeping" (fun () -> book_per_flow t ?flow req path res)
+              in
+              push_edge t ~flow res;
+              Ok flow
+        end
+  in
+  note_decision t ~service:Fixed req
+    (Result.map (fun flow -> (flow, rate)) outcome);
+  outcome
 
 (* Idempotent: a teardown for an unknown (already-released) flow is a
    no-op, so retransmitted DRQs and departures of flows dropped by a link
@@ -128,6 +205,7 @@ let teardown t flow =
   match Flow_mib.remove t.flow_mib flow with
   | None -> ()
   | Some record ->
+      Obs_log.count "bb_teardowns_total" ~labels:[ ("service", "perflow") ];
       let res = record.Flow_mib.reservation in
       List.iter
         (fun (l : Topology.link) ->
@@ -141,41 +219,54 @@ let teardown t flow =
         record.Flow_mib.path.Path_mib.links
 
 let request_class t ?class_id ?flow req =
-  match preamble t req with
-  | Error e -> Error e
-  | Ok path -> (
-      let cls =
-        match class_id with
-        | Some id -> (
-            match Aggregate.find_class t.aggregate ~class_id:id with
-            | Some c when c.Aggregate.dreq <= req.Types.dreq +. 1e-12 -> Ok c
-            | Some _ -> Error Types.Delay_unachievable
-            | None -> Error (Types.Policy_denied "unknown service class"))
-        | None -> (
-            match Aggregate.best_class t.aggregate ~dreq:req.Types.dreq with
-            | Some c -> Ok c
-            | None -> Error Types.Delay_unachievable)
-      in
-      match cls with
-      | Error e -> Error e
-      | Ok cls -> (
-          let flow =
-            match flow with
-            | Some f ->
-                Flow_mib.reserve_ids t.flow_mib ~below:(f + 1);
-                f
-            | None -> Flow_mib.fresh_id t.flow_mib
-          in
-          match
-            Aggregate.join t.aggregate ~class_id:cls.Aggregate.class_id ~path ~flow
-              req.Types.profile
-          with
-          | Ok () -> Ok (flow, cls)
-          | Error e -> Error e))
+  let outcome =
+    match preamble t req with
+    | Error e -> Error e
+    | Ok path -> (
+        let cls =
+          match class_id with
+          | Some id -> (
+              match Aggregate.find_class t.aggregate ~class_id:id with
+              | Some c when c.Aggregate.dreq <= req.Types.dreq +. 1e-12 -> Ok c
+              | Some _ -> Error Types.Delay_unachievable
+              | None -> Error (Types.Policy_denied "unknown service class"))
+          | None -> (
+              match Aggregate.best_class t.aggregate ~dreq:req.Types.dreq with
+              | Some c -> Ok c
+              | None -> Error Types.Delay_unachievable)
+        in
+        match cls with
+        | Error e -> Error e
+        | Ok cls -> (
+            let flow =
+              match flow with
+              | Some f ->
+                  Flow_mib.reserve_ids t.flow_mib ~below:(f + 1);
+                  f
+              | None -> Flow_mib.fresh_id t.flow_mib
+            in
+            (* For class-based service the admissibility test and the
+               bookkeeping are one operation (the macroflow join of
+               Section 4.3); the subsequent rate push to the edge rides
+               the aggregate's [rate_changed] hook. *)
+            match
+              stage t "admissibility" (fun () ->
+                  Aggregate.join t.aggregate ~class_id:cls.Aggregate.class_id ~path
+                    ~flow req.Types.profile)
+            with
+            | Ok () -> Ok (flow, cls)
+            | Error e -> Error e))
+  in
+  note_decision t ~service:Class_based req
+    (Result.map (fun (flow, _) -> (flow, 0.)) outcome);
+  outcome
 
 (* Idempotent for the same reason as {!teardown}. *)
 let teardown_class t flow =
-  if Aggregate.owner t.aggregate ~flow <> None then Aggregate.leave t.aggregate ~flow
+  if Aggregate.owner t.aggregate ~flow <> None then begin
+    Obs_log.count "bb_teardowns_total" ~labels:[ ("service", "class") ];
+    Aggregate.leave t.aggregate ~flow
+  end
 
 let queue_empty t ~class_id ~path_id = Aggregate.queue_empty t.aggregate ~class_id ~path_id
 
@@ -260,11 +351,32 @@ let fail_link t ~link_id =
       class_victims
     |> List.partition_map Fun.id
   in
-  { link_id; perflow_rerouted; perflow_dropped; class_rerouted; class_dropped }
+  let recovery =
+    { link_id; perflow_rerouted; perflow_dropped; class_rerouted; class_dropped }
+  in
+  if Obs_log.active () then begin
+    let at = t.time.now () in
+    Obs_log.count "bb_link_failures_total";
+    Obs_log.count "bb_flows_rerouted_total"
+      ~by:(float_of_int (recovered_count recovery));
+    Obs_log.count "bb_flows_dropped_total"
+      ~by:(float_of_int (dropped_count recovery));
+    Obs_log.event ~at "bb.link.failed"
+      ~attrs:
+        [
+          ("link", string_of_int link_id);
+          ("rerouted", string_of_int (recovered_count recovery));
+          ("dropped", string_of_int (dropped_count recovery));
+        ]
+  end;
+  recovery
 
 let restore_link t ~link_id =
   ignore (Topology.link_by_id t.topology link_id);
-  Topology.set_link_state t.topology ~link_id ~up:true
+  Topology.set_link_state t.topology ~link_id ~up:true;
+  if Obs_log.active () then
+    Obs_log.event ~at:(t.time.now ()) "bb.link.restored"
+      ~attrs:[ ("link", string_of_int link_id) ]
 
 let topology t = t.topology
 

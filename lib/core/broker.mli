@@ -23,6 +23,24 @@ val immediate_time : time_hooks
 
 type t
 
+(** Which admission procedure produced a decision. *)
+type service = Perflow | Class_based | Fixed
+
+val service_label : service -> string
+(** ["perflow"], ["class"], ["fixed"] — the metric label values. *)
+
+(** One admission decision, as delivered to [on_decision] subscribers:
+    every call to {!request}, {!request_class} or {!request_fixed} yields
+    exactly one record, admitted or rejected. *)
+type decision_record = {
+  service : service;
+  request : Types.request;
+  flow : Types.flow_id option;  (** [Some] iff admitted *)
+  rate : float;  (** reserved rate; [0.] on rejection or class service *)
+  rejected : Types.reject_reason option;
+  at : float;  (** broker clock at decision time *)
+}
+
 val create :
   ?policy:Policy.t ->
   ?classes:Aggregate.class_def list ->
@@ -30,10 +48,18 @@ val create :
   ?time:time_hooks ->
   ?on_edge_config:(flow:Types.flow_id -> Types.reservation -> unit) ->
   ?on_class_rate:(class_id:int -> path_id:int -> total_rate:float -> unit) ->
+  ?on_decision:(decision_record -> unit) ->
   Bbr_vtrs.Topology.t ->
   t
 (** [method_] defaults to {!Aggregate.Feedback}; [classes] to none;
     [policy] to allow-all; [time] to {!immediate_time}. *)
+
+val add_decision_hook : t -> (decision_record -> unit) -> unit
+(** Subscribe to admission decisions after creation.  Hooks run in
+    subscription order, after the broker's own bookkeeping. *)
+
+val now : t -> float
+(** The broker's clock (from [time]; 0 under {!immediate_time}). *)
 
 (** {1 Per-flow guaranteed service} *)
 

@@ -1,3 +1,5 @@
+module Metrics = Bbr_obs.Metrics
+
 type reliability = {
   loss : unit -> bool;
   timeout : float;
@@ -45,8 +47,11 @@ let next_timeout r timeout = Float.min r.max_timeout (timeout *. r.backoff)
    we measure), dropped by the loss process when reliability is on. *)
 let send t action =
   t.messages <- t.messages + 1;
+  Metrics.count "bb_cops_messages_total";
   let lost = match t.rel with Some r -> r.loss () | None -> false in
   if not lost then t.defer t.latency action
+
+let note_pending t = Metrics.set_gauge "bb_cops_pending" (float_of_int t.pending)
 
 (* One request/decision exchange.  [decide] runs at whichever broker is the
    PDP when the (possibly retransmitted) REQ arrives; [accepted] says
@@ -65,12 +70,14 @@ let send t action =
      cannot leak [pending] or fire [on_decision] twice. *)
 let exchange t ~decide ~accepted ~on_decision =
   t.pending <- t.pending + 1;
+  note_pending t;
   let resolved = ref false in
   let decided = ref None in
   let pdp_decide () =
     match !decided with
     | Some (pdp, dec) when pdp == t.broker ->
         t.duplicates <- t.duplicates + 1;
+        Metrics.count "bb_cops_duplicates_total";
         dec
     | _ ->
         let dec = decide t.broker in
@@ -81,6 +88,7 @@ let exchange t ~decide ~accepted ~on_decision =
     if not !resolved then begin
       resolved := true;
       t.pending <- t.pending - 1;
+      note_pending t;
       on_decision dec;
       (* The PEP reports successful installation of the decision. *)
       if accepted dec then send t (fun () -> ())
@@ -100,6 +108,7 @@ let exchange t ~decide ~accepted ~on_decision =
         t.defer timeout (fun () ->
             if not !resolved then begin
               t.retransmissions <- t.retransmissions + 1;
+              Metrics.count "bb_cops_retransmissions_total";
               attempt (next_timeout r timeout)
             end)
   in
@@ -132,7 +141,9 @@ let one_way t apply =
         send t (fun () ->
             if t.pdp_up then begin
               (match !applied with
-              | Some pdp when pdp == t.broker -> t.duplicates <- t.duplicates + 1
+              | Some pdp when pdp == t.broker ->
+                  t.duplicates <- t.duplicates + 1;
+                  Metrics.count "bb_cops_duplicates_total"
               | _ ->
                   applied := Some t.broker;
                   apply t.broker);
@@ -141,6 +152,7 @@ let one_way t apply =
         t.defer timeout (fun () ->
             if not !acked then begin
               t.retransmissions <- t.retransmissions + 1;
+              Metrics.count "bb_cops_retransmissions_total";
               attempt (next_timeout r timeout)
             end)
       in

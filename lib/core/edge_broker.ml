@@ -66,14 +66,21 @@ let create ~central ~ingress ~egress ~chunk =
 
 let available t = t.quota -. t.used
 
+(* Every exchange with the central broker funnels through here, so the
+   transaction tally and the [bb_edge_transactions_total] counter cannot
+   drift apart. *)
+let central_transaction t f =
+  t.transactions <- t.transactions + 1;
+  Obs_log.count "bb_edge_transactions_total";
+  f t.central
+
 (* Acquire at least [shortfall] more quota: chunk-sized first, then the
    exact remainder if the chunk is refused. *)
 let rec acquire t shortfall =
   if shortfall <= 0. then true
   else begin
     let ask = Float.max t.chunk shortfall in
-    t.transactions <- t.transactions + 1;
-    match Broker.request t.central (quota_request t ask) with
+    match central_transaction t (fun c -> Broker.request c (quota_request t ask)) with
     | Ok (central_flow, res) ->
         t.grants <- { central_flow; amount = res.Types.rate } :: t.grants;
         t.quota <- t.quota +. res.Types.rate;
@@ -81,8 +88,10 @@ let rec acquire t shortfall =
     | Error _ ->
         if ask > shortfall +. 1e-9 then begin
           (* The full chunk did not fit; retry with the exact shortfall. *)
-          t.transactions <- t.transactions + 1;
-          match Broker.request t.central (quota_request t shortfall) with
+          match
+            central_transaction t (fun c ->
+                Broker.request c (quota_request t shortfall))
+          with
           | Ok (central_flow, res) ->
               t.grants <- { central_flow; amount = res.Types.rate } :: t.grants;
               t.quota <- t.quota +. res.Types.rate;
@@ -94,24 +103,32 @@ let rec acquire t shortfall =
 
 let request t (req : Types.request) =
   let p = req.Types.profile in
-  match Delay.min_rate_rate_based p ~hops:t.hops ~d_tot:t.d_tot ~dreq:req.Types.dreq with
-  | None -> Error Types.Delay_unachievable
-  | Some rmin ->
-      if Fp.gt rmin p.Traffic.peak then Error Types.Delay_unachievable
-      else begin
-        let rate = Float.max p.Traffic.rho rmin in
-        let ok =
-          Fp.leq rate (available t) || acquire t (rate -. available t)
-        in
-        if not ok then Error Types.Insufficient_bandwidth
+  let outcome =
+    match
+      Delay.min_rate_rate_based p ~hops:t.hops ~d_tot:t.d_tot ~dreq:req.Types.dreq
+    with
+    | None -> Error Types.Delay_unachievable
+    | Some rmin ->
+        if Fp.gt rmin p.Traffic.peak then Error Types.Delay_unachievable
         else begin
-          let flow = t.next_id in
-          t.next_id <- t.next_id + 1;
-          t.used <- t.used +. rate;
-          Hashtbl.replace t.flows flow rate;
-          Ok (flow, { Types.rate; delay = 0. })
+          let rate = Float.max p.Traffic.rho rmin in
+          let ok =
+            Fp.leq rate (available t) || acquire t (rate -. available t)
+          in
+          if not ok then Error Types.Insufficient_bandwidth
+          else begin
+            let flow = t.next_id in
+            t.next_id <- t.next_id + 1;
+            t.used <- t.used +. rate;
+            Hashtbl.replace t.flows flow rate;
+            Ok (flow, { Types.rate; delay = 0. })
+          end
         end
-      end
+  in
+  Obs_log.decision ~service:"edge" ~at:(Broker.now t.central) req
+    (Result.map (fun (flow, (res : Types.reservation)) -> (flow, res.Types.rate))
+       outcome);
+  outcome
 
 (* Idempotent, matching {!Broker.teardown}: a retransmitted or stale DRQ
    for an unknown flow is a no-op. *)
@@ -120,14 +137,14 @@ let teardown t flow =
   | None -> ()
   | Some rate ->
       Hashtbl.remove t.flows flow;
+      Obs_log.count "bb_teardowns_total" ~labels:[ ("service", "edge") ];
       t.used <- Float.max 0. (t.used -. rate)
 
 let return_idle_quota t =
   let rec give_back () =
     match t.grants with
     | grant :: rest when Fp.geq (available t -. grant.amount) t.chunk ->
-        t.transactions <- t.transactions + 1;
-        Broker.teardown t.central grant.central_flow;
+        central_transaction t (fun c -> Broker.teardown c grant.central_flow);
         t.grants <- rest;
         t.quota <- t.quota -. grant.amount;
         give_back ()

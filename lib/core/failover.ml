@@ -31,7 +31,12 @@ let is_up t = t.up
 let checkpoint t =
   if t.up then begin
     t.last <- Some (t.time.Broker.now (), Snapshot.save t.active);
-    t.checkpoints <- t.checkpoints + 1
+    t.checkpoints <- t.checkpoints + 1;
+    if Obs_log.active () then begin
+      Obs_log.count "bb_failover_checkpoints_total";
+      Obs_log.event ~at:(t.time.Broker.now ()) "bb.failover.checkpoint"
+        ~attrs:[ ("n", string_of_int t.checkpoints) ]
+    end
   end
 
 let start_checkpoints t ~every =
@@ -49,7 +54,12 @@ let start_checkpoints t ~every =
 
 let stop t = t.stopped <- true
 
-let crash t = t.up <- false
+let crash t =
+  t.up <- false;
+  if Obs_log.active () then begin
+    Obs_log.count "bb_failover_crashes_total";
+    Obs_log.event ~at:(t.time.Broker.now ()) "bb.failover.crash"
+  end
 
 let promote t =
   match t.last with
@@ -62,6 +72,15 @@ let promote t =
           t.active <- standby;
           t.up <- true;
           t.generation <- t.generation + 1;
+          if Obs_log.active () then begin
+            Obs_log.count "bb_failover_promotions_total";
+            Obs_log.event ~at:(t.time.Broker.now ()) "bb.failover.promote"
+              ~attrs:
+                [
+                  ("generation", string_of_int t.generation);
+                  ("restored", string_of_int restored);
+                ]
+          end;
           Ok restored)
 
 let snapshot_age t =

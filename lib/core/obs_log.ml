@@ -1,0 +1,59 @@
+(* Uniform telemetry recording of admission decisions and control-plane
+   stage timings.  Every admission decision in the repository — broker
+   per-flow, class-based, fixed-rate (snapshot restore, inter-domain),
+   edge-broker local — funnels through [decision], so the
+   [bb_admission_*] counters and the trace decision log use one label
+   vocabulary ({!Types.reject_label}) everywhere.
+
+   All helpers are branch-only no-ops when neither a metrics registry nor
+   a tracer is installed. *)
+
+module Metrics = Bbr_obs.Metrics
+module Trace = Bbr_obs.Trace
+
+let active () = Metrics.enabled () || Trace.enabled ()
+
+let decision ~service ~at (req : Types.request) outcome =
+  if active () then begin
+    let admitted, flow, rate, reason =
+      match outcome with
+      | Ok (flow, rate) -> (true, Some flow, rate, None)
+      | Error r -> (false, None, 0., Some r)
+    in
+    let result = if admitted then "admit" else "reject" in
+    Metrics.count "bb_admission_total"
+      ~labels:[ ("service", service); ("result", result) ];
+    (match reason with
+    | Some r ->
+        Metrics.count "bb_admission_reject_total"
+          ~labels:[ ("service", service); ("reason", Types.reject_label r) ]
+    | None -> ());
+    Trace.decision ~sim_time:at
+      {
+        Trace.service;
+        flow;
+        admitted;
+        reject_reason = Option.map Types.reject_label reason;
+        ingress = req.Types.ingress;
+        egress = req.Types.egress;
+        rate;
+      }
+  end
+
+(* Time one stage of the Figure-1 control loop.  The histogram family is
+   [bb_stage_seconds{stage=...}]; the trace span is [bb.stage.<name>]. *)
+let stage ~now name f =
+  if active () then begin
+    let t0 = Trace.now_wall () in
+    let finish () =
+      let dur = Trace.now_wall () -. t0 in
+      Metrics.observe_one "bb_stage_seconds" ~labels:[ ("stage", name) ] dur;
+      Trace.span_record ~sim_time:(now ()) ("bb.stage." ^ name) ~dur
+    in
+    Fun.protect ~finally:finish f
+  end
+  else f ()
+
+let event ~at ?attrs name = Trace.event ~sim_time:at ?attrs name
+
+let count = Metrics.count

@@ -1,0 +1,29 @@
+(** Uniform telemetry recording for the control plane.
+
+    One label vocabulary for every admission decision in the repository:
+    components must record outcomes through {!decision} (which feeds the
+    [bb_admission_total] / [bb_admission_reject_total] counter families
+    and the trace decision log) rather than keeping ad-hoc tallies.  All
+    helpers cost a branch when no registry/tracer is installed. *)
+
+val active : unit -> bool
+(** A metrics registry or a tracer is installed. *)
+
+val decision :
+  service:string ->
+  at:float ->
+  Types.request ->
+  ((Types.flow_id * float) (* flow, reserved rate *), Types.reject_reason) result ->
+  unit
+(** Record one admission decision at sim time [at].  [service] is the
+    decision path: ["perflow"], ["class"], ["fixed"], ["edge"], ... *)
+
+val stage : now:(unit -> float) -> string -> (unit -> 'a) -> 'a
+(** [stage ~now name f] runs [f], recording its wall duration into the
+    [bb_stage_seconds{stage=name}] histogram and as a [bb.stage.<name>]
+    trace span stamped with [now ()].  Just [f ()] when inactive. *)
+
+val event : at:float -> ?attrs:(string * string) list -> string -> unit
+
+val count : ?labels:(string * string) list -> ?by:float -> string -> unit
+(** Re-export of {!Bbr_obs.Metrics.count}. *)

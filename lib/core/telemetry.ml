@@ -1,0 +1,67 @@
+(* Derived-gauge registration: the broker's MIBs already hold the current
+   control-plane state, so the gauges read it lazily at snapshot time
+   instead of being pushed on every change.  Re-registering (same metric
+   names) replaces the callbacks — after a fail-over, register the promoted
+   standby and the gauges follow it. *)
+
+module Metrics = Bbr_obs.Metrics
+module Topology = Bbr_vtrs.Topology
+
+let link_labels (l : Topology.link) =
+  [
+    ("link", string_of_int l.Topology.link_id);
+    ("src", l.Topology.src);
+    ("dst", l.Topology.dst);
+  ]
+
+let register_broker ?registry broker =
+  match
+    match registry with Some r -> Some r | None -> Metrics.current ()
+  with
+  | None -> ()
+  | Some reg ->
+      let node_mib = Broker.node_mib broker in
+      List.iter
+        (fun (l : Topology.link) ->
+          let link_id = l.Topology.link_id in
+          let labels = link_labels l in
+          Metrics.gauge_fn reg "bb_link_reserved_bps"
+            ~help:"Bandwidth currently reserved on the link, bits/s" ~labels
+            (fun () -> Node_mib.reserved node_mib ~link_id);
+          Metrics.gauge_fn reg "bb_link_utilization"
+            ~help:"Reserved fraction of link capacity" ~labels (fun () ->
+              Node_mib.reserved node_mib ~link_id /. l.Topology.capacity))
+        (Topology.links (Broker.topology broker));
+      Metrics.gauge_fn reg "bb_flows"
+        ~help:"Reservations currently booked at the broker"
+        ~labels:[ ("service", "perflow") ]
+        (fun () -> float_of_int (Broker.per_flow_count broker));
+      Metrics.gauge_fn reg "bb_flows"
+        ~labels:[ ("service", "class") ]
+        (fun () -> float_of_int (Broker.class_flow_count broker));
+      let aggregate = Broker.aggregate broker in
+      Metrics.gauge_fn reg "bb_agg_macroflows"
+        ~help:"Live (class, path) macroflows" (fun () ->
+          float_of_int (List.length (Aggregate.all_macroflows aggregate)));
+      Metrics.gauge_fn reg "bb_agg_contingency_bps"
+        ~help:"Total contingency bandwidth currently held, bits/s" (fun () ->
+          List.fold_left
+            (fun acc (s : Aggregate.macro_stats) ->
+              acc +. s.Aggregate.contingency)
+            0.
+            (Aggregate.all_macroflows aggregate));
+      List.iter
+        (fun (c : Aggregate.class_def) ->
+          Metrics.gauge_fn reg "bb_agg_class_members"
+            ~help:"Flows aggregated into the class, across paths"
+            ~labels:[ ("class", string_of_int c.Aggregate.class_id) ]
+            (fun () ->
+              List.fold_left
+                (fun acc (s : Aggregate.macro_stats) ->
+                  if s.Aggregate.class_id = c.Aggregate.class_id then
+                    acc + s.Aggregate.members
+                  else acc)
+                0
+                (Aggregate.all_macroflows aggregate)
+              |> float_of_int))
+        (Aggregate.classes aggregate)

@@ -1,0 +1,14 @@
+(** Derived gauges over the broker's MIB state.
+
+    {!register_broker} installs read-on-snapshot gauges — per-link reserved
+    bandwidth and utilization, live flow counts per service model, macroflow
+    population and contingency bandwidth — into a metrics registry.  The
+    gauges hold the broker, so registering again (e.g. the promoted standby
+    after a fail-over) atomically repoints them. *)
+
+val register_broker : ?registry:Bbr_obs.Metrics.t -> Broker.t -> unit
+(** Register the gauge families [bb_link_reserved_bps{link,src,dst}],
+    [bb_link_utilization{link,src,dst}], [bb_flows{service}],
+    [bb_agg_macroflows], [bb_agg_contingency_bps] and
+    [bb_agg_class_members{class}] over [broker]'s state.  [registry]
+    defaults to the installed one; a no-op when neither exists. *)

@@ -31,6 +31,15 @@ type reject_reason =
 
 type decision = Admitted of reservation | Rejected of reject_reason
 
+(* Stable machine-readable labels for metrics and the decision log; every
+   component that accounts for rejections must go through this one map. *)
+let reject_label = function
+  | Policy_denied _ -> "policy_denied"
+  | No_route -> "no_route"
+  | Insufficient_bandwidth -> "insufficient_bandwidth"
+  | Delay_unachievable -> "delay_unachievable"
+  | Not_schedulable -> "not_schedulable"
+
 let pp_reject_reason ppf = function
   | Policy_denied rule -> Fmt.pf ppf "policy denied (rule %s)" rule
   | No_route -> Fmt.string ppf "no route"

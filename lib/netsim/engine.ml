@@ -1,4 +1,5 @@
 module Heap = Bbr_util.Heap
+module Metrics = Bbr_obs.Metrics
 
 type event = { time : float; action : unit -> unit }
 
@@ -6,6 +7,10 @@ type t = {
   mutable clock : float;
   queue : event Heap.t;
   mutable count : int;
+  (* Cached handle on the installed registry's dispatch counter, so the
+     per-event cost stays one physical-equality check.  Invalidated when a
+     different registry (or none) is installed. *)
+  mutable obs : (Metrics.t * Metrics.counter) option;
 }
 
 let create () =
@@ -13,9 +18,35 @@ let create () =
     clock = 0.;
     queue = Heap.create ~leq:(fun a b -> a.time <= b.time);
     count = 0;
+    obs = None;
   }
 
 let now t = t.clock
+
+let register_gauges t =
+  match Metrics.current () with
+  | None -> ()
+  | Some reg ->
+      Metrics.gauge_fn reg "sim_engine_pending"
+        ~help:"Events waiting in the simulator queue" (fun () ->
+          float_of_int (Heap.size t.queue));
+      Metrics.gauge_fn reg "sim_engine_clock_seconds"
+        ~help:"Current simulated time" (fun () -> t.clock)
+
+let dispatch_counter t =
+  match (t.obs, Metrics.current ()) with
+  | Some (reg, c), Some cur when reg == cur -> Some c
+  | _, None ->
+      t.obs <- None;
+      None
+  | _, Some cur ->
+      let c =
+        Metrics.counter cur "sim_engine_events_total"
+          ~help:"Events dispatched by the simulator engine"
+      in
+      t.obs <- Some (cur, c);
+      register_gauges t;
+      Some c
 
 let schedule t ~at action =
   if at < t.clock then
@@ -33,6 +64,7 @@ let step t =
   | Some ev ->
       t.clock <- ev.time;
       t.count <- t.count + 1;
+      (match dispatch_counter t with Some c -> Metrics.inc c | None -> ());
       ev.action ();
       true
 

@@ -1,4 +1,6 @@
 module Prng = Bbr_util.Prng
+module Metrics = Bbr_obs.Metrics
+module Trace = Bbr_obs.Trace
 
 type action =
   | Link_down of int
@@ -27,10 +29,21 @@ let hooks ?(on_link_down = fun _ -> ()) ?(on_link_up = fun _ -> ())
     ?(on_crash = fun _ -> ()) ?(on_recover = fun _ -> ()) () =
   { on_link_down; on_link_up; on_crash; on_recover }
 
+let action_kind = function
+  | Link_down _ -> "link_down"
+  | Link_up _ -> "link_up"
+  | Crash _ -> "crash"
+  | Recover _ -> "recover"
+
 let install engine hooks events =
   List.iter
     (fun e ->
       Engine.schedule engine ~at:e.at (fun () ->
+          let kind = action_kind e.action in
+          Metrics.count "sim_fault_events_total" ~labels:[ ("kind", kind) ];
+          if Trace.enabled () then
+            Trace.event ~sim_time:(Engine.now engine) "sim.fault"
+              ~attrs:[ ("kind", kind); ("what", Fmt.str "%a" pp_action e.action) ];
           match e.action with
           | Link_down id -> hooks.on_link_down id
           | Link_up id -> hooks.on_link_up id

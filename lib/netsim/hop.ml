@@ -1,5 +1,6 @@
 module Topology = Bbr_vtrs.Topology
 module Packet_state = Bbr_vtrs.Packet_state
+module Metrics = Bbr_obs.Metrics
 
 type discipline = Csvc | Cjvc | Vtedf | Vc | Scfq | Rcedf | Fifo
 
@@ -33,7 +34,25 @@ type t = {
   scfq_tags : (int * int, float) Hashtbl.t;
   mutable fifo_seq : float;
   mutable max_lateness : float;
+  (* Cached handle on the installed registry's per-hop packet counter (see
+     Engine.dispatch_counter for the pattern). *)
+  mutable obs : (Metrics.t * Metrics.counter) option;
 }
+
+let packet_counter t =
+  match (t.obs, Metrics.current ()) with
+  | Some (reg, c), Some cur when reg == cur -> Some c
+  | _, None ->
+      t.obs <- None;
+      None
+  | _, Some cur ->
+      let c =
+        Metrics.counter cur "sim_hop_packets_total"
+          ~help:"Packets received by the hop scheduler"
+          ~labels:[ ("link", string_of_int t.link.Topology.link_id) ]
+      in
+      t.obs <- Some (cur, c);
+      Some c
 
 let sched_class t =
   match t.discipline with
@@ -74,6 +93,7 @@ let create engine ~link ~deliver discipline =
       scfq_tags = Hashtbl.create 64;
       fifo_seq = 0.;
       max_lateness = neg_infinity;
+      obs = None;
     }
   in
   self := Some t;
@@ -94,6 +114,7 @@ let flow_exn t pkt =
            (Fmt.str "%a" pp_discipline t.discipline))
 
 let receive t pkt =
+  (match packet_counter t with Some c -> Metrics.inc c | None -> ());
   match t.discipline with
   | Csvc ->
       let st = state_exn pkt in

@@ -1,0 +1,139 @@
+(* Exporters: render a Metrics registry snapshot as Prometheus text
+   exposition format or as a JSON document.  Pure functions of the
+   snapshot — no I/O here. *)
+
+let fnum v =
+  if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.9g" v
+
+(* --- Prometheus text format ------------------------------------------ *)
+
+let escape_label v =
+  let b = Buffer.create (String.length v) in
+  String.iter
+    (function
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '"' -> Buffer.add_string b "\\\""
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    v;
+  Buffer.contents b
+
+let label_block labels =
+  match labels with
+  | [] -> ""
+  | _ ->
+      "{"
+      ^ String.concat ","
+          (List.map (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (escape_label v)) labels)
+      ^ "}"
+
+let le_value v = if v = infinity then "+Inf" else fnum v
+
+let prometheus samples =
+  let b = Buffer.create 4096 in
+  let seen_header = Hashtbl.create 16 in
+  List.iter
+    (fun (s : Metrics.sample) ->
+      if not (Hashtbl.mem seen_header s.Metrics.s_name) then begin
+        Hashtbl.replace seen_header s.Metrics.s_name ();
+        if s.Metrics.s_help <> "" then
+          Buffer.add_string b
+            (Printf.sprintf "# HELP %s %s\n" s.Metrics.s_name s.Metrics.s_help);
+        Buffer.add_string b
+          (Printf.sprintf "# TYPE %s %s\n" s.Metrics.s_name s.Metrics.s_kind)
+      end;
+      match s.Metrics.s_value with
+      | Metrics.Vcounter v | Metrics.Vgauge v ->
+          Buffer.add_string b
+            (Printf.sprintf "%s%s %s\n" s.Metrics.s_name
+               (label_block s.Metrics.s_labels)
+               (fnum v))
+      | Metrics.Vhistogram { upper; cumulative; sum; count } ->
+          let n = Array.length upper in
+          for i = 0 to n do
+            let le = if i = n then infinity else upper.(i) in
+            Buffer.add_string b
+              (Printf.sprintf "%s_bucket%s %d\n" s.Metrics.s_name
+                 (label_block (s.Metrics.s_labels @ [ ("le", le_value le) ]))
+                 cumulative.(i))
+          done;
+          Buffer.add_string b
+            (Printf.sprintf "%s_sum%s %s\n" s.Metrics.s_name
+               (label_block s.Metrics.s_labels)
+               (fnum sum));
+          Buffer.add_string b
+            (Printf.sprintf "%s_count%s %d\n" s.Metrics.s_name
+               (label_block s.Metrics.s_labels)
+               count))
+    samples;
+  Buffer.contents b
+
+(* --- JSON ------------------------------------------------------------ *)
+
+let json_string v =
+  let b = Buffer.create (String.length v + 2) in
+  Buffer.add_char b '"';
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    v;
+  Buffer.add_char b '"';
+  Buffer.contents b
+
+let json_float v =
+  if Float.is_nan v then "null"
+  else if v = infinity then "\"+Inf\""
+  else if v = neg_infinity then "\"-Inf\""
+  else fnum v
+
+let json_labels labels =
+  "{"
+  ^ String.concat ","
+      (List.map (fun (k, v) -> json_string k ^ ":" ^ json_string v) labels)
+  ^ "}"
+
+let json_sample (s : Metrics.sample) =
+  let common =
+    Printf.sprintf "\"name\":%s,\"kind\":%s,\"labels\":%s"
+      (json_string s.Metrics.s_name)
+      (json_string s.Metrics.s_kind)
+      (json_labels s.Metrics.s_labels)
+  in
+  match s.Metrics.s_value with
+  | Metrics.Vcounter v | Metrics.Vgauge v ->
+      Printf.sprintf "{%s,\"value\":%s}" common (json_float v)
+  | Metrics.Vhistogram { upper; cumulative; sum; count } ->
+      let buckets =
+        List.init (Array.length cumulative) (fun i ->
+            let le = if i = Array.length upper then infinity else upper.(i) in
+            Printf.sprintf "{\"le\":%s,\"count\":%d}" (json_float le) cumulative.(i))
+      in
+      Printf.sprintf "{%s,\"sum\":%s,\"count\":%d,\"buckets\":[%s]}" common
+        (json_float sum) count
+        (String.concat "," buckets)
+
+let json samples =
+  "{\"metrics\":[" ^ String.concat "," (List.map json_sample samples) ^ "]}"
+
+(* --- registry front ends --------------------------------------------- *)
+
+let to_prometheus t = prometheus (Metrics.snapshot t)
+
+let to_json t = json (Metrics.snapshot t)
+
+let write ~path contents =
+  if path = "-" then print_string contents
+  else begin
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> output_string oc contents)
+  end

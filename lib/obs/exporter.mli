@@ -1,0 +1,21 @@
+(** Exporters: render a {!Metrics} snapshot in Prometheus text exposition
+    format or as one JSON document.  Pure string builders — the only I/O
+    lives in {!write}. *)
+
+val prometheus : Metrics.sample list -> string
+(** [# HELP] / [# TYPE] headers once per family, then one line per child;
+    histograms expand to [_bucket{le=...}] (cumulative, ending at
+    [le="+Inf"]), [_sum] and [_count]. *)
+
+val json : Metrics.sample list -> string
+(** [{"metrics":[{"name":…,"kind":…,"labels":{…},"value":…}, …]}];
+    histograms carry ["sum"], ["count"] and a cumulative ["buckets"]
+    array.  Non-finite numbers are encoded as [null] / ["+Inf"] /
+    ["-Inf"]. *)
+
+val to_prometheus : Metrics.t -> string
+
+val to_json : Metrics.t -> string
+
+val write : path:string -> string -> unit
+(** Write to a file, or to stdout when [path] is ["-"]. *)

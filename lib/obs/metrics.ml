@@ -1,0 +1,241 @@
+(* Metrics registry: counters, gauges and fixed-bucket histograms, grouped
+   into labeled families.  A registry is explicit state; instrumentation
+   sites go through the process-wide [current] slot and cost one mutable
+   read plus a branch when no registry is installed. *)
+
+type histogram = {
+  upper : float array;  (* strictly increasing bucket upper bounds *)
+  counts : int array;  (* per-bucket (non-cumulative); last = +Inf overflow *)
+  mutable h_sum : float;
+  mutable h_count : int;
+}
+
+type instrument =
+  | Counter of float ref
+  | Gauge of float ref
+  | Derived of (unit -> float)
+  | Histogram of histogram
+
+type kind = Kcounter | Kgauge | Khistogram
+
+type family = {
+  name : string;
+  kind : kind;
+  help : string;
+  children : (string, (string * string) list * instrument) Hashtbl.t;
+      (* canonical label key -> (labels, instrument) *)
+}
+
+type t = { families : (string, family) Hashtbl.t; mutable names : string list }
+
+type counter = float ref
+
+type gauge = float ref
+
+let create () = { families = Hashtbl.create 64; names = [] }
+
+let slot : t option ref = ref None
+
+let install t = slot := Some t
+
+let uninstall () = slot := None
+
+let current () = !slot
+
+let enabled () = !slot <> None
+
+let kind_name = function
+  | Kcounter -> "counter"
+  | Kgauge -> "gauge"
+  | Khistogram -> "histogram"
+
+(* Label sets are identified up to ordering: ("a","1");("b","2") and its
+   reverse address the same family child. *)
+let canonical labels =
+  let sorted = List.sort compare labels in
+  String.concat "\x00"
+    (List.concat_map (fun (k, v) -> [ k; v ]) sorted)
+
+let family t ~name ~kind ~help =
+  match Hashtbl.find_opt t.families name with
+  | Some f ->
+      if f.kind <> kind then
+        invalid_arg
+          (Printf.sprintf "Metrics: %s already registered as a %s (wanted %s)"
+             name (kind_name f.kind) (kind_name kind));
+      f
+  | None ->
+      let f = { name; kind; help; children = Hashtbl.create 4 } in
+      Hashtbl.replace t.families name f;
+      t.names <- name :: t.names;
+      f
+
+let child f labels make =
+  let key = canonical labels in
+  match Hashtbl.find_opt f.children key with
+  | Some (_, i) -> i
+  | None ->
+      let i = make () in
+      Hashtbl.replace f.children key (List.sort compare labels, i);
+      i
+
+let counter t ?(help = "") ?(labels = []) name =
+  let f = family t ~name ~kind:Kcounter ~help in
+  match child f labels (fun () -> Counter (ref 0.)) with
+  | Counter r -> r
+  | _ -> assert false
+
+let gauge t ?(help = "") ?(labels = []) name =
+  let f = family t ~name ~kind:Kgauge ~help in
+  match child f labels (fun () -> Gauge (ref 0.)) with
+  | Gauge r -> r
+  | Derived _ ->
+      invalid_arg
+        (Printf.sprintf "Metrics: %s%s is a derived gauge" name (canonical labels))
+  | _ -> assert false
+
+let gauge_fn t ?(help = "") ?(labels = []) name read =
+  let f = family t ~name ~kind:Kgauge ~help in
+  (* Re-registration replaces the callback: harnesses re-register the same
+     series when a broker is rebuilt (e.g. after failover promotion). *)
+  Hashtbl.replace f.children (canonical labels)
+    (List.sort compare labels, Derived read)
+
+let default_buckets =
+  (* Control-loop latencies: 250 ns .. ~4 s, powers of 4. *)
+  [| 2.5e-7; 1e-6; 4e-6; 1.6e-5; 6.4e-5; 2.56e-4; 1.024e-3; 4.096e-3;
+     1.6384e-2; 6.5536e-2; 0.262144; 1.048576; 4.194304 |]
+
+let histogram t ?(help = "") ?(buckets = default_buckets) ?(labels = []) name =
+  if Array.length buckets = 0 then invalid_arg "Metrics.histogram: no buckets";
+  Array.iteri
+    (fun i b ->
+      if i > 0 && buckets.(i - 1) >= b then
+        invalid_arg "Metrics.histogram: buckets must be strictly increasing")
+    buckets;
+  let f = family t ~name ~kind:Khistogram ~help in
+  match
+    child f labels (fun () ->
+        Histogram
+          {
+            upper = buckets;
+            counts = Array.make (Array.length buckets + 1) 0;
+            h_sum = 0.;
+            h_count = 0;
+          })
+  with
+  | Histogram h -> h
+  | _ -> assert false
+
+(* --- instrument operations ------------------------------------------ *)
+
+let inc r = r := !r +. 1.
+
+let add r by = r := !r +. by
+
+let counter_value r = !r
+
+let set r v = r := v
+
+let gauge_add r by = r := !r +. by
+
+let gauge_value r = !r
+
+let observe h v =
+  let n = Array.length h.upper in
+  let rec bucket i = if i >= n then n else if v <= h.upper.(i) then i else bucket (i + 1) in
+  let b = bucket 0 in
+  h.counts.(b) <- h.counts.(b) + 1;
+  h.h_sum <- h.h_sum +. v;
+  h.h_count <- h.h_count + 1
+
+let hist_count h = h.h_count
+
+let hist_sum h = h.h_sum
+
+(* Quantile estimate from the bucket counts: find the bucket holding the
+   target rank and interpolate linearly inside it (lower edge 0 for the
+   first bucket; the overflow bucket reports its lower edge). *)
+let hist_quantile h ~q =
+  if q < 0. || q > 1. then invalid_arg "Metrics.hist_quantile: q out of range";
+  if h.h_count = 0 then nan
+  else begin
+    let target = q *. float_of_int h.h_count in
+    let n = Array.length h.upper in
+    let rec go i cum =
+      if i > n then h.upper.(n - 1)
+      else
+        let cum' = cum +. float_of_int h.counts.(i) in
+        if cum' >= target && h.counts.(i) > 0 then
+          if i = n then h.upper.(n - 1)
+          else begin
+            let lo = if i = 0 then 0. else h.upper.(i - 1) in
+            let hi = h.upper.(i) in
+            let inside = (target -. cum) /. float_of_int h.counts.(i) in
+            lo +. ((hi -. lo) *. Float.min 1. (Float.max 0. inside))
+          end
+        else go (i + 1) cum'
+    in
+    go 0 0.
+  end
+
+(* --- convenience: operate on the installed registry ------------------ *)
+
+let count ?(labels = []) ?(by = 1.) name =
+  match !slot with None -> () | Some t -> add (counter t ~labels name) by
+
+let set_gauge ?(labels = []) name v =
+  match !slot with None -> () | Some t -> set (gauge t ~labels name) v
+
+let observe_one ?(labels = []) ?buckets name v =
+  match !slot with None -> () | Some t -> observe (histogram t ?buckets ~labels name) v
+
+(* --- snapshot -------------------------------------------------------- *)
+
+type value =
+  | Vcounter of float
+  | Vgauge of float
+  | Vhistogram of { upper : float array; cumulative : int array; sum : float; count : int }
+
+type sample = {
+  s_name : string;
+  s_help : string;
+  s_kind : string;
+  s_labels : (string * string) list;
+  s_value : value;
+}
+
+let read_instrument = function
+  | Counter r -> Vcounter !r
+  | Gauge r -> Vgauge !r
+  | Derived f -> Vgauge (f ())
+  | Histogram h ->
+      let n = Array.length h.upper in
+      let cumulative = Array.make (n + 1) 0 in
+      let acc = ref 0 in
+      for i = 0 to n do
+        acc := !acc + h.counts.(i);
+        cumulative.(i) <- !acc
+      done;
+      Vhistogram { upper = Array.copy h.upper; cumulative; sum = h.h_sum; count = h.h_count }
+
+let snapshot t =
+  List.rev t.names
+  |> List.concat_map (fun name ->
+         let f = Hashtbl.find t.families name in
+         Hashtbl.fold
+           (fun key (labels, i) acc -> (key, labels, i) :: acc)
+           f.children []
+         |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
+         |> List.map (fun (_, labels, i) ->
+                {
+                  s_name = name;
+                  s_help = f.help;
+                  s_kind = kind_name f.kind;
+                  s_labels = labels;
+                  s_value = read_instrument i;
+                }))
+
+let clear t =
+  Hashtbl.reset t.families;
+  t.names <- []

@@ -1,0 +1,131 @@
+(** Metrics registry for the control plane: counters, gauges and
+    fixed-bucket histograms, grouped into labeled families.
+
+    A registry is explicit, inert state.  Instrumentation sites reach it
+    through a process-wide slot ({!install} / {!current}); when no registry
+    is installed every convenience operation ({!count}, {!set_gauge},
+    {!observe_one}) is a single mutable read plus a branch, so
+    un-instrumented runs pay nothing measurable.
+
+    Family identity: a metric name names one family of one kind; children
+    are addressed by their label set, {e up to label ordering} — asking for
+    the same (name, labels) twice returns the same instrument.  Asking for
+    an existing name with a different kind raises [Invalid_argument]. *)
+
+type t
+(** A registry. *)
+
+type counter
+
+type gauge
+
+type histogram
+
+val create : unit -> t
+
+val install : t -> unit
+(** Make [t] the process-wide registry read by {!current} and the
+    convenience operations.  Replaces any previously installed registry. *)
+
+val uninstall : unit -> unit
+
+val current : unit -> t option
+
+val enabled : unit -> bool
+(** [current () <> None], as one cheap test. *)
+
+(** {1 Registration}
+
+    All registration functions create the family and/or child on first use
+    and return the existing instrument afterwards. *)
+
+val counter : t -> ?help:string -> ?labels:(string * string) list -> string -> counter
+
+val gauge : t -> ?help:string -> ?labels:(string * string) list -> string -> gauge
+(** Raises [Invalid_argument] when the addressed child is a derived gauge. *)
+
+val gauge_fn :
+  t -> ?help:string -> ?labels:(string * string) list -> string -> (unit -> float) -> unit
+(** A derived gauge: [read] is evaluated at {!snapshot} time.  Registering
+    the same (name, labels) again replaces the callback — harnesses
+    re-register series when the underlying object is rebuilt (e.g. a
+    promoted standby broker). *)
+
+val default_buckets : float array
+(** Latency buckets: 250 ns … ~4 s in powers of 4, plus the implicit
+    overflow bucket. *)
+
+val histogram :
+  t ->
+  ?help:string ->
+  ?buckets:float array ->
+  ?labels:(string * string) list ->
+  string ->
+  histogram
+(** [buckets] (default {!default_buckets}) are strictly increasing upper
+    bounds; an overflow bucket is always appended.  Raises
+    [Invalid_argument] on an empty or non-increasing bucket array. *)
+
+(** {1 Instrument operations} *)
+
+val inc : counter -> unit
+
+val add : counter -> float -> unit
+
+val counter_value : counter -> float
+
+val set : gauge -> float -> unit
+
+val gauge_add : gauge -> float -> unit
+
+val gauge_value : gauge -> float
+
+val observe : histogram -> float -> unit
+
+val hist_count : histogram -> int
+
+val hist_sum : histogram -> float
+
+val hist_quantile : histogram -> q:float -> float
+(** Quantile estimate ([0 <= q <= 1]) by linear interpolation inside the
+    bucket holding the target rank; [nan] when empty.  Accuracy is bounded
+    by the bucket width — use raw trace spans when exact percentiles
+    matter. *)
+
+(** {1 Convenience: operate on the installed registry}
+
+    No-ops (one mutable read, one branch) when no registry is installed. *)
+
+val count : ?labels:(string * string) list -> ?by:float -> string -> unit
+
+val set_gauge : ?labels:(string * string) list -> string -> float -> unit
+
+val observe_one :
+  ?labels:(string * string) list -> ?buckets:float array -> string -> float -> unit
+
+(** {1 Snapshot} *)
+
+type value =
+  | Vcounter of float
+  | Vgauge of float
+  | Vhistogram of {
+      upper : float array;  (** bucket upper bounds *)
+      cumulative : int array;
+          (** cumulative counts; one longer than [upper] (overflow last) *)
+      sum : float;
+      count : int;
+    }
+
+type sample = {
+  s_name : string;
+  s_help : string;
+  s_kind : string;  (** ["counter"] | ["gauge"] | ["histogram"] *)
+  s_labels : (string * string) list;  (** sorted by key *)
+  s_value : value;
+}
+
+val snapshot : t -> sample list
+(** Every child of every family, families in registration order, children
+    sorted by label set.  Derived gauges are evaluated here. *)
+
+val clear : t -> unit

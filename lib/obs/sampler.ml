@@ -1,0 +1,70 @@
+(* Sim-time timeseries sampler: reads a set of named series (thunks) on a
+   fixed sim-time period, driven by whatever timer service the caller has
+   (the netsim engine, the broker's time hooks, ...).  Complements the
+   registry: a snapshot is the state *now*, the sampler is its history. *)
+
+type series = {
+  name : string;
+  labels : (string * string) list;
+  read : unit -> float;
+  mutable points : (float * float) list;  (* newest first *)
+}
+
+type t = {
+  interval : float;
+  now : unit -> float;
+  schedule : float -> (unit -> unit) -> unit;
+  mutable series : series list;  (* reversed registration order *)
+  mutable running : bool;
+  mutable samples : int;
+}
+
+let create ?(interval = 1.0) ~now ~schedule () =
+  if interval <= 0. then invalid_arg "Sampler.create: interval must be positive";
+  { interval; now; schedule; series = []; running = false; samples = 0 }
+
+let add_series t ?(labels = []) ~name read =
+  t.series <- { name; labels; read; points = [] } :: t.series
+
+let sample t =
+  let at = t.now () in
+  t.samples <- t.samples + 1;
+  List.iter (fun s -> s.points <- (at, s.read ()) :: s.points) t.series
+
+let start t =
+  if not t.running then begin
+    t.running <- true;
+    let rec tick () =
+      if t.running then begin
+        sample t;
+        t.schedule t.interval tick
+      end
+    in
+    (* First sample at one interval, not at start: series hooked to a
+       fresh broker all read 0 at time 0. *)
+    t.schedule t.interval tick
+  end
+
+let stop t = t.running <- false
+
+let interval t = t.interval
+
+let samples t = t.samples
+
+let series t =
+  List.rev_map (fun s -> (s.name, s.labels, List.rev s.points)) t.series
+
+let to_csv t =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "series,labels,sim_time,value\n";
+  List.iter
+    (fun (name, labels, points) ->
+      let l =
+        String.concat ";" (List.map (fun (k, v) -> k ^ "=" ^ v) labels)
+      in
+      List.iter
+        (fun (at, v) ->
+          Buffer.add_string b (Printf.sprintf "%s,%s,%.6f,%.9g\n" name l at v))
+        points)
+    (series t);
+  Buffer.contents b

@@ -1,0 +1,45 @@
+(** Sim-time timeseries sampler.
+
+    Where a {!Metrics} snapshot is the control plane's state {e now}, the
+    sampler records its history: every [interval] simulated seconds it
+    reads each registered series thunk (per-link utilization, flows per
+    class, pending COPS retransmissions, ...) and appends a
+    [(sim_time, value)] point.
+
+    The sampler is clock-agnostic: [now]/[schedule] are typically
+    [Engine.now] and [Engine.schedule_after], but any timer service (e.g.
+    the broker's time hooks) works. *)
+
+type t
+
+val create :
+  ?interval:float ->
+  now:(unit -> float) ->
+  schedule:(float -> (unit -> unit) -> unit) ->
+  unit ->
+  t
+(** [interval] defaults to 1 simulated second; must be positive. *)
+
+val add_series :
+  t -> ?labels:(string * string) list -> name:string -> (unit -> float) -> unit
+
+val start : t -> unit
+(** Begin periodic sampling; the first sample lands one interval in.
+    Idempotent while running. *)
+
+val stop : t -> unit
+(** The pending tick becomes a no-op; {!start} may be called again. *)
+
+val sample : t -> unit
+(** Take one sample of every series immediately. *)
+
+val interval : t -> float
+
+val samples : t -> int
+(** Sampling instants so far (manual {!sample} calls included). *)
+
+val series : t -> (string * (string * string) list * (float * float) list) list
+(** Per series, in registration order: points oldest first. *)
+
+val to_csv : t -> string
+(** [series,labels,sim_time,value] rows, header included. *)

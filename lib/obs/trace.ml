@@ -1,0 +1,170 @@
+(* Structured event/trace layer: a fixed-capacity ring buffer of entries,
+   each stamped with sim time and wall time.  Three entry payloads:
+
+   - Event:    a point-in-time occurrence (link down, promotion, ...);
+   - Span:     a named stage with its measured wall-clock duration;
+   - Decision: one admission decision, the audit trail of every
+               admit/reject and its reject reason.
+
+   Like Metrics, a tracer is explicit state reached through a process-wide
+   slot; with none installed every recording helper is a mutable read plus
+   a branch. *)
+
+type decision = {
+  service : string;  (* "perflow" | "class" | "fixed" | caller-defined *)
+  flow : int option;  (* assigned flow id on admit *)
+  admitted : bool;
+  reject_reason : string option;  (* None iff admitted *)
+  ingress : string;
+  egress : string;
+  rate : float;  (* reserved rate on admit, 0 otherwise *)
+}
+
+type payload = Event | Span of { dur : float } | Decision of decision
+
+type entry = {
+  seq : int;  (* 0-based, monotonically increasing, never wraps *)
+  name : string;
+  sim_time : float;
+  wall_time : float;
+  payload : payload;
+  attrs : (string * string) list;
+}
+
+type t = {
+  ring : entry option array;
+  mutable total : int;
+  mutable sim_clock : unit -> float;
+  mutable wall_clock : unit -> float;
+}
+
+let default_capacity = 4096
+
+let create ?(capacity = default_capacity) () =
+  if capacity <= 0 then invalid_arg "Trace.create: capacity must be positive";
+  {
+    ring = Array.make capacity None;
+    total = 0;
+    sim_clock = (fun () -> 0.);
+    wall_clock = Unix.gettimeofday;
+  }
+
+let slot : t option ref = ref None
+
+let install t = slot := Some t
+
+let uninstall () = slot := None
+
+let current () = !slot
+
+let enabled () = !slot <> None
+
+let set_sim_clock t f = t.sim_clock <- f
+
+let set_wall_clock t f = t.wall_clock <- f
+
+let capacity t = Array.length t.ring
+
+let total t = t.total
+
+let length t = min t.total (Array.length t.ring)
+
+let clear t =
+  Array.fill t.ring 0 (Array.length t.ring) None;
+  t.total <- 0
+
+let record t ?sim_time ?(attrs = []) ~name payload =
+  let sim_time = match sim_time with Some s -> s | None -> t.sim_clock () in
+  let e =
+    {
+      seq = t.total;
+      name;
+      sim_time;
+      wall_time = t.wall_clock ();
+      payload;
+      attrs;
+    }
+  in
+  t.ring.(t.total mod Array.length t.ring) <- Some e;
+  t.total <- t.total + 1
+
+let entries t =
+  let cap = Array.length t.ring in
+  let n = length t in
+  let first = t.total - n in
+  List.init n (fun i ->
+      match t.ring.((first + i) mod cap) with Some e -> e | None -> assert false)
+
+(* --- recording helpers on the installed tracer ----------------------- *)
+
+let event ?sim_time ?attrs name =
+  match !slot with None -> () | Some t -> record t ?sim_time ?attrs ~name Event
+
+let span_record ?sim_time ?attrs name ~dur =
+  match !slot with
+  | None -> ()
+  | Some t -> record t ?sim_time ?attrs ~name (Span { dur })
+
+let decision ?sim_time ?attrs (d : decision) =
+  match !slot with
+  | None -> ()
+  | Some t -> record t ?sim_time ?attrs ~name:"bb.decision" (Decision d)
+
+let now_wall () =
+  match !slot with Some t -> t.wall_clock () | None -> Unix.gettimeofday ()
+
+let span ?sim_time ?attrs name f =
+  match !slot with
+  | None -> f ()
+  | Some t ->
+      let t0 = t.wall_clock () in
+      let finally () =
+        record t ?sim_time ?attrs ~name (Span { dur = t.wall_clock () -. t0 })
+      in
+      Fun.protect ~finally f
+
+(* --- extraction ------------------------------------------------------ *)
+
+let durations t ~name =
+  entries t
+  |> List.filter_map (fun e ->
+         match e.payload with
+         | Span { dur } when e.name = name -> Some dur
+         | _ -> None)
+  |> Array.of_list
+
+let span_names t =
+  entries t
+  |> List.filter_map (fun e -> match e.payload with Span _ -> Some e.name | _ -> None)
+  |> List.sort_uniq compare
+
+let span_stats t =
+  List.map
+    (fun name ->
+      let acc = Bbr_util.Stats.create () in
+      Array.iter (Bbr_util.Stats.add acc) (durations t ~name);
+      (name, acc))
+    (span_names t)
+
+let decisions t =
+  entries t
+  |> List.filter_map (fun e ->
+         match e.payload with Decision d -> Some (e, d) | _ -> None)
+
+let pp_payload ppf = function
+  | Event -> Fmt.string ppf "event"
+  | Span { dur } -> Fmt.pf ppf "span dur=%.3e s" dur
+  | Decision d ->
+      Fmt.pf ppf "decision %s %s%a %s->%s"
+        d.service
+        (if d.admitted then "admit" else "reject")
+        Fmt.(option (fun ppf r -> Fmt.pf ppf " (%s)" r))
+        d.reject_reason d.ingress d.egress;
+      if d.admitted then
+        Fmt.pf ppf " flow=%a rate=%.1f" Fmt.(option int) d.flow d.rate
+
+let pp_entry ppf e =
+  Fmt.pf ppf "#%d t=%.6f %s: %a" e.seq e.sim_time e.name pp_payload e.payload;
+  List.iter (fun (k, v) -> Fmt.pf ppf " %s=%s" k v) e.attrs
+
+let dump t = Fmt.str "%a" Fmt.(list ~sep:(any "@\n") pp_entry) (entries t)

@@ -1,0 +1,113 @@
+(** Structured event/trace layer: a fixed-capacity ring buffer of entries
+    stamped with sim time {e and} wall time.
+
+    Three payloads: point-in-time {e events} (link failures, failover
+    transitions, aggregation rate changes), timed {e spans} (the stages of
+    the broker's Figure-1 control loop), and admission {e decisions} — the
+    audit trail recording every admit/reject with its reject reason.
+
+    The ring holds the last [capacity] entries; [total] keeps counting past
+    wraparound, so [total - length] entries have been evicted.  Like
+    {!Metrics}, a tracer is reached through a process-wide slot and the
+    recording helpers are branch-only no-ops when none is installed. *)
+
+type decision = {
+  service : string;  (** ["perflow"], ["class"], ["fixed"], or caller-defined *)
+  flow : int option;  (** assigned flow id on admit *)
+  admitted : bool;
+  reject_reason : string option;  (** [None] iff admitted *)
+  ingress : string;
+  egress : string;
+  rate : float;  (** reserved rate on admit, 0 otherwise *)
+}
+
+type payload = Event | Span of { dur : float  (** wall seconds *) } | Decision of decision
+
+type entry = {
+  seq : int;  (** 0-based and monotone across eviction — never wraps *)
+  name : string;
+  sim_time : float;
+  wall_time : float;
+  payload : payload;
+  attrs : (string * string) list;
+}
+
+type t
+
+val default_capacity : int
+(** 4096 entries. *)
+
+val create : ?capacity:int -> unit -> t
+(** Sim clock defaults to a constant 0 (set one with {!set_sim_clock});
+    wall clock to [Unix.gettimeofday]. *)
+
+val install : t -> unit
+
+val uninstall : unit -> unit
+
+val current : unit -> t option
+
+val enabled : unit -> bool
+
+val set_sim_clock : t -> (unit -> float) -> unit
+(** Typically [fun () -> Engine.now engine] or the broker's [time.now]. *)
+
+val set_wall_clock : t -> (unit -> float) -> unit
+(** Override the wall clock (tests install a deterministic one). *)
+
+val record :
+  t -> ?sim_time:float -> ?attrs:(string * string) list -> name:string -> payload -> unit
+(** Low-level append.  [sim_time] defaults to the tracer's sim clock. *)
+
+(** {1 Recording on the installed tracer}
+
+    All are no-ops when no tracer is installed. *)
+
+val event : ?sim_time:float -> ?attrs:(string * string) list -> string -> unit
+
+val span_record :
+  ?sim_time:float -> ?attrs:(string * string) list -> string -> dur:float -> unit
+(** Record an externally timed span. *)
+
+val decision :
+  ?sim_time:float -> ?attrs:(string * string) list -> decision -> unit
+(** Appended under the entry name ["bb.decision"]. *)
+
+val span : ?sim_time:float -> ?attrs:(string * string) list -> string -> (unit -> 'a) -> 'a
+(** [span name f] runs [f], recording a span with its measured wall
+    duration (also on exception).  Without a tracer: just [f ()]. *)
+
+val now_wall : unit -> float
+(** The installed tracer's wall clock (or [Unix.gettimeofday]). *)
+
+(** {1 Extraction} *)
+
+val capacity : t -> int
+
+val length : t -> int
+(** Entries currently held ([<= capacity]). *)
+
+val total : t -> int
+(** Entries ever recorded, including evicted ones. *)
+
+val entries : t -> entry list
+(** Oldest first. *)
+
+val clear : t -> unit
+
+val durations : t -> name:string -> float array
+(** Wall durations of the retained spans with this name, oldest first —
+    feed to {!Bbr_util.Stats.percentile}. *)
+
+val span_names : t -> string list
+
+val span_stats : t -> (string * Bbr_util.Stats.t) list
+(** One accumulator per span name over the retained entries. *)
+
+val decisions : t -> (entry * decision) list
+(** The retained decision-log entries, oldest first. *)
+
+val pp_entry : entry Fmt.t
+
+val dump : t -> string
+(** Every retained entry, one per line. *)

@@ -31,6 +31,32 @@ let max t = t.hi
 let half_ci95 t =
   if t.n < 2 then 0. else 1.96 *. stddev t /. sqrt (float_of_int t.n)
 
+(* Parallel Welford combine (Chan et al.): exact for count/mean/m2, so
+   merging shards is equivalent to one accumulator fed every sample. *)
+let merge a b =
+  if a.n = 0 then { b with n = b.n }
+  else if b.n = 0 then { a with n = a.n }
+  else begin
+    let na = float_of_int a.n and nb = float_of_int b.n in
+    let n = na +. nb in
+    let delta = b.mean -. a.mean in
+    {
+      n = a.n + b.n;
+      mean = a.mean +. (delta *. nb /. n);
+      m2 = a.m2 +. b.m2 +. (delta *. delta *. na *. nb /. n);
+      lo = Float.min a.lo b.lo;
+      hi = Float.max a.hi b.hi;
+    }
+  end
+
+let pp ppf t =
+  if t.n = 0 then Fmt.string ppf "n=0"
+  else
+    Fmt.pf ppf "n=%d mean=%.6g sd=%.6g min=%.6g max=%.6g" t.n (mean t) (stddev t)
+      t.lo t.hi
+
+let summary t = Fmt.str "%a" pp t
+
 let percentile a ~p =
   if Array.length a = 0 then invalid_arg "Stats.percentile: empty array";
   if p < 0. || p > 100. then invalid_arg "Stats.percentile: p out of range";

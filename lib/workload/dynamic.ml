@@ -86,8 +86,11 @@ let service_classes cd =
     (fun i dreq -> { Aggregate.class_id = i; dreq; cd })
     Profiles.all_bounds
 
-let run_trace ?(setting = `Rate_only) ?(cd = 0.24) entries scheme =
+let run_trace ?(setting = `Rate_only) ?(cd = 0.24) ?observe entries scheme =
   let engine = Engine.create () in
+  Option.iter
+    (fun tr -> Bbr_obs.Trace.set_sim_clock tr (fun () -> Engine.now engine))
+    (Bbr_obs.Trace.current ());
   let topology = Fig8.topology setting in
   let fluids : (int * int, Fluid_edge.t) Hashtbl.t = Hashtbl.create 16 in
   let broker_ref = ref None in
@@ -121,6 +124,7 @@ let run_trace ?(setting = `Rate_only) ?(cd = 0.24) entries scheme =
       topology
   in
   broker_ref := Some broker;
+  Option.iter (fun f -> f engine broker) observe;
   let offered = ref 0 and blocked = ref 0 and completed = ref 0 in
   let admit_one entry =
     let req =
@@ -190,7 +194,8 @@ let run_trace ?(setting = `Rate_only) ?(cd = 0.24) entries scheme =
     completed = !completed;
   }
 
-let run config scheme = run_trace ~setting:config.setting ~cd:config.cd (arrivals config) scheme
+let run ?observe config scheme =
+  run_trace ~setting:config.setting ~cd:config.cd ?observe (arrivals config) scheme
 
 (* ------------------------------------------------------------------ *)
 (* Packet-level variant: the same churn driven through the full data
@@ -210,8 +215,11 @@ module Sink = Bbr_netsim.Sink
 module Delay = Bbr_vtrs.Delay
 module Topology = Bbr_vtrs.Topology
 
-let run_packet_level config scheme =
+let run_packet_level ?observe config scheme =
   let engine = Engine.create () in
+  Option.iter
+    (fun tr -> Bbr_obs.Trace.set_sim_clock tr (fun () -> Engine.now engine))
+    (Bbr_obs.Trace.current ());
   let prng = Prng.create ~seed:config.seed in
   let arrivals_rng = Prng.split prng in
   let holding_rng = Prng.split prng in
@@ -263,6 +271,7 @@ let run_packet_level config scheme =
       topology
   in
   broker_ref := Some broker;
+  Option.iter (fun f -> f engine broker) observe;
   let offered = ref 0 and blocked = ref 0 and completed = ref 0 in
   (* For the bound audit: flow -> (its end-to-end bound). *)
   let bounds : (int, float) Hashtbl.t = Hashtbl.create 256 in

@@ -49,11 +49,19 @@ val arrivals : config -> entry list
     this list, so a saved copy reproduces the run bit for bit. *)
 
 val run_trace :
-  ?setting:Fig8.setting -> ?cd:float -> entry list -> scheme -> outcome
+  ?setting:Fig8.setting ->
+  ?cd:float ->
+  ?observe:(Bbr_netsim.Engine.t -> Bbr_broker.Broker.t -> unit) ->
+  entry list ->
+  scheme ->
+  outcome
 (** Replay an arbitrary arrival list (defaults: rate-only setting,
-    cd 0.24). *)
+    cd 0.24).  [observe] runs once on the engine and broker before the
+    first arrival — the hook for registering telemetry gauges or a
+    sim-time sampler; the trace sim clock is bound to the engine for the
+    run either way. *)
 
-val run : config -> scheme -> outcome
+val run : ?observe:(Bbr_netsim.Engine.t -> Bbr_broker.Broker.t -> unit) -> config -> scheme -> outcome
 
 val blocking_vs_load :
   ?seeds:int list -> ?base:config -> loads:float list -> scheme -> (float * float) list
@@ -70,7 +78,11 @@ type packet_outcome = {
       (** minimum of (bound - measured delay) over all flows, seconds *)
 }
 
-val run_packet_level : config -> scheme -> packet_outcome
+val run_packet_level :
+  ?observe:(Bbr_netsim.Engine.t -> Bbr_broker.Broker.t -> unit) ->
+  config ->
+  scheme ->
+  packet_outcome
 (** The same churn experiment with a {e full packet-level data plane}: every
     admitted flow runs an on/off source through a real edge conditioner and
     the core-stateless schedulers of the Figure-8 network; under the

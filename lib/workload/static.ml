@@ -48,8 +48,9 @@ let fill_intserv ~setting ~dreq ~flow_type =
   done;
   { admitted = !n; steps = List.rev !steps }
 
-let fill_perflow ~setting ~dreq ~flow_type =
+let fill_perflow ?observe ~setting ~dreq ~flow_type () =
   let broker = Broker.create (Fig8.topology setting) in
+  Option.iter (fun f -> f broker) observe;
   let req = request ~dreq ~flow_type in
   let steps = ref [] in
   let total = ref 0. in
@@ -72,8 +73,11 @@ let fill_perflow ~setting ~dreq ~flow_type =
   done;
   { admitted = !n; steps = List.rev !steps }
 
-let fill_aggregate ~setting ~dreq ~flow_type ~gap ~cd ~method_ =
+let fill_aggregate ?observe ~setting ~dreq ~flow_type ~gap ~cd ~method_ () =
   let engine = Engine.create () in
+  Option.iter
+    (fun tr -> Bbr_obs.Trace.set_sim_clock tr (fun () -> Engine.now engine))
+    (Bbr_obs.Trace.current ());
   let topology = Fig8.topology setting in
   let cls = { Aggregate.class_id = 0; dreq; cd } in
   (* One fluid edge per macroflow; there is a single class and path here
@@ -107,6 +111,7 @@ let fill_aggregate ~setting ~dreq ~flow_type ~gap ~cd ~method_ =
       topology
   in
   broker_ref := Some broker;
+  Option.iter (fun f -> f broker) observe;
   let req = request ~dreq ~flow_type in
   let profile = req.Types.profile in
   let steps = ref [] in
@@ -146,9 +151,9 @@ let fill_aggregate ~setting ~dreq ~flow_type ~gap ~cd ~method_ =
   done;
   { admitted = !n; steps = List.rev !steps }
 
-let fill ~setting ~dreq ?(flow_type = 0) ?(gap = 1000.) scheme =
+let fill ~setting ~dreq ?(flow_type = 0) ?(gap = 1000.) ?observe scheme =
   match scheme with
   | Intserv_gs -> fill_intserv ~setting ~dreq ~flow_type
-  | Perflow_bb -> fill_perflow ~setting ~dreq ~flow_type
+  | Perflow_bb -> fill_perflow ?observe ~setting ~dreq ~flow_type ()
   | Aggr_bb { cd; method_ } ->
-      fill_aggregate ~setting ~dreq ~flow_type ~gap ~cd ~method_
+      fill_aggregate ?observe ~setting ~dreq ~flow_type ~gap ~cd ~method_ ()

@@ -27,8 +27,17 @@ type result = {
 }
 
 val fill :
-  setting:Fig8.setting -> dreq:float -> ?flow_type:int -> ?gap:float -> scheme -> result
+  setting:Fig8.setting ->
+  dreq:float ->
+  ?flow_type:int ->
+  ?gap:float ->
+  ?observe:(Bbr_broker.Broker.t -> unit) ->
+  scheme ->
+  result
 (** [flow_type] defaults to 0 (the paper's choice); [gap] is the idle time
     between successive arrivals in the aggregate scheme (default 1000 s —
     long enough for contingency periods to expire and edge backlogs to
-    drain, matching the paper's masking observation). *)
+    drain, matching the paper's masking observation).  [observe] runs once
+    on the freshly created broker, before any request — the hook for
+    registering telemetry (e.g. {!Bbr_broker.Telemetry.register_broker});
+    not called under {!Intserv_gs}, which has no broker. *)

@@ -1,0 +1,436 @@
+(* Tests for the bbr_obs telemetry stack: registry semantics, trace ring,
+   exporters, and the instrumented control loop end to end. *)
+
+module Metrics = Bbr_obs.Metrics
+module Trace = Bbr_obs.Trace
+module Exporter = Bbr_obs.Exporter
+module Sampler = Bbr_obs.Sampler
+module Stats = Bbr_util.Stats
+module Static = Bbr_workload.Static
+module Broker = Bbr_broker.Broker
+module Telemetry = Bbr_broker.Telemetry
+module Types = Bbr_broker.Types
+module Aggregate = Bbr_broker.Aggregate
+module Traffic = Bbr_vtrs.Traffic
+module Topology = Bbr_vtrs.Topology
+module Engine = Bbr_netsim.Engine
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let is_infix ~affix s =
+  let n = String.length affix and m = String.length s in
+  let rec scan i = i + n <= m && (String.sub s i n = affix || scan (i + 1)) in
+  n = 0 || scan 0
+
+(* Run [f] with a fresh registry and tracer installed; always uninstalls. *)
+let with_obs ?capacity f =
+  let reg = Metrics.create () in
+  let tracer = Trace.create ?capacity () in
+  Metrics.install reg;
+  Trace.install tracer;
+  Fun.protect
+    ~finally:(fun () ->
+      Metrics.uninstall ();
+      Trace.uninstall ())
+    (fun () -> f reg tracer)
+
+(* ------------------------------------------------------------------ *)
+(* Registry *)
+
+let test_counter_semantics () =
+  let reg = Metrics.create () in
+  let c = Metrics.counter reg "requests_total" in
+  Metrics.inc c;
+  Metrics.add c 2.5;
+  check_float "accumulates" 3.5 (Metrics.counter_value c)
+
+let test_gauge_semantics () =
+  let reg = Metrics.create () in
+  let g = Metrics.gauge reg "depth" in
+  Metrics.set g 4.;
+  Metrics.gauge_add g (-1.5);
+  check_float "set+add" 2.5 (Metrics.gauge_value g)
+
+let test_histogram_semantics () =
+  let reg = Metrics.create () in
+  let h = Metrics.histogram reg "lat" ~buckets:[| 1.; 10.; 100. |] in
+  List.iter (Metrics.observe h) [ 0.5; 5.; 5.; 50.; 1000. ];
+  Alcotest.(check int) "count" 5 (Metrics.hist_count h);
+  check_float "sum" 1060.5 (Metrics.hist_sum h);
+  (* Quantile interpolation stays within the bucket holding the rank. *)
+  let q50 = Metrics.hist_quantile h ~q:0.5 in
+  Alcotest.(check bool) "median in (1, 10]" true (q50 > 1. && q50 <= 10.)
+
+let test_label_family_identity () =
+  let reg = Metrics.create () in
+  let a = Metrics.counter reg "m" ~labels:[ ("x", "1"); ("y", "2") ] in
+  (* Same child up to label ordering: physically the same instrument. *)
+  let b = Metrics.counter reg "m" ~labels:[ ("y", "2"); ("x", "1") ] in
+  Alcotest.(check bool) "order-insensitive identity" true (a == b);
+  let c = Metrics.counter reg "m" ~labels:[ ("x", "1"); ("y", "3") ] in
+  Alcotest.(check bool) "different labels, different child" true (a != c)
+
+let test_kind_mismatch_raises () =
+  let reg = Metrics.create () in
+  ignore (Metrics.counter reg "m");
+  Alcotest.check_raises "gauge on a counter family"
+    (Invalid_argument "Metrics: m already registered as a counter (wanted gauge)")
+    (fun () ->
+      ignore (Metrics.gauge reg "m"))
+
+let test_convenience_noop_without_registry () =
+  Metrics.uninstall ();
+  (* Must not raise, must not create anything observable. *)
+  Metrics.count "nope";
+  Metrics.set_gauge "nope_g" 1.;
+  Metrics.observe_one "nope_h" 0.5;
+  Alcotest.(check bool) "still disabled" false (Metrics.enabled ())
+
+let test_derived_gauge_replacement () =
+  let reg = Metrics.create () in
+  let v = ref 1. in
+  Metrics.gauge_fn reg "d" (fun () -> !v);
+  (* Re-registration replaces the callback (failover re-pointing). *)
+  Metrics.gauge_fn reg "d" (fun () -> !v *. 10.);
+  v := 3.;
+  match Metrics.snapshot reg with
+  | [ { Metrics.s_value = Metrics.Vgauge g; _ } ] -> check_float "replaced" 30. g
+  | _ -> Alcotest.fail "expected one derived gauge sample"
+
+(* ------------------------------------------------------------------ *)
+(* Trace ring *)
+
+let test_ring_wraparound () =
+  let t = Trace.create ~capacity:4 () in
+  Trace.install t;
+  Fun.protect ~finally:Trace.uninstall (fun () ->
+      for i = 1 to 6 do
+        Trace.event (Printf.sprintf "e%d" i)
+      done;
+      Alcotest.(check int) "length capped" 4 (Trace.length t);
+      Alcotest.(check int) "total keeps counting" 6 (Trace.total t);
+      let names = List.map (fun (e : Trace.entry) -> e.Trace.name) (Trace.entries t) in
+      Alcotest.(check (list string)) "oldest evicted, order kept"
+        [ "e3"; "e4"; "e5"; "e6" ] names;
+      let seqs = List.map (fun (e : Trace.entry) -> e.Trace.seq) (Trace.entries t) in
+      Alcotest.(check (list int)) "seq monotone across eviction" [ 2; 3; 4; 5 ] seqs)
+
+let test_span_durations () =
+  let t = Trace.create () in
+  Trace.install t;
+  Fun.protect ~finally:Trace.uninstall (fun () ->
+      Trace.span_record "s" ~dur:0.25;
+      Trace.span_record "s" ~dur:0.75;
+      Trace.span_record "other" ~dur:9.;
+      let d = Trace.durations t ~name:"s" in
+      Alcotest.(check int) "two spans" 2 (Array.length d);
+      check_float "p50 interpolates" 0.5 (Stats.percentile d ~p:50.);
+      match List.assoc_opt "s" (Trace.span_stats t) with
+      | Some acc ->
+          Alcotest.(check int) "accumulator count" 2 (Stats.count acc);
+          check_float "accumulator mean" 0.5 (Stats.mean acc)
+      | None -> Alcotest.fail "span_stats missing name")
+
+let test_deterministic_clocks () =
+  let t = Trace.create () in
+  Trace.set_sim_clock t (fun () -> 42.);
+  Trace.set_wall_clock t (fun () -> 7.);
+  Trace.install t;
+  Fun.protect ~finally:Trace.uninstall (fun () ->
+      Trace.event "e";
+      match Trace.entries t with
+      | [ e ] ->
+          check_float "sim stamp" 42. e.Trace.sim_time;
+          check_float "wall stamp" 7. e.Trace.wall_time
+      | _ -> Alcotest.fail "expected one entry")
+
+(* ------------------------------------------------------------------ *)
+(* Exporters *)
+
+let golden_registry () =
+  let reg = Metrics.create () in
+  let c = Metrics.counter reg "req_total" ~help:"Requests" ~labels:[ ("svc", "a") ] in
+  Metrics.add c 3.;
+  let h = Metrics.histogram reg "lat" ~buckets:[| 0.1; 1. |] in
+  Metrics.observe h 0.05;
+  Metrics.observe h 0.5;
+  Metrics.observe h 5.;
+  reg
+
+let test_prometheus_golden () =
+  let got = Exporter.to_prometheus (golden_registry ()) in
+  let want =
+    String.concat "\n"
+      [
+        "# HELP req_total Requests";
+        "# TYPE req_total counter";
+        "req_total{svc=\"a\"} 3";
+        "# TYPE lat histogram";
+        "lat_bucket{le=\"0.1\"} 1";
+        "lat_bucket{le=\"1\"} 2";
+        "lat_bucket{le=\"+Inf\"} 3";
+        "lat_sum 5.55";
+        "lat_count 3";
+        "";
+      ]
+  in
+  Alcotest.(check string) "exposition format" want got
+
+let test_json_golden () =
+  let got = Exporter.to_json (golden_registry ()) in
+  let want =
+    "{\"metrics\":[{\"name\":\"req_total\",\"kind\":\"counter\",\"labels\":{\"svc\":\"a\"},\"value\":3},{\"name\":\"lat\",\"kind\":\"histogram\",\"labels\":{},\"sum\":5.55,\"count\":3,\"buckets\":[{\"le\":0.1,\"count\":1},{\"le\":1,\"count\":2},{\"le\":\"+Inf\",\"count\":3}]}]}"
+  in
+  Alcotest.(check string) "json document" want got
+
+let test_prometheus_label_escaping () =
+  let reg = Metrics.create () in
+  ignore (Metrics.counter reg "m" ~labels:[ ("k", "a\"b\\c\nd") ]);
+  let out = Exporter.to_prometheus reg in
+  Alcotest.(check bool) "escaped" true
+    (is_infix ~affix:{|m{k="a\"b\\c\nd"} 0|} out)
+
+(* ------------------------------------------------------------------ *)
+(* Sampler *)
+
+let test_sampler_series () =
+  let engine = Engine.create () in
+  let v = ref 0. in
+  let s =
+    Sampler.create ~interval:1.0
+      ~now:(fun () -> Engine.now engine)
+      ~schedule:(fun delay f -> Engine.schedule_after engine ~delay f)
+      ()
+  in
+  Sampler.add_series s ~name:"v" (fun () -> !v);
+  Sampler.start s;
+  Engine.schedule engine ~at:2.5 (fun () -> v := 10.);
+  Engine.schedule engine ~at:4.5 (fun () -> Sampler.stop s);
+  Engine.run ~until:10. engine;
+  match Sampler.series s with
+  | [ (name, _, points) ] ->
+      Alcotest.(check string) "series name" "v" name;
+      Alcotest.(check (list (pair (float 1e-9) (float 1e-9))))
+        "sampled each second until stop"
+        [ (1., 0.); (2., 0.); (3., 10.); (4., 10.) ]
+        points
+  | _ -> Alcotest.fail "expected one series"
+
+(* ------------------------------------------------------------------ *)
+(* Integration: the instrumented control loop *)
+
+let test_fig8_fill_counters () =
+  with_obs (fun reg tracer ->
+      let r =
+        Static.fill ~setting:`Mixed ~dreq:2.19
+          ~observe:Telemetry.register_broker Static.Perflow_bb
+      in
+      let samples = Metrics.snapshot reg in
+      let counter name labels =
+        List.fold_left
+          (fun acc (s : Metrics.sample) ->
+            match s.Metrics.s_value with
+            | Metrics.Vcounter v
+              when s.Metrics.s_name = name
+                   && List.for_all
+                        (fun kv -> List.mem kv s.Metrics.s_labels)
+                        labels ->
+                acc +. v
+            | _ -> acc)
+          0. samples
+      in
+      let admits = counter "bb_admission_total" [ ("result", "admit") ] in
+      let rejects = counter "bb_admission_total" [ ("result", "reject") ] in
+      Alcotest.(check int) "admit counter = fill result" r.Static.admitted
+        (int_of_float admits);
+      Alcotest.(check int) "one reject ends the fill" 1 (int_of_float rejects);
+      (* Offered = admitted + rejected, and the decision log agrees. *)
+      let decisions = Trace.decisions tracer in
+      Alcotest.(check int) "decision log covers every offer"
+        (int_of_float (admits +. rejects))
+        (List.length decisions);
+      Alcotest.(check bool) "last decision is the reject" false
+        (match List.rev decisions with
+        | (_, d) :: _ -> d.Trace.admitted
+        | [] -> true);
+      (* Reject reasons use the shared label vocabulary. *)
+      List.iter
+        (fun ((_ : Trace.entry), (d : Trace.decision)) ->
+          if not d.Trace.admitted then
+            Alcotest.(check bool) "reason is a known label" true
+              (List.mem
+                 (Option.value ~default:"" d.Trace.reject_reason)
+                 [
+                   "policy_denied";
+                   "no_route";
+                   "insufficient_bandwidth";
+                   "delay_unachievable";
+                   "not_schedulable";
+                 ]))
+        decisions;
+      (* Stage histograms saw every stage of the loop. *)
+      let hist_count stage =
+        List.fold_left
+          (fun acc (s : Metrics.sample) ->
+            match s.Metrics.s_value with
+            | Metrics.Vhistogram { count; _ }
+              when s.Metrics.s_name = "bb_stage_seconds"
+                   && List.mem ("stage", stage) s.Metrics.s_labels ->
+                acc + count
+            | _ -> acc)
+          0 samples
+      in
+      List.iter
+        (fun stage ->
+          Alcotest.(check bool)
+            (stage ^ " histogram populated")
+            true
+            (hist_count stage > 0))
+        [ "policy"; "routing"; "admissibility"; "bookkeeping"; "cops_push" ];
+      (* Derived link gauges: utilization in [0, 1] and nonzero somewhere. *)
+      let utils =
+        List.filter_map
+          (fun (s : Metrics.sample) ->
+            match s.Metrics.s_value with
+            | Metrics.Vgauge v when s.Metrics.s_name = "bb_link_utilization" ->
+                Some v
+            | _ -> None)
+          samples
+      in
+      Alcotest.(check bool) "link gauges registered" true (utils <> []);
+      List.iter
+        (fun u ->
+          Alcotest.(check bool) "utilization within [0,1]" true
+            (u >= 0. && u <= 1. +. 1e-9))
+        utils;
+      Alcotest.(check bool) "loaded path visible" true
+        (List.exists (fun u -> u > 0.5) utils))
+
+let test_decision_hook () =
+  (* The broker's on_decision subscription fires without any registry. *)
+  Metrics.uninstall ();
+  Trace.uninstall ();
+  let seen = ref [] in
+  let topo = Bbr_workload.Fig8.topology `Rate_only in
+  let broker =
+    Broker.create ~on_decision:(fun d -> seen := d :: !seen) topo
+  in
+  let req =
+    {
+      Types.profile = Bbr_workload.Profiles.profile 0;
+      dreq = 2.44;
+      ingress = Bbr_workload.Fig8.ingress1;
+      egress = Bbr_workload.Fig8.egress1;
+    }
+  in
+  (match Broker.request broker req with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "first request should admit");
+  (match Broker.request broker { req with Types.dreq = 1e-9 } with
+  | Ok _ -> Alcotest.fail "impossible bound should reject"
+  | Error _ -> ());
+  match List.rev !seen with
+  | [ first; second ] ->
+      Alcotest.(check bool) "first admitted" true (first.Broker.rejected = None);
+      Alcotest.(check bool) "first has a flow id" true (first.Broker.flow <> None);
+      Alcotest.(check bool) "second rejected" true (second.Broker.rejected <> None);
+      Alcotest.(check string) "service label" "perflow"
+        (Broker.service_label first.Broker.service)
+  | l -> Alcotest.failf "expected 2 decision records, got %d" (List.length l)
+
+let test_edge_broker_transactions_counted () =
+  with_obs (fun reg _tracer ->
+      let central = Broker.create (Bbr_workload.Fig8.topology `Rate_only) in
+      match
+        Bbr_broker.Edge_broker.create ~central
+          ~ingress:Bbr_workload.Fig8.ingress1 ~egress:Bbr_workload.Fig8.egress1
+          ~chunk:150_000.
+      with
+      | Error _ -> Alcotest.fail "edge broker creation"
+      | Ok eb ->
+          let req =
+            {
+              Types.profile = Bbr_workload.Profiles.profile 0;
+              dreq = 2.44;
+              ingress = Bbr_workload.Fig8.ingress1;
+              egress = Bbr_workload.Fig8.egress1;
+            }
+          in
+          for _ = 1 to 5 do
+            ignore (Bbr_broker.Edge_broker.request eb req)
+          done;
+          let tx =
+            List.fold_left
+              (fun acc (s : Metrics.sample) ->
+                match s.Metrics.s_value with
+                | Metrics.Vcounter v
+                  when s.Metrics.s_name = "bb_edge_transactions_total" ->
+                    acc +. v
+                | _ -> acc)
+              0. (Metrics.snapshot reg)
+          in
+          Alcotest.(check int) "counter matches the ad-hoc tally"
+            (Bbr_broker.Edge_broker.central_transactions eb)
+            (int_of_float tx))
+
+(* ------------------------------------------------------------------ *)
+(* Stats merge (satellite) *)
+
+let test_stats_merge () =
+  let a = Stats.create () and b = Stats.create () and all = Stats.create () in
+  List.iter
+    (fun x ->
+      Stats.add all x;
+      Stats.add (if x < 3. then a else b) x)
+    [ 1.; 2.; 3.; 4.; 5.; 10. ];
+  let m = Stats.merge a b in
+  Alcotest.(check int) "count" (Stats.count all) (Stats.count m);
+  check_float "mean" (Stats.mean all) (Stats.mean m);
+  check_float "variance" (Stats.variance all) (Stats.variance m);
+  check_float "min" (Stats.min all) (Stats.min m);
+  check_float "max" (Stats.max all) (Stats.max m);
+  (* Identity on the empty accumulator, both sides. *)
+  let e = Stats.create () in
+  check_float "left identity" (Stats.mean all) (Stats.mean (Stats.merge e all));
+  check_float "right identity" (Stats.mean all) (Stats.mean (Stats.merge all e));
+  Alcotest.(check string) "empty summary" "n=0" (Stats.summary e)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "registry",
+        [
+          Alcotest.test_case "counter" `Quick test_counter_semantics;
+          Alcotest.test_case "gauge" `Quick test_gauge_semantics;
+          Alcotest.test_case "histogram" `Quick test_histogram_semantics;
+          Alcotest.test_case "label identity" `Quick test_label_family_identity;
+          Alcotest.test_case "kind mismatch" `Quick test_kind_mismatch_raises;
+          Alcotest.test_case "disabled no-op" `Quick
+            test_convenience_noop_without_registry;
+          Alcotest.test_case "derived gauge replace" `Quick
+            test_derived_gauge_replacement;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "ring wraparound" `Quick test_ring_wraparound;
+          Alcotest.test_case "span durations" `Quick test_span_durations;
+          Alcotest.test_case "deterministic clocks" `Quick
+            test_deterministic_clocks;
+        ] );
+      ( "export",
+        [
+          Alcotest.test_case "prometheus golden" `Quick test_prometheus_golden;
+          Alcotest.test_case "json golden" `Quick test_json_golden;
+          Alcotest.test_case "label escaping" `Quick
+            test_prometheus_label_escaping;
+        ] );
+      ("sampler", [ Alcotest.test_case "series" `Quick test_sampler_series ]);
+      ( "integration",
+        [
+          Alcotest.test_case "fig8 fill counters" `Quick test_fig8_fill_counters;
+          Alcotest.test_case "decision hook" `Quick test_decision_hook;
+          Alcotest.test_case "edge transactions" `Quick
+            test_edge_broker_transactions_counted;
+        ] );
+      ("stats", [ Alcotest.test_case "merge" `Quick test_stats_merge ]);
+    ]
