@@ -16,6 +16,8 @@
      hierarchy    quota-delegating edge brokers vs central transactions
      state        QoS-state footprint per architecture
      failover     recovery from link failure + broker crash vs COPS loss
+     recovery     journal replay throughput + durability overhead
+                  (writes BENCH_recovery.json)
      scaling      admission cost vs M; bounds vs path length
      statistical  Hoeffding effective-bandwidth multiplexing gain
      micro        Bechamel micro-benchmarks of the admission hot paths
@@ -739,6 +741,124 @@ let run_failover () =
   Fmt.pr "reliable channel retransmits every transaction to resolution.@."
 
 (* ------------------------------------------------------------------ *)
+(* Durability: write-ahead journal replay throughput and the admission
+   latency cost of journaling (extension; PR 3's crash consistency). *)
+
+module Journal = Bbr_broker.Journal
+
+let run_recovery () =
+  section "Recovery: journal replay throughput and durability overhead";
+  let mk () = Broker.create (Fig8.topology `Rate_only) in
+  let req =
+    { Types.profile = type0; dreq = 2.44; ingress = Fig8.ingress1; egress = Fig8.egress1 }
+  in
+  let churn broker =
+    match Broker.request broker req with
+    | Ok (flow, _) -> Broker.teardown broker flow
+    | Error _ -> assert false (* admit+teardown keeps the network empty *)
+  in
+  (* Synthetic journals of increasing length: admit/teardown churn, two
+     records per cycle. *)
+  let build n =
+    let broker = mk () in
+    let j = Journal.create () in
+    Journal.attach j broker;
+    while Journal.records j < n do
+      churn broker
+    done;
+    Journal.text j
+  in
+  Fmt.pr "%10s %14s %16s@." "records" "replay (ms)" "records/s";
+  let replay_rows =
+    List.map
+      (fun n ->
+        let text = build n in
+        let standby = mk () in
+        let t0 = Unix.gettimeofday () in
+        (match Journal.replay standby text with
+        | Ok _ -> ()
+        | Error e -> failwith e);
+        let dt = Unix.gettimeofday () -. t0 in
+        let rate = float_of_int n /. dt in
+        Fmt.pr "%10d %14.2f %16.0f@." n (dt *. 1e3) rate;
+        (n, dt, rate))
+      [ 1_000; 5_000; 20_000 ]
+  in
+  (* Durability overhead on the admission hot path: the same
+     mixed-setting fill the [admission] section times (routing + Fig-4
+     schedulability + bookkeeping), with and without a journal attached.
+     Per-admission latency = fill wall time / offers; percentiles over
+     repeated fills. *)
+  let fill ~journal () =
+    let observe broker =
+      if journal then Journal.attach (Journal.create ()) broker
+    in
+    Static.fill ~setting:`Mixed ~dreq:2.19 ~observe Static.Perflow_bb
+  in
+  let offers = (fill ~journal:false ()).Static.admitted + 1 in
+  let fills = 150 in
+  (* Interleave the two configurations fill by fill so clock drift and
+     cache warmth hit both sides equally. *)
+  let off = Array.make fills 0. and on_ = Array.make fills 0. in
+  ignore (fill ~journal:true ());
+  for i = 0 to fills - 1 do
+    let t0 = Unix.gettimeofday () in
+    ignore (fill ~journal:false ());
+    let t1 = Unix.gettimeofday () in
+    ignore (fill ~journal:true ());
+    let t2 = Unix.gettimeofday () in
+    off.(i) <- (t1 -. t0) /. float_of_int offers;
+    on_.(i) <- (t2 -. t1) /. float_of_int offers
+  done;
+  let words_per_op ~journal =
+    ignore (fill ~journal ());
+    let w0 = Gc.minor_words () in
+    let n = 40 in
+    for _ = 1 to n do
+      ignore (fill ~journal ())
+    done;
+    (Gc.minor_words () -. w0) /. float_of_int (n * offers)
+  in
+  let woff = words_per_op ~journal:false and won = words_per_op ~journal:true in
+  let p a q = Stats.percentile a ~p:q *. 1e6 in
+  let p50_off = p off 50. and p95_off = p off 95. in
+  let p50_on = p on_ 50. and p95_on = p on_ 95. in
+  let overhead = (p95_on -. p95_off) /. p95_off *. 100. in
+  Fmt.pr "@.mixed-setting admission (us/offer over %d fills of %d offers):@." fills
+    offers;
+  Fmt.pr "%-20s %10s %10s %16s@." "" "p50" "p95" "minor words/op";
+  Fmt.pr "%-20s %10.2f %10.2f %16.1f@." "journal disabled" p50_off p95_off woff;
+  Fmt.pr "%-20s %10.2f %10.2f %16.1f@." "journal enabled" p50_on p95_on won;
+  Fmt.pr "@.durability overhead at p95: %+.1f%%  (budget: <= 10%%)@." overhead;
+  Fmt.pr
+    "(with no journal attached the mutation hook is a load + branch and@.";
+  Fmt.pr "allocates nothing: disabled equals the unjournaled broker exactly)@.";
+  (* Machine-readable artifact, tracked across PRs. *)
+  let oc = open_out "BENCH_recovery.json" in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Printf.fprintf oc "{\n  \"recovery\": {\n    \"replay\": [\n";
+      List.iteri
+        (fun i (n, dt, rate) ->
+          Printf.fprintf oc
+            "      {\"records\": %d, \"seconds\": %.6f, \"records_per_sec\": %.0f}%s\n"
+            n dt rate
+            (if i = List.length replay_rows - 1 then "" else ","))
+        replay_rows;
+      Printf.fprintf oc "    ],\n    \"admission_us\": {\n";
+      Printf.fprintf oc
+        "      \"journal_disabled\": {\"p50\": %.3f, \"p95\": %.3f, \
+         \"minor_words_per_op\": %.1f},\n"
+        p50_off p95_off woff;
+      Printf.fprintf oc
+        "      \"journal_enabled\": {\"p50\": %.3f, \"p95\": %.3f, \
+         \"minor_words_per_op\": %.1f},\n"
+        p50_on p95_on won;
+      Printf.fprintf oc "      \"p95_overhead_pct\": %.1f\n    }\n  }\n}\n" overhead);
+  Fmt.pr "@.wrote BENCH_recovery.json@."
+
+(* ------------------------------------------------------------------ *)
 
 let sections =
   [
@@ -752,6 +872,7 @@ let sections =
     ("hierarchy", run_hierarchy);
     ("state", run_state);
     ("failover", run_failover);
+    ("recovery", run_recovery);
     ("scaling", run_scaling);
     ("statistical", run_statistical);
     ("admission", run_admission);

@@ -7,9 +7,14 @@
      admit     one-shot admission decision for a custom flow
      transient the Figure-7 edge transient
      metrics   run a static fill and print its telemetry snapshot
+     recover   rebuild a broker from a snapshot + write-ahead journal
+     audit     run a workload and cross-check the MIB invariants
 
    fill and simulate accept --metrics-out PATH (and --metrics-format) to
    dump the control-plane metrics snapshot after the run.
+
+   Exit codes: 0 success, 1 domain failure (rejected audit, failed
+   replay), 2 file I/O error, 3 input parse error.
 
    Try: dune exec bin/bbsim.exe -- fill --scheme perflow --dreq 2.19 *)
 
@@ -18,6 +23,9 @@ open Cmdliner
 module Types = Bbr_broker.Types
 module Aggregate = Bbr_broker.Aggregate
 module Broker = Bbr_broker.Broker
+module Journal = Bbr_broker.Journal
+module Snapshot = Bbr_broker.Snapshot
+module Audit = Bbr_broker.Audit
 module Telemetry = Bbr_broker.Telemetry
 module Traffic = Bbr_vtrs.Traffic
 module Static = Bbr_workload.Static
@@ -70,6 +78,37 @@ let duration =
     value
     & opt float 20_000.
     & info [ "duration" ] ~docv:"SECONDS" ~doc:"Simulated horizon.")
+
+(* --- error-path plumbing -------------------------------------------- *)
+
+(* Distinct exit codes so scripts (and CI) can tell a missing file from a
+   corrupt one without scraping stderr. *)
+let exit_io = 2
+let exit_parse = 3
+
+let read_file path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | text -> text
+  | exception Sys_error e ->
+      Fmt.epr "error: %s@." e;
+      exit exit_io
+
+let write_file path text =
+  match
+    let oc = open_out_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () -> output_string oc text)
+  with
+  | () -> ()
+  | exception Sys_error e ->
+      Fmt.epr "error: %s@." e;
+      exit exit_io
 
 (* --- metrics plumbing ----------------------------------------------- *)
 
@@ -198,7 +237,17 @@ let load =
     & opt float 0.2
     & info [ "load" ] ~docv:"FLOWS/S" ~doc:"Total flow arrival rate.")
 
-let run_simulate setting cd scheme seed load duration out format =
+let journal_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "journal-out" ] ~docv:"PATH"
+        ~doc:
+          "Write-ahead journal every broker mutation during the run and \
+           write the journal to $(docv) afterwards (replayable with \
+           $(b,recover)).")
+
+let run_simulate setting cd scheme seed load duration journal_path out format =
   let dyn_scheme =
     match scheme with
     | `Perflow -> Dynamic.Perflow
@@ -210,23 +259,34 @@ let run_simulate setting cd scheme seed load duration out format =
   let cfg =
     { Dynamic.seed; setting; arrival_rate = load; mean_holding = 200.; duration; cd }
   in
+  let journal = Option.map (fun _ -> Journal.create ()) journal_path in
+  let captured = ref None in
   let o =
     with_metrics ~out ~format (fun () ->
         Dynamic.run
-          ~observe:(fun _engine broker -> Telemetry.register_broker broker)
+          ~observe:(fun _engine broker ->
+            Telemetry.register_broker broker;
+            captured := Some broker;
+            Option.iter (fun j -> Journal.attach j broker) journal)
           cfg dyn_scheme)
   in
   Fmt.pr "scheme: %a@." Dynamic.pp_scheme dyn_scheme;
   Fmt.pr "offered %d, blocked %d, completed %d@." o.Dynamic.offered o.Dynamic.blocked
     o.Dynamic.completed;
-  Fmt.pr "blocking rate: %.4f@." o.Dynamic.blocking_rate
+  Fmt.pr "blocking rate: %.4f@." o.Dynamic.blocking_rate;
+  match (journal_path, journal, !captured) with
+  | Some path, Some j, Some broker ->
+      write_file path (Journal.text j);
+      Fmt.pr "journal: %d records -> %s@." (Journal.records j) path;
+      Fmt.pr "final mib digest: %s@." (Audit.mib_digest broker)
+  | _ -> ()
 
 let simulate_cmd =
   let doc = "One dynamic churn run: Poisson arrivals, exponential holding times." in
   Cmd.v (Cmd.info "simulate" ~doc)
     Term.(
       const run_simulate $ setting $ cd $ scheme $ seed $ load $ duration
-      $ metrics_out $ metrics_format)
+      $ journal_out $ metrics_out $ metrics_format)
 
 (* --- sweep ---------------------------------------------------------- *)
 
@@ -357,7 +417,7 @@ let trace_gen_cmd =
 let trace_file =
   Arg.(
     required
-    & opt (some file) None
+    & opt (some string) None
     & info [ "file" ] ~docv:"PATH" ~doc:"Trace file (see trace-gen).")
 
 let run_replay setting cd scheme file =
@@ -369,14 +429,11 @@ let run_replay setting cd scheme file =
         Fmt.epr "replay supports perflow/aggr schemes only@.";
         exit 1
   in
-  let ic = open_in file in
-  let len = in_channel_length ic in
-  let text = really_input_string ic len in
-  close_in ic;
+  let text = read_file file in
   match Bbr_workload.Trace.of_string text with
   | Error e ->
-      Fmt.epr "%s@." e;
-      exit 1
+      Fmt.epr "error: %s@." e;
+      exit exit_parse
   | Ok entries ->
       let o = Bbr_workload.Trace.replay ~setting ~cd entries dyn_scheme in
       Fmt.pr "scheme: %a@." Dynamic.pp_scheme dyn_scheme;
@@ -387,6 +444,114 @@ let replay_cmd =
   let doc = "Replay a flow-arrival trace through an admission scheme." in
   Cmd.v (Cmd.info "replay" ~doc)
     Term.(const run_replay $ setting $ cd $ scheme $ trace_file)
+
+(* --- recover --------------------------------------------------------- *)
+
+let classes_for scheme cd =
+  match scheme with
+  | `Perflow | `Intserv -> []
+  | `Aggr _ -> Dynamic.service_classes cd
+
+let method_for = function `Aggr m -> m | `Perflow | `Intserv -> Aggregate.Feedback
+
+let journal_file =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "journal" ] ~docv:"PATH"
+        ~doc:"Write-ahead journal to replay (see $(b,simulate --journal-out)).")
+
+let snapshot_file =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "snapshot" ] ~docv:"PATH"
+        ~doc:
+          "Checkpoint to restore before the journal tail; without it the \
+           journal replays from an empty broker.")
+
+let run_recover setting cd scheme journal_path snapshot_path =
+  let topo = Fig8.topology setting in
+  let broker =
+    Broker.create ~classes:(classes_for scheme cd) ~method_:(method_for scheme) topo
+  in
+  (match snapshot_path with
+  | None -> ()
+  | Some path -> (
+      match Snapshot.restore broker (read_file path) with
+      | Ok n -> Fmt.pr "snapshot: %d reservations restored@." n
+      | Error e ->
+          Fmt.epr "error: snapshot: %s@." e;
+          exit exit_parse));
+  match Journal.replay broker (read_file journal_path) with
+  | Error e ->
+      Fmt.epr "error: journal: %s@." e;
+      exit exit_parse
+  | Ok { Journal.applied; warning } ->
+      Fmt.pr "journal: %d records applied@." applied;
+      Option.iter (fun w -> Fmt.pr "warning: %s@." w) warning;
+      Fmt.pr "flows: %d per-flow, %d class members@."
+        (Broker.per_flow_count broker)
+        (Broker.class_flow_count broker);
+      let report = Audit.check broker in
+      Fmt.pr "%a@." Audit.pp_report report;
+      Fmt.pr "final mib digest: %s@." (Audit.mib_digest broker);
+      if not (Audit.ok report) then exit 1
+
+let recover_cmd =
+  let doc =
+    "Rebuild a broker offline from a checkpoint snapshot plus a write-ahead \
+     journal tail, audit it, and print its canonical MIB digest (compare \
+     with the digest $(b,simulate --journal-out) printed)."
+  in
+  Cmd.v (Cmd.info "recover" ~doc)
+    Term.(
+      const run_recover $ setting $ cd $ scheme $ journal_file $ snapshot_file)
+
+(* --- audit ----------------------------------------------------------- *)
+
+let strict =
+  Arg.(
+    value & flag
+    & info [ "strict" ]
+        ~doc:"Exit non-zero when the audit finds any violation.")
+
+let run_audit setting cd scheme seed load duration strict =
+  let dyn_scheme =
+    match scheme with
+    | `Perflow -> Dynamic.Perflow
+    | `Aggr m -> Dynamic.Aggr m
+    | `Intserv ->
+        Fmt.epr "audit supports perflow/aggr schemes only@.";
+        exit 1
+  in
+  let cfg =
+    { Dynamic.seed; setting; arrival_rate = load; mean_holding = 200.; duration; cd }
+  in
+  let captured = ref None in
+  let o =
+    Dynamic.run ~observe:(fun _engine broker -> captured := Some broker) cfg dyn_scheme
+  in
+  match !captured with
+  | None ->
+      Fmt.epr "internal error: the workload never exposed its broker@.";
+      exit 1
+  | Some broker ->
+      Fmt.pr "scheme: %a  (offered %d, blocked %d)@." Dynamic.pp_scheme dyn_scheme
+        o.Dynamic.offered o.Dynamic.blocked;
+      let report = Audit.check broker in
+      Fmt.pr "%a@." Audit.pp_report report;
+      Fmt.pr "final mib digest: %s@." (Audit.mib_digest broker);
+      if strict && not (Audit.ok report) then exit 1
+
+let audit_cmd =
+  let doc =
+    "Run a dynamic churn workload, then cross-check flow MIB, path MIB and \
+     per-link reserved rates for leaks, orphans and dangling memberships."
+  in
+  Cmd.v (Cmd.info "audit" ~doc)
+    Term.(
+      const run_audit $ setting $ cd $ scheme $ seed $ load $ duration $ strict)
 
 (* -------------------------------------------------------------------- *)
 
@@ -405,4 +570,6 @@ let () =
             metrics_cmd;
             trace_gen_cmd;
             replay_cmd;
+            recover_cmd;
+            audit_cmd;
           ]))

@@ -382,6 +382,102 @@ let queue_empty t ~class_id ~path_id =
           let gids = Hashtbl.fold (fun gid _ acc -> gid :: acc) mf.grants [] in
           List.iter (release_grant t mf) (List.sort compare gids))
 
+(* ------------------------------------------------------------------ *)
+(* Snapshot / journal support: exact restoration of the contingency
+   pool, and anti-entropy repair of the membership tables.             *)
+
+let sweep_contingency t ~class_id ~path_id =
+  match Hashtbl.find_opt t.macros (class_id, path_id) with
+  | None -> ()
+  | Some mf ->
+      (* Unconditional (method-independent) release of every grant: used
+         by snapshot restore to clear the grants the member replay
+         created before re-establishing the saved contingency pool. *)
+      let gids = Hashtbl.fold (fun gid _ acc -> gid :: acc) mf.grants [] in
+      List.iter (release_grant t mf) (List.sort compare gids);
+      (* With no grants left the pool is definitionally empty; clear the
+         float residue the incremental subtractions can leave, so grants
+         re-established on top of it restore the pool bit-exactly. *)
+      if mf.conting <> 0. then begin
+        let old_total = total mf in
+        release_links t mf mf.conting;
+        mf.conting <- 0.;
+        edf_update t mf ~old_total ~new_total:(total mf);
+        notify_rate t mf
+      end
+
+let grant_amounts t ~class_id ~path_id =
+  match Hashtbl.find_opt t.macros (class_id, path_id) with
+  | None -> []
+  | Some mf ->
+      Hashtbl.fold (fun gid amount acc -> (gid, amount) :: acc) mf.grants []
+      |> List.sort compare |> List.map snd
+
+let restore_grant t ~class_id ~path_id ~amount =
+  if amount <= 0. then Ok ()
+  else
+    match Hashtbl.find_opt t.macros (class_id, path_id) with
+    | None -> Error (Types.Policy_denied "unknown macroflow")
+    | Some mf ->
+        let cres = Path_mib.residual t.path_mib mf.path in
+        if not (Fp.leq amount cres) then Error Types.Insufficient_bandwidth
+        else if not (edf_can t mf ~old_total:(total mf) ~new_total:(total mf +. amount))
+        then Error Types.Not_schedulable
+        else begin
+          let alloc_before = total mf in
+          reserve_links t mf amount;
+          edf_update t mf ~old_total:alloc_before ~new_total:(alloc_before +. amount);
+          add_grant t mf ~amount ~alloc_before;
+          notify_rate t mf;
+          Ok ()
+        end
+
+let set_edge_bound t ~class_id ~path_id bound =
+  match Hashtbl.find_opt t.macros (class_id, path_id) with
+  | None -> ()
+  | Some mf -> mf.edge_bound <- bound
+
+let repair_membership t =
+  let fixes = ref 0 in
+  (* Owner entries pointing at a missing macroflow, or at one that does
+     not list the flow as a member: drop them. *)
+  let stale =
+    Hashtbl.fold
+      (fun flow key acc ->
+        match Hashtbl.find_opt t.macros key with
+        | Some mf when Hashtbl.mem mf.members flow -> acc
+        | _ -> flow :: acc)
+      t.owners []
+  in
+  List.iter
+    (fun flow ->
+      Hashtbl.remove t.owners flow;
+      incr fixes)
+    stale;
+  (* Members with no (or a wrong) owner entry: re-adopt them — the member
+     table is what the rate accounting is derived from, so it wins. *)
+  Hashtbl.iter
+    (fun key (mf : macroflow) ->
+      let dangling =
+        Hashtbl.fold
+          (fun flow _ acc ->
+            match Hashtbl.find_opt t.owners flow with
+            | Some k when k = key -> acc
+            | _ -> flow :: acc)
+          mf.members []
+      in
+      List.iter
+        (fun flow ->
+          Hashtbl.replace t.owners flow key;
+          incr fixes)
+        dangling)
+    t.macros;
+  !fixes
+
+let owners_alist t =
+  Hashtbl.fold (fun flow key acc -> (flow, key) :: acc) t.owners []
+  |> List.sort compare
+
 let macroflow_stats t ~class_id ~path_id =
   Option.map
     (fun (mf : macroflow) ->

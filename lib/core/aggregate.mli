@@ -110,3 +110,38 @@ val members : t -> class_id:int -> path_id:int -> (Types.flow_id * Bbr_vtrs.Traf
 
 val path_endpoints : t -> class_id:int -> path_id:int -> (string * string) option
 (** [(ingress, egress)] of the macroflow's path. *)
+
+val owners_alist : t -> (Types.flow_id * (int * int)) list
+(** Every class member with its [(class_id, path_id)], ascending flow id
+    — the owner table as the {!Audit} cross-checks see it. *)
+
+(** {1 Snapshot / journal support} *)
+
+val grant_amounts : t -> class_id:int -> path_id:int -> float list
+(** The macroflow's live contingency grants, oldest first.  Their sum is
+    the macroflow's [contingency]. *)
+
+val sweep_contingency : t -> class_id:int -> path_id:int -> unit
+(** Release every contingency grant of the macroflow immediately,
+    regardless of the contingency method.  Snapshot restore uses this to
+    clear the grants that replaying the member joins created, before
+    re-establishing the exact pool saved from the primary. *)
+
+val restore_grant :
+  t -> class_id:int -> path_id:int -> amount:float -> (unit, Types.reject_reason) result
+(** Re-establish one contingency grant on an existing macroflow: reserve
+    [amount] on the path links, update schedulability state and register
+    the grant (arming a release timer under {!Bounding}).  Errors when
+    the macroflow is unknown or the bandwidth no longer fits. *)
+
+val set_edge_bound : t -> class_id:int -> path_id:int -> float -> unit
+(** Overwrite the macroflow's current worst-case edge-delay bound (the
+    last auxiliary value a snapshot restores).  No-op when the macroflow
+    does not exist. *)
+
+val repair_membership : t -> int
+(** Anti-entropy reconciliation of the owner ⇄ member tables: drop owner
+    entries whose macroflow is gone or does not list the flow, and
+    re-adopt members missing their owner entry (the member table drives
+    the rate accounting, so it wins).  Returns the number of entries
+    fixed. *)

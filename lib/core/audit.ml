@@ -1,0 +1,377 @@
+module Topology = Bbr_vtrs.Topology
+
+type kind =
+  | Leaked_bandwidth
+  | Missing_bandwidth
+  | Orphan_flow
+  | Dangling_membership
+  | Aggregate_accounting
+
+let kind_label = function
+  | Leaked_bandwidth -> "leaked_bandwidth"
+  | Missing_bandwidth -> "missing_bandwidth"
+  | Orphan_flow -> "orphan_flow"
+  | Dangling_membership -> "dangling_membership"
+  | Aggregate_accounting -> "aggregate_accounting"
+
+type violation = { kind : kind; subject : string; detail : string }
+
+type report = {
+  violations : violation list;
+  flows : int;
+  members : int;
+  macroflows : int;
+  links : int;
+}
+
+let ok r = r.violations = []
+
+let default_eps = 1e-3
+
+let sorted_flows broker =
+  Flow_mib.fold (Broker.flow_mib broker) ~init:[] ~f:(fun acc r -> r :: acc)
+  |> List.sort (fun (a : Flow_mib.record) b ->
+         compare a.Flow_mib.flow b.Flow_mib.flow)
+
+let sorted_macros broker =
+  let pm = Broker.path_mib broker in
+  Aggregate.all_macroflows (Broker.aggregate broker)
+  |> List.filter_map (fun (s : Aggregate.macro_stats) ->
+         Option.map
+           (fun info -> (s, info))
+           (Path_mib.find pm ~path_id:s.Aggregate.path_id))
+  |> List.sort (fun ((a : Aggregate.macro_stats), (ia : Path_mib.info)) (b, ib) ->
+         compare
+           (a.Aggregate.class_id, List.map (fun (l : Topology.link) -> l.Topology.link_id) ia.Path_mib.links)
+           (b.Aggregate.class_id, List.map (fun (l : Topology.link) -> l.Topology.link_id) ib.Path_mib.links))
+
+(* The per-link bandwidth deltas (actual reserved minus what the MIBs
+   account for), after greedily attributing wholly-unbacked flows as
+   orphans.  Shared between {!check} and {!repair}. *)
+type reconciliation = {
+  delta : (int, float) Hashtbl.t;  (* link_id -> actual - expected *)
+  orphans : Flow_mib.record list;  (* ascending flow id *)
+}
+
+let reconcile ?(eps = default_eps) broker =
+  let nm = Broker.node_mib broker in
+  let topo = Broker.topology broker in
+  let delta = Hashtbl.create 32 in
+  List.iter
+    (fun (l : Topology.link) ->
+      Hashtbl.replace delta l.Topology.link_id
+        (Node_mib.reserved nm ~link_id:l.Topology.link_id))
+    (Topology.links topo);
+  let subtract link_id amount =
+    match Hashtbl.find_opt delta link_id with
+    | Some d -> Hashtbl.replace delta link_id (d -. amount)
+    | None -> Hashtbl.replace delta link_id (-.amount)
+  in
+  let flows = sorted_flows broker in
+  List.iter
+    (fun (r : Flow_mib.record) ->
+      List.iter
+        (fun (l : Topology.link) ->
+          subtract l.Topology.link_id r.Flow_mib.reservation.Types.rate)
+        r.Flow_mib.path.Path_mib.links)
+    flows;
+  List.iter
+    (fun ((s : Aggregate.macro_stats), (info : Path_mib.info)) ->
+      let amount = s.Aggregate.base_rate +. s.Aggregate.contingency in
+      List.iter
+        (fun (l : Topology.link) -> subtract l.Topology.link_id amount)
+        info.Path_mib.links)
+    (sorted_macros broker);
+  (* A flow whose every link is short by at least the flow's rate has no
+     backing reservations anywhere: an orphan record.  Attribute greedily
+     in flow-id order, re-crediting its links so the remaining deltas
+     reflect only genuine bandwidth drift. *)
+  let orphans =
+    List.filter
+      (fun (r : Flow_mib.record) ->
+        let rate = r.Flow_mib.reservation.Types.rate in
+        rate > eps
+        && List.for_all
+             (fun (l : Topology.link) ->
+               match Hashtbl.find_opt delta l.Topology.link_id with
+               | Some d -> d <= -.rate +. eps
+               | None -> false)
+             r.Flow_mib.path.Path_mib.links
+        &&
+        (List.iter
+           (fun (l : Topology.link) ->
+             subtract l.Topology.link_id (-.rate))
+           r.Flow_mib.path.Path_mib.links;
+         true))
+      flows
+  in
+  { delta; orphans }
+
+let count_violation v =
+  if Obs_log.active () then
+    Obs_log.count "bb_audit_violations_total"
+      ~labels:[ ("kind", kind_label v.kind) ]
+
+let membership_violations broker =
+  let agg = Broker.aggregate broker in
+  let acc = ref [] in
+  let add kind subject detail = acc := { kind; subject; detail } :: !acc in
+  (* Owner table entries must point at a live macroflow listing the flow. *)
+  List.iter
+    (fun (flow, (class_id, path_id)) ->
+      match Aggregate.macroflow_stats agg ~class_id ~path_id with
+      | None ->
+          add Dangling_membership
+            (Printf.sprintf "flow %d" flow)
+            (Printf.sprintf "owner entry points at missing macroflow (class %d, path %d)"
+               class_id path_id)
+      | Some _ ->
+          if
+            not
+              (List.exists
+                 (fun (f, _) -> f = flow)
+                 (Aggregate.members agg ~class_id ~path_id))
+          then
+            add Dangling_membership
+              (Printf.sprintf "flow %d" flow)
+              (Printf.sprintf "owner entry not backed by macroflow member list (class %d, path %d)"
+                 class_id path_id))
+    (Aggregate.owners_alist agg);
+  (* And conversely: every member must carry the matching owner entry. *)
+  List.iter
+    (fun (s : Aggregate.macro_stats) ->
+      List.iter
+        (fun (flow, _) ->
+          match Aggregate.owner agg ~flow with
+          | Some (c, p) when c = s.Aggregate.class_id && p = s.Aggregate.path_id -> ()
+          | _ ->
+              add Dangling_membership
+                (Printf.sprintf "flow %d" flow)
+                (Printf.sprintf "member of macroflow (class %d, path %d) without owner entry"
+                   s.Aggregate.class_id s.Aggregate.path_id))
+        (Aggregate.members agg ~class_id:s.Aggregate.class_id
+           ~path_id:s.Aggregate.path_id))
+    (Aggregate.all_macroflows agg);
+  List.rev !acc
+
+let accounting_violations ?(eps = default_eps) broker =
+  let agg = Broker.aggregate broker in
+  List.filter_map
+    (fun (s : Aggregate.macro_stats) ->
+      let subject =
+        Printf.sprintf "macroflow (class %d, path %d)" s.Aggregate.class_id
+          s.Aggregate.path_id
+      in
+      let grants =
+        Aggregate.grant_amounts agg ~class_id:s.Aggregate.class_id
+          ~path_id:s.Aggregate.path_id
+      in
+      let grant_sum = List.fold_left ( +. ) 0. grants in
+      if s.Aggregate.base_rate < -.eps || s.Aggregate.contingency < -.eps then
+        Some
+          {
+            kind = Aggregate_accounting;
+            subject;
+            detail =
+              Printf.sprintf "negative allocation: base %.6g, contingency %.6g"
+                s.Aggregate.base_rate s.Aggregate.contingency;
+          }
+      else if Float.abs (s.Aggregate.contingency -. grant_sum) > eps then
+        Some
+          {
+            kind = Aggregate_accounting;
+            subject;
+            detail =
+              Printf.sprintf
+                "contingency pool %.6g b/s does not match its %d grants (sum %.6g)"
+                s.Aggregate.contingency (List.length grants) grant_sum;
+          }
+      else None)
+    (Aggregate.all_macroflows agg)
+
+let check ?(eps = default_eps) broker =
+  if Obs_log.active () then Obs_log.count "bb_audit_runs_total";
+  let { delta; orphans } = reconcile ~eps broker in
+  let orphan_violations =
+    List.map
+      (fun (r : Flow_mib.record) ->
+        {
+          kind = Orphan_flow;
+          subject = Printf.sprintf "flow %d" r.Flow_mib.flow;
+          detail =
+            Printf.sprintf
+              "flow-MIB record at %.6g b/s has no backing link reservations"
+              r.Flow_mib.reservation.Types.rate;
+        })
+      orphans
+  in
+  let link_violations =
+    Topology.links (Broker.topology broker)
+    |> List.filter_map (fun (l : Topology.link) ->
+           let d =
+             Option.value ~default:0. (Hashtbl.find_opt delta l.Topology.link_id)
+           in
+           if d > eps then
+             Some
+               {
+                 kind = Leaked_bandwidth;
+                 subject = Printf.sprintf "link %d" l.Topology.link_id;
+                 detail =
+                   Printf.sprintf
+                     "%.6g b/s reserved beyond what any flow or macroflow accounts for"
+                     d;
+               }
+           else if d < -.eps then
+             Some
+               {
+                 kind = Missing_bandwidth;
+                 subject = Printf.sprintf "link %d" l.Topology.link_id;
+                 detail =
+                   Printf.sprintf
+                     "%.6g b/s of booked reservations missing from the link"
+                     (-.d);
+               }
+           else None)
+  in
+  let violations =
+    orphan_violations @ link_violations
+    @ membership_violations broker
+    @ accounting_violations ~eps broker
+  in
+  List.iter count_violation violations;
+  {
+    violations;
+    flows = Flow_mib.count (Broker.flow_mib broker);
+    members = Aggregate.member_count (Broker.aggregate broker);
+    macroflows = List.length (Aggregate.all_macroflows (Broker.aggregate broker));
+    links = Topology.num_links (Broker.topology broker);
+  }
+
+type repair_outcome = { found : report; repaired : int; remaining : report }
+
+let count_repair kind =
+  if Obs_log.active () then
+    Obs_log.count "bb_audit_repairs_total" ~labels:[ ("kind", kind_label kind) ]
+
+let repair ?(eps = default_eps) broker =
+  let found = check ~eps broker in
+  let repaired = ref 0 in
+  let fix kind = incr repaired; count_repair kind in
+  (* Orphan flow records are pure MIB garbage: the link bandwidth was
+     never (or is no longer) reserved, so removal must not release. *)
+  let { delta; orphans } = reconcile ~eps broker in
+  List.iter
+    (fun (r : Flow_mib.record) ->
+      match Flow_mib.remove (Broker.flow_mib broker) r.Flow_mib.flow with
+      | Some _ -> fix Orphan_flow
+      | None -> ())
+    orphans;
+  (* Reconcile the aggregate owner/member tables. *)
+  let fixed = Aggregate.repair_membership (Broker.aggregate broker) in
+  for _ = 1 to fixed do
+    fix Dangling_membership
+  done;
+  (* Finally settle the per-link bandwidth drift that survives orphan
+     attribution: release leaks, re-reserve shortfalls (when they still
+     fit — a shortfall beyond capacity is unrepairable and stays in
+     [remaining]). *)
+  let nm = Broker.node_mib broker in
+  Hashtbl.fold (fun link_id d acc -> (link_id, d) :: acc) delta []
+  |> List.sort compare
+  |> List.iter (fun (link_id, d) ->
+         if d > eps then (
+           (try Node_mib.release nm ~link_id d
+            with Invalid_argument _ -> ());
+           fix Leaked_bandwidth)
+         else if d < -.eps then
+           try
+             Node_mib.reserve nm ~link_id (-.d);
+             fix Missing_bandwidth
+           with Invalid_argument _ -> ());
+  { found; repaired = !repaired; remaining = check ~eps broker }
+
+(* ----------------------------------------------------------------- *)
+(* Canonical digest.                                                 *)
+
+let link_ids (links : Topology.link list) =
+  String.concat "," (List.map (fun (l : Topology.link) -> string_of_int l.Topology.link_id) links)
+
+let mib_digest broker =
+  let buf = Buffer.create 4096 in
+  let pf = Printf.sprintf "%h" in
+  List.iter
+    (fun (r : Flow_mib.record) ->
+      Buffer.add_string buf
+        (Printf.sprintf "flow %d %s %s %s\n" r.Flow_mib.flow
+           (pf r.Flow_mib.reservation.Types.rate)
+           (pf r.Flow_mib.reservation.Types.delay)
+           (link_ids r.Flow_mib.path.Path_mib.links)))
+    (sorted_flows broker);
+  let macros = sorted_macros broker in
+  let agg = Broker.aggregate broker in
+  List.iter
+    (fun ((s : Aggregate.macro_stats), (info : Path_mib.info)) ->
+      Buffer.add_string buf
+        (Printf.sprintf "macro %d %s n=%d base=%.9g conting=%.9g\n"
+           s.Aggregate.class_id
+           (link_ids info.Path_mib.links)
+           s.Aggregate.members s.Aggregate.base_rate s.Aggregate.contingency))
+    macros;
+  List.iter
+    (fun (flow, (class_id, path_id)) ->
+      let links =
+        match Path_mib.find (Broker.path_mib broker) ~path_id with
+        | Some info -> link_ids info.Path_mib.links
+        | None -> "?"
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "member %d %d %s\n" flow class_id links))
+    (Aggregate.owners_alist agg);
+  (* Per-link reserved rate, recomputed in canonical order on both sides
+     of a comparison: flow contributions summed in flow-id order
+     (bit-exact, [%h]), aggregate contributions summed in macro order
+     (printed at [%.9g] — the aggregate base rate is itself recomputed on
+     restore and may differ in the last ulp). *)
+  let topo = Broker.topology broker in
+  let flow_sum = Hashtbl.create 32 and macro_sum = Hashtbl.create 32 in
+  let add tbl link_id amount =
+    Hashtbl.replace tbl link_id
+      (Option.value ~default:0. (Hashtbl.find_opt tbl link_id) +. amount)
+  in
+  List.iter
+    (fun (r : Flow_mib.record) ->
+      List.iter
+        (fun (l : Topology.link) ->
+          add flow_sum l.Topology.link_id r.Flow_mib.reservation.Types.rate)
+        r.Flow_mib.path.Path_mib.links)
+    (sorted_flows broker);
+  List.iter
+    (fun ((s : Aggregate.macro_stats), (info : Path_mib.info)) ->
+      let amount = s.Aggregate.base_rate +. s.Aggregate.contingency in
+      List.iter
+        (fun (l : Topology.link) -> add macro_sum l.Topology.link_id amount)
+        info.Path_mib.links)
+    macros;
+  List.iter
+    (fun (l : Topology.link) ->
+      let id = l.Topology.link_id in
+      Buffer.add_string buf
+        (Printf.sprintf "link %d %s %s %.9g\n" id
+           (if Topology.link_is_up topo ~link_id:id then "up" else "down")
+           (pf (Option.value ~default:0. (Hashtbl.find_opt flow_sum id)))
+           (Option.value ~default:0. (Hashtbl.find_opt macro_sum id))))
+    (Topology.links topo);
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+let pp_violation ppf v =
+  Fmt.pf ppf "[%s] %s: %s" (kind_label v.kind) v.subject v.detail
+
+let pp_report ppf r =
+  if ok r then
+    Fmt.pf ppf "audit clean: %d flows, %d members, %d macroflows, %d links"
+      r.flows r.members r.macroflows r.links
+  else
+    Fmt.pf ppf "audit found %d violation(s):@,%a"
+      (List.length r.violations)
+      (Fmt.list ~sep:Fmt.cut pp_violation)
+      r.violations

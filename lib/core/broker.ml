@@ -21,6 +21,27 @@ type decision_record = {
   at : float;
 }
 
+(* Every state mutation the broker can commit, in replayable form.  This
+   is the vocabulary of the write-ahead {!Journal}: applying the same
+   mutation sequence to a fresh broker over the same topology reproduces
+   the same MIB state.  [Link_failed] is {e physical}: it records only the
+   link-state change — the teardowns, evacuations and re-admissions that
+   {!fail_link} performs are each journaled as their own records, in
+   execution order, so a replay reproduces the reroute exactly without
+   re-running the recovery procedure.  [Rate_changed] is informational
+   (the rate is a deterministic function of the admissions); replay
+   ignores it. *)
+type mutation =
+  | Admit of { flow : Types.flow_id; request : Types.request; rate : float; delay : float }
+  | Admit_class of { flow : Types.flow_id; class_id : int; request : Types.request }
+  | Teardown of Types.flow_id
+  | Teardown_class of Types.flow_id
+  | Queue_emptied of { class_id : int; links : int list }
+  | Evacuated of { class_id : int; links : int list }
+  | Link_failed of int
+  | Link_restored of int
+  | Rate_changed of { class_id : int; path_id : int; total_rate : float }
+
 type t = {
   topology : Topology.t;
   policy : Policy.t;
@@ -32,6 +53,12 @@ type t = {
   time : time_hooks;
   on_edge_config : flow:Types.flow_id -> Types.reservation -> unit;
   mutable on_decision : (decision_record -> unit) list;
+  (* A ref cell (not a mutable field) so the aggregate's [rate_changed]
+     closure, built before this record exists, can share it.  The
+     mutation value is only constructed inside the [Some] branch at each
+     emission site: with no hook installed the hot path costs one load
+     and one branch, and allocates nothing. *)
+  on_mutation : (mutation -> unit) option ref;
 }
 
 let create ?policy ?(classes = []) ?(method_ = Aggregate.Feedback) ?time
@@ -41,13 +68,19 @@ let create ?policy ?(classes = []) ?(method_ = Aggregate.Feedback) ?time
   let time = Option.value ~default:immediate_time time in
   let node_mib = Node_mib.create topology in
   let path_mib = Path_mib.create topology node_mib in
+  let on_mutation = ref None in
   let aggregate =
     Aggregate.create node_mib path_mib ~classes ~method_
       ~hooks:
         {
           Aggregate.now = time.now;
           after = time.after;
-          rate_changed = on_class_rate;
+          rate_changed =
+            (fun ~class_id ~path_id ~total_rate ->
+              (match !on_mutation with
+              | None -> ()
+              | Some f -> f (Rate_changed { class_id; path_id; total_rate }));
+              on_class_rate ~class_id ~path_id ~total_rate);
         }
   in
   {
@@ -61,9 +94,14 @@ let create ?policy ?(classes = []) ?(method_ = Aggregate.Feedback) ?time
     time;
     on_edge_config;
     on_decision = Option.to_list decision_hook;
+    on_mutation;
   }
 
 let add_decision_hook t f = t.on_decision <- t.on_decision @ [ f ]
+
+let set_mutation_hook t f = t.on_mutation := Some f
+
+let clear_mutation_hook t = t.on_mutation := None
 
 let now t = t.time.now ()
 
@@ -145,6 +183,13 @@ let request_full t ?flow req =
             let flow =
               stage t "bookkeeping" (fun () -> book_per_flow t ?flow req path res)
             in
+            (* Journal before the decision leaves the broker (WAL). *)
+            (match !(t.on_mutation) with
+            | None -> ()
+            | Some f ->
+                f
+                  (Admit
+                     { flow; request = req; rate = res.Types.rate; delay = res.Types.delay }));
             push_edge t ~flow res;
             Ok (flow, res))
   in
@@ -190,6 +235,9 @@ let request_fixed t ?flow req ~rate ?delay () =
               let flow =
                 stage t "bookkeeping" (fun () -> book_per_flow t ?flow req path res)
               in
+              (match !(t.on_mutation) with
+              | None -> ()
+              | Some f -> f (Admit { flow; request = req; rate; delay }));
               push_edge t ~flow res;
               Ok flow
         end
@@ -205,6 +253,9 @@ let teardown t flow =
   match Flow_mib.remove t.flow_mib flow with
   | None -> ()
   | Some record ->
+      (match !(t.on_mutation) with
+      | None -> ()
+      | Some f -> f (Teardown flow));
       Obs_log.count "bb_teardowns_total" ~labels:[ ("service", "perflow") ];
       let res = record.Flow_mib.reservation in
       List.iter
@@ -254,7 +305,12 @@ let request_class t ?class_id ?flow req =
                   Aggregate.join t.aggregate ~class_id:cls.Aggregate.class_id ~path
                     ~flow req.Types.profile)
             with
-            | Ok () -> Ok (flow, cls)
+            | Ok () ->
+                (match !(t.on_mutation) with
+                | None -> ()
+                | Some f ->
+                    f (Admit_class { flow; class_id = cls.Aggregate.class_id; request = req }));
+                Ok (flow, cls)
             | Error e -> Error e))
   in
   note_decision t ~service:Class_based req
@@ -264,11 +320,28 @@ let request_class t ?class_id ?flow req =
 (* Idempotent for the same reason as {!teardown}. *)
 let teardown_class t flow =
   if Aggregate.owner t.aggregate ~flow <> None then begin
+    (match !(t.on_mutation) with
+    | None -> ()
+    | Some f -> f (Teardown_class flow));
     Obs_log.count "bb_teardowns_total" ~labels:[ ("service", "class") ];
     Aggregate.leave t.aggregate ~flow
   end
 
-let queue_empty t ~class_id ~path_id = Aggregate.queue_empty t.aggregate ~class_id ~path_id
+let link_ids_of (info : Path_mib.info) =
+  List.map (fun (l : Topology.link) -> l.Topology.link_id) info.Path_mib.links
+
+let queue_empty t ~class_id ~path_id =
+  (match !(t.on_mutation) with
+  | None -> ()
+  | Some f ->
+      (* Journal only signals that land on a live macroflow; the path is
+         identified by its link ids, which (unlike path ids) survive a
+         replay onto a differently grown path MIB. *)
+      if Aggregate.macroflow_stats t.aggregate ~class_id ~path_id <> None then
+        match Path_mib.find t.path_mib ~path_id with
+        | Some info -> f (Queue_emptied { class_id; links = link_ids_of info })
+        | None -> ());
+  Aggregate.queue_empty t.aggregate ~class_id ~path_id
 
 (* ------------------------------------------------------------------ *)
 (* Link failure handling (restore-or-preempt).                        *)
@@ -287,6 +360,9 @@ let dropped_count r = List.length r.perflow_dropped + List.length r.class_droppe
 
 let fail_link t ~link_id =
   ignore (Topology.link_by_id t.topology link_id);
+  (match !(t.on_mutation) with
+  | None -> ()
+  | Some f -> f (Link_failed link_id));
   Topology.set_link_state t.topology ~link_id ~up:false;
   let on_dead_link links =
     List.exists (fun (l : Topology.link) -> l.Topology.link_id = link_id) links
@@ -309,6 +385,12 @@ let fail_link t ~link_id =
               Aggregate.path_endpoints t.aggregate ~class_id:s.Aggregate.class_id
                 ~path_id:s.Aggregate.path_id
             in
+            (match !(t.on_mutation) with
+            | None -> ()
+            | Some f ->
+                f
+                  (Evacuated
+                     { class_id = s.Aggregate.class_id; links = link_ids_of info }));
             Some
               ( s.Aggregate.class_id,
                 endpoints,
@@ -343,7 +425,23 @@ let fail_link t ~link_id =
                       match
                         Aggregate.join t.aggregate ~class_id ~path ~flow profile
                       with
-                      | Ok () -> true
+                      | Ok () ->
+                          (* This join bypasses {!request_class}, so it
+                             must journal its own record.  The class is
+                             pinned; [dreq = infinity] replays through
+                             any class bound. *)
+                          (match !(t.on_mutation) with
+                          | None -> ()
+                          | Some f ->
+                              f
+                                (Admit_class
+                                   {
+                                     flow;
+                                     class_id;
+                                     request =
+                                       { Types.profile; dreq = infinity; ingress; egress };
+                                   }));
+                          true
                       | Error _ -> false))
             in
             if rejoined then Either.Left flow else Either.Right flow)
@@ -373,6 +471,9 @@ let fail_link t ~link_id =
 
 let restore_link t ~link_id =
   ignore (Topology.link_by_id t.topology link_id);
+  (match !(t.on_mutation) with
+  | None -> ()
+  | Some f -> f (Link_restored link_id));
   Topology.set_link_state t.topology ~link_id ~up:true;
   if Obs_log.active () then
     Obs_log.event ~at:(t.time.now ()) "bb.link.restored"

@@ -58,6 +58,49 @@ val add_decision_hook : t -> (decision_record -> unit) -> unit
 (** Subscribe to admission decisions after creation.  Hooks run in
     subscription order, after the broker's own bookkeeping. *)
 
+(** {1 State-mutation hook (write-ahead journaling)}
+
+    Every mutation of the broker's durable state — admissions, teardowns,
+    contingency releases, macroflow evacuations, link state changes,
+    aggregate rate changes — is announced through a single optional hook,
+    in commit order.  {!Journal} installs itself here to build its
+    write-ahead log; {!Journal.replay} applies the same mutations to a
+    fresh broker to reconstruct the state.
+
+    [Link_failed] and [Link_restored] are {e physical} records: on replay
+    they change only the link state, because the teardown / evacuation /
+    re-admission cascade {!fail_link} performs is journaled record by
+    record in execution order.  [Rate_changed] documents every aggregate
+    rate adjustment (including contingency draws and releases) and is
+    ignored on replay — the rate is a deterministic function of the
+    admissions.
+
+    When no hook is installed the emission sites cost one load and one
+    branch and allocate nothing. *)
+type mutation =
+  | Admit of { flow : Types.flow_id; request : Types.request; rate : float; delay : float }
+      (** a per-flow reservation was booked (via {!request} or
+          {!request_fixed}) *)
+  | Admit_class of { flow : Types.flow_id; class_id : int; request : Types.request }
+      (** a microflow joined a class macroflow *)
+  | Teardown of Types.flow_id  (** a per-flow reservation was released *)
+  | Teardown_class of Types.flow_id  (** a microflow left its macroflow *)
+  | Queue_emptied of { class_id : int; links : int list }
+      (** edge queue-empty feedback released a macroflow's contingency;
+          the path is named by its link-id sequence, which is stable
+          across brokers (path ids are not) *)
+  | Evacuated of { class_id : int; links : int list }
+      (** a whole macroflow was hard-released by {!fail_link} *)
+  | Link_failed of int  (** link marked down (physical record) *)
+  | Link_restored of int  (** link marked up (physical record) *)
+  | Rate_changed of { class_id : int; path_id : int; total_rate : float }
+      (** informational: an aggregate rate (base + contingency) changed *)
+
+val set_mutation_hook : t -> (mutation -> unit) -> unit
+(** Install the (single) mutation hook, replacing any previous one. *)
+
+val clear_mutation_hook : t -> unit
+
 val now : t -> float
 (** The broker's clock (from [time]; 0 under {!immediate_time}). *)
 

@@ -1,6 +1,7 @@
 type t = {
   make_standby : unit -> Broker.t;
   time : Broker.time_hooks;
+  journal : Journal.t option;
   mutable active : Broker.t;
   mutable up : bool;
   mutable last : (float * string) option;
@@ -8,13 +9,16 @@ type t = {
   mutable generation : int;
   mutable ticking : bool;
   mutable stopped : bool;
+  mutable replay_warning : string option;
 }
 
-let create ~make_standby ?time primary =
+let create ~make_standby ?time ?journal primary =
   let time = Option.value ~default:Broker.immediate_time time in
+  (match journal with None -> () | Some j -> Journal.attach j primary);
   {
     make_standby;
     time;
+    journal;
     active = primary;
     up = true;
     last = None;
@@ -22,16 +26,24 @@ let create ~make_standby ?time primary =
     generation = 0;
     ticking = false;
     stopped = false;
+    replay_warning = None;
   }
 
 let active t = t.active
 
 let is_up t = t.up
 
+let journal t = t.journal
+
+let replay_warning t = t.replay_warning
+
 let checkpoint t =
   if t.up then begin
     t.last <- Some (t.time.Broker.now (), Snapshot.save t.active);
     t.checkpoints <- t.checkpoints + 1;
+    (* The checkpoint covers everything the journal rebuilt: the prefix
+       is redundant, so the checkpoint is the compaction point. *)
+    (match t.journal with None -> () | Some j -> Journal.compact j);
     if Obs_log.active () then begin
       Obs_log.count "bb_failover_checkpoints_total";
       Obs_log.event ~at:(t.time.Broker.now ()) "bb.failover.checkpoint"
@@ -62,26 +74,58 @@ let crash t =
   end
 
 let promote t =
-  match t.last with
-  | None -> Error "no checkpoint to promote from"
-  | Some (_, snapshot) -> (
+  match (t.last, t.journal) with
+  | None, None -> Error "no checkpoint to promote from"
+  | last, journal -> (
       let standby = t.make_standby () in
-      match Snapshot.restore standby snapshot with
+      (* Checkpoint first (when one exists), then the journal tail on
+         top: records since the last checkpoint — the admissions PR 1's
+         snapshot-only failover lost.  With a journal but no checkpoint
+         yet, the journal covers the broker's whole life and replays
+         from empty. *)
+      let restored =
+        match last with
+        | None -> Ok 0
+        | Some (_, snapshot) -> Snapshot.restore standby snapshot
+      in
+      match restored with
       | Error e -> Error e
-      | Ok restored ->
-          t.active <- standby;
-          t.up <- true;
-          t.generation <- t.generation + 1;
-          if Obs_log.active () then begin
-            Obs_log.count "bb_failover_promotions_total";
-            Obs_log.event ~at:(t.time.Broker.now ()) "bb.failover.promote"
-              ~attrs:
-                [
-                  ("generation", string_of_int t.generation);
-                  ("restored", string_of_int restored);
-                ]
-          end;
-          Ok restored)
+      | Ok restored -> (
+          let tail =
+            match journal with
+            | None -> Ok { Journal.applied = 0; warning = None }
+            | Some j -> (
+                match Journal.replay standby (Journal.text j) with
+                | Ok outcome -> Ok outcome
+                | Error e -> Error (Printf.sprintf "journal replay failed: %s" e))
+          in
+          match tail with
+          | Error e -> Error e
+          | Ok { Journal.applied; warning } ->
+              t.replay_warning <- warning;
+              Broker.clear_mutation_hook t.active;
+              t.active <- standby;
+              t.up <- true;
+              t.generation <- t.generation + 1;
+              (* The promoted state is the new baseline: checkpoint it and
+                 start journaling the standby's own mutations from here. *)
+              t.last <- Some (t.time.Broker.now (), Snapshot.save standby);
+              (match journal with
+              | None -> ()
+              | Some j ->
+                  Journal.compact j;
+                  Journal.attach j standby);
+              if Obs_log.active () then begin
+                Obs_log.count "bb_failover_promotions_total";
+                Obs_log.event ~at:(t.time.Broker.now ()) "bb.failover.promote"
+                  ~attrs:
+                    [
+                      ("generation", string_of_int t.generation);
+                      ("restored", string_of_int restored);
+                      ("replayed", string_of_int applied);
+                    ]
+              end;
+              Ok (restored + applied)))
 
 let snapshot_age t =
   match t.last with

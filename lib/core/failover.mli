@@ -7,21 +7,33 @@
     models the crash, and promotes a freshly built standby from that
     checkpoint.
 
-    Recovery semantics: flows admitted after the last checkpoint are lost
-    on promotion (their eventual DRQs are harmless no-ops thanks to
-    idempotent teardown); everything checkpointed is restored exactly,
-    under its original flow id.  In-flight requests are not the manager's
-    problem — a reliable {!Cops} channel retransmits them to the promoted
-    broker once {!Cops.set_broker} repoints it. *)
+    Recovery semantics without a journal: flows admitted after the last
+    checkpoint are lost on promotion (their eventual DRQs are harmless
+    no-ops thanks to idempotent teardown); everything checkpointed is
+    restored exactly, under its original flow id.  With a {!Journal}
+    attached, promotion additionally replays the journal tail — every
+    mutation since the last checkpoint — so nothing durably journaled is
+    lost at all: the recovered broker is decision-equivalent to the
+    crashed one (equal {!Audit.mib_digest}).  In-flight requests are not
+    the manager's problem — a reliable {!Cops} channel retransmits them
+    to the promoted broker once {!Cops.set_broker} repoints it. *)
 
 type t
 
-val create : make_standby:(unit -> Broker.t) -> ?time:Broker.time_hooks -> Broker.t -> t
+val create :
+  make_standby:(unit -> Broker.t) ->
+  ?time:Broker.time_hooks ->
+  ?journal:Journal.t ->
+  Broker.t ->
+  t
 (** [make_standby ()] must build a fresh broker over the same topology
     and classes as the primary (it is called at promotion time, so the
     standby starts empty).  [time] defaults to {!Broker.immediate_time} —
     fine for manual {!checkpoint} calls, but see the warning on
-    {!start_checkpoints}. *)
+    {!start_checkpoints}.  [journal], when given, is attached to the
+    primary immediately (every mutation from here on is journaled),
+    compacted at each {!checkpoint}, replayed and re-attached at
+    {!promote}. *)
 
 val active : t -> Broker.t
 (** The broker currently holding the PDP role: the primary until a
@@ -30,8 +42,9 @@ val active : t -> Broker.t
 val is_up : t -> bool
 
 val checkpoint : t -> unit
-(** Snapshot the active broker now, replacing the previous checkpoint.
-    Ignored while crashed. *)
+(** Snapshot the active broker now, replacing the previous checkpoint,
+    and compact the attached journal (the checkpoint covers everything
+    its records rebuilt).  Ignored while crashed. *)
 
 val start_checkpoints : t -> every:float -> unit
 (** Checkpoint on a periodic timer.  Requires real (engine-driven) time
@@ -50,11 +63,24 @@ val crash : t -> unit
     {!Cops.set_pdp_up} to make the signaling channel see the outage. *)
 
 val promote : t -> (int, string) result
-(** Build a standby with [make_standby] and restore the latest checkpoint
-    into it.  On [Ok n] ([n] = reservations restored) the standby is the
-    new {!active} and is up; repoint signaling at it with
-    {!Cops.set_broker}.  [Error] when no checkpoint exists or the restore
-    fails — the previous active broker is left in place (still down). *)
+(** Build a standby with [make_standby], restore the latest checkpoint
+    into it, then replay the journal tail (when a journal is attached; a
+    journal with no checkpoint yet replays from empty).  On [Ok n] ([n] =
+    reservations restored + journal records applied) the standby is the
+    new {!active} and is up, a fresh checkpoint of it is taken, and the
+    journal — compacted and re-attached — resumes on the standby; repoint
+    signaling with {!Cops.set_broker}.  [Error] when there is nothing to
+    promote from or a restore/replay step fails — the previous active
+    broker is left in place (still down), untouched: replay happens on
+    the standby only. *)
+
+val journal : t -> Journal.t option
+(** The write-ahead journal attached at {!create}, if any. *)
+
+val replay_warning : t -> string option
+(** The tail-truncation warning of the last promotion's journal replay —
+    [Some _] when a torn or corrupt record cut the replay short (records
+    past the cut are lost, as after a real crash). *)
 
 val snapshot_age : t -> float option
 (** Time since the last checkpoint — the window of admissions a crash

@@ -1,0 +1,334 @@
+module Traffic = Bbr_vtrs.Traffic
+module Topology = Bbr_vtrs.Topology
+module Crc32 = Bbr_util.Crc32
+
+let header = "bbr-journal v1"
+
+(* Floats render as [%h] (full hex precision, as in {!Snapshot}): a round
+   trip is bit-exact. *)
+let links_str links = String.concat "," (List.map string_of_int links)
+
+let kind_label : Broker.mutation -> string = function
+  | Broker.Admit _ -> "admit"
+  | Broker.Admit_class _ -> "admit_class"
+  | Broker.Teardown _ -> "teardown"
+  | Broker.Teardown_class _ -> "teardown_class"
+  | Broker.Queue_emptied _ -> "queue_empty"
+  | Broker.Evacuated _ -> "evacuate"
+  | Broker.Link_failed _ -> "link_failed"
+  | Broker.Link_restored _ -> "link_restored"
+  | Broker.Rate_changed _ -> "rate_change"
+
+let payload (m : Broker.mutation) =
+  match m with
+  | Broker.Admit { flow; request = r; rate; delay } ->
+      let p = r.Types.profile in
+      Printf.sprintf "admit %d %h %h %h %h %h %s %s %h %h" flow p.Traffic.sigma
+        p.Traffic.rho p.Traffic.peak p.Traffic.lmax r.Types.dreq r.Types.ingress
+        r.Types.egress rate delay
+  | Broker.Admit_class { flow; class_id; request = r } ->
+      let p = r.Types.profile in
+      Printf.sprintf "admitc %d %d %h %h %h %h %h %s %s" flow class_id p.Traffic.sigma
+        p.Traffic.rho p.Traffic.peak p.Traffic.lmax r.Types.dreq r.Types.ingress
+        r.Types.egress
+  | Broker.Teardown flow -> Printf.sprintf "drop %d" flow
+  | Broker.Teardown_class flow -> Printf.sprintf "dropc %d" flow
+  | Broker.Queue_emptied { class_id; links } ->
+      Printf.sprintf "qempty %d %s" class_id (links_str links)
+  | Broker.Evacuated { class_id; links } ->
+      Printf.sprintf "evac %d %s" class_id (links_str links)
+  | Broker.Link_failed link_id -> Printf.sprintf "linkdown %d" link_id
+  | Broker.Link_restored link_id -> Printf.sprintf "linkup %d" link_id
+  | Broker.Rate_changed { class_id; path_id; total_rate } ->
+      Printf.sprintf "rate %d %d %h" class_id path_id total_rate
+
+let encode ~seq ~at m =
+  let body = Printf.sprintf "%d %h %s" seq at (payload m) in
+  Crc32.to_hex (Crc32.string body) ^ " " ^ body
+
+(* --------------------------------------------------------------- *)
+(* Decoding.  All helpers return options; nothing here may raise.  *)
+
+let links_of_str s =
+  if s = "" then Some []
+  else
+    let parts = String.split_on_char ',' s in
+    let rec go acc = function
+      | [] -> Some (List.rev acc)
+      | p :: rest -> (
+          match int_of_string_opt p with
+          | Some id -> go (id :: acc) rest
+          | None -> None)
+    in
+    go [] parts
+
+let decode_payload fields : Broker.mutation option =
+  let fl = float_of_string in
+  match
+    match fields with
+    | [ "admit"; flow; sigma; rho; peak; lmax; dreq; ingress; egress; rate; delay ] ->
+        Some
+          (Broker.Admit
+             {
+               flow = int_of_string flow;
+               request =
+                 {
+                   Types.profile =
+                     Traffic.make ~sigma:(fl sigma) ~rho:(fl rho) ~peak:(fl peak)
+                       ~lmax:(fl lmax);
+                   dreq = fl dreq;
+                   ingress;
+                   egress;
+                 };
+               rate = fl rate;
+               delay = fl delay;
+             })
+    | [ "admitc"; flow; class_id; sigma; rho; peak; lmax; dreq; ingress; egress ] ->
+        Some
+          (Broker.Admit_class
+             {
+               flow = int_of_string flow;
+               class_id = int_of_string class_id;
+               request =
+                 {
+                   Types.profile =
+                     Traffic.make ~sigma:(fl sigma) ~rho:(fl rho) ~peak:(fl peak)
+                       ~lmax:(fl lmax);
+                   dreq = fl dreq;
+                   ingress;
+                   egress;
+                 };
+             })
+    | [ "drop"; flow ] -> Some (Broker.Teardown (int_of_string flow))
+    | [ "dropc"; flow ] -> Some (Broker.Teardown_class (int_of_string flow))
+    | [ "qempty"; class_id; links ] ->
+        Option.map
+          (fun links -> Broker.Queue_emptied { class_id = int_of_string class_id; links })
+          (links_of_str links)
+    | [ "evac"; class_id; links ] ->
+        Option.map
+          (fun links -> Broker.Evacuated { class_id = int_of_string class_id; links })
+          (links_of_str links)
+    | [ "linkdown"; link_id ] -> Some (Broker.Link_failed (int_of_string link_id))
+    | [ "linkup"; link_id ] -> Some (Broker.Link_restored (int_of_string link_id))
+    | [ "rate"; class_id; path_id; total ] ->
+        Some
+          (Broker.Rate_changed
+             {
+               class_id = int_of_string class_id;
+               path_id = int_of_string path_id;
+               total_rate = fl total;
+             })
+    | _ -> None
+  with
+  | exception _ -> None
+  | v -> v
+
+(* [Some (seq, at, mutation)] iff the line is a complete, CRC-clean
+   record. *)
+let decode_line line =
+  match String.index_opt line ' ' with
+  | None -> None
+  | Some i -> (
+      let crc_s = String.sub line 0 i in
+      let body = String.sub line (i + 1) (String.length line - i - 1) in
+      match Crc32.of_hex crc_s with
+      | None -> None
+      | Some crc ->
+          if crc <> Crc32.string body then None
+          else
+            (match String.split_on_char ' ' body with
+            | seq :: at :: rest -> (
+                match (int_of_string_opt seq, float_of_string_opt at) with
+                | Some seq, Some at ->
+                    Option.map (fun m -> (seq, at, m)) (decode_payload rest)
+                | _ -> None)
+            | _ -> None))
+
+let parse text =
+  match String.split_on_char '\n' text with
+  | [] | [ "" ] -> Error "empty journal"
+  | first :: rest when String.trim first = header ->
+      let entries = ref [] in
+      let warning = ref None in
+      let expected_seq = ref None in
+      List.iteri
+        (fun i line ->
+          if !warning = None && String.trim line <> "" then
+            match decode_line line with
+            | Some (seq, at, m) -> (
+                match !expected_seq with
+                | Some e when seq <> e ->
+                    warning :=
+                      Some
+                        (Printf.sprintf
+                           "journal sequence gap at line %d (record %d, expected %d); \
+                            dropping the tail"
+                           (i + 2) seq e)
+                | _ ->
+                    expected_seq := Some (seq + 1);
+                    entries := (at, m) :: !entries)
+            | None ->
+                warning :=
+                  Some
+                    (Printf.sprintf
+                       "torn or corrupt journal record at line %d; dropping the tail"
+                       (i + 2)))
+        rest;
+      Ok (List.rev !entries, !warning)
+  | first :: _ -> Error (Printf.sprintf "bad journal header: %S" (String.trim first))
+
+(* --------------------------------------------------------------- *)
+(* Replay.                                                         *)
+
+type replay_outcome = { applied : int; warning : string option }
+
+let apply broker (m : Broker.mutation) =
+  match m with
+  | Broker.Admit { flow; request; rate; delay } -> (
+      match Broker.request_fixed broker ~flow request ~rate ~delay () with
+      | Ok _ -> Ok ()
+      | Error r ->
+          Error
+            (Fmt.str "replaying admit of flow %d failed: %a" flow
+               Types.pp_reject_reason r))
+  | Broker.Admit_class { flow; class_id; request } -> (
+      match Broker.request_class broker ~class_id ~flow request with
+      | Ok _ -> Ok ()
+      | Error r ->
+          Error
+            (Fmt.str "replaying class admit of flow %d failed: %a" flow
+               Types.pp_reject_reason r))
+  | Broker.Teardown flow ->
+      Broker.teardown broker flow;
+      Ok ()
+  | Broker.Teardown_class flow ->
+      Broker.teardown_class broker flow;
+      Ok ()
+  | Broker.Queue_emptied { class_id; links } -> (
+      match Path_mib.find_links (Broker.path_mib broker) ~links with
+      | Some info ->
+          Broker.queue_empty broker ~class_id ~path_id:info.Path_mib.path_id;
+          Ok ()
+      | None -> Ok () (* the macroflow never re-formed; nothing to release *))
+  | Broker.Evacuated { class_id; links } -> (
+      match Path_mib.find_links (Broker.path_mib broker) ~links with
+      | Some info ->
+          ignore
+            (Aggregate.evacuate (Broker.aggregate broker) ~class_id
+               ~path_id:info.Path_mib.path_id);
+          Ok ()
+      | None -> Ok ())
+  | Broker.Link_failed link_id ->
+      (* Physical record: the teardown/re-admission cascade is journaled
+         separately, so replay must not re-run {!Broker.fail_link}. *)
+      Topology.set_link_state (Broker.topology broker) ~link_id ~up:false;
+      Ok ()
+  | Broker.Link_restored link_id ->
+      Topology.set_link_state (Broker.topology broker) ~link_id ~up:true;
+      Ok ()
+  | Broker.Rate_changed _ -> Ok () (* informational; rates follow from the admissions *)
+
+let replay broker text =
+  match parse text with
+  | Error e -> Error e
+  | Ok (entries, warning) ->
+      let rec go n = function
+        | [] -> Ok { applied = n; warning }
+        | (_at, m) :: rest -> (
+            match (try apply broker m with exn -> Error (Printexc.to_string exn)) with
+            | Ok () -> go (n + 1) rest
+            | Error msg -> Error msg)
+      in
+      go 0 entries
+
+(* --------------------------------------------------------------- *)
+(* The writer.                                                     *)
+
+(* Records are kept unencoded and serialized only when the journal text
+   is materialized (group commit: a real WAL writer renders and flushes
+   them at durability boundaries, off the commit path).  The mutation
+   values are immutable, so deferred encoding sees exactly the committed
+   state, and the hook costs a cons per record on the admission path. *)
+type pending = { p_seq : int; p_at : float; p_m : Broker.mutation }
+
+type t = {
+  fsync_every : int;
+  mutable recs : pending list;  (* newest first *)
+  mutable records : int;  (* since the last compaction *)
+  mutable torn : string option;  (* half-record a crash left behind *)
+  mutable seq : int;  (* records ever appended *)
+  mutable record_hook : (int -> unit) option;
+}
+
+let create ?(fsync_every = 1) () =
+  if fsync_every < 1 then invalid_arg "Journal.create: fsync_every must be >= 1";
+  { fsync_every; recs = []; records = 0; torn = None; seq = 0; record_hook = None }
+
+let records t = t.records
+
+let appended_total t = t.seq
+
+let synced_records t = t.records - (t.records mod t.fsync_every)
+
+let on_record t f = t.record_hook <- Some f
+
+let append t ~at m =
+  t.recs <- { p_seq = t.seq; p_at = at; p_m = m } :: t.recs;
+  t.seq <- t.seq + 1;
+  t.records <- t.records + 1;
+  if Obs_log.active () then
+    Obs_log.count "bb_journal_records_total" ~labels:[ ("kind", kind_label m) ];
+  match t.record_hook with None -> () | Some f -> f t.seq
+
+let attach t broker =
+  Broker.set_mutation_hook broker (fun m -> append t ~at:(Broker.now broker) m)
+
+let compact t =
+  t.recs <- [];
+  t.records <- 0;
+  t.torn <- None;
+  if Obs_log.active () then Obs_log.count "bb_journal_compactions_total"
+
+let encode_pending r = encode ~seq:r.p_seq ~at:r.p_at r.p_m
+
+let text t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf header;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun r ->
+      Buffer.add_string buf (encode_pending r);
+      Buffer.add_char buf '\n')
+    (List.rev t.recs);
+  (match t.torn with None -> () | Some frag -> Buffer.add_string buf frag);
+  Buffer.contents buf
+
+let drop_tail ?(torn = false) t ~records:n =
+  let n = min n t.records in
+  if n > 0 then begin
+    (* [t.recs] is newest first, so the first [n] are the ones lost. *)
+    let rec take k acc rest =
+      if k = 0 then (acc, rest)
+      else
+        match rest with
+        | [] -> (acc, [])
+        | r :: rest -> take (k - 1) (r :: acc) rest
+    in
+    let dropped_oldest_first, kept = take n [] t.recs in
+    t.recs <- kept;
+    t.records <- t.records - n;
+    t.torn <-
+      (if torn then
+         match dropped_oldest_first with
+         | oldest :: _ ->
+             let line = encode_pending oldest in
+             Some (String.sub line 0 (String.length line / 2))
+         | [] -> None
+       else None)
+  end
+
+let crash_cut t =
+  let unsynced = t.records - synced_records t in
+  if unsynced > 0 then drop_tail ~torn:true t ~records:unsynced;
+  unsynced

@@ -1,0 +1,112 @@
+(** Write-ahead journal of broker state mutations.
+
+    PR 1's warm-standby failover restores the last periodic checkpoint,
+    losing every admission since.  The journal closes that gap: every
+    {!Broker.mutation} is appended — CRC-32 per record, before the
+    decision leaves the broker — so a standby can reconstruct the crashed
+    primary exactly as [checkpoint + journal tail].
+
+    {b Format.}  Versioned line-oriented text.  A header line, then one
+    record per line:
+
+    {v <crc32-hex> <seq> <at> <payload> v}
+
+    [crc32] covers everything after it; [seq] is a monotonic record
+    number (a gap means lost records); [at] is the broker clock;
+    [payload] is the mutation, floats in lossless [%h] notation and paths
+    named by their link-id sequences (path {e ids} are not portable
+    across brokers).
+
+    {b Durability model.}  The in-memory writer mirrors a file that is
+    fsynced every [fsync_every] records.  Like a real WAL writer it group
+    commits: records are held unencoded on the commit path (a cons per
+    mutation) and serialized when the journal text is materialized at a
+    durability boundary.  {!crash_cut} models a crash:
+    records past the last fsync boundary are lost, and the first of them
+    survives as a torn half-record, exactly what a power cut leaves
+    behind.  {!parse} and {!replay} tolerate a torn or corrupt tail by
+    truncating at the first bad record and warning — they never raise.
+
+    {b Compaction.}  A checkpoint makes the journal prefix redundant:
+    {!Failover.checkpoint} calls {!compact} after snapshotting, so the
+    journal always holds exactly the tail since the last checkpoint. *)
+
+type t
+
+val header : string
+(** First line of every journal: ["bbr-journal v1"]. *)
+
+(** {1 Writing} *)
+
+val create : ?fsync_every:int -> unit -> t
+(** A fresh, empty journal.  [fsync_every] (default 1) is the number of
+    records between durability boundaries; 1 means every record survives
+    a crash.  Raises [Invalid_argument] when [< 1]. *)
+
+val attach : t -> Broker.t -> unit
+(** Install the journal as the broker's mutation hook: every subsequent
+    mutation is appended, stamped with the broker clock. *)
+
+val append : t -> at:float -> Broker.mutation -> unit
+(** Append one record (what {!attach} arranges to happen on every
+    mutation). *)
+
+val compact : t -> unit
+(** Drop all records: the state they rebuilt is covered by a newer
+    checkpoint. *)
+
+val records : t -> int
+(** Records currently in the journal (since the last {!compact}). *)
+
+val appended_total : t -> int
+(** Records ever appended, across compactions — the record-boundary
+    count crash-point injection triggers on. *)
+
+val synced_records : t -> int
+(** Records up to the last fsync boundary — what a crash right now is
+    guaranteed to keep. *)
+
+val on_record : t -> (int -> unit) -> unit
+(** Install a callback fired after every append with {!appended_total} —
+    the hook fault injection uses to kill a broker at an exact record
+    boundary. *)
+
+val text : t -> string
+(** Serialize: header, records oldest first, then the torn fragment (no
+    trailing newline) if a {!crash_cut} left one. *)
+
+(** {1 Crash modelling} *)
+
+val drop_tail : ?torn:bool -> t -> records:int -> unit
+(** Lose the newest [records] records (clamped).  With [~torn:true] the
+    oldest lost record survives as a half-written fragment. *)
+
+val crash_cut : t -> int
+(** Truncate to the last fsync boundary, leaving the first unsynced
+    record torn; returns the number of records lost.  0 when
+    [fsync_every = 1]. *)
+
+(** {1 Reading} *)
+
+val parse : string -> ((float * Broker.mutation) list * string option, string) result
+(** Decode a journal.  [Error] only for a missing/bad header; anything
+    wrong after that — CRC mismatch, sequence gap, torn or malformed
+    record — truncates the journal at the first bad record and comes back
+    as [Ok (prefix, Some warning)].  Never raises. *)
+
+type replay_outcome = {
+  applied : int;  (** records applied *)
+  warning : string option;  (** tail-truncation warning from {!parse} *)
+}
+
+val replay : Broker.t -> string -> (replay_outcome, string) result
+(** Apply every journaled mutation, in order, to [broker] — normally a
+    standby freshly restored from the matching checkpoint.  Admissions
+    re-book under their original flow ids and rates; link records change
+    only topology state (the recovery cascade is journaled record by
+    record).  [Error] when the header is bad or a re-booking fails, in
+    which case the broker may be partially updated — replay into a fresh
+    broker, as {!Failover.promote} does.  Never raises. *)
+
+val encode : seq:int -> at:float -> Broker.mutation -> string
+(** One record line (without the newline) — exposed for fuzzing. *)

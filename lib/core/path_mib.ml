@@ -86,6 +86,8 @@ let residual t info =
 
 let find t ~path_id = List.find_opt (fun i -> i.path_id = path_id) t.infos
 
+let find_links t ~links = Hashtbl.find_opt t.by_links links
+
 let paths t = List.rev t.infos
 
 let pp_info ppf info =

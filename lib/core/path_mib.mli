@@ -31,6 +31,12 @@ val residual : t -> info -> float
 
 val find : t -> path_id:int -> info option
 
+val find_links : t -> links:int list -> info option
+(** Look a registered path up by its link-id sequence — the path identity
+    that is stable across brokers (path ids depend on registration order,
+    so a journal or snapshot replayed onto a standby names paths by their
+    links). *)
+
 val paths : t -> info list
 
 val pp_info : info Fmt.t

@@ -1,4 +1,5 @@
 module Traffic = Bbr_vtrs.Traffic
+module Topology = Bbr_vtrs.Topology
 
 let header = "bbr-snapshot v1"
 
@@ -51,12 +52,50 @@ let save broker =
             (Aggregate.members agg ~class_id:s.Aggregate.class_id
                ~path_id:s.Aggregate.path_id))
     (Aggregate.all_macroflows agg);
+  (* Auxiliary aggregate state.  Replaying the member joins above creates
+     fresh contingency grants and recomputes edge-delay bounds from
+     scratch, while the primary's actual pools may be smaller (grants
+     already released) and its bounds decayed.  The [aux] marker tells
+     the restore to sweep the join-created contingency and re-establish
+     the exact saved grants and bounds; snapshots without it (older
+     writers) keep the replay-synthesised — conservative — contingency.
+     Paths are named by link-id sequences, the identity that is stable
+     across brokers. *)
+  Buffer.add_string buf "aux\n";
+  let pm = Broker.path_mib broker in
+  List.iter
+    (fun (s : Aggregate.macro_stats) ->
+      match Path_mib.find pm ~path_id:s.Aggregate.path_id with
+      | None -> ()
+      | Some info ->
+          let links =
+            String.concat ","
+              (List.map
+                 (fun (l : Topology.link) -> string_of_int l.Topology.link_id)
+                 info.Path_mib.links)
+          in
+          List.iter
+            (fun amount ->
+              Buffer.add_string buf
+                (Printf.sprintf "grant %d %s %s\n" s.Aggregate.class_id links
+                   (pf amount)))
+            (Aggregate.grant_amounts agg ~class_id:s.Aggregate.class_id
+               ~path_id:s.Aggregate.path_id);
+          Buffer.add_string buf
+            (Printf.sprintf "bound %d %s %s\n" s.Aggregate.class_id links
+               (pf s.Aggregate.edge_bound)))
+    (Aggregate.all_macroflows agg);
   Buffer.contents buf
 
 type entry =
   [ `Next of int
   | `Flow of int * Traffic.t * float * string * string * float * float
-  | `Member of int * int * Traffic.t * string * string ]
+  | `Member of int * int * Traffic.t * string * string
+  | `Aux
+  | `Grant of int * int list * float
+  | `Bound of int * int list * float ]
+
+let links_of_str s = List.map int_of_string (String.split_on_char ',' s)
 
 let parse_line line : ([ entry | `Blank ], string) result =
   let unparseable () = Error (Printf.sprintf "unparseable snapshot line: %S" line) in
@@ -88,6 +127,13 @@ let parse_line line : ([ entry | `Blank ], string) result =
                   ~lmax:(float_of_string lmax),
                 ingress,
                 egress )
+        | [ "aux" ] -> `Aux
+        | [ "grant"; class_id; links; amount ] ->
+            `Grant
+              (int_of_string class_id, links_of_str links, float_of_string amount)
+        | [ "bound"; class_id; links; bound ] ->
+            `Bound
+              (int_of_string class_id, links_of_str links, float_of_string bound)
         | [] | [ "" ] -> `Blank
         | _ -> `Malformed
       with
@@ -143,6 +189,40 @@ let replay broker entries =
             Error
               (Fmt.str "re-joining a class member failed: %a" Types.pp_reject_reason
                  reason))
+    | `Aux :: rest ->
+        (* Every member is joined by now; drop the contingency the joins
+           synthesised so the grant/bound lines below re-establish the
+           primary's exact pools. *)
+        let agg = Broker.aggregate broker in
+        List.iter
+          (fun (s : Aggregate.macro_stats) ->
+            Aggregate.sweep_contingency agg ~class_id:s.Aggregate.class_id
+              ~path_id:s.Aggregate.path_id)
+          (Aggregate.all_macroflows agg);
+        go rest
+    | `Grant (class_id, links, amount) :: rest -> (
+        match Path_mib.find_links (Broker.path_mib broker) ~links with
+        | None ->
+            Error
+              (Printf.sprintf
+                 "contingency grant for class %d names an unknown path" class_id)
+        | Some info -> (
+            match
+              Aggregate.restore_grant (Broker.aggregate broker) ~class_id
+                ~path_id:info.Path_mib.path_id ~amount
+            with
+            | Ok () -> go rest
+            | Error reason ->
+                Error
+                  (Fmt.str "re-establishing a contingency grant failed: %a"
+                     Types.pp_reject_reason reason)))
+    | `Bound (class_id, links, bound) :: rest ->
+        (match Path_mib.find_links (Broker.path_mib broker) ~links with
+        | Some info ->
+            Aggregate.set_edge_bound (Broker.aggregate broker) ~class_id
+              ~path_id:info.Path_mib.path_id bound
+        | None -> ());
+        go rest
   in
   go entries
 

@@ -11,10 +11,14 @@
     rate–delay pairs are re-booked verbatim via
     {!Broker.request_fixed}) and deterministic for class-based
     reservations (joins replay in flow-id order, reproducing the same
-    aggregate rates).  Transient contingency bandwidth is deliberately
-    {e not} captured: after a fail-over the standby starts from the steady
-    allocation, which a fresh queue-empty signal would have produced
-    anyway.
+    aggregate rates).  Auxiliary aggregate state — the live contingency
+    grants and edge-delay bounds — is captured exactly in an [aux]
+    section: on restore, the contingency the replayed joins synthesised
+    is swept and the primary's precise pools are re-established, so a
+    standby resumes with bit-identical allocation state (the
+    deterministic-resume guarantee the crash-recovery tests assert).
+    Older snapshots without the [aux] marker restore as before, keeping
+    the conservative join-synthesised contingency.
 
     Flow ids are preserved: every reservation is re-booked under its
     original id, and the saved id horizon ([next] line) is reserved on

@@ -35,21 +35,27 @@ let action_kind = function
   | Crash _ -> "crash"
   | Recover _ -> "recover"
 
+let dispatch engine hooks action =
+  let kind = action_kind action in
+  Metrics.count "sim_fault_events_total" ~labels:[ ("kind", kind) ];
+  if Trace.enabled () then
+    Trace.event ~sim_time:(Engine.now engine) "sim.fault"
+      ~attrs:[ ("kind", kind); ("what", Fmt.str "%a" pp_action action) ];
+  match action with
+  | Link_down id -> hooks.on_link_down id
+  | Link_up id -> hooks.on_link_up id
+  | Crash who -> hooks.on_crash who
+  | Recover who -> hooks.on_recover who
+
 let install engine hooks events =
   List.iter
     (fun e ->
-      Engine.schedule engine ~at:e.at (fun () ->
-          let kind = action_kind e.action in
-          Metrics.count "sim_fault_events_total" ~labels:[ ("kind", kind) ];
-          if Trace.enabled () then
-            Trace.event ~sim_time:(Engine.now engine) "sim.fault"
-              ~attrs:[ ("kind", kind); ("what", Fmt.str "%a" pp_action e.action) ];
-          match e.action with
-          | Link_down id -> hooks.on_link_down id
-          | Link_up id -> hooks.on_link_up id
-          | Crash who -> hooks.on_crash who
-          | Recover who -> hooks.on_recover who))
+      Engine.schedule engine ~at:e.at (fun () -> dispatch engine hooks e.action))
     events
+
+let inject engine hooks action =
+  Engine.schedule engine ~at:(Engine.now engine) (fun () ->
+      dispatch engine hooks action)
 
 let drop prng ~p =
   if p < 0. || p >= 1. then invalid_arg "Fault.drop: p must be in [0, 1)";

@@ -41,6 +41,13 @@ val install : Engine.t -> hooks -> event list -> unit
 (** Schedule every event on the engine; at its time the matching hook
     fires. *)
 
+val inject : Engine.t -> hooks -> action -> unit
+(** Schedule one action at the engine's {e current} time — same metrics,
+    tracing and hook dispatch as a pre-planned event.  This is how
+    state-triggered faults enter the schedule: e.g. crash-point injection
+    kills the broker from a journal record-boundary callback, at whatever
+    simulated instant that record happens to be written. *)
+
 val drop : Bbr_util.Prng.t -> p:float -> unit -> bool
 (** A Bernoulli loss process: each call returns [true] (drop this
     message) with probability [p].  [p = 0] never samples the stream, so

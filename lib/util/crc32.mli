@@ -1,0 +1,12 @@
+(** CRC-32 (IEEE 802.3 polynomial, reflected), the checksum guarding each
+    write-ahead journal record against torn writes and bit rot.  Pure
+    OCaml, table-driven; no dependencies. *)
+
+val string : string -> int
+(** Checksum of a whole string, as a non-negative int in [0, 2^32). *)
+
+val to_hex : int -> string
+(** Fixed-width lowercase 8-digit hex rendering of a checksum. *)
+
+val of_hex : string -> int option
+(** Inverse of {!to_hex}; [None] when the input is not 8 hex digits. *)

@@ -46,3 +46,7 @@ let exponential t ~mean =
 let pick t a =
   assert (Array.length a > 0);
   a.(int t ~bound:(Array.length a))
+
+let state t = t.state
+
+let of_state state = { state }

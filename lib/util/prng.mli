@@ -40,3 +40,11 @@ val exponential : t -> mean:float -> float
 
 val pick : t -> 'a array -> 'a
 (** Uniform draw from a non-empty array. *)
+
+val state : t -> int64
+(** The raw generator state, for checkpointing a stream alongside broker
+    snapshots.  A generator rebuilt with {!of_state} continues the exact
+    same stream — the RNG half of deterministic resume after a crash. *)
+
+val of_state : int64 -> t
+(** Rebuild a generator from a saved {!state}. *)

@@ -48,6 +48,12 @@ val arrivals : config -> entry list
 (** The exact arrival sequence the configuration induces — {!run} replays
     this list, so a saved copy reproduces the run bit for bit. *)
 
+val service_classes : float -> Bbr_broker.Aggregate.class_def list
+(** The delay service classes every aggregating run uses: one per
+    distinct Table-1 bound, all with fixed-delay parameter [cd].  A
+    broker rebuilt offline (e.g. [bbsim recover]) must be created with
+    the same classes before a journal or snapshot can replay into it. *)
+
 val run_trace :
   ?setting:Fig8.setting ->
   ?cd:float ->

@@ -3,6 +3,8 @@ module Fault = Bbr_netsim.Fault
 module Broker = Bbr_broker.Broker
 module Cops = Bbr_broker.Cops
 module Failover = Bbr_broker.Failover
+module Journal = Bbr_broker.Journal
+module Audit = Bbr_broker.Audit
 module Types = Bbr_broker.Types
 module Topology = Bbr_vtrs.Topology
 module Prng = Bbr_util.Prng
@@ -23,6 +25,9 @@ type config = {
   checkpoint_every : float option;
   checkpoint_on_decision : bool;
   extra_links : (string * string * float) list;
+  journal : bool;
+  journal_fsync_every : int;
+  crash_at_record : int option;
 }
 
 let default_config =
@@ -42,6 +47,9 @@ let default_config =
     checkpoint_every = Some 50.;
     checkpoint_on_decision = false;
     extra_links = [];
+    journal = false;
+    journal_fsync_every = 1;
+    crash_at_record = None;
   }
 
 type outcome = {
@@ -58,6 +66,10 @@ type outcome = {
   messages : int;
   retransmissions : int;
   promote_error : string option;
+  journal_records_at_crash : int;
+  journal_records_lost : int;
+  digest_at_crash : string option;
+  digest_recovered : string option;
 }
 
 let pp_outcome ppf o =
@@ -71,7 +83,14 @@ let pp_outcome ppf o =
     (Fmt.option (fun ppf t -> Fmt.pf ppf ", recovered in %.3f s" t))
     o.recovery_time o.messages o.retransmissions o.unresolved
     (Fmt.option (fun ppf e -> Fmt.pf ppf "@,promotion FAILED: %s" e))
-    o.promote_error
+    o.promote_error;
+  if o.digest_at_crash <> None then
+    Fmt.pf ppf "@,journal: %d records at crash, %d lost; digests %s"
+      o.journal_records_at_crash o.journal_records_lost
+      (match (o.digest_at_crash, o.digest_recovered) with
+      | Some a, Some b when a = b -> "MATCH"
+      | Some _, Some _ -> "MISMATCH"
+      | _ -> "n/a (not recovered)")
 
 let link_id_of topo (src, dst) =
   match Topology.find_link topo ~src ~dst with
@@ -79,11 +98,16 @@ let link_id_of topo (src, dst) =
   | None -> invalid_arg (Printf.sprintf "Failure.run: no link %s -> %s" src dst)
 
 let run config =
+  let journaling = config.journal || config.crash_at_record <> None in
   if
-    config.crash_at <> None && config.checkpoint_every = None
-    && not config.checkpoint_on_decision
+    (config.crash_at <> None || config.crash_at_record <> None)
+    && config.checkpoint_every = None
+    && (not config.checkpoint_on_decision)
+    && not journaling
   then
-    invalid_arg "Failure.run: a crash needs checkpointing, or recovery is impossible";
+    invalid_arg
+      "Failure.run: a crash needs checkpointing or a journal, or recovery is \
+       impossible";
   let engine = Engine.create () in
   let topo = Fig8.topology config.setting in
   List.iter
@@ -97,7 +121,11 @@ let run config =
     }
   in
   let make () = Broker.create ~time topo in
-  let fw = Failover.create ~make_standby:make ~time (make ()) in
+  let journal =
+    if journaling then Some (Journal.create ~fsync_every:config.journal_fsync_every ())
+    else None
+  in
+  let fw = Failover.create ~make_standby:make ~time ?journal (make ()) in
   let prng = Prng.create ~seed:config.seed in
   let loss_rng = Prng.split prng in
   let cops =
@@ -123,6 +151,8 @@ let run config =
   let rerouted = ref 0 and dropped = ref 0 in
   let flows_at_crash = ref 0 and flows_restored = ref 0 in
   let recovery_time = ref None and promote_error = ref None in
+  let journal_records_at_crash = ref 0 and journal_records_lost = ref 0 in
+  let digest_at_crash = ref None and digest_recovered = ref None in
   (* Eager checkpointing keeps the standby's snapshot fresh relative to
      every booking the PEP has seen confirmed; teardowns checkpoint one
      round trip later, once the DRQ has reached the broker. *)
@@ -177,18 +207,46 @@ let run config =
       ~on_crash:(fun _ ->
         let crashed_at = Engine.now engine in
         flows_at_crash := Broker.per_flow_count (Failover.active fw);
+        (* Freeze the oracle BEFORE modelling the crash's data loss: the
+           digest of the dying primary is what a perfect recovery must
+           reproduce.  Then cut the journal at its last fsync boundary —
+           records past it never reached the disk. *)
+        (match journal with
+        | None -> ()
+        | Some j ->
+            digest_at_crash := Some (Audit.mib_digest (Failover.active fw));
+            journal_records_at_crash := Journal.records j;
+            journal_records_lost := Journal.crash_cut j);
         Failover.crash fw;
         Cops.set_pdp_up cops false;
         Engine.schedule_after engine ~delay:config.promote_after (fun () ->
             match Failover.promote fw with
             | Ok n ->
-                flows_restored := n;
+                (* With a journal, [n] counts snapshot lines + journal
+                   records (teardowns included); the live flow count of
+                   the recovered broker is the comparable figure. *)
+                flows_restored :=
+                  (if journal = None then n
+                   else Broker.per_flow_count (Failover.active fw));
+                if journal <> None then
+                  digest_recovered := Some (Audit.mib_digest (Failover.active fw));
                 Cops.set_broker cops (Failover.active fw);
                 Cops.set_pdp_up cops true;
                 recovery_time := Some (Engine.now engine -. crashed_at)
             | Error e -> promote_error := Some e))
       ()
   in
+  (* Crash-point injection at an exact journal record boundary: the
+     instant the [n]-th record is appended, schedule the crash at the
+     current simulated time.  Because the hook fires synchronously inside
+     the mutation, the crash lands between this record and the next —
+     there is no "few more admissions slip in" race. *)
+  (match (journal, config.crash_at_record) with
+  | Some j, Some n ->
+      Journal.on_record j (fun total ->
+          if total = n && Failover.is_up fw then
+            Fault.inject engine hooks (Fault.Crash "broker"))
+  | _ -> ());
   Fault.install engine hooks (List.stable_sort (fun a b -> compare a.Fault.at b.Fault.at) events);
   Engine.run ~until:config.horizon engine;
   (* Let the tail drain: departures past the horizon, in-flight
@@ -211,4 +269,8 @@ let run config =
     messages = Cops.messages cops;
     retransmissions = Cops.retransmissions cops;
     promote_error = !promote_error;
+    journal_records_at_crash = !journal_records_at_crash;
+    journal_records_lost = !journal_records_lost;
+    digest_at_crash = !digest_at_crash;
+    digest_recovered = !digest_recovered;
   }

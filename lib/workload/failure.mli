@@ -32,13 +32,24 @@ type config = {
   extra_links : (string * string * float) list;
       (** [(src, dst, capacity)] links added to the Figure-8 topology —
           e.g. a protection detour for the reroute experiment *)
+  journal : bool;
+      (** write-ahead journal every broker mutation; promotion then
+          replays the journal tail on top of the checkpoint, so a crash
+          loses only records past the last fsync boundary *)
+  journal_fsync_every : int;
+      (** journal durability boundary (records per fsync); 1 = every
+          record survives a crash *)
+  crash_at_record : int option;
+      (** crash the broker the instant the [n]-th journal record is
+          appended — exact record-boundary crash-point injection (implies
+          journaling even when [journal = false]) *)
 }
 
 val default_config : config
 (** Seed 1, rate-only Figure-8 setting, 0.15 arrivals/s held 200 s over a
     2000 s window, 4000 s horizon, loss-free 5 ms channel, no faults,
     checkpoints every 50 s (period only), 0.5 s promotion delay, no extra
-    links. *)
+    links, no journal ([fsync_every = 1] when one is enabled). *)
 
 type outcome = {
   offered : int;
@@ -54,11 +65,22 @@ type outcome = {
   messages : int;
   retransmissions : int;
   promote_error : string option;  (** [Some _] when promotion failed *)
+  journal_records_at_crash : int;
+      (** journal tail length when the broker died (0 when not journaling) *)
+  journal_records_lost : int;
+      (** records past the last fsync boundary, dropped by the crash *)
+  digest_at_crash : string option;
+      (** {!Bbr_broker.Audit.mib_digest} of the dying primary — the
+          recovery oracle; [None] when not journaling *)
+  digest_recovered : string option;
+      (** digest of the promoted standby; equals [digest_at_crash] iff
+          recovery was exact (always, when [journal_fsync_every = 1]) *)
 }
 
 val pp_outcome : outcome Fmt.t
 
 val run : config -> outcome
 (** Raises [Invalid_argument] when a [link_down]/[link_up] endpoint pair
-    names no link, or when [crash_at] is set with no checkpointing at all
-    (an unrecoverable configuration). *)
+    names no link, or when a crash is requested ([crash_at] or
+    [crash_at_record]) with neither checkpointing nor a journal (an
+    unrecoverable configuration). *)

@@ -358,11 +358,11 @@ let arb_mixed_load =
     QCheck.Gen.(list_size (int_range 1 8) (pair bool small_profile_gen))
 
 let prop_snapshot_round_trip_mixed =
-  (* Satellite property: a broker carrying per-flow bookings and class
-     members with contingency bandwidth in flight round-trips through
-     save/restore — same per_flow_count, class_flow_count, reservations
-     and aggregate base rates.  (Contingency itself is deliberately not
-     captured; see the Snapshot docs.) *)
+  (* A broker carrying per-flow bookings and class members with
+     contingency bandwidth in flight round-trips through save/restore —
+     same per_flow_count, class_flow_count, reservations, aggregate base
+     rates and (since the snapshot [aux] section) the exact contingency
+     pools. *)
   QCheck.Test.make ~count:60 ~name:"snapshot round-trips mixed load" arb_mixed_load
     (fun entries ->
       let mk () =
@@ -399,7 +399,10 @@ let prop_snapshot_round_trip_mixed =
       let base_rates b =
         List.map
           (fun (s : Aggregate.macro_stats) ->
-            (s.Aggregate.class_id, s.Aggregate.members, s.Aggregate.base_rate))
+            ( s.Aggregate.class_id,
+              s.Aggregate.members,
+              s.Aggregate.base_rate,
+              s.Aggregate.contingency ))
           (Aggregate.all_macroflows (Broker.aggregate b))
         |> List.sort compare
       in

@@ -1,0 +1,515 @@
+(* Tests for crash-consistent broker state: the write-ahead journal and
+   its replay, journal-aware failover, the MIB audit with anti-entropy
+   repair, deterministic resume of auxiliary state, and fuzzing of the
+   recovery decoders against truncated/corrupted inputs. *)
+
+module Topology = Bbr_vtrs.Topology
+module Traffic = Bbr_vtrs.Traffic
+module Types = Bbr_broker.Types
+module Broker = Bbr_broker.Broker
+module Aggregate = Bbr_broker.Aggregate
+module Journal = Bbr_broker.Journal
+module Snapshot = Bbr_broker.Snapshot
+module Failover = Bbr_broker.Failover
+module Audit = Bbr_broker.Audit
+module Flow_mib = Bbr_broker.Flow_mib
+module Node_mib = Bbr_broker.Node_mib
+module Failure = Bbr_workload.Failure
+module Fig8 = Bbr_workload.Fig8
+module Profiles = Bbr_workload.Profiles
+module Prng = Bbr_util.Prng
+module Crc32 = Bbr_util.Crc32
+
+let type0 = Profiles.profile 0
+
+let req ?(ingress = "A") ?(egress = "B") ?(dreq = 3.) ?(profile = type0) () =
+  { Types.profile; dreq; ingress; egress }
+
+(* Two parallel 2-hop paths A -> M1 -> B and A -> M2 -> B, generous
+   capacity so class joins with contingency in flight always fit. *)
+let two_path () =
+  let t = Topology.create () in
+  ignore (Topology.add_link t ~src:"A" ~dst:"M1" ~capacity:2e6 Topology.Rate_based);
+  ignore (Topology.add_link t ~src:"M1" ~dst:"B" ~capacity:2e6 Topology.Rate_based);
+  ignore (Topology.add_link t ~src:"A" ~dst:"M2" ~capacity:2e6 Topology.Rate_based);
+  ignore (Topology.add_link t ~src:"M2" ~dst:"B" ~capacity:2e6 Topology.Rate_based);
+  t
+
+let classes = [ { Aggregate.class_id = 0; dreq = 3.; cd = 0.24 } ]
+
+let mk_broker topo = Broker.create ~classes topo
+
+let admit broker =
+  match Broker.request broker (req ()) with
+  | Ok (flow, _) -> flow
+  | Error e -> Alcotest.failf "unexpected rejection: %a" Types.pp_reject_reason e
+
+let admit_class broker =
+  match Broker.request_class broker (req ()) with
+  | Ok (flow, _) -> flow
+  | Error e -> Alcotest.failf "unexpected rejection: %a" Types.pp_reject_reason e
+
+(* A broker exercising every mutation kind, with its journal: per-flow
+   admissions and teardowns, class joins/leaves, a queue-empty signal and
+   a link failure (evacuate + re-admit cascade). *)
+let busy_broker () =
+  let topo = two_path () in
+  let broker = mk_broker topo in
+  let j = Journal.create () in
+  Journal.attach j broker;
+  let f1 = admit broker in
+  let _f2 = admit broker in
+  let c1 = admit_class broker in
+  let _c2 = admit_class broker in
+  Broker.teardown broker f1;
+  (match Aggregate.owner (Broker.aggregate broker) ~flow:c1 with
+  | Some (class_id, path_id) -> Broker.queue_empty broker ~class_id ~path_id
+  | None -> Alcotest.fail "class member has no owner");
+  ignore (Broker.fail_link broker ~link_id:0);
+  Broker.restore_link broker ~link_id:0;
+  (broker, topo, j)
+
+(* ------------------------------------------------------------------ *)
+(* Journal: encode/decode round trip *)
+
+(* Replicas must replay over their own topology instance: replay mutates
+   link up/down state, and a shared [Topology.t] would leak one replica's
+   (possibly truncated) replay into the next.  Link ids are assigned in
+   construction order, so journals port across [two_path ()] instances. *)
+let fresh_replica () = mk_broker (two_path ())
+
+let test_journal_round_trip () =
+  let broker, _topo, j = busy_broker () in
+  Alcotest.(check bool) "journal non-trivial" true (Journal.records j > 5);
+  (match Journal.parse (Journal.text j) with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok (entries, warning) ->
+      Alcotest.(check int) "every record decodes" (Journal.records j)
+        (List.length entries);
+      Alcotest.(check bool) "no warning" true (warning = None));
+  let standby = fresh_replica () in
+  (match Journal.replay standby (Journal.text j) with
+  | Error e -> Alcotest.failf "replay failed: %s" e
+  | Ok { Journal.applied; warning } ->
+      Alcotest.(check int) "all applied" (Journal.records j) applied;
+      Alcotest.(check bool) "clean replay" true (warning = None));
+  Alcotest.(check string) "digest-identical replica"
+    (Audit.mib_digest broker) (Audit.mib_digest standby);
+  Alcotest.(check int) "same per-flow count" (Broker.per_flow_count broker)
+    (Broker.per_flow_count standby);
+  Alcotest.(check int) "same member count" (Broker.class_flow_count broker)
+    (Broker.class_flow_count standby)
+
+let test_journal_replay_idempotent () =
+  (* Two independent fresh brokers replaying the same journal converge on
+     the same digest — replay is a pure function of the journal. *)
+  let _broker, _topo, j = busy_broker () in
+  let a = fresh_replica () and b = fresh_replica () in
+  (match (Journal.replay a (Journal.text j), Journal.replay b (Journal.text j)) with
+  | Ok _, Ok _ -> ()
+  | _ -> Alcotest.fail "replay failed");
+  Alcotest.(check string) "identical digests" (Audit.mib_digest a) (Audit.mib_digest b)
+
+let test_journal_detects_corruption () =
+  let _broker, _topo, j = busy_broker () in
+  let text = Journal.text j in
+  (* Flip one payload character somewhere in the middle: CRC must catch
+     it and truncate there, never raise. *)
+  let lines = String.split_on_char '\n' text in
+  let target = 1 + (List.length lines / 2) in
+  let corrupted =
+    String.concat "\n"
+      (List.mapi
+         (fun i l ->
+           if i = target && String.length l > 12 then (
+             let b = Bytes.of_string l in
+             Bytes.set b (String.length l - 1)
+               (if Bytes.get b (String.length l - 1) = '0' then '1' else '0');
+             Bytes.to_string b)
+           else l)
+         lines)
+  in
+  match Journal.replay (fresh_replica ()) corrupted with
+  | Error e -> Alcotest.failf "corrupt tail must truncate, not fail: %s" e
+  | Ok { Journal.applied; warning } ->
+      Alcotest.(check bool) "prefix survived" true (applied >= target - 1);
+      Alcotest.(check bool) "tail truncated" true (applied < Journal.records j);
+      Alcotest.(check bool) "warning raised" true (warning <> None)
+
+let test_journal_torn_tail () =
+  let _broker, _topo, j = busy_broker () in
+  let n = Journal.records j in
+  Journal.drop_tail ~torn:true j ~records:2;
+  Alcotest.(check int) "two dropped" (n - 2) (Journal.records j);
+  (* The torn half-record fails its CRC; the intact prefix replays with a
+     warning. *)
+  match Journal.replay (fresh_replica ()) (Journal.text j) with
+  | Error e -> Alcotest.failf "torn tail must truncate, not fail: %s" e
+  | Ok { Journal.applied; warning } ->
+      Alcotest.(check int) "prefix applied" (n - 2) applied;
+      Alcotest.(check bool) "torn record warned about" true (warning <> None)
+
+let test_journal_crash_cut_and_compact () =
+  let j = Journal.create ~fsync_every:3 () in
+  let at = 0. in
+  for i = 0 to 6 do
+    Journal.append j ~at (Broker.Teardown i)
+  done;
+  Alcotest.(check int) "7 appended" 7 (Journal.records j);
+  Alcotest.(check int) "6 synced" 6 (Journal.synced_records j);
+  Alcotest.(check int) "crash loses the unsynced record" 1 (Journal.crash_cut j);
+  Alcotest.(check int) "6 left" 6 (Journal.records j);
+  Alcotest.(check bool) "torn fragment in the text" true
+    (let lines = String.split_on_char '\n' (Journal.text j) in
+     String.trim (List.nth lines (List.length lines - 1)) <> "");
+  Journal.compact j;
+  Alcotest.(check int) "compacted" 0 (Journal.records j);
+  Alcotest.(check int) "total survives compaction" 7 (Journal.appended_total j);
+  Alcotest.(check bool) "only the header remains" true
+    (String.trim (Journal.text j) = Journal.header);
+  Alcotest.(check bool) "fsync_every < 1 rejected" true
+    (try
+       ignore (Journal.create ~fsync_every:0 ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_journal_detach_stops_recording () =
+  let topo = two_path () in
+  let broker = mk_broker topo in
+  let j = Journal.create () in
+  Journal.attach j broker;
+  ignore (admit broker);
+  let n = Journal.records j in
+  Broker.clear_mutation_hook broker;
+  ignore (admit broker);
+  Alcotest.(check int) "no records once detached" n (Journal.records j)
+
+(* ------------------------------------------------------------------ *)
+(* Failover with a journal *)
+
+let test_promote_replays_tail () =
+  let topo = Fig8.topology `Rate_only in
+  let make () = Broker.create topo in
+  let primary = make () in
+  let j = Journal.create () in
+  let fw = Failover.create ~make_standby:make ~journal:j primary in
+  let freq () = req ~ingress:Fig8.ingress1 ~egress:Fig8.egress1 ~dreq:2.44 () in
+  let admit1 () =
+    match Broker.request primary (freq ()) with
+    | Ok (flow, _) -> flow
+    | Error e -> Alcotest.failf "unexpected: %a" Types.pp_reject_reason e
+  in
+  let f1 = admit1 () in
+  Failover.checkpoint fw;
+  Alcotest.(check int) "checkpoint compacts the journal" 0 (Journal.records j);
+  (* Post-checkpoint mutations live only in the journal tail. *)
+  let _f2 = admit1 () in
+  let f3 = admit1 () in
+  Broker.teardown primary f3;
+  let oracle = Audit.mib_digest primary in
+  Failover.crash fw;
+  (match Failover.promote fw with
+  | Error e -> Alcotest.failf "promotion failed: %s" e
+  | Ok n -> Alcotest.(check bool) "restored + replayed" true (n >= 3));
+  let recovered = Failover.active fw in
+  Alcotest.(check bool) "standby took over" true (recovered != primary);
+  Alcotest.(check string) "zero lost, zero phantom" oracle
+    (Audit.mib_digest recovered);
+  Alcotest.(check int) "both live flows back" 2 (Broker.per_flow_count recovered);
+  Alcotest.(check bool) "no replay warning" true (Failover.replay_warning fw = None);
+  (* The journal now follows the promoted broker. *)
+  Alcotest.(check int) "journal compacted at promote" 0 (Journal.records j);
+  Broker.teardown recovered f1;
+  Alcotest.(check bool) "journal re-attached to the standby" true
+    (Journal.records j > 0)
+
+let test_promote_from_journal_only () =
+  (* No checkpoint ever taken: the journal covers the broker's whole life
+     and promotion replays it from an empty standby. *)
+  let topo = Fig8.topology `Rate_only in
+  let make () = Broker.create topo in
+  let primary = make () in
+  let j = Journal.create () in
+  let fw = Failover.create ~make_standby:make ~journal:j primary in
+  (match Broker.request primary (req ~ingress:Fig8.ingress1 ~egress:Fig8.egress1 ~dreq:2.44 ()) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "unexpected: %a" Types.pp_reject_reason e);
+  let oracle = Audit.mib_digest primary in
+  Failover.crash fw;
+  (match Failover.promote fw with
+  | Error e -> Alcotest.failf "promotion failed: %s" e
+  | Ok n -> Alcotest.(check int) "the one admission replayed" 1 n);
+  Alcotest.(check string) "exact recovery from journal alone" oracle
+    (Audit.mib_digest (Failover.active fw))
+
+let test_e2e_crash_at_record_digest_equal () =
+  (* The acceptance criterion, end to end: kill the primary at an
+     arbitrary journal record boundary mid-workload; with every record
+     fsynced the recovered broker must be decision-equivalent to the
+     no-crash oracle — digest equality, zero lost, zero phantom. *)
+  let config =
+    {
+      Failure.default_config with
+      Failure.duration = 300.;
+      horizon = 800.;
+      journal = true;
+      crash_at_record = Some 60;
+      checkpoint_every = Some 120.;
+    }
+  in
+  let o = Failure.run config in
+  Alcotest.(check (option string)) "promotion clean" None o.Failure.promote_error;
+  Alcotest.(check int) "no records lost at fsync_every=1" 0
+    o.Failure.journal_records_lost;
+  Alcotest.(check int) "zero flows lost" 0 o.Failure.flows_lost;
+  Alcotest.(check bool) "digests present" true (o.Failure.digest_at_crash <> None);
+  Alcotest.(check bool) "recovered digest equals the oracle" true
+    (o.Failure.digest_at_crash = o.Failure.digest_recovered);
+  Alcotest.(check int) "no stuck requests" 0 o.Failure.unresolved;
+  (* Determinism: the whole scenario is a pure function of the seed. *)
+  let o' = Failure.run config in
+  Alcotest.(check bool) "reproducible" true (o = o')
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic resume of auxiliary state *)
+
+let test_snapshot_restores_contingency_exactly () =
+  let topo = two_path () in
+  let original = mk_broker topo in
+  ignore (admit_class original);
+  ignore (admit_class original);
+  ignore (admit original);
+  let pools b =
+    List.map
+      (fun (s : Aggregate.macro_stats) ->
+        (s.Aggregate.class_id, s.Aggregate.contingency, s.Aggregate.edge_bound))
+      (Aggregate.all_macroflows (Broker.aggregate b))
+  in
+  Alcotest.(check bool) "contingency in flight" true
+    (List.exists (fun (_, c, _) -> c > 0.) (pools original));
+  let restored = mk_broker topo in
+  (match Snapshot.restore restored (Snapshot.save original) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "restore failed: %s" e);
+  Alcotest.(check bool) "pools and bounds bit-identical" true
+    (pools restored = pools original);
+  Alcotest.(check string) "digest-identical" (Audit.mib_digest original)
+    (Audit.mib_digest restored);
+  (* Deterministic resume: the same subsequent operations take the
+     replicas through identical states. *)
+  let step b =
+    ignore (admit_class b);
+    let f = admit b in
+    Broker.teardown b f
+  in
+  step original;
+  step restored;
+  Alcotest.(check string) "identical after identical ops"
+    (Audit.mib_digest original) (Audit.mib_digest restored)
+
+let test_prng_state_round_trip () =
+  (* The RNG half of deterministic resume: a stream rebuilt from a saved
+     state continues exactly where the original left off. *)
+  let p = Prng.create ~seed:42 in
+  for _ = 1 to 17 do
+    ignore (Prng.float p)
+  done;
+  let saved = Prng.state p in
+  let tail = List.init 50 (fun _ -> Prng.float p) in
+  let resumed = Prng.of_state saved in
+  let tail' = List.init 50 (fun _ -> Prng.float resumed) in
+  Alcotest.(check bool) "identical continuation" true (tail = tail')
+
+(* ------------------------------------------------------------------ *)
+(* Audit: clean states, seeded corruption, anti-entropy repair *)
+
+let test_audit_clean_on_busy_broker () =
+  let broker, _topo, _j = busy_broker () in
+  let r = Audit.check broker in
+  if not (Audit.ok r) then
+    Alcotest.failf "expected a clean audit, got: %a" Audit.pp_report r;
+  Alcotest.(check bool) "flows counted" true (r.Audit.flows > 0);
+  Alcotest.(check bool) "links counted" true (r.Audit.links = 4)
+
+let test_audit_detects_and_repairs_leak () =
+  let broker, _topo, _j = busy_broker () in
+  let before = Node_mib.reserved (Broker.node_mib broker) ~link_id:1 in
+  (* Corrupt the node MIB directly: 5 kb/s reserved on link 1 that no
+     flow or macroflow accounts for. *)
+  Node_mib.reserve (Broker.node_mib broker) ~link_id:1 5_000.;
+  let r = Audit.check broker in
+  Alcotest.(check bool) "leak detected" true
+    (List.exists
+       (fun (v : Audit.violation) -> v.Audit.kind = Audit.Leaked_bandwidth)
+       r.Audit.violations);
+  let { Audit.repaired; remaining; _ } = Audit.repair broker in
+  Alcotest.(check bool) "repaired" true (repaired > 0);
+  if not (Audit.ok remaining) then
+    Alcotest.failf "leak must be repaired, got: %a" Audit.pp_report remaining;
+  Alcotest.(check (float 1e-6)) "bandwidth reconciled" before
+    (Node_mib.reserved (Broker.node_mib broker) ~link_id:1)
+
+let test_audit_detects_and_repairs_orphan () =
+  let broker, _topo, _j = busy_broker () in
+  (* Duplicate a live flow record under an unused id: a flow-MIB entry
+     with no backing link reservations anywhere. *)
+  let some_record =
+    Flow_mib.fold (Broker.flow_mib broker) ~init:None ~f:(fun acc r ->
+        if acc = None then Some r else acc)
+  in
+  (match some_record with
+  | None -> Alcotest.fail "expected a live flow"
+  | Some r -> Flow_mib.add (Broker.flow_mib broker) { r with Flow_mib.flow = 9_999 });
+  let before = Flow_mib.count (Broker.flow_mib broker) in
+  let r = Audit.check broker in
+  Alcotest.(check bool) "orphan detected" true
+    (List.exists
+       (fun (v : Audit.violation) -> v.Audit.kind = Audit.Orphan_flow)
+       r.Audit.violations);
+  let { Audit.remaining; _ } = Audit.repair broker in
+  if not (Audit.ok remaining) then
+    Alcotest.failf "orphan must be repaired, got: %a" Audit.pp_report remaining;
+  Alcotest.(check int) "orphan record dropped, live flows kept" (before - 1)
+    (Flow_mib.count (Broker.flow_mib broker))
+
+let test_audit_repair_is_stable () =
+  (* Repairing a clean broker changes nothing. *)
+  let broker, _topo, _j = busy_broker () in
+  let digest = Audit.mib_digest broker in
+  let { Audit.repaired; remaining; _ } = Audit.repair broker in
+  Alcotest.(check int) "nothing to repair" 0 repaired;
+  Alcotest.(check bool) "still clean" true (Audit.ok remaining);
+  Alcotest.(check string) "state untouched" digest (Audit.mib_digest broker)
+
+(* ------------------------------------------------------------------ *)
+(* Fuzz: the recovery decoders never raise *)
+
+let arb_mutilation =
+  (* (seed for the workload, cut position fraction, byte flips as
+     (position fraction, new byte)) *)
+  QCheck.make
+    ~print:(fun (cut, flips) ->
+      Fmt.str "cut=%f flips=%a" cut
+        (Fmt.list (Fmt.pair Fmt.float Fmt.int))
+        flips)
+    QCheck.Gen.(
+      pair (float_bound_inclusive 1.)
+        (list_size (int_range 0 8)
+           (pair (float_bound_inclusive 1.) (int_range 0 255))))
+
+let mutilate text (cut, flips) =
+  let text =
+    let n = String.length text in
+    String.sub text 0 (max 1 (int_of_float (cut *. float_of_int n)))
+  in
+  let b = Bytes.of_string text in
+  List.iter
+    (fun (pos, byte) ->
+      let i = int_of_float (pos *. float_of_int (Bytes.length b - 1)) in
+      Bytes.set b (max 0 i) (Char.chr byte))
+    flips;
+  Bytes.to_string b
+
+let prop_journal_replay_never_raises =
+  QCheck.Test.make ~count:300 ~name:"mutilated journal never raises" arb_mutilation
+    (fun m ->
+      let _broker, _topo, j = busy_broker () in
+      let text = mutilate (Journal.text j) m in
+      match Journal.replay (fresh_replica ()) text with
+      | Ok _ | Error _ -> true
+      | exception e ->
+          QCheck.Test.fail_reportf "raised %s on %S" (Printexc.to_string e) text)
+
+let prop_snapshot_restore_never_raises =
+  QCheck.Test.make ~count:300 ~name:"mutilated snapshot never raises" arb_mutilation
+    (fun m ->
+      let broker, _topo, _j = busy_broker () in
+      let text = mutilate (Snapshot.save broker) m in
+      match Snapshot.restore (fresh_replica ()) text with
+      | Ok _ | Error _ -> true
+      | exception e ->
+          QCheck.Test.fail_reportf "raised %s on %S" (Printexc.to_string e) text)
+
+let prop_truncated_journal_prefix_applies =
+  (* Cutting a journal anywhere loses at most the records past the cut:
+     the prefix before it replays cleanly (replay idempotence of the
+     surviving prefix is digest-checked across two brokers). *)
+  QCheck.Test.make ~count:100 ~name:"truncated journal: clean prefix replay"
+    (QCheck.make ~print:string_of_float QCheck.Gen.(float_bound_inclusive 1.))
+    (fun cut ->
+      let _broker, _topo, j = busy_broker () in
+      let text = mutilate (Journal.text j) (cut, []) in
+      let a = fresh_replica () and b = fresh_replica () in
+      match (Journal.replay a text, Journal.replay b text) with
+      | Ok ra, Ok rb ->
+          ra.Journal.applied = rb.Journal.applied
+          && ra.Journal.applied <= Journal.records j
+          && Audit.mib_digest a = Audit.mib_digest b
+      | Error _, Error _ -> true (* header itself destroyed *)
+      | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* CRC32 vectors *)
+
+let test_crc32_vectors () =
+  (* Standard check value for the reflected CRC-32 (IEEE 802.3). *)
+  Alcotest.(check int) "check vector" 0xCBF43926 (Crc32.string "123456789");
+  Alcotest.(check int) "empty" 0 (Crc32.string "");
+  Alcotest.(check string) "hex render" "cbf43926" (Crc32.to_hex 0xCBF43926);
+  (match Crc32.of_hex "cbf43926" with
+  | Some v -> Alcotest.(check int) "hex parse" 0xCBF43926 v
+  | None -> Alcotest.fail "of_hex rejected a valid digest");
+  Alcotest.(check bool) "bad hex rejected" true (Crc32.of_hex "xyz" = None);
+  Alcotest.(check bool) "short hex rejected" true (Crc32.of_hex "cbf439" = None)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "recovery"
+    [
+      ( "journal",
+        [
+          Alcotest.test_case "encode/decode/replay round trip" `Quick
+            test_journal_round_trip;
+          Alcotest.test_case "replay idempotent" `Quick test_journal_replay_idempotent;
+          Alcotest.test_case "CRC catches corruption" `Quick
+            test_journal_detects_corruption;
+          Alcotest.test_case "torn tail truncates" `Quick test_journal_torn_tail;
+          Alcotest.test_case "crash cut + compaction" `Quick
+            test_journal_crash_cut_and_compact;
+          Alcotest.test_case "detach stops recording" `Quick
+            test_journal_detach_stops_recording;
+        ] );
+      ( "failover",
+        [
+          Alcotest.test_case "promote replays the tail" `Quick test_promote_replays_tail;
+          Alcotest.test_case "journal-only promotion" `Quick
+            test_promote_from_journal_only;
+          Alcotest.test_case "e2e crash at record boundary" `Quick
+            test_e2e_crash_at_record_digest_equal;
+        ] );
+      ( "deterministic resume",
+        [
+          Alcotest.test_case "contingency restored exactly" `Quick
+            test_snapshot_restores_contingency_exactly;
+          Alcotest.test_case "prng state round trip" `Quick test_prng_state_round_trip;
+        ] );
+      ( "audit",
+        [
+          Alcotest.test_case "clean on a busy broker" `Quick
+            test_audit_clean_on_busy_broker;
+          Alcotest.test_case "detects and repairs a leak" `Quick
+            test_audit_detects_and_repairs_leak;
+          Alcotest.test_case "detects and repairs an orphan" `Quick
+            test_audit_detects_and_repairs_orphan;
+          Alcotest.test_case "repair is stable on clean state" `Quick
+            test_audit_repair_is_stable;
+        ] );
+      ( "fuzz",
+        [
+          QCheck_alcotest.to_alcotest prop_journal_replay_never_raises;
+          QCheck_alcotest.to_alcotest prop_snapshot_restore_never_raises;
+          QCheck_alcotest.to_alcotest prop_truncated_journal_prefix_applies;
+        ] );
+      ("crc32", [ Alcotest.test_case "vectors" `Quick test_crc32_vectors ]);
+    ]
