@@ -18,6 +18,8 @@
      failover     recovery from link failure + broker crash vs COPS loss
      recovery     journal replay throughput + durability overhead
                   (writes BENCH_recovery.json)
+     overload     goodput / decision latency / shed rate vs offered load,
+                  flat pipeline vs brownout (writes BENCH_overload.json)
      scaling      admission cost vs M; bounds vs path length
      statistical  Hoeffding effective-bandwidth multiplexing gain
      micro        Bechamel micro-benchmarks of the admission hot paths
@@ -859,6 +861,76 @@ let run_recovery () =
   Fmt.pr "@.wrote BENCH_recovery.json@."
 
 (* ------------------------------------------------------------------ *)
+(* Overload resilience: the bounded admission pipeline under increasing
+   offered load, with and without brownout degradation (extension; PR 4's
+   overload control).  Writes BENCH_overload.json. *)
+
+module Ovw = Bbr_workload.Overload
+module Ov = Bbr_broker.Overload
+
+let run_overload_bench () =
+  section "Overload: goodput, decision latency and shed rate vs offered load";
+  let point ~overload ~brownout =
+    let o = Ovw.run { Ovw.default_config with Ovw.overload; brownout } in
+    let s = o.Ovw.pipeline in
+    let shed = Ov.shed_total s in
+    let goodput =
+      float_of_int s.Ov.decided /. float_of_int (max 1 s.Ov.submitted)
+    in
+    (o, s, shed, goodput)
+  in
+  let factors = [ 2.; 5.; 10. ] in
+  Fmt.pr
+    "Figure-8 churn through the bounded pipeline (queue 32, deadline 10 s,@.";
+  Fmt.pr "exact decision 2.5 s, conservative 0.5 s), exact oracle shadowing:@.@.";
+  Fmt.pr "%-9s %-9s %9s %9s %9s %9s %11s %9s %9s@." "load" "pipeline" "offered"
+    "decided" "admitted" "shed" "busy-fail" "p99 (s)" "degr (s)";
+  let rows =
+    List.concat_map
+      (fun overload ->
+        List.map
+          (fun brownout ->
+            let o, s, shed, goodput = point ~overload ~brownout in
+            Fmt.pr "%-9.1f %-9s %9d %9d %9d %9d %11d %9.2f %9.1f@." overload
+              (if brownout then "brownout" else "flat")
+              o.Ovw.offered s.Ov.decided o.Ovw.admitted shed o.Ovw.busy
+              o.Ovw.p99_latency o.Ovw.brownout_time;
+            if o.Ovw.oracle_violations > 0 then
+              Fmt.pr "  ^ ORACLE VIOLATIONS: %d@." o.Ovw.oracle_violations;
+            (overload, brownout, o, s, shed, goodput))
+          [ false; true ])
+      factors
+  in
+  Fmt.pr
+    "@.brownout trades admission precision (conservative O(1) decisions) for@.";
+  Fmt.pr
+    "service rate: past saturation the flat pipeline sheds at the deadline and@.";
+  Fmt.pr
+    "exhausts Server-busy retries while brownout keeps deciding; the exact@.";
+  Fmt.pr "oracle confirms neither ever admits an unschedulable flow.@.";
+  let oc = open_out "BENCH_overload.json" in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Printf.fprintf oc "{\n  \"overload\": [\n";
+      List.iteri
+        (fun i (overload, brownout, (o : Ovw.outcome), (s : Ov.stats), shed, goodput) ->
+          Printf.fprintf oc
+            "    {\"overload\": %.1f, \"brownout\": %b, \"offered\": %d, \
+             \"decided\": %d, \"admitted\": %d, \"shed\": %d, \"busy\": %d, \
+             \"goodput\": %.4f, \"p50_latency_s\": %.4f, \"p99_latency_s\": \
+             %.4f, \"degraded_s\": %.1f, \"conservative\": %d, \
+             \"oracle_violations\": %d}%s\n"
+            overload brownout o.Ovw.offered s.Ov.decided o.Ovw.admitted shed
+            o.Ovw.busy goodput o.Ovw.p50_latency o.Ovw.p99_latency
+            o.Ovw.brownout_time s.Ov.conservative_decisions
+            o.Ovw.oracle_violations
+            (if i = List.length rows - 1 then "" else ","))
+        rows;
+      Printf.fprintf oc "  ]\n}\n");
+  Fmt.pr "@.wrote BENCH_overload.json@."
+
+(* ------------------------------------------------------------------ *)
 
 let sections =
   [
@@ -873,6 +945,7 @@ let sections =
     ("state", run_state);
     ("failover", run_failover);
     ("recovery", run_recovery);
+    ("overload", run_overload_bench);
     ("scaling", run_scaling);
     ("statistical", run_statistical);
     ("admission", run_admission);

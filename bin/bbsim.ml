@@ -9,6 +9,8 @@
      metrics   run a static fill and print its telemetry snapshot
      recover   rebuild a broker from a snapshot + write-ahead journal
      audit     run a workload and cross-check the MIB invariants
+     overload  overload soak through the bounded admission pipeline
+               (or, with --partition, the lease-reclaim soak)
 
    fill and simulate accept --metrics-out PATH (and --metrics-format) to
    dump the control-plane metrics snapshot after the run.
@@ -553,6 +555,91 @@ let audit_cmd =
     Term.(
       const run_audit $ setting $ cd $ scheme $ seed $ load $ duration $ strict)
 
+(* --- overload --------------------------------------------------------- *)
+
+let overload_factor =
+  Arg.(
+    value
+    & opt float 10.
+    & info [ "overload" ] ~docv:"X"
+        ~doc:"Offered load as a multiple of the base arrival rate.")
+
+let flat =
+  Arg.(
+    value & flag
+    & info [ "flat" ]
+        ~doc:
+          "Disable the brownout controller: every decision pays the exact \
+           O(M) service time (the degradation baseline).")
+
+let partition =
+  Arg.(
+    value & flag
+    & info [ "partition" ]
+        ~doc:
+          "Run the lease-partition soak instead: an edge broker falls \
+           silent mid-run and its delegated quota must return to the \
+           shared pool within one lease period.")
+
+let overload_journal =
+  Arg.(
+    value & flag
+    & info [ "journal" ]
+        ~doc:
+          "Journal the run and verify that replaying the journal into a \
+           fresh broker reproduces the final MIB digest.")
+
+let overload_strict =
+  Arg.(
+    value & flag
+    & info [ "strict" ]
+        ~doc:
+          "Exit non-zero unless the soak held its invariants: zero oracle \
+           violations, zero unresolved transactions, non-zero sheds, a \
+           clean audit (and, with $(b,--journal), a digest-exact replay); \
+           with $(b,--partition): reclaim within one lease period, zero \
+           stale leases, a clean audit.")
+
+let run_overload setting seed overload flat partition journal strict out format =
+  let module Ovw = Bbr_workload.Overload in
+  if partition then begin
+    let o =
+      Ovw.run_partition { Ovw.default_partition_config with Ovw.p_seed = seed }
+    in
+    Fmt.pr "%a@." Ovw.pp_partition_outcome o;
+    let ok =
+      o.Ovw.reclaimed_within_period && o.Ovw.stale_leases = 0
+      && Audit.ok o.Ovw.p_audit
+    in
+    if strict && not ok then exit 1
+  end
+  else begin
+    let cfg =
+      { Ovw.default_config with Ovw.seed; setting; overload; brownout = not flat; journal }
+    in
+    let o = with_metrics ~out ~format (fun () -> Ovw.run cfg) in
+    Fmt.pr "%a@." Ovw.pp_outcome o;
+    let shed = Bbr_broker.Overload.shed_total o.Ovw.pipeline in
+    let ok =
+      o.Ovw.oracle_violations = 0 && o.Ovw.unresolved = 0 && shed > 0
+      && Audit.ok o.Ovw.audit
+      && (match o.Ovw.journal_digest_match with Some false -> false | _ -> true)
+    in
+    if strict && not ok then exit 1
+  end
+
+let overload_cmd =
+  let doc =
+    "Push a sustained overload through the bounded admission pipeline \
+     (deadline shedding, brownout degradation, Server-busy backpressure), \
+     shadowed by the exact admission oracle; or, with $(b,--partition), \
+     run the lease-reclaim soak."
+  in
+  Cmd.v (Cmd.info "overload" ~doc)
+    Term.(
+      const run_overload $ setting $ seed $ overload_factor $ flat $ partition
+      $ overload_journal $ overload_strict $ metrics_out $ metrics_format)
+
 (* -------------------------------------------------------------------- *)
 
 let () =
@@ -572,4 +659,5 @@ let () =
             replay_cmd;
             recover_cmd;
             audit_cmd;
+            overload_cmd;
           ]))

@@ -361,3 +361,33 @@ let admit ps p ~dreq =
     match mixed ps p ~dreq with
     | Ok (rate, delay) -> Ok { Types.rate; delay }
     | Error e -> Error e
+
+(* Brownout fallback: the Section-3.1 closed form applied to a mixed path.
+   Treat every hop as rate-based — r_min over all [hops] — and hand each
+   delay-based scheduler the pair <r, lmax/r>, under which a VT-EDF server
+   contributes exactly the lmax/r per-hop term a rate-based server would
+   (eq. (2) with d = lmax/r collapses to eq. (4)'s all-rate-based form), so
+   the end-to-end bound holds by construction.  The pair is still validated
+   against the exact schedulability condition before being offered: the
+   test can only refuse flows {!mixed} would have placed (no interval scan,
+   no rate-delay trade-off), never admit one the exact oracle rejects. *)
+let conservative ps (p : Traffic.t) ~dreq =
+  if ps.delay_hops = 0 then
+    match rate_based ps p ~dreq with
+    | Ok rate -> Ok { Types.rate; delay = 0. }
+    | Error e -> Error e
+  else
+    match Delay.min_rate_rate_based p ~hops:ps.hops ~d_tot:ps.d_tot ~dreq with
+    | None -> Error Types.Delay_unachievable
+    | Some rmin ->
+        if Fp.gt rmin p.Traffic.peak then Error Types.Delay_unachievable
+        else begin
+          let rate = Float.max p.Traffic.rho rmin in
+          if Fp.gt rate ps.cres then Error Types.Insufficient_bandwidth
+          else begin
+            let delay = p.Traffic.lmax /. rate in
+            if schedulable ps ~rate ~delay ~lmax:p.Traffic.lmax then
+              Ok { Types.rate; delay }
+            else Error Types.Not_schedulable
+          end
+        end

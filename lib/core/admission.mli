@@ -62,6 +62,21 @@ val admit :
 (** Dispatch on the path kind: {!rate_based} when [delay_hops = 0]
     (reservation delay 0), {!mixed} otherwise. *)
 
+val conservative :
+  path_state ->
+  Bbr_vtrs.Traffic.t ->
+  dreq:float ->
+  (Types.reservation, Types.reject_reason) result
+(** The brownout-mode admission test: the Section-3.1 closed form with
+    every hop treated as rate-based, offering each delay-based scheduler
+    the pair [<r, lmax/r>] (under which VT-EDF degenerates to a rate-based
+    server, so the end-to-end bound holds by construction).  No interval
+    scan: one closed-form rate plus one exact schedulability check.
+    Strictly conservative with respect to {!admit} — it may reject a flow
+    {!mixed} would place, but any reservation it returns satisfies the
+    exact schedulability condition.  Equals {!rate_based} on all-rate
+    paths. *)
+
 val schedulable : path_state -> rate:float -> delay:float -> lmax:float -> bool
 (** Exact check that a candidate pair fits every constraint of the path:
     rate window, residual bandwidth, and eq. (5) at every delay-based

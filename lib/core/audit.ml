@@ -6,6 +6,7 @@ type kind =
   | Orphan_flow
   | Dangling_membership
   | Aggregate_accounting
+  | Stale_lease
 
 let kind_label = function
   | Leaked_bandwidth -> "leaked_bandwidth"
@@ -13,6 +14,7 @@ let kind_label = function
   | Orphan_flow -> "orphan_flow"
   | Dangling_membership -> "dangling_membership"
   | Aggregate_accounting -> "aggregate_accounting"
+  | Stale_lease -> "stale_lease"
 
 type violation = { kind : kind; subject : string; detail : string }
 
@@ -189,7 +191,45 @@ let accounting_violations ?(eps = default_eps) broker =
       else None)
     (Aggregate.all_macroflows agg)
 
-let check ?(eps = default_eps) broker =
+(* Delegated quota, from the lease registry's point of view.  A live
+   lease's grants are ordinary flow-MIB pseudo-flows — leased-but-unused
+   edge bandwidth is fully accounted for and must NOT surface as a leak
+   (and cannot: the backing pseudo-flow makes the link reconcile).  What
+   {e is} a violation is the opposite: a lease past its expiry whose
+   grants still sit in the MIB — the reclaim sweep failed or never ran,
+   and the bandwidth is pinned by a holder who forfeited it. *)
+let lease_violations ?(now = 0.) leases broker =
+  let fm = Broker.flow_mib broker in
+  List.filter_map
+    (fun (l : Types.lease) ->
+      if now <= l.Types.expires_at then None
+      else
+        let live =
+          List.filter (fun f -> Flow_mib.find fm f <> None) l.Types.granted
+        in
+        match live with
+        | [] -> None
+        | _ ->
+            let pinned =
+              List.fold_left
+                (fun acc f ->
+                  match Flow_mib.find fm f with
+                  | Some r -> acc +. r.Flow_mib.reservation.Types.rate
+                  | None -> acc)
+                0. live
+            in
+            Some
+              {
+                kind = Stale_lease;
+                subject = Printf.sprintf "lease %s" l.Types.holder;
+                detail =
+                  Printf.sprintf
+                    "expired at %.6g (now %.6g) but %d grant flow(s) still pin %.6g b/s"
+                    l.Types.expires_at now (List.length live) pinned;
+              })
+    leases
+
+let check ?(eps = default_eps) ?now ?(leases = []) broker =
   if Obs_log.active () then Obs_log.count "bb_audit_runs_total";
   let { delta; orphans } = reconcile ~eps broker in
   let orphan_violations =
@@ -237,6 +277,7 @@ let check ?(eps = default_eps) broker =
     orphan_violations @ link_violations
     @ membership_violations broker
     @ accounting_violations ~eps broker
+    @ lease_violations ?now leases broker
   in
   List.iter count_violation violations;
   {
@@ -253,10 +294,27 @@ let count_repair kind =
   if Obs_log.active () then
     Obs_log.count "bb_audit_repairs_total" ~labels:[ ("kind", kind_label kind) ]
 
-let repair ?(eps = default_eps) broker =
-  let found = check ~eps broker in
+let repair ?(eps = default_eps) ?now ?(leases = []) broker =
+  let found = check ~eps ?now ~leases broker in
   let repaired = ref 0 in
   let fix kind = incr repaired; count_repair kind in
+  (* Stale leases first: tearing down the pinned grant flows releases
+     their link bandwidth through the ordinary teardown path, so the
+     bandwidth reconciliation below sees a consistent picture. *)
+  (match now with
+  | None -> ()
+  | Some now ->
+      List.iter
+        (fun (l : Types.lease) ->
+          if now > l.Types.expires_at then
+            List.iter
+              (fun f ->
+                if Flow_mib.find (Broker.flow_mib broker) f <> None then begin
+                  Broker.teardown broker f;
+                  fix Stale_lease
+                end)
+              (List.sort compare l.Types.granted))
+        leases);
   (* Orphan flow records are pure MIB garbage: the link bandwidth was
      never (or is no longer) reserved, so removal must not release. *)
   let { delta; orphans } = reconcile ~eps broker in
@@ -288,7 +346,7 @@ let repair ?(eps = default_eps) broker =
              Node_mib.reserve nm ~link_id (-.d);
              fix Missing_bandwidth
            with Invalid_argument _ -> ());
-  { found; repaired = !repaired; remaining = check ~eps broker }
+  { found; repaired = !repaired; remaining = check ~eps ?now ~leases broker }
 
 (* ----------------------------------------------------------------- *)
 (* Canonical digest.                                                 *)

@@ -28,6 +28,9 @@ type kind =
   | Aggregate_accounting
       (** a macroflow's contingency total does not match its grants, or
           is negative *)
+  | Stale_lease
+      (** a quota lease expired but its backing grant flows still pin
+          bandwidth in the MIBs — the reclaim sweep failed or never ran *)
 
 val kind_label : kind -> string
 (** Metric label value: ["leaked_bandwidth"], ["orphan_flow"], ... *)
@@ -49,11 +52,18 @@ type report = {
 val ok : report -> bool
 (** No violations. *)
 
-val check : ?eps:float -> Broker.t -> report
+val check : ?eps:float -> ?now:float -> ?leases:Types.lease list -> Broker.t -> report
 (** Run every invariant check.  [eps] (default [1e-3] b/s) is the
     absolute tolerance on bandwidth comparisons — far above
     floating-point noise, far below any real leak.  Counts each finding
-    on [bb_audit_violations_total{kind}] when metrics are installed. *)
+    on [bb_audit_violations_total{kind}] when metrics are installed.
+
+    [leases] (with [now], the central broker's clock) is the delegated
+    quota view (e.g. {!Edge_broker.leases}): the audit knows a live
+    lease's grant pseudo-flows are legitimate backing — leased-but-unused
+    edge bandwidth is never reported as leaked — and flags any lease past
+    its expiry whose grants still pin bandwidth as {!Stale_lease}.
+    Without [now] no lease check runs. *)
 
 type repair_outcome = {
   found : report;  (** the audit that drove the repair *)
@@ -61,11 +71,12 @@ type repair_outcome = {
   remaining : report;  (** re-audit after repair — empty when all fixed *)
 }
 
-val repair : ?eps:float -> Broker.t -> repair_outcome
-(** Anti-entropy pass: drop orphan flow records, reconcile the aggregate
-    membership tables, release leaked bandwidth and re-reserve missing
-    bandwidth (when it still fits).  Each action counts on
-    [bb_audit_repairs_total{kind}]. *)
+val repair : ?eps:float -> ?now:float -> ?leases:Types.lease list -> Broker.t -> repair_outcome
+(** Anti-entropy pass: tear down the grant flows of expired leases
+    (releasing the pinned bandwidth through the ordinary teardown path),
+    drop orphan flow records, reconcile the aggregate membership tables,
+    release leaked bandwidth and re-reserve missing bandwidth (when it
+    still fits).  Each action counts on [bb_audit_repairs_total{kind}]. *)
 
 val mib_digest : Broker.t -> string
 (** Hex digest of the broker's logical reservation state: per-flow

@@ -168,7 +168,7 @@ let book_per_flow t ?flow (req : Types.request) path (res : Types.reservation) =
 let push_edge t ~flow res =
   stage t "cops_push" (fun () -> t.on_edge_config ~flow res)
 
-let request_full t ?flow req =
+let request_full t ?flow ?(admission = `Exact) req =
   let outcome =
     match preamble t req with
     | Error e -> Error e
@@ -176,7 +176,12 @@ let request_full t ?flow req =
         match
           stage t "admissibility" (fun () ->
               let ps = Admission.path_state t.node_mib t.path_mib path in
-              Admission.admit ps req.Types.profile ~dreq:req.Types.dreq)
+              let test =
+                match admission with
+                | `Exact -> Admission.admit
+                | `Conservative -> Admission.conservative
+              in
+              test ps req.Types.profile ~dreq:req.Types.dreq)
         with
         | Error e -> Error e
         | Ok res ->
@@ -197,7 +202,7 @@ let request_full t ?flow req =
     (Result.map (fun (flow, (res : Types.reservation)) -> (flow, res.Types.rate)) outcome);
   outcome
 
-let request t req = request_full t req
+let request t ?admission req = request_full t ?admission req
 
 let request_fixed t ?flow req ~rate ?delay () =
   let outcome =
@@ -480,6 +485,8 @@ let restore_link t ~link_id =
       ~attrs:[ ("link", string_of_int link_id) ]
 
 let topology t = t.topology
+
+let policy t = t.policy
 
 let node_mib t = t.node_mib
 

@@ -106,9 +106,21 @@ val now : t -> float
 
 (** {1 Per-flow guaranteed service} *)
 
-val request : t -> Types.request -> (Types.flow_id * Types.reservation, Types.reject_reason) result
+val request :
+  t ->
+  ?admission:[ `Exact | `Conservative ] ->
+  Types.request ->
+  (Types.flow_id * Types.reservation, Types.reject_reason) result
 (** Full admission-control procedure for a new flow.  On success the flow
-    is booked in the MIBs and the reservation pushed to the edge. *)
+    is booked in the MIBs and the reservation pushed to the edge.
+
+    [admission] selects the admissibility test on mixed paths: [`Exact]
+    (the default) runs the Figure-4 O(M) scan ({!Admission.admit});
+    [`Conservative] runs the O(1) rate-only bound
+    ({!Admission.conservative}) — the degraded mode the {!Overload}
+    brownout controller switches to under sustained load.  Both are
+    identical on all-rate-based paths, and both journal as plain [Admit]
+    records (the booked pair, not the test, is what replay needs). *)
 
 val teardown : t -> Types.flow_id -> unit
 (** Release a per-flow reservation.  Idempotent: an unknown
@@ -196,6 +208,10 @@ val dropped_count : link_recovery -> int
 (** {1 Introspection} *)
 
 val topology : t -> Bbr_vtrs.Topology.t
+
+val policy : t -> Policy.t
+(** The broker's policy information base — exposed so the {!Overload}
+    pipeline can shed by {!Policy.priority} class. *)
 
 val node_mib : t -> Node_mib.t
 

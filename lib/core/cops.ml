@@ -5,43 +5,62 @@ type reliability = {
   timeout : float;
   backoff : float;
   max_timeout : float;
+  jitter : (unit -> float) option;
+  busy_retries : int;
 }
 
-let reliability ?(timeout = 0.05) ?(backoff = 2.) ?(max_timeout = 1.) ~loss () =
+let reliability ?(timeout = 0.05) ?(backoff = 2.) ?(max_timeout = 1.) ?jitter
+    ?(busy_retries = 5) ~loss () =
   if timeout <= 0. then invalid_arg "Cops.reliability: timeout must be positive";
   if backoff < 1. then invalid_arg "Cops.reliability: backoff must be >= 1";
-  { loss; timeout; backoff; max_timeout = Float.max timeout max_timeout }
+  if busy_retries < 0 then invalid_arg "Cops.reliability: busy_retries must be >= 0";
+  { loss; timeout; backoff; max_timeout = Float.max timeout max_timeout; jitter; busy_retries }
+
+type pdp = Types.request -> ((Types.flow_id * Types.reservation, Types.reject_reason) result -> unit) -> unit
 
 type t = {
   mutable broker : Broker.t;
   latency : float;
   defer : float -> (unit -> unit) -> unit;
   rel : reliability option;
+  mutable pdp : pdp option;
   mutable pdp_up : bool;
   mutable messages : int;
   mutable pending : int;
   mutable retransmissions : int;
   mutable duplicates : int;
+  mutable busy_backoffs : int;
 }
 
-let create broker ?(latency = 0.005) ?reliability ~defer () =
+let create broker ?(latency = 0.005) ?reliability ?pdp ~defer () =
   {
     broker;
     latency;
     defer;
     rel = reliability;
+    pdp;
     pdp_up = true;
     messages = 0;
     pending = 0;
     retransmissions = 0;
     duplicates = 0;
+    busy_backoffs = 0;
   }
 
 let set_broker t broker = t.broker <- broker
 
+let set_pdp t pdp = t.pdp <- Some pdp
+
+let clear_pdp t = t.pdp <- None
+
 let set_pdp_up t up = t.pdp_up <- up
 
 let next_timeout r timeout = Float.min r.max_timeout (timeout *. r.backoff)
+
+(* Spread a timer by the reliability's jitter source: [d * (1 + j)] with
+   [j] in [0, 1).  Without a jitter source timers are exact, as in the
+   base protocol — and as in the synchronized retry storms it suffers. *)
+let jittered r d = match r.jitter with None -> d | Some j -> d *. (1. +. j ())
 
 (* One message leg: counted whether or not it arrives (wire overhead is what
    we measure), dropped by the loss process when reliability is on. *)
@@ -68,61 +87,106 @@ let note_pending t = Metrics.set_gauge "bb_cops_pending" (float_of_int t.pending
      once semantics across a crash);
    - the PEP resolves each transaction exactly once, so duplicate DECs
      cannot leak [pending] or fire [on_decision] twice. *)
-let exchange t ~decide ~accepted ~on_decision =
+(* [decide] is continuation-passing: at the PDP it may answer inline (the
+   plain broker call) or asynchronously (the {!Overload} admission queue,
+   installed with {!set_pdp}).  [busy] extracts the [Server_busy] back-off
+   hint from a decision, if any.
+
+   Server_busy handling, reliable channels only: the PEP does {e not}
+   resolve the transaction — it silences its retransmission timers (by
+   bumping [gen]), forgets the PDP's recorded decision (a busy verdict
+   must not be replayed from the duplicate cache), waits the jittered
+   [retry_after], and re-enters the REQ path.  After [busy_retries]
+   consecutive busy verdicts the PEP gives up and delivers the error. *)
+let exchange t ~decide ~busy ~accepted ~on_decision =
   t.pending <- t.pending + 1;
   note_pending t;
   let resolved = ref false in
   let decided = ref None in
-  let pdp_decide () =
+  let deciding = ref None in
+  let gen = ref 0 in
+  let busy_left = ref (match t.rel with Some r -> r.busy_retries | None -> 0) in
+  let rec deliver_decision dec =
+    if not !resolved then begin
+      match (t.rel, if !busy_left > 0 then busy dec else None) with
+      | Some r, Some retry_after ->
+          busy_left := !busy_left - 1;
+          incr gen;
+          let g = !gen in
+          decided := None;
+          t.busy_backoffs <- t.busy_backoffs + 1;
+          Metrics.count "bb_cops_busy_backoffs_total";
+          t.defer
+            (jittered r (Float.max retry_after r.timeout))
+            (fun () -> if (not !resolved) && g = !gen then attempt g r.timeout)
+      | _ ->
+          resolved := true;
+          t.pending <- t.pending - 1;
+          note_pending t;
+          on_decision dec;
+          (* The PEP reports successful installation of the decision. *)
+          if accepted dec then send t (fun () -> ())
+    end
+  and pdp_decide () =
     match !decided with
     | Some (pdp, dec) when pdp == t.broker ->
         t.duplicates <- t.duplicates + 1;
         Metrics.count "bb_cops_duplicates_total";
-        dec
-    | _ ->
-        let dec = decide t.broker in
-        decided := Some (t.broker, dec);
-        dec
-  in
-  let deliver_decision dec =
-    if not !resolved then begin
-      resolved := true;
-      t.pending <- t.pending - 1;
-      note_pending t;
-      on_decision dec;
-      (* The PEP reports successful installation of the decision. *)
-      if accepted dec then send t (fun () -> ())
+        send t (fun () -> deliver_decision dec)
+    | _ -> (
+        match !deciding with
+        | Some pdp when pdp == t.broker ->
+            (* The decision for this transaction is still in the PDP's
+               admission pipeline: swallow the duplicate REQ rather than
+               queue the same work twice. *)
+            t.duplicates <- t.duplicates + 1;
+            Metrics.count "bb_cops_duplicates_total"
+        | _ ->
+            let b = t.broker in
+            deciding := Some b;
+            decide b (fun dec ->
+                (match !deciding with
+                | Some pdp when pdp == b -> deciding := None
+                | _ -> ());
+                if b == t.broker then decided := Some (b, dec);
+                send t (fun () -> deliver_decision dec)))
+  and attempt g timeout =
+    if (not !resolved) && g = !gen then begin
+      send t (fun () ->
+          (* REQ arrived at the PDP: decide and send DEC back.  A crashed
+             PDP consumes the message without answering. *)
+          if t.pdp_up then pdp_decide ());
+      match t.rel with
+      | None -> ()
+      | Some r ->
+          t.defer (jittered r timeout) (fun () ->
+              if (not !resolved) && g = !gen then begin
+                t.retransmissions <- t.retransmissions + 1;
+                Metrics.count "bb_cops_retransmissions_total";
+                attempt g (next_timeout r timeout)
+              end)
     end
   in
-  let rec attempt timeout =
-    send t (fun () ->
-        (* REQ arrived at the PDP: decide and send DEC back.  A crashed
-           PDP consumes the message without answering. *)
-        if t.pdp_up then begin
-          let dec = pdp_decide () in
-          send t (fun () -> deliver_decision dec)
-        end);
-    match t.rel with
-    | None -> ()
-    | Some r ->
-        t.defer timeout (fun () ->
-            if not !resolved then begin
-              t.retransmissions <- t.retransmissions + 1;
-              Metrics.count "bb_cops_retransmissions_total";
-              attempt (next_timeout r timeout)
-            end)
-  in
-  attempt (match t.rel with Some r -> r.timeout | None -> 0.)
+  attempt 0 (match t.rel with Some r -> r.timeout | None -> 0.)
+
+let busy_reject = function
+  | Error (Types.Server_busy { retry_after }) -> Some retry_after
+  | _ -> None
 
 let request t req ~on_decision =
   exchange t
-    ~decide:(fun broker -> Broker.request broker req)
+    ~decide:(fun broker k ->
+      match t.pdp with
+      | Some pdp -> pdp req k
+      | None -> k (Broker.request broker req))
+    ~busy:busy_reject
     ~accepted:(function Ok _ -> true | Error _ -> false)
     ~on_decision
 
 let request_class t ?class_id req ~on_decision =
   exchange t
-    ~decide:(fun broker -> Broker.request_class broker ?class_id req)
+    ~decide:(fun broker k -> k (Broker.request_class broker ?class_id req))
+    ~busy:busy_reject
     ~accepted:(function Ok _ -> true | Error _ -> false)
     ~on_decision
 
@@ -149,7 +213,7 @@ let one_way t apply =
                   apply t.broker);
               send t (fun () -> acked := true)
             end);
-        t.defer timeout (fun () ->
+        t.defer (jittered r timeout) (fun () ->
             if not !acked then begin
               t.retransmissions <- t.retransmissions + 1;
               Metrics.count "bb_cops_retransmissions_total";
@@ -169,3 +233,5 @@ let pending t = t.pending
 let retransmissions t = t.retransmissions
 
 let duplicates t = t.duplicates
+
+let busy_backoffs t = t.busy_backoffs

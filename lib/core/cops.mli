@@ -34,6 +34,8 @@ val reliability :
   ?timeout:float ->
   ?backoff:float ->
   ?max_timeout:float ->
+  ?jitter:(unit -> float) ->
+  ?busy_retries:int ->
   loss:(unit -> bool) ->
   unit ->
   reliability
@@ -42,23 +44,55 @@ val reliability :
     (default 0.05 s) is the initial retransmission timeout, multiplied by
     [backoff] (default 2) per retry and capped at [max_timeout] (default
     1 s).  Retries are unbounded: with any loss rate below 1 every
-    transaction eventually resolves. *)
+    transaction eventually resolves.
+
+    [jitter], sampled once per scheduled timer, must return a value in
+    [\[0, 1)]; every retransmission and busy-backoff delay [d] becomes
+    [d * (1 + jitter ())] (see {!Bbr_util.Prng.float} for a seeded
+    source).  Without it timers are exact — and the PEP population
+    re-sends in lockstep after a broker failover, the synchronized retry
+    storm the jitter exists to break up.
+
+    [busy_retries] (default 5) bounds how many consecutive
+    [Server_busy] decisions a transaction absorbs by backing off and
+    retrying before giving up and delivering the error. *)
+
+type pdp = Types.request -> ((Types.flow_id * Types.reservation, Types.reject_reason) result -> unit) -> unit
+(** An asynchronous decision point for per-flow requests: called at the
+    broker side with the request and a continuation that must eventually
+    be applied to the decision, exactly once.  {!Overload.submit} has this
+    shape. *)
 
 val create :
   Broker.t ->
   ?latency:float ->
   ?reliability:reliability ->
+  ?pdp:pdp ->
   defer:(float -> (unit -> unit) -> unit) ->
   unit ->
   t
 (** [defer delay action] delivers a message: it must run [action] after
     [delay] (e.g. [Engine.schedule_after]).  [latency] is the one-way
     PEP↔PDP delay (default 0.005 s).  Without [reliability] the channel is
-    the base model: loss-free, no acknowledgements, no timers. *)
+    the base model: loss-free, no acknowledgements, no timers.
+
+    [pdp], when given, replaces the direct [Broker.request] call for
+    per-flow REQs — this is how the {!Overload} admission pipeline is
+    placed in front of the broker.  While a transaction's decision sits in
+    the asynchronous pipeline, duplicate REQ copies are swallowed (counted
+    in {!duplicates}) instead of enqueuing the same work twice. *)
 
 val set_broker : t -> Broker.t -> unit
 (** Repoint the PEP at a new PDP (a promoted warm standby).  In-flight
-    reliable transactions retransmit to it automatically. *)
+    reliable transactions retransmit to it automatically.  When the dead
+    broker's requests were fronted by an {!Overload} pipeline, install the
+    standby's pipeline with {!set_pdp} as well. *)
+
+val set_pdp : t -> pdp -> unit
+(** Install (or replace) the asynchronous per-flow decision point. *)
+
+val clear_pdp : t -> unit
+(** Back to deciding per-flow REQs with a direct [Broker.request] call. *)
 
 val set_pdp_up : t -> bool -> unit
 (** Model a broker crash: while down, the PDP consumes incoming messages
@@ -71,9 +105,18 @@ val request :
   on_decision:((Types.flow_id * Types.reservation, Types.reject_reason) result -> unit) ->
   unit
 (** Per-flow service request: REQ travels to the broker, the decision is
-    made there, DEC travels back; on an admit the PEP configures its edge
-    conditioner and sends the RPT report.  [on_decision] fires exactly
-    once, when the first DEC copy reaches the PEP. *)
+    made there (directly, or through the installed {!pdp} pipeline), DEC
+    travels back; on an admit the PEP configures its edge conditioner and
+    sends the RPT report.  [on_decision] fires exactly once, when the
+    transaction resolves.
+
+    On a reliable channel a [Server_busy { retry_after }] decision does
+    not resolve the transaction: the PEP silences its retransmission
+    timers, waits the jittered [retry_after] (never less than the base
+    retransmission timeout), and re-submits the REQ as a fresh decision —
+    up to [busy_retries] times, after which the busy error is
+    delivered.  On the base channel the busy decision is delivered like
+    any other rejection. *)
 
 val request_class :
   t ->
@@ -103,4 +146,9 @@ val retransmissions : t -> int
 
 val duplicates : t -> int
 (** Duplicate REQ/DRQ copies the PDP answered from its transaction
-    memory instead of re-deciding. *)
+    memory instead of re-deciding, or swallowed while the decision was
+    still in the asynchronous pipeline. *)
+
+val busy_backoffs : t -> int
+(** [Server_busy] decisions honored with a backoff-and-resubmit instead
+    of being delivered. *)

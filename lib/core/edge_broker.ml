@@ -3,6 +3,8 @@ module Delay = Bbr_vtrs.Delay
 module Topology = Bbr_vtrs.Topology
 module Fp = Bbr_util.Fp
 
+module Metrics = Bbr_obs.Metrics
+
 type grant = { central_flow : Types.flow_id; amount : float }
 
 type t = {
@@ -18,6 +20,24 @@ type t = {
   flows : (Types.flow_id, float) Hashtbl.t;  (* local flow -> rate *)
   mutable next_id : int;
   mutable transactions : int;
+  mutable returning : bool;  (* a quota return is in flight *)
+  mutable lease : lease option;
+}
+
+and lease = {
+  edge : t;
+  mgr : manager;
+  mutable expires_at : float;  (* central clock *)
+  mutable connected : bool;  (* the edge is heartbeating *)
+  mutable reclaimed : bool;  (* central tore the grants down after expiry *)
+}
+
+and manager = {
+  m_central : Broker.t;
+  m_time : Broker.time_hooks;
+  period : float;
+  mutable members : lease list;
+  mutable m_stopped : bool;
 }
 
 (* Quota is acquired as a constant-bit-rate pseudo-flow: its reserved rate
@@ -62,9 +82,18 @@ let create ~central ~ingress ~egress ~chunk =
             flows = Hashtbl.create 32;
             next_id = 0;
             transactions = 0;
+            returning = false;
+            lease = None;
           }
 
 let available t = t.quota -. t.used
+
+let holder t = t.ingress ^ "->" ^ t.egress
+
+(* A partitioned leased edge cannot reach the central broker: quota
+   acquisitions and returns fail locally instead of pretending the
+   exchange happened. *)
+let offline t = match t.lease with Some l -> not l.connected | None -> false
 
 (* Every exchange with the central broker funnels through here, so the
    transaction tally and the [bb_edge_transactions_total] counter cannot
@@ -78,6 +107,7 @@ let central_transaction t f =
    exact remainder if the chunk is refused. *)
 let rec acquire t shortfall =
   if shortfall <= 0. then true
+  else if offline t then false
   else begin
     let ask = Float.max t.chunk shortfall in
     match central_transaction t (fun c -> Broker.request c (quota_request t ask)) with
@@ -140,17 +170,27 @@ let teardown t flow =
       Obs_log.count "bb_teardowns_total" ~labels:[ ("service", "edge") ];
       t.used <- Float.max 0. (t.used -. rate)
 
+(* Idempotent and re-entrancy-safe.  The grant is popped and the quota
+   adjusted BEFORE the teardown transaction runs: a central broker with a
+   mutation hook (journal, failover) can call back into this edge broker
+   mid-teardown, and under the old order that re-entrant call saw the
+   grant still listed and tore it down a second time — double-counting
+   [central_transactions] and double-decrementing the quota.  The
+   [returning] guard additionally makes any such nested call a no-op. *)
 let return_idle_quota t =
-  let rec give_back () =
-    match t.grants with
-    | grant :: rest when Fp.geq (available t -. grant.amount) t.chunk ->
-        central_transaction t (fun c -> Broker.teardown c grant.central_flow);
-        t.grants <- rest;
-        t.quota <- t.quota -. grant.amount;
-        give_back ()
-    | _ -> ()
-  in
-  give_back ()
+  if not (t.returning || offline t) then begin
+    t.returning <- true;
+    let rec give_back () =
+      match t.grants with
+      | grant :: rest when Fp.geq (available t -. grant.amount) t.chunk ->
+          t.grants <- rest;
+          t.quota <- t.quota -. grant.amount;
+          central_transaction t (fun c -> Broker.teardown c grant.central_flow);
+          give_back ()
+      | _ -> ()
+    in
+    Fun.protect ~finally:(fun () -> t.returning <- false) give_back
+  end
 
 let quota_total t = t.quota
 
@@ -159,3 +199,183 @@ let quota_used t = t.used
 let local_flows t = Hashtbl.length t.flows
 
 let central_transactions t = t.transactions
+
+(* ------------------------------------------------------------------ *)
+(* Lease-based delegation: quota held by an edge broker is only valid
+   while the edge keeps renewing its lease.  A silent edge (crashed or
+   partitioned) loses the lease at expiry: the central-side sweep tears
+   the backing grant pseudo-flows down, returning the bandwidth to the
+   shared pool.  The edge's own view of its quota is then stale — which
+   is fine, because being silent it cannot spend it centrally — and is
+   reconciled when it comes back ({!reconnect}). *)
+
+let note_lease_gauge m =
+  Metrics.set_gauge "bb_lease_active"
+    (float_of_int (List.length (List.filter (fun l -> l.connected) m.members)))
+
+let m_now m = m.m_time.Broker.now ()
+
+(* The lease TTL is 3/4 of the nominal period, measured from the last
+   heartbeat; heartbeats run every period/4 and the sweep every period/8,
+   so a silent edge's quota is provably back in the pool within
+   3/4 + 1/8 < 1 lease period of its last renewal. *)
+let ttl m = 0.75 *. m.period
+
+(* Central-initiated reclaim: NOT a [central_transaction] — the edge did
+   not send anything (it is silent; that is the point). *)
+let reclaim m l =
+  let e = l.edge in
+  let amount = List.fold_left (fun a g -> a +. g.amount) 0. e.grants in
+  List.sort (fun a b -> compare a.central_flow b.central_flow) e.grants
+  |> List.iter (fun g -> Broker.teardown m.m_central g.central_flow);
+  l.reclaimed <- true;
+  Metrics.count "bb_lease_reclaims_total";
+  Obs_log.event ~at:(m_now m) "bb.lease.expired"
+    ~attrs:[ ("holder", holder e); ("reclaimed_bps", Printf.sprintf "%.6g" amount) ]
+
+let rec sweep_loop m =
+  if not m.m_stopped then begin
+    let now = m_now m in
+    List.iter
+      (fun l ->
+        if (not l.reclaimed) && (not l.connected) && now > l.expires_at then
+          reclaim m l)
+      m.members;
+    m.m_time.Broker.after (m.period /. 8.) (fun () -> sweep_loop m)
+  end
+
+(* One renewal timer per lease, alive until the manager stops; it only
+   heartbeats while the edge is connected, so a partition silently lets
+   the lease age out. *)
+let rec renew_loop l =
+  let m = l.mgr in
+  if not m.m_stopped then begin
+    if l.connected && not l.reclaimed then begin
+      central_transaction l.edge (fun _ -> ());
+      l.expires_at <- m_now m +. ttl m;
+      Metrics.count "bb_lease_renewals_total"
+    end;
+    m.m_time.Broker.after (m.period /. 4.) (fun () -> renew_loop l)
+  end
+
+let lease_manager ~central ~time ~period =
+  if period <= 0. then invalid_arg "Edge_broker.lease_manager: period must be positive";
+  let m = { m_central = central; m_time = time; period; members = []; m_stopped = false } in
+  sweep_loop m;
+  m
+
+let stop_manager m = m.m_stopped <- true
+
+let create_leased m ~ingress ~egress ~chunk =
+  match create ~central:m.m_central ~ingress ~egress ~chunk with
+  | Error e -> Error e
+  | Ok t ->
+      let l =
+        {
+          edge = t;
+          mgr = m;
+          expires_at = m_now m +. ttl m;
+          connected = true;
+          reclaimed = false;
+        }
+      in
+      t.lease <- Some l;
+      m.members <- m.members @ [ l ];
+      note_lease_gauge m;
+      renew_loop l;
+      Ok t
+
+let leased t = t.lease <> None
+
+let connected t = match t.lease with Some l -> l.connected | None -> true
+
+let disconnect t =
+  match t.lease with
+  | None -> invalid_arg "Edge_broker.disconnect: not a leased edge broker"
+  | Some l ->
+      if l.connected then begin
+        l.connected <- false;
+        note_lease_gauge l.mgr;
+        Obs_log.event ~at:(m_now l.mgr) "bb.lease.disconnected"
+          ~attrs:[ ("holder", holder t) ]
+      end
+
+type reconcile = {
+  re_registered : Types.flow_id list;
+  surrendered : Types.flow_id list;
+  quota_before : float;
+  quota_after : float;
+}
+
+let reconnect t =
+  match t.lease with
+  | None -> invalid_arg "Edge_broker.reconnect: not a leased edge broker"
+  | Some l ->
+      let m = l.mgr in
+      let quota_before = t.quota in
+      let live_ids () =
+        Hashtbl.fold (fun f _ acc -> f :: acc) t.flows [] |> List.sort compare
+      in
+      let result =
+        if not l.reclaimed then begin
+          (* Back before the sweep noticed: the grants are intact, the
+             lease just needs a fresh heartbeat — nothing to re-register. *)
+          l.connected <- true;
+          l.expires_at <- m_now m +. ttl m;
+          central_transaction t (fun _ -> ());
+          { re_registered = []; surrendered = []; quota_before; quota_after = t.quota }
+        end
+        else begin
+          (* The central broker reclaimed everything at expiry.  The old
+             grant list is dead paper: drop the local view, then re-earn
+             backing for each still-live local flow, ascending flow id —
+             flows the shrunken pool can no longer carry are surrendered.
+             Idle quota is NOT re-acquired (that is the surrender). *)
+          t.grants <- [];
+          t.quota <- 0.;
+          t.used <- 0.;
+          l.reclaimed <- false;
+          l.connected <- true;
+          l.expires_at <- m_now m +. ttl m;
+          let re_registered, surrendered =
+            List.partition_map
+              (fun f ->
+                let rate = Hashtbl.find t.flows f in
+                match
+                  central_transaction t (fun c ->
+                      Broker.request c (quota_request t rate))
+                with
+                | Ok (central_flow, res) ->
+                    t.grants <- { central_flow; amount = res.Types.rate } :: t.grants;
+                    t.quota <- t.quota +. res.Types.rate;
+                    t.used <- t.used +. rate;
+                    Either.Left f
+                | Error _ ->
+                    Hashtbl.remove t.flows f;
+                    Either.Right f)
+              (live_ids ())
+          in
+          { re_registered; surrendered; quota_before; quota_after = t.quota }
+        end
+      in
+      note_lease_gauge m;
+      Metrics.count "bb_lease_reconciles_total";
+      Obs_log.event ~at:(m_now m) "bb.lease.reconciled"
+        ~attrs:
+          [
+            ("holder", holder t);
+            ("re_registered", string_of_int (List.length result.re_registered));
+            ("surrendered", string_of_int (List.length result.surrendered));
+          ];
+      result
+
+let leases m =
+  List.map
+    (fun l ->
+      {
+        Types.holder = holder l.edge;
+        expires_at = l.expires_at;
+        granted =
+          List.map (fun g -> g.central_flow) l.edge.grants |> List.sort compare;
+      })
+    m.members

@@ -38,7 +38,11 @@ val teardown : t -> Types.flow_id -> unit
 
 val return_idle_quota : t -> unit
 (** Hand whole idle chunks back to the central broker (keeps at most one
-    chunk of slack). *)
+    chunk of slack).  Idempotent and re-entrancy-safe: each grant's state
+    is settled before its teardown transaction runs, so a central-side
+    hook calling back into this edge broker mid-return cannot
+    double-count {!central_transactions} or double-release quota; a
+    nested call is a no-op. *)
 
 val quota_total : t -> float
 (** Bandwidth currently delegated to this edge broker. *)
@@ -49,6 +53,70 @@ val quota_used : t -> float
 val local_flows : t -> int
 
 val central_transactions : t -> int
-(** Quota acquisitions, refusals and returns — the central-broker load this
-    edge broker has generated (compare with one transaction per flow under
-    the flat architecture). *)
+(** Quota acquisitions, refusals, returns and lease renewals — the
+    central-broker load this edge broker has generated (compare with one
+    transaction per flow under the flat architecture). *)
+
+(** {1 Lease-based delegation}
+
+    Unleased delegation has a robustness hole: an edge broker that
+    crashes or partitions strands its delegated quota at the central
+    broker forever.  Under a {!lease_manager}, every delegation is a
+    renewable lease: the edge heartbeats every [period/4] (one central
+    transaction each), each heartbeat pushing the expiry to [3/4 period]
+    later; a silent edge lets the lease age out and the central-side
+    sweep (every [period/8]) tears the backing grant pseudo-flows down —
+    so the quota is provably back in the shared pool within
+    [3/4 + 1/8 < 1] lease period of the edge falling silent.  A reconnecting edge
+    {!reconnect}s: if it returned before the sweep fired nothing was
+    lost; otherwise it re-registers each still-live local flow with the
+    central broker (ascending flow id) and surrenders the flows — and all
+    idle quota — the shrunken pool can no longer carry.
+
+    All timing runs on the injected {!Broker.time_hooks}; the sweep and
+    renewal timers stop when {!stop_manager} is called, so a simulation
+    drains. *)
+
+type manager
+
+val lease_manager : central:Broker.t -> time:Broker.time_hooks -> period:float -> manager
+(** Start the central-side lease registry and its expiry sweep.  Raises
+    [Invalid_argument] when [period <= 0]. *)
+
+val stop_manager : manager -> unit
+(** Stop the sweep and all renewal timers (idempotent). *)
+
+val create_leased :
+  manager -> ingress:string -> egress:string -> chunk:float -> (t, Types.reject_reason) result
+(** Like {!create}, but the edge broker's delegation is governed by the
+    manager's lease: auto-renewal starts immediately. *)
+
+val leased : t -> bool
+
+val connected : t -> bool
+(** [true] for unleased brokers and for leased brokers currently
+    heartbeating. *)
+
+val disconnect : t -> unit
+(** Partition (or crash) the edge broker: heartbeats stop, and quota
+    acquisitions/returns fail locally instead of reaching the central
+    broker.  Local flows keep being served from the (now aging) local
+    quota view.  Raises [Invalid_argument] on an unleased broker. *)
+
+(** What {!reconnect} did: which local flows kept their backing, which
+    were surrendered, and the quota delta. *)
+type reconcile = {
+  re_registered : Types.flow_id list;  (** still-live, re-backed locally *)
+  surrendered : Types.flow_id list;  (** dropped — no longer fit centrally *)
+  quota_before : float;
+  quota_after : float;
+}
+
+val reconnect : t -> reconcile
+(** Rejoin after a partition and reconcile with the central broker (see
+    the section doc).  Raises [Invalid_argument] on an unleased
+    broker. *)
+
+val leases : manager -> Types.lease list
+(** The delegation view for {!Audit.check}: one {!Types.lease} per
+    enrolled edge broker, grant flow ids ascending. *)

@@ -2,9 +2,15 @@ type action = Allow | Deny
 
 type rule = { name : string; matches : Types.request -> bool; action : action }
 
-type t = { default : action; mutable rules : rule list (* reversed priority *) }
+type priority_rule = { pname : string; pmatches : Types.request -> bool; level : int }
 
-let create ?(default = Allow) () = { default; rules = [] }
+type t = {
+  default : action;
+  mutable rules : rule list; (* reversed priority *)
+  mutable priorities : priority_rule list; (* reversed insertion order *)
+}
+
+let create ?(default = Allow) () = { default; rules = []; priorities = [] }
 
 let add_rule t ~name ~matches action = t.rules <- { name; matches; action } :: t.rules
 
@@ -18,6 +24,16 @@ let add_peak_limit t ~name ~max_peak =
 
 let add_delay_floor t ~name ~min_dreq =
   add_rule t ~name ~matches:(fun req -> req.Types.dreq < min_dreq) Deny
+
+let add_priority_rule t ~name ~matches ~priority =
+  t.priorities <- { pname = name; pmatches = matches; level = priority } :: t.priorities
+
+let priority t req =
+  let rec eval = function
+    | [] -> 0
+    | pr :: rest -> if pr.pmatches req then pr.level else eval rest
+  in
+  eval (List.rev t.priorities)
 
 let check t req =
   let rec eval = function

@@ -26,6 +26,16 @@ val add_delay_floor : t -> name:string -> min_dreq:float -> unit
 (** Convenience: deny requests asking for an end-to-end bound below
     [min_dreq] (e.g. bounds the provider never sells). *)
 
+val add_priority_rule :
+  t -> name:string -> matches:(Types.request -> bool) -> priority:int -> unit
+(** Classification rule for overload shedding: requests matching [matches]
+    get importance [priority] (higher = more important; shed last).  Like
+    allow/deny rules, the first matching priority rule wins. *)
+
+val priority : t -> Types.request -> int
+(** Importance of a request under the priority rules; [0] when none
+    match. *)
+
 val check : t -> Types.request -> (unit, string) result
 (** [Error rule_name] when denied. *)
 

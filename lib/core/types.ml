@@ -28,6 +28,10 @@ type reject_reason =
   | Not_schedulable
       (** a delay-based scheduler along the path would violate its
           schedulability condition *)
+  | Server_busy of { retry_after : float }
+      (** the broker's admission pipeline is overloaded and shed the
+          request before deciding it; the PEP should back off (with
+          jitter) for [retry_after] seconds and resubmit *)
 
 type decision = Admitted of reservation | Rejected of reject_reason
 
@@ -39,6 +43,7 @@ let reject_label = function
   | Insufficient_bandwidth -> "insufficient_bandwidth"
   | Delay_unachievable -> "delay_unachievable"
   | Not_schedulable -> "not_schedulable"
+  | Server_busy _ -> "server_busy"
 
 let pp_reject_reason ppf = function
   | Policy_denied rule -> Fmt.pf ppf "policy denied (rule %s)" rule
@@ -46,9 +51,24 @@ let pp_reject_reason ppf = function
   | Insufficient_bandwidth -> Fmt.string ppf "insufficient bandwidth"
   | Delay_unachievable -> Fmt.string ppf "delay requirement unachievable"
   | Not_schedulable -> Fmt.string ppf "not schedulable"
+  | Server_busy { retry_after } ->
+      Fmt.pf ppf "server busy (retry after %g s)" retry_after
 
 let pp_decision ppf = function
   | Admitted r -> Fmt.pf ppf "admitted (rate=%g delay=%g)" r.rate r.delay
   | Rejected reason -> Fmt.pf ppf "rejected: %a" pp_reject_reason reason
 
 let is_admitted = function Admitted _ -> true | Rejected _ -> false
+
+(** A quota lease, as delegated by a central broker to an edge broker
+    (hierarchical brokering): the delegated bandwidth is backed by
+    pseudo-flow reservations [granted] at the central broker, and the
+    delegation is valid until [expires_at] on the central broker's clock.
+    An edge broker that falls silent past [expires_at] forfeits the quota:
+    the central broker reclaims the grants.  {!Audit} consumes this view
+    to flag leases that expired without being reclaimed. *)
+type lease = {
+  holder : string;  (** who holds the delegation, e.g. ["I1->E1"] *)
+  expires_at : float;  (** central-broker clock; [infinity] = never *)
+  granted : flow_id list;  (** central pseudo-flows backing the quota *)
+}

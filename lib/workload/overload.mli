@@ -1,0 +1,100 @@
+(** Overload and partition soak scenarios for the admission pipeline.
+
+    Two end-to-end robustness experiments, both pure functions of their
+    seed:
+
+    - {!run} — the Figure-10 churn workload at a multiple of the base
+      arrival rate, pushed through reliable COPS (with jittered backoff)
+      into a bounded {!Bbr_broker.Overload} admission pipeline in front
+      of the broker.  The exact O(M) admission test shadows every
+      decision as an oracle: the outcome reports how often degraded
+      (brownout) admission admitted something the oracle would have
+      refused — which must be never.
+    - {!run_partition} — two lease-holding edge brokers admit local
+      flows from delegated quota; one partitions mid-run, its lease
+      expires, and the central sweep must return the full delegation to
+      the shared pool within one lease period; on reconnect the edge
+      reconciles (re-registering still-live flows, surrendering the
+      rest). *)
+
+type config = {
+  seed : int;
+  setting : Fig8.setting;
+  base_rate : float;  (** arrivals/s at 1x load *)
+  overload : float;  (** offered load as a multiple of [base_rate] *)
+  mean_holding : float;
+  duration : float;  (** arrivals offered during [0, duration) *)
+  horizon : float;
+  latency : float;  (** one-way PEP↔PDP delay *)
+  pipeline : Bbr_broker.Overload.config;
+  brownout : bool;  (** [false] = flat pipeline: degradation disabled *)
+  journal : bool;
+      (** journal the run and verify replay reproduces the digest *)
+}
+
+val default_config : config
+(** Seed 1, mixed Figure-8 setting, 10x the 0.15 arrivals/s base load,
+    1500 s of arrivals over a 3000 s horizon, brownout on. *)
+
+type outcome = {
+  offered : int;
+  admitted : int;
+  rejected : int;  (** resource/policy rejections decided by the broker *)
+  busy : int;  (** requests that resolved [Server_busy] after all retries *)
+  completed : int;
+  pipeline : Bbr_broker.Overload.stats;
+  p50_latency : float;
+  p99_latency : float;
+  brownout_time : float;  (** sim seconds spent degraded *)
+  messages : int;
+  retransmissions : int;
+  busy_backoffs : int;
+  unresolved : int;  (** COPS transactions never resolved — must be 0 *)
+  oracle_violations : int;  (** must be 0 *)
+  audit : Bbr_broker.Audit.report;
+  digest : string;  (** canonical MIB digest at the end of the run *)
+  journal_digest_match : bool option;
+      (** [Some true] iff journal replay into a fresh broker reproduces
+          [digest]; [None] when not journaled *)
+}
+
+val run : config -> outcome
+
+val pp_outcome : outcome Fmt.t
+
+(** {1 Partition soak} *)
+
+type partition_config = {
+  p_seed : int;
+  p_lease_period : float;
+  p_chunk : float;  (** quota acquisition granularity, b/s *)
+  p_arrival_rate : float;  (** local flow arrivals/s at each edge *)
+  p_mean_holding : float;
+  p_duration : float;
+  p_horizon : float;
+  p_disconnect_at : float;
+  p_reconnect_at : float option;  (** [None]: the edge stays dead *)
+}
+
+val default_partition_config : partition_config
+(** Seed 1, 30 s lease, disconnect at 150 s, reconnect at 350 s. *)
+
+type partition_outcome = {
+  p_offered : int;
+  p_admitted : int;
+  p_rejected : int;
+  quota_at_disconnect : float;  (** delegated to the partitioned edge *)
+  reclaim_time : float option;
+      (** sim seconds from disconnect until the central broker held none
+          of the partitioned edge's grant flows *)
+  reclaimed_within_period : bool;  (** the acceptance criterion *)
+  re_registered : int;
+  surrendered : int;
+  stale_leases : int;  (** [Stale_lease] findings in the final audit *)
+  p_audit : Bbr_broker.Audit.report;
+  central_transactions : int;
+}
+
+val run_partition : partition_config -> partition_outcome
+
+val pp_partition_outcome : partition_outcome Fmt.t
