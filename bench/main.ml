@@ -20,6 +20,11 @@
                   (writes BENCH_recovery.json)
      overload     goodput / decision latency / shed rate vs offered load,
                   flat pipeline vs brownout (writes BENCH_overload.json)
+     admission_throughput
+                  fast-path admission req/s, cached vs uncached, with
+                  allocation per request (writes
+                  BENCH_admission_throughput.json; BBR_BENCH_SCALE=k
+                  divides the request budgets for smoke runs)
      scaling      admission cost vs M; bounds vs path length
      statistical  Hoeffding effective-bandwidth multiplexing gain
      micro        Bechamel micro-benchmarks of the admission hot paths
@@ -515,6 +520,16 @@ let run_micro () =
   let gs_req =
     { Types.profile = type0; dreq = 3.5; ingress = Fig8.ingress1; egress = Fig8.egress1 }
   in
+  let batch_broker = Broker.create (Fig8.topology `Mixed) in
+  let batch_reqs =
+    List.init 16 (fun i ->
+        {
+          Types.profile = Profiles.profile (i mod 4);
+          dreq = 1.5 +. (0.25 *. float_of_int (i mod 6));
+          ingress = (if i mod 2 = 0 then Fig8.ingress1 else Fig8.ingress2);
+          egress = (if i mod 2 = 0 then Fig8.egress1 else Fig8.egress2);
+        })
+  in
   let tests =
     Test.make_grouped ~name:"admission"
       [
@@ -531,6 +546,13 @@ let run_micro () =
                match Bbr_intserv.Gs_admission.request gs gs_req with
                | Ok (flow, _) -> Bbr_intserv.Gs_admission.teardown gs flow
                | Error _ -> ()));
+        Test.make ~name:"broker request_batch(16)+teardown"
+          (Staged.stage (fun () ->
+               List.iter
+                 (function
+                   | Ok (flow, _) -> Broker.teardown batch_broker flow
+                   | Error _ -> ())
+                 (Broker.request_batch batch_broker batch_reqs)));
       ]
   in
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
@@ -931,6 +953,122 @@ let run_overload_bench () =
   Fmt.pr "@.wrote BENCH_overload.json@."
 
 (* ------------------------------------------------------------------ *)
+(* Fast-path admission throughput: the incremental per-path caches vs
+   rebuilding path state and the merged breakpoint table per request.
+   Writes BENCH_admission_throughput.json. *)
+
+module Topo_gen = Bbr_workload.Topo_gen
+module Audit = Bbr_broker.Audit
+module Prng = Bbr_util.Prng
+
+let run_admission_throughput () =
+  section "Admission throughput: incremental fast path vs per-request rebuild";
+  let scale =
+    match Sys.getenv_opt "BBR_BENCH_SCALE" with
+    | Some s -> ( try max 1 (int_of_string s) with _ -> 1)
+    | None -> 1
+  in
+  (* One churn run: [n] admission requests against [mk ()], keeping at
+     most [cap] reservations alive (oldest out first) so the delay-class
+     population M reaches a steady state.  Requests come from a fixed
+     seeded stream and admission is digest-neutral, so the cached and
+     uncached runs execute identical operation sequences — the final MIB
+     digest doubles as the equivalence check. *)
+  let churn ~fast_path ~cap ~n mk =
+    let topology, endpoints = mk () in
+    let broker = Broker.create ~fast_path topology in
+    let prng = Prng.create ~seed:20_260_807 in
+    let live = Queue.create () in
+    let admitted = ref 0 in
+    Gc.full_major ();
+    let w0 = Gc.minor_words () in
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to n do
+      let ingress, egress = endpoints prng in
+      let profile = Profiles.profile (Prng.int prng ~bound:4) in
+      let dreq = Prng.float_range prng ~lo:0.5 ~hi:6. in
+      match Broker.request broker { Types.profile; dreq; ingress; egress } with
+      | Ok (flow, _) ->
+          incr admitted;
+          Queue.push flow live;
+          if Queue.length live > cap then Broker.teardown broker (Queue.pop live)
+      | Error _ ->
+          (* make room so the stream keeps exercising admissions *)
+          if not (Queue.is_empty live) then
+            Broker.teardown broker (Queue.pop live)
+    done;
+    let dt = Unix.gettimeofday () -. t0 in
+    let words = (Gc.minor_words () -. w0) /. float_of_int n in
+    (float_of_int n /. dt, words, !admitted, Audit.mib_digest broker)
+  in
+  let fig8 () =
+    let topology = Fig8.topology `Mixed in
+    let endpoints prng =
+      if Prng.float prng < 0.5 then (Fig8.ingress1, Fig8.egress1)
+      else (Fig8.ingress2, Fig8.egress2)
+    in
+    (topology, endpoints)
+  in
+  (* A wide delay-based chain: capacity high enough to hold hundreds of
+     concurrent reservations, so the merged breakpoint table the exact
+     scan walks has M in the hundreds — the regime the paper's O(M)
+     argument (and this cache) is about. *)
+  let chain () =
+    let topology, ingress, egress =
+      Topo_gen.chain ~capacity:1e9 ~sched:Topology.Delay_based ~hops:4 ()
+    in
+    (topology, fun _ -> (ingress, egress))
+  in
+  let scenarios =
+    [
+      ("fig8-mixed", fig8, 64, 10_000);
+      ("fig8-mixed", fig8, 64, 100_000);
+      ("chain-edf", chain, 512, 10_000);
+      ("chain-edf", chain, 512, 100_000);
+    ]
+  in
+  Fmt.pr "%-12s %9s %12s %12s %8s %11s %11s %6s@." "topology" "requests"
+    "uncached r/s" "cached r/s" "speedup" "words/req" "(cached)" "equal";
+  let rows =
+    List.map
+      (fun (name, mk, cap, n0) ->
+        let n = max 100 (n0 / scale) in
+        let u_rps, u_words, u_adm, u_dig = churn ~fast_path:false ~cap ~n mk in
+        let c_rps, c_words, c_adm, c_dig = churn ~fast_path:true ~cap ~n mk in
+        let equivalent = u_adm = c_adm && String.equal u_dig c_dig in
+        let speedup = c_rps /. u_rps in
+        Fmt.pr "%-12s %9d %12.0f %12.0f %7.1fx %11.1f %11.1f %6s@." name n
+          u_rps c_rps speedup u_words c_words
+          (if equivalent then "yes" else "NO!");
+        (name, n, u_rps, c_rps, speedup, u_words, c_words, c_adm, equivalent))
+      scenarios
+  in
+  Fmt.pr
+    "@.(words/req = minor-heap words allocated per request; 'equal' checks@.";
+  Fmt.pr
+    "identical admitted counts and MIB digests between the two runs)@.";
+  let oc = open_out "BENCH_admission_throughput.json" in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Printf.fprintf oc
+        "{\n  \"admission_throughput\": {\n    \"scale\": %d,\n    \"scenarios\": [\n"
+        scale;
+      List.iteri
+        (fun i (name, n, u, c, sp, uw, cw, adm, eq) ->
+          Printf.fprintf oc
+            "      {\"topology\": %S, \"requests\": %d, \"uncached_req_per_s\": \
+             %.0f, \"cached_req_per_s\": %.0f, \"speedup\": %.2f, \
+             \"uncached_minor_words_per_req\": %.1f, \
+             \"cached_minor_words_per_req\": %.1f, \"admitted\": %d, \
+             \"equivalent\": %b}%s\n"
+            name n u c sp uw cw adm eq
+            (if i = List.length rows - 1 then "" else ","))
+        rows;
+      Printf.fprintf oc "    ]\n  }\n}\n");
+  Fmt.pr "@.wrote BENCH_admission_throughput.json@."
+
+(* ------------------------------------------------------------------ *)
 
 let sections =
   [
@@ -946,6 +1084,7 @@ let sections =
     ("failover", run_failover);
     ("recovery", run_recovery);
     ("overload", run_overload_bench);
+    ("admission_throughput", run_admission_throughput);
     ("scaling", run_scaling);
     ("statistical", run_statistical);
     ("admission", run_admission);

@@ -50,10 +50,12 @@ let schedulable ps ~rate ~delay ~lmax =
 
 (* The merged breakpoint table: every distinct delay value [d^m] supported
    across the delay-based schedulers of the path, with the minimal residual
-   service [S^m] of the path at [d^m] (paper, Section 3.2). *)
-type breakpoint = { d : float; s : float }
+   service [S^m] of the path at [d^m] (paper, Section 3.2).  Kept as
+   parallel arrays so an admission cache can maintain the table in place
+   and hand it to {!mixed} without re-merging. *)
+type merged = { m : int; md : float array; ms : float array }
 
-let breakpoints ps =
+let merge_breakpoints ps =
   let module M = Map.Make (Float) in
   let merge acc edf =
     List.fold_left
@@ -61,8 +63,17 @@ let breakpoints ps =
         M.update d (function None -> Some s | Some s0 -> Some (Float.min s0 s)) acc)
       acc (Vtedf.breakpoints edf)
   in
-  let merged = List.fold_left merge M.empty ps.edf in
-  Array.of_list (List.map (fun (d, s) -> { d; s }) (M.bindings merged))
+  let map = List.fold_left merge M.empty ps.edf in
+  let m = M.cardinal map in
+  let md = Array.make (max 1 m) 0. and ms = Array.make (max 1 m) 0. in
+  let i = ref 0 in
+  M.iter
+    (fun d s ->
+      md.(!i) <- d;
+      ms.(!i) <- s;
+      incr i)
+    map;
+  { m; md; ms }
 
 (* Shared precomputation for [mixed] and [mixed_reference]. *)
 type mixed_ctx = {
@@ -71,12 +82,12 @@ type mixed_ctx = {
   lmax : float;
   rho : float;
   r_cap : float;  (* min(peak, cres) *)
-  bps : breakpoint array;
+  mg : merged;
   n_lt : int;  (* number of breakpoints with d < t (index of interval count - 1) *)
   ub_tail : float;  (* upper bound on r from breakpoints with d >= t; can be < 0 *)
 }
 
-let make_ctx ps (p : Traffic.t) ~dreq =
+let make_ctx ?bps ps (p : Traffic.t) ~dreq =
   if ps.delay_hops = 0 then invalid_arg "Admission.mixed: path has no delay-based hop";
   let dh = float_of_int ps.delay_hops in
   let ton = Traffic.t_on p in
@@ -87,23 +98,25 @@ let make_ctx ps (p : Traffic.t) ~dreq =
       ((ton *. p.Traffic.peak) +. (float_of_int (ps.rate_hops + 1) *. p.Traffic.lmax))
       /. dh
     in
-    let bps = breakpoints ps in
+    let mg = match bps with Some mg -> mg | None -> merge_breakpoints ps in
     let n_lt =
       let count = ref 0 in
-      Array.iter (fun bp -> if bp.d < tval then incr count) bps;
+      for k = 0 to mg.m - 1 do
+        if mg.md.(k) < tval then incr count
+      done;
       !count
     in
     (* Constraints from flows whose delay parameter is >= t apply to every
        candidate: r (d^k - t) + Xi + lmax <= S^k. *)
     let ub_tail = ref infinity in
     let feasible = ref true in
-    for k = n_lt to Array.length bps - 1 do
-      let bp = bps.(k) in
-      if Fp.approx bp.d tval then begin
-        if Fp.lt bp.s (xi +. p.Traffic.lmax) then feasible := false
+    for k = n_lt to mg.m - 1 do
+      let d = mg.md.(k) and s = mg.ms.(k) in
+      if Fp.approx d tval then begin
+        if Fp.lt s (xi +. p.Traffic.lmax) then feasible := false
       end
       else begin
-        let bound = (bp.s -. xi -. p.Traffic.lmax) /. (bp.d -. tval) in
+        let bound = (s -. xi -. p.Traffic.lmax) /. (d -. tval) in
         if bound < !ub_tail then ub_tail := bound
       end
     done;
@@ -116,7 +129,7 @@ let make_ctx ps (p : Traffic.t) ~dreq =
           lmax = p.Traffic.lmax;
           rho = p.Traffic.rho;
           r_cap = Float.min p.Traffic.peak ps.cres;
-          bps;
+          mg;
           n_lt;
           ub_tail = !ub_tail;
         }
@@ -125,17 +138,16 @@ let make_ctx ps (p : Traffic.t) ~dreq =
 (* Interval j (0-based, j in [0, n_lt]) covers candidate delays
    [lo_j, hi_j) with lo_j = d^{j-1} (0 for j = 0) and hi_j = d^j
    (t for j = n_lt). *)
-let interval_lo ctx j = if j = 0 then 0. else ctx.bps.(j - 1).d
+let interval_lo ctx j = if j = 0 then 0. else ctx.mg.md.(j - 1)
 
-let interval_hi ctx j = if j = ctx.n_lt then ctx.tval else ctx.bps.(j).d
+let interval_hi ctx j = if j = ctx.n_lt then ctx.tval else ctx.mg.md.(j)
 
 (* Lower bound on r from flows with delay parameter in [hi_j, t):
    r >= (Xi + lmax - S^k) / (t - d^k) for k in [j, n_lt). *)
 let del_lower ctx j =
   let lb = ref 0. in
   for k = j to ctx.n_lt - 1 do
-    let bp = ctx.bps.(k) in
-    let bound = (ctx.xi +. ctx.lmax -. bp.s) /. (ctx.tval -. bp.d) in
+    let bound = (ctx.xi +. ctx.lmax -. ctx.mg.ms.(k)) /. (ctx.tval -. ctx.mg.md.(k)) in
     if bound > !lb then lb := bound
   done;
   !lb
@@ -145,8 +157,7 @@ let del_lower ctx j =
 let del_upper ctx j =
   let ub = ref ctx.ub_tail in
   for k = j to ctx.n_lt - 1 do
-    let bp = ctx.bps.(k) in
-    let bound = (ctx.xi +. ctx.lmax) /. (ctx.tval -. bp.d) in
+    let bound = (ctx.xi +. ctx.lmax) /. (ctx.tval -. ctx.mg.md.(k)) in
     if bound < !ub then ub := bound
   done;
   !ub
@@ -169,9 +180,8 @@ let mixed_scan ctx =
     (* Entering interval j brings breakpoint j (delays in [d^j, t)) into
        the constraint set. *)
     if !j < ctx.n_lt then begin
-      let bp = ctx.bps.(!j) in
-      let gap = ctx.tval -. bp.d in
-      del_l_run := Float.max !del_l_run ((ctx.xi +. ctx.lmax -. bp.s) /. gap);
+      let gap = ctx.tval -. ctx.mg.md.(!j) in
+      del_l_run := Float.max !del_l_run ((ctx.xi +. ctx.lmax -. ctx.mg.ms.(!j)) /. gap);
       del_r_run := Float.min !del_r_run ((ctx.xi +. ctx.lmax) /. gap)
     end;
     let lo_d = interval_lo ctx !j and hi_d = interval_hi ctx !j in
@@ -292,19 +302,19 @@ let classify_reject ps (p : Traffic.t) ctx =
   else if Fp.lt ps.cres p.Traffic.rho then Types.Insufficient_bandwidth
   else Types.Not_schedulable
 
-let mixed_reference ps p ~dreq =
-  match make_ctx ps p ~dreq with
+let mixed_reference ?bps ps p ~dreq =
+  match make_ctx ?bps ps p ~dreq with
   | Error e -> Error e
   | Ok ctx -> (
       match mixed_reference_scan ps ctx with
       | Some pair -> Ok pair
       | None -> Error (classify_reject ps p ctx))
 
-let mixed ps p ~dreq =
-  match make_ctx ps p ~dreq with
+let mixed ?bps ps p ~dreq =
+  match make_ctx ?bps ps p ~dreq with
   | Error e -> Error e
   | Ok ctx -> (
-      let fallback () = mixed_reference ps p ~dreq in
+      let fallback () = mixed_reference ?bps ps p ~dreq in
       match mixed_scan ctx with
       | Some (rate, delay) ->
           if schedulable ps ~rate ~delay ~lmax:p.Traffic.lmax then Ok (rate, delay)
@@ -326,8 +336,8 @@ type interval_view = {
   del_r : float;
 }
 
-let intervals ps p ~dreq =
-  match make_ctx ps p ~dreq with
+let intervals ?bps ps p ~dreq =
+  match make_ctx ?bps ps p ~dreq with
   | Error _ -> []
   | Ok ctx ->
       List.init (ctx.n_lt + 1) (fun j ->
@@ -352,13 +362,13 @@ let intervals ps p ~dreq =
             del_r = del_upper ctx j;
           })
 
-let admit ps p ~dreq =
+let admit ?bps ps p ~dreq =
   if ps.delay_hops = 0 then
     match rate_based ps p ~dreq with
     | Ok rate -> Ok { Types.rate; delay = 0. }
     | Error e -> Error e
   else
-    match mixed ps p ~dreq with
+    match mixed ?bps ps p ~dreq with
     | Ok (rate, delay) -> Ok { Types.rate; delay }
     | Error e -> Error e
 

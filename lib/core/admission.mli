@@ -29,6 +29,23 @@ type path_state = {
 val path_state : Node_mib.t -> Path_mib.t -> Path_mib.info -> path_state
 (** Snapshot view of a path assembled from the MIBs. *)
 
+(** The merged breakpoint table of a mixed path: every distinct delay value
+    [d^m] supported across the delay-based schedulers, ascending, with the
+    minimal residual service [S^m] of the path at [d^m] (Section 3.2).
+    Parallel arrays of which only the first [m] entries are meaningful, so
+    a cache can maintain the table incrementally in oversized buffers and
+    hand it to {!mixed} without re-merging per request. *)
+type merged = {
+  m : int;  (** number of merged breakpoints *)
+  md : float array;  (** distinct delays, ascending *)
+  ms : float array;  (** minimal residual service at each delay *)
+}
+
+val merge_breakpoints : path_state -> merged
+(** Builds the merged table from scratch — the uncached reference.  A table
+    supplied via [?bps] below must be element-wise identical to this one
+    for the cache to be digest-neutral. *)
+
 val rate_based :
   path_state -> Bbr_vtrs.Traffic.t -> dreq:float -> (float, Types.reject_reason) result
 (** Minimal feasible reserved rate on an all-rate-based path, or why none
@@ -36,6 +53,7 @@ val rate_based :
     hops. *)
 
 val mixed :
+  ?bps:merged ->
   path_state ->
   Bbr_vtrs.Traffic.t ->
   dreq:float ->
@@ -44,10 +62,13 @@ val mixed :
     path.  Any returned pair is re-validated against the exact
     schedulability condition; on the rare disagreement (the published
     interval formulas omit the candidate's own-deadline constraint) the
-    result of {!mixed_reference} is returned instead.  Raises
-    [Invalid_argument] when the path has no delay-based hop. *)
+    result of {!mixed_reference} is returned instead.  [?bps] supplies a
+    pre-merged breakpoint table (from {!Admission_cache}); when absent the
+    table is rebuilt via {!merge_breakpoints}.  Raises [Invalid_argument]
+    when the path has no delay-based hop. *)
 
 val mixed_reference :
+  ?bps:merged ->
   path_state ->
   Bbr_vtrs.Traffic.t ->
   dreq:float ->
@@ -55,6 +76,7 @@ val mixed_reference :
 (** Exact reference implementation (see module doc). *)
 
 val admit :
+  ?bps:merged ->
   path_state ->
   Bbr_vtrs.Traffic.t ->
   dreq:float ->
@@ -98,7 +120,11 @@ type interval_view = {
 }
 
 val intervals :
-  path_state -> Bbr_vtrs.Traffic.t -> dreq:float -> interval_view list
+  ?bps:merged ->
+  path_state ->
+  Bbr_vtrs.Traffic.t ->
+  dreq:float ->
+  interval_view list
 (** The interval table the Figure-4 scan walks, left to right.  Empty when
     the request is trivially unachievable.  Raises [Invalid_argument] on a
     path without delay-based hops. *)

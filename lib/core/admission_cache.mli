@@ -1,0 +1,61 @@
+(** Incremental admission fast path.
+
+    The paper's complexity claims — O(1) rate-based admission, O(M)
+    mixed-path admission over the merged breakpoint table (Sections
+    3.1–3.2) — assume the per-path state is {e maintained}, not rebuilt per
+    request.  This cache keeps, for every registered path, a cached
+    {!Admission.path_state} and a merged breakpoint table
+    ({!Admission.merged}) kept consistent incrementally:
+
+    - one {b per-link} breakpoint cache shared by all paths crossing the
+      link, refreshed through {!Bbr_vtrs.Vtedf.refresh_breakpoints} — a
+      flow add/remove recomputes only the table suffix starting at the
+      touched delay class;
+    - one {b per-path} merged table, re-merged (allocation-free H-way merge
+      into reused buffers) only when a crossed scheduler's version counter
+      moved.
+
+    Invalidation is by epochs with {e lazy} revalidation: reserve/release
+    bumps the link's epoch (via {!Node_mib.on_change}); scheduler mutations
+    bump the {!Bbr_vtrs.Vtedf.version} counter; link failure/restore and
+    snapshot/journal restore bump a global epoch through
+    {!invalidate_all}.  Nothing is recomputed at mutation time — a burst of
+    mutations costs one rebuild per path at its next query.
+
+    The cache is digest-neutral by construction: the values handed out are
+    element-wise identical to a fresh {!Admission.path_state} plus
+    {!Admission.merge_breakpoints}, so decisions and MIB digests match the
+    uncached path exactly. *)
+
+type t
+
+val create : Node_mib.t -> Path_mib.t -> t
+(** Registers a {!Node_mib.on_change} hook.  Create at most one cache per
+    [Node_mib.t]: each cache assumes it is the single consumer of the
+    schedulers' incremental refresh API. *)
+
+val path_state : t -> Path_mib.info -> Admission.path_state
+(** The path's current {!Admission.path_state}, revalidated lazily (only
+    the residual can change; the static fields and scheduler list are
+    stable).  Suitable for {!Admission.schedulable}-style checks that read
+    the schedulers directly. *)
+
+val query : t -> Path_mib.info -> Admission.path_state * Admission.merged
+(** {!path_state} plus the path's merged breakpoint table for
+    {!Admission.admit}'s [?bps].  The returned [merged] aliases internal
+    buffers: it is valid until the next [query] on the same path. *)
+
+val invalidate_all : t -> unit
+(** Bump the global epoch: every cached path revalidates at its next
+    query.  Called by the broker on link failure/restore and by state
+    restoration paths. *)
+
+type stats = {
+  paths : int;  (** cached path entries *)
+  hits : int;  (** queries answered with no recomputation *)
+  revalidations : int;  (** path_state refreshes (residual re-read) *)
+  link_refreshes : int;  (** per-link incremental breakpoint refreshes *)
+  merges : int;  (** per-path H-way re-merges *)
+}
+
+val stats : t -> stats

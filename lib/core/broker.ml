@@ -51,6 +51,11 @@ type t = {
   routing : Routing.t;
   aggregate : Aggregate.t;
   time : time_hooks;
+  cache : Admission_cache.t option;  (* admission fast path; None = uncached *)
+  (* Installed by the journal: wraps the body of {!batched} so all records
+     appended by a request batch reach one durability boundary together
+     (group commit). *)
+  mutable batch_wrap : ((unit -> unit) -> unit) option;
   on_edge_config : flow:Types.flow_id -> Types.reservation -> unit;
   mutable on_decision : (decision_record -> unit) list;
   (* A ref cell (not a mutable field) so the aggregate's [rate_changed]
@@ -62,12 +67,16 @@ type t = {
 }
 
 let create ?policy ?(classes = []) ?(method_ = Aggregate.Feedback) ?time
+    ?(fast_path = true)
     ?(on_edge_config = fun ~flow:_ _ -> ()) ?(on_class_rate = fun ~class_id:_ ~path_id:_ ~total_rate:_ -> ())
     ?on_decision:decision_hook topology =
   let policy = match policy with Some p -> p | None -> Policy.create () in
   let time = Option.value ~default:immediate_time time in
   let node_mib = Node_mib.create topology in
   let path_mib = Path_mib.create topology node_mib in
+  let cache =
+    if fast_path then Some (Admission_cache.create node_mib path_mib) else None
+  in
   let on_mutation = ref None in
   let aggregate =
     Aggregate.create node_mib path_mib ~classes ~method_
@@ -92,6 +101,8 @@ let create ?policy ?(classes = []) ?(method_ = Aggregate.Feedback) ?time
     routing = Routing.create topology path_mib;
     aggregate;
     time;
+    cache;
+    batch_wrap = None;
     on_edge_config;
     on_decision = Option.to_list decision_hook;
     on_mutation;
@@ -168,20 +179,32 @@ let book_per_flow t ?flow (req : Types.request) path (res : Types.reservation) =
 let push_edge t ~flow res =
   stage t "cops_push" (fun () -> t.on_edge_config ~flow res)
 
+(* The admissibility stage, cached or from scratch.  The conservative test
+   never walks the merged table, so it only needs the (cheaper)
+   [path_state] level of the cache. *)
+let admissibility t path ~admission (req : Types.request) =
+  let dreq = req.Types.dreq in
+  match (admission, t.cache) with
+  | `Exact, Some cache ->
+      let ps, bps = Admission_cache.query cache path in
+      Admission.admit ~bps ps req.Types.profile ~dreq
+  | `Exact, None ->
+      Admission.admit (Admission.path_state t.node_mib t.path_mib path)
+        req.Types.profile ~dreq
+  | `Conservative, Some cache ->
+      Admission.conservative (Admission_cache.path_state cache path)
+        req.Types.profile ~dreq
+  | `Conservative, None ->
+      Admission.conservative (Admission.path_state t.node_mib t.path_mib path)
+        req.Types.profile ~dreq
+
 let request_full t ?flow ?(admission = `Exact) req =
   let outcome =
     match preamble t req with
     | Error e -> Error e
     | Ok path -> (
         match
-          stage t "admissibility" (fun () ->
-              let ps = Admission.path_state t.node_mib t.path_mib path in
-              let test =
-                match admission with
-                | `Exact -> Admission.admit
-                | `Conservative -> Admission.conservative
-              in
-              test ps req.Types.profile ~dreq:req.Types.dreq)
+          stage t "admissibility" (fun () -> admissibility t path ~admission req)
         with
         | Error e -> Error e
         | Ok res ->
@@ -204,6 +227,30 @@ let request_full t ?flow ?(admission = `Exact) req =
 
 let request t ?admission req = request_full t ?admission req
 
+let set_batch_hook t f = t.batch_wrap <- Some f
+
+(* Run [f] as one batch: journal records it appends reach a single
+   durability boundary together (group commit), and consecutive requests
+   inside it hit the still-warm admission cache.  Reentrant — a batch
+   within a batch joins the outer one (the wrap installed by the journal is
+   itself reentrant). *)
+let batched t f =
+  match t.batch_wrap with
+  | None -> f ()
+  | Some wrap ->
+      let out = ref None in
+      wrap (fun () -> out := Some (f ()));
+      (* The wrap always runs its body exactly once. *)
+      Option.get !out
+
+let request_batch t ?admission reqs =
+  let n = List.length reqs in
+  if n > 1 && Obs_log.active () then begin
+    Obs_log.count "bb_admission_batches_total";
+    Obs_log.count "bb_admission_batch_requests_total" ~by:(float_of_int n)
+  end;
+  batched t (fun () -> List.map (fun req -> request_full t ?admission req) reqs)
+
 let request_fixed t ?flow req ~rate ?delay () =
   let outcome =
     match preamble t req with
@@ -214,7 +261,11 @@ let request_fixed t ?flow req ~rate ?delay () =
         else begin
           let admissible =
             stage t "admissibility" (fun () ->
-                let ps = Admission.path_state t.node_mib t.path_mib path in
+                let ps =
+                  match t.cache with
+                  | Some cache -> Admission_cache.path_state cache path
+                  | None -> Admission.path_state t.node_mib t.path_mib path
+                in
                 let delay =
                   match (delay, ps.Admission.delay_hops) with
                   | Some d, _ -> d
@@ -369,6 +420,7 @@ let fail_link t ~link_id =
   | None -> ()
   | Some f -> f (Link_failed link_id));
   Topology.set_link_state t.topology ~link_id ~up:false;
+  Option.iter Admission_cache.invalidate_all t.cache;
   let on_dead_link links =
     List.exists (fun (l : Topology.link) -> l.Topology.link_id = link_id) links
   in
@@ -480,6 +532,7 @@ let restore_link t ~link_id =
   | None -> ()
   | Some f -> f (Link_restored link_id));
   Topology.set_link_state t.topology ~link_id ~up:true;
+  Option.iter Admission_cache.invalidate_all t.cache;
   if Obs_log.active () then
     Obs_log.event ~at:(t.time.now ()) "bb.link.restored"
       ~attrs:[ ("link", string_of_int link_id) ]
@@ -497,6 +550,10 @@ let flow_mib t = t.flow_mib
 let routing t = t.routing
 
 let aggregate t = t.aggregate
+
+let invalidate_cache t = Option.iter Admission_cache.invalidate_all t.cache
+
+let fast_path_stats t = Option.map Admission_cache.stats t.cache
 
 let per_flow_count t = Flow_mib.count t.flow_mib
 

@@ -46,13 +46,18 @@ val create :
   ?classes:Aggregate.class_def list ->
   ?method_:Aggregate.method_ ->
   ?time:time_hooks ->
+  ?fast_path:bool ->
   ?on_edge_config:(flow:Types.flow_id -> Types.reservation -> unit) ->
   ?on_class_rate:(class_id:int -> path_id:int -> total_rate:float -> unit) ->
   ?on_decision:(decision_record -> unit) ->
   Bbr_vtrs.Topology.t ->
   t
 (** [method_] defaults to {!Aggregate.Feedback}; [classes] to none;
-    [policy] to allow-all; [time] to {!immediate_time}. *)
+    [policy] to allow-all; [time] to {!immediate_time}.  [fast_path]
+    (default [true]) backs admission with the incremental
+    {!Admission_cache}; it is digest-neutral — decisions and MIB digests
+    are identical either way — so [false] exists for benchmarking the
+    uncached path and for differential testing. *)
 
 val add_decision_hook : t -> (decision_record -> unit) -> unit
 (** Subscribe to admission decisions after creation.  Hooks run in
@@ -126,6 +131,27 @@ val teardown : t -> Types.flow_id -> unit
 (** Release a per-flow reservation.  Idempotent: an unknown
     (already-released) flow is a no-op, so retransmitted DRQs are
     harmless. *)
+
+val request_batch :
+  t ->
+  ?admission:[ `Exact | `Conservative ] ->
+  Types.request list ->
+  (Types.flow_id * Types.reservation, Types.reject_reason) result list
+(** Admit a list of requests in one pass — {!request} applied in order
+    inside {!batched}, so decisions are identical to issuing the requests
+    one by one (each request sees the reservations of the previous ones),
+    but journal records reach a single durability boundary together and
+    the admission cache stays warm across the batch.  The natural unit for
+    edge-broker lease refills and overload drains. *)
+
+val batched : t -> (unit -> 'a) -> 'a
+(** Run [f] as one batch (see {!request_batch}).  With no journal attached
+    this is just [f ()].  Reentrant: an inner batch joins the outer one. *)
+
+val set_batch_hook : t -> ((unit -> unit) -> unit) -> unit
+(** Install the wrapper {!batched} runs its body under — used by
+    {!Journal.attach} to implement group commit.  The wrapper must invoke
+    its argument exactly once. *)
 
 val request_fixed :
   t ->
@@ -225,6 +251,16 @@ val aggregate : t -> Aggregate.t
 
 val route_of : t -> Types.request -> Path_mib.info option
 (** The path the broker would select for this request. *)
+
+val invalidate_cache : t -> unit
+(** Force every cached path to revalidate at its next query (no-op without
+    the fast path).  The broker already does this on {!fail_link} /
+    {!restore_link}; state-restoration code paths that bypass the normal
+    request surface should call it after rebuilding MIB state. *)
+
+val fast_path_stats : t -> Admission_cache.stats option
+(** Cache effectiveness counters; [None] when created with
+    [~fast_path:false]. *)
 
 val per_flow_count : t -> int
 

@@ -105,7 +105,7 @@ let central_transaction t f =
 
 (* Acquire at least [shortfall] more quota: chunk-sized first, then the
    exact remainder if the chunk is refused. *)
-let rec acquire t shortfall =
+let rec acquire_loop t shortfall =
   if shortfall <= 0. then true
   else if offline t then false
   else begin
@@ -114,7 +114,7 @@ let rec acquire t shortfall =
     | Ok (central_flow, res) ->
         t.grants <- { central_flow; amount = res.Types.rate } :: t.grants;
         t.quota <- t.quota +. res.Types.rate;
-        acquire t (shortfall -. res.Types.rate)
+        acquire_loop t (shortfall -. res.Types.rate)
     | Error _ ->
         if ask > shortfall +. 1e-9 then begin
           (* The full chunk did not fit; retry with the exact shortfall. *)
@@ -130,6 +130,12 @@ let rec acquire t shortfall =
         end
         else false
   end
+
+(* A refill is one unit of work against the central broker: batch it so
+   a multi-transaction refill group-commits as one journal boundary. *)
+let acquire t shortfall =
+  if shortfall <= 0. then true
+  else Broker.batched t.central (fun () -> acquire_loop t shortfall)
 
 let request t (req : Types.request) =
   let p = req.Types.profile in
@@ -337,23 +343,28 @@ let reconnect t =
           l.reclaimed <- false;
           l.connected <- true;
           l.expires_at <- m_now m +. ttl m;
+          (* The whole re-registration sweep is one batch: each flow still
+             decides against the state the previous ones left behind, but
+             the journal group-commits the lot at one boundary. *)
           let re_registered, surrendered =
-            List.partition_map
-              (fun f ->
-                let rate = Hashtbl.find t.flows f in
-                match
-                  central_transaction t (fun c ->
-                      Broker.request c (quota_request t rate))
-                with
-                | Ok (central_flow, res) ->
-                    t.grants <- { central_flow; amount = res.Types.rate } :: t.grants;
-                    t.quota <- t.quota +. res.Types.rate;
-                    t.used <- t.used +. rate;
-                    Either.Left f
-                | Error _ ->
-                    Hashtbl.remove t.flows f;
-                    Either.Right f)
-              (live_ids ())
+            Broker.batched t.central (fun () ->
+                List.partition_map
+                  (fun f ->
+                    let rate = Hashtbl.find t.flows f in
+                    match
+                      central_transaction t (fun c ->
+                          Broker.request c (quota_request t rate))
+                    with
+                    | Ok (central_flow, res) ->
+                        t.grants <-
+                          { central_flow; amount = res.Types.rate } :: t.grants;
+                        t.quota <- t.quota +. res.Types.rate;
+                        t.used <- t.used +. rate;
+                        Either.Left f
+                    | Error _ ->
+                        Hashtbl.remove t.flows f;
+                        Either.Right f)
+                  (live_ids ()))
           in
           { re_registered; surrendered; quota_before; quota_after = t.quota }
         end

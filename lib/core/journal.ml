@@ -259,17 +259,53 @@ type t = {
   mutable torn : string option;  (* half-record a crash left behind *)
   mutable seq : int;  (* records ever appended *)
   mutable record_hook : (int -> unit) option;
+  mutable group_start : int option;  (* [records] when the open group began *)
+  mutable synced_floor : int;  (* records made durable by a group commit *)
 }
 
 let create ?(fsync_every = 1) () =
   if fsync_every < 1 then invalid_arg "Journal.create: fsync_every must be >= 1";
-  { fsync_every; recs = []; records = 0; torn = None; seq = 0; record_hook = None }
+  {
+    fsync_every;
+    recs = [];
+    records = 0;
+    torn = None;
+    seq = 0;
+    record_hook = None;
+    group_start = None;
+    synced_floor = 0;
+  }
 
 let records t = t.records
 
 let appended_total t = t.seq
 
-let synced_records t = t.records - (t.records mod t.fsync_every)
+let synced_records t =
+  let natural = t.records - (t.records mod t.fsync_every) in
+  (* Records appended inside a still-open group await the group's single
+     fsync: they are not durable yet, whatever the modulo boundary says. *)
+  let natural =
+    match t.group_start with Some g -> min natural g | None -> natural
+  in
+  min t.records (max natural t.synced_floor)
+
+let group t f =
+  match t.group_start with
+  | Some _ -> f () (* nested: joins the outer group *)
+  | None ->
+      t.group_start <- Some t.records;
+      let out =
+        try f ()
+        with exn ->
+          (* Aborted group: fall back to the per-record boundaries the
+             unbatched writer would have had. *)
+          t.group_start <- None;
+          raise exn
+      in
+      t.group_start <- None;
+      t.synced_floor <- t.records;
+      if Obs_log.active () then Obs_log.count "bb_journal_group_commits_total";
+      out
 
 let on_record t f = t.record_hook <- Some f
 
@@ -282,12 +318,16 @@ let append t ~at m =
   match t.record_hook with None -> () | Some f -> f t.seq
 
 let attach t broker =
-  Broker.set_mutation_hook broker (fun m -> append t ~at:(Broker.now broker) m)
+  Broker.set_mutation_hook broker (fun m -> append t ~at:(Broker.now broker) m);
+  (* Request batches commit as journal groups. *)
+  Broker.set_batch_hook broker (fun body -> group t body)
 
 let compact t =
   t.recs <- [];
   t.records <- 0;
   t.torn <- None;
+  t.synced_floor <- 0;
+  t.group_start <- Option.map (fun _ -> 0) t.group_start;
   if Obs_log.active () then Obs_log.count "bb_journal_compactions_total"
 
 let encode_pending r = encode ~seq:r.p_seq ~at:r.p_at r.p_m
@@ -318,6 +358,7 @@ let drop_tail ?(torn = false) t ~records:n =
     let dropped_oldest_first, kept = take n [] t.recs in
     t.recs <- kept;
     t.records <- t.records - n;
+    if t.synced_floor > t.records then t.synced_floor <- t.records;
     t.torn <-
       (if torn then
          match dropped_oldest_first with

@@ -45,7 +45,17 @@ val create : ?fsync_every:int -> unit -> t
 
 val attach : t -> Broker.t -> unit
 (** Install the journal as the broker's mutation hook: every subsequent
-    mutation is appended, stamped with the broker clock. *)
+    mutation is appended, stamped with the broker clock.  Also installs
+    the broker's batch hook, so {!Broker.request_batch} commits as one
+    {!group}. *)
+
+val group : t -> (unit -> 'a) -> 'a
+(** Group commit: records appended while [f] runs are held back from the
+    per-record fsync boundaries and all become durable together when [f]
+    returns — one fsync for the whole batch.  {!synced_records} excludes
+    them until then.  Nested groups join the outermost one.  If [f]
+    raises, the group aborts and the records fall back to the ordinary
+    [fsync_every] boundaries. *)
 
 val append : t -> at:float -> Broker.mutation -> unit
 (** Append one record (what {!attach} arranges to happen on every
@@ -63,8 +73,10 @@ val appended_total : t -> int
     count crash-point injection triggers on. *)
 
 val synced_records : t -> int
-(** Records up to the last fsync boundary — what a crash right now is
-    guaranteed to keep. *)
+(** Records up to the last durability boundary — what a crash right now
+    is guaranteed to keep: the last [fsync_every] modulo boundary, capped
+    at the start of any still-open {!group}, raised by any completed
+    group commit. *)
 
 val on_record : t -> (int -> unit) -> unit
 (** Install a callback fired after every append with {!appended_total} —

@@ -45,12 +45,17 @@ type config = {
       (** seconds the fill must stay past a watermark before the
           controller flips — the hysteresis that stops mode flapping *)
   retry_after : float;  (** back-off hint carried by [Server_busy] *)
+  batch_limit : int;
+      (** max queued requests drained as one {!Broker.batched} batch
+          (single timer, single journal group commit); 1 = decide one at a
+          time.  Outcomes are identical either way — batching only
+          amortizes overheads. *)
 }
 
 val default_config : config
 (** 64-deep queue, 0.5 s deadline, shed past 3/4 full, 2 ms exact / 0.5 ms
     conservative service, brownout at 1/2 sustained 0.25 s with exit at
-    1/4, retry hint 0.5 s. *)
+    1/4, retry hint 0.5 s, batch_limit 1. *)
 
 type t
 

@@ -13,6 +13,7 @@ type t = {
   node_mib : Node_mib.t;
   mutable infos : info list;  (* reversed registration order *)
   by_links : (int list, info) Hashtbl.t;
+  by_id : (int, info) Hashtbl.t;
   cres : (int, float) Hashtbl.t;  (* path_id -> cached min residual *)
   through : (int, info list) Hashtbl.t;  (* link_id -> paths crossing it *)
   mutable next_id : int;
@@ -34,6 +35,7 @@ let create topology node_mib =
       node_mib;
       infos = [];
       by_links = Hashtbl.create 16;
+      by_id = Hashtbl.create 16;
       cres = Hashtbl.create 16;
       through = Hashtbl.create 16;
       next_id = 0;
@@ -70,6 +72,7 @@ let register t links =
       t.next_id <- t.next_id + 1;
       t.infos <- info :: t.infos;
       Hashtbl.replace t.by_links key info;
+      Hashtbl.replace t.by_id info.path_id info;
       List.iter
         (fun (l : Topology.link) ->
           let id = l.Topology.link_id in
@@ -84,7 +87,7 @@ let residual t info =
   | Some c -> c
   | None -> invalid_arg "Path_mib.residual: unregistered path"
 
-let find t ~path_id = List.find_opt (fun i -> i.path_id = path_id) t.infos
+let find t ~path_id = Hashtbl.find_opt t.by_id path_id
 
 let find_links t ~links = Hashtbl.find_opt t.by_links links
 

@@ -30,6 +30,7 @@ val residual : t -> info -> float
 (** Cached [C_res^P = min over links of (capacity - reserved)] — O(1). *)
 
 val find : t -> path_id:int -> info option
+(** O(1) id lookup. *)
 
 val find_links : t -> links:int list -> info option
 (** Look a registered path up by its link-id sequence — the path identity

@@ -7,16 +7,45 @@ type klass = {
   count : int;
 }
 
+(* Flat sorted parallel arrays, one slot per distinct delay class.  The
+   admission hot path queries this structure once per hop per request, so
+   class updates are in place and the query loops below allocate nothing.
+   [version] counts mutations; [dirty_low]/[clean_version] describe the
+   window of classes touched since the (single) incremental breakpoint
+   consumer last called {!refresh_breakpoints}. *)
 type t = {
   cap : float;
-  mutable by_delay : klass list;  (* sorted by increasing delay *)
+  mutable n : int;  (* live classes: the paper's M *)
+  mutable keys : float array;  (* canonical delays: the matching identity *)
+  mutable delays : float array;
+  mutable rates : float array;  (* total reserved rate per class *)
+  mutable lmaxs : float array;  (* total max packet size per class *)
+  mutable counts : int array;
   mutable total : float;
   mutable flows : int;
+  mutable version : int;
+  mutable clean_version : int;
+  mutable dirty_low : float;  (* infinity when no mutation is pending *)
 }
+
+let initial_slots = 8
 
 let create ~capacity =
   if capacity <= 0. then invalid_arg "Vtedf.create: capacity must be positive";
-  { cap = capacity; by_delay = []; total = 0.; flows = 0 }
+  {
+    cap = capacity;
+    n = 0;
+    keys = Array.make initial_slots 0.;
+    delays = Array.make initial_slots 0.;
+    rates = Array.make initial_slots 0.;
+    lmaxs = Array.make initial_slots 0.;
+    counts = Array.make initial_slots 0;
+    total = 0.;
+    flows = 0;
+    version = 0;
+    clean_version = 0;
+    dirty_low = infinity;
+  }
 
 let capacity t = t.cap
 
@@ -24,119 +53,293 @@ let total_rate t = t.total
 
 let flow_count t = t.flows
 
-let classes t = t.by_delay
+let class_count t = t.n
+
+let version t = t.version
+
+let classes t =
+  let rec go i acc =
+    if i < 0 then acc
+    else
+      go (i - 1)
+        ({
+           delay = t.delays.(i);
+           sum_rate = t.rates.(i);
+           sum_lmax = t.lmaxs.(i);
+           count = t.counts.(i);
+         }
+        :: acc)
+  in
+  go (t.n - 1) []
+
+(* First index whose delay is >= [d] ([t.n] when none). *)
+let lower_bound t d =
+  let lo = ref 0 and hi = ref t.n in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.delays.(mid) < d then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+(* Class membership must be a {e pure function of the delay value}.
+   Exact [=] grouping splits one logical class under float noise
+   (inflating M, and a noisy [remove] misses the class it booked into);
+   nearest-class-within-tolerance matching is worse — it makes membership
+   depend on the class set {e at add time}, and a class created later
+   between a member's delay and its class delay silently steals the
+   member's [remove].  So matching goes through a canonical {e key}: the
+   delay's mantissa rounded at 2^-36 relative precision.  Noise below
+   ~7e-12 relative maps to the same key, keys are matched exactly — add
+   and remove of the same float can never disagree — and the class keeps
+   its first member's {e raw} delay for all arithmetic, so the demand
+   curve is untouched by the quantization. *)
+let canon d =
+  if d = 0. then 0.
+  else
+    let m, e = Float.frexp d in
+    Float.ldexp (Float.round (m *. 0x1p36) *. 0x1p-36) e
+
+(* [canon] is monotone and classes with equal keys merge, so the keys
+   array is strictly increasing and parallel to the (also increasing) raw
+   delays. *)
+let key_lower_bound t k =
+  let lo = ref 0 and hi = ref t.n in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.keys.(mid) < k then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let locate t k =
+  let i = key_lower_bound t k in
+  if i < t.n && t.keys.(i) = k then Ok i else Error i
+
+let mark t ~low =
+  t.version <- t.version + 1;
+  if low < t.dirty_low then t.dirty_low <- low
+
+let grow t =
+  let len = Array.length t.delays in
+  if t.n = len then begin
+    let len' = 2 * len in
+    let widen a =
+      let b = Array.make len' 0. in
+      Array.blit a 0 b 0 len;
+      b
+    in
+    t.keys <- widen t.keys;
+    t.delays <- widen t.delays;
+    t.rates <- widen t.rates;
+    t.lmaxs <- widen t.lmaxs;
+    let c = Array.make len' 0 in
+    Array.blit t.counts 0 c 0 len;
+    t.counts <- c
+  end
+
+let insert_at t i ~key ~rate ~delay ~lmax =
+  grow t;
+  let m = t.n - i in
+  if m > 0 then begin
+    Array.blit t.keys i t.keys (i + 1) m;
+    Array.blit t.delays i t.delays (i + 1) m;
+    Array.blit t.rates i t.rates (i + 1) m;
+    Array.blit t.lmaxs i t.lmaxs (i + 1) m;
+    Array.blit t.counts i t.counts (i + 1) m
+  end;
+  t.keys.(i) <- key;
+  t.delays.(i) <- delay;
+  t.rates.(i) <- rate;
+  t.lmaxs.(i) <- lmax;
+  t.counts.(i) <- 1;
+  t.n <- t.n + 1
+
+let delete_at t i =
+  let m = t.n - i - 1 in
+  if m > 0 then begin
+    Array.blit t.keys (i + 1) t.keys i m;
+    Array.blit t.delays (i + 1) t.delays i m;
+    Array.blit t.rates (i + 1) t.rates i m;
+    Array.blit t.lmaxs (i + 1) t.lmaxs i m;
+    Array.blit t.counts (i + 1) t.counts i m
+  end;
+  t.n <- t.n - 1
 
 let add t ~rate ~delay ~lmax =
   if rate <= 0. then invalid_arg "Vtedf.add: rate must be positive";
   if lmax <= 0. then invalid_arg "Vtedf.add: lmax must be positive";
   if delay < 0. then invalid_arg "Vtedf.add: delay must be non-negative";
-  let rec insert = function
-    | [] -> [ { delay; sum_rate = rate; sum_lmax = lmax; count = 1 } ]
-    | k :: rest when k.delay = delay ->
-        {
-          k with
-          sum_rate = k.sum_rate +. rate;
-          sum_lmax = k.sum_lmax +. lmax;
-          count = k.count + 1;
-        }
-        :: rest
-    | k :: rest when k.delay > delay ->
-        { delay; sum_rate = rate; sum_lmax = lmax; count = 1 } :: k :: rest
-    | k :: rest -> k :: insert rest
-  in
-  t.by_delay <- insert t.by_delay;
+  (match locate t (canon delay) with
+  | Ok i ->
+      t.rates.(i) <- t.rates.(i) +. rate;
+      t.lmaxs.(i) <- t.lmaxs.(i) +. lmax;
+      t.counts.(i) <- t.counts.(i) + 1;
+      mark t ~low:(Float.min t.delays.(i) delay)
+  | Error i ->
+      insert_at t i ~key:(canon delay) ~rate ~delay ~lmax;
+      mark t ~low:delay);
   t.total <- t.total +. rate;
   t.flows <- t.flows + 1
 
 let remove t ~rate ~delay ~lmax =
-  let rec drop = function
-    | [] -> invalid_arg "Vtedf.remove: no flow with this delay"
-    | k :: rest when k.delay = delay ->
-        if k.count = 1 then rest
-        else
-          {
-            k with
-            sum_rate = k.sum_rate -. rate;
-            sum_lmax = k.sum_lmax -. lmax;
-            count = k.count - 1;
-          }
-          :: rest
-    | k :: _ when k.delay > delay ->
-        invalid_arg "Vtedf.remove: no flow with this delay"
-    | k :: rest -> k :: drop rest
-  in
-  t.by_delay <- drop t.by_delay;
-  t.total <- t.total -. rate;
-  t.flows <- t.flows - 1
+  match locate t (canon delay) with
+  | Error _ -> invalid_arg "Vtedf.remove: no flow with this delay"
+  | Ok i ->
+      let low = Float.min t.delays.(i) delay in
+      if t.counts.(i) = 1 then delete_at t i
+      else begin
+        t.rates.(i) <- t.rates.(i) -. rate;
+        t.lmaxs.(i) <- t.lmaxs.(i) -. lmax;
+        t.counts.(i) <- t.counts.(i) - 1
+      end;
+      mark t ~low;
+      t.total <- t.total -. rate;
+      t.flows <- t.flows - 1
 
 let demand t ~at =
-  List.fold_left
-    (fun acc k ->
-      if k.delay <= at then acc +. (k.sum_rate *. (at -. k.delay)) +. k.sum_lmax
-      else acc)
-    0. t.by_delay
+  let acc = ref 0. in
+  let i = ref 0 in
+  while !i < t.n && t.delays.(!i) <= at do
+    acc := !acc +. (t.rates.(!i) *. (at -. t.delays.(!i))) +. t.lmaxs.(!i);
+    incr i
+  done;
+  !acc
 
 let rate_below t ~at =
-  List.fold_left
-    (fun acc k -> if k.delay <= at then acc +. k.sum_rate else acc)
-    0. t.by_delay
+  let acc = ref 0. in
+  let i = ref 0 in
+  while !i < t.n && t.delays.(!i) <= at do
+    acc := !acc +. t.rates.(!i);
+    incr i
+  done;
+  !acc
 
 let residual_service t ~at = (t.cap *. at) -. demand t ~at
 
 let breakpoints t =
-  let rec go acc demand rate_sum prev = function
-    | [] -> List.rev acc
-    | k :: rest ->
-        let demand = demand +. (rate_sum *. (k.delay -. prev)) +. k.sum_lmax in
-        go
-          ((k.delay, (t.cap *. k.delay) -. demand) :: acc)
-          demand (rate_sum +. k.sum_rate) k.delay rest
+  let rec go i acc demand rate_sum prev =
+    if i = t.n then List.rev acc
+    else
+      let dd = t.delays.(i) in
+      let demand = demand +. (rate_sum *. (dd -. prev)) +. t.lmaxs.(i) in
+      go (i + 1)
+        ((dd, (t.cap *. dd) -. demand) :: acc)
+        demand
+        (rate_sum +. t.rates.(i))
+        dd
   in
-  go [] 0. 0. 0. t.by_delay
+  go 0 [] 0. 0. 0.
+
+let check_buffers name len arrays =
+  List.iter
+    (fun a ->
+      if Array.length a < len then
+        invalid_arg (name ^ ": buffer shorter than class_count"))
+    arrays
+
+let breakpoints_into t ~d ~s =
+  check_buffers "Vtedf.breakpoints_into" t.n [ d; s ];
+  let demand = ref 0. and rsum = ref 0. and prev = ref 0. in
+  for i = 0 to t.n - 1 do
+    let dd = t.delays.(i) in
+    let dm = !demand +. (!rsum *. (dd -. !prev)) +. t.lmaxs.(i) in
+    d.(i) <- dd;
+    s.(i) <- (t.cap *. dd) -. dm;
+    demand := dm;
+    rsum := !rsum +. t.rates.(i);
+    prev := dd
+  done;
+  t.n
+
+let refresh_breakpoints t ~since ~d ~s ~dem ~rcum =
+  check_buffers "Vtedf.refresh_breakpoints" t.n [ d; s; dem; rcum ];
+  let from =
+    if since >= t.clean_version then
+      if t.dirty_low = infinity then t.n else lower_bound t t.dirty_low
+    else 0 (* the caller is staler than the dirty window: full rebuild *)
+  in
+  (* Classes below [from] are untouched, so the buffered prefix accumulators
+     still equal what a full recompute would produce there. *)
+  let demand = ref (if from = 0 then 0. else dem.(from - 1)) in
+  let rsum = ref (if from = 0 then 0. else rcum.(from - 1)) in
+  let prev = ref (if from = 0 then 0. else d.(from - 1)) in
+  for i = from to t.n - 1 do
+    let dd = t.delays.(i) in
+    let dm = !demand +. (!rsum *. (dd -. !prev)) +. t.lmaxs.(i) in
+    d.(i) <- dd;
+    dem.(i) <- dm;
+    s.(i) <- (t.cap *. dd) -. dm;
+    rcum.(i) <- !rsum +. t.rates.(i);
+    demand := dm;
+    rsum := rcum.(i);
+    prev := dd
+  done;
+  t.clean_version <- t.version;
+  t.dirty_low <- infinity;
+  (t.n, from)
 
 let schedulable t =
   Fp.leq t.total t.cap
-  && List.for_all
-       (* Compare demand against supply rather than the residual against
-          zero: the relative tolerance then matches the one {!can_admit}
-          admitted under, so boundary admissions remain schedulable. *)
-       (fun (d, s) ->
-         let supply = t.cap *. d in
-         Fp.leq (supply -. s) supply)
-       (breakpoints t)
+  && begin
+       let ok = ref true in
+       let demand = ref 0. and rsum = ref 0. and prev = ref 0. in
+       let i = ref 0 in
+       while !ok && !i < t.n do
+         let dd = t.delays.(!i) in
+         let dm = !demand +. (!rsum *. (dd -. !prev)) +. t.lmaxs.(!i) in
+         let s = (t.cap *. dd) -. dm in
+         (* Compare demand against supply rather than the residual against
+            zero: the relative tolerance then matches the one {!can_admit}
+            admitted under, so boundary admissions remain schedulable. *)
+         let supply = t.cap *. dd in
+         if Fp.leq (supply -. s) supply then begin
+           demand := dm;
+           rsum := !rsum +. t.rates.(!i);
+           prev := dd;
+           incr i
+         end
+         else ok := false
+       done;
+       !ok
+     end
 
-(* Single linear pass: walk the breakpoints accumulating the demand,
-   checking the candidate's own constraint at [t = delay] and the eq.-(5)
-   constraint at every breakpoint >= [delay].  When [delay] coincides with
-   a breakpoint, that breakpoint's constraint subsumes the own constraint
+(* Single linear pass: walk the classes accumulating the demand, checking
+   the candidate's own constraint at [t = delay] and the eq.-(5) constraint
+   at every breakpoint >= [delay].  When [delay] coincides with a
+   breakpoint, that breakpoint's constraint subsumes the own constraint
    (it reads residual >= rate*0 + lmax). *)
 let can_admit t ~rate ~delay ~lmax =
   Fp.leq (t.total +. rate) t.cap
-  &&
-  (* Own constraint at a point strictly inside the segment beginning at
-     [prev]: demand grows linearly, no jump at [delay] itself. *)
-  let own_ok demand rate_sum prev =
-    let at_delay = demand +. (rate_sum *. (delay -. prev)) in
-    Fp.geq ((t.cap *. delay) -. at_delay) lmax
-  in
-  let rec go demand rate_sum prev own_done = function
-    | [] -> own_done || own_ok demand rate_sum prev
-    | k :: rest as all ->
-        if (not own_done) && k.delay > delay then
-          own_ok demand rate_sum prev && go demand rate_sum prev true all
-        else begin
-          let demand = demand +. (rate_sum *. (k.delay -. prev)) +. k.sum_lmax in
-          let s = (t.cap *. k.delay) -. demand in
-          let ok =
-            k.delay < delay || Fp.geq s ((rate *. (k.delay -. delay)) +. lmax)
-          in
-          ok
-          && go demand (rate_sum +. k.sum_rate) k.delay
-               (own_done || k.delay >= delay)
-               rest
-        end
-  in
-  go 0. 0. 0. false t.by_delay
+  && begin
+       (* Own constraint at a point strictly inside the segment beginning at
+          [prev]: demand grows linearly, no jump at [delay] itself. *)
+       let own_ok demand rate_sum prev =
+         let at_delay = demand +. (rate_sum *. (delay -. prev)) in
+         Fp.geq ((t.cap *. delay) -. at_delay) lmax
+       in
+       let demand = ref 0. and rsum = ref 0. and prev = ref 0. in
+       let own_done = ref false in
+       let ok = ref true in
+       let i = ref 0 in
+       while !ok && !i < t.n do
+         let dd = t.delays.(!i) in
+         if (not !own_done) && dd > delay then
+           if own_ok !demand !rsum !prev then own_done := true
+           else ok := false
+         else begin
+           let dm = !demand +. (!rsum *. (dd -. !prev)) +. t.lmaxs.(!i) in
+           let s = (t.cap *. dd) -. dm in
+           if dd < delay || Fp.geq s ((rate *. (dd -. delay)) +. lmax) then begin
+             demand := dm;
+             rsum := !rsum +. t.rates.(!i);
+             prev := dd;
+             if dd >= delay then own_done := true;
+             incr i
+           end
+           else ok := false
+         end
+       done;
+       !ok && (!own_done || own_ok !demand !rsum !prev)
+     end
 
 (* [residual_service] is piecewise linear in [at] with non-negative slope
    between breakpoints (slope = capacity minus the rates of earlier classes)
@@ -152,22 +355,24 @@ let min_feasible_delay t ~lmax =
       let d = start +. ((lmax -. value) /. slope) in
       if d < limit then Some d else None
   in
-  let rec scan start value slope = function
-    | [] -> solve_segment ~start ~value ~slope ~limit:infinity
-    | k :: rest -> (
-        match solve_segment ~start ~value ~slope ~limit:k.delay with
-        | Some d -> Some d
-        | None ->
-            let at_bp = value +. (slope *. (k.delay -. start)) -. k.sum_lmax in
-            scan k.delay at_bp (slope -. k.sum_rate) rest)
+  let rec scan i start value slope =
+    if i = t.n then solve_segment ~start ~value ~slope ~limit:infinity
+    else
+      let dd = t.delays.(i) in
+      match solve_segment ~start ~value ~slope ~limit:dd with
+      | Some d -> Some d
+      | None ->
+          let at_bp = value +. (slope *. (dd -. start)) -. t.lmaxs.(i) in
+          scan (i + 1) dd at_bp (slope -. t.rates.(i))
   in
-  scan 0. 0. t.cap t.by_delay
+  scan 0 0. 0. t.cap
 
 let pp ppf t =
-  Fmt.pf ppf "@[<v>VT-EDF capacity=%g total_rate=%g flows=%d" t.cap t.total t.flows;
-  List.iter
-    (fun k ->
-      Fmt.pf ppf "@,  d=%g rate=%g lmax=%g n=%d S=%g" k.delay k.sum_rate k.sum_lmax
-        k.count (residual_service t ~at:k.delay))
-    t.by_delay;
+  Fmt.pf ppf "@[<v>VT-EDF capacity=%g total_rate=%g flows=%d" t.cap t.total
+    t.flows;
+  for i = 0 to t.n - 1 do
+    Fmt.pf ppf "@,  d=%g rate=%g lmax=%g n=%d S=%g" t.delays.(i) t.rates.(i)
+      t.lmaxs.(i) t.counts.(i)
+      (residual_service t ~at:t.delays.(i))
+  done;
   Fmt.pf ppf "@]"

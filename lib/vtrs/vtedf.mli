@@ -38,13 +38,28 @@ val classes : t -> klass list
 (** Current population grouped by distinct delay, in increasing delay
     order.  [List.length (classes t)] is the paper's [M]. *)
 
+val class_count : t -> int
+(** The paper's [M] — number of distinct delay classes — without building
+    the {!classes} list. *)
+
+val version : t -> int
+(** Mutation counter: incremented by every {!add} and {!remove}.  Caches
+    keyed on a scheduler's state compare a remembered version against this
+    to detect staleness (see {!refresh_breakpoints}). *)
+
 val add : t -> rate:float -> delay:float -> lmax:float -> unit
 (** Registers a flow.  No schedulability check is made — callers decide via
-    {!can_admit} first.  Raises [Invalid_argument] on non-positive [rate],
-    [lmax] or negative [delay]. *)
+    {!can_admit} first.  The delay is canonicalized (mantissa rounded at
+    [2^-36] relative precision) before grouping, so float noise below
+    ~7e-12 relative cannot split one logical delay class into several —
+    and because the canonical value is a pure function of the delay,
+    {!remove} with the same float always finds the class {!add} booked
+    into.  Raises [Invalid_argument] on non-positive [rate], [lmax] or
+    negative [delay]. *)
 
 val remove : t -> rate:float -> delay:float -> lmax:float -> unit
-(** Unregisters a flow previously added with the same parameters.  Raises
+(** Unregisters a flow previously added with the same parameters, matching
+    its delay class by the same canonicalization as {!add}.  Raises
     [Invalid_argument] if no flow with this delay is present. *)
 
 val demand : t -> at:float -> float
@@ -64,6 +79,35 @@ val breakpoints : t -> (float * float) list
 (** [(d^m, S at d^m)] for every distinct delay, ascending, computed in one
     linear pass — the O(M) building block of the Section-3.2 admission
     algorithm. *)
+
+val breakpoints_into : t -> d:float array -> s:float array -> int
+(** Allocation-free {!breakpoints}: writes the delays into [d] and the
+    residual services into [s] and returns [class_count].  The values are
+    identical to those of {!breakpoints}.  Raises [Invalid_argument] when a
+    buffer is shorter than {!class_count}. *)
+
+val refresh_breakpoints :
+  t ->
+  since:int ->
+  d:float array ->
+  s:float array ->
+  dem:float array ->
+  rcum:float array ->
+  int * int
+(** Incremental {!breakpoints_into} for a {e single} caching consumer.
+    [d]/[s] are the breakpoint buffers; [dem]/[rcum] persist the running
+    demand and cumulative-rate prefix sums between calls.  [since] is the
+    {!version} observed by the caller's previous refresh ([-1] for a cold
+    cache).  Only entries from the first delay class touched since [since]
+    onward are recomputed — a flow add/remove updates the suffix of the
+    table starting at its own class, so a mutation at the largest delay
+    costs O(1).  Returns [(class_count, from)] where [from] is the first
+    recomputed index ([from = class_count] when nothing changed).  Values
+    are identical to a full {!breakpoints_into}.  Because the call resets
+    the internal dirty window, at most one cache per scheduler may use this
+    API (ours is the per-link cache shared by all paths crossing the link).
+    Raises [Invalid_argument] when a buffer is shorter than
+    {!class_count}. *)
 
 val schedulable : t -> bool
 (** Exact check of eq. (5) over the current population. *)

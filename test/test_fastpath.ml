@@ -1,0 +1,430 @@
+(* Fast-path admission engine: flat VT-EDF regressions, incremental
+   breakpoint refresh, cached/uncached differential equivalence, batched
+   requests and group commit. *)
+
+module Topology = Bbr_vtrs.Topology
+module Vtedf = Bbr_vtrs.Vtedf
+module Types = Bbr_broker.Types
+module Broker = Bbr_broker.Broker
+module Journal = Bbr_broker.Journal
+module Path_mib = Bbr_broker.Path_mib
+module Admission_cache = Bbr_broker.Admission_cache
+module Audit = Bbr_broker.Audit
+module Snapshot = Bbr_broker.Snapshot
+module Overload = Bbr_broker.Overload
+module Fig8 = Bbr_workload.Fig8
+module Topo_gen = Bbr_workload.Topo_gen
+module Profiles = Bbr_workload.Profiles
+module Prng = Bbr_util.Prng
+module Engine = Bbr_netsim.Engine
+
+(* ------------------------------------------------------------------ *)
+(* VT-EDF flat-state regressions *)
+
+(* Satellite: add/remove used exact float equality to match a delay
+   class, so a remove with (admission-computed) float noise on the delay
+   raised [Invalid_argument].  Both now match within Fp tolerance. *)
+let test_tolerant_class_match () =
+  let t = Vtedf.create ~capacity:1e6 in
+  Vtedf.add t ~rate:1000. ~delay:0.5 ~lmax:1500.;
+  Vtedf.add t ~rate:2000. ~delay:(0.5 *. (1. +. 1e-12)) ~lmax:500.;
+  Alcotest.(check int) "jittered add joins the class" 1 (Vtedf.class_count t);
+  Alcotest.(check int) "both flows present" 2 (Vtedf.flow_count t);
+  Vtedf.remove t ~rate:1000. ~delay:(0.5 *. (1. -. 1e-12)) ~lmax:1500.;
+  Alcotest.(check int) "jittered remove found the class" 1 (Vtedf.flow_count t);
+  Vtedf.remove t ~rate:2000. ~delay:0.5 ~lmax:500.;
+  Alcotest.(check int) "class emptied" 0 (Vtedf.class_count t);
+  Vtedf.add t ~rate:10. ~delay:0.25 ~lmax:100.;
+  Alcotest.check_raises "genuinely absent delay still raises"
+    (Invalid_argument "Vtedf.remove: no flow with this delay") (fun () ->
+      Vtedf.remove t ~rate:10. ~delay:0.7 ~lmax:100.)
+
+let test_breakpoints_into_matches_list () =
+  let t = Vtedf.create ~capacity:2e6 in
+  let prng = Prng.create ~seed:11 in
+  for _ = 1 to 40 do
+    let delay = 0.05 *. float_of_int (1 + Prng.int prng ~bound:15) in
+    let rate = Prng.float_range prng ~lo:10. ~hi:4000. in
+    Vtedf.add t ~rate ~delay ~lmax:1500.
+  done;
+  let n = Vtedf.class_count t in
+  let d = Array.make n 0. and s = Array.make n 0. in
+  let n' = Vtedf.breakpoints_into t ~d ~s in
+  Alcotest.(check int) "count" n n';
+  let bps = Vtedf.breakpoints t in
+  Alcotest.(check int) "list length" n (List.length bps);
+  List.iteri
+    (fun i (bd, bs) ->
+      if d.(i) <> bd || s.(i) <> bs then
+        Alcotest.failf "breakpoint %d differs: (%h,%h) vs (%h,%h)" i d.(i) s.(i)
+          bd bs)
+    bps
+
+(* Incremental refresh must be bit-identical to a full recompute after
+   any interleaving of adds, removes and skipped refreshes. *)
+let prop_refresh_incremental =
+  let arb = QCheck.make ~print:string_of_int QCheck.Gen.(int_range 1 1_000_000) in
+  QCheck.Test.make ~name:"refresh_breakpoints equals full recompute" ~count:200
+    arb (fun seed ->
+      let prng = Prng.create ~seed in
+      let t = Vtedf.create ~capacity:1e6 in
+      let d = ref (Array.make 8 0.)
+      and s = ref (Array.make 8 0.)
+      and dem = ref (Array.make 8 0.)
+      and rcum = ref (Array.make 8 0.) in
+      let ensure buf n =
+        if Array.length !buf < n then begin
+          let nb = Array.make (max n ((2 * Array.length !buf) + 1)) 0. in
+          Array.blit !buf 0 nb 0 (Array.length !buf);
+          buf := nb
+        end
+      in
+      let synced = ref (-1) in
+      let live = ref [] in
+      let ok = ref true in
+      for _ = 1 to 80 do
+        (if !live <> [] && Prng.float prng < 0.4 then begin
+           let i = Prng.int prng ~bound:(List.length !live) in
+           let rate, delay, lmax = List.nth !live i in
+           live := List.filteri (fun j _ -> j <> i) !live;
+           (* remove with float noise on the delay, as admission does *)
+           Vtedf.remove t ~rate ~delay:(delay *. (1. +. 1e-13)) ~lmax
+         end
+         else begin
+           let base = 0.1 *. float_of_int (1 + Prng.int prng ~bound:12) in
+           let delay =
+             if Prng.float prng < 0.3 then base *. (1. +. 1e-12) else base
+           in
+           let rate = Prng.float_range prng ~lo:10. ~hi:5000. in
+           let lmax = Prng.float_range prng ~lo:64. ~hi:1500. in
+           Vtedf.add t ~rate ~delay ~lmax;
+           live := (rate, delay, lmax) :: !live
+         end);
+        (* Sometimes let mutations pile up before the next refresh. *)
+        if Prng.float prng < 0.7 then begin
+          let m = Vtedf.class_count t in
+          ensure d m;
+          ensure s m;
+          ensure dem m;
+          ensure rcum m;
+          let n, from =
+            Vtedf.refresh_breakpoints t ~since:!synced ~d:!d ~s:!s ~dem:!dem
+              ~rcum:!rcum
+          in
+          synced := Vtedf.version t;
+          ok := !ok && n = m && from <= n;
+          let fd = Array.make (max 1 m) 0. and fs = Array.make (max 1 m) 0. in
+          let n' = Vtedf.breakpoints_into t ~d:fd ~s:fs in
+          ok := !ok && n = n';
+          for i = 0 to n - 1 do
+            ok := !ok && !d.(i) = fd.(i) && !s.(i) = fs.(i)
+          done
+        end
+      done;
+      (* A refresh with nothing changed recomputes nothing. *)
+      let m = Vtedf.class_count t in
+      ensure d m;
+      ensure s m;
+      ensure dem m;
+      ensure rcum m;
+      let _ =
+        Vtedf.refresh_breakpoints t ~since:!synced ~d:!d ~s:!s ~dem:!dem
+          ~rcum:!rcum
+      in
+      let n, from =
+        Vtedf.refresh_breakpoints t ~since:(Vtedf.version t) ~d:!d ~s:!s
+          ~dem:!dem ~rcum:!rcum
+      in
+      !ok && from = n)
+
+(* ------------------------------------------------------------------ *)
+(* Cached vs uncached differential equivalence (the tentpole property) *)
+
+let scenario_gen =
+  QCheck.Gen.(
+    let* seed = int_range 1 1_000_000 in
+    let* nodes = int_range 3 10 in
+    let* extra = int_range 0 8 in
+    let* ops = int_range 20 150 in
+    return (seed, nodes, extra, ops))
+
+let arb_scenario =
+  QCheck.make
+    ~print:(fun (seed, nodes, extra, ops) ->
+      Printf.sprintf "seed=%d nodes=%d extra=%d ops=%d" seed nodes extra ops)
+    scenario_gen
+
+let mk_topology ~seed ~nodes ~extra =
+  let prng = Prng.create ~seed in
+  (* delay_fraction 0.5: exercise the VT-EDF merge path hard *)
+  Topo_gen.random prng ~nodes ~extra_links:extra ~delay_fraction:0.5 ()
+
+let random_request prng topology =
+  let ingress, egress = Topo_gen.random_endpoints prng topology in
+  let ty = Prng.int prng ~bound:4 in
+  let profile = Profiles.profile ty in
+  let dreq = Prng.float_range prng ~lo:0.3 ~hi:6. in
+  { Types.profile; dreq; ingress; egress }
+
+(* Drive two brokers — one with the fast path, one without — through an
+   identical interleaving of request / teardown / fail_link /
+   restore_link; every decision and the final MIB digest must agree. *)
+let prop_cached_equals_uncached =
+  QCheck.Test.make
+    ~name:"fast path is decision- and digest-neutral under storms" ~count:100
+    arb_scenario (fun (seed, nodes, extra, ops) ->
+      let fast = Broker.create ~fast_path:true (mk_topology ~seed ~nodes ~extra) in
+      let slow =
+        Broker.create ~fast_path:false (mk_topology ~seed ~nodes ~extra)
+      in
+      let prng = Prng.create ~seed:(seed + 7919) in
+      let links = Topology.links (Broker.topology fast) in
+      let nlinks = List.length links in
+      let live = ref [] in
+      let failed = ref [] in
+      let same = ref true in
+      for _ = 1 to ops do
+        let r = Prng.float prng in
+        if r < 0.06 && nlinks > 0 then begin
+          let l = List.nth links (Prng.int prng ~bound:nlinks) in
+          let id = l.Topology.link_id in
+          if not (List.mem id !failed) then begin
+            let ra = Broker.fail_link fast ~link_id:id in
+            let rb = Broker.fail_link slow ~link_id:id in
+            failed := id :: !failed;
+            same := !same && ra = rb
+          end
+        end
+        else if r < 0.12 then (
+          match !failed with
+          | id :: rest ->
+              Broker.restore_link fast ~link_id:id;
+              Broker.restore_link slow ~link_id:id;
+              failed := rest
+          | [] -> ())
+        else if r < 0.40 && !live <> [] then (
+          match !live with
+          | flow :: rest ->
+              Broker.teardown fast flow;
+              Broker.teardown slow flow;
+              live := rest
+          | [] -> ())
+        else begin
+          let req = random_request prng (Broker.topology fast) in
+          let a = Broker.request fast req in
+          let b = Broker.request slow req in
+          same := !same && a = b;
+          match a with Ok (flow, _) -> live := flow :: !live | Error _ -> ()
+        end
+      done;
+      !same
+      && Broker.per_flow_count fast = Broker.per_flow_count slow
+      && String.equal (Audit.mib_digest fast) (Audit.mib_digest slow))
+
+(* Snapshot restore rebuilds cached brokers identically to uncached
+   ones, and subsequent decisions agree. *)
+let prop_restore_digest_neutral =
+  QCheck.Test.make ~name:"snapshot restore is digest-neutral with the fast path"
+    ~count:40 arb_scenario (fun (seed, nodes, extra, ops) ->
+      let source = Broker.create (mk_topology ~seed ~nodes ~extra) in
+      let prng = Prng.create ~seed:(seed + 13) in
+      for _ = 1 to ops do
+        ignore (Broker.request source (random_request prng (Broker.topology source)))
+      done;
+      let text = Snapshot.save source in
+      let fast = Broker.create ~fast_path:true (mk_topology ~seed ~nodes ~extra) in
+      let slow =
+        Broker.create ~fast_path:false (mk_topology ~seed ~nodes ~extra)
+      in
+      match (Snapshot.restore fast text, Snapshot.restore slow text) with
+      | Ok _, Ok _ ->
+          String.equal (Audit.mib_digest fast) (Audit.mib_digest slow)
+          && (let req = random_request prng (Broker.topology fast) in
+              Broker.request fast req = Broker.request slow req)
+          && String.equal (Audit.mib_digest fast) (Audit.mib_digest slow)
+      | _ -> false)
+
+let test_cache_hits () =
+  let broker = Broker.create (Fig8.topology `Mixed) in
+  let req =
+    {
+      Types.profile = Profiles.profile 1;
+      dreq = 2.0;
+      ingress = Fig8.ingress2;
+      egress = Fig8.egress2;
+    }
+  in
+  for _ = 1 to 6 do
+    ignore (Broker.request broker req)
+  done;
+  (* Two back-to-back queries with no intervening booking: saturate the
+     path so requests start bouncing, then repeat one. *)
+  let rec saturate n =
+    if n > 0 then
+      match Broker.request broker req with
+      | Ok _ -> saturate (n - 1)
+      | Error _ -> ()
+  in
+  saturate 10_000;
+  ignore (Broker.request broker req);
+  ignore (Broker.request broker req);
+  match Broker.fast_path_stats broker with
+  | None -> Alcotest.fail "fast path should be on by default"
+  | Some s ->
+      Alcotest.(check bool) "paths cached" true (s.Admission_cache.paths > 0);
+      Alcotest.(check bool)
+        "mixed path exercised the merge" true
+        (s.Admission_cache.merges > 0);
+      Alcotest.(check bool) "unchanged re-query hits" true (s.Admission_cache.hits > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Batched requests and journal group commit *)
+
+let fig8_requests ?(dreq_step = 0.3) n =
+  List.init n (fun i ->
+      let profile = Profiles.profile (i mod 4) in
+      let ingress, egress =
+        if i mod 2 = 0 then (Fig8.ingress1, Fig8.egress1)
+        else (Fig8.ingress2, Fig8.egress2)
+      in
+      {
+        Types.profile;
+        dreq = 1.0 +. (dreq_step *. float_of_int (i mod 5));
+        ingress;
+        egress;
+      })
+
+let test_batch_equals_sequential () =
+  let a = Broker.create (Fig8.topology `Mixed) in
+  let b = Broker.create (Fig8.topology `Mixed) in
+  let reqs = fig8_requests 16 in
+  let ra = Broker.request_batch a reqs in
+  let rb = List.map (Broker.request b) reqs in
+  Alcotest.(check bool) "same decisions" true (ra = rb);
+  Alcotest.(check bool)
+    "some admitted, some possible rejections, in order" true
+    (List.length ra = 16);
+  Alcotest.(check string) "same digest" (Audit.mib_digest b) (Audit.mib_digest a)
+
+let test_batch_group_commit () =
+  let broker = Broker.create (Fig8.topology `Mixed) in
+  let j = Journal.create ~fsync_every:64 () in
+  Journal.attach j broker;
+  List.iter
+    (fun r -> ignore (Broker.request broker r))
+    (fig8_requests ~dreq_step:0.2 5);
+  Alcotest.(check bool) "singles wrote records" true (Journal.records j > 0);
+  Alcotest.(check int) "singles below the fsync boundary" 0
+    (Journal.synced_records j);
+  ignore (Broker.request_batch broker (fig8_requests 8));
+  Alcotest.(check int) "batch commits as one group" (Journal.records j)
+    (Journal.synced_records j)
+
+let test_batched_reentrant () =
+  let broker = Broker.create (Fig8.topology `Rate_only) in
+  let j = Journal.create ~fsync_every:64 () in
+  Journal.attach j broker;
+  let reqs = fig8_requests 4 in
+  Broker.batched broker (fun () ->
+      ignore (Broker.request_batch broker reqs));
+  Alcotest.(check int) "inner batch joined the outer group"
+    (Journal.records j) (Journal.synced_records j)
+
+(* ------------------------------------------------------------------ *)
+(* Path MIB id lookup (satellite) *)
+
+let test_path_mib_find () =
+  let broker = Broker.create (Fig8.topology `Rate_only) in
+  List.iter (fun r -> ignore (Broker.request broker r)) (fig8_requests 4);
+  let pm = Broker.path_mib broker in
+  let ps = Path_mib.paths pm in
+  Alcotest.(check bool) "paths registered" true (ps <> []);
+  List.iter
+    (fun (info : Path_mib.info) ->
+      match Path_mib.find pm ~path_id:info.Path_mib.path_id with
+      | Some found ->
+          Alcotest.(check int) "find returns the registered info"
+            info.Path_mib.path_id found.Path_mib.path_id
+      | None -> Alcotest.fail "find missed a registered path")
+    ps;
+  Alcotest.(check bool) "unknown id" true (Path_mib.find pm ~path_id:9999 = None);
+  let ids = List.map (fun (i : Path_mib.info) -> i.Path_mib.path_id) ps in
+  Alcotest.(check (list int)) "paths keeps registration order"
+    (List.sort compare ids) ids
+
+(* ------------------------------------------------------------------ *)
+(* Overload batch drain (satellite to the batching tentpole) *)
+
+let hooks engine =
+  {
+    Broker.now = (fun () -> Engine.now engine);
+    after = (fun delay f -> Engine.schedule_after engine ~delay f);
+  }
+
+let overload_run ~batch_limit n =
+  let engine = Engine.create () in
+  let broker = Broker.create ~time:(hooks engine) (Fig8.topology `Mixed) in
+  let config =
+    {
+      Overload.default_config with
+      queue_limit = 256;
+      deadline = 1000.;
+      batch_limit;
+    }
+  in
+  let ov = Overload.create ~config ~time:(hooks engine) broker in
+  let outcomes = ref [] in
+  List.iteri
+    (fun i req ->
+      Engine.schedule_after engine ~delay:(1e-5 *. float_of_int i) (fun () ->
+          Overload.submit ov req (fun o -> outcomes := (i, o) :: !outcomes)))
+    (fig8_requests n);
+  Engine.run engine;
+  let sorted = List.sort compare !outcomes in
+  (sorted, Audit.mib_digest broker, Overload.stats ov)
+
+let test_overload_batch_drain () =
+  let n = 40 in
+  let o1, d1, s1 = overload_run ~batch_limit:1 n in
+  let o8, d8, s8 = overload_run ~batch_limit:8 n in
+  Alcotest.(check int) "all decided (unbatched)" n s1.Overload.decided;
+  Alcotest.(check int) "all decided (batched)" n s8.Overload.decided;
+  Alcotest.(check bool) "identical outcomes" true (o1 = o8);
+  Alcotest.(check string) "identical digests" d1 d8
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let props =
+    List.map QCheck_alcotest.to_alcotest
+      [
+        prop_refresh_incremental;
+        prop_cached_equals_uncached;
+        prop_restore_digest_neutral;
+      ]
+  in
+  Alcotest.run "fastpath"
+    [
+      ( "vtedf",
+        [
+          Alcotest.test_case "tolerant class matching" `Quick
+            test_tolerant_class_match;
+          Alcotest.test_case "breakpoints_into = breakpoints" `Quick
+            test_breakpoints_into_matches_list;
+        ] );
+      ( "cache",
+        [ Alcotest.test_case "hit counters move" `Quick test_cache_hits ] );
+      ( "batch",
+        [
+          Alcotest.test_case "batch = sequential" `Quick
+            test_batch_equals_sequential;
+          Alcotest.test_case "group commit boundary" `Quick
+            test_batch_group_commit;
+          Alcotest.test_case "nested batch joins" `Quick test_batched_reentrant;
+          Alcotest.test_case "overload batch drain" `Quick
+            test_overload_batch_drain;
+        ] );
+      ( "path_mib",
+        [ Alcotest.test_case "find by id" `Quick test_path_mib_find ] );
+      ("properties", props);
+    ]
