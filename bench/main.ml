@@ -1069,6 +1069,74 @@ let run_admission_throughput () =
   Fmt.pr "@.wrote BENCH_admission_throughput.json@."
 
 (* ------------------------------------------------------------------ *)
+(* Inter-domain federation: 2PC commit latency, compensation rate and
+   coordinator-crash recovery time across channel-loss levels (extension;
+   PR 6's failure-isolated federation).  Writes BENCH_federation.json. *)
+
+module Fs = Bbr_workload.Fed_soak
+
+let run_federation_bench () =
+  section "Federation: commit latency, compensation rate, crash recovery";
+  let point ~drop_p =
+    Fs.run
+      {
+        Fs.default_config with
+        Fs.drop_p;
+        dup_p = drop_p /. 2.;
+        arrival_rate = 2.;
+        duration = 100.;
+      }
+  in
+  Fmt.pr "12-domain federation, 2 arrivals/s for 100 s, faults in [20, 80),@.";
+  Fmt.pr "partition [40, 60), domain crash [30, 50), coordinator crash at 70:@.@.";
+  Fmt.pr "%-7s %8s %10s %10s %11s %11s %10s %9s@." "loss" "offered" "committed"
+    "comp-rate" "p50 commit" "p95 commit" "recovery" "clean";
+  let rows =
+    List.map
+      (fun drop_p ->
+        let o = point ~drop_p in
+        let decided = max 1 (o.Fs.committed + o.Fs.compensated) in
+        let comp_rate = float_of_int o.Fs.compensated /. float_of_int decided in
+        Fmt.pr "%-7.2f %8d %10d %10.4f %10.4fs %10.4fs %9.2fs %9b@." drop_p
+          o.Fs.offered o.Fs.committed comp_rate o.Fs.p50_commit_latency
+          o.Fs.p95_commit_latency
+          (Option.value ~default:nan o.Fs.recovery_time)
+          (Fs.ok o);
+        (drop_p, o, comp_rate))
+      [ 0.; 0.05; 0.15 ]
+  in
+  Fmt.pr
+    "@.loss inflates the commit tail (retransmission rounds) and the@.";
+  Fmt.pr
+    "compensation rate (transactions that exhaust their prepare retries);@.";
+  Fmt.pr "recovery time is bounded by the obligation retry cap, not load.@.";
+  let oc = open_out "BENCH_federation.json" in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Printf.fprintf oc "{\n  \"federation\": [\n";
+      List.iteri
+        (fun i (drop_p, (o : Fs.outcome), comp_rate) ->
+          Printf.fprintf oc
+            "    {\"drop_p\": %.2f, \"offered\": %d, \"committed\": %d, \
+             \"compensated\": %d, \"compensation_rate\": %.4f, \
+             \"p50_commit_latency_s\": %.4f, \"p95_commit_latency_s\": %.4f, \
+             \"recovery_time_s\": %s, \"digest_exact\": %b, \"retries\": %d, \
+             \"reaped\": %d, \"clean\": %b}%s\n"
+            drop_p o.Fs.offered o.Fs.committed o.Fs.compensated comp_rate
+            o.Fs.p50_commit_latency o.Fs.p95_commit_latency
+            (match o.Fs.recovery_time with
+            | Some s -> Printf.sprintf "%.3f" s
+            | None -> "null")
+            (o.Fs.digest_match = Some true)
+            o.Fs.stats.Bbr_interdomain.Federation.retries
+            o.Fs.stats.Bbr_interdomain.Federation.reaped (Fs.ok o)
+            (if i = List.length rows - 1 then "" else ","))
+        rows;
+      Printf.fprintf oc "  ]\n}\n");
+  Fmt.pr "@.wrote BENCH_federation.json@."
+
+(* ------------------------------------------------------------------ *)
 
 let sections =
   [
@@ -1084,6 +1152,7 @@ let sections =
     ("failover", run_failover);
     ("recovery", run_recovery);
     ("overload", run_overload_bench);
+    ("federation", run_federation_bench);
     ("admission_throughput", run_admission_throughput);
     ("scaling", run_scaling);
     ("statistical", run_statistical);

@@ -11,6 +11,8 @@
      audit     run a workload and cross-check the MIB invariants
      overload  overload soak through the bounded admission pipeline
                (or, with --partition, the lease-reclaim soak)
+     federation chaos soak of the inter-domain 2PC federation
+               (loss, partition, domain crash, coordinator crash)
 
    fill and simulate accept --metrics-out PATH (and --metrics-format) to
    dump the control-plane metrics snapshot after the run.
@@ -640,6 +642,84 @@ let overload_cmd =
       const run_overload $ setting $ seed $ overload_factor $ flat $ partition
       $ overload_journal $ overload_strict $ metrics_out $ metrics_format)
 
+(* --- federation ------------------------------------------------------- *)
+
+let fed_domains =
+  Arg.(
+    value
+    & opt int 12
+    & info [ "domains" ] ~docv:"N" ~doc:"Number of domains in the federation graph.")
+
+let fed_arrivals =
+  Arg.(
+    value
+    & opt float 3.
+    & info [ "arrivals" ] ~docv:"R" ~doc:"Flow arrivals per second (Poisson).")
+
+let fed_duration =
+  Arg.(
+    value
+    & opt float 120.
+    & info [ "duration" ] ~docv:"S" ~doc:"Seconds of simulated arrivals.")
+
+let fed_drop =
+  Arg.(
+    value
+    & opt float 0.05
+    & info [ "drop" ] ~docv:"P"
+        ~doc:"Per-message-copy loss probability during the fault window.")
+
+let fed_no_crash =
+  Arg.(
+    value & flag
+    & info [ "no-coordinator-crash" ]
+        ~doc:"Skip the mid-run coordinator crash + journal recovery.")
+
+let fed_strict =
+  Arg.(
+    value & flag
+    & info [ "strict" ]
+        ~doc:
+          "Exit non-zero unless the soak drained clean: every audit clean \
+           (federation invariants and per-domain MIBs), an empty obligation \
+           queue, zero stranded bandwidth, and a digest-exact coordinator \
+           recovery when one was staged.")
+
+let run_federation seed domains arrivals duration drop no_crash strict out format =
+  let module Fs = Bbr_workload.Fed_soak in
+  if domains < 3 then begin
+    Fmt.epr "federation: need at least 3 domains@.";
+    exit exit_parse
+  end;
+  let cfg =
+    {
+      Fs.default_config with
+      Fs.seed;
+      n_domains = domains;
+      arrival_rate = arrivals;
+      duration;
+      drop_p = drop;
+      crash_coordinator_at =
+        (if no_crash then None else Fs.default_config.Fs.crash_coordinator_at);
+    }
+  in
+  let o = with_metrics ~out ~format (fun () -> Fs.run cfg) in
+  Fmt.pr "%a@." Fs.pp_outcome o;
+  if strict && not (Fs.ok o) then exit 1
+
+let federation_cmd =
+  let doc =
+    "Chaos-soak the inter-domain federation: per-segment 2PC reservations \
+     over a random 10+ domain graph under message loss, duplication, \
+     delay, a partitioned transit domain, a crashed domain and a \
+     journal-recovered coordinator crash — then drain and prove nothing \
+     was stranded."
+  in
+  Cmd.v (Cmd.info "federation" ~doc)
+    Term.(
+      const run_federation $ seed $ fed_domains $ fed_arrivals $ fed_duration
+      $ fed_drop $ fed_no_crash $ fed_strict $ metrics_out $ metrics_format)
+
 (* -------------------------------------------------------------------- *)
 
 let () =
@@ -660,4 +740,5 @@ let () =
             recover_cmd;
             audit_cmd;
             overload_cmd;
+            federation_cmd;
           ]))

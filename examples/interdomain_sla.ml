@@ -60,7 +60,9 @@ let () =
         Fmt.pr "@.flow %d rejected: %a@." (!n + 1) Types.pp_reject_reason reason;
         continue := false
   done;
-  let used, committed = Federation.sla_usage fed ~from_domain:"backbone" ~to_domain:"access-east" in
+  let used, committed =
+    Federation.sla_usage_exn fed ~from_domain:"backbone" ~to_domain:"access-east"
+  in
   Fmt.pr "admitted %d flows; backbone->east SLA at %.0f / %.0f b/s@." !n used committed;
   Fmt.pr
     "(the SLA, not the 1.5 Mb/s links, is the binding constraint — the paper's@.";

@@ -7,6 +7,9 @@ type kind =
   | Dangling_membership
   | Aggregate_accounting
   | Stale_lease
+  | Sla_mismatch
+  | Stranded_segment
+  | Orphan_prepare
 
 let kind_label = function
   | Leaked_bandwidth -> "leaked_bandwidth"
@@ -15,6 +18,9 @@ let kind_label = function
   | Dangling_membership -> "dangling_membership"
   | Aggregate_accounting -> "aggregate_accounting"
   | Stale_lease -> "stale_lease"
+  | Sla_mismatch -> "sla_mismatch"
+  | Stranded_segment -> "stranded_segment"
+  | Orphan_prepare -> "orphan_prepare"
 
 type violation = { kind : kind; subject : string; detail : string }
 

@@ -31,6 +31,18 @@ type kind =
   | Stale_lease
       (** a quota lease expired but its backing grant flows still pin
           bandwidth in the MIBs — the reclaim sweep failed or never ran *)
+  | Sla_mismatch
+      (** a peering SLA's recorded usage disagrees with the sum of the
+          live federation flows crossing it (see {!Bbr_interdomain.Federation.audit}) *)
+  | Stranded_segment
+      (** a domain broker holds a reservation no live federation flow,
+          in-flight transaction or prepared booking accounts for —
+          bandwidth a failed compensation left behind *)
+  | Orphan_prepare
+      (** a domain-side prepared booking outlived the prepare TTL with
+          no coordinator transaction claiming it (lost BOOKED reply or a
+          coordinator crash before the begin record survived); the reap
+          sweep should have torn it down *)
 
 val kind_label : kind -> string
 (** Metric label value: ["leaked_bandwidth"], ["orphan_flow"], ... *)

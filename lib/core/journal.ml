@@ -1,6 +1,5 @@
 module Traffic = Bbr_vtrs.Traffic
 module Topology = Bbr_vtrs.Topology
-module Crc32 = Bbr_util.Crc32
 
 let header = "bbr-journal v1"
 
@@ -42,9 +41,7 @@ let payload (m : Broker.mutation) =
   | Broker.Rate_changed { class_id; path_id; total_rate } ->
       Printf.sprintf "rate %d %d %h" class_id path_id total_rate
 
-let encode ~seq ~at m =
-  let body = Printf.sprintf "%d %h %s" seq at (payload m) in
-  Crc32.to_hex (Crc32.string body) ^ " " ^ body
+let encode ~seq ~at m = Wal.encode_line ~seq ~at (payload m)
 
 (* --------------------------------------------------------------- *)
 (* Decoding.  All helpers return options; nothing here may raise.  *)
@@ -124,59 +121,7 @@ let decode_payload fields : Broker.mutation option =
   | exception _ -> None
   | v -> v
 
-(* [Some (seq, at, mutation)] iff the line is a complete, CRC-clean
-   record. *)
-let decode_line line =
-  match String.index_opt line ' ' with
-  | None -> None
-  | Some i -> (
-      let crc_s = String.sub line 0 i in
-      let body = String.sub line (i + 1) (String.length line - i - 1) in
-      match Crc32.of_hex crc_s with
-      | None -> None
-      | Some crc ->
-          if crc <> Crc32.string body then None
-          else
-            (match String.split_on_char ' ' body with
-            | seq :: at :: rest -> (
-                match (int_of_string_opt seq, float_of_string_opt at) with
-                | Some seq, Some at ->
-                    Option.map (fun m -> (seq, at, m)) (decode_payload rest)
-                | _ -> None)
-            | _ -> None))
-
-let parse text =
-  match String.split_on_char '\n' text with
-  | [] | [ "" ] -> Error "empty journal"
-  | first :: rest when String.trim first = header ->
-      let entries = ref [] in
-      let warning = ref None in
-      let expected_seq = ref None in
-      List.iteri
-        (fun i line ->
-          if !warning = None && String.trim line <> "" then
-            match decode_line line with
-            | Some (seq, at, m) -> (
-                match !expected_seq with
-                | Some e when seq <> e ->
-                    warning :=
-                      Some
-                        (Printf.sprintf
-                           "journal sequence gap at line %d (record %d, expected %d); \
-                            dropping the tail"
-                           (i + 2) seq e)
-                | _ ->
-                    expected_seq := Some (seq + 1);
-                    entries := (at, m) :: !entries)
-            | None ->
-                warning :=
-                  Some
-                    (Printf.sprintf
-                       "torn or corrupt journal record at line %d; dropping the tail"
-                       (i + 2)))
-        rest;
-      Ok (List.rev !entries, !warning)
-  | first :: _ -> Error (Printf.sprintf "bad journal header: %S" (String.trim first))
+let parse text = Wal.parse ~header ~decode_payload text
 
 (* --------------------------------------------------------------- *)
 (* Replay.                                                         *)
@@ -243,79 +188,36 @@ let replay broker text =
       go 0 entries
 
 (* --------------------------------------------------------------- *)
-(* The writer.                                                     *)
+(* The writer: the generic {!Wal} machinery specialized to broker
+   mutations, plus the journal's metric families.                   *)
 
-(* Records are kept unencoded and serialized only when the journal text
-   is materialized (group commit: a real WAL writer renders and flushes
-   them at durability boundaries, off the commit path).  The mutation
-   values are immutable, so deferred encoding sees exactly the committed
-   state, and the hook costs a cons per record on the admission path. *)
-type pending = { p_seq : int; p_at : float; p_m : Broker.mutation }
+type t = Broker.mutation Wal.t
 
-type t = {
-  fsync_every : int;
-  mutable recs : pending list;  (* newest first *)
-  mutable records : int;  (* since the last compaction *)
-  mutable torn : string option;  (* half-record a crash left behind *)
-  mutable seq : int;  (* records ever appended *)
-  mutable record_hook : (int -> unit) option;
-  mutable group_start : int option;  (* [records] when the open group began *)
-  mutable synced_floor : int;  (* records made durable by a group commit *)
-}
+let create ?fsync_every () =
+  try Wal.create ?fsync_every ~header ~encode_payload:payload ()
+  with Invalid_argument _ ->
+    invalid_arg "Journal.create: fsync_every must be >= 1"
 
-let create ?(fsync_every = 1) () =
-  if fsync_every < 1 then invalid_arg "Journal.create: fsync_every must be >= 1";
-  {
-    fsync_every;
-    recs = [];
-    records = 0;
-    torn = None;
-    seq = 0;
-    record_hook = None;
-    group_start = None;
-    synced_floor = 0;
-  }
+let records = Wal.records
 
-let records t = t.records
+let appended_total = Wal.appended_total
 
-let appended_total t = t.seq
-
-let synced_records t =
-  let natural = t.records - (t.records mod t.fsync_every) in
-  (* Records appended inside a still-open group await the group's single
-     fsync: they are not durable yet, whatever the modulo boundary says. *)
-  let natural =
-    match t.group_start with Some g -> min natural g | None -> natural
-  in
-  min t.records (max natural t.synced_floor)
+let synced_records = Wal.synced_records
 
 let group t f =
-  match t.group_start with
-  | Some _ -> f () (* nested: joins the outer group *)
-  | None ->
-      t.group_start <- Some t.records;
-      let out =
-        try f ()
-        with exn ->
-          (* Aborted group: fall back to the per-record boundaries the
-             unbatched writer would have had. *)
-          t.group_start <- None;
-          raise exn
-      in
-      t.group_start <- None;
-      t.synced_floor <- t.records;
-      if Obs_log.active () then Obs_log.count "bb_journal_group_commits_total";
-      out
+  if Wal.in_group t then Wal.group t f
+  else begin
+    let out = Wal.group t f in
+    if Obs_log.active () then Obs_log.count "bb_journal_group_commits_total";
+    out
+  end
 
-let on_record t f = t.record_hook <- Some f
+let on_record = Wal.on_record
 
 let append t ~at m =
-  t.recs <- { p_seq = t.seq; p_at = at; p_m = m } :: t.recs;
-  t.seq <- t.seq + 1;
-  t.records <- t.records + 1;
+  Wal.append t ~at m;
   if Obs_log.active () then
-    Obs_log.count "bb_journal_records_total" ~labels:[ ("kind", kind_label m) ];
-  match t.record_hook with None -> () | Some f -> f t.seq
+    Obs_log.count "bb_journal_records_total" ~labels:[ ("kind", kind_label m) ]
 
 let attach t broker =
   Broker.set_mutation_hook broker (fun m -> append t ~at:(Broker.now broker) m);
@@ -323,53 +225,11 @@ let attach t broker =
   Broker.set_batch_hook broker (fun body -> group t body)
 
 let compact t =
-  t.recs <- [];
-  t.records <- 0;
-  t.torn <- None;
-  t.synced_floor <- 0;
-  t.group_start <- Option.map (fun _ -> 0) t.group_start;
+  Wal.compact t;
   if Obs_log.active () then Obs_log.count "bb_journal_compactions_total"
 
-let encode_pending r = encode ~seq:r.p_seq ~at:r.p_at r.p_m
+let text = Wal.text
 
-let text t =
-  let buf = Buffer.create 4096 in
-  Buffer.add_string buf header;
-  Buffer.add_char buf '\n';
-  List.iter
-    (fun r ->
-      Buffer.add_string buf (encode_pending r);
-      Buffer.add_char buf '\n')
-    (List.rev t.recs);
-  (match t.torn with None -> () | Some frag -> Buffer.add_string buf frag);
-  Buffer.contents buf
+let drop_tail = Wal.drop_tail
 
-let drop_tail ?(torn = false) t ~records:n =
-  let n = min n t.records in
-  if n > 0 then begin
-    (* [t.recs] is newest first, so the first [n] are the ones lost. *)
-    let rec take k acc rest =
-      if k = 0 then (acc, rest)
-      else
-        match rest with
-        | [] -> (acc, [])
-        | r :: rest -> take (k - 1) (r :: acc) rest
-    in
-    let dropped_oldest_first, kept = take n [] t.recs in
-    t.recs <- kept;
-    t.records <- t.records - n;
-    if t.synced_floor > t.records then t.synced_floor <- t.records;
-    t.torn <-
-      (if torn then
-         match dropped_oldest_first with
-         | oldest :: _ ->
-             let line = encode_pending oldest in
-             Some (String.sub line 0 (String.length line / 2))
-         | [] -> None
-       else None)
-  end
-
-let crash_cut t =
-  let unsynced = t.records - synced_records t in
-  if unsynced > 0 then drop_tail ~torn:true t ~records:unsynced;
-  unsynced
+let crash_cut = Wal.crash_cut

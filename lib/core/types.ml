@@ -32,6 +32,11 @@ type reject_reason =
       (** the broker's admission pipeline is overloaded and shed the
           request before deciding it; the PEP should back off (with
           jitter) for [retry_after] seconds and resubmit *)
+  | Peer_unreachable of string
+      (** an inter-domain transaction gave up on the named peer domain:
+          every PREPARE retransmission timed out (crash, partition, or
+          sustained loss), so the coordinator compensated the segments
+          it had booked elsewhere and failed the request *)
 
 type decision = Admitted of reservation | Rejected of reject_reason
 
@@ -44,6 +49,7 @@ let reject_label = function
   | Delay_unachievable -> "delay_unachievable"
   | Not_schedulable -> "not_schedulable"
   | Server_busy _ -> "server_busy"
+  | Peer_unreachable _ -> "peer_unreachable"
 
 let pp_reject_reason ppf = function
   | Policy_denied rule -> Fmt.pf ppf "policy denied (rule %s)" rule
@@ -53,6 +59,7 @@ let pp_reject_reason ppf = function
   | Not_schedulable -> Fmt.string ppf "not schedulable"
   | Server_busy { retry_after } ->
       Fmt.pf ppf "server busy (retry after %g s)" retry_after
+  | Peer_unreachable domain -> Fmt.pf ppf "peer domain %s unreachable" domain
 
 let pp_decision ppf = function
   | Admitted r -> Fmt.pf ppf "admitted (rate=%g delay=%g)" r.rate r.delay

@@ -1,0 +1,96 @@
+(** Generic write-ahead-log machinery: the CRC'd, group-committing,
+    crash-modelled record writer PR 3 built for the broker journal,
+    factored out so other control-plane components (the inter-domain
+    federation coordinator, for one) can journal their own record kinds
+    through the exact same durability model.
+
+    A log is parameterized by its header line and a payload codec; the
+    framing is identical to {!Journal}:
+
+    {v <crc32-hex> <seq> <at> <payload> v}
+
+    [crc32] covers everything after it; [seq] is a monotonic record
+    number (a gap means lost records); [at] is the writer's clock in
+    lossless [%h] notation; [payload] is whatever [encode_payload]
+    produced (it must not contain newlines).
+
+    {b Durability model} — exactly {!Journal}'s: the in-memory writer
+    mirrors a file fsynced every [fsync_every] records, group commits
+    hold records back until the group's single boundary, and
+    {!crash_cut} loses everything past the last boundary, leaving the
+    first lost record as a torn half-record.  {!parse} tolerates a torn
+    or corrupt tail by truncating at the first bad record and warning —
+    it never raises. *)
+
+type 'a t
+
+val create :
+  ?fsync_every:int ->
+  header:string ->
+  encode_payload:('a -> string) ->
+  unit ->
+  'a t
+(** A fresh, empty log.  [fsync_every] (default 1) is the number of
+    records between durability boundaries.  Raises [Invalid_argument]
+    when [< 1]. *)
+
+val append : 'a t -> at:float -> 'a -> unit
+(** Append one record stamped [at]; fires the {!on_record} hook with the
+    new {!appended_total}. *)
+
+val group : 'a t -> (unit -> 'b) -> 'b
+(** Group commit: records appended while [f] runs become durable
+    together when [f] returns.  Nested groups join the outermost one; an
+    aborting [f] drops the records back to the ordinary boundaries. *)
+
+val in_group : 'a t -> bool
+(** A group is currently open (callers that count group commits use this
+    to tell the outermost {!group} from a nested one). *)
+
+val records : 'a t -> int
+(** Records currently in the log (since the last {!compact}). *)
+
+val appended_total : 'a t -> int
+(** Records ever appended, across compactions. *)
+
+val synced_records : 'a t -> int
+(** Records up to the last durability boundary — what a crash right now
+    is guaranteed to keep. *)
+
+val on_record : 'a t -> (int -> unit) -> unit
+(** Install a callback fired after every append with {!appended_total}
+    (the crash-point-injection hook). *)
+
+val compact : 'a t -> unit
+(** Drop all records (their state is covered by a newer checkpoint). *)
+
+val text : 'a t -> string
+(** Serialize: header, records oldest first, then the torn fragment (no
+    trailing newline) if a crash left one. *)
+
+val entries : 'a t -> (float * 'a) list
+(** The undamaged records currently held, oldest first, as
+    [(at, payload)] — what {!parse} of {!text} would decode, without the
+    round trip. *)
+
+val drop_tail : ?torn:bool -> 'a t -> records:int -> unit
+(** Lose the newest [records] records (clamped); with [~torn:true] the
+    oldest lost record survives as a half-written fragment. *)
+
+val crash_cut : 'a t -> int
+(** Truncate to the last fsync boundary, leaving the first unsynced
+    record torn; returns the number of records lost. *)
+
+val encode_line : seq:int -> at:float -> string -> string
+(** One record line (without the newline) for an already-encoded
+    payload — exposed for fuzzing and for re-implementing {!Journal.encode}. *)
+
+val parse :
+  header:string ->
+  decode_payload:(string list -> 'a option) ->
+  string ->
+  ((float * 'a) list * string option, string) result
+(** Decode a log.  [Error] only for a missing/bad header; anything wrong
+    after that — CRC mismatch, sequence gap, torn or malformed record —
+    truncates at the first bad record and comes back as
+    [Ok (prefix, Some warning)].  Never raises. *)

@@ -52,9 +52,9 @@ let test_two_domain_request () =
       Alcotest.(check (list string)) "A then B" [ "A"; "B" ] r.Federation.domains;
       Alcotest.(check bool) "bound within dreq" true (r.Federation.bound <= 4.);
       (* both domain brokers hold one leg each *)
-      Alcotest.(check int) "leg in A" 1 (Broker.per_flow_count (Federation.broker fed ~domain:"A"));
-      Alcotest.(check int) "leg in B" 1 (Broker.per_flow_count (Federation.broker fed ~domain:"B"));
-      let used, committed = Federation.sla_usage fed ~from_domain:"A" ~to_domain:"B" in
+      Alcotest.(check int) "leg in A" 1 (Broker.per_flow_count (Federation.broker_exn fed ~domain:"A"));
+      Alcotest.(check int) "leg in B" 1 (Broker.per_flow_count (Federation.broker_exn fed ~domain:"B"));
+      let used, committed = Federation.sla_usage_exn fed ~from_domain:"A" ~to_domain:"B" in
       check_float "sla used" r.Federation.rate used;
       check_float "sla committed" 600_000. committed
   | Error e -> Alcotest.failf "rejected: %a" Types.pp_reject_reason e
@@ -81,7 +81,7 @@ let test_sla_exhaustion () =
     | Error e -> Alcotest.failf "unexpected: %a" Types.pp_reject_reason e
   done;
   Alcotest.(check int) "sla-bounded" 3 !admitted;
-  let used, _ = Federation.sla_usage fed ~from_domain:"A" ~to_domain:"B" in
+  let used, _ = Federation.sla_usage_exn fed ~from_domain:"A" ~to_domain:"B" in
   check_float "sla full" 150_000. used
 
 let test_rollback_on_downstream_failure () =
@@ -98,8 +98,8 @@ let test_rollback_on_downstream_failure () =
   | Ok _ -> Alcotest.fail "should not fit in B"
   | Error e -> Alcotest.failf "unexpected: %a" Types.pp_reject_reason e);
   Alcotest.(check int) "A rolled back" 0
-    (Broker.per_flow_count (Federation.broker fed ~domain:"A"));
-  let used, _ = Federation.sla_usage fed ~from_domain:"A" ~to_domain:"B" in
+    (Broker.per_flow_count (Federation.broker_exn fed ~domain:"A"));
+  let used, _ = Federation.sla_usage_exn fed ~from_domain:"A" ~to_domain:"B" in
   check_float "sla untouched" 0. used;
   Alcotest.(check int) "no federation flow" 0 (Federation.flow_count fed)
 
@@ -109,10 +109,10 @@ let test_teardown_releases_everywhere () =
   | Ok r ->
       Federation.teardown fed r.Federation.flow;
       Alcotest.(check int) "A clean" 0
-        (Broker.per_flow_count (Federation.broker fed ~domain:"A"));
+        (Broker.per_flow_count (Federation.broker_exn fed ~domain:"A"));
       Alcotest.(check int) "B clean" 0
-        (Broker.per_flow_count (Federation.broker fed ~domain:"B"));
-      let used, _ = Federation.sla_usage fed ~from_domain:"A" ~to_domain:"B" in
+        (Broker.per_flow_count (Federation.broker_exn fed ~domain:"B"));
+      let used, _ = Federation.sla_usage_exn fed ~from_domain:"A" ~to_domain:"B" in
       check_float "sla released" 0. used
   | Error _ -> Alcotest.fail "expected admit"
 
@@ -152,7 +152,7 @@ let test_three_domain_chain () =
       Alcotest.(check (list string)) "three domains" [ "A"; "B"; "C" ]
         r.Federation.domains;
       Alcotest.(check int) "three legs booked" 1
-        (Broker.per_flow_count (Federation.broker fed ~domain:"C"));
+        (Broker.per_flow_count (Federation.broker_exn fed ~domain:"C"));
       Alcotest.(check bool) "bound within dreq" true (r.Federation.bound <= 5.)
   | Error e -> Alcotest.failf "rejected: %a" Types.pp_reject_reason e
 
@@ -163,12 +163,18 @@ let test_delay_unachievable_across_domains () =
   | _ -> Alcotest.fail "expected delay rejection"
 
 let test_unknown_teardown () =
+  (* Teardown is idempotent: unknown and repeated teardowns are no-ops, so
+     a retransmitted teardown can never damage anything. *)
   let fed = two_domains () in
-  Alcotest.(check bool) "raises" true
-    (try
-       Federation.teardown fed 7;
-       false
-     with Invalid_argument _ -> true)
+  Federation.teardown fed 7;
+  (match Federation.request fed ep ~profile:type0 ~dreq:4. with
+  | Ok r ->
+      Federation.teardown fed r.Federation.flow;
+      Federation.teardown fed r.Federation.flow;
+      let used, _ = Federation.sla_usage_exn fed ~from_domain:"A" ~to_domain:"B" in
+      check_float "sla released once" 0. used
+  | Error _ -> Alcotest.fail "expected admit");
+  Alcotest.(check int) "still empty" 0 (Federation.flow_count fed)
 
 let test_duplicate_domain_and_peering () =
   let fed = two_domains () in
