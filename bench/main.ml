@@ -1137,6 +1137,122 @@ let run_federation_bench () =
   Fmt.pr "@.wrote BENCH_federation.json@."
 
 (* ------------------------------------------------------------------ *)
+(* Observability: causal-tracing overhead on the cached admission fast
+   path (the PR-5 per-path schedulability caches).  The acceptance
+   budget is <= 10% on p95 per-request latency with the full tracer
+   (span contexts + ambient stack + ring writes) installed.
+   Writes BENCH_obs.json. *)
+
+let run_obs () =
+  section "Observability: tracing overhead on the cached admission fast path";
+  let scale =
+    match Sys.getenv_opt "BBR_BENCH_SCALE" with
+    | Some s -> ( try max 1 (int_of_string s) with _ -> 1)
+    | None -> 1
+  in
+  let n = max 200 (2_000 / scale) and cap = 64 in
+  let churn () =
+    let topology = Fig8.topology `Mixed in
+    let broker = Broker.create ~fast_path:true topology in
+    let prng = Prng.create ~seed:20_260_809 in
+    let live = Queue.create () in
+    for _ = 1 to n do
+      let ingress, egress =
+        if Prng.float prng < 0.5 then (Fig8.ingress1, Fig8.egress1)
+        else (Fig8.ingress2, Fig8.egress2)
+      in
+      let profile = Profiles.profile (Prng.int prng ~bound:4) in
+      let dreq = Prng.float_range prng ~lo:0.5 ~hi:6. in
+      match Broker.request broker { Types.profile; dreq; ingress; egress } with
+      | Ok (flow, _) ->
+          Queue.push flow live;
+          if Queue.length live > cap then Broker.teardown broker (Queue.pop live)
+      | Error _ ->
+          if not (Queue.is_empty live) then Broker.teardown broker (Queue.pop live)
+    done
+  in
+  let reg = Metrics.create () in
+  let tracer = Obs_trace.create ~capacity:65_536 () in
+  let with_metrics f =
+    Metrics.install reg;
+    Fun.protect ~finally:Metrics.uninstall f
+  in
+  let with_tracing f =
+    Metrics.install reg;
+    Obs_trace.install tracer;
+    Fun.protect
+      ~finally:(fun () ->
+        Metrics.uninstall ();
+        Obs_trace.uninstall ())
+      f
+  in
+  let rounds = max 10 (60 / scale) in
+  let off = Array.make rounds 0. in
+  let met = Array.make rounds 0. in
+  let on_ = Array.make rounds 0. in
+  (* Warm all paths, then interleave round by round so clock drift and
+     cache warmth hit every side equally (as the recovery bench does).
+     Each round keeps the better of two runs per configuration: the
+     comparison is between instrumentation paths, not scheduler noise. *)
+  churn ();
+  with_metrics churn;
+  with_tracing churn;
+  let timed f =
+    let t0 = Unix.gettimeofday () in
+    f churn;
+    let t1 = Unix.gettimeofday () in
+    f churn;
+    let t2 = Unix.gettimeofday () in
+    Float.min (t1 -. t0) (t2 -. t1) /. float_of_int n
+  in
+  for i = 0 to rounds - 1 do
+    off.(i) <- timed (fun c -> c ());
+    met.(i) <- timed with_metrics;
+    on_.(i) <- timed with_tracing
+  done;
+  let p a q = Stats.percentile a ~p:q *. 1e6 in
+  let p50_off = p off 50. and p95_off = p off 95. in
+  let p50_met = p met 50. and p95_met = p met 95. in
+  let p50_on = p on_ 50. and p95_on = p on_ 95. in
+  (* The tracing toggle: "off" is the metrics-only baseline (the normal
+     observed operating mode); "uninstrumented" is reported alongside so
+     the registry's own cost stays visible. *)
+  let overhead = (p95_on -. p95_met) /. p95_met *. 100. in
+  Fmt.pr "fig8-mixed cached fast path (us/request over %d rounds of %d):@.@."
+    rounds n;
+  Fmt.pr "%-20s %10s %10s@." "" "p50" "p95";
+  Fmt.pr "%-20s %10.2f %10.2f@." "uninstrumented" p50_off p95_off;
+  Fmt.pr "%-20s %10.2f %10.2f@." "tracing off" p50_met p95_met;
+  Fmt.pr "%-20s %10.2f %10.2f@." "tracing on" p50_on p95_on;
+  Fmt.pr "@.tracing overhead at p95: %+.1f%%  (budget: <= 10%%)@." overhead;
+  Fmt.pr "trace ring: %d entries recorded, %d retained, %d evicted@."
+    (Obs_trace.total tracer) (Obs_trace.length tracer) (Obs_trace.evicted tracer);
+  Fmt.pr
+    "(each request records one bb.request span, five bb.stage spans and a@.";
+  Fmt.pr "decision entry; uninstalled sites are a mutable read + branch)@.";
+  let oc = open_out "BENCH_obs.json" in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Printf.fprintf oc
+        "{\n  \"obs\": {\n    \"scale\": %d,\n    \"requests_per_round\": %d,\n\
+        \    \"rounds\": %d,\n    \"request_us\": {\n"
+        scale n rounds;
+      Printf.fprintf oc
+        "      \"uninstrumented\": {\"p50\": %.3f, \"p95\": %.3f},\n" p50_off
+        p95_off;
+      Printf.fprintf oc
+        "      \"tracing_off\": {\"p50\": %.3f, \"p95\": %.3f},\n" p50_met
+        p95_met;
+      Printf.fprintf oc
+        "      \"tracing_on\": {\"p50\": %.3f, \"p95\": %.3f},\n" p50_on p95_on;
+      Printf.fprintf oc "      \"p95_overhead_pct\": %.1f\n    },\n" overhead;
+      Printf.fprintf oc
+        "    \"trace_entries_total\": %d,\n    \"trace_evicted\": %d\n  }\n}\n"
+        (Obs_trace.total tracer) (Obs_trace.evicted tracer));
+  Fmt.pr "@.wrote BENCH_obs.json@."
+
+(* ------------------------------------------------------------------ *)
 
 let sections =
   [
@@ -1157,6 +1273,7 @@ let sections =
     ("scaling", run_scaling);
     ("statistical", run_statistical);
     ("admission", run_admission);
+    ("obs", run_obs);
     ("micro", run_micro);
   ]
 

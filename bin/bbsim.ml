@@ -13,9 +13,14 @@
                (or, with --partition, the lease-reclaim soak)
      federation chaos soak of the inter-domain 2PC federation
                (loss, partition, domain crash, coordinator crash)
+     trace     analyze a flight-recorder box: span trees and
+               critical-path stage blame
 
-   fill and simulate accept --metrics-out PATH (and --metrics-format) to
-   dump the control-plane metrics snapshot after the run.
+   fill, simulate, overload and federation accept --metrics-out PATH
+   (and --metrics-format) to dump the control-plane metrics snapshot
+   after the run, --trace-out PATH for a Chrome trace_event export of
+   the causal trace (load in Perfetto), and --flight-out PATH to arm
+   the black-box flight recorder.
 
    Exit codes: 0 success, 1 domain failure (rejected audit, failed
    replay), 2 file I/O error, 3 input parse error.
@@ -40,6 +45,9 @@ module Transient = Bbr_workload.Transient
 module Metrics = Bbr_obs.Metrics
 module Obs_trace = Bbr_obs.Trace
 module Exporter = Bbr_obs.Exporter
+module Trace_export = Bbr_obs.Trace_export
+module Critical_path = Bbr_obs.Critical_path
+module Flight = Bbr_obs.Flight
 
 (* --- shared arguments ---------------------------------------------- *)
 
@@ -146,23 +154,58 @@ let render_metrics reg = function
   | `Text -> Exporter.to_prometheus reg
   | `Json -> Exporter.to_json reg
 
-(* Install a fresh registry + tracer around [f] and export the snapshot to
-   [out] afterwards; without --metrics-out, [f] runs uninstrumented. *)
-let with_metrics ~out ~format f =
-  match out with
-  | None -> f ()
-  | Some path ->
-      let reg = Metrics.create () in
-      Metrics.install reg;
-      Obs_trace.install (Obs_trace.create ());
-      Fun.protect
-        ~finally:(fun () ->
-          Metrics.uninstall ();
-          Obs_trace.uninstall ())
-        (fun () ->
-          let r = f () in
-          Exporter.write ~path (render_metrics reg format);
-          r)
+let trace_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"PATH"
+        ~doc:
+          "Trace the run and write it as Chrome trace_event JSON to \
+           $(docv) afterwards ($(b,-) = stdout); load in \
+           chrome://tracing or Perfetto.")
+
+let flight_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "flight-out" ] ~docv:"PATH"
+        ~doc:
+          "Arm the black-box flight recorder.  The first anomaly (audit \
+           violation, failed recovery digest, federation compensation \
+           storm) dumps trace + metrics + MIB digest to $(docv); a clean \
+           run writes an end-of-run box.  Analyze with $(b,bbsim trace).")
+
+(* Install a fresh registry + tracer around [f] and export the requested
+   artifacts afterwards; with none of --metrics-out / --trace-out /
+   --flight-out, [f] runs uninstrumented. *)
+let with_obs ~out ~format ~trace ~flight f =
+  if out = None && trace = None && flight = None then f ()
+  else begin
+    let reg = Metrics.create () in
+    Metrics.install reg;
+    let tr = Obs_trace.create () in
+    Obs_trace.install tr;
+    Telemetry.register_tracer ();
+    let recorder = Option.map (fun path -> Flight.arm ~out:path ()) flight in
+    Fun.protect
+      ~finally:(fun () ->
+        Flight.disarm ();
+        Metrics.uninstall ();
+        Obs_trace.uninstall ())
+      (fun () ->
+        let r = f () in
+        Option.iter
+          (fun path -> Exporter.write ~path (render_metrics reg format))
+          out;
+        Option.iter
+          (fun path ->
+            Exporter.write ~path (Trace_export.chrome_string (Obs_trace.entries tr)))
+          trace;
+        Option.iter
+          (fun rec_ -> Fmt.pr "flight box: %s@." (Flight.final rec_))
+          recorder;
+        r)
+  end
 
 (* --- fill ----------------------------------------------------------- *)
 
@@ -195,7 +238,7 @@ let scheme =
           "Admission scheme: $(b,intserv), $(b,perflow), $(b,aggr) \
            (feedback) or $(b,aggr-bounding).")
 
-let run_fill setting dreq cd scheme verbose out format =
+let run_fill setting dreq cd scheme verbose out format trace flight =
   let static_scheme =
     match scheme with
     | `Intserv -> Static.Intserv_gs
@@ -203,8 +246,11 @@ let run_fill setting dreq cd scheme verbose out format =
     | `Aggr method_ -> Static.Aggr_bb { cd; method_ }
   in
   let r =
-    with_metrics ~out ~format (fun () ->
-        Static.fill ~setting ~dreq ~observe:Telemetry.register_broker
+    with_obs ~out ~format ~trace ~flight (fun () ->
+        Static.fill ~setting ~dreq
+          ~observe:(fun broker ->
+            Telemetry.register_broker broker;
+            Flight.set_digest (fun () -> Some (Audit.mib_digest broker)))
           static_scheme)
   in
   Fmt.pr "admitted %d flows before the first rejection@." r.Static.admitted;
@@ -231,7 +277,7 @@ let fill_cmd =
   Cmd.v (Cmd.info "fill" ~doc)
     Term.(
       const run_fill $ setting $ dreq $ cd $ scheme $ verbose $ metrics_out
-      $ metrics_format)
+      $ metrics_format $ trace_out $ flight_out)
 
 (* --- simulate ------------------------------------------------------- *)
 
@@ -251,7 +297,8 @@ let journal_out =
            write the journal to $(docv) afterwards (replayable with \
            $(b,recover)).")
 
-let run_simulate setting cd scheme seed load duration journal_path out format =
+let run_simulate setting cd scheme seed load duration journal_path out format trace
+    flight =
   let dyn_scheme =
     match scheme with
     | `Perflow -> Dynamic.Perflow
@@ -266,10 +313,11 @@ let run_simulate setting cd scheme seed load duration journal_path out format =
   let journal = Option.map (fun _ -> Journal.create ()) journal_path in
   let captured = ref None in
   let o =
-    with_metrics ~out ~format (fun () ->
+    with_obs ~out ~format ~trace ~flight (fun () ->
         Dynamic.run
           ~observe:(fun _engine broker ->
             Telemetry.register_broker broker;
+            Flight.set_digest (fun () -> Some (Audit.mib_digest broker));
             captured := Some broker;
             Option.iter (fun j -> Journal.attach j broker) journal)
           cfg dyn_scheme)
@@ -290,7 +338,7 @@ let simulate_cmd =
   Cmd.v (Cmd.info "simulate" ~doc)
     Term.(
       const run_simulate $ setting $ cd $ scheme $ seed $ load $ duration
-      $ journal_out $ metrics_out $ metrics_format)
+      $ journal_out $ metrics_out $ metrics_format $ trace_out $ flight_out)
 
 (* --- sweep ---------------------------------------------------------- *)
 
@@ -602,7 +650,8 @@ let overload_strict =
            with $(b,--partition): reclaim within one lease period, zero \
            stale leases, a clean audit.")
 
-let run_overload setting seed overload flat partition journal strict out format =
+let run_overload setting seed overload flat partition journal strict out format trace
+    flight =
   let module Ovw = Bbr_workload.Overload in
   if partition then begin
     let o =
@@ -619,7 +668,7 @@ let run_overload setting seed overload flat partition journal strict out format 
     let cfg =
       { Ovw.default_config with Ovw.seed; setting; overload; brownout = not flat; journal }
     in
-    let o = with_metrics ~out ~format (fun () -> Ovw.run cfg) in
+    let o = with_obs ~out ~format ~trace ~flight (fun () -> Ovw.run cfg) in
     Fmt.pr "%a@." Ovw.pp_outcome o;
     let shed = Bbr_broker.Overload.shed_total o.Ovw.pipeline in
     let ok =
@@ -640,7 +689,8 @@ let overload_cmd =
   Cmd.v (Cmd.info "overload" ~doc)
     Term.(
       const run_overload $ setting $ seed $ overload_factor $ flat $ partition
-      $ overload_journal $ overload_strict $ metrics_out $ metrics_format)
+      $ overload_journal $ overload_strict $ metrics_out $ metrics_format
+      $ trace_out $ flight_out)
 
 (* --- federation ------------------------------------------------------- *)
 
@@ -685,7 +735,8 @@ let fed_strict =
            queue, zero stranded bandwidth, and a digest-exact coordinator \
            recovery when one was staged.")
 
-let run_federation seed domains arrivals duration drop no_crash strict out format =
+let run_federation seed domains arrivals duration drop no_crash strict out format
+    trace flight =
   let module Fs = Bbr_workload.Fed_soak in
   if domains < 3 then begin
     Fmt.epr "federation: need at least 3 domains@.";
@@ -703,7 +754,7 @@ let run_federation seed domains arrivals duration drop no_crash strict out forma
         (if no_crash then None else Fs.default_config.Fs.crash_coordinator_at);
     }
   in
-  let o = with_metrics ~out ~format (fun () -> Fs.run cfg) in
+  let o = with_obs ~out ~format ~trace ~flight (fun () -> Fs.run cfg) in
   Fmt.pr "%a@." Fs.pp_outcome o;
   if strict && not (Fs.ok o) then exit 1
 
@@ -718,7 +769,52 @@ let federation_cmd =
   Cmd.v (Cmd.info "federation" ~doc)
     Term.(
       const run_federation $ seed $ fed_domains $ fed_arrivals $ fed_duration
-      $ fed_drop $ fed_no_crash $ fed_strict $ metrics_out $ metrics_format)
+      $ fed_drop $ fed_no_crash $ fed_strict $ metrics_out $ metrics_format
+      $ trace_out $ flight_out)
+
+(* --- trace (critical-path analysis) ----------------------------------- *)
+
+let trace_input =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "input" ] ~docv:"PATH"
+        ~doc:"Flight-recorder box (JSON, see $(b,--flight-out)) to analyze.")
+
+let trace_top =
+  Arg.(
+    value
+    & opt int 5
+    & info [ "top" ] ~docv:"N" ~doc:"Stages shown in each blame table.")
+
+let trace_tree =
+  Arg.(
+    value & flag
+    & info [ "tree" ] ~doc:"Also render each trace's span tree.")
+
+let run_trace_analyze input top tree =
+  let text = read_file input in
+  match Flight.parse text with
+  | Error e ->
+      Fmt.epr "error: %s: %s@." input e;
+      exit exit_parse
+  | Ok d ->
+      Fmt.pr "flight box: reason %S, %d trigger(s), %d entries, %d evicted@."
+        d.Flight.reason d.Flight.triggers
+        (List.length d.Flight.entries)
+        d.Flight.dump_evicted;
+      Option.iter (fun dg -> Fmt.pr "mib digest: %s@." dg) d.Flight.mib_digest;
+      print_string (Critical_path.render ~top (Critical_path.analyze d.Flight.entries));
+      if tree then print_string (Trace_export.span_tree d.Flight.entries)
+
+let trace_cmd =
+  let doc =
+    "Analyze a flight-recorder box: per-trace span trees and the \
+     critical-path stage blame (overall and across the p99-slowest \
+     traces)."
+  in
+  Cmd.v (Cmd.info "trace" ~doc)
+    Term.(const run_trace_analyze $ trace_input $ trace_top $ trace_tree)
 
 (* -------------------------------------------------------------------- *)
 
@@ -741,4 +837,5 @@ let () =
             audit_cmd;
             overload_cmd;
             federation_cmd;
+            trace_cmd;
           ]))

@@ -132,7 +132,17 @@ let note_decision t ~service req outcome =
       let record = { service; request = req; flow; rate; rejected; at } in
       List.iter (fun f -> f record) hooks
 
-let stage t name f = Obs_log.stage ~now:t.time.now name f
+let s_policy = Obs_log.stage_site "policy"
+
+let s_routing = Obs_log.stage_site "routing"
+
+let s_admissibility = Obs_log.stage_site "admissibility"
+
+let s_bookkeeping = Obs_log.stage_site "bookkeeping"
+
+let s_cops_push = Obs_log.stage_site "cops_push"
+
+let stage t site f = Obs_log.stage ~now:t.time.now site f
 
 let route_of t (req : Types.request) =
   Routing.path t.routing ~ingress:req.Types.ingress ~egress:req.Types.egress
@@ -140,10 +150,10 @@ let route_of t (req : Types.request) =
 (* Shared front half of both admission procedures: policy check, then path
    selection — the first two stages of the Figure-1 control loop. *)
 let preamble t req =
-  match stage t "policy" (fun () -> Policy.check t.policy req) with
+  match stage t s_policy (fun () -> Policy.check t.policy req) with
   | Error rule -> Error (Types.Policy_denied rule)
   | Ok () -> (
-      match stage t "routing" (fun () -> route_of t req) with
+      match stage t s_routing (fun () -> route_of t req) with
       | None -> Error Types.No_route
       | Some path -> Ok path)
 
@@ -177,7 +187,7 @@ let book_per_flow t ?flow (req : Types.request) path (res : Types.reservation) =
 
 (* The COPS leg: push the reservation to the ingress edge conditioner. *)
 let push_edge t ~flow res =
-  stage t "cops_push" (fun () -> t.on_edge_config ~flow res)
+  stage t s_cops_push (fun () -> t.on_edge_config ~flow res)
 
 (* The admissibility stage, cached or from scratch.  The conservative test
    never walks the merged table, so it only needs the (cheaper)
@@ -199,17 +209,20 @@ let admissibility t path ~admission (req : Types.request) =
         req.Types.profile ~dreq
 
 let request_full t ?flow ?(admission = `Exact) req =
+  Obs_log.span ~now:t.time.now "bb.request"
+    ~attrs:[ ("ingress", req.Types.ingress); ("egress", req.Types.egress) ]
+  @@ fun _sp ->
   let outcome =
     match preamble t req with
     | Error e -> Error e
     | Ok path -> (
         match
-          stage t "admissibility" (fun () -> admissibility t path ~admission req)
+          stage t s_admissibility (fun () -> admissibility t path ~admission req)
         with
         | Error e -> Error e
         | Ok res ->
             let flow =
-              stage t "bookkeeping" (fun () -> book_per_flow t ?flow req path res)
+              stage t s_bookkeeping (fun () -> book_per_flow t ?flow req path res)
             in
             (* Journal before the decision leaves the broker (WAL). *)
             (match !(t.on_mutation) with
@@ -249,6 +262,10 @@ let request_batch t ?admission reqs =
     Obs_log.count "bb_admission_batches_total";
     Obs_log.count "bb_admission_batch_requests_total" ~by:(float_of_int n)
   end;
+  (* One span per batch; the member requests' bb.request spans (and the
+     journal group commit) nest under it. *)
+  Obs_log.span ~now:t.time.now "bb.batch" ~attrs:[ ("count", string_of_int n) ]
+  @@ fun _sp ->
   batched t (fun () -> List.map (fun req -> request_full t ?admission req) reqs)
 
 let request_fixed t ?flow req ~rate ?delay () =
@@ -260,7 +277,7 @@ let request_fixed t ?flow req ~rate ?delay () =
         if not (Bbr_vtrs.Traffic.conforms p ~rate) then Error Types.Delay_unachievable
         else begin
           let admissible =
-            stage t "admissibility" (fun () ->
+            stage t s_admissibility (fun () ->
                 let ps =
                   match t.cache with
                   | Some cache -> Admission_cache.path_state cache path
@@ -289,7 +306,7 @@ let request_fixed t ?flow req ~rate ?delay () =
           | Ok delay ->
               let res = { Types.rate; delay } in
               let flow =
-                stage t "bookkeeping" (fun () -> book_per_flow t ?flow req path res)
+                stage t s_bookkeeping (fun () -> book_per_flow t ?flow req path res)
               in
               (match !(t.on_mutation) with
               | None -> ()
@@ -357,7 +374,7 @@ let request_class t ?class_id ?flow req =
                Section 4.3); the subsequent rate push to the edge rides
                the aggregate's [rate_changed] hook. *)
             match
-              stage t "admissibility" (fun () ->
+              stage t s_admissibility (fun () ->
                   Aggregate.join t.aggregate ~class_id:cls.Aggregate.class_id ~path
                     ~flow req.Types.profile)
             with

@@ -1,4 +1,5 @@
 module Metrics = Bbr_obs.Metrics
+module Trace = Bbr_obs.Trace
 
 type reliability = {
   loss : unit -> bool;
@@ -101,9 +102,27 @@ let note_pending t = Metrics.set_gauge "bb_cops_pending" (float_of_int t.pending
 let exchange t ~decide ~busy ~accepted ~on_decision =
   t.pending <- t.pending + 1;
   note_pending t;
+  (* The whole REQ->DEC exchange is one span, rooted at submission (or
+     parented on the ambient caller).  Its sim extent covers wire legs,
+     retransmissions, busy backoffs and the PDP's admission pipeline;
+     the PDP's own spans nest under it via [with_ambient]. *)
+  let now () = Broker.now t.broker in
+  let xsp = Trace.start_span ~sim_time:(now ()) "bb.cops.exchange" in
   let resolved = ref false in
   let decided = ref None in
   let deciding = ref None in
+  (* The busy-wait span outstanding between a Server_busy verdict and its
+     retry timer.  A stale DEC can resolve the exchange mid-backoff; the
+     wait ends then, not when the timer fires, so whichever side runs
+     first finishes the span and clears the slot. *)
+  let busy_sp = ref None in
+  let finish_busy () =
+    match !busy_sp with
+    | None -> ()
+    | Some b ->
+        busy_sp := None;
+        Trace.finish_span ~sim_time:(Broker.now t.broker) b
+  in
   let gen = ref 0 in
   let busy_left = ref (match t.rel with Some r -> r.busy_retries | None -> 0) in
   let rec deliver_decision dec =
@@ -116,13 +135,30 @@ let exchange t ~decide ~busy ~accepted ~on_decision =
           decided := None;
           t.busy_backoffs <- t.busy_backoffs + 1;
           Metrics.count "bb_cops_busy_backoffs_total";
+          let bsp =
+            Trace.start_span ~sim_time:(now ()) ~parent:xsp
+              ~attrs:[ ("gen", string_of_int g) ]
+              "bb.cops.busy_wait"
+          in
+          busy_sp := Some bsp;
           t.defer
             (jittered r (Float.max retry_after r.timeout))
-            (fun () -> if (not !resolved) && g = !gen then attempt g r.timeout)
+            (fun () ->
+              (match !busy_sp with
+              | Some b when b == bsp ->
+                  busy_sp := None;
+                  Trace.finish_span ~sim_time:(now ()) bsp
+              | _ -> ());
+              if (not !resolved) && g = !gen then
+                Trace.with_ambient xsp (fun () -> attempt g r.timeout))
       | _ ->
           resolved := true;
           t.pending <- t.pending - 1;
           note_pending t;
+          finish_busy ();
+          Trace.finish_span ~sim_time:(now ())
+            ~attrs:[ ("result", if accepted dec then "accept" else "reject") ]
+            xsp;
           on_decision dec;
           (* The PEP reports successful installation of the decision. *)
           if accepted dec then send t (fun () -> ())
@@ -144,12 +180,13 @@ let exchange t ~decide ~busy ~accepted ~on_decision =
         | _ ->
             let b = t.broker in
             deciding := Some b;
-            decide b (fun dec ->
-                (match !deciding with
-                | Some pdp when pdp == b -> deciding := None
-                | _ -> ());
-                if b == t.broker then decided := Some (b, dec);
-                send t (fun () -> deliver_decision dec)))
+            Trace.with_ambient xsp (fun () ->
+                decide b (fun dec ->
+                    (match !deciding with
+                    | Some pdp when pdp == b -> deciding := None
+                    | _ -> ());
+                    if b == t.broker then decided := Some (b, dec);
+                    send t (fun () -> deliver_decision dec))))
   and attempt g timeout =
     if (not !resolved) && g = !gen then begin
       send t (fun () ->
@@ -163,6 +200,7 @@ let exchange t ~decide ~busy ~accepted ~on_decision =
               if (not !resolved) && g = !gen then begin
                 t.retransmissions <- t.retransmissions + 1;
                 Metrics.count "bb_cops_retransmissions_total";
+                Trace.event ~sim_time:(now ()) ~parent:xsp "bb.cops.retransmit";
                 attempt g (next_timeout r timeout)
               end)
     end

@@ -1,5 +1,6 @@
 module Traffic = Bbr_vtrs.Traffic
 module Topology = Bbr_vtrs.Topology
+module Trace = Bbr_obs.Trace
 
 let header = "bbr-journal v1"
 
@@ -207,7 +208,19 @@ let synced_records = Wal.synced_records
 let group t f =
   if Wal.in_group t then Wal.group t f
   else begin
-    let out = Wal.group t f in
+    (* Only the outermost group is a commit boundary: one span (child of
+       the enclosing batch/request span) covering everything that
+       reaches the durability boundary together. *)
+    let sp = Trace.start_span "bb.journal.group" in
+    let before = Wal.appended_total t in
+    let out =
+      Fun.protect
+        ~finally:(fun () ->
+          Trace.finish_span
+            ~attrs:[ ("records", string_of_int (Wal.appended_total t - before)) ]
+            sp)
+        (fun () -> Trace.with_ambient sp (fun () -> Wal.group t f))
+    in
     if Obs_log.active () then Obs_log.count "bb_journal_group_commits_total";
     out
   end

@@ -13,6 +13,39 @@ module Trace = Bbr_obs.Trace
 
 let active () = Metrics.enabled () || Trace.enabled ()
 
+(* Per-site instrument handles, cached so the per-request path skips the
+   registry's (name, labels) -> child resolution.  Each cache entry
+   remembers the registry it was resolved against and is re-resolved
+   when a different one is installed (benches and failover tests cycle
+   registries). *)
+let find_handle tbl reg key make =
+  match Hashtbl.find_opt tbl key with
+  | Some (r, v) when r == reg -> v
+  | _ ->
+      let v = make () in
+      Hashtbl.replace tbl key (reg, v);
+      v
+
+let admission_counters : (string, Metrics.t * Metrics.counter) Hashtbl.t =
+  Hashtbl.create 16
+
+let admission_total reg ~service ~result =
+  find_handle admission_counters reg
+    (service ^ "\x00" ^ result)
+    (fun () ->
+      Metrics.counter reg "bb_admission_total"
+        ~labels:[ ("service", service); ("result", result) ])
+
+let reject_counters : (string, Metrics.t * Metrics.counter) Hashtbl.t =
+  Hashtbl.create 16
+
+let reject_total reg ~service ~reason =
+  find_handle reject_counters reg
+    (service ^ "\x00" ^ reason)
+    (fun () ->
+      Metrics.counter reg "bb_admission_reject_total"
+        ~labels:[ ("service", service); ("reason", reason) ])
+
 let decision ~service ~at (req : Types.request) outcome =
   if active () then begin
     let admitted, flow, rate, reason =
@@ -21,39 +54,115 @@ let decision ~service ~at (req : Types.request) outcome =
       | Error r -> (false, None, 0., Some r)
     in
     let result = if admitted then "admit" else "reject" in
-    Metrics.count "bb_admission_total"
-      ~labels:[ ("service", service); ("result", result) ];
-    (match reason with
-    | Some r ->
-        Metrics.count "bb_admission_reject_total"
-          ~labels:[ ("service", service); ("reason", Types.reject_label r) ]
+    let reason = Option.map Types.reject_label reason in
+    (match Metrics.current () with
+    | Some reg ->
+        Metrics.inc (admission_total reg ~service ~result);
+        Option.iter
+          (fun r -> Metrics.inc (reject_total reg ~service ~reason:r))
+          reason
     | None -> ());
     Trace.decision ~sim_time:at
       {
         Trace.service;
         flow;
         admitted;
-        reject_reason = Option.map Types.reject_label reason;
+        reject_reason = reason;
         ingress = req.Types.ingress;
         egress = req.Types.egress;
         rate;
       }
   end
 
+(* A pre-resolved stage site: the span name is concatenated once (the
+   ring retains entry names, so a fresh string per call would be
+   promoted with each entry) and the histogram handle is re-resolved
+   only when the installed registry changes. *)
+type stage_site = {
+  st_label : string;
+  st_span : string;  (* "bb.stage.<label>" *)
+  mutable st_reg : Metrics.t option;
+  mutable st_hist : Metrics.histogram option;
+}
+
+let stage_site name =
+  {
+    st_label = name;
+    st_span = "bb.stage." ^ name;
+    st_reg = None;
+    st_hist = None;
+  }
+
+let site_hist site =
+  match Metrics.current () with
+  | None -> None
+  | Some reg -> (
+      match site.st_reg with
+      | Some r when r == reg -> site.st_hist
+      | _ ->
+          let h =
+            Metrics.histogram reg "bb_stage_seconds"
+              ~help:"Wall-clock time spent in the control-loop stage"
+              ~labels:[ ("stage", site.st_label) ]
+          in
+          site.st_reg <- Some reg;
+          site.st_hist <- Some h;
+          Some h)
+
 (* Time one stage of the Figure-1 control loop.  The histogram family is
-   [bb_stage_seconds{stage=...}]; the trace span is [bb.stage.<name>]. *)
-let stage ~now name f =
+   [bb_stage_seconds{stage=...}]; the trace span is [bb.stage.<name>],
+   parented on the innermost ambient span (the request's root span when
+   called under [span]) and ambient itself so nested instrumentation —
+   a journal group commit inside bookkeeping, a COPS push — becomes its
+   child.  This is the hottest recording site (several calls per
+   request), so it shares each clock read between the histogram and the
+   span stamps and brackets the ambient stack without closures. *)
+let stage ~now site f =
   if active () then begin
     let t0 = Trace.now_wall () in
-    let finish () =
-      let dur = Trace.now_wall () -. t0 in
-      Metrics.observe_one "bb_stage_seconds" ~labels:[ ("stage", name) ] dur;
-      Trace.span_record ~sim_time:(now ()) ("bb.stage." ^ name) ~dur
+    let sp =
+      Trace.start_span ~sim_time:(now ()) ~wall_time:t0 site.st_span
     in
-    Fun.protect ~finally:finish f
+    let finish () =
+      Trace.pop_ambient sp;
+      let t1 = Trace.now_wall () in
+      (match site_hist site with
+      | Some h -> Metrics.observe h (t1 -. t0)
+      | None -> ());
+      Trace.finish_span ~sim_time:(now ()) ~wall_time:t1 sp
+    in
+    Trace.push_ambient sp;
+    match f () with
+    | r ->
+        finish ();
+        r
+    | exception e ->
+        finish ();
+        raise e
   end
   else f ()
 
-let event ~at ?attrs name = Trace.event ~sim_time:at ?attrs name
+(* A causal span around a unit of control-plane work (one request, one
+   batch).  Parent: explicit [?parent] handle, else the innermost
+   ambient span, else the span roots a fresh trace.  Start and finish
+   are both stamped with the caller's clock so sim-time extent is
+   consistent even when the tracer's own sim clock is unbound. *)
+let span ~now ?attrs ?parent name f =
+  if Trace.enabled () then begin
+    let sp = Trace.start_span ~sim_time:(now ()) ?attrs ?parent name in
+    Trace.push_ambient sp;
+    match f sp with
+    | r ->
+        Trace.pop_ambient sp;
+        Trace.finish_span ~sim_time:(now ()) sp;
+        r
+    | exception e ->
+        Trace.pop_ambient sp;
+        Trace.finish_span ~sim_time:(now ()) sp;
+        raise e
+  end
+  else f Trace.null_span
+
+let event ~at ?attrs ?parent name = Trace.event ~sim_time:at ?attrs ?parent name
 
 let count = Metrics.count

@@ -18,12 +18,40 @@ val decision :
 (** Record one admission decision at sim time [at].  [service] is the
     decision path: ["perflow"], ["class"], ["fixed"], ["edge"], ... *)
 
-val stage : now:(unit -> float) -> string -> (unit -> 'a) -> 'a
-(** [stage ~now name f] runs [f], recording its wall duration into the
-    [bb_stage_seconds{stage=name}] histogram and as a [bb.stage.<name>]
-    trace span stamped with [now ()].  Just [f ()] when inactive. *)
+type stage_site
+(** A pre-resolved instrumentation site for one named control-loop
+    stage: span name and histogram handle are resolved once, not per
+    call.  Create one per stage at module level. *)
 
-val event : at:float -> ?attrs:(string * string) list -> string -> unit
+val stage_site : string -> stage_site
+
+val stage : now:(unit -> float) -> stage_site -> (unit -> 'a) -> 'a
+(** [stage ~now site f] runs [f], recording its wall duration into the
+    [bb_stage_seconds{stage=name}] histogram and as a [bb.stage.<name>]
+    trace span stamped with [now ()].  The span is parented on the
+    innermost ambient span (the request's root when called under
+    {!span}) and is itself ambient while [f] runs.  Just [f ()] when
+    inactive. *)
+
+val span :
+  now:(unit -> float) ->
+  ?attrs:(string * string) list ->
+  ?parent:Bbr_obs.Trace.span ->
+  string ->
+  (Bbr_obs.Trace.span -> 'a) ->
+  'a
+(** A causal span around one unit of control-plane work (a request, a
+    batch, a 2PC transaction).  Start and finish sim stamps both come
+    from [now]; the span is ambient while [f] runs, so nested {!stage}
+    calls, events and decisions attach to it.  Without a tracer, [f]
+    receives {!Bbr_obs.Trace.null_span}. *)
+
+val event :
+  at:float ->
+  ?attrs:(string * string) list ->
+  ?parent:Bbr_obs.Trace.span ->
+  string ->
+  unit
 
 val count : ?labels:(string * string) list -> ?by:float -> string -> unit
 (** Re-export of {!Bbr_obs.Metrics.count}. *)

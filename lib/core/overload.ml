@@ -1,4 +1,5 @@
 module Metrics = Bbr_obs.Metrics
+module Trace = Bbr_obs.Trace
 
 type config = {
   queue_limit : int;
@@ -56,6 +57,12 @@ type entry = {
   prio : int;
   respond : outcome -> unit;
   mutable dropped : bool;  (* shed by the priority policy while queued *)
+  (* Causal trace: the pipeline span covers submit -> respond; queue-wait
+     and service are its children, crossing sim-time boundaries via the
+     explicit handles.  Null handles when no tracer is installed. *)
+  span : Trace.span;
+  qspan : Trace.span;
+  mutable sspan : Trace.span;
 }
 
 type stats = {
@@ -224,8 +231,13 @@ let shed t entry reason =
   | `Priority -> t.shed_priority <- t.shed_priority + 1
   | `Shutdown -> t.shed_shutdown <- t.shed_shutdown + 1);
   Metrics.count "bb_overload_shed_total" ~labels:[ ("reason", shed_label reason) ];
-  Obs_log.event ~at:(t.time.now ()) "bb.overload.shed"
+  let now = t.time.now () in
+  Obs_log.event ~at:now "bb.overload.shed" ~parent:entry.span
     ~attrs:[ ("reason", shed_label reason); ("priority", string_of_int entry.prio) ];
+  Trace.finish_span ~sim_time:now entry.qspan;
+  Trace.finish_span ~sim_time:now
+    ~attrs:[ ("result", "shed"); ("reason", shed_label reason) ]
+    entry.span;
   entry.respond (Error (Types.Server_busy { retry_after = t.config.retry_after }))
 
 (* The lowest-priority live entry, oldest first on ties — the victim the
@@ -271,6 +283,7 @@ let rec serve t =
           | `Exact -> t.config.service_exact
           | `Conservative -> t.config.service_conservative
         in
+        dequeued t e;
         (* Batch drain: pull up to [batch_limit - 1] more live, in-deadline
            entries to decide together under one timer and one broker batch
            (journal group commit, warm admission cache).  Each entry is
@@ -282,11 +295,19 @@ let rec serve t =
             (match batch with
             | [ one ] -> decide t one mode
             | several ->
-                Broker.batched t.broker (fun () ->
-                    List.iter (fun e -> decide t e mode) several));
+                Trace.span "bb.overload.batch" (fun () ->
+                    Broker.batched t.broker (fun () ->
+                        List.iter (fun e -> decide t e mode) several)));
             update_brownout t;
             serve t)
       end
+
+(* Dequeue bookkeeping for an entry that made its deadline: the queue
+   wait ends here and the service span opens. *)
+and dequeued t e =
+  let now = t.time.now () in
+  Trace.finish_span ~sim_time:now e.qspan;
+  e.sspan <- Trace.start_span ~sim_time:now ~parent:e.span "bb.service"
 
 and gather_batch t acc k =
   if k <= 0 then List.rev acc
@@ -300,11 +321,20 @@ and gather_batch t acc k =
           shed t e `Deadline;
           gather_batch t acc k
         end
-        else gather_batch t (e :: acc) (k - 1)
+        else begin
+          dequeued t e;
+          gather_batch t (e :: acc) (k - 1)
+        end
 
 and decide t e mode =
   let oracle_ok = Option.map (fun f -> f e.req) t.oracle in
-  let outcome = Broker.request t.broker ~admission:mode e.req in
+  let outcome =
+    (* The broker's bb.request span (and its stages) nest under this
+       entry's pipeline span, not under whatever else is ambient in the
+       engine callback. *)
+    Trace.with_ambient e.span (fun () ->
+        Broker.request t.broker ~admission:mode e.req)
+  in
   (match mode with
   | `Conservative -> t.conservative_decisions <- t.conservative_decisions + 1
   | `Exact -> ());
@@ -314,19 +344,39 @@ and decide t e mode =
       t.admitted <- t.admitted + 1;
       if oracle_ok = Some false then t.oracle_violations <- t.oracle_violations + 1
   | Error _ -> t.rejected <- t.rejected + 1);
-  record_latency t (t.time.now () -. e.enqueued_at);
+  let now = t.time.now () in
+  record_latency t (now -. e.enqueued_at);
+  Trace.finish_span ~sim_time:now
+    ~attrs:
+      [ ("mode", match mode with `Exact -> "exact" | `Conservative -> "conservative") ]
+    e.sspan;
+  Trace.finish_span ~sim_time:now
+    ~attrs:[ ("result", match outcome with Ok _ -> "admit" | Error _ -> "reject") ]
+    e.span;
   (match t.on_serviced with None -> () | Some f -> f e.req mode outcome);
   e.respond outcome
 
 let submit t req respond =
   t.submitted <- t.submitted + 1;
+  let now = t.time.now () in
+  let prio = Policy.priority (Broker.policy t.broker) req in
+  (* Roots a fresh trace unless submitted under an ambient span (the
+     COPS exchange at the PDP): then the whole pipeline nests there. *)
+  let span =
+    Trace.start_span ~sim_time:now
+      ~attrs:[ ("priority", string_of_int prio) ]
+      "bb.pipeline"
+  in
   let entry =
     {
       req;
-      enqueued_at = t.time.now ();
-      prio = Policy.priority (Broker.policy t.broker) req;
+      enqueued_at = now;
+      prio;
       respond;
       dropped = false;
+      span;
+      qspan = Trace.start_span ~sim_time:now ~parent:span "bb.queue.wait";
+      sspan = Trace.null_span;
     }
   in
   if t.stopped then shed t entry `Shutdown

@@ -5,7 +5,28 @@
    standby and the gauges follow it. *)
 
 module Metrics = Bbr_obs.Metrics
+module Trace = Bbr_obs.Trace
 module Topology = Bbr_vtrs.Topology
+
+(* The tracer's own health as gauges: a nonzero [bb_trace_evicted]
+   means every ring-derived statistic covers only a suffix of the run
+   (the wraparound caveat in {!Bbr_obs.Trace}). *)
+let register_tracer ?registry () =
+  match
+    ( (match registry with Some r -> Some r | None -> Metrics.current ()),
+      Trace.current () )
+  with
+  | Some reg, Some tr ->
+      Metrics.gauge_fn reg "bb_trace_entries"
+        ~help:"Trace-ring entries currently retained" (fun () ->
+          float_of_int (Trace.length tr));
+      Metrics.gauge_fn reg "bb_trace_total"
+        ~help:"Trace entries ever recorded, including evicted" (fun () ->
+          float_of_int (Trace.total tr));
+      Metrics.gauge_fn reg "bb_trace_evicted"
+        ~help:"Trace entries lost to ring wraparound" (fun () ->
+          float_of_int (Trace.evicted tr))
+  | _ -> ()
 
 let link_labels (l : Topology.link) =
   [

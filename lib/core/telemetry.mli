@@ -6,6 +6,13 @@
     gauges hold the broker, so registering again (e.g. the promoted standby
     after a fail-over) atomically repoints them. *)
 
+val register_tracer : ?registry:Bbr_obs.Metrics.t -> unit -> unit
+(** Register [bb_trace_entries], [bb_trace_total] and [bb_trace_evicted]
+    gauges over the installed tracer's ring.  [bb_trace_evicted > 0]
+    flags the wraparound caveat of {!Bbr_obs.Trace}: ring-derived
+    statistics cover only a suffix of the run.  A no-op unless both a
+    registry (or [?registry]) and a tracer are installed. *)
+
 val register_broker : ?registry:Bbr_obs.Metrics.t -> Broker.t -> unit
 (** Register the gauge families [bb_link_reserved_bps{link,src,dst}],
     [bb_link_utilization{link,src,dst}], [bb_flows{service}],

@@ -6,6 +6,8 @@ module Flow_mib = Bbr_broker.Flow_mib
 module Audit = Bbr_broker.Audit
 module Wal = Bbr_broker.Wal
 module Obs_log = Bbr_broker.Obs_log
+module Trace = Bbr_obs.Trace
+module Flight = Bbr_obs.Flight
 module Fp = Bbr_util.Fp
 
 type config = {
@@ -94,6 +96,8 @@ type txn = {
   mutable t_deadline : float;
   t_decide : (reservation, Types.reject_reason) result -> unit;
   mutable t_done : bool;
+  (* One live [bb.fed.prepare] leg span per still-pending domain. *)
+  mutable t_prep_spans : (string * Trace.span) list;
 }
 
 (* A committed federation flow. *)
@@ -118,6 +122,7 @@ type obligation = {
   ob_kind : ob_kind;
   mutable ob_timeout : float;
   mutable ob_next : float;
+  ob_span : Trace.span;  (* [bb.fed.commit] / [bb.fed.compensate] leg *)
 }
 
 (* Coordinator journal records (see DESIGN §3h for the grammar). *)
@@ -166,6 +171,9 @@ type t = {
   mutable journal : rec_ Wal.t;
   mutable pump_at : float;  (* due time of the armed pump timer; inf = disarmed *)
   mutable epoch : int;  (* bumped on coordinator crash; stale timers check it *)
+  tspans : (int, Trace.span) Hashtbl.t;  (* live [bb.fed.txn] root spans *)
+  mutable storm_start : float;  (* compensation-storm detection window *)
+  mutable storm_count : int;
   mutable s_committed : int;
   mutable s_compensated : int;
   mutable s_rejected : int;
@@ -267,6 +275,9 @@ let create ?(time = Broker.immediate_time) ?(config = default_config) () =
         ~encode_payload:encode_rec ();
     pump_at = infinity;
     epoch = 0;
+    tspans = Hashtbl.create 16;
+    storm_start = neg_infinity;
+    storm_count = 0;
     s_committed = 0;
     s_compensated = 0;
     s_rejected = 0;
@@ -368,6 +379,38 @@ let channel t agent k =
 let jrec t r = Wal.append t.journal ~at:(t.time.now ()) r
 
 (* ---------------------------------------------------------------- *)
+(* Tracing: one trace per coordinator transaction.  The [bb.fed.txn]
+   root opens when the transaction is journaled and closes when its
+   last obligation drains; PREPARE / COMMIT / COMPENSATE legs are
+   child spans, retries and reaps annotated events.                  *)
+
+let txn_span t txn =
+  match Hashtbl.find_opt t.tspans txn with Some sp -> sp | None -> Trace.null_span
+
+let finish_txn_span t txn ~result =
+  match Hashtbl.find_opt t.tspans txn with
+  | None -> ()
+  | Some sp ->
+      Hashtbl.remove t.tspans txn;
+      Trace.finish_span ~sim_time:(t.time.now ()) ~attrs:[ ("result", result) ] sp
+
+(* Compensation-storm detector: [storm_threshold] compensating
+   obligations inside one [storm_window] of sim time trips the flight
+   recorder (the box captures the state at the first anomaly). *)
+let storm_window = 10.
+
+let storm_threshold = 10
+
+let note_compensation t =
+  let now = t.time.now () in
+  if now -. t.storm_start > storm_window then begin
+    t.storm_start <- now;
+    t.storm_count <- 0
+  end;
+  t.storm_count <- t.storm_count + 1;
+  if t.storm_count = storm_threshold then Flight.trigger ~reason:"compensation-storm"
+
+(* ---------------------------------------------------------------- *)
 (* Domain-side handlers.  All idempotent: duplicates re-acknowledge.  *)
 
 let rec dom_prepare t agent ~txn ~(req : Types.request) ~rate =
@@ -431,16 +474,19 @@ and send_obligation t ob =
   | Some agent ->
       channel t agent (fun () ->
           if agent.up then
-            match ob.ob_kind with
-            | Ob_commit -> dom_commit t agent ~txn:ob.ob_txn
-            | Ob_release -> dom_release t agent ~txn:ob.ob_txn)
+            (* domain-side work nests under the obligation's leg span *)
+            Trace.with_ambient ob.ob_span (fun () ->
+                match ob.ob_kind with
+                | Ob_commit -> dom_commit t agent ~txn:ob.ob_txn
+                | Ob_release -> dom_release t agent ~txn:ob.ob_txn))
 
 and add_obligation t ~compensation ~txn ~dom kind =
   let key = okey kind txn dom in
   if not (Hashtbl.mem t.obligations key) then begin
     if compensation then begin
       t.s_compensations <- t.s_compensations + 1;
-      metric "bb_fed_compensations_total"
+      metric "bb_fed_compensations_total";
+      note_compensation t
     end;
     let ob =
       {
@@ -449,6 +495,13 @@ and add_obligation t ~compensation ~txn ~dom kind =
         ob_kind = kind;
         ob_timeout = t.config.retry_timeout;
         ob_next = t.time.now () +. (t.config.retry_timeout *. jit t);
+        ob_span =
+          Trace.start_span ~sim_time:(t.time.now ()) ~parent:(txn_span t txn)
+            ~attrs:[ ("txn", string_of_int txn); ("domain", dom) ]
+            (match (kind, compensation) with
+            | Ob_commit, _ -> "bb.fed.commit"
+            | Ob_release, true -> "bb.fed.compensate"
+            | Ob_release, false -> "bb.fed.release");
       }
     in
     Hashtbl.replace t.obligations key ob;
@@ -459,9 +512,11 @@ and add_obligation t ~compensation ~txn ~dom kind =
 and resend_obligation t ob =
   if Hashtbl.mem t.obligations (okey ob.ob_kind ob.ob_txn ob.ob_dom) then begin
     t.s_retries <- t.s_retries + 1;
-    metric "bb_fed_retry_total"
-      ~labels:
-        [ ("kind", match ob.ob_kind with Ob_commit -> "commit" | Ob_release -> "release") ];
+    let kind = match ob.ob_kind with Ob_commit -> "commit" | Ob_release -> "release" in
+    metric "bb_fed_retry_total" ~labels:[ ("kind", kind) ];
+    Trace.event ~sim_time:(t.time.now ()) ~parent:ob.ob_span
+      ~attrs:[ ("kind", kind); ("domain", ob.ob_dom) ]
+      "bb.fed.retry";
     ob.ob_timeout <- Float.min (ob.ob_timeout *. t.config.backoff) t.config.max_timeout;
     ob.ob_next <- t.time.now () +. (ob.ob_timeout *. jit t);
     send_obligation t ob
@@ -505,6 +560,13 @@ and coord_booked t ~txn ~dom ~flow =
       if not (List.mem_assoc dom tx.t_booked) then begin
         tx.t_booked <- (dom, flow) :: tx.t_booked;
         tx.t_pending <- List.filter (fun d -> d <> dom) tx.t_pending;
+        (match List.assoc_opt dom tx.t_prep_spans with
+        | Some sp ->
+            tx.t_prep_spans <- List.remove_assoc dom tx.t_prep_spans;
+            Trace.finish_span ~sim_time:(t.time.now ())
+              ~attrs:[ ("result", "booked"); ("flow", string_of_int flow) ]
+              sp
+        | None -> ());
         jrec t (R_booked { txn; dom; flow });
         if tx.t_pending = [] then try_commit t tx
       end
@@ -517,16 +579,22 @@ and coord_refused t ~txn ~reason =
 and coord_cack t ~txn ~dom =
   match Hashtbl.find_opt t.obligations (okey Ob_commit txn dom) with
   | None -> ()
-  | Some _ ->
+  | Some ob ->
       Hashtbl.remove t.obligations (okey Ob_commit txn dom);
+      Trace.finish_span ~sim_time:(t.time.now ())
+        ~attrs:[ ("result", "acked") ]
+        ob.ob_span;
       jrec t (R_cack { txn; dom });
       close_if_drained t txn
 
 and coord_rack t ~txn ~dom =
   match Hashtbl.find_opt t.obligations (okey Ob_release txn dom) with
   | None -> ()
-  | Some _ ->
+  | Some ob ->
       Hashtbl.remove t.obligations (okey Ob_release txn dom);
+      Trace.finish_span ~sim_time:(t.time.now ())
+        ~attrs:[ ("result", "acked") ]
+        ob.ob_span;
       jrec t (R_rack { txn; dom });
       close_if_drained t txn
 
@@ -538,10 +606,16 @@ and coord_cnack t ~txn ~dom:_ =
   let stale =
     Hashtbl.fold
       (fun k ob acc ->
-        if ob.ob_txn = txn && ob.ob_kind = Ob_commit then k :: acc else acc)
+        if ob.ob_txn = txn && ob.ob_kind = Ob_commit then (k, ob) :: acc else acc)
       t.obligations []
   in
-  List.iter (Hashtbl.remove t.obligations) stale;
+  List.iter
+    (fun (k, ob) ->
+      Hashtbl.remove t.obligations k;
+      Trace.finish_span ~sim_time:(t.time.now ())
+        ~attrs:[ ("result", "cnack") ]
+        ob.ob_span)
+    stale;
   match Hashtbl.find_opt t.flows txn with
   | None -> () (* already torn down or compensated; releases are queued *)
   | Some b ->
@@ -557,7 +631,17 @@ and coord_cnack t ~txn ~dom:_ =
 
 and close_if_drained t txn =
   let live = Hashtbl.fold (fun _ ob n -> if ob.ob_txn = txn then n + 1 else n) t.obligations 0 in
-  if live = 0 then jrec t (R_closed txn)
+  if live = 0 then begin
+    jrec t (R_closed txn);
+    let result =
+      match Hashtbl.find_opt t.outcomes txn with
+      | Some O_committed -> "committed"
+      | Some O_compensated -> "compensated"
+      | Some O_rejected -> "rejected"
+      | None -> "unknown"
+    in
+    finish_txn_span t txn ~result
+  end
 
 (* ---------------------------------------------------------------- *)
 (* Decision points.                                                 *)
@@ -584,6 +668,9 @@ and try_commit t tx =
       };
     Hashtbl.replace t.outcomes tx.id O_committed;
     jrec t (R_commit tx.id);
+    Trace.event ~sim_time:(t.time.now ()) ~parent:(txn_span t tx.id)
+      ~attrs:[ ("decision", "commit") ]
+      "bb.fed.decision";
     t.s_committed <- t.s_committed + 1;
     metric "bb_fed_txn_total" ~labels:[ ("outcome", "committed") ];
     List.iter
@@ -596,8 +683,16 @@ and try_commit t tx =
 and abort_txn t tx reason =
   Hashtbl.remove t.txns tx.id;
   tx.t_done <- true;
+  List.iter
+    (fun (_, sp) ->
+      Trace.finish_span ~sim_time:(t.time.now ()) ~attrs:[ ("result", "aborted") ] sp)
+    tx.t_prep_spans;
+  tx.t_prep_spans <- [];
   Hashtbl.replace t.outcomes tx.id O_compensated;
   jrec t (R_abort { txn = tx.id; reason = Types.reject_label reason });
+  Trace.event ~sim_time:(t.time.now ()) ~parent:(txn_span t tx.id)
+    ~attrs:[ ("decision", "abort"); ("reason", Types.reject_label reason) ]
+    "bb.fed.decision";
   t.s_compensated <- t.s_compensated + 1;
   metric "bb_fed_txn_total" ~labels:[ ("outcome", "compensated") ];
   (* Compensate every segment domain, not just the acknowledged ones: a
@@ -636,6 +731,13 @@ and txn_timeout t tx =
       (fun dom ->
         t.s_retries <- t.s_retries + 1;
         metric "bb_fed_retry_total" ~labels:[ ("kind", "prepare") ];
+        Trace.event ~sim_time:(t.time.now ())
+          ~parent:
+            (match List.assoc_opt dom tx.t_prep_spans with
+            | Some sp -> sp
+            | None -> txn_span t tx.id)
+          ~attrs:[ ("kind", "prepare"); ("domain", dom) ]
+          "bb.fed.retry";
         send_prepare t tx dom)
       tx.t_pending;
     arm_txn_timer t tx
@@ -647,9 +749,23 @@ and send_prepare t tx dom =
     | None -> ()
     | Some agent ->
         t.s_prepares <- t.s_prepares + 1;
+        if not (List.mem_assoc dom tx.t_prep_spans) then
+          tx.t_prep_spans <-
+            ( dom,
+              Trace.start_span ~sim_time:(t.time.now ()) ~parent:(txn_span t tx.id)
+                ~attrs:[ ("domain", dom) ] "bb.fed.prepare" )
+            :: tx.t_prep_spans;
         let req = List.assoc dom tx.t_segs in
         let txn = tx.id and rate = tx.t_rate in
-        channel t agent (fun () -> if agent.up then dom_prepare t agent ~txn ~req ~rate)
+        let leg =
+          match List.assoc_opt dom tx.t_prep_spans with
+          | Some sp -> sp
+          | None -> Trace.null_span
+        in
+        channel t agent (fun () ->
+            if agent.up then
+              (* the domain's own admission spans nest under this leg *)
+              Trace.with_ambient leg (fun () -> dom_prepare t agent ~txn ~req ~rate))
 
 let pump t =
   let obs = Hashtbl.fold (fun _ ob acc -> ob :: acc) t.obligations [] in
@@ -791,6 +907,7 @@ let request_async t ep ~profile ~dreq ~on_decision =
                     t_deadline = infinity;
                     t_decide = on_decision;
                     t_done = false;
+                    t_prep_spans = [];
                   }
                 in
                 jrec t
@@ -804,6 +921,14 @@ let request_async t ep ~profile ~dreq ~on_decision =
                          List.map (fun p -> (p.from_domain, p.to_domain)) peers;
                      });
                 Hashtbl.replace t.txns id tx;
+                Hashtbl.replace t.tspans id
+                  (Trace.start_span ~sim_time:(t.time.now ())
+                     ~attrs:
+                       [
+                         ("txn", string_of_int id);
+                         ("domains", String.concat "," domains);
+                       ]
+                     "bb.fed.txn");
                 List.iter (fun dom -> send_prepare t tx dom) domains;
                 if not tx.t_done then arm_txn_timer t tx;
                 id
@@ -829,7 +954,14 @@ let teardown t flow =
       t.s_torn_down <- t.s_torn_down + 1;
       (* supersede any still-pending commit notifications *)
       List.iter
-        (fun (dom, _) -> Hashtbl.remove t.obligations (okey Ob_commit flow dom))
+        (fun (dom, _) ->
+          match Hashtbl.find_opt t.obligations (okey Ob_commit flow dom) with
+          | None -> ()
+          | Some ob ->
+              Hashtbl.remove t.obligations (okey Ob_commit flow dom);
+              Trace.finish_span ~sim_time:(t.time.now ())
+                ~attrs:[ ("result", "superseded") ]
+                ob.ob_span)
         b.b_legs;
       List.iter
         (fun (dom, _) -> add_obligation t ~compensation:false ~txn:flow ~dom Ob_release)
@@ -896,7 +1028,10 @@ let reap t =
             Hashtbl.replace agent.released txn ();
             incr n;
             t.s_reaped <- t.s_reaped + 1;
-            metric "bb_fed_reaped_total")
+            metric "bb_fed_reaped_total";
+            Trace.event ~sim_time:now ~parent:(txn_span t txn)
+              ~attrs:[ ("domain", agent.name); ("txn", string_of_int txn) ]
+              "bb.fed.reap")
           victims
       end)
     t.domains;
@@ -1060,6 +1195,20 @@ let journal_records t = Wal.records t.journal
 let crash_coordinator t =
   let lost = Wal.crash_cut t.journal in
   t.epoch <- t.epoch + 1;
+  (* Spans owned by the lost coordinator state would otherwise dangle
+     open forever: close them with the crash marked. *)
+  let crash_now = t.time.now () in
+  let crashed sp =
+    Trace.finish_span ~sim_time:crash_now ~attrs:[ ("result", "crashed") ] sp
+  in
+  Hashtbl.iter
+    (fun _ tx -> List.iter (fun (_, sp) -> crashed sp) tx.t_prep_spans)
+    t.txns;
+  Hashtbl.iter (fun _ ob -> crashed ob.ob_span) t.obligations;
+  Hashtbl.iter (fun _ sp -> crashed sp) t.tspans;
+  Hashtbl.reset t.tspans;
+  t.storm_start <- neg_infinity;
+  t.storm_count <- 0;
   Hashtbl.reset t.txns;
   Hashtbl.reset t.flows;
   Hashtbl.reset t.outcomes;
@@ -1174,6 +1323,13 @@ let recover_coordinator t =
       let recovery_aborts = ref 0 in
       let requeued = ref 0 in
       let enqueue ~compensation txn dom kind =
+        (* A recovered transaction gets a fresh root span: the original
+           one died with the crashed coordinator. *)
+        if not (Hashtbl.mem t.tspans txn) then
+          Hashtbl.replace t.tspans txn
+            (Trace.start_span ~sim_time:(t.time.now ())
+               ~attrs:[ ("txn", string_of_int txn); ("recovered", "true") ]
+               "bb.fed.txn");
         if not (Hashtbl.mem t.obligations (okey kind txn dom)) then incr requeued;
         add_obligation t ~compensation ~txn ~dom kind
       in

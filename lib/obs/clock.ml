@@ -1,0 +1,6 @@
+(* See clock_stubs.c: an allocation-free wall-clock read for the span
+   hot path, epoch-compatible with Unix.gettimeofday. *)
+
+external wall : unit -> (float[@unboxed])
+  = "bbr_clock_wall" "bbr_clock_wall_unboxed"
+[@@noalloc]

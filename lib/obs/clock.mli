@@ -1,0 +1,7 @@
+(** Allocation-free wall clock.
+
+    [wall ()] is [Unix.gettimeofday] (same epoch, same unit) without the
+    boxed-float allocation: a [@@noalloc] stub over [clock_gettime].
+    The tracer's default wall clock. *)
+
+val wall : unit -> float

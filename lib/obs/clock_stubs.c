@@ -1,0 +1,26 @@
+/* Fast wall clock for the trace hot path.
+
+   Unix.gettimeofday costs a boxed-float allocation (caml_copy_double)
+   on every read; span recording reads the clock up to a dozen times per
+   admission request.  The native-code stub below is [@@noalloc] with an
+   unboxed float return, so a read is just the vDSO clock_gettime call.
+   CLOCK_REALTIME keeps the epoch semantics of gettimeofday (exporters
+   rebase but flight dumps carry absolute stamps). */
+
+#include <time.h>
+
+#include <caml/alloc.h>
+#include <caml/mlvalues.h>
+
+double bbr_clock_wall_unboxed(value unit)
+{
+  struct timespec ts;
+  (void) unit;
+  clock_gettime(CLOCK_REALTIME, &ts);
+  return (double) ts.tv_sec + (double) ts.tv_nsec * 1e-9;
+}
+
+CAMLprim value bbr_clock_wall(value unit)
+{
+  return caml_copy_double(bbr_clock_wall_unboxed(unit));
+}

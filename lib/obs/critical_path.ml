@@ -1,0 +1,169 @@
+(* Trace-driven critical-path analysis.
+
+   Per trace: attribute the root span's end-to-end extent to the stages
+   (span names) that spent it.  Attribution is by SELF time — a span's
+   extent minus its direct children's extents clipped to it — so every
+   second of the root's latency lands on exactly one named span unless
+   siblings overlap (concurrent federation legs), in which case the
+   overlap is attributed to each concurrent leg's own self time and the
+   parent keeps only genuinely uncovered time.  The attributed fraction
+   reported per trace is sum(self) / root extent, clamped to [0, 1] for
+   the overlapping case.
+
+   The axis is chosen per trace: sim time when the trace has any
+   sim-extended span (overload queues, federation legs), wall time
+   otherwise (a plain broker request whose stages are sim-instant). *)
+
+type span_blame = { name : string; self : float; share : float }
+
+type trace_report = {
+  trace_id : int;
+  root : string;  (* root span name *)
+  total : float;  (* end-to-end extent of the root span, chosen axis *)
+  sim_axis : bool;
+  attributed : float;  (* fraction of [total] attributed to named spans *)
+  blames : span_blame list;  (* descending self time *)
+}
+
+type stage_blame = {
+  stage : string;
+  total_self : float;  (* summed self time across the selected traces *)
+  blame_share : float;  (* total_self / sum of selected trace totals *)
+  count : int;  (* spans contributing *)
+}
+
+type report = {
+  traces : trace_report list;
+  stages : stage_blame list;  (* across ALL traces, descending *)
+  p99_stages : stage_blame list;  (* across traces with total >= p99 *)
+  p99_total : float;
+  min_attributed : float;  (* worst per-trace attribution, 1. if none *)
+}
+
+let interval sim_axis (e : Trace.entry) =
+  if sim_axis then (e.Trace.sim_time, e.Trace.sim_time +. e.Trace.sim_dur)
+  else
+    let dur = match e.Trace.payload with Trace.Span { dur } -> dur | _ -> 0. in
+    (e.Trace.wall_time, e.Trace.wall_time +. dur)
+
+let analyze_tree (tr : Trace_export.tree) =
+  let sim_axis =
+    List.exists (fun n -> n.Trace_export.entry.Trace.sim_dur > 0.) tr.Trace_export.spans
+  in
+  (* Self time per span: extent minus children clipped to the span. *)
+  let self = Hashtbl.create 16 in
+  let rec visit (n : Trace_export.node) =
+    let lo, hi = interval sim_axis n.Trace_export.entry in
+    let covered =
+      List.fold_left
+        (fun acc c ->
+          let clo, chi = interval sim_axis c.Trace_export.entry in
+          acc +. Float.max 0. (Float.min hi chi -. Float.max lo clo))
+        0. n.Trace_export.children
+    in
+    let s = Float.max 0. (hi -. lo -. covered) in
+    let name = n.Trace_export.entry.Trace.name in
+    Hashtbl.replace self name
+      (s +. Option.value ~default:0. (Hashtbl.find_opt self name));
+    List.iter visit n.Trace_export.children
+  in
+  List.iter visit tr.Trace_export.roots;
+  let total =
+    List.fold_left
+      (fun acc r ->
+        let lo, hi = interval sim_axis r.Trace_export.entry in
+        acc +. (hi -. lo))
+      0. tr.Trace_export.roots
+  in
+  let root =
+    match tr.Trace_export.roots with
+    | r :: _ -> r.Trace_export.entry.Trace.name
+    | [] -> "(no finished root)"
+  in
+  let blames =
+    Hashtbl.fold (fun name s acc -> (name, s) :: acc) self []
+    |> List.sort (fun (_, a) (_, b) -> compare b a)
+    |> List.map (fun (name, s) ->
+           { name; self = s; share = (if total > 0. then s /. total else 0.) })
+  in
+  let attributed =
+    if total <= 0. then 1.
+    else
+      Float.min 1.
+        (List.fold_left (fun acc b -> acc +. b.self) 0. blames /. total)
+  in
+  { trace_id = tr.Trace_export.trace_id; root; total; sim_axis; attributed; blames }
+
+let aggregate_stages traces =
+  let tbl = Hashtbl.create 16 in
+  let grand = ref 0. in
+  List.iter
+    (fun t ->
+      grand := !grand +. t.total;
+      List.iter
+        (fun b ->
+          let s, c =
+            Option.value ~default:(0., 0) (Hashtbl.find_opt tbl b.name)
+          in
+          Hashtbl.replace tbl b.name (s +. b.self, c + 1))
+        t.blames)
+    traces;
+  Hashtbl.fold (fun stage (s, c) acc -> (stage, s, c) :: acc) tbl []
+  |> List.sort (fun (_, a, _) (_, b, _) -> compare b a)
+  |> List.map (fun (stage, total_self, count) ->
+         {
+           stage;
+           total_self;
+           blame_share = (if !grand > 0. then total_self /. !grand else 0.);
+           count;
+         })
+
+let analyze es =
+  let traces =
+    Trace_export.assemble es
+    |> List.filter_map (fun tr ->
+           if tr.Trace_export.spans = [] then None else Some (analyze_tree tr))
+  in
+  let totals =
+    List.map (fun t -> t.total) traces |> Array.of_list
+  in
+  let p99_total =
+    if Array.length totals = 0 then 0.
+    else Bbr_util.Stats.percentile totals ~p:99.
+  in
+  let slow = List.filter (fun t -> t.total >= p99_total) traces in
+  {
+    traces;
+    stages = aggregate_stages traces;
+    p99_stages = aggregate_stages slow;
+    p99_total;
+    min_attributed =
+      List.fold_left (fun acc t -> Float.min acc t.attributed) 1. traces;
+  }
+
+(* --- rendering -------------------------------------------------------- *)
+
+let pp_stage_table ppf (title, stages, top) =
+  let stages =
+    List.filteri (fun i _ -> i < top) stages
+  in
+  Fmt.pf ppf "@[<v>%s@," title;
+  Fmt.pf ppf "%-32s %12s %8s %8s@," "stage" "self total" "share" "spans";
+  List.iter
+    (fun b ->
+      Fmt.pf ppf "%-32s %10.6fs %7.2f%% %8d@," b.stage b.total_self
+        (100. *. b.blame_share) b.count)
+    stages;
+  Fmt.pf ppf "@]"
+
+let render ~top r =
+  Fmt.str
+    "@[<v>%d traces analyzed, min attribution %.1f%%, p99 end-to-end %.6fs@,@,%a@,%a@]"
+    (List.length r.traces)
+    (100. *. r.min_attributed)
+    r.p99_total pp_stage_table
+    ("critical-path blame, all traces:", r.stages, top)
+    pp_stage_table
+    ( Printf.sprintf "p99 blame (traces with end-to-end >= %.6fs):" r.p99_total,
+      r.p99_stages,
+      top )

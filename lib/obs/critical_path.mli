@@ -1,0 +1,52 @@
+(** Trace-driven critical-path analysis: attribute each trace's
+    end-to-end latency to the stages (span names) that spent it, and
+    aggregate "p99 blame" across a run.
+
+    Attribution is by {e self} time — a span's extent minus its direct
+    children's extents clipped to it — so every second of a root span's
+    latency lands on exactly one named span when spans nest cleanly.
+    Concurrent siblings (parallel federation legs) each keep their own
+    self time; the per-trace [attributed] fraction is clamped to 1.
+
+    The time axis is chosen per trace: sim time when the trace contains
+    any sim-extended span (overload queue waits, federation legs), wall
+    time otherwise. *)
+
+type span_blame = {
+  name : string;
+  self : float;  (** summed self time of spans with this name *)
+  share : float;  (** [self / total] for the trace *)
+}
+
+type trace_report = {
+  trace_id : int;
+  root : string;
+  total : float;  (** end-to-end extent of the root span(s) *)
+  sim_axis : bool;
+  attributed : float;
+      (** fraction of [total] attributed to named spans; 1 when the
+          spans nest cleanly (the acceptance bar is >= 0.95) *)
+  blames : span_blame list;  (** descending self time *)
+}
+
+type stage_blame = {
+  stage : string;
+  total_self : float;
+  blame_share : float;  (** share of the summed end-to-end time *)
+  count : int;
+}
+
+type report = {
+  traces : trace_report list;
+  stages : stage_blame list;  (** all traces, descending blame *)
+  p99_stages : stage_blame list;  (** only traces at or above [p99_total] *)
+  p99_total : float;
+  min_attributed : float;  (** worst per-trace attribution; 1 if no traces *)
+}
+
+val analyze : Trace.entry list -> report
+(** Traces with no finished spans are skipped. *)
+
+val render : top:int -> report -> string
+(** Human-readable summary: overall and p99 blame tables truncated to
+    the [top] stages. *)

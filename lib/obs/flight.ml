@@ -1,0 +1,139 @@
+(* Black-box flight recorder.
+
+   A secondary, larger trace ring that mirrors every entry recorded on
+   the installed tracer (via Trace.set_tee), plus a dump that snapshots
+   trace + metrics + MIB digest into one JSON file.  The recorder is
+   armed once per run; anomaly detectors call [trigger] — the FIRST
+   trigger writes the black box (the state at the first anomaly is the
+   valuable one), later triggers are counted and annotated in the trace
+   but do not overwrite it.  [final] writes an end-of-run box only if no
+   anomaly already did.
+
+   The digest supplier is injected as a closure because lib/obs sits
+   below the broker: bbsim / the soaks pass [fun () -> Some (mib digest)]
+   when they have a broker at hand. *)
+
+module Json = Bbr_util.Json
+
+type t = {
+  ring : Trace.t;
+  out : string;
+  mutable digest : unit -> string option;
+  mutable triggers : int;
+  mutable dumped : string option;  (* reason of the dump already written *)
+}
+
+let default_capacity = 65536
+
+let slot : t option ref = ref None
+
+let armed () = !slot
+
+let disarm () =
+  (match (!slot, Trace.current ()) with
+  | Some _, Some tr -> Trace.set_tee tr None
+  | _ -> ());
+  slot := None
+
+let arm ?(capacity = default_capacity) ~out () =
+  let ring = Trace.create ~capacity () in
+  let t = { ring; out; digest = (fun () -> None); triggers = 0; dumped = None } in
+  (match Trace.current () with
+  | Some tr -> Trace.set_tee tr (Some (Trace.append ring))
+  | None -> ());
+  slot := Some t;
+  t
+
+let set_digest f = match !slot with None -> () | Some t -> t.digest <- f
+
+let box t ~reason =
+  let sim_time, wall_time =
+    match List.rev (Trace.entries t.ring) with
+    | last :: _ -> (last.Trace.sim_time, last.Trace.wall_time)
+    | [] -> (0., Trace.now_wall ())
+  in
+  let metrics =
+    match Metrics.current () with
+    | Some reg -> (
+        match Json.of_string_opt (Exporter.to_json reg) with
+        | Some j -> j
+        | None -> Json.Null)
+    | None -> Json.Null
+  in
+  let primary_evicted =
+    match Trace.current () with Some tr -> Trace.evicted tr | None -> 0
+  in
+  Json.Obj
+    [
+      ("kind", Json.Str "bbr-flight-recorder");
+      ("reason", Json.Str reason);
+      ("triggers", Json.Num (float_of_int t.triggers));
+      ("sim_time", Json.Num sim_time);
+      ("wall_time", Json.Num wall_time);
+      ("entries", Json.Num (float_of_int (Trace.length t.ring)));
+      ("evicted", Json.Num (float_of_int (Trace.evicted t.ring)));
+      ("primary_evicted", Json.Num (float_of_int primary_evicted));
+      ( "mib_digest",
+        match t.digest () with Some d -> Json.Str d | None -> Json.Null );
+      ("trace", Trace_export.entries_json (Trace.entries t.ring));
+      ("metrics", metrics);
+    ]
+
+let write t ~reason =
+  Exporter.write ~path:t.out (Json.to_string (box t ~reason) ^ "\n");
+  t.dumped <- Some reason;
+  t.out
+
+let dump t ~reason = write t ~reason
+
+let trigger ~reason =
+  match !slot with
+  | None -> ()
+  | Some t ->
+      t.triggers <- t.triggers + 1;
+      Trace.event ~attrs:[ ("reason", reason) ] "bb.flight.trigger";
+      if t.dumped = None then ignore (write t ~reason)
+
+let final t = match t.dumped with Some _ -> t.out | None -> write t ~reason:"end-of-run"
+
+(* --- reading a black box back ----------------------------------------- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+type dump_contents = {
+  reason : string;
+  triggers : int;
+  mib_digest : string option;
+  entries : Trace.entry list;
+  dump_evicted : int;
+}
+
+let parse s =
+  match Json.of_string_opt s with
+  | None -> Error "not valid JSON"
+  | Some j -> (
+      match Json.member "kind" j with
+      | Some (Json.Str "bbr-flight-recorder") -> (
+          match Option.map Trace_export.entries_of_json (Json.member "trace" j) with
+          | Some (Some entries) ->
+              Ok
+                {
+                  reason =
+                    Option.value ~default:""
+                      (Option.join (Option.map Json.to_str (Json.member "reason" j)));
+                  triggers =
+                    Option.value ~default:0
+                      (Option.join (Option.map Json.to_int (Json.member "triggers" j)));
+                  mib_digest =
+                    Option.join (Option.map Json.to_str (Json.member "mib_digest" j));
+                  entries;
+                  dump_evicted =
+                    Option.value ~default:0
+                      (Option.join (Option.map Json.to_int (Json.member "evicted" j)));
+                }
+          | _ -> Error "trace array failed to decode")
+      | _ -> Error "not a bbr-flight-recorder dump")

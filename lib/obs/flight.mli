@@ -1,0 +1,60 @@
+(** Black-box flight recorder: a secondary, larger ring mirroring every
+    entry recorded on the installed tracer, dumped together with the
+    metrics snapshot and the MIB digest as one JSON "black box".
+
+    Arm once per run ({!arm} installs a tee on the installed tracer).
+    Anomaly detectors — audit violations, failed recovery digests,
+    federation compensation storms — call {!trigger}: the {e first}
+    trigger writes the box (the state at the first anomaly is the
+    valuable one); later triggers are counted and annotated as
+    [bb.flight.trigger] trace events but do not overwrite it.  {!final}
+    writes an end-of-run box only if no anomaly already did.
+
+    The MIB digest supplier is injected as a closure because lib/obs
+    sits below the broker. *)
+
+type t
+
+val default_capacity : int
+(** 65536 entries — 16x the primary ring. *)
+
+val arm : ?capacity:int -> out:string -> unit -> t
+(** Create the recorder, tee the installed tracer into it, and make it
+    the process-wide armed recorder.  Call {e after} installing the
+    tracer. *)
+
+val armed : unit -> t option
+
+val disarm : unit -> unit
+(** Remove the tee and clear the armed slot (the recorder keeps its
+    entries). *)
+
+val set_digest : (unit -> string option) -> unit
+(** Supply the MIB digest closure on the armed recorder. *)
+
+val dump : t -> reason:string -> string
+(** Write the black box to the recorder's path unconditionally and
+    return the path. *)
+
+val trigger : reason:string -> unit
+(** Anomaly hook: no-op when not armed; otherwise count, annotate the
+    trace, and write the box if this is the first trigger. *)
+
+val final : t -> string
+(** Write an ["end-of-run"] box unless a trigger already wrote one;
+    returns the path holding the box. *)
+
+(** {1 Reading a black box back} *)
+
+type dump_contents = {
+  reason : string;
+  triggers : int;
+  mib_digest : string option;
+  entries : Trace.entry list;
+  dump_evicted : int;  (** entries the flight ring itself evicted *)
+}
+
+val read_file : string -> string
+(** Raises [Sys_error] on I/O failure. *)
+
+val parse : string -> (dump_contents, string) result

@@ -50,11 +50,15 @@ let kind_name = function
   | Khistogram -> "histogram"
 
 (* Label sets are identified up to ordering: ("a","1");("b","2") and its
-   reverse address the same family child. *)
-let canonical labels =
-  let sorted = List.sort compare labels in
-  String.concat "\x00"
-    (List.concat_map (fun (k, v) -> [ k; v ]) sorted)
+   reverse address the same family child.  0/1-label sets — most of the
+   per-request instrumentation — skip the sort. *)
+let canonical = function
+  | [] -> ""
+  | [ (k, v) ] -> k ^ "\x00" ^ v
+  | labels ->
+      let sorted = List.sort compare labels in
+      String.concat "\x00"
+        (List.concat_map (fun (k, v) -> [ k; v ]) sorted)
 
 let family t ~name ~kind ~help =
   match Hashtbl.find_opt t.families name with

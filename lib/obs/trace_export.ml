@@ -1,0 +1,337 @@
+(* Trace exporters: pure functions from trace entries to artifacts.
+
+   - [entry_json]/[entry_of_json]: the flight recorder's lossless entry
+     encoding, designed to round-trip through Bbr_util.Json so a dumped
+     black box can be re-analyzed offline (bbsim trace).
+   - [chrome]: Chrome trace_event JSON for about:tracing / Perfetto.
+     Sim-time spans and wall-time spans live on different axes, so they
+     are emitted as two processes: pid 1 is the sim-time axis, pid 2 the
+     wall-time axis (re-based to the first entry so both start near 0).
+     Within a process, tid = trace id: every request / federation txn
+     renders on its own track.
+   - [span_tree]: a self-contained text rendering of each trace's span
+     tree, for terminals without a trace viewer. *)
+
+module Json = Bbr_util.Json
+
+(* --- lossless entry encoding ----------------------------------------- *)
+
+let attrs_json attrs =
+  Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) attrs)
+
+let entry_json (e : Trace.entry) =
+  let payload =
+    match e.payload with
+    | Trace.Event -> [ ("kind", Json.Str "event") ]
+    | Trace.Span { dur } -> [ ("kind", Json.Str "span"); ("dur", Json.Num dur) ]
+    | Trace.Decision d ->
+        [
+          ("kind", Json.Str "decision");
+          ("service", Json.Str d.Trace.service);
+          ("admitted", Json.Bool d.Trace.admitted);
+          ("flow", match d.Trace.flow with Some f -> Json.Num (float_of_int f) | None -> Json.Null);
+          ( "reject_reason",
+            match d.Trace.reject_reason with Some r -> Json.Str r | None -> Json.Null );
+          ("ingress", Json.Str d.Trace.ingress);
+          ("egress", Json.Str d.Trace.egress);
+          ("rate", Json.Num d.Trace.rate);
+        ]
+  in
+  let ctx =
+    match e.ctx with
+    | None -> []
+    | Some c ->
+        [
+          ("trace", Json.Num (float_of_int c.Trace.trace_id));
+          ("span", Json.Num (float_of_int c.Trace.span_id));
+          ( "parent",
+            match c.Trace.parent with
+            | Some p -> Json.Num (float_of_int p)
+            | None -> Json.Null );
+        ]
+  in
+  Json.Obj
+    ([
+       ("seq", Json.Num (float_of_int e.seq));
+       ("name", Json.Str e.name);
+       ("sim_time", Json.Num e.sim_time);
+       ("wall_time", Json.Num e.wall_time);
+       ("sim_dur", Json.Num e.sim_dur);
+     ]
+    @ payload @ ctx
+    @ if e.attrs = [] then [] else [ ("attrs", attrs_json e.attrs) ])
+
+let entry_of_json j =
+  let open Json in
+  let ( let* ) = Option.bind in
+  let* seq = member "seq" j |> Option.map (fun v -> to_int v) |> Option.join in
+  let* name = member "name" j |> Option.map to_str |> Option.join in
+  let* sim_time = member "sim_time" j |> Option.map to_float |> Option.join in
+  let* wall_time = member "wall_time" j |> Option.map to_float |> Option.join in
+  let sim_dur =
+    Option.value ~default:0. (Option.join (Option.map to_float (member "sim_dur" j)))
+  in
+  let* kind = member "kind" j |> Option.map to_str |> Option.join in
+  let* payload =
+    match kind with
+    | "event" -> Some Trace.Event
+    | "span" ->
+        let* dur = member "dur" j |> Option.map to_float |> Option.join in
+        Some (Trace.Span { dur })
+    | "decision" ->
+        let str k = Option.join (Option.map to_str (member k j)) in
+        let* service = str "service" in
+        let* admitted =
+          match member "admitted" j with Some (Bool b) -> Some b | _ -> None
+        in
+        let* ingress = str "ingress" in
+        let* egress = str "egress" in
+        let rate =
+          Option.value ~default:0.
+            (Option.join (Option.map to_float (member "rate" j)))
+        in
+        Some
+          (Trace.Decision
+             {
+               Trace.service;
+               admitted;
+               flow = Option.join (Option.map to_int (member "flow" j));
+               reject_reason = str "reject_reason";
+               ingress;
+               egress;
+               rate;
+             })
+    | _ -> None
+  in
+  let ctx =
+    match (member "trace" j, member "span" j) with
+    | Some tr, Some sp -> (
+        match (to_int tr, to_int sp) with
+        | Some trace_id, Some span_id ->
+            Some
+              {
+                Trace.trace_id;
+                span_id;
+                parent = Option.join (Option.map to_int (member "parent" j));
+              }
+        | _ -> None)
+    | _ -> None
+  in
+  let attrs =
+    match member "attrs" j with
+    | Some (Obj kvs) ->
+        List.filter_map
+          (fun (k, v) -> match v with Str s -> Some (k, s) | _ -> None)
+          kvs
+    | _ -> []
+  in
+  Some { Trace.seq; name; sim_time; wall_time; payload; attrs; ctx; sim_dur }
+
+let entries_json es = Json.Arr (List.map entry_json es)
+
+let entries_of_json j =
+  match Json.to_list j with
+  | None -> None
+  | Some xs ->
+      let es = List.filter_map entry_of_json xs in
+      if List.length es = List.length xs then Some es else None
+
+(* --- Chrome trace_event ----------------------------------------------- *)
+
+let wall_dur (e : Trace.entry) =
+  match e.payload with Trace.Span { dur } -> dur | _ -> 0.
+
+let chrome es =
+  let wall0 =
+    List.fold_left (fun acc (e : Trace.entry) -> Float.min acc e.wall_time)
+      infinity es
+  in
+  let wall0 = if wall0 = infinity then 0. else wall0 in
+  let usec v = Json.Num (v *. 1e6) in
+  let tid (e : Trace.entry) =
+    match e.ctx with
+    | Some c -> Json.Num (float_of_int c.Trace.trace_id)
+    | None -> Json.Num 0.
+  in
+  let args (e : Trace.entry) =
+    let ids =
+      match e.ctx with
+      | Some c ->
+          [
+            ("trace", Json.Num (float_of_int c.Trace.trace_id));
+            ("span", Json.Num (float_of_int c.Trace.span_id));
+          ]
+          @ (match c.Trace.parent with
+            | Some p -> [ ("parent", Json.Num (float_of_int p)) ]
+            | None -> [])
+      | None -> []
+    in
+    let extra =
+      match e.payload with
+      | Trace.Decision d ->
+          [
+            ("service", Json.Str d.Trace.service);
+            ("result", Json.Str (if d.Trace.admitted then "admit" else "reject"));
+          ]
+          @ (match d.Trace.reject_reason with
+            | Some r -> [ ("reason", Json.Str r) ]
+            | None -> [])
+      | _ -> []
+    in
+    Json.Obj (ids @ extra @ List.map (fun (k, v) -> (k, Json.Str v)) e.attrs)
+  in
+  let ev (e : Trace.entry) =
+    match e.payload with
+    | Trace.Span { dur } ->
+        (* Sim-extended spans render on the sim axis; instantaneous-in-sim
+           spans (broker stages) on the wall axis, re-based. *)
+        let pid, ts, d =
+          if e.sim_dur > 0. then (1., usec e.sim_time, usec e.sim_dur)
+          else (2., usec (e.wall_time -. wall0), usec dur)
+        in
+        Json.Obj
+          [
+            ("name", Json.Str e.name);
+            ("ph", Json.Str "X");
+            ("pid", Json.Num pid);
+            ("tid", tid e);
+            ("ts", ts);
+            ("dur", d);
+            ("args", args e);
+          ]
+    | Trace.Event | Trace.Decision _ ->
+        Json.Obj
+          [
+            ("name", Json.Str e.name);
+            ("ph", Json.Str "i");
+            ("s", Json.Str "t");
+            ("pid", Json.Num 1.);
+            ("tid", tid e);
+            ("ts", usec e.sim_time);
+            ("args", args e);
+          ]
+  in
+  let meta pid label =
+    Json.Obj
+      [
+        ("name", Json.Str "process_name");
+        ("ph", Json.Str "M");
+        ("pid", Json.Num pid);
+        ("args", Json.Obj [ ("name", Json.Str label) ]);
+      ]
+  in
+  Json.Obj
+    [
+      ( "traceEvents",
+        Json.Arr (meta 1. "sim time" :: meta 2. "wall time (rebased)" :: List.map ev es) );
+      ("displayTimeUnit", Json.Str "ms");
+    ]
+
+let chrome_string es = Json.to_string (chrome es)
+
+(* --- span-tree assembly ----------------------------------------------- *)
+
+type node = {
+  entry : Trace.entry;
+  span_id : int;
+  parent : int option;
+  mutable children : node list;
+}
+
+type tree = {
+  trace_id : int;
+  roots : node list;  (* spans whose parent is absent from the ring *)
+  spans : node list;
+  orphans : int;  (* finished spans whose parent entry was not retained *)
+  events : Trace.entry list;  (* non-span entries of this trace *)
+}
+
+let assemble es =
+  let traces = Hashtbl.create 16 in
+  let order = ref [] in
+  let bucket tid =
+    match Hashtbl.find_opt traces tid with
+    | Some b -> b
+    | None ->
+        let b = (ref [], ref []) in
+        Hashtbl.add traces tid b;
+        order := tid :: !order;
+        b
+  in
+  List.iter
+    (fun (e : Trace.entry) ->
+      match e.ctx with
+      | None -> ()
+      | Some c -> (
+          let spans, events = bucket c.Trace.trace_id in
+          match e.payload with
+          | Trace.Span _ ->
+              spans :=
+                { entry = e; span_id = c.Trace.span_id; parent = c.Trace.parent; children = [] }
+                :: !spans
+          | _ -> events := e :: !events))
+    es;
+  List.rev_map
+    (fun trace_id ->
+      let spans, events = Hashtbl.find traces trace_id in
+      let spans = List.rev !spans in
+      let by_id = Hashtbl.create 16 in
+      List.iter (fun n -> Hashtbl.replace by_id n.span_id n) spans;
+      let roots = ref [] and orphans = ref 0 in
+      List.iter
+        (fun n ->
+          match n.parent with
+          | None -> roots := n :: !roots
+          | Some p -> (
+              match Hashtbl.find_opt by_id p with
+              | Some pn -> pn.children <- n :: pn.children
+              | None ->
+                  incr orphans;
+                  roots := n :: !roots))
+        spans;
+      List.iter (fun n -> n.children <- List.rev n.children) spans;
+      {
+        trace_id;
+        roots = List.rev !roots;
+        spans;
+        orphans = !orphans;
+        events = List.rev !events;
+      })
+    !order
+
+(* --- span-tree text rendering ----------------------------------------- *)
+
+let span_tree es =
+  let b = Buffer.create 4096 in
+  let trees = assemble es in
+  let wall0 =
+    List.fold_left (fun acc (e : Trace.entry) -> Float.min acc e.wall_time)
+      infinity es
+  in
+  List.iter
+    (fun tr ->
+      (* Sim axis when any span in the trace has sim extent, else wall. *)
+      let sim_axis = List.exists (fun n -> n.entry.Trace.sim_dur > 0.) tr.spans in
+      Buffer.add_string b
+        (Printf.sprintf "trace %d (%d spans, %d events%s, %s axis)\n" tr.trace_id
+           (List.length tr.spans) (List.length tr.events)
+           (if tr.orphans > 0 then Printf.sprintf ", %d orphaned" tr.orphans
+            else "")
+           (if sim_axis then "sim" else "wall"));
+      let rec render depth n =
+        let e = n.entry in
+        let lo, dur =
+          if sim_axis then (e.Trace.sim_time, e.Trace.sim_dur)
+          else (e.Trace.wall_time -. wall0, wall_dur e)
+        in
+        Buffer.add_string b
+          (Printf.sprintf "%s%s  %.6f +%.6fs%s\n"
+             (String.make (2 + (2 * depth)) ' ')
+             e.Trace.name lo dur
+             (String.concat ""
+                (List.map (fun (k, v) -> Printf.sprintf " %s=%s" k v) e.Trace.attrs)));
+        List.iter (render (depth + 1)) n.children
+      in
+      List.iter (render 0) tr.roots)
+    trees;
+  Buffer.contents b

@@ -1,0 +1,57 @@
+(** Trace exporters: pure functions from trace entries to artifacts.
+
+    [entry_json]/[entry_of_json] are the flight recorder's lossless
+    entry encoding (round-trips through {!Bbr_util.Json}); [chrome]
+    renders entries as Chrome [trace_event] JSON loadable in
+    [about:tracing] or {{:https://ui.perfetto.dev}Perfetto}; [span_tree]
+    is a terminal-friendly text rendering of each trace's span tree. *)
+
+val entry_json : Trace.entry -> Bbr_util.Json.t
+
+val entry_of_json : Bbr_util.Json.t -> Trace.entry option
+(** [None] if the value does not decode to an entry. *)
+
+val entries_json : Trace.entry list -> Bbr_util.Json.t
+
+val entries_of_json : Bbr_util.Json.t -> Trace.entry list option
+(** All-or-nothing: [None] if any element fails to decode. *)
+
+val chrome : Trace.entry list -> Bbr_util.Json.t
+(** Chrome trace_event document.  Two processes: pid 1 carries spans
+    with sim-time extent (ts/dur in sim microseconds) plus all instant
+    events and decisions; pid 2 carries sim-instantaneous spans (broker
+    stages) on the wall axis, re-based to the earliest entry.  Within a
+    process, tid = trace id, so each request / federation transaction
+    renders on its own track. *)
+
+val chrome_string : Trace.entry list -> string
+
+(** {1 Span-tree assembly} — shared with {!Critical_path}. *)
+
+type node = {
+  entry : Trace.entry;
+  span_id : int;
+  parent : int option;
+  mutable children : node list;
+}
+
+type tree = {
+  trace_id : int;
+  roots : node list;
+      (** spans with no parent, plus orphans whose parent was evicted *)
+  spans : node list;  (** every finished span of the trace, ring order *)
+  orphans : int;
+      (** finished spans whose parent entry was not retained (eviction
+          or still-open parent) *)
+  events : Trace.entry list;  (** non-span entries of this trace *)
+}
+
+val assemble : Trace.entry list -> tree list
+(** Group entries by trace id and link spans to their parents.  Entries
+    without a context are ignored.  Trace order follows first
+    appearance; children are in ring order. *)
+
+val span_tree : Trace.entry list -> string
+(** One indented block per trace.  Traces containing any sim-extended
+    span render on the sim axis; purely instantaneous traces (plain
+    broker requests) on the re-based wall axis. *)

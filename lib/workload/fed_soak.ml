@@ -87,6 +87,9 @@ let run cfg =
       after = (fun delay f -> Engine.schedule_after eng ~delay f);
     }
   in
+  Option.iter
+    (fun tr -> Bbr_obs.Trace.set_sim_clock tr (fun () -> Engine.now eng))
+    (Bbr_obs.Trace.current ());
   let rng = Prng.create ~seed:cfg.seed in
   let graph_rng = Prng.split rng in
   let arrival_rng = Prng.split rng in
@@ -216,6 +219,8 @@ let run cfg =
           match Federation.recover_coordinator fed with
           | Error e -> failwith ("Fed_soak: unreadable coordinator journal: " ^ e)
           | Ok r ->
+              if not (String.equal digest r.Federation.replayed_digest) then
+                Bbr_obs.Flight.trigger ~reason:"recovery-digest-mismatch";
               digest_match := Some (String.equal digest r.Federation.replayed_digest);
               recovered_flows := r.Federation.recovered_flows;
               recovery_aborts := r.Federation.recovery_aborts;
@@ -236,6 +241,8 @@ let run cfg =
   Engine.run eng;
   ignore (Federation.reap fed);
   let audit = Federation.audit fed in
+  if not (Federation.audit_ok audit) then
+    Bbr_obs.Flight.trigger ~reason:"audit-violation";
   let stats = Federation.stats fed in
   (* Stranded bandwidth: broker-side reserved rate the live federation
      flows (rate × segment count) cannot account for.  After the drain

@@ -114,6 +114,9 @@ let exact_oracle broker (req : Types.request) =
 
 let run config =
   let engine = Engine.create () in
+  Option.iter
+    (fun tr -> Bbr_obs.Trace.set_sim_clock tr (fun () -> Engine.now engine))
+    (Bbr_obs.Trace.current ());
   let topo = Fig8.topology config.setting in
   let time =
     {

@@ -3,8 +3,11 @@
 
 module Metrics = Bbr_obs.Metrics
 module Trace = Bbr_obs.Trace
+module Trace_export = Bbr_obs.Trace_export
+module Flight = Bbr_obs.Flight
 module Exporter = Bbr_obs.Exporter
 module Sampler = Bbr_obs.Sampler
+module Json = Bbr_util.Json
 module Stats = Bbr_util.Stats
 module Static = Bbr_workload.Static
 module Broker = Bbr_broker.Broker
@@ -104,11 +107,14 @@ let test_ring_wraparound () =
   let t = Trace.create ~capacity:4 () in
   Trace.install t;
   Fun.protect ~finally:Trace.uninstall (fun () ->
+      Alcotest.(check int) "nothing evicted while under capacity" 0
+        (Trace.evicted t);
       for i = 1 to 6 do
         Trace.event (Printf.sprintf "e%d" i)
       done;
       Alcotest.(check int) "length capped" 4 (Trace.length t);
       Alcotest.(check int) "total keeps counting" 6 (Trace.total t);
+      Alcotest.(check int) "evicted = total - length" 2 (Trace.evicted t);
       let names = List.map (fun (e : Trace.entry) -> e.Trace.name) (Trace.entries t) in
       Alcotest.(check (list string)) "oldest evicted, order kept"
         [ "e3"; "e4"; "e5"; "e6" ] names;
@@ -189,6 +195,230 @@ let test_prometheus_label_escaping () =
   let out = Exporter.to_prometheus reg in
   Alcotest.(check bool) "escaped" true
     (is_infix ~affix:{|m{k="a\"b\\c\nd"} 0|} out)
+
+(* Tiny exposition parser — just enough of the Prometheus text format to
+   read back what [Exporter.to_prometheus] writes: one series per line,
+   name + optional brace-delimited labels + value, label values carrying
+   the backslash, quote and newline escapes.  Returns
+   [(name, labels, value)]. *)
+let parse_series line =
+  match String.index_opt line '{' with
+  | None -> (
+      match String.index_opt line ' ' with
+      | Some sp ->
+          ( String.sub line 0 sp,
+            [],
+            float_of_string
+              (String.sub line (sp + 1) (String.length line - sp - 1)) )
+      | None -> Alcotest.failf "unparsable series line: %s" line)
+  | Some ob ->
+      let name = String.sub line 0 ob in
+      let labels = ref [] in
+      let i = ref (ob + 1) in
+      while line.[!i] <> '}' do
+        let eq = String.index_from line !i '=' in
+        let key = String.sub line !i (eq - !i) in
+        let buf = Buffer.create 8 in
+        let j = ref (eq + 2) in
+        let stop = ref false in
+        while not !stop do
+          match line.[!j] with
+          | '\\' ->
+              (match line.[!j + 1] with
+              | 'n' -> Buffer.add_char buf '\n'
+              | c -> Buffer.add_char buf c);
+              j := !j + 2
+          | '"' ->
+              stop := true;
+              incr j
+          | c ->
+              Buffer.add_char buf c;
+              incr j
+        done;
+        labels := (key, Buffer.contents buf) :: !labels;
+        i := (if line.[!j] = ',' then !j + 1 else !j)
+      done;
+      let sp = !i + 2 in
+      ( name,
+        List.rev !labels,
+        float_of_string (String.sub line sp (String.length line - sp)) )
+
+(* Satellite: full exposition round-trip.  Export a registry holding every
+   instrument kind (with pathological label values), parse the text back,
+   and check each series recovers its exact labels and value. *)
+let test_prometheus_round_trip () =
+  let reg = Metrics.create () in
+  let c =
+    Metrics.counter reg "req_total"
+      ~labels:[ ("svc", "a\"b\\c\nd"); ("zone", "east") ]
+  in
+  Metrics.add c 3.;
+  let g = Metrics.gauge reg "depth" in
+  Metrics.set g 2.5;
+  let h = Metrics.histogram reg "lat" ~buckets:[| 0.1; 1. |] in
+  List.iter (Metrics.observe h) [ 0.05; 0.5; 5. ];
+  let series =
+    Exporter.to_prometheus reg |> String.split_on_char '\n'
+    |> List.filter (fun l -> l <> "" && l.[0] <> '#')
+    |> List.map parse_series
+  in
+  let find name labels =
+    match
+      List.find_opt (fun (n, ls, _) -> n = name && ls = labels) series
+    with
+    | Some (_, _, v) -> v
+    | None -> Alcotest.failf "series %s not found after round-trip" name
+  in
+  check_float "escaped labels recover the counter" 3.
+    (find "req_total" [ ("svc", "a\"b\\c\nd"); ("zone", "east") ]);
+  check_float "gauge" 2.5 (find "depth" []);
+  check_float "bucket le=0.1" 1. (find "lat_bucket" [ ("le", "0.1") ]);
+  check_float "bucket le=1 is cumulative" 2. (find "lat_bucket" [ ("le", "1") ]);
+  check_float "bucket le=+Inf counts all" 3.
+    (find "lat_bucket" [ ("le", "+Inf") ]);
+  check_float "sum" 5.55 (find "lat_sum" []);
+  check_float "count" 3. (find "lat_count" [])
+
+(* The flight recorder's lossless entry codec: events with attrs, nested
+   spans with sim extent, and admit/reject decisions all survive
+   JSON-and-back structurally intact. *)
+let test_entry_json_round_trip () =
+  with_obs (fun _reg tracer ->
+      Trace.set_sim_clock tracer (fun () -> 12.5);
+      Trace.set_wall_clock tracer (fun () -> 99.25);
+      Trace.event ~attrs:[ ("k", "v\"w\\x"); ("n", "2") ] "bb.e";
+      let sp = Trace.start_span ~sim_time:1. "bb.s" in
+      let child = Trace.start_span ~sim_time:2. ~parent:sp "bb.s.child" in
+      Trace.finish_span ~sim_time:3. child;
+      Trace.finish_span ~sim_time:4. ~attrs:[ ("result", "ok") ] sp;
+      Trace.decision
+        {
+          Trace.service = "perflow";
+          flow = Some 7;
+          admitted = true;
+          reject_reason = None;
+          ingress = "a";
+          egress = "b";
+          rate = 1.5e6;
+        };
+      Trace.decision
+        {
+          Trace.service = "class";
+          flow = None;
+          admitted = false;
+          reject_reason = Some "insufficient_bandwidth";
+          ingress = "a";
+          egress = "b";
+          rate = 0.;
+        };
+      let entries = Trace.entries tracer in
+      Alcotest.(check int) "five entries recorded" 5 (List.length entries);
+      (* Single-entry codec. *)
+      List.iter
+        (fun (e : Trace.entry) ->
+          match Trace_export.entry_of_json (Trace_export.entry_json e) with
+          | None -> Alcotest.failf "entry #%d failed to decode" e.Trace.seq
+          | Some e' ->
+              Alcotest.(check bool)
+                (Printf.sprintf "entry #%d structurally equal" e.Trace.seq)
+                true (e = e'))
+        entries;
+      (* Whole-list codec, order preserved. *)
+      match Trace_export.entries_of_json (Trace_export.entries_json entries) with
+      | None -> Alcotest.fail "entries_of_json rejected its own encoding"
+      | Some back ->
+          Alcotest.(check bool) "list round-trips in order" true
+            (entries = back))
+
+(* Chrome trace_event export: valid JSON, non-empty traceEvents, every
+   event carries the fields about:tracing / Perfetto require. *)
+let test_chrome_export_valid () =
+  with_obs (fun _reg tracer ->
+      let broker = Broker.create (Bbr_workload.Fig8.topology `Rate_only) in
+      let req =
+        {
+          Types.profile = Bbr_workload.Profiles.profile 0;
+          dreq = 2.44;
+          ingress = Bbr_workload.Fig8.ingress1;
+          egress = Bbr_workload.Fig8.egress1;
+        }
+      in
+      for _ = 1 to 3 do
+        ignore (Broker.request broker req)
+      done;
+      let s = Trace_export.chrome_string (Trace.entries tracer) in
+      match Json.of_string_opt s with
+      | None -> Alcotest.fail "chrome export is not valid JSON"
+      | Some j ->
+          let evs =
+            Option.value ~default:[]
+              (Option.join (Option.map Json.to_list (Json.member "traceEvents" j)))
+          in
+          Alcotest.(check bool) "traceEvents non-empty" true (evs <> []);
+          let non_meta = ref 0 in
+          List.iter
+            (fun ev ->
+              List.iter
+                (fun k ->
+                  Alcotest.(check bool)
+                    (k ^ " present on every event")
+                    true
+                    (Json.member k ev <> None))
+                [ "name"; "ph"; "pid" ];
+              (* Metadata records (ph = M, process naming) carry no
+                 timestamp; every real slice / instant must. *)
+              if Json.member "ph" ev <> Some (Json.Str "M") then begin
+                incr non_meta;
+                List.iter
+                  (fun k ->
+                    Alcotest.(check bool)
+                      (k ^ " present on every non-meta event")
+                      true
+                      (Json.member k ev <> None))
+                  [ "ts"; "tid" ]
+              end)
+            evs;
+          Alcotest.(check bool) "has non-meta events" true (!non_meta > 0))
+
+(* Black box round-trip: arm, record, trigger, read the file back.  The
+   first anomaly owns the box; later triggers are counted in the trace
+   but must not overwrite it. *)
+let test_flight_box_round_trip () =
+  with_obs (fun _reg tracer ->
+      Trace.set_sim_clock tracer (fun () -> 5.);
+      Trace.set_wall_clock tracer (fun () -> 50.);
+      let path = Filename.temp_file "bbr_flight" ".json" in
+      Fun.protect
+        ~finally:(fun () ->
+          Flight.disarm ();
+          Sys.remove path)
+        (fun () ->
+          let (_ : Flight.t) = Flight.arm ~out:path () in
+          Flight.set_digest (fun () -> Some "mib:42");
+          let sp = Trace.start_span ~sim_time:1. "bb.request" in
+          Trace.event ~sim_time:2. "bb.e";
+          Trace.finish_span ~sim_time:3. sp;
+          Flight.trigger ~reason:"test-anomaly";
+          Flight.trigger ~reason:"later-noise";
+          match Flight.parse (Flight.read_file path) with
+          | Error e -> Alcotest.failf "flight box failed to parse: %s" e
+          | Ok d ->
+              Alcotest.(check string) "first trigger owns the box"
+                "test-anomaly" d.Flight.reason;
+              Alcotest.(check int) "one trigger at dump time" 1
+                d.Flight.triggers;
+              Alcotest.(check (option string)) "MIB digest carried"
+                (Some "mib:42") d.Flight.mib_digest;
+              Alcotest.(check int) "flight ring evicted nothing" 0
+                d.Flight.dump_evicted;
+              let names =
+                List.map (fun (e : Trace.entry) -> e.Trace.name) d.Flight.entries
+              in
+              List.iter
+                (fun n ->
+                  Alcotest.(check bool) (n ^ " mirrored into the box") true
+                    (List.mem n names))
+                [ "bb.e"; "bb.request"; "bb.flight.trigger" ]))
 
 (* ------------------------------------------------------------------ *)
 (* Sampler *)
@@ -423,6 +653,14 @@ let () =
           Alcotest.test_case "json golden" `Quick test_json_golden;
           Alcotest.test_case "label escaping" `Quick
             test_prometheus_label_escaping;
+          Alcotest.test_case "prometheus round-trip" `Quick
+            test_prometheus_round_trip;
+          Alcotest.test_case "entry json round-trip" `Quick
+            test_entry_json_round_trip;
+          Alcotest.test_case "chrome export valid" `Quick
+            test_chrome_export_valid;
+          Alcotest.test_case "flight box round-trip" `Quick
+            test_flight_box_round_trip;
         ] );
       ("sampler", [ Alcotest.test_case "series" `Quick test_sampler_series ]);
       ( "integration",
