@@ -25,6 +25,10 @@
                   allocation per request (writes
                   BENCH_admission_throughput.json; BBR_BENCH_SCALE=k
                   divides the request budgets for smoke runs)
+     scenarios    chaos scenario matrix: composed fault campaigns with
+                  recovery-SLO oracles and a standing invariant monitor
+                  (writes BENCH_scenarios.json; BBR_BENCH_SCALE=k shrinks
+                  every scenario for smoke runs)
      scaling      admission cost vs M; bounds vs path length
      statistical  Hoeffding effective-bandwidth multiplexing gain
      micro        Bechamel micro-benchmarks of the admission hot paths
@@ -1253,6 +1257,39 @@ let run_obs () =
   Fmt.pr "@.wrote BENCH_obs.json@."
 
 (* ------------------------------------------------------------------ *)
+(* Chaos scenario matrix: composed fault campaigns with recovery-SLO
+   oracles and a standing invariant monitor.  Delegates to
+   Bbr_scenario.Matrix; writes BENCH_scenarios.json. *)
+
+let run_scenarios () =
+  section "Chaos scenario matrix (recovery SLOs, standing invariant monitor)";
+  let scale =
+    match Sys.getenv_opt "BBR_BENCH_SCALE" with
+    | Some s -> ( try Float.max 1. (float_of_string s) with _ -> 1.)
+    | None -> 1.
+  in
+  let module Matrix = Bbr_scenario.Matrix in
+  let module Runner = Bbr_scenario.Runner in
+  let module Sc = Bbr_scenario.Scenario in
+  let outcomes = Matrix.run_all ~scale () in
+  Fmt.pr "%-26s %6s %8s %8s %9s %9s %8s %s@." "scenario" "pass" "offered"
+    "admitted" "p95(s)" "brownout" "genuine" "slo";
+  List.iter
+    (fun (o : Runner.outcome) ->
+      let slo_met =
+        List.length (List.filter (fun (m : Bbr_scenario.Slo.measurement) -> m.Bbr_scenario.Slo.met) o.Runner.measurements)
+      in
+      Fmt.pr "%-26s %6b %8d %8d %9.3f %9.1f %8d %d/%d@."
+        o.Runner.scenario.Sc.name (Runner.ok o) o.Runner.offered
+        o.Runner.admitted o.Runner.p95_latency o.Runner.brownout_time
+        (List.length o.Runner.genuine_anomalies)
+        slo_met
+        (List.length o.Runner.measurements))
+    outcomes;
+  Matrix.write_json ~path:"BENCH_scenarios.json" ~scale outcomes;
+  Fmt.pr "@.wrote BENCH_scenarios.json@."
+
+(* ------------------------------------------------------------------ *)
 
 let sections =
   [
@@ -1270,6 +1307,7 @@ let sections =
     ("overload", run_overload_bench);
     ("federation", run_federation_bench);
     ("admission_throughput", run_admission_throughput);
+    ("scenarios", run_scenarios);
     ("scaling", run_scaling);
     ("statistical", run_statistical);
     ("admission", run_admission);

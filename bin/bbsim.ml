@@ -772,6 +772,116 @@ let federation_cmd =
       $ fed_drop $ fed_no_crash $ fed_strict $ metrics_out $ metrics_format
       $ trace_out $ flight_out)
 
+(* --- scenario ---------------------------------------------------------- *)
+
+let scenario_list =
+  Arg.(
+    value & flag
+    & info [ "list" ] ~doc:"List the named scenarios in the matrix and exit.")
+
+let scenario_matrix =
+  Arg.(
+    value & flag
+    & info [ "matrix" ]
+        ~doc:"Run the whole scenario matrix (the default when no $(b,--name) is given).")
+
+let scenario_names =
+  Arg.(
+    value
+    & opt_all string []
+    & info [ "name" ] ~docv:"NAME"
+        ~doc:"Run one named scenario (repeatable).  See $(b,--list).")
+
+let scenario_scale =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "scale" ] ~docv:"K"
+        ~doc:
+          "Shrink every scenario by $(docv) (durations, event instants, \
+           topology size) — the smoke-run knob.  Defaults to the \
+           $(b,BBR_BENCH_SCALE) environment variable, or 1 (full size).")
+
+let scenario_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "out" ] ~docv:"PATH"
+        ~doc:"Write the per-scenario results as BENCH_scenarios.json-style JSON.")
+
+let scenario_strict =
+  Arg.(
+    value & flag
+    & info [ "strict" ]
+        ~doc:
+          "Exit non-zero unless every scenario passed: zero invariant \
+           violations outside declared fault windows, every recovery SLO \
+           met, clean final audit, no unresolved transactions.")
+
+let run_scenario list_ matrix names scale out_path strict out format trace flight =
+  let module Sc = Bbr_scenario.Scenario in
+  let module Matrix = Bbr_scenario.Matrix in
+  let module Runner = Bbr_scenario.Runner in
+  if list_ then
+    List.iter
+      (fun s -> Fmt.pr "%-26s %s@." s.Sc.name s.Sc.descr)
+      Matrix.scenarios
+  else begin
+    let scale =
+      match scale with
+      | Some k -> k
+      | None -> (
+          match Sys.getenv_opt "BBR_BENCH_SCALE" with
+          | Some s -> (
+              match float_of_string_opt s with
+              | Some k when k > 0. -> k
+              | _ ->
+                  Fmt.epr "error: bad BBR_BENCH_SCALE %S@." s;
+                  exit exit_parse)
+          | None -> 1.)
+    in
+    (match List.filter (fun n -> Matrix.find n = None) names with
+    | [] -> ()
+    | unknown ->
+        Fmt.epr "error: unknown scenario(s): %s (try --list)@."
+          (String.concat ", " unknown);
+        exit exit_parse);
+    ignore matrix;
+    let outcomes =
+      with_obs ~out ~format ~trace ~flight (fun () ->
+          Matrix.run_all ~scale ~names ())
+    in
+    List.iter (fun o -> Fmt.pr "%a@.@." Runner.pp_outcome o) outcomes;
+    Option.iter
+      (fun path ->
+        (try Matrix.write_json ~path ~scale outcomes
+         with Sys_error e ->
+           Fmt.epr "error: %s@." e;
+           exit exit_io);
+        Fmt.pr "wrote %s@." path)
+      out_path;
+    let failed = List.filter (fun o -> not (Runner.ok o)) outcomes in
+    Fmt.pr "%d/%d scenarios passed@."
+      (List.length outcomes - List.length failed)
+      (List.length outcomes);
+    if strict && failed <> [] then exit 1
+  end
+
+let scenario_cmd =
+  let doc =
+    "Execute composed chaos campaigns — diurnal and flash-crowd load, \
+     regional link failures, broker crash + warm-standby promotion, \
+     partitions — over power-law ISP topologies, with a standing \
+     invariant monitor sampling MIB audit and admission-oracle health \
+     throughout and a recovery-SLO oracle judging every injected event's \
+     time-to-recovery."
+  in
+  Cmd.v (Cmd.info "scenario" ~doc)
+    Term.(
+      const run_scenario $ scenario_list $ scenario_matrix $ scenario_names
+      $ scenario_scale $ scenario_out $ scenario_strict $ metrics_out
+      $ metrics_format $ trace_out $ flight_out)
+
 (* --- trace (critical-path analysis) ----------------------------------- *)
 
 let trace_input =
@@ -837,5 +947,6 @@ let () =
             audit_cmd;
             overload_cmd;
             federation_cmd;
+            scenario_cmd;
             trace_cmd;
           ]))

@@ -82,7 +82,7 @@ type stats = {
 }
 
 type t = {
-  broker : Broker.t;
+  mutable broker : Broker.t;
   config : config;
   time : Broker.time_hooks;
   oracle : (Types.request -> bool) option;
@@ -91,6 +91,7 @@ type t = {
   mutable depth : int;  (* live (non-dropped) queued entries *)
   mutable busy : bool;
   mutable stopped : bool;
+  mutable epoch : int;  (* bumped by retarget; cancels in-service work *)
   mutable brownout : bool;
   mutable above_since : float option;  (* load >= enter watermark since *)
   mutable below_since : float option;  (* load <= exit watermark since *)
@@ -124,6 +125,7 @@ let create ?(config = default_config) ?oracle ?on_serviced ~time broker =
     depth = 0;
     busy = false;
     stopped = false;
+    epoch = 0;
     brownout = false;
     above_since = None;
     below_since = None;
@@ -291,15 +293,27 @@ let rec serve t =
            so outcomes equal the one-at-a-time drain's. *)
         let batch = gather_batch t [ e ] (t.config.batch_limit - 1) in
         let total_cost = cost *. float_of_int (List.length batch) in
+        let epoch = t.epoch in
         t.time.after total_cost (fun () ->
-            (match batch with
-            | [ one ] -> decide t one mode
-            | several ->
-                Trace.span "bb.overload.batch" (fun () ->
-                    Broker.batched t.broker (fun () ->
-                        List.iter (fun e -> decide t e mode) several)));
-            update_brownout t;
-            serve t)
+            if t.epoch <> epoch then
+              (* The broker died under us mid-service: the batch's work was
+                 lost with it.  Shed rather than decide against the
+                 successor, whose recovered MIB never saw these requests. *)
+              List.iter
+                (fun e ->
+                  Trace.finish_span ~sim_time:(t.time.now ()) e.sspan;
+                  shed t e `Shutdown)
+                batch
+            else begin
+              (match batch with
+              | [ one ] -> decide t one mode
+              | several ->
+                  Trace.span "bb.overload.batch" (fun () ->
+                      Broker.batched t.broker (fun () ->
+                          List.iter (fun e -> decide t e mode) several)));
+              update_brownout t;
+              serve t
+            end)
       end
 
 (* Dequeue bookkeeping for an entry that made its deadline: the queue
@@ -424,6 +438,28 @@ let stop t =
   in
   drain ();
   note_depth t
+
+let quiesce t =
+  (* Crash-time freeze: invalidate the in-service batch (its timer will
+     fire into the epoch guard and shed) and stop + drain the queue.
+     Unlike {!stop}, not even the decision in service completes — the
+     broker it would decide against is gone. *)
+  t.epoch <- t.epoch + 1;
+  t.busy <- false;
+  stop t
+
+let retarget t broker =
+  t.epoch <- t.epoch + 1;
+  t.broker <- broker;
+  t.stopped <- false;
+  (* The old epoch's in-service timer, if any, will fire into the guard
+     above and shed its batch without recursing into [serve]; restart the
+     server for whatever queued work survived the outage. *)
+  t.busy <- false;
+  if not (Queue.is_empty t.queue) then begin
+    t.busy <- true;
+    serve t
+  end
 
 let brownout t = t.brownout
 

@@ -91,6 +91,20 @@ val stop : t -> unit
     service, if any, still completes.  Subsequent {!submit}s are shed
     immediately — so timers stay bounded and the simulator drains. *)
 
+val quiesce : t -> unit
+(** Crash-time freeze: like {!stop}, but the decision currently in
+    service does {e not} complete — its batch is shed when its timer
+    fires, instead of being decided against a broker that no longer
+    exists.  Pair with {!retarget} once a successor is promoted. *)
+
+val retarget : t -> Broker.t -> unit
+(** Point the pipeline at a successor broker after a crash + promotion.
+    The batch currently in service (whose timer straddles the outage) is
+    shed with [Server_busy] instead of being decided against a broker
+    whose recovered MIB never saw it; work still queued is re-served
+    against the successor.  Also clears a prior {!stop}, so a pipeline
+    stopped at crash time resumes accepting work. *)
+
 val brownout : t -> bool
 (** The controller is currently in degraded (conservative) mode. *)
 

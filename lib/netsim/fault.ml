@@ -8,7 +8,20 @@ type action =
   | Crash of string
   | Recover of string
 
-type event = { at : float; action : action }
+type event = { at : float; id : int; action : action }
+
+(* Injection ids are handed out process-wide in creation order: two events
+   built at the same sim time always compare the same way, no matter how
+   the lists holding them were later concatenated or reordered. *)
+let next_id = ref 0
+
+let event ~at action =
+  let id = !next_id in
+  incr next_id;
+  { at; id; action }
+
+let compare_events a b =
+  match compare a.at b.at with 0 -> compare a.id b.id | c -> c
 
 let pp_action ppf = function
   | Link_down id -> Fmt.pf ppf "link %d down" id
@@ -48,14 +61,17 @@ let dispatch engine hooks action =
   | Recover who -> hooks.on_recover who
 
 let install engine hooks events =
+  (* Coincident events dispatch in injection-id order regardless of how the
+     caller assembled the list (the engine fires same-instant events in
+     scheduling order, so scheduling order is dispatch order). *)
   List.iter
     (fun e ->
       Engine.schedule engine ~at:e.at (fun () -> dispatch engine hooks e.action))
-    events
+    (List.stable_sort compare_events events)
 
 let inject engine hooks action =
-  Engine.schedule engine ~at:(Engine.now engine) (fun () ->
-      dispatch engine hooks action)
+  let e = event ~at:(Engine.now engine) action in
+  Engine.schedule engine ~at:e.at (fun () -> dispatch engine hooks e.action)
 
 let drop prng ~p =
   if p < 0. || p >= 1. then invalid_arg "Fault.drop: p must be in [0, 1)";
@@ -80,9 +96,9 @@ let link_plan prng ~link_ids ~horizon ?(mtbf = horizon /. 2.) ?(mttr = horizon /
           if t >= horizon then List.rev acc
           else
             let action = if up then Link_down link_id else Link_up link_id in
-            walk t (not up) ({ at = t; action } :: acc)
+            walk t (not up) (event ~at:t action :: acc)
         in
         walk 0. true [])
       link_ids
   in
-  List.stable_sort (fun a b -> compare a.at b.at) events
+  List.stable_sort compare_events events

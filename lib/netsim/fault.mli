@@ -15,7 +15,21 @@ type action =
   | Crash of string  (** crash a named broker *)
   | Recover of string
 
-type event = { at : float; action : action }
+type event = {
+  at : float;
+  id : int;  (** injection id: process-wide creation order (see {!event}) *)
+  action : action;
+}
+
+val event : at:float -> action -> event
+(** Build an event carrying a fresh injection id.  Ids are handed out in
+    creation order, so a batch of events built in program order keeps that
+    order wherever times coincide — even after the lists holding them are
+    concatenated, filtered or merged. *)
+
+val compare_events : event -> event -> int
+(** Order by time, injection id breaking ties — the canonical dispatch
+    order {!install} enforces. *)
 
 val pp_action : Format.formatter -> action -> unit
 
@@ -39,7 +53,9 @@ val hooks :
 
 val install : Engine.t -> hooks -> event list -> unit
 (** Schedule every event on the engine; at its time the matching hook
-    fires. *)
+    fires.  Events are scheduled in {!compare_events} order, so coincident
+    same-sim-time injections dispatch deterministically by injection id —
+    independent of how the caller interleaved the lists it concatenated. *)
 
 val inject : Engine.t -> hooks -> action -> unit
 (** Schedule one action at the engine's {e current} time — same metrics,

@@ -1,0 +1,149 @@
+module Ov = Bbr_broker.Overload
+
+let base_load = Scenario.Constant 1.0
+
+let diurnal = Scenario.Diurnal { base = 1.0; amplitude = 0.3; period = 300. }
+
+let flash ?(at = 200.) ?(mult = 8.) shape =
+  Scenario.Flash { shape; at; mult; rise = 20.; hold = 60.; fall = 20. }
+
+let scenarios =
+  [
+    {
+      Scenario.default with
+      Scenario.name = "diurnal-soak";
+      descr = "diurnal sine load on a power-law domain, no faults";
+      seed = 11;
+      load = diurnal;
+      faults = [];
+    };
+    {
+      Scenario.default with
+      Scenario.name = "flash-crowd";
+      descr = "8x flash crowd over diurnal load; pipeline must brown out and recover";
+      seed = 12;
+      load = flash diurnal;
+      slo = { Scenario.default_slo with Scenario.recover_goodput = 60.; brownout_exit = 90. };
+    };
+    {
+      Scenario.default with
+      Scenario.name = "regional-failure";
+      descr = "4 core adjacencies at the top hub fail for 60 s under steady load";
+      seed = 13;
+      load = base_load;
+      faults = [ Scenario.Regional_links { at = 200.; duration = 60.; count = 4 } ];
+    };
+    {
+      Scenario.default with
+      Scenario.name = "failure-under-overload";
+      descr = "regional link burst at the peak of a 6x flash crowd";
+      seed = 14;
+      load = flash ~at:150. ~mult:6. base_load;
+      faults = [ Scenario.Regional_links { at = 190.; duration = 40.; count = 4 } ];
+      slo = { Scenario.default_slo with Scenario.recover_goodput = 90.; brownout_exit = 120. };
+    };
+    {
+      Scenario.default with
+      Scenario.name = "crash-during-flash-crowd";
+      descr = "broker crash + warm-standby promotion in the tail of an 8x flash crowd";
+      seed = 15;
+      load = flash ~at:200. ~mult:8. base_load;
+      faults = [ Scenario.Broker_crash { at = 260.; promote_after = 2. } ];
+      slo =
+        { Scenario.default_slo with
+          Scenario.recover_goodput = 90.; clean_audit = 30.; brownout_exit = 120. };
+    };
+    {
+      Scenario.default with
+      Scenario.name = "partition-heal";
+      descr = "20 stub nodes partitioned for 80 s, then healed";
+      seed = 16;
+      load = base_load;
+      faults = [ Scenario.Partition { at = 200.; duration = 80.; leaves = 20 } ];
+    };
+  ]
+
+let names = List.map (fun s -> s.Scenario.name) scenarios
+
+let find name = List.find_opt (fun s -> s.Scenario.name = name) scenarios
+
+let run_all ?(scale = 1.) ?names:(wanted = []) () =
+  let picked =
+    if wanted = [] then scenarios
+    else
+      List.filter_map
+        (fun n ->
+          match find n with
+          | Some s -> Some s
+          | None -> invalid_arg (Printf.sprintf "Matrix.run_all: unknown scenario %S" n))
+        wanted
+  in
+  List.map (fun s -> Runner.run (Scenario.scale scale s)) picked
+
+(* ------------------------------------------------------------------ *)
+(* BENCH_scenarios.json *)
+
+let json_float b x =
+  if Float.is_nan x || Float.is_integer x && Float.abs x < 1e15 then
+    if Float.is_nan x then Buffer.add_string b "null"
+    else Buffer.add_string b (Printf.sprintf "%.0f" x)
+  else Buffer.add_string b (Printf.sprintf "%.6g" x)
+
+let to_json ~scale outcomes =
+  let b = Buffer.create 4096 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  pf "{\n  \"schema\": \"bbr/scenarios/v1\",\n  \"scale\": %.6g,\n  \"scenarios\": [" scale;
+  List.iteri
+    (fun i (o : Runner.outcome) ->
+      if i > 0 then pf ",";
+      let s = o.Runner.scenario in
+      pf
+        "\n    {\n\
+        \      \"name\": %S,\n\
+        \      \"descr\": %S,\n\
+        \      \"pass\": %b,\n\
+        \      \"offered\": %d,\n\
+        \      \"admitted\": %d,\n\
+        \      \"rejected\": %d,\n\
+        \      \"busy\": %d,\n\
+        \      \"completed\": %d,\n\
+        \      \"goodput_baseline\": "
+        s.Scenario.name s.Scenario.descr (Runner.ok o) o.Runner.offered
+        o.Runner.admitted o.Runner.rejected o.Runner.busy o.Runner.completed;
+      json_float b o.Runner.baseline_goodput;
+      pf ",\n      \"decision_p50_s\": ";
+      json_float b o.Runner.p50_latency;
+      pf ",\n      \"decision_p95_s\": ";
+      json_float b o.Runner.p95_latency;
+      pf ",\n      \"brownout_time_s\": ";
+      json_float b o.Runner.brownout_time;
+      pf
+        ",\n\
+        \      \"genuine_violations\": %d,\n\
+        \      \"expected_anomalies\": %d,\n\
+        \      \"monitor_samples\": %d,\n\
+        \      \"audit_ok\": %b,\n\
+        \      \"slo\": ["
+        (List.length o.Runner.genuine_anomalies)
+        o.Runner.expected_anomalies o.Runner.monitor_samples o.Runner.audit_ok;
+      List.iteri
+        (fun j (m : Slo.measurement) ->
+          if j > 0 then pf ",";
+          pf "\n        { \"event\": %S, \"metric\": %S, \"seconds\": " m.Slo.event
+            m.Slo.metric;
+          (match m.Slo.value with
+          | Some v -> json_float b v
+          | None -> Buffer.add_string b "null");
+          pf ", \"budget\": ";
+          json_float b m.Slo.budget;
+          pf ", \"met\": %b }" m.Slo.met)
+        o.Runner.measurements;
+      pf "\n      ]\n    }")
+    outcomes;
+  pf "\n  ]\n}\n";
+  Buffer.contents b
+
+let write_json ~path ~scale outcomes =
+  let oc = open_out path in
+  output_string oc (to_json ~scale outcomes);
+  close_out oc

@@ -1,0 +1,24 @@
+(** The named scenario matrix and its benchmark artifact.
+
+    Six composed chaos campaigns — diurnal soak, flash crowd, regional
+    link failure, failure-under-overload, broker crash during a flash
+    crowd, partition + heal — each with recovery-SLO budgets.  A full
+    run writes [BENCH_scenarios.json] (schema [bbr/scenarios/v1]) with
+    goodput, decision latency quantiles, recovery times and violation
+    counts per scenario. *)
+
+val scenarios : Scenario.t list
+
+val names : string list
+
+val find : string -> Scenario.t option
+
+val run_all : ?scale:float -> ?names:string list -> unit -> Runner.outcome list
+(** Run the whole matrix (or just [names]), each scenario shrunk by
+    {!Scenario.scale} [scale] (default 1 — full size).  Raises
+    [Invalid_argument] on an unknown name. *)
+
+val to_json : scale:float -> Runner.outcome list -> string
+
+val write_json : path:string -> scale:float -> Runner.outcome list -> unit
+(** Raises [Sys_error] on I/O failure. *)

@@ -1,0 +1,91 @@
+(** Declarative chaos-scenario DSL.
+
+    A scenario is a timeline: a topology, a time-varying load shape
+    (diurnal sine, flash-crowd spikes, compositions), a list of fault
+    injections (regional link bursts, network partitions, broker crash +
+    warm-standby promotion), and per-scenario recovery-SLO budgets.  The
+    {!Runner} executes it against the full broker stack; {!Monitor} and
+    {!Slo} judge it. *)
+
+type topology_spec =
+  | Fig8 of Bbr_workload.Fig8.setting  (** the paper's Figure-8 domain *)
+  | Power_law of { nodes : int; m : int }
+      (** {!Bbr_workload.Topo_gen.power_law} ISP graph *)
+
+type load_shape =
+  | Constant of float  (** arrivals/s *)
+  | Diurnal of { base : float; amplitude : float; period : float }
+      (** [base * (1 + amplitude * sin(2πt/period))], clamped at 0 *)
+  | Flash of {
+      shape : load_shape;  (** underlying shape the flash multiplies *)
+      at : float;
+      mult : float;  (** peak multiplier, e.g. 10. *)
+      rise : float;
+      hold : float;
+      fall : float;
+    }  (** trapezoid flash crowd composed over [shape] *)
+
+type fault =
+  | Regional_links of { at : float; duration : float; count : int }
+      (** [count] links at the top hub go down together, restored after
+          [duration] *)
+  | Partition of { at : float; duration : float; leaves : int }
+      (** the [leaves] lowest-degree nodes are cut off entirely *)
+  | Broker_crash of { at : float; promote_after : float }
+      (** primary dies (journal cut at last fsync), warm standby promoted
+          after [promote_after] *)
+
+(** Per-scenario recovery budgets, all in sim seconds measured from the
+    declared heal instant of each event. *)
+type slo = {
+  recover_goodput : float;  (** goodput back to [goodput_frac] x baseline *)
+  goodput_frac : float;
+  clean_audit : float;  (** first clean MIB audit *)
+  brownout_exit : float;  (** pipeline out of degraded mode *)
+}
+
+val default_slo : slo
+
+type t = {
+  name : string;
+  descr : string;
+  seed : int;
+  topology : topology_spec;
+  load : load_shape;
+  mean_holding : float;
+  duration : float;  (** arrivals stop here *)
+  horizon : float;  (** engine runs (bounded) until here, then drains *)
+  latency : float;  (** COPS one-way latency *)
+  pipeline : Bbr_broker.Overload.config;
+  faults : fault list;
+  slo : slo;
+}
+
+val default : t
+(** 400-node power-law domain, diurnal load, no faults. *)
+
+val rate_at : load_shape -> float -> float
+(** Instantaneous arrival rate (arrivals/s) at sim time [t]. *)
+
+val peak_rate : load_shape -> float
+(** Upper bound on {!rate_at} over all time — the thinning envelope. *)
+
+(** A declared disturbance: every fault and every flash phase. *)
+type event = { label : string; injected_at : float; healed_at : float }
+
+val events : t -> event list
+
+val grace : slo -> float
+(** The largest recovery budget — how long after heal degradation is
+    still "expected". *)
+
+val windows : t -> (float * float) list
+(** Expected-degradation windows: [(injected_at, healed_at + grace)] per
+    event. *)
+
+val in_windows : (float * float) list -> float -> bool
+
+val scale : float -> t -> t
+(** [scale k t] shrinks durations, event instants, holding times, SLO
+    budgets and (power-law) topology size by [k] — the smoke-run knob.
+    [scale 1.] is the identity.  Raises [Invalid_argument] on [k <= 0]. *)

@@ -1,0 +1,101 @@
+module Flight = Bbr_obs.Flight
+
+type measurement = {
+  event : string;
+  metric : string;
+  value : float option;  (* seconds from heal; None = never recovered *)
+  budget : float;
+  met : bool;
+}
+
+type t = {
+  budgets : Scenario.slo;
+  mutable goodput : (float * float) list;  (* newest first *)
+  mutable audit : (float * bool) list;
+  mutable brownout : (float * bool) list;
+  mutable events : Scenario.event list;
+}
+
+let create ~budgets = { budgets; goodput = []; audit = []; brownout = []; events = [] }
+
+let note_goodput t ~at v = t.goodput <- (at, v) :: t.goodput
+let note_audit t ~at ok = t.audit <- (at, ok) :: t.audit
+let note_brownout t ~at b = t.brownout <- (at, b) :: t.brownout
+let declare t (e : Scenario.event) = t.events <- e :: t.events
+
+(* Mean goodput before the first declared injection — what "recovered"
+   means.  Falls back to the all-run mean when every sample is inside
+   some disturbance (a scenario that starts broken). *)
+let baseline t =
+  let first_injection =
+    List.fold_left
+      (fun acc (e : Scenario.event) -> Float.min acc e.Scenario.injected_at)
+      infinity t.events
+  in
+  let series = List.rev t.goodput in
+  let pre = List.filter (fun (at, _) -> at < first_injection) series in
+  let mean = function
+    | [] -> 0.
+    | l -> List.fold_left (fun a (_, v) -> a +. v) 0. l /. float_of_int (List.length l)
+  in
+  if pre = [] then mean series else mean pre
+
+(* First sample at or after [from] satisfying [p], as seconds past
+   [from]. *)
+let first_after series ~from p =
+  let rec go = function
+    | [] -> None
+    | (at, v) :: rest ->
+        if at >= from && p v then Some (at -. from) else go rest
+  in
+  go (List.rev series)
+
+let measure t =
+  let base = baseline t in
+  let floor = t.budgets.Scenario.goodput_frac *. base in
+  List.concat_map
+    (fun (e : Scenario.event) ->
+      let from = e.Scenario.healed_at in
+      let m metric series p budget =
+        let value = first_after series ~from p in
+        { event = e.Scenario.label; metric; value; budget;
+          met = (match value with Some v -> v <= budget | None -> false) }
+      in
+      [
+        m "goodput_recovery" t.goodput
+          (fun v -> base <= 0. || v >= floor)
+          t.budgets.Scenario.recover_goodput;
+        m "clean_audit" t.audit (fun ok -> ok) t.budgets.Scenario.clean_audit;
+        m "brownout_exit" t.brownout (fun b -> not b) t.budgets.Scenario.brownout_exit;
+      ])
+    (List.rev t.events)
+
+let breaches t = List.filter (fun m -> not m.met) (measure t)
+
+let ok t = breaches t = []
+
+(* Satellite hook: an SLO breach is exactly the moment the black box is
+   worth keeping — trigger the armed flight recorder per breach (the
+   first wins the dump; later ones are counted). *)
+let report t =
+  let ms = measure t in
+  List.iter
+    (fun m ->
+      if not m.met then
+        Flight.trigger
+          ~reason:
+            (Printf.sprintf "slo:%s:%s %s (budget %.3fs)" m.event m.metric
+               (match m.value with
+               | Some v -> Printf.sprintf "took %.3fs" v
+               | None -> "never recovered")
+               m.budget))
+    ms;
+  ms
+
+let pp_measurement ppf m =
+  Fmt.pf ppf "%s/%s: %s (budget %.2fs) %s" m.event m.metric
+    (match m.value with
+    | Some v -> Printf.sprintf "%.2fs" v
+    | None -> "never")
+    m.budget
+    (if m.met then "OK" else "BREACH")

@@ -1,0 +1,84 @@
+module Traffic = Bbr_vtrs.Traffic
+module Topology = Bbr_vtrs.Topology
+module Policy = Bbr_broker.Policy
+module Types = Bbr_broker.Types
+module Prng = Bbr_util.Prng
+
+type klass = {
+  name : string;
+  weight : float;
+  profile : Traffic.t;
+  dreq : float;
+  priority : int;
+}
+
+let mtu = Topology.mtu_bits
+
+(* The peak rates are deliberately pairwise distinct: the policy rules
+   below classify a request by its profile's peak, so each class must be
+   recognizable from the wire-visible TSpec alone. *)
+let classes =
+  [
+    {
+      name = "control";
+      weight = 0.05;
+      profile = Traffic.make ~sigma:(2. *. mtu) ~rho:8_000. ~peak:16_000. ~lmax:mtu;
+      dreq = 0.8;
+      priority = 40;
+    };
+    {
+      name = "realtime";
+      weight = 0.15;
+      profile = Traffic.make ~sigma:(4. *. mtu) ~rho:64_000. ~peak:100_000. ~lmax:mtu;
+      dreq = 1.0;
+      priority = 30;
+    };
+    {
+      name = "priority";
+      weight = 0.20;
+      profile = Traffic.make ~sigma:(6. *. mtu) ~rho:48_000. ~peak:80_000. ~lmax:mtu;
+      dreq = 2.0;
+      priority = 20;
+    };
+    {
+      name = "standard";
+      weight = 0.40;
+      profile = Traffic.make ~sigma:(8. *. mtu) ~rho:32_000. ~peak:64_000. ~lmax:mtu;
+      dreq = 4.0;
+      priority = 10;
+    };
+    {
+      name = "bulk";
+      weight = 0.20;
+      profile = Traffic.make ~sigma:(16. *. mtu) ~rho:96_000. ~peak:128_000. ~lmax:mtu;
+      dreq = 8.0;
+      priority = 0;
+    };
+  ]
+
+let find name = List.find_opt (fun k -> k.name = name) classes
+
+let install_policy policy =
+  List.iter
+    (fun k ->
+      if k.priority > 0 then
+        let peak = k.profile.Traffic.peak in
+        Policy.add_priority_rule policy ~name:("class-" ^ k.name)
+          ~matches:(fun (r : Types.request) ->
+            Float.abs (r.Types.profile.Traffic.peak -. peak) < 0.5)
+          ~priority:k.priority)
+    classes
+
+let pick prng =
+  let total = List.fold_left (fun a k -> a +. k.weight) 0. classes in
+  let x = Prng.float prng *. total in
+  let rec go acc = function
+    | [] -> List.nth classes (List.length classes - 1)
+    | k :: rest -> if x < acc +. k.weight then k else go (acc +. k.weight) rest
+  in
+  go 0. classes
+
+let classify (req : Types.request) =
+  List.find_opt
+    (fun k -> Float.abs (req.Types.profile.Traffic.peak -. k.profile.Traffic.peak) < 0.5)
+    classes

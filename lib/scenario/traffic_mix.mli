@@ -1,0 +1,32 @@
+(** Multi-class traffic taxonomy for scenario workloads.
+
+    Five service classes spanning the control/realtime/priority/standard/
+    bulk ladder, each with a dual-token-bucket profile, a delay
+    requirement, a share of the offered mix, and a policy priority.  The
+    peak rates are pairwise distinct so the broker's priority rules can
+    classify a request from its TSpec alone — the classification the
+    overload pipeline's watermark shedding keys on. *)
+
+type klass = {
+  name : string;
+  weight : float;  (** share of the offered arrival mix *)
+  profile : Bbr_vtrs.Traffic.t;
+  dreq : float;  (** end-to-end delay requirement, seconds *)
+  priority : int;  (** {!Bbr_broker.Policy} shedding priority *)
+}
+
+val classes : klass list
+(** Ordered most- to least-important: control, realtime, priority,
+    standard, bulk. *)
+
+val find : string -> klass option
+
+val install_policy : Bbr_broker.Policy.t -> unit
+(** Add one priority rule per class (matching on the class's peak rate)
+    so watermark shedding evicts bulk before control. *)
+
+val pick : Bbr_util.Prng.t -> klass
+(** Draw a class with probability proportional to its weight. *)
+
+val classify : Bbr_broker.Types.request -> klass option
+(** The class whose profile peak the request carries, if any. *)

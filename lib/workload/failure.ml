@@ -187,14 +187,14 @@ let run config =
   | None -> ());
   let events =
     List.map
-      (fun (at, ends) -> { Fault.at; action = Fault.Link_down (link_id_of topo ends) })
+      (fun (at, ends) -> Fault.event ~at (Fault.Link_down (link_id_of topo ends)))
       config.link_down
     @ List.map
-        (fun (at, ends) -> { Fault.at; action = Fault.Link_up (link_id_of topo ends) })
+        (fun (at, ends) -> Fault.event ~at (Fault.Link_up (link_id_of topo ends)))
         config.link_up
     @
     match config.crash_at with
-    | Some at -> [ { Fault.at; action = Fault.Crash "broker" } ]
+    | Some at -> [ Fault.event ~at (Fault.Crash "broker") ]
     | None -> []
   in
   let hooks =
@@ -247,7 +247,7 @@ let run config =
           if total = n && Failover.is_up fw then
             Fault.inject engine hooks (Fault.Crash "broker"))
   | _ -> ());
-  Fault.install engine hooks (List.stable_sort (fun a b -> compare a.Fault.at b.Fault.at) events);
+  Fault.install engine hooks events;
   Engine.run ~until:config.horizon engine;
   (* Let the tail drain: departures past the horizon, in-flight
      retransmissions, the final checkpoint tick (which sees [stop] and

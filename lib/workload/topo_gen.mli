@@ -38,5 +38,43 @@ val random :
     [[capacity_lo, capacity_hi]] (default 1–10 Mb/s).  Nodes are named
     ["N0"… ].  Raises [Invalid_argument] for fewer than 2 nodes. *)
 
+val power_law :
+  Bbr_util.Prng.t ->
+  nodes:int ->
+  ?m:int ->
+  ?delay_fraction:float ->
+  ?capacity_lo:float ->
+  ?capacity_hi:float ->
+  unit ->
+  Bbr_vtrs.Topology.t
+(** A connected ISP-scale domain with a power-law degree distribution,
+    grown by preferential attachment (Barabási–Albert): each new node
+    attaches to [m] (default 2) distinct earlier nodes with probability
+    proportional to their degree, every undirected edge realized as a
+    mirrored pair of directed links sharing one capacity drawn uniformly
+    from [[capacity_lo, capacity_hi]] (default 1–10 Mb/s) and a scheduler
+    that is delay-based with probability [delay_fraction] (default 0.2).
+    O(nodes·m): a 10k-node graph builds in well under a second.  Nodes
+    are ["N0"…]; early nodes become the high-degree hubs.  Deterministic
+    in the generator state: equal seeds yield {!digest}-identical
+    topologies.  Raises [Invalid_argument] for fewer than 2 nodes or
+    [m < 1]. *)
+
+val digest : Bbr_vtrs.Topology.t -> string
+(** CRC-32 hex digest of the canonical topology rendering (node order,
+    link endpoints, capacities, scheduler classes, error terms) — the
+    determinism oracle for generators: same seed ⇒ same digest. *)
+
+val degrees : Bbr_vtrs.Topology.t -> (string * int) list
+(** Out-degree per node, in node insertion order. *)
+
+val hubs : Bbr_vtrs.Topology.t -> string list
+(** Nodes by descending degree (name breaking ties) — the first entries
+    are the cores a regional-failure campaign aims at. *)
+
+val leaves : Bbr_vtrs.Topology.t -> string list
+(** Nodes by ascending degree — the stubs a partition campaign cuts off
+    and the natural ingress/egress candidates. *)
+
 val random_endpoints : Bbr_util.Prng.t -> Bbr_vtrs.Topology.t -> string * string
 (** Two distinct nodes of the topology. *)

@@ -181,6 +181,49 @@ let test_star () =
   | Some path -> Alcotest.(check int) "two hops via hub" 2 (List.length path)
   | None -> Alcotest.fail "star should route"
 
+let test_power_law_deterministic () =
+  (* Same seed ⇒ digest-identical 10k-node topology; a different seed must
+     not collide (the digest actually depends on the draw). *)
+  let build seed =
+    Topo_gen.power_law (Prng.create ~seed) ~nodes:10_000 ~m:2 ()
+  in
+  let a = Topo_gen.digest (build 42) and b = Topo_gen.digest (build 42) in
+  Alcotest.(check string) "same seed, same digest" a b;
+  let c = Topo_gen.digest (build 43) in
+  if a = c then Alcotest.fail "different seeds should not digest equal"
+
+let test_power_law_shape () =
+  let prng = Prng.create ~seed:7 in
+  let t = Topo_gen.power_law prng ~nodes:2_000 ~m:2 () in
+  (* Every node except N0/N1 adds m undirected edges = 2m directed links. *)
+  Alcotest.(check int) "link count" (2 * (1 + (2_000 - 2) * 2)) (Topology.num_links t);
+  (* Preferential attachment concentrates degree: the top hub must be far
+     above the mean degree (~4), and the minimum must be >= m. *)
+  let degs = List.map snd (Topo_gen.degrees t) in
+  let top = List.fold_left max 0 degs in
+  if top < 20 then Alcotest.failf "no hub emerged (max degree %d)" top;
+  List.iter (fun d -> if d < 2 then Alcotest.failf "degree %d < m" d) degs;
+  (* hubs/leaves are consistent orderings of the same node set. *)
+  let hubs = Topo_gen.hubs t in
+  Alcotest.(check int) "hubs covers all nodes" 2_000 (List.length hubs);
+  Alcotest.(check (list string)) "leaves is hubs reversed"
+    (List.rev hubs) (Topo_gen.leaves t)
+
+let test_power_law_connected () =
+  let prng = Prng.create ~seed:11 in
+  let t = Topo_gen.power_law prng ~nodes:60 ~m:2 () in
+  let nodes = Topology.nodes t in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          if a <> b then
+            match Bbr_broker.Routing.shortest_path t ~ingress:a ~egress:b with
+            | Some _ -> ()
+            | None -> Alcotest.failf "no route %s -> %s" a b)
+        nodes)
+    nodes
+
 let test_random_connected () =
   (* Every random topology must be strongly connected (links are mirrored). *)
   let prng = Prng.create ~seed:5 in
@@ -218,6 +261,10 @@ let () =
           Alcotest.test_case "chain" `Quick test_chain;
           Alcotest.test_case "star" `Quick test_star;
           Alcotest.test_case "random connected" `Quick test_random_connected;
+          Alcotest.test_case "power-law deterministic digest" `Quick
+            test_power_law_deterministic;
+          Alcotest.test_case "power-law shape" `Quick test_power_law_shape;
+          Alcotest.test_case "power-law connected" `Quick test_power_law_connected;
         ] );
       ("storm properties", props);
     ]
