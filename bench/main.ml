@@ -29,6 +29,12 @@
                   recovery-SLO oracles and a standing invariant monitor
                   (writes BENCH_scenarios.json; BBR_BENCH_SCALE=k shrinks
                   every scenario for smoke runs)
+     storage      storage-fault armor: single-corruption recovery matrix
+                  over a segmented store with dual-generation checkpoints
+                  — every byte region x bit flip is classified as exact
+                  recovery / reported-loss prefix / silent / raised
+                  (writes BENCH_storage.json; BBR_BENCH_SCALE=k thins
+                  the offset grid for smoke runs)
      scaling      admission cost vs M; bounds vs path length
      statistical  Hoeffding effective-bandwidth multiplexing gain
      micro        Bechamel micro-benchmarks of the admission hot paths
@@ -1290,6 +1296,240 @@ let run_scenarios () =
   Fmt.pr "@.wrote BENCH_scenarios.json@."
 
 (* ------------------------------------------------------------------ *)
+(* Storage-fault armor: the headline robustness claim, measured.  A busy
+   broker journals through a segmented store (two checkpoint
+   generations, sealed segments, an active tail); then every file is
+   corrupted one bit at a time over a grid of byte offsets, and each
+   corrupted clone is cold-recovered and classified:
+
+     exact            bit-identical to the pre-corruption broker
+     prefix_reported  a valid prefix state, loss reported, audit clean
+     silent           wrong state or unreported loss  (must be 0)
+     raised           recovery raised an exception    (must be 0)
+     unrecoverable    no candidate worked             (must be 0)
+
+   Sealed-segment trials additionally run the scrubber on the corrupted
+   clone: detection must be 100% (the footer CRC covers every byte).
+   Writes BENCH_storage.json. *)
+
+module Storage = Bbr_broker.Storage
+module Failover = Bbr_broker.Failover
+module Snapshot = Bbr_broker.Snapshot
+module Vfs = Bbr_util.Vfs
+
+let run_storage () =
+  section "Storage-fault armor: single-corruption recovery matrix";
+  let scale =
+    match Sys.getenv_opt "BBR_BENCH_SCALE" with
+    | Some s -> ( try max 1 (int_of_float (float_of_string s)) with _ -> 1)
+    | None -> 1
+  in
+  let classes = [ { Aggregate.class_id = 0; dreq = 3.; cd = 0.24 } ] in
+  (* Generous capacity: snapshot restore re-joins class members with
+     contingency in flight, so the peak transient demand exceeds the
+     steady state the live broker held. *)
+  let two_path () =
+    let t = Topology.create () in
+    ignore (Topology.add_link t ~src:"A" ~dst:"M1" ~capacity:2e7 Topology.Rate_based);
+    ignore (Topology.add_link t ~src:"M1" ~dst:"B" ~capacity:2e7 Topology.Rate_based);
+    ignore (Topology.add_link t ~src:"A" ~dst:"M2" ~capacity:2e7 Topology.Rate_based);
+    ignore (Topology.add_link t ~src:"M2" ~dst:"B" ~capacity:2e7 Topology.Rate_based);
+    t
+  in
+  let mk () = Broker.create ~classes (two_path ()) in
+  let req = { Types.profile = type0; dreq = 3.; ingress = "A"; egress = "B" } in
+  let vfs = Vfs.create ~seed:42 () in
+  let st = Storage.create ~rotate_every:8 ~vfs () in
+  let j = Journal.create ~fsync_every:1 ~storage:st () in
+  let broker = mk () in
+  let fw = Failover.create ~make_standby:mk ~journal:j ~storage:st broker in
+  let n_ops = max 36 (144 / scale) in
+  let per_flow = ref [] and last_class = ref None in
+  for i = 1 to n_ops do
+    (if i mod 3 = 0 then
+       match Broker.request_class broker req with
+       | Ok (f, _) -> last_class := Some f
+       | Error _ -> ()
+     else
+       match Broker.request broker req with
+       | Ok (f, _) -> per_flow := f :: !per_flow
+       | Error _ -> ());
+    (if i mod 7 = 0 then
+       match !per_flow with
+       | f :: rest ->
+           Broker.teardown broker f;
+           per_flow := rest
+       | [] -> ());
+    (if i mod 5 = 0 then
+       match !last_class with
+       | Some c -> (
+           match Aggregate.owner (Broker.aggregate broker) ~flow:c with
+           | Some (class_id, path_id) -> Broker.queue_empty broker ~class_id ~path_id
+           | None -> ())
+       | None -> ());
+    if i = n_ops / 3 || i = 2 * n_ops / 3 then Failover.checkpoint fw
+  done;
+  let digest_full = Audit.mib_digest broker in
+  (* Every digest a recovery is allowed to land on: the oldest retained
+     generation's state, then each prefix of the record chain from its
+     cover onward. *)
+  let prefix_digests =
+    let v = Vfs.copy vfs in
+    let stc = Storage.create ~vfs:v () in
+    match List.rev (Storage.candidates stc) with
+    | [] -> failwith "storage bench: fixture has no verifiable checkpoint"
+    | (_gen, cover, body) :: _ -> (
+        let replica = mk () in
+        (match Snapshot.restore replica body with
+        | Ok _ -> ()
+        | Error e -> failwith ("storage bench: pristine restore failed: " ^ e));
+        let digests = ref [ Audit.mib_digest replica ] in
+        let tail = Storage.tail_from stc ~cover in
+        match Journal.parse (Journal.text_of_lines tail.Storage.lines) with
+        | Error e -> failwith ("storage bench: pristine tail bad: " ^ e)
+        | Ok (entries, _) ->
+            List.iter
+              (fun (_at, m) ->
+                (match Journal.apply replica m with
+                | Ok () -> ()
+                | Error e -> failwith ("storage bench: pristine apply failed: " ^ e));
+                digests := Audit.mib_digest replica :: !digests)
+              entries;
+            !digests)
+  in
+  if List.hd prefix_digests <> digest_full then
+    failwith "storage bench: ground-truth digest chain does not end at the live state";
+  let files = Vfs.list vfs in
+  let active_seg =
+    List.fold_left
+      (fun acc f ->
+        if String.length f > 4 && String.sub f 0 4 = "seg-" && f > acc then f else acc)
+      "" files
+  in
+  let region_of f =
+    if String.length f >= 4 && String.sub f 0 4 = "ckpt" then "checkpoint"
+    else if f = active_seg then "active_segment"
+    else "sealed_segment"
+  in
+  let classify ~file ~at ~bit =
+    let v = Vfs.copy vfs in
+    if not (Vfs.corrupt v ~name:file ~at ~bit) then `Skip
+    else
+      let stc = Storage.create ~vfs:v () in
+      match Failover.recover_from ~make:mk stc with
+      | exception _ -> `Raised
+      | Error _ -> `Unrecoverable
+      | Ok (b, _, r) ->
+          let d = Audit.mib_digest b in
+          if d = digest_full then `Exact
+          else if not (List.mem d prefix_digests) then `Silent
+          else if not (Failover.recovery_loss r) then `Silent
+          else if not (Audit.ok (Audit.check b)) then `Silent
+          else `Prefix
+  in
+  let detected_by_scrub ~file ~at ~bit =
+    let v = Vfs.copy vfs in
+    ignore (Vfs.corrupt v ~name:file ~at ~bit);
+    not (Storage.scrub_clean (Storage.scrub (Storage.create ~vfs:v ())))
+  in
+  let bits = if scale > 1 then [ 0 ] else [ 0; 3; 7 ] in
+  let offsets_per_file = max 6 (64 / scale) in
+  let regions = Hashtbl.create 4 in
+  let counts region =
+    match Hashtbl.find_opt regions region with
+    | Some c -> c
+    | None ->
+        let c = Array.make 7 0 in
+        (* trials exact prefix silent raised unrec detected *)
+        Hashtbl.add regions region c;
+        c
+  in
+  List.iter
+    (fun file ->
+      let region = region_of file in
+      let c = counts region in
+      let size = Vfs.size vfs ~name:file in
+      let stride = max 1 (size / offsets_per_file) in
+      let at = ref 0 in
+      while !at < size do
+        List.iter
+          (fun bit ->
+            (match classify ~file ~at:!at ~bit with
+            | `Skip -> ()
+            | v ->
+                c.(0) <- c.(0) + 1;
+                let slot =
+                  match v with
+                  | `Exact -> 1
+                  | `Prefix -> 2
+                  | `Silent -> 3
+                  | `Raised -> 4
+                  | `Unrecoverable | `Skip -> 5
+                in
+                c.(slot) <- c.(slot) + 1);
+            if region = "sealed_segment" && detected_by_scrub ~file ~at:!at ~bit
+            then c.(6) <- c.(6) + 1)
+          bits;
+        at := !at + stride
+      done)
+    files;
+  let region_names = [ "checkpoint"; "sealed_segment"; "active_segment" ] in
+  Fmt.pr "%-16s %7s %7s %7s %7s %7s %7s@." "region" "trials" "exact" "prefix"
+    "silent" "raised" "unrec";
+  List.iter
+    (fun r ->
+      let c = counts r in
+      Fmt.pr "%-16s %7d %7d %7d %7d %7d %7d@." r c.(0) c.(1) c.(2) c.(3) c.(4)
+        c.(5))
+    region_names;
+  let sealed = counts "sealed_segment" in
+  let detection_rate =
+    if sealed.(0) = 0 then 1. else float_of_int sealed.(6) /. float_of_int sealed.(0)
+  in
+  Fmt.pr "sealed-segment scrub detection: %d/%d (%.3f)@." sealed.(6) sealed.(0)
+    detection_rate;
+  let t0 = Sys.time () in
+  let scrub_report = Storage.scrub (Storage.create ~vfs:(Vfs.copy vfs) ()) in
+  let scrub_s = Sys.time () -. t0 in
+  let segments =
+    List.length
+      (List.filter (fun f -> String.length f > 4 && String.sub f 0 4 = "seg-") files)
+  in
+  let b = Buffer.create 2048 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  pf "{\n  \"schema\": \"bbr/storage/v1\",\n  \"scale\": %d,\n" scale;
+  pf "  \"fixture\": {\n    \"ops\": %d,\n    \"files\": %d,\n    \"segments\": %d,\n"
+    n_ops (List.length files) segments;
+  pf "    \"checkpoint_generations\": %d,\n    \"prefix_states\": %d,\n    \"bytes\": %d\n  },\n"
+    (List.length (Storage.candidates st))
+    (List.length prefix_digests) (Vfs.total_bytes vfs);
+  pf "  \"matrix\": [";
+  List.iteri
+    (fun i r ->
+      let c = counts r in
+      if i > 0 then pf ",";
+      pf
+        "\n    { \"region\": %S, \"trials\": %d, \"exact\": %d, \
+         \"prefix_reported\": %d, \"silent\": %d, \"raised\": %d, \
+         \"unrecoverable\": %d }"
+        r c.(0) c.(1) c.(2) c.(3) c.(4) c.(5))
+    region_names;
+  pf "\n  ],\n";
+  let total i = List.fold_left (fun a r -> a + (counts r).(i)) 0 region_names in
+  pf
+    "  \"totals\": { \"trials\": %d, \"silent\": %d, \"raised\": %d, \
+     \"unrecoverable\": %d, \"sealed_detection_rate\": %.6g },\n"
+    (total 0) (total 3) (total 4) (total 5) detection_rate;
+  pf "  \"scrub\": { \"segments_checked\": %d, \"clean\": %b, \"seconds\": %.6g }\n}\n"
+    scrub_report.Storage.segments_checked
+    (Storage.scrub_clean scrub_report)
+    scrub_s;
+  let oc = open_out "BENCH_storage.json" in
+  output_string oc (Buffer.contents b);
+  close_out oc;
+  Fmt.pr "@.wrote BENCH_storage.json@."
+
+(* ------------------------------------------------------------------ *)
 
 let sections =
   [
@@ -1308,6 +1548,7 @@ let sections =
     ("federation", run_federation_bench);
     ("admission_throughput", run_admission_throughput);
     ("scenarios", run_scenarios);
+    ("storage", run_storage);
     ("scaling", run_scaling);
     ("statistical", run_statistical);
     ("admission", run_admission);

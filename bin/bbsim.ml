@@ -7,7 +7,10 @@
      admit     one-shot admission decision for a custom flow
      transient the Figure-7 edge transient
      metrics   run a static fill and print its telemetry snapshot
-     recover   rebuild a broker from a snapshot + write-ahead journal
+     recover   rebuild a broker from a snapshot + write-ahead journal,
+               or cold-recover from an exported segmented store
+     scrub     integrity-check an exported segmented store (segment
+               footers, record CRCs, checkpoint generations)
      audit     run a workload and cross-check the MIB invariants
      overload  overload soak through the bounded admission pipeline
                (or, with --partition, the lease-reclaim soak)
@@ -23,7 +26,9 @@
    the black-box flight recorder.
 
    Exit codes: 0 success, 1 domain failure (rejected audit, failed
-   replay), 2 file I/O error, 3 input parse error.
+   replay, store corruption), 2 file I/O error, 3 input parse error,
+   4 recovered with data loss (a prefix state was rebuilt and is
+   audit-clean, but records or a checkpoint generation were lost).
 
    Try: dune exec bin/bbsim.exe -- fill --scheme perflow --dreq 2.19 *)
 
@@ -33,7 +38,10 @@ module Types = Bbr_broker.Types
 module Aggregate = Bbr_broker.Aggregate
 module Broker = Bbr_broker.Broker
 module Journal = Bbr_broker.Journal
+module Storage = Bbr_broker.Storage
+module Failover = Bbr_broker.Failover
 module Snapshot = Bbr_broker.Snapshot
+module Vfs = Bbr_util.Vfs
 module Audit = Bbr_broker.Audit
 module Telemetry = Bbr_broker.Telemetry
 module Traffic = Bbr_vtrs.Traffic
@@ -98,6 +106,12 @@ let duration =
 let exit_io = 2
 let exit_parse = 3
 
+(* "It worked, but not losslessly": recovery rebuilt a clean prefix
+   state yet had to drop records, quarantine a segment, or skip a
+   corrupt checkpoint generation.  Scripts must be able to tell this
+   from both full success (0) and outright failure (1). *)
+let exit_data_loss = 4
+
 let read_file path =
   match
     let ic = open_in_bin path in
@@ -121,6 +135,35 @@ let write_file path text =
   | exception Sys_error e ->
       Fmt.epr "error: %s@." e;
       exit exit_io
+
+(* --- store directories ----------------------------------------------- *)
+
+(* A segmented store travels as a plain directory of files (segments,
+   checkpoints, quarantined segments) — the Vfs export/import format. *)
+let import_store dir =
+  match Sys.readdir dir with
+  | exception Sys_error e ->
+      Fmt.epr "error: %s@." e;
+      exit exit_io
+  | names ->
+      Array.sort compare names;
+      let files =
+        Array.to_list names
+        |> List.filter (fun n -> not (Sys.is_directory (Filename.concat dir n)))
+        |> List.map (fun n -> (n, read_file (Filename.concat dir n)))
+      in
+      Vfs.import files
+
+let export_store vfs dir =
+  (match Sys.mkdir dir 0o755 with
+  | () -> ()
+  | exception Sys_error _ when Sys.file_exists dir && Sys.is_directory dir -> ()
+  | exception Sys_error e ->
+      Fmt.epr "error: %s@." e;
+      exit exit_io);
+  List.iter
+    (fun (name, contents) -> write_file (Filename.concat dir name) contents)
+    (Vfs.export vfs)
 
 (* --- metrics plumbing ----------------------------------------------- *)
 
@@ -297,8 +340,19 @@ let journal_out =
            write the journal to $(docv) afterwards (replayable with \
            $(b,recover)).")
 
-let run_simulate setting cd scheme seed load duration journal_path out format trace
-    flight =
+let store_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "store-dir" ] ~docv:"DIR"
+        ~doc:
+          "Back the run's write-ahead journal with a segmented store \
+           (CRC'd per-record framing, sealed segment footers) and export \
+           it to $(docv) afterwards — recoverable with $(b,recover \
+           --store), integrity-checkable with $(b,scrub --store).")
+
+let run_simulate setting cd scheme seed load duration journal_path store_dir out
+    format trace flight =
   let dyn_scheme =
     match scheme with
     | `Perflow -> Dynamic.Perflow
@@ -310,7 +364,14 @@ let run_simulate setting cd scheme seed load duration journal_path out format tr
   let cfg =
     { Dynamic.seed; setting; arrival_rate = load; mean_holding = 200.; duration; cd }
   in
-  let journal = Option.map (fun _ -> Journal.create ()) journal_path in
+  let store =
+    Option.map (fun _ -> Storage.create ~vfs:(Vfs.create ~seed ()) ()) store_dir
+  in
+  let journal =
+    if journal_path <> None || store <> None then
+      Some (Journal.create ?storage:store ())
+    else None
+  in
   let captured = ref None in
   let o =
     with_obs ~out ~format ~trace ~flight (fun () ->
@@ -326,11 +387,21 @@ let run_simulate setting cd scheme seed load duration journal_path out format tr
   Fmt.pr "offered %d, blocked %d, completed %d@." o.Dynamic.offered o.Dynamic.blocked
     o.Dynamic.completed;
   Fmt.pr "blocking rate: %.4f@." o.Dynamic.blocking_rate;
-  match (journal_path, journal, !captured) with
+  (match (journal_path, journal, !captured) with
   | Some path, Some j, Some broker ->
       write_file path (Journal.text j);
       Fmt.pr "journal: %d records -> %s@." (Journal.records j) path;
       Fmt.pr "final mib digest: %s@." (Audit.mib_digest broker)
+  | _ -> ());
+  match (store_dir, store, !captured) with
+  | Some dir, Some st, Some broker ->
+      Storage.seal_active st;
+      export_store (Storage.vfs st) dir;
+      Fmt.pr "store: %d file(s) -> %s@."
+        (List.length (Vfs.list (Storage.vfs st)))
+        dir;
+      if journal_path = None then
+        Fmt.pr "final mib digest: %s@." (Audit.mib_digest broker)
   | _ -> ()
 
 let simulate_cmd =
@@ -338,7 +409,8 @@ let simulate_cmd =
   Cmd.v (Cmd.info "simulate" ~doc)
     Term.(
       const run_simulate $ setting $ cd $ scheme $ seed $ load $ duration
-      $ journal_out $ metrics_out $ metrics_format $ trace_out $ flight_out)
+      $ journal_out $ store_out $ metrics_out $ metrics_format $ trace_out
+      $ flight_out)
 
 (* --- sweep ---------------------------------------------------------- *)
 
@@ -508,10 +580,21 @@ let method_for = function `Aggr m -> m | `Perflow | `Intserv -> Aggregate.Feedba
 
 let journal_file =
   Arg.(
-    required
+    value
     & opt (some string) None
     & info [ "journal" ] ~docv:"PATH"
         ~doc:"Write-ahead journal to replay (see $(b,simulate --journal-out)).")
+
+let store_dir =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "store" ] ~docv:"DIR"
+        ~doc:
+          "Segmented store directory (see $(b,simulate --store-dir)): cold \
+           recovery from the newest verifiable checkpoint generation plus \
+           the longest intact journal suffix, degrading rather than \
+           failing.")
 
 let snapshot_file =
   Arg.(
@@ -522,43 +605,117 @@ let snapshot_file =
           "Checkpoint to restore before the journal tail; without it the \
            journal replays from an empty broker.")
 
-let run_recover setting cd scheme journal_path snapshot_path =
-  let topo = Fig8.topology setting in
-  let broker =
-    Broker.create ~classes:(classes_for scheme cd) ~method_:(method_for scheme) topo
+(* Shared tail of both recovery paths: audit the rebuilt broker, print
+   the digest, and pick the exit code — 1 for a dirty audit, 4 for a
+   clean recovery that lost data, 0 for a lossless one. *)
+let finish_recover broker ~lossy =
+  Fmt.pr "flows: %d per-flow, %d class members@."
+    (Broker.per_flow_count broker)
+    (Broker.class_flow_count broker);
+  let report = Audit.check broker in
+  Fmt.pr "%a@." Audit.pp_report report;
+  Fmt.pr "final mib digest: %s@." (Audit.mib_digest broker);
+  if not (Audit.ok report) then exit 1;
+  if lossy then exit exit_data_loss
+
+let run_recover setting cd scheme journal_path snapshot_path store_path =
+  let mk () =
+    Broker.create
+      ~classes:(classes_for scheme cd)
+      ~method_:(method_for scheme) (Fig8.topology setting)
   in
-  (match snapshot_path with
-  | None -> ()
-  | Some path -> (
-      match Snapshot.restore broker (read_file path) with
-      | Ok n -> Fmt.pr "snapshot: %d reservations restored@." n
-      | Error e ->
-          Fmt.epr "error: snapshot: %s@." e;
-          exit exit_parse));
-  match Journal.replay broker (read_file journal_path) with
-  | Error e ->
-      Fmt.epr "error: journal: %s@." e;
+  match (store_path, journal_path) with
+  | Some _, Some _ ->
+      Fmt.epr "error: --store and --journal are mutually exclusive@.";
       exit exit_parse
-  | Ok { Journal.applied; warning } ->
-      Fmt.pr "journal: %d records applied@." applied;
-      Option.iter (fun w -> Fmt.pr "warning: %s@." w) warning;
-      Fmt.pr "flows: %d per-flow, %d class members@."
-        (Broker.per_flow_count broker)
-        (Broker.class_flow_count broker);
-      let report = Audit.check broker in
-      Fmt.pr "%a@." Audit.pp_report report;
-      Fmt.pr "final mib digest: %s@." (Audit.mib_digest broker);
-      if not (Audit.ok report) then exit 1
+  | None, None ->
+      Fmt.epr "error: one of --journal or --store is required@.";
+      exit exit_parse
+  | Some dir, None -> (
+      let st = Storage.create ~vfs:(import_store dir) () in
+      match Failover.recover_from ~make:mk st with
+      | Error e ->
+          Fmt.epr "error: store: %s@." e;
+          exit 1
+      | Ok (broker, restored, r) ->
+          (match r.Failover.sr_gen with
+          | Some g ->
+              Fmt.pr "checkpoint: generation %d, %d reservations restored%s@." g
+                restored
+                (if r.Failover.sr_fallback then "  (FALLBACK: a newer generation failed verification)"
+                 else "")
+          | None -> Fmt.pr "checkpoint: none verifiable, replaying from empty@.");
+          Fmt.pr "journal: %d records applied from sequence %d@."
+            r.Failover.sr_replayed r.Failover.sr_cover;
+          Option.iter (fun w -> Fmt.pr "warning: truncated: %s@." w)
+            r.Failover.sr_truncated;
+          if r.Failover.sr_quarantined > 0 then
+            Fmt.pr "warning: %d sealed segment(s) quarantined@."
+              r.Failover.sr_quarantined;
+          finish_recover broker ~lossy:(Failover.recovery_loss r))
+  | None, Some journal_path ->
+      let broker = mk () in
+      (match snapshot_path with
+      | None -> ()
+      | Some path -> (
+          match Snapshot.restore broker (read_file path) with
+          | Ok n -> Fmt.pr "snapshot: %d reservations restored@." n
+          | Error e ->
+              Fmt.epr "error: snapshot: %s@." e;
+              exit exit_parse));
+      (match Journal.replay broker (read_file journal_path) with
+      | Error e ->
+          Fmt.epr "error: journal: %s@." e;
+          exit exit_parse
+      | Ok { Journal.applied; warning } ->
+          Fmt.pr "journal: %d records applied@." applied;
+          Option.iter (fun w -> Fmt.pr "warning: %s@." w) warning;
+          finish_recover broker ~lossy:(warning <> None))
 
 let recover_cmd =
   let doc =
-    "Rebuild a broker offline from a checkpoint snapshot plus a write-ahead \
-     journal tail, audit it, and print its canonical MIB digest (compare \
-     with the digest $(b,simulate --journal-out) printed)."
+    "Rebuild a broker offline — from a checkpoint snapshot plus a \
+     write-ahead journal tail ($(b,--journal)), or cold from a segmented \
+     store directory ($(b,--store)) — audit it, and print its canonical \
+     MIB digest.  Exits 4 when the rebuild is clean but lossy (truncated \
+     tail, quarantined segment, or checkpoint-generation fallback)."
   in
   Cmd.v (Cmd.info "recover" ~doc)
     Term.(
-      const run_recover $ setting $ cd $ scheme $ journal_file $ snapshot_file)
+      const run_recover $ setting $ cd $ scheme $ journal_file $ snapshot_file
+      $ store_dir)
+
+(* --- scrub ------------------------------------------------------------ *)
+
+let scrub_store_dir =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "store" ] ~docv:"DIR" ~doc:"Segmented store directory to check.")
+
+let run_scrub dir =
+  let st = Storage.create ~vfs:(import_store dir) () in
+  let r = Storage.scrub st in
+  Fmt.pr "segments checked: %d@." r.Storage.segments_checked;
+  Fmt.pr "checkpoints: %d ok, %d bad@." r.Storage.checkpoints_ok
+    r.Storage.checkpoints_bad;
+  List.iter (fun (file, kind) -> Fmt.pr "corrupt: %s (%s)@." file kind) r.Storage.errors;
+  List.iter (fun f -> Fmt.pr "quarantined: %s@." f) r.Storage.quarantined_files;
+  if Storage.scrub_clean r then Fmt.pr "store clean@."
+  else begin
+    Fmt.pr "%d corruption(s) detected@." (List.length r.Storage.errors);
+    exit 1
+  end
+
+let scrub_cmd =
+  let doc =
+    "Integrity-check an exported segmented store: every sealed segment's \
+     footer CRC, every record CRC and sequence chain, both checkpoint \
+     generations.  Sealed segments whose bytes changed since sealing are \
+     quarantined (renamed $(b,*.quar) inside the imported view; the \
+     directory itself is not modified).  Exits 1 on any detection."
+  in
+  Cmd.v (Cmd.info "scrub" ~doc) Term.(const run_scrub $ scrub_store_dir)
 
 (* --- audit ----------------------------------------------------------- *)
 
@@ -944,6 +1101,7 @@ let () =
             trace_gen_cmd;
             replay_cmd;
             recover_cmd;
+            scrub_cmd;
             audit_cmd;
             overload_cmd;
             federation_cmd;

@@ -20,10 +20,28 @@
 
 type t
 
+type storage_recovery = {
+  sr_gen : int option;  (** checkpoint generation restored; [None] = from empty *)
+  sr_cover : int;  (** replay started at this journal sequence number *)
+  sr_fallback : bool;
+      (** a newer generation existed but failed verification, or the
+          chosen candidate was not the first tried *)
+  sr_truncated : string option;  (** why the record suffix stopped early *)
+  sr_quarantined : int;  (** sealed segments quarantined during recovery *)
+  sr_replayed : int;
+}
+(** What a storage-mode promotion actually recovered — the data-loss
+    report callers surface (exit codes, scenario outcomes). *)
+
+val recovery_loss : storage_recovery -> bool
+(** True when the recovery was degraded in any visible way: generation
+    fallback, truncated suffix, or quarantined segments. *)
+
 val create :
   make_standby:(unit -> Broker.t) ->
   ?time:Broker.time_hooks ->
   ?journal:Journal.t ->
+  ?storage:Storage.t ->
   Broker.t ->
   t
 (** [make_standby ()] must build a fresh broker over the same topology
@@ -33,7 +51,16 @@ val create :
     {!start_checkpoints}.  [journal], when given, is attached to the
     primary immediately (every mutation from here on is journaled),
     compacted at each {!checkpoint}, replayed and re-attached at
-    {!promote}. *)
+    {!promote}.
+
+    [storage], when given, makes durability real: {!checkpoint} writes
+    dual-generation verified checkpoints through {!Storage.checkpoint}
+    (and skips compaction when the write fails — the journal is then the
+    only durable copy), and {!promote} reads {e only} the store — newest
+    verifiable generation plus longest intact record suffix, degrading
+    across generations rather than failing.  Pair it with a journal
+    created over the same store ([Journal.create ~storage]) so records
+    write through to the segmented log. *)
 
 val active : t -> Broker.t
 (** The broker currently holding the PDP role: the primary until a
@@ -81,6 +108,26 @@ val replay_warning : t -> string option
 (** The tail-truncation warning of the last promotion's journal replay —
     [Some _] when a torn or corrupt record cut the replay short (records
     past the cut are lost, as after a real crash). *)
+
+val last_recovery : t -> storage_recovery option
+(** The data-loss report of the last storage-mode promotion; [None]
+    before any promotion or without [storage]. *)
+
+val recover_from :
+  make:(unit -> Broker.t) ->
+  Storage.t ->
+  (Broker.t * int * storage_recovery, string) result
+(** Cold recovery, the read-only core of storage-mode promotion: build a
+    broker with [make], restore the newest verifiable checkpoint
+    generation, replay the longest intact record suffix; degrade across
+    generations (and ultimately to an intact chain from sequence 0, or
+    the empty state with loss reported) rather than fail.  Returns the
+    recovered broker, the count of reservations restored from the
+    checkpoint, and the degradation report.  Mutates nothing but the
+    store's quarantine renames; never raises. *)
+
+val storage : t -> Storage.t option
+(** The segmented store given at {!create}, if any. *)
 
 val snapshot_age : t -> float option
 (** Time since the last checkpoint — the window of admissions a crash

@@ -179,6 +179,11 @@ let replay broker text =
   match parse text with
   | Error e -> Error e
   | Ok (entries, warning) ->
+      (* A truncated tail is a countable event, not just prose: the
+         fleet watches bb_journal_truncations_total, nobody greps warning
+         strings. *)
+      if warning <> None && Obs_log.active () then
+        Obs_log.count "bb_journal_truncations_total";
       let rec go n = function
         | [] -> Ok { applied = n; warning }
         | (_at, m) :: rest -> (
@@ -194,10 +199,19 @@ let replay broker text =
 
 type t = Broker.mutation Wal.t
 
-let create ?fsync_every () =
-  try Wal.create ?fsync_every ~header ~encode_payload:payload ()
-  with Invalid_argument _ ->
-    invalid_arg "Journal.create: fsync_every must be >= 1"
+let create ?fsync_every ?storage () =
+  let t =
+    try Wal.create ?fsync_every ~header ~encode_payload:payload ()
+    with Invalid_argument _ ->
+      invalid_arg "Journal.create: fsync_every must be >= 1"
+  in
+  (match storage with
+  | Some st -> Wal.set_sink t (Some (Storage.sink st))
+  | None -> ());
+  t
+
+let text_of_lines lines =
+  String.concat "" (List.map (fun l -> l ^ "\n") (header :: lines))
 
 let records = Wal.records
 

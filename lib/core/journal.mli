@@ -38,10 +38,13 @@ val header : string
 
 (** {1 Writing} *)
 
-val create : ?fsync_every:int -> unit -> t
+val create : ?fsync_every:int -> ?storage:Storage.t -> unit -> t
 (** A fresh, empty journal.  [fsync_every] (default 1) is the number of
     records between durability boundaries; 1 means every record survives
-    a crash.  Raises [Invalid_argument] when [< 1]. *)
+    a crash.  With [storage], every record is also written through to the
+    segmented store ({!Storage.sink}) at append time and fsynced at the
+    same boundaries — the in-memory log stays the live process state, the
+    store is the disk.  Raises [Invalid_argument] when [< 1]. *)
 
 val attach : t -> Broker.t -> unit
 (** Install the journal as the broker's mutation hook: every subsequent
@@ -122,3 +125,13 @@ val replay : Broker.t -> string -> (replay_outcome, string) result
 
 val encode : seq:int -> at:float -> Broker.mutation -> string
 (** One record line (without the newline) — exposed for fuzzing. *)
+
+val text_of_lines : string list -> string
+(** A parseable journal text from raw record lines (as {!Storage.tail}
+    returns them): the header line plus each line newline-terminated —
+    the glue between a recovered storage suffix and {!replay}. *)
+
+val apply : Broker.t -> Broker.mutation -> (unit, string) result
+(** Apply one decoded mutation — {!replay}'s step function, exposed so
+    recovery oracles can walk a tail record by record and digest every
+    intermediate prefix state. *)

@@ -8,6 +8,8 @@ module Crc32 = Bbr_util.Crc32
    path. *)
 type 'a pending = { p_seq : int; p_at : float; p_v : 'a }
 
+type sink = { put : string -> unit; sync : unit -> unit }
+
 type 'a t = {
   header : string;
   encode_payload : 'a -> string;
@@ -19,6 +21,7 @@ type 'a t = {
   mutable record_hook : (int -> unit) option;
   mutable group_start : int option;  (* [records] when the open group began *)
   mutable synced_floor : int;  (* records made durable by a group commit *)
+  mutable sink : sink option;  (* eager write-through to a storage layer *)
 }
 
 let create ?(fsync_every = 1) ~header ~encode_payload () =
@@ -34,7 +37,10 @@ let create ?(fsync_every = 1) ~header ~encode_payload () =
     record_hook = None;
     group_start = None;
     synced_floor = 0;
+    sink = None;
   }
+
+let set_sink t sink = t.sink <- sink
 
 let records t = t.records
 
@@ -51,6 +57,14 @@ let synced_records t =
 
 let in_group t = t.group_start <> None
 
+let encode_line ~seq ~at payload =
+  let body = Printf.sprintf "%d %h %s" seq at payload in
+  Crc32.to_hex (Crc32.string body) ^ " " ^ body
+
+let encode_pending t r = encode_line ~seq:r.p_seq ~at:r.p_at (t.encode_payload r.p_v)
+
+let sink_sync t = match t.sink with None -> () | Some s -> s.sync ()
+
 let group t f =
   match t.group_start with
   | Some _ -> f () (* nested: joins the outer group *)
@@ -66,14 +80,24 @@ let group t f =
       in
       t.group_start <- None;
       t.synced_floor <- t.records;
+      sink_sync t;
       out
 
 let on_record t f = t.record_hook <- Some f
 
 let append t ~at v =
-  t.recs <- { p_seq = t.seq; p_at = at; p_v = v } :: t.recs;
+  let r = { p_seq = t.seq; p_at = at; p_v = v } in
+  t.recs <- r :: t.recs;
   t.seq <- t.seq + 1;
   t.records <- t.records + 1;
+  (* Write-ahead to the sink before the record hook can observe the
+     append: the disk (or its simulation) sees the record no later than
+     any side effect keyed on it. *)
+  (match t.sink with
+  | None -> ()
+  | Some s ->
+      s.put (encode_pending t r);
+      if (not (in_group t)) && t.records mod t.fsync_every = 0 then s.sync ());
   match t.record_hook with None -> () | Some f -> f t.seq
 
 let compact t =
@@ -82,12 +106,6 @@ let compact t =
   t.torn <- None;
   t.synced_floor <- 0;
   t.group_start <- Option.map (fun _ -> 0) t.group_start
-
-let encode_line ~seq ~at payload =
-  let body = Printf.sprintf "%d %h %s" seq at payload in
-  Crc32.to_hex (Crc32.string body) ^ " " ^ body
-
-let encode_pending t r = encode_line ~seq:r.p_seq ~at:r.p_at (t.encode_payload r.p_v)
 
 let text t =
   let buf = Buffer.create 4096 in
@@ -136,25 +154,37 @@ let crash_cut t =
 (* --------------------------------------------------------------- *)
 (* Decoding.  All helpers return options; nothing here may raise.  *)
 
-(* [Some (seq, at, v)] iff the line is a complete, CRC-clean record. *)
-let decode_line ~decode_payload line =
+(* [Some body] iff the line's CRC matches what follows it. *)
+let checked_body line =
   match String.index_opt line ' ' with
   | None -> None
   | Some i -> (
       let crc_s = String.sub line 0 i in
       let body = String.sub line (i + 1) (String.length line - i - 1) in
       match Crc32.of_hex crc_s with
-      | None -> None
-      | Some crc ->
-          if crc <> Crc32.string body then None
-          else
-            (match String.split_on_char ' ' body with
-            | seq :: at :: rest -> (
-                match (int_of_string_opt seq, float_of_string_opt at) with
-                | Some seq, Some at ->
-                    Option.map (fun v -> (seq, at, v)) (decode_payload rest)
-                | _ -> None)
-            | _ -> None))
+      | Some crc when crc = Crc32.string body -> Some body
+      | _ -> None)
+
+let seq_of_line line =
+  match checked_body line with
+  | None -> None
+  | Some body -> (
+      match String.split_on_char ' ' body with
+      | seq :: _ -> int_of_string_opt seq
+      | [] -> None)
+
+(* [Some (seq, at, v)] iff the line is a complete, CRC-clean record. *)
+let decode_line ~decode_payload line =
+  match checked_body line with
+  | None -> None
+  | Some body -> (
+      match String.split_on_char ' ' body with
+      | seq :: at :: rest -> (
+          match (int_of_string_opt seq, float_of_string_opt at) with
+          | Some seq, Some at ->
+              Option.map (fun v -> (seq, at, v)) (decode_payload rest)
+          | _ -> None)
+      | _ -> None)
 
 let parse ~header ~decode_payload text =
   match String.split_on_char '\n' text with

@@ -24,6 +24,13 @@
 
 type 'a t
 
+type sink = { put : string -> unit; sync : unit -> unit }
+(** A write-through target for encoded record lines (the storage layer).
+    [put] receives each record line (no newline) at append time — before
+    the {!on_record} hook fires, preserving write-ahead ordering — and
+    [sync] is called at every durability boundary ([fsync_every] when no
+    group is open; the end of the outermost {!group} otherwise). *)
+
 val create :
   ?fsync_every:int ->
   header:string ->
@@ -33,6 +40,10 @@ val create :
 (** A fresh, empty log.  [fsync_every] (default 1) is the number of
     records between durability boundaries.  Raises [Invalid_argument]
     when [< 1]. *)
+
+val set_sink : 'a t -> sink option -> unit
+(** Attach (or detach) a write-through sink.  The in-memory log keeps
+    working exactly as before — the sink is the durable shadow. *)
 
 val append : 'a t -> at:float -> 'a -> unit
 (** Append one record stamped [at]; fires the {!on_record} hook with the
@@ -84,6 +95,11 @@ val crash_cut : 'a t -> int
 val encode_line : seq:int -> at:float -> string -> string
 (** One record line (without the newline) for an already-encoded
     payload — exposed for fuzzing and for re-implementing {!Journal.encode}. *)
+
+val seq_of_line : string -> int option
+(** The sequence number of a record line, iff the line is complete and
+    CRC-clean — how the storage layer reads record identity without
+    knowing the payload codec.  Never raises. *)
 
 val parse :
   header:string ->

@@ -55,6 +55,22 @@ let scenarios =
     };
     {
       Scenario.default with
+      Scenario.name = "disk-fault-recovery";
+      descr =
+        "bit rot in the current checkpoint generation, then a broker crash: \
+         promotion must fall back to the prior generation and still recover \
+         digest-exact from the intact journal";
+      seed = 17;
+      load = base_load;
+      faults =
+        [
+          Scenario.Disk_fault { at = 234.; duration = 30. };
+          Scenario.Broker_crash { at = 235.; promote_after = 2. };
+        ];
+      slo = { Scenario.default_slo with Scenario.clean_audit = 30. };
+    };
+    {
+      Scenario.default with
       Scenario.name = "partition-heal";
       descr = "20 stub nodes partitioned for 80 s, then healed";
       seed = 16;
@@ -123,9 +139,12 @@ let to_json ~scale outcomes =
         \      \"expected_anomalies\": %d,\n\
         \      \"monitor_samples\": %d,\n\
         \      \"audit_ok\": %b,\n\
+        \      \"checkpoint_fallback\": %b,\n\
+        \      \"storage_scrub_errors\": %d,\n\
         \      \"slo\": ["
         (List.length o.Runner.genuine_anomalies)
-        o.Runner.expected_anomalies o.Runner.monitor_samples o.Runner.audit_ok;
+        o.Runner.expected_anomalies o.Runner.monitor_samples o.Runner.audit_ok
+        o.Runner.checkpoint_fallback o.Runner.storage_scrub_errors;
       List.iteri
         (fun j (m : Slo.measurement) ->
           if j > 0 then pf ",";

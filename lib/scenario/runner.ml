@@ -6,7 +6,9 @@ module Ov = Bbr_broker.Overload
 module Admission = Bbr_broker.Admission
 module Audit = Bbr_broker.Audit
 module Journal = Bbr_broker.Journal
+module Storage = Bbr_broker.Storage
 module Failover = Bbr_broker.Failover
+module Vfs = Bbr_util.Vfs
 module Policy = Bbr_broker.Policy
 module Types = Bbr_broker.Types
 module Topology = Bbr_vtrs.Topology
@@ -37,6 +39,8 @@ type outcome = {
   retransmissions : int;
   unresolved : int;
   promote_error : string option;
+  checkpoint_fallback : bool;
+  storage_scrub_errors : int;
 }
 
 let slo_ok o = List.for_all (fun (m : Slo.measurement) -> m.Slo.met) o.measurements
@@ -67,7 +71,12 @@ let pp_outcome ppf o =
     (if o.audit_ok then "clean" else "VIOLATIONS")
     o.unresolved
     (Fmt.option (fun ppf e -> Fmt.pf ppf "@,promotion FAILED: %s" e))
-    o.promote_error
+    o.promote_error;
+  if o.checkpoint_fallback || o.storage_scrub_errors > 0 then
+    Fmt.pf ppf "@,storage: %d scrub detection(s)%s" o.storage_scrub_errors
+      (if o.checkpoint_fallback then
+         ", promotion fell back to the prior checkpoint generation"
+       else "")
 
 (* ------------------------------------------------------------------ *)
 (* Topology and fault targeting. *)
@@ -93,7 +102,7 @@ let take n l =
 
 (* The concrete link ids a declared fault brings down. *)
 let fault_links topo = function
-  | Scenario.Broker_crash _ -> []
+  | Scenario.Broker_crash _ | Scenario.Disk_fault _ -> []
   | Scenario.Regional_links { count; _ } -> (
       match Topo_gen.hubs topo with
       | [] -> []
@@ -188,11 +197,15 @@ let run sc =
   let policy = Policy.create () in
   Traffic_mix.install_policy policy;
   let make () = Broker.create ~policy ~time topo in
-  (* fsync-per-record: the journal loses nothing at a crash, so a
-     promotion must reproduce the pre-crash digest exactly — any
-     difference is a genuine violation, not modelled data loss. *)
-  let journal = Journal.create ~fsync_every:1 () in
-  let fw = Failover.create ~make_standby:make ~time ~journal (make ()) in
+  (* fsync-per-record through a real (simulated) disk: the record chain
+     loses nothing at a crash, so a promotion must reproduce the
+     pre-crash digest exactly — any difference is a genuine violation,
+     not modelled data loss.  Even when a Disk_fault rots the current
+     checkpoint generation, recovery falls back to the prior generation
+     plus a longer replay and the digest still matches. *)
+  let store = Storage.create ~vfs:(Vfs.create ~seed:sc.Scenario.seed ()) () in
+  let journal = Journal.create ~fsync_every:1 ~storage:store () in
+  let fw = Failover.create ~make_standby:make ~time ~journal ~storage:store (make ()) in
   Failover.start_checkpoints fw ~every:(Float.max 5. (sc.Scenario.duration /. 50.));
   let ov =
     Ov.create ~config:sc.Scenario.pipeline
@@ -256,6 +269,8 @@ let run sc =
     List.iter (fun f -> f ()) ps
   in
   let promote_error = ref None in
+  let checkpoint_fallback = ref false in
+  let scrub_errors = ref 0 in
   let crash_promote_after =
     List.find_map
       (function
@@ -272,7 +287,8 @@ let run sc =
         when_up (fun () -> Broker.restore_link (Failover.active fw) ~link_id))
       ~on_crash:(fun _ ->
         let digest_at_crash = Audit.mib_digest (Failover.active fw) in
-        ignore (Journal.crash_cut journal);
+        (* The process dies: the disk keeps only what was fsynced. *)
+        Storage.crash store;
         Ov.quiesce ov;
         Failover.crash fw;
         Cops.set_pdp_up cops false;
@@ -284,6 +300,10 @@ let run sc =
                 if Audit.mib_digest recovered <> digest_at_crash then
                   Monitor.note monitor Monitor.Digest_mismatch
                     "recovered broker digest differs from pre-crash digest";
+                (match Failover.last_recovery fw with
+                | Some r ->
+                    if r.Failover.sr_fallback then checkpoint_fallback := true
+                | None -> ());
                 Ov.retarget ov recovered;
                 Cops.set_broker cops recovered;
                 Cops.set_pdp_up cops true;
@@ -296,6 +316,7 @@ let run sc =
       (fun fault ->
         match fault with
         | Scenario.Broker_crash { at; _ } -> [ Fault.event ~at (Fault.Crash "broker") ]
+        | Scenario.Disk_fault _ -> []
         | Scenario.Regional_links { at; duration; _ }
         | Scenario.Partition { at; duration; _ } ->
             let ids = fault_links topo fault in
@@ -306,6 +327,19 @@ let run sc =
       sc.Scenario.faults
   in
   Fault.install engine hooks fault_events;
+  (* Disk faults are not data-plane events: they rot the current
+     checkpoint generation at rest, and an immediate scrub pass detects
+     (and counts) the damage.  Recovery feels it only at the next
+     promotion, which must degrade to the prior generation. *)
+  List.iter
+    (function
+      | Scenario.Disk_fault { at; _ } ->
+          Engine.schedule engine ~at (fun () ->
+              ignore (Storage.bitrot_checkpoint store);
+              let r = Storage.scrub store in
+              scrub_errors := !scrub_errors + List.length r.Storage.errors)
+      | _ -> ())
+    sc.Scenario.faults;
   (* Standing invariant probe: the monitor samples it continuously and
      classifies each finding against the declared fault windows.  The
      audit verdict doubles as the SLO oracle's clean-audit series. *)
@@ -384,4 +418,6 @@ let run sc =
     retransmissions = Cops.retransmissions cops;
     unresolved = Cops.pending cops;
     promote_error = !promote_error;
+    checkpoint_fallback = !checkpoint_fallback;
+    storage_scrub_errors = !scrub_errors;
   }

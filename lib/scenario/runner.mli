@@ -28,6 +28,13 @@ type outcome = {
   retransmissions : int;
   unresolved : int;
   promote_error : string option;
+  checkpoint_fallback : bool;
+      (** a storage-mode promotion skipped a corrupt/unverifiable
+          checkpoint generation (expected under a
+          {!Scenario.fault.Disk_fault}) *)
+  storage_scrub_errors : int;
+      (** corruption detections by the scrub passes a
+          {!Scenario.fault.Disk_fault} triggers *)
 }
 
 val slo_ok : outcome -> bool

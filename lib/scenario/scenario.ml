@@ -21,6 +21,7 @@ type fault =
   | Regional_links of { at : float; duration : float; count : int }
   | Partition of { at : float; duration : float; leaves : int }
   | Broker_crash of { at : float; promote_after : float }
+  | Disk_fault of { at : float; duration : float }
 
 type slo = {
   recover_goodput : float;
@@ -124,6 +125,8 @@ let fault_event = function
         healed_at = at +. duration }
   | Broker_crash { at; promote_after } ->
       { label = "broker-crash"; injected_at = at; healed_at = at +. promote_after }
+  | Disk_fault { at; duration } ->
+      { label = "disk-fault"; injected_at = at; healed_at = at +. duration }
 
 let events t = flash_events t.load @ List.map fault_event t.faults
 
@@ -161,6 +164,8 @@ let scale k t =
           Partition { at = f at; duration = f duration; leaves }
       | Broker_crash { at; promote_after } ->
           Broker_crash { at = f at; promote_after }
+      | Disk_fault { at; duration } ->
+          Disk_fault { at = f at; duration = f duration }
     in
     {
       t with

@@ -34,6 +34,12 @@ type fault =
   | Broker_crash of { at : float; promote_after : float }
       (** primary dies (journal cut at last fsync), warm standby promoted
           after [promote_after] *)
+  | Disk_fault of { at : float; duration : float }
+      (** at-rest bit rot in the current checkpoint generation at [at];
+          a scrub detects it on the spot.  [duration] bounds the
+          expected-degradation window — recovery SLOs are measured from
+          [at + duration].  Compose with a {!Broker_crash} shortly after
+          to force promotion through the prior-generation fallback *)
 
 (** Per-scenario recovery budgets, all in sim seconds measured from the
     declared heal instant of each event. *)

@@ -4,7 +4,9 @@ module Broker = Bbr_broker.Broker
 module Cops = Bbr_broker.Cops
 module Failover = Bbr_broker.Failover
 module Journal = Bbr_broker.Journal
+module Storage = Bbr_broker.Storage
 module Audit = Bbr_broker.Audit
+module Vfs = Bbr_util.Vfs
 module Types = Bbr_broker.Types
 module Topology = Bbr_vtrs.Topology
 module Prng = Bbr_util.Prng
@@ -28,6 +30,9 @@ type config = {
   journal : bool;
   journal_fsync_every : int;
   crash_at_record : int option;
+  storage : bool;
+  storage_rotate_every : int;
+  corrupt_checkpoint : bool;
 }
 
 let default_config =
@@ -50,6 +55,9 @@ let default_config =
     journal = false;
     journal_fsync_every = 1;
     crash_at_record = None;
+    storage = false;
+    storage_rotate_every = 64;
+    corrupt_checkpoint = false;
   }
 
 type outcome = {
@@ -70,6 +78,9 @@ type outcome = {
   journal_records_lost : int;
   digest_at_crash : string option;
   digest_recovered : string option;
+  storage_fallback : bool;
+  storage_truncated : string option;
+  storage_quarantined : int;
 }
 
 let pp_outcome ppf o =
@@ -90,7 +101,16 @@ let pp_outcome ppf o =
       (match (o.digest_at_crash, o.digest_recovered) with
       | Some a, Some b when a = b -> "MATCH"
       | Some _, Some _ -> "MISMATCH"
-      | _ -> "n/a (not recovered)")
+      | _ -> "n/a (not recovered)");
+  if o.storage_fallback || o.storage_quarantined > 0 || o.storage_truncated <> None
+  then
+    Fmt.pf ppf "@,storage: %s%s%a"
+      (if o.storage_fallback then "generation fallback" else "no fallback")
+      (if o.storage_quarantined > 0 then
+         Printf.sprintf ", %d segment(s) quarantined" o.storage_quarantined
+       else "")
+      (Fmt.option (fun ppf w -> Fmt.pf ppf ", truncated: %s" w))
+      o.storage_truncated
 
 let link_id_of topo (src, dst) =
   match Topology.find_link topo ~src ~dst with
@@ -98,7 +118,9 @@ let link_id_of topo (src, dst) =
   | None -> invalid_arg (Printf.sprintf "Failure.run: no link %s -> %s" src dst)
 
 let run config =
-  let journaling = config.journal || config.crash_at_record <> None in
+  let journaling =
+    config.journal || config.crash_at_record <> None || config.storage
+  in
   if
     (config.crash_at <> None || config.crash_at_record <> None)
     && config.checkpoint_every = None
@@ -121,11 +143,20 @@ let run config =
     }
   in
   let make () = Broker.create ~time topo in
-  let journal =
-    if journaling then Some (Journal.create ~fsync_every:config.journal_fsync_every ())
+  let store =
+    if config.storage then
+      Some
+        (Storage.create ~rotate_every:config.storage_rotate_every
+           ~vfs:(Vfs.create ~seed:config.seed ()) ())
     else None
   in
-  let fw = Failover.create ~make_standby:make ~time ?journal (make ()) in
+  let journal =
+    if journaling then
+      Some
+        (Journal.create ~fsync_every:config.journal_fsync_every ?storage:store ())
+    else None
+  in
+  let fw = Failover.create ~make_standby:make ~time ?journal ?storage:store (make ()) in
   let prng = Prng.create ~seed:config.seed in
   let loss_rng = Prng.split prng in
   let cops =
@@ -153,6 +184,8 @@ let run config =
   let recovery_time = ref None and promote_error = ref None in
   let journal_records_at_crash = ref 0 and journal_records_lost = ref 0 in
   let digest_at_crash = ref None and digest_recovered = ref None in
+  let storage_fallback = ref false and storage_truncated = ref None in
+  let storage_quarantined = ref 0 in
   (* Eager checkpointing keeps the standby's snapshot fresh relative to
      every booking the PEP has seen confirmed; teardowns checkpoint one
      round trip later, once the DRQ has reached the broker. *)
@@ -213,10 +246,19 @@ let run config =
            records past it never reached the disk. *)
         (match journal with
         | None -> ()
-        | Some j ->
+        | Some j -> (
             digest_at_crash := Some (Audit.mib_digest (Failover.active fw));
             journal_records_at_crash := Journal.records j;
-            journal_records_lost := Journal.crash_cut j);
+            match store with
+            | None -> journal_records_lost := Journal.crash_cut j
+            | Some st ->
+                (* The in-memory journal dies with the process; the disk
+                   is what recovery reads.  Tear the unsynced suffix, and
+                   optionally rot the current checkpoint generation so
+                   promotion must prove its fallback path. *)
+                Storage.crash st;
+                if config.corrupt_checkpoint then
+                  ignore (Storage.bitrot_checkpoint st)));
         Failover.crash fw;
         Cops.set_pdp_up cops false;
         Engine.schedule_after engine ~delay:config.promote_after (fun () ->
@@ -230,6 +272,12 @@ let run config =
                    else Broker.per_flow_count (Failover.active fw));
                 if journal <> None then
                   digest_recovered := Some (Audit.mib_digest (Failover.active fw));
+                (match Failover.last_recovery fw with
+                | None -> ()
+                | Some r ->
+                    storage_fallback := r.Failover.sr_fallback;
+                    storage_truncated := r.Failover.sr_truncated;
+                    storage_quarantined := r.Failover.sr_quarantined);
                 Cops.set_broker cops (Failover.active fw);
                 Cops.set_pdp_up cops true;
                 recovery_time := Some (Engine.now engine -. crashed_at)
@@ -273,4 +321,7 @@ let run config =
     journal_records_lost = !journal_records_lost;
     digest_at_crash = !digest_at_crash;
     digest_recovered = !digest_recovered;
+    storage_fallback = !storage_fallback;
+    storage_truncated = !storage_truncated;
+    storage_quarantined = !storage_quarantined;
   }

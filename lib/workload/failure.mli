@@ -43,6 +43,17 @@ type config = {
       (** crash the broker the instant the [n]-th journal record is
           appended — exact record-boundary crash-point injection (implies
           journaling even when [journal = false]) *)
+  storage : bool;
+      (** back the journal and checkpoints with a real (simulated) disk:
+          a seeded {!Bbr_util.Vfs} under a segmented
+          {!Bbr_broker.Storage}.  Implies journaling.  A crash then tears
+          the disk at its last fsync ({!Bbr_broker.Storage.crash}) and
+          promotion recovers from the store alone — newest verifiable
+          checkpoint generation plus longest intact record suffix *)
+  storage_rotate_every : int;  (** records per journal segment *)
+  corrupt_checkpoint : bool;
+      (** additionally rot one bit of the newest checkpoint generation at
+          crash time, forcing recovery through the prior generation *)
 }
 
 val default_config : config
@@ -75,6 +86,13 @@ type outcome = {
   digest_recovered : string option;
       (** digest of the promoted standby; equals [digest_at_crash] iff
           recovery was exact (always, when [journal_fsync_every = 1]) *)
+  storage_fallback : bool;
+      (** storage-mode recovery had to skip a corrupt/unverifiable
+          checkpoint generation *)
+  storage_truncated : string option;
+      (** why the storage-mode replay suffix stopped early, if it did *)
+  storage_quarantined : int;
+      (** sealed segments quarantined during storage-mode recovery *)
 }
 
 val pp_outcome : outcome Fmt.t
