@@ -2,7 +2,9 @@
 
    Subcommands:
      fill      static fill of the Figure-8 domain under one scheme
-     simulate  one dynamic churn run (Figure-10 style)
+     simulate  one dynamic churn run (Figure-10 style); --shards N
+               runs the sharded multi-core broker over a regional
+               domain instead, one churn loop per OCaml domain
      sweep     blocking rate across offered loads
      admit     one-shot admission decision for a custom flow
      transient the Figure-7 edge transient
@@ -50,6 +52,8 @@ module Dynamic = Bbr_workload.Dynamic
 module Fig8 = Bbr_workload.Fig8
 module Profiles = Bbr_workload.Profiles
 module Transient = Bbr_workload.Transient
+module Shard_router = Bbr_broker.Shard_router
+module Shard_load = Bbr_workload.Shard_load
 module Metrics = Bbr_obs.Metrics
 module Obs_trace = Bbr_obs.Trace
 module Exporter = Bbr_obs.Exporter
@@ -351,8 +355,74 @@ let store_out =
            it to $(docv) afterwards — recoverable with $(b,recover \
            --store), integrity-checkable with $(b,scrub --store).")
 
+(* The sharded path of [simulate]: one self-driving churn loop per shard
+   over a regional domain partitioned by region, on real OCaml domains
+   when the machine has more than one core.  [load * duration] gives each
+   shard's operation budget (the classic path's expected arrival count).
+   The run is checked id-blind against a single broker replaying the
+   identical request streams; --journal-out PATH writes one write-ahead
+   journal per shard (PATH.shard<k>, each replayable with recover). *)
+let run_sharded ~shards ~seed ~load ~duration ~journal_path =
+  let cfg =
+    {
+      Shard_load.default with
+      Shard_load.seed;
+      ops_per_shard = max 100 (int_of_float (load *. duration));
+    }
+  in
+  let cores = Domain.recommended_domain_count () in
+  let spawn = cores > 1 && shards > 1 in
+  let journals = Hashtbl.create 8 in
+  let journal_for i =
+    match journal_path with
+    | None -> None
+    | Some _ ->
+        let j = Journal.create () in
+        Hashtbl.replace journals i j;
+        Some j
+  in
+  let router =
+    Shard_router.create ~spawn ~journal_for ~shards
+      ~partition:(Shard_load.partition ~nshards:shards)
+      (Shard_load.topology cfg)
+  in
+  let t0 = Unix.gettimeofday () in
+  let results = Shard_router.churn router (Shard_load.specs cfg ~nshards:shards) in
+  let dt = Unix.gettimeofday () -. t0 in
+  Fmt.pr "sharded broker: %d shard(s) on %d core(s), %s domains@." shards cores
+    (if spawn then "real" else "inline");
+  Array.iteri
+    (fun i (r : Bbr_broker.Shard.churn_result) ->
+      Fmt.pr "  shard %d: admitted %d, rejected %d, torn down %d@." i
+        r.Bbr_broker.Shard.admitted r.Bbr_broker.Shard.rejected
+        r.Bbr_broker.Shard.torn)
+    results;
+  let ops = shards * cfg.Shard_load.ops_per_shard in
+  Fmt.pr "%d ops in %.3fs: %.0f ops/s@." ops dt
+    (if dt > 0. then float_of_int ops /. dt else 0.);
+  let equivalent =
+    Shard_router.flowset_digest router
+    = Shard_router.flowset_digest_of
+        (Shard_load.reference_flows cfg ~nshards:shards)
+  in
+  Fmt.pr "single-broker equivalence: %s@."
+    (if equivalent then "exact" else "DIVERGED");
+  Option.iter
+    (fun path ->
+      Hashtbl.iter
+        (fun i j ->
+          let p = Printf.sprintf "%s.shard%d" path i in
+          write_file p (Journal.text j);
+          Fmt.pr "journal: %d records -> %s@." (Journal.records j) p)
+        journals)
+    journal_path;
+  Shard_router.stop router;
+  if not equivalent then exit 1
+
 let run_simulate setting cd scheme seed load duration journal_path store_dir out
-    format trace flight =
+    format trace flight shards =
+  if shards > 1 then run_sharded ~shards ~seed ~load ~duration ~journal_path
+  else
   let dyn_scheme =
     match scheme with
     | `Perflow -> Dynamic.Perflow
@@ -404,13 +474,25 @@ let run_simulate setting cd scheme seed load duration journal_path store_dir out
         Fmt.pr "final mib digest: %s@." (Audit.mib_digest broker)
   | _ -> ()
 
+let shards_arg =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "shards" ] ~docv:"N"
+        ~doc:
+          "Run the sharded multi-core broker with $(docv) shards over a \
+           regional domain (one churn loop per shard, on its own OCaml \
+           domain when the machine is multi-core), checked against a \
+           single-broker replay.  1 (the default) keeps the classic \
+           single-broker churn run.")
+
 let simulate_cmd =
   let doc = "One dynamic churn run: Poisson arrivals, exponential holding times." in
   Cmd.v (Cmd.info "simulate" ~doc)
     Term.(
       const run_simulate $ setting $ cd $ scheme $ seed $ load $ duration
       $ journal_out $ store_out $ metrics_out $ metrics_format $ trace_out
-      $ flight_out)
+      $ flight_out $ shards_arg)
 
 (* --- sweep ---------------------------------------------------------- *)
 

@@ -360,17 +360,63 @@ let repair ?(eps = default_eps) ?now ?(leases = []) broker =
 let link_ids (links : Topology.link list) =
   String.concat "," (List.map (fun (l : Topology.link) -> string_of_int l.Topology.link_id) links)
 
-let mib_digest broker =
-  let buf = Buffer.create 4096 in
+(* The flow-facing half of the digest text, shared with {!digest_of_perflow}
+   so a merged sharded view and a single broker produce byte-identical
+   digests.  [flows] must already be in ascending flow-id order; the
+   per-link flow contributions are summed in that order (bit-exact). *)
+let add_flow_lines buf flows =
   let pf = Printf.sprintf "%h" in
   List.iter
-    (fun (r : Flow_mib.record) ->
+    (fun (flow, rate, delay, links) ->
       Buffer.add_string buf
-        (Printf.sprintf "flow %d %s %s %s\n" r.Flow_mib.flow
-           (pf r.Flow_mib.reservation.Types.rate)
-           (pf r.Flow_mib.reservation.Types.delay)
-           (link_ids r.Flow_mib.path.Path_mib.links)))
-    (sorted_flows broker);
+        (Printf.sprintf "flow %d %s %s %s\n" flow (pf rate) (pf delay)
+           (String.concat "," (List.map string_of_int links))))
+    flows
+
+let flow_rate_sums flows =
+  let sums = Hashtbl.create 32 in
+  List.iter
+    (fun (_flow, rate, _delay, links) ->
+      List.iter
+        (fun link_id ->
+          Hashtbl.replace sums link_id
+            (Option.value ~default:0. (Hashtbl.find_opt sums link_id) +. rate))
+        links)
+    flows;
+  sums
+
+let add_link_lines buf topo ~flow_sum ~macro_sum =
+  let pf = Printf.sprintf "%h" in
+  List.iter
+    (fun (l : Topology.link) ->
+      let id = l.Topology.link_id in
+      Buffer.add_string buf
+        (Printf.sprintf "link %d %s %s %.9g\n" id
+           (if Topology.link_is_up topo ~link_id:id then "up" else "down")
+           (pf (Option.value ~default:0. (Hashtbl.find_opt flow_sum id)))
+           (Option.value ~default:0. (Hashtbl.find_opt macro_sum id))))
+    (Topology.links topo)
+
+let flow_tuple (r : Flow_mib.record) =
+  ( r.Flow_mib.flow,
+    r.Flow_mib.reservation.Types.rate,
+    r.Flow_mib.reservation.Types.delay,
+    List.map
+      (fun (l : Topology.link) -> l.Topology.link_id)
+      r.Flow_mib.path.Path_mib.links )
+
+let digest_of_perflow ~topology flows =
+  let flows = List.sort (fun (a, _, _, _) (b, _, _, _) -> compare a b) flows in
+  let buf = Buffer.create 4096 in
+  add_flow_lines buf flows;
+  add_link_lines buf topology ~flow_sum:(flow_rate_sums flows)
+    ~macro_sum:(Hashtbl.create 1);
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+let mib_digest broker =
+  let buf = Buffer.create 4096 in
+  let flow_tuples = List.map flow_tuple (sorted_flows broker) in
+  add_flow_lines buf flow_tuples;
   let macros = sorted_macros broker in
   let agg = Broker.aggregate broker in
   List.iter
@@ -397,34 +443,19 @@ let mib_digest broker =
      (printed at [%.9g] — the aggregate base rate is itself recomputed on
      restore and may differ in the last ulp). *)
   let topo = Broker.topology broker in
-  let flow_sum = Hashtbl.create 32 and macro_sum = Hashtbl.create 32 in
-  let add tbl link_id amount =
-    Hashtbl.replace tbl link_id
-      (Option.value ~default:0. (Hashtbl.find_opt tbl link_id) +. amount)
-  in
-  List.iter
-    (fun (r : Flow_mib.record) ->
-      List.iter
-        (fun (l : Topology.link) ->
-          add flow_sum l.Topology.link_id r.Flow_mib.reservation.Types.rate)
-        r.Flow_mib.path.Path_mib.links)
-    (sorted_flows broker);
+  let flow_sum = flow_rate_sums flow_tuples in
+  let macro_sum = Hashtbl.create 32 in
   List.iter
     (fun ((s : Aggregate.macro_stats), (info : Path_mib.info)) ->
       let amount = s.Aggregate.base_rate +. s.Aggregate.contingency in
       List.iter
-        (fun (l : Topology.link) -> add macro_sum l.Topology.link_id amount)
+        (fun (l : Topology.link) ->
+          let id = l.Topology.link_id in
+          Hashtbl.replace macro_sum id
+            (Option.value ~default:0. (Hashtbl.find_opt macro_sum id) +. amount))
         info.Path_mib.links)
     macros;
-  List.iter
-    (fun (l : Topology.link) ->
-      let id = l.Topology.link_id in
-      Buffer.add_string buf
-        (Printf.sprintf "link %d %s %s %.9g\n" id
-           (if Topology.link_is_up topo ~link_id:id then "up" else "down")
-           (pf (Option.value ~default:0. (Hashtbl.find_opt flow_sum id)))
-           (Option.value ~default:0. (Hashtbl.find_opt macro_sum id))))
-    (Topology.links topo);
+  add_link_lines buf topo ~flow_sum ~macro_sum;
   Digest.to_hex (Digest.string (Buffer.contents buf))
 
 let pp_violation ppf v =

@@ -99,4 +99,17 @@ val mib_digest : Broker.t -> string
     use).  Two brokers are decision-equivalent replicas iff their digests
     match and {!check} is clean on both. *)
 
+val digest_of_perflow :
+  topology:Bbr_vtrs.Topology.t ->
+  (Types.flow_id * float * float * int list) list ->
+  string
+(** {!mib_digest} computed from an explicit per-flow population — each
+    entry is [(flow, rate, delay, path link ids)] — instead of a broker's
+    MIBs.  Byte-identical to {!mib_digest} on a broker holding exactly
+    these flows and no class-based state: the sharded broker's router
+    merges its shards' flow records (stitching multi-shard segments back
+    into whole paths) and digests them through this function, so
+    sharded-vs-single equivalence is a string comparison.  Input order is
+    irrelevant (entries are sorted by flow id). *)
+
 val pp_report : report Fmt.t

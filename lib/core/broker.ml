@@ -33,6 +33,13 @@ type decision_record = {
    ignores it. *)
 type mutation =
   | Admit of { flow : Types.flow_id; request : Types.request; rate : float; delay : float }
+  | Admit_segment of {
+      flow : Types.flow_id;
+      request : Types.request;
+      rate : float;
+      delay : float;
+      links : int list;
+    }
   | Admit_class of { flow : Types.flow_id; class_id : int; request : Types.request }
   | Teardown of Types.flow_id
   | Teardown_class of Types.flow_id
@@ -238,7 +245,40 @@ let request_full t ?flow ?(admission = `Exact) req =
     (Result.map (fun (flow, (res : Types.reservation)) -> (flow, res.Types.rate)) outcome);
   outcome
 
-let request t ?admission req = request_full t ?admission req
+let request t ?flow ?admission req = request_full t ?flow ?admission req
+
+(* Book an already-decided reservation on an explicit set of links — the
+   commit leg of the sharded broker's two-phase multi-shard admission, and
+   the replay form of [Admit_segment] records.  No policy, routing or
+   admissibility runs here: the coordinator (or the journal it wrote) owns
+   the decision; this books exactly [links], which need not be connected
+   (a path alternating between shards leaves each owner a non-contiguous
+   segment).  The edge push and the decision log stay with the
+   coordinator, which sees the whole flow. *)
+let book_segment t ~flow ~request:(req : Types.request) ~links ~rate ~delay =
+  let link_list = List.map (Topology.link_by_id t.topology) links in
+  let seg = Path_mib.register_segment t.path_mib link_list in
+  Flow_mib.reserve_ids t.flow_mib ~below:(flow + 1);
+  List.iter
+    (fun (l : Topology.link) ->
+      let link_id = l.Topology.link_id in
+      Node_mib.reserve t.node_mib ~link_id rate;
+      match (Node_mib.entry t.node_mib ~link_id).Node_mib.edf with
+      | Some edf ->
+          Vtedf.add edf ~rate ~delay ~lmax:req.Types.profile.Bbr_vtrs.Traffic.lmax
+      | None -> ())
+    link_list;
+  Flow_mib.add t.flow_mib
+    {
+      Flow_mib.flow;
+      request = req;
+      reservation = { Types.rate; delay };
+      path = seg;
+      admitted_at = t.time.now ();
+    };
+  match !(t.on_mutation) with
+  | None -> ()
+  | Some f -> f (Admit_segment { flow; request = req; rate; delay; links })
 
 let set_batch_hook t f = t.batch_wrap <- Some f
 
@@ -431,13 +471,21 @@ let recovered_count r = List.length r.perflow_rerouted + List.length r.class_rer
 
 let dropped_count r = List.length r.perflow_dropped + List.length r.class_dropped
 
-let fail_link t ~link_id =
+(* The physical half of a link transition: journal the record, flip the
+   topology state, drop the admission cache.  [fail_link] / [restore_link]
+   run this and then their recovery cascade; the sharded broker's router
+   calls it directly on each shard so the cascade (which spans shards) can
+   run once, centrally. *)
+let set_link_admin t ~link_id ~up =
   ignore (Topology.link_by_id t.topology link_id);
   (match !(t.on_mutation) with
   | None -> ()
-  | Some f -> f (Link_failed link_id));
-  Topology.set_link_state t.topology ~link_id ~up:false;
-  Option.iter Admission_cache.invalidate_all t.cache;
+  | Some f -> f (if up then Link_restored link_id else Link_failed link_id));
+  Topology.set_link_state t.topology ~link_id ~up;
+  Option.iter Admission_cache.invalidate_all t.cache
+
+let fail_link t ~link_id =
+  set_link_admin t ~link_id ~up:false;
   let on_dead_link links =
     List.exists (fun (l : Topology.link) -> l.Topology.link_id = link_id) links
   in
@@ -544,12 +592,7 @@ let fail_link t ~link_id =
   recovery
 
 let restore_link t ~link_id =
-  ignore (Topology.link_by_id t.topology link_id);
-  (match !(t.on_mutation) with
-  | None -> ()
-  | Some f -> f (Link_restored link_id));
-  Topology.set_link_state t.topology ~link_id ~up:true;
-  Option.iter Admission_cache.invalidate_all t.cache;
+  set_link_admin t ~link_id ~up:true;
   if Obs_log.active () then
     Obs_log.event ~at:(t.time.now ()) "bb.link.restored"
       ~attrs:[ ("link", string_of_int link_id) ]

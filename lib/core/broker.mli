@@ -86,6 +86,16 @@ type mutation =
   | Admit of { flow : Types.flow_id; request : Types.request; rate : float; delay : float }
       (** a per-flow reservation was booked (via {!request} or
           {!request_fixed}) *)
+  | Admit_segment of {
+      flow : Types.flow_id;
+      request : Types.request;
+      rate : float;
+      delay : float;
+      links : int list;
+    }
+      (** a shard booked its segment of a multi-shard path (via
+          {!book_segment}); [links] are the exact link ids booked, which
+          replay books verbatim without re-routing *)
   | Admit_class of { flow : Types.flow_id; class_id : int; request : Types.request }
       (** a microflow joined a class macroflow *)
   | Teardown of Types.flow_id  (** a per-flow reservation was released *)
@@ -113,11 +123,17 @@ val now : t -> float
 
 val request :
   t ->
+  ?flow:Types.flow_id ->
   ?admission:[ `Exact | `Conservative ] ->
   Types.request ->
   (Types.flow_id * Types.reservation, Types.reject_reason) result
 (** Full admission-control procedure for a new flow.  On success the flow
     is booked in the MIBs and the reservation pushed to the edge.
+
+    [flow] books under a caller-chosen id instead of a fresh one (the id
+    space is advanced past it) — used by the sharded broker's router,
+    which allocates ids centrally so a sharded run reproduces the
+    single-broker id sequence exactly.
 
     [admission] selects the admissibility test on mixed paths: [`Exact]
     (the default) runs the Figure-4 O(M) scan ({!Admission.admit});
@@ -174,6 +190,25 @@ val request_fixed :
     space is advanced past it) — used by snapshot restore and link-failure
     rerouting, where the flow must keep the id the ingress router holds. *)
 
+val book_segment :
+  t ->
+  flow:Types.flow_id ->
+  request:Types.request ->
+  links:int list ->
+  rate:float ->
+  delay:float ->
+  unit
+(** Book an already-decided reservation on an explicit set of links — the
+    commit leg of the sharded broker's two-phase multi-shard admission,
+    and the replay form of [Admit_segment] journal records.  No policy,
+    routing or admissibility check runs: the coordinator owns the
+    decision.  [links] need not form a connected path (a path alternating
+    between shards leaves each owner a non-contiguous segment); they are
+    booked verbatim, in list order.  The flow-id space is advanced past
+    [flow].  Neither the edge push nor the decision log fires — both stay
+    with the coordinator, which sees the whole flow.  Tear down with
+    {!teardown}.  Raises [Not_found] on an unknown link id. *)
+
 (** {1 Class-based guaranteed service} *)
 
 val request_class :
@@ -226,6 +261,14 @@ val fail_link : t -> link_id:int -> link_recovery
 val restore_link : t -> link_id:int -> unit
 (** Mark a failed link up again.  Routing resumes using it for new
     selections; existing reservations are not rebalanced. *)
+
+val set_link_admin : t -> link_id:int -> up:bool -> unit
+(** The physical half of {!fail_link} / {!restore_link}: journal the
+    [Link_failed] / [Link_restored] record, flip the topology state and
+    invalidate the admission cache — {e without} running any recovery
+    cascade.  The sharded broker's router calls this on every shard so the
+    teardown/re-admission cascade, which spans shards, runs once,
+    centrally.  Raises [Invalid_argument] for an unknown link id. *)
 
 val recovered_count : link_recovery -> int
 

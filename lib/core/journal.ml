@@ -10,6 +10,7 @@ let links_str links = String.concat "," (List.map string_of_int links)
 
 let kind_label : Broker.mutation -> string = function
   | Broker.Admit _ -> "admit"
+  | Broker.Admit_segment _ -> "admit_segment"
   | Broker.Admit_class _ -> "admit_class"
   | Broker.Teardown _ -> "teardown"
   | Broker.Teardown_class _ -> "teardown_class"
@@ -26,6 +27,11 @@ let payload (m : Broker.mutation) =
       Printf.sprintf "admit %d %h %h %h %h %h %s %s %h %h" flow p.Traffic.sigma
         p.Traffic.rho p.Traffic.peak p.Traffic.lmax r.Types.dreq r.Types.ingress
         r.Types.egress rate delay
+  | Broker.Admit_segment { flow; request = r; rate; delay; links } ->
+      let p = r.Types.profile in
+      Printf.sprintf "admitseg %d %h %h %h %h %h %s %s %h %h %s" flow
+        p.Traffic.sigma p.Traffic.rho p.Traffic.peak p.Traffic.lmax r.Types.dreq
+        r.Types.ingress r.Types.egress rate delay (links_str links)
   | Broker.Admit_class { flow; class_id; request = r } ->
       let p = r.Types.profile in
       Printf.sprintf "admitc %d %d %h %h %h %h %h %s %s" flow class_id p.Traffic.sigma
@@ -81,6 +87,27 @@ let decode_payload fields : Broker.mutation option =
                rate = fl rate;
                delay = fl delay;
              })
+    | [ "admitseg"; flow; sigma; rho; peak; lmax; dreq; ingress; egress; rate; delay; links ]
+      ->
+        Option.map
+          (fun links ->
+            Broker.Admit_segment
+              {
+                flow = int_of_string flow;
+                request =
+                  {
+                    Types.profile =
+                      Traffic.make ~sigma:(fl sigma) ~rho:(fl rho) ~peak:(fl peak)
+                        ~lmax:(fl lmax);
+                    dreq = fl dreq;
+                    ingress;
+                    egress;
+                  };
+                rate = fl rate;
+                delay = fl delay;
+                links;
+              })
+          (links_of_str links)
     | [ "admitc"; flow; class_id; sigma; rho; peak; lmax; dreq; ingress; egress ] ->
         Some
           (Broker.Admit_class
@@ -138,6 +165,15 @@ let apply broker (m : Broker.mutation) =
           Error
             (Fmt.str "replaying admit of flow %d failed: %a" flow
                Types.pp_reject_reason r))
+  | Broker.Admit_segment { flow; request; rate; delay; links } -> (
+      (* Segments are booked verbatim — no re-routing: the link set was
+         chosen by the sharded coordinator, not by this broker's routing. *)
+      match Broker.book_segment broker ~flow ~request ~links ~rate ~delay with
+      | () -> Ok ()
+      | exception exn ->
+          Error
+            (Fmt.str "replaying segment admit of flow %d failed: %s" flow
+               (Printexc.to_string exn)))
   | Broker.Admit_class { flow; class_id; request } -> (
       match Broker.request_class broker ~class_id ~flow request with
       | Ok _ -> Ok ()

@@ -13,6 +13,17 @@ module Trace = Bbr_obs.Trace
 
 let active () = Metrics.enabled () || Trace.enabled ()
 
+(* Which broker shard this domain's (or, inline, the currently executing
+   shard's) telemetry belongs to.  Domain-local so a spawned shard can tag
+   itself once; the inline sharded broker flips it around each shard
+   operation. *)
+let shard_slot : int option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let set_shard v = Domain.DLS.get shard_slot := v
+
+let shard () = !(Domain.DLS.get shard_slot)
+
 (* Per-site instrument handles, cached so the per-request path skips the
    registry's (name, labels) -> child resolution.  Each cache entry
    remembers the registry it was resolved against and is re-resolved
@@ -29,22 +40,30 @@ let find_handle tbl reg key make =
 let admission_counters : (string, Metrics.t * Metrics.counter) Hashtbl.t =
   Hashtbl.create 16
 
-let admission_total reg ~service ~result =
+(* The shard label is attached only when {!set_shard} is active, so
+   single-broker deployments keep their two-label series untouched. *)
+let shard_suffix = function None -> "" | Some k -> "\x00" ^ string_of_int k
+
+let shard_labels = function
+  | None -> []
+  | Some k -> [ ("shard", string_of_int k) ]
+
+let admission_total reg ~shard ~service ~result =
   find_handle admission_counters reg
-    (service ^ "\x00" ^ result)
+    (service ^ "\x00" ^ result ^ shard_suffix shard)
     (fun () ->
       Metrics.counter reg "bb_admission_total"
-        ~labels:[ ("service", service); ("result", result) ])
+        ~labels:(("service", service) :: ("result", result) :: shard_labels shard))
 
 let reject_counters : (string, Metrics.t * Metrics.counter) Hashtbl.t =
   Hashtbl.create 16
 
-let reject_total reg ~service ~reason =
+let reject_total reg ~shard ~service ~reason =
   find_handle reject_counters reg
-    (service ^ "\x00" ^ reason)
+    (service ^ "\x00" ^ reason ^ shard_suffix shard)
     (fun () ->
       Metrics.counter reg "bb_admission_reject_total"
-        ~labels:[ ("service", service); ("reason", reason) ])
+        ~labels:(("service", service) :: ("reason", reason) :: shard_labels shard))
 
 let decision ~service ~at (req : Types.request) outcome =
   if active () then begin
@@ -57,9 +76,10 @@ let decision ~service ~at (req : Types.request) outcome =
     let reason = Option.map Types.reject_label reason in
     (match Metrics.current () with
     | Some reg ->
-        Metrics.inc (admission_total reg ~service ~result);
+        let shard = shard () in
+        Metrics.inc (admission_total reg ~shard ~service ~result);
         Option.iter
-          (fun r -> Metrics.inc (reject_total reg ~service ~reason:r))
+          (fun r -> Metrics.inc (reject_total reg ~shard ~service ~reason:r))
           reason
     | None -> ());
     Trace.decision ~sim_time:at
@@ -149,6 +169,12 @@ let stage ~now site f =
    consistent even when the tracer's own sim clock is unbound. *)
 let span ~now ?attrs ?parent name f =
   if Trace.enabled () then begin
+    let attrs =
+      match shard () with
+      | None -> attrs
+      | Some k ->
+          Some (("shard", string_of_int k) :: Option.value ~default:[] attrs)
+    in
     let sp = Trace.start_span ~sim_time:(now ()) ?attrs ?parent name in
     Trace.push_ambient sp;
     match f sp with

@@ -9,6 +9,17 @@
 val active : unit -> bool
 (** A metrics registry or a tracer is installed. *)
 
+val set_shard : int option -> unit
+(** Tag subsequent telemetry from this domain with a broker-shard id:
+    {!decision} counters gain a [shard] label and {!span}s a [shard]
+    attribute.  Domain-local — a spawned shard domain sets it once at
+    startup; the inline (single-domain) sharded broker flips it around
+    each shard operation.  [None] (the initial state) restores the
+    unlabeled single-broker series. *)
+
+val shard : unit -> int option
+(** The current domain's shard tag. *)
+
 val decision :
   service:string ->
   at:float ->

@@ -9,13 +9,19 @@ type info = {
   d_tot : float;
 }
 
+(* Arena layout: path ids are dense (allocated 0,1,2,... and never freed —
+   a registered path lives for the broker's lifetime), so the per-path
+   tables are plain arrays indexed by path id: [by_id] for the info
+   records, [cres] an unboxed float array for the cached min-residual.
+   [through] is indexed by link id (dense in the topology) and holds the
+   paths crossing each link, consulted on every reservation change.  Only
+   the by-links lookup stays a Hashtbl — its key is a link-id sequence. *)
 type t = {
   node_mib : Node_mib.t;
-  mutable infos : info list;  (* reversed registration order *)
+  mutable by_id : info option array;  (* path_id -> info *)
+  mutable cres : float array;  (* path_id -> cached min residual *)
+  mutable through : info list array;  (* link_id -> paths crossing it *)
   by_links : (int list, info) Hashtbl.t;
-  by_id : (int, info) Hashtbl.t;
-  cres : (int, float) Hashtbl.t;  (* path_id -> cached min residual *)
-  through : (int, info list) Hashtbl.t;  (* link_id -> paths crossing it *)
   mutable next_id : int;
 }
 
@@ -26,25 +32,23 @@ let recompute t info =
         Float.min acc (Node_mib.residual t.node_mib ~link_id:l.Topology.link_id))
       infinity info.links
   in
-  Hashtbl.replace t.cres info.path_id cres
+  t.cres.(info.path_id) <- cres
 
 let create topology node_mib =
   ignore topology;
   let t =
     {
       node_mib;
-      infos = [];
+      by_id = Array.make 16 None;
+      cres = Array.make 16 nan;
+      through = [||];
       by_links = Hashtbl.create 16;
-      by_id = Hashtbl.create 16;
-      cres = Hashtbl.create 16;
-      through = Hashtbl.create 16;
       next_id = 0;
     }
   in
   Node_mib.on_change node_mib (fun ~link_id ->
-      match Hashtbl.find_opt t.through link_id with
-      | None -> ()
-      | Some infos -> List.iter (recompute t) infos);
+      if link_id < Array.length t.through then
+        List.iter (recompute t) t.through.(link_id));
   t
 
 let rec connected = function
@@ -52,9 +56,26 @@ let rec connected = function
   | (a : Topology.link) :: (b :: _ as rest) ->
       a.Topology.dst = b.Topology.src && connected rest
 
-let register t links =
-  if links = [] then invalid_arg "Path_mib.register: empty path";
-  if not (connected links) then invalid_arg "Path_mib.register: disconnected path";
+let grow_paths t =
+  let old = Array.length t.by_id in
+  let cap = 2 * old in
+  let infos = Array.make cap None in
+  Array.blit t.by_id 0 infos 0 old;
+  t.by_id <- infos;
+  let residuals = Array.make cap nan in
+  Array.blit t.cres 0 residuals 0 old;
+  t.cres <- residuals
+
+let grow_through t link_id =
+  let old = Array.length t.through in
+  if link_id >= old then begin
+    let cap = max 16 (max (2 * old) (link_id + 1)) in
+    let grown = Array.make cap [] in
+    Array.blit t.through 0 grown 0 old;
+    t.through <- grown
+  end
+
+let register_links t links =
   let key = List.map (fun (l : Topology.link) -> l.Topology.link_id) links in
   match Hashtbl.find_opt t.by_links key with
   | Some info -> info
@@ -70,28 +91,43 @@ let register t links =
         }
       in
       t.next_id <- t.next_id + 1;
-      t.infos <- info :: t.infos;
+      if info.path_id >= Array.length t.by_id then grow_paths t;
+      t.by_id.(info.path_id) <- Some info;
       Hashtbl.replace t.by_links key info;
-      Hashtbl.replace t.by_id info.path_id info;
       List.iter
         (fun (l : Topology.link) ->
           let id = l.Topology.link_id in
-          let existing = Option.value ~default:[] (Hashtbl.find_opt t.through id) in
-          Hashtbl.replace t.through id (info :: existing))
+          grow_through t id;
+          t.through.(id) <- info :: t.through.(id))
         links;
       recompute t info;
       info
 
-let residual t info =
-  match Hashtbl.find_opt t.cres info.path_id with
-  | Some c -> c
-  | None -> invalid_arg "Path_mib.residual: unregistered path"
+let register t links =
+  if links = [] then invalid_arg "Path_mib.register: empty path";
+  if not (connected links) then invalid_arg "Path_mib.register: disconnected path";
+  register_links t links
 
-let find t ~path_id = Hashtbl.find_opt t.by_id path_id
+let register_segment t links =
+  if links = [] then invalid_arg "Path_mib.register_segment: empty segment";
+  register_links t links
+
+let residual t info =
+  if info.path_id >= t.next_id then invalid_arg "Path_mib.residual: unregistered path";
+  let c = t.cres.(info.path_id) in
+  if Float.is_nan c then invalid_arg "Path_mib.residual: unregistered path" else c
+
+let find t ~path_id =
+  if path_id < 0 || path_id >= t.next_id then None else t.by_id.(path_id)
 
 let find_links t ~links = Hashtbl.find_opt t.by_links links
 
-let paths t = List.rev t.infos
+let paths t =
+  let acc = ref [] in
+  for id = t.next_id - 1 downto 0 do
+    match t.by_id.(id) with Some info -> acc := info :: !acc | None -> ()
+  done;
+  !acc
 
 let pp_info ppf info =
   Fmt.pf ppf "path#%d [%a] h=%d q=%d d_tot=%g" info.path_id

@@ -26,6 +26,14 @@ val register : t -> Bbr_vtrs.Topology.link list -> info
     sequence.  Raises [Invalid_argument] on an empty or disconnected link
     list. *)
 
+val register_segment : t -> Bbr_vtrs.Topology.link list -> info
+(** Like {!register} but without the connectivity requirement: a broker
+    shard owning only a subset of a path's links books them as one
+    {e segment}, and a path that alternates between shards leaves each
+    owner a non-contiguous link list.  Segments share the id space and
+    deduplication key of full paths.  Raises [Invalid_argument] on an
+    empty link list. *)
+
 val residual : t -> info -> float
 (** Cached [C_res^P = min over links of (capacity - reserved)] — O(1). *)
 

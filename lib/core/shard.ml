@@ -1,0 +1,202 @@
+module Topology = Bbr_vtrs.Topology
+module Vtedf = Bbr_vtrs.Vtedf
+module Spsc = Bbr_util.Spsc
+
+type churn_spec = { ops : int; cap : int; gen : unit -> Types.request }
+
+type churn_result = {
+  admitted : int;
+  rejected : int;
+  torn : int;
+  lat : float array;
+}
+
+type prepared = { p_link : int; p_residual : float; p_edf : Vtedf.t option }
+
+type victim = { v_flow : Types.flow_id; v_request : Types.request }
+
+type op =
+  | Admit of { flow : Types.flow_id; request : Types.request }
+  | Book_segment of {
+      flow : Types.flow_id;
+      request : Types.request;
+      links : int list;
+      rate : float;
+      delay : float;
+    }
+  | Prepare of int list
+  | Teardown of Types.flow_id
+  | Set_link of { link_id : int; up : bool }
+  | Victims of int
+  | Dump
+  | Digest
+  | Audit_ok
+  | Journal_text
+  | Churn of churn_spec
+  | Stop
+
+type reply =
+  | Done
+  | Admitted of (Types.flow_id * Types.reservation, Types.reject_reason) result
+  | Prepared of prepared list
+  | Victims_are of victim list
+  | Flows of (Types.flow_id * float * float * int list) list
+  | Text of string
+  | Flag of bool
+  | Churned of churn_result
+
+type t = {
+  id : int;
+  nshards : int;
+  broker : Broker.t;
+  journal : Journal.t option;
+  inbox : op Spsc.t;
+  outbox : reply Spsc.t;
+  pending : reply Queue.t;  (* inline mode: replies queue here *)
+  mutable domain : unit Domain.t option;
+}
+
+let id t = t.id
+
+let broker t = t.broker
+
+let journal t = t.journal
+
+let link_ids_of (info : Path_mib.info) =
+  List.map (fun (l : Topology.link) -> l.Topology.link_id) info.Path_mib.links
+
+(* Self-driving load loop, run entirely inside the shard (its own domain
+   when spawned): generate → admit → tear down the oldest beyond [cap].
+   Flow ids are striped ([seq * nshards + id]) so shards allocate ids with
+   no coordination; equivalence against a single broker is therefore
+   checked on the id-blind flowset, not the exact digest. *)
+let churn t spec =
+  let live = Queue.create () in
+  let admitted = ref 0 and rejected = ref 0 and torn = ref 0 in
+  let lat = Array.make (max 1 spec.ops) 0. in
+  let seq = ref 0 in
+  for k = 0 to spec.ops - 1 do
+    let req = spec.gen () in
+    let flow = (!seq * t.nshards) + t.id in
+    let t0 = Unix.gettimeofday () in
+    let decision = Broker.request t.broker ~flow req in
+    lat.(k) <- Unix.gettimeofday () -. t0;
+    match decision with
+    | Ok _ ->
+        incr seq;
+        incr admitted;
+        Queue.push flow live;
+        if Queue.length live > spec.cap then begin
+          Broker.teardown t.broker (Queue.pop live);
+          incr torn
+        end
+    | Error _ -> incr rejected
+  done;
+  { admitted = !admitted; rejected = !rejected; torn = !torn; lat }
+
+let exec t op =
+  match op with
+  | Admit { flow; request } -> Admitted (Broker.request t.broker ~flow request)
+  | Book_segment { flow; request; links; rate; delay } ->
+      Broker.book_segment t.broker ~flow ~request ~links ~rate ~delay;
+      Done
+  | Prepare links ->
+      let nm = Broker.node_mib t.broker in
+      Prepared
+        (List.map
+           (fun link_id ->
+             {
+               p_link = link_id;
+               p_residual = Node_mib.residual nm ~link_id;
+               p_edf =
+                 Option.map Vtedf.copy (Node_mib.entry nm ~link_id).Node_mib.edf;
+             })
+           links)
+  | Teardown flow ->
+      Broker.teardown t.broker flow;
+      Done
+  | Set_link { link_id; up } ->
+      Broker.set_link_admin t.broker ~link_id ~up;
+      Done
+  | Victims link_id ->
+      let on_link (r : Flow_mib.record) =
+        List.exists
+          (fun (l : Topology.link) -> l.Topology.link_id = link_id)
+          r.Flow_mib.path.Path_mib.links
+      in
+      Victims_are
+        (Flow_mib.fold (Broker.flow_mib t.broker) ~init:[] ~f:(fun acc r ->
+             if on_link r then
+               { v_flow = r.Flow_mib.flow; v_request = r.Flow_mib.request } :: acc
+             else acc))
+  | Dump ->
+      Flows
+        (Flow_mib.fold (Broker.flow_mib t.broker) ~init:[] ~f:(fun acc r ->
+             ( r.Flow_mib.flow,
+               r.Flow_mib.reservation.Types.rate,
+               r.Flow_mib.reservation.Types.delay,
+               link_ids_of r.Flow_mib.path )
+             :: acc))
+  | Digest -> Text (Audit.mib_digest t.broker)
+  | Audit_ok -> Flag (Audit.ok (Audit.check t.broker))
+  | Journal_text ->
+      Text (match t.journal with Some j -> Journal.text j | None -> "")
+  | Churn spec -> Churned (churn t spec)
+  | Stop -> Done
+
+let spawned t = t.domain <> None
+
+(* Inline mode tags telemetry with the shard id only for the duration of
+   the operation (every shard shares the main domain); a spawned shard
+   tags its whole domain once in the loop below. *)
+let exec_tagged t op =
+  let prev = Obs_log.shard () in
+  Obs_log.set_shard (Some t.id);
+  Fun.protect ~finally:(fun () -> Obs_log.set_shard prev) (fun () -> exec t op)
+
+let send t op =
+  if spawned t then Spsc.push t.inbox op
+  else Queue.push (exec_tagged t op) t.pending
+
+let recv t = if spawned t then Spsc.pop t.outbox else Queue.pop t.pending
+
+let rpc t op =
+  send t op;
+  recv t
+
+let loop t () =
+  Obs_log.set_shard (Some t.id);
+  let rec go () =
+    let op = Spsc.pop t.inbox in
+    let reply = exec t op in
+    Spsc.push t.outbox reply;
+    match op with Stop -> () | _ -> go ()
+  in
+  go ()
+
+let create ?journal ?(spawn = false) ?(mailbox = 1024) ~id ~nshards topology =
+  if id < 0 || id >= nshards then invalid_arg "Shard.create: id out of range";
+  let broker = Broker.create (Topology.copy topology) in
+  Option.iter (fun j -> Journal.attach j broker) journal;
+  let t =
+    {
+      id;
+      nshards;
+      broker;
+      journal;
+      inbox = Spsc.create ~capacity:mailbox;
+      outbox = Spsc.create ~capacity:mailbox;
+      pending = Queue.create ();
+      domain = None;
+    }
+  in
+  if spawn then t.domain <- Some (Domain.spawn (loop t));
+  t
+
+let stop t =
+  match t.domain with
+  | None -> ()
+  | Some d ->
+      (match rpc t Stop with Done -> () | _ -> assert false);
+      Domain.join d;
+      t.domain <- None

@@ -1,0 +1,114 @@
+(** One shard of the sharded multi-core broker.
+
+    A shard is a complete single-threaded {!Broker} over a private
+    {!Bbr_vtrs.Topology.copy} of the domain, owning a subset of the links
+    (the ownership map lives in {!Shard_router}).  Every reservation on a
+    link executes on the link's owning shard and nowhere else, so a
+    shard's MIB slice needs no synchronization — its state on the links it
+    owns is bit-exact with what a single broker executing the same global
+    operation order would hold.
+
+    A shard either runs {e inline} (operations applied synchronously on
+    the caller's domain — the deterministic mode used for differential
+    testing and the default on one core) or {e spawned} on its own OCaml
+    domain, fed through a bounded single-producer/single-consumer mailbox
+    ({!Bbr_util.Spsc}); the router is the only producer.  Telemetry is
+    tagged with the shard id via {!Obs_log.set_shard}; a spawned domain
+    has no metrics registry or tracer installed (both are domain-local)
+    unless it installs its own. *)
+
+type churn_spec = {
+  ops : int;  (** operations to run *)
+  cap : int;  (** live flows to keep; beyond it the oldest is torn down *)
+  gen : unit -> Types.request;  (** request generator (shard-private) *)
+}
+
+type churn_result = {
+  admitted : int;
+  rejected : int;
+  torn : int;
+  lat : float array;  (** wall seconds of each admission decision, op order *)
+}
+
+(** Per-link snapshot returned by [Prepare] — the read phase of the
+    router's two-phase multi-shard admission. *)
+type prepared = {
+  p_link : int;
+  p_residual : float;  (** residual bandwidth on the link *)
+  p_edf : Bbr_vtrs.Vtedf.t option;
+      (** independent scheduler-state replica; [None] on rate-based links *)
+}
+
+type victim = { v_flow : Types.flow_id; v_request : Types.request }
+
+(** The shard command vocabulary.  Each op yields exactly one {!reply}. *)
+type op =
+  | Admit of { flow : Types.flow_id; request : Types.request }
+      (** full single-shard admission under a router-chosen id *)
+  | Book_segment of {
+      flow : Types.flow_id;
+      request : Types.request;
+      links : int list;
+      rate : float;
+      delay : float;
+    }  (** commit phase of a multi-shard admission *)
+  | Prepare of int list  (** snapshot the named links (read-only) *)
+  | Teardown of Types.flow_id  (** idempotent; no-op on shards without it *)
+  | Set_link of { link_id : int; up : bool }  (** physical link record *)
+  | Victims of int  (** flows riding the given link *)
+  | Dump  (** all flow records as [(flow, rate, delay, links)] *)
+  | Digest  (** this shard's {!Audit.mib_digest} *)
+  | Audit_ok  (** {!Audit.check} is clean *)
+  | Journal_text  (** the shard journal's text; [""] without one *)
+  | Churn of churn_spec  (** self-driving load loop (striped flow ids) *)
+  | Stop
+
+type reply =
+  | Done
+  | Admitted of (Types.flow_id * Types.reservation, Types.reject_reason) result
+  | Prepared of prepared list
+  | Victims_are of victim list
+  | Flows of (Types.flow_id * float * float * int list) list
+  | Text of string
+  | Flag of bool
+  | Churned of churn_result
+
+type t
+
+val create :
+  ?journal:Journal.t ->
+  ?spawn:bool ->
+  ?mailbox:int ->
+  id:int ->
+  nshards:int ->
+  Bbr_vtrs.Topology.t ->
+  t
+(** A shard over its own copy of [topology].  [journal] is attached to the
+    shard's broker (per-shard write-ahead log, group commit included).
+    [spawn] (default [false]) runs the shard on its own domain; [mailbox]
+    (default 1024) bounds the command and reply rings. *)
+
+val id : t -> int
+
+val broker : t -> Broker.t
+(** The shard's private broker.  Safe to touch directly only in inline
+    mode, or after {!stop}. *)
+
+val journal : t -> Journal.t option
+
+val spawned : t -> bool
+
+val send : t -> op -> unit
+(** Dispatch an op.  Inline: executes now, queueing the reply.  Spawned:
+    enqueues on the mailbox (blocking push when full).  Only one domain —
+    the router's — may call this. *)
+
+val recv : t -> reply
+(** The next pending reply, in op order (blocking pop when spawned). *)
+
+val rpc : t -> op -> reply
+(** [send] then [recv]. *)
+
+val stop : t -> unit
+(** Stop and join the shard's domain (no-op inline).  The broker remains
+    readable afterwards. *)

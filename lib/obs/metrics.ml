@@ -34,15 +34,21 @@ type gauge = float ref
 
 let create () = { families = Hashtbl.create 64; names = [] }
 
-let slot : t option ref = ref None
+(* Domain-local: each OCaml domain sees its own slot, initially empty, so
+   broker shards spawned on worker domains run with telemetry off unless
+   they install a registry of their own — instrumentation sites never read
+   a registry another domain is concurrently mutating. *)
+let slot_key : t option ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref None)
 
-let install t = slot := Some t
+let slot () = Domain.DLS.get slot_key
 
-let uninstall () = slot := None
+let install t = slot () := Some t
 
-let current () = !slot
+let uninstall () = slot () := None
 
-let enabled () = !slot <> None
+let current () = !(slot ())
+
+let enabled () = !(slot ()) <> None
 
 let kind_name = function
   | Kcounter -> "counter"
@@ -186,13 +192,13 @@ let hist_quantile h ~q =
 (* --- convenience: operate on the installed registry ------------------ *)
 
 let count ?(labels = []) ?(by = 1.) name =
-  match !slot with None -> () | Some t -> add (counter t ~labels name) by
+  match !(slot ()) with None -> () | Some t -> add (counter t ~labels name) by
 
 let set_gauge ?(labels = []) name v =
-  match !slot with None -> () | Some t -> set (gauge t ~labels name) v
+  match !(slot ()) with None -> () | Some t -> set (gauge t ~labels name) v
 
 let observe_one ?(labels = []) ?buckets name v =
-  match !slot with None -> () | Some t -> observe (histogram t ?buckets ~labels name) v
+  match !(slot ()) with None -> () | Some t -> observe (histogram t ?buckets ~labels name) v
 
 (* --- snapshot -------------------------------------------------------- *)
 

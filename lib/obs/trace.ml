@@ -116,15 +116,20 @@ let create ?(capacity = default_capacity) () =
     tee = None;
   }
 
-let slot : t option ref = ref None
+(* Domain-local, like the metrics slot: a tracer installed on the main
+   domain is invisible to broker shard domains, so recording helpers never
+   touch a ring another domain is writing. *)
+let slot_key : t option ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref None)
 
-let install t = slot := Some t
+let slot () = Domain.DLS.get slot_key
 
-let uninstall () = slot := None
+let install t = slot () := Some t
 
-let current () = !slot
+let uninstall () = slot () := None
 
-let enabled () = !slot <> None
+let current () = !(slot ())
+
+let enabled () = !(slot ()) <> None
 
 let set_sim_clock t f = t.sim_clock <- f
 
@@ -267,15 +272,15 @@ let span_ctx sp =
   | Some _ ->
       Some { trace_id = sp.sp_trace; span_id = sp.sp_id; parent = sp.sp_parent }
 
-let ambient () = match !slot with Some t -> t.ambient | None -> []
+let ambient () = match !(slot ()) with Some t -> t.ambient | None -> []
 
 let ambient_span () =
-  match !slot with
+  match !(slot ()) with
   | Some t -> ( match t.ambient with sp :: _ -> Some sp | [] -> None)
   | None -> None
 
 let start_span ?sim_time ?wall_time ?(attrs = []) ?parent name =
-  match !slot with
+  match !(slot ()) with
   | None -> null_span
   | Some t ->
       let parent =
@@ -368,7 +373,7 @@ let with_ambient sp f =
           raise e)
 
 let with_span ?sim_time ?attrs ?parent name f =
-  match !slot with
+  match !(slot ()) with
   | None -> f null_span
   | Some _ -> (
       let sp = start_span ?sim_time ?attrs ?parent name in
@@ -397,18 +402,18 @@ let ctx_for t parent =
       | [] -> None)
 
 let event ?sim_time ?attrs ?parent name =
-  match !slot with
+  match !(slot ()) with
   | None -> ()
   | Some t -> record t ?sim_time ?attrs ?ctx:(ctx_for t parent) ~name Event
 
 let span_record ?sim_time ?attrs ?parent name ~dur =
-  match !slot with
+  match !(slot ()) with
   | None -> ()
   | Some t ->
       record t ?sim_time ?attrs ?ctx:(ctx_for t parent) ~name (Span { dur })
 
 let decision ?sim_time ?attrs ?parent (d : decision) =
-  match !slot with
+  match !(slot ()) with
   | None -> ()
   | Some t ->
       record t ?sim_time ?attrs
@@ -416,10 +421,10 @@ let decision ?sim_time ?attrs ?parent (d : decision) =
         ~name:"bb.decision" (Decision d)
 
 let now_wall () =
-  match !slot with Some t -> t.wall_clock () | None -> Clock.wall ()
+  match !(slot ()) with Some t -> t.wall_clock () | None -> Clock.wall ()
 
 let span ?sim_time ?attrs name f =
-  match !slot with
+  match !(slot ()) with
   | None -> f ()
   | Some _ -> with_span ?sim_time ?attrs name (fun _ -> f ())
 

@@ -1,0 +1,77 @@
+(* Bounded single-producer/single-consumer ring.
+
+   The shard mailboxes need exactly one producer (the router domain) and
+   one consumer (the shard domain), so the classic two-index ring is
+   enough: [head] is advanced only by the consumer, [tail] only by the
+   producer, and each side reads the other's index through an [Atomic].
+   Publishing order: the producer writes the cell, then advances [tail];
+   under the OCaml 5 memory model the atomic store releases the plain
+   cell write, so the consumer that observes the new [tail] also
+   observes the cell.  The cell is cleared on pop so the ring never
+   keeps the last [capacity] messages alive.
+
+   The blocking operations spin briefly (the common case: the peer is
+   running on another core) and then sleep in micro-slices, so a
+   2-domain run on a single-core host still makes progress at OS
+   scheduling granularity instead of burning the whole timeslice. *)
+
+type 'a t = {
+  buf : 'a option array;
+  mask : int;
+  head : int Atomic.t;  (* next slot to pop; advanced by the consumer *)
+  tail : int Atomic.t;  (* next slot to push; advanced by the producer *)
+}
+
+let rec pow2 n k = if k >= n then k else pow2 n (k * 2)
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Spsc.create: capacity must be >= 1";
+  let cap = pow2 capacity 1 in
+  { buf = Array.make cap None; mask = cap - 1; head = Atomic.make 0; tail = Atomic.make 0 }
+
+let capacity t = t.mask + 1
+
+let length t = Atomic.get t.tail - Atomic.get t.head
+
+let is_empty t = length t = 0
+
+let try_push t v =
+  let tail = Atomic.get t.tail in
+  if tail - Atomic.get t.head > t.mask then false
+  else begin
+    t.buf.(tail land t.mask) <- Some v;
+    Atomic.set t.tail (tail + 1);
+    true
+  end
+
+let try_pop t =
+  let head = Atomic.get t.head in
+  if Atomic.get t.tail = head then None
+  else begin
+    let slot = head land t.mask in
+    let v = t.buf.(slot) in
+    t.buf.(slot) <- None;
+    Atomic.set t.head (head + 1);
+    v
+  end
+
+(* Spin a little, then yield the core in 50 us slices. *)
+let backoff spins =
+  if spins < 512 then Domain.cpu_relax () else Unix.sleepf 50e-6
+
+let push t v =
+  let spins = ref 0 in
+  while not (try_push t v) do
+    backoff !spins;
+    incr spins
+  done
+
+let pop t =
+  let rec go spins =
+    match try_pop t with
+    | Some v -> v
+    | None ->
+        backoff spins;
+        go (spins + 1)
+  in
+  go 0

@@ -18,6 +18,7 @@ type t = {
   mutable node_order : string list;  (* reversed insertion order *)
   node_set : (string, unit) Hashtbl.t;
   mutable link_order : link list;  (* reversed insertion order *)
+  mutable by_id : link option array;  (* dense: index = link_id *)
   by_endpoints : (string * string, link) Hashtbl.t;
   mutable next_id : int;
   down : (int, unit) Hashtbl.t;  (* link ids currently failed *)
@@ -29,6 +30,7 @@ let create () =
     node_order = [];
     node_set = Hashtbl.create 16;
     link_order = [];
+    by_id = Array.make 8 None;
     by_endpoints = Hashtbl.create 16;
     next_id = 0;
     down = Hashtbl.create 4;
@@ -57,6 +59,12 @@ let add_link t ~src ~dst ~capacity ?(prop_delay = 0.) ?psi sched =
   in
   t.next_id <- t.next_id + 1;
   t.link_order <- link :: t.link_order;
+  if link.link_id >= Array.length t.by_id then begin
+    let grown = Array.make (2 * Array.length t.by_id) None in
+    Array.blit t.by_id 0 grown 0 (Array.length t.by_id);
+    t.by_id <- grown
+  end;
+  t.by_id.(link.link_id) <- Some link;
   Hashtbl.replace t.by_endpoints (src, dst) link;
   link
 
@@ -67,9 +75,8 @@ let links t = List.rev t.link_order
 let num_links t = t.next_id
 
 let link_by_id t id =
-  match List.find_opt (fun l -> l.link_id = id) t.link_order with
-  | Some l -> l
-  | None -> raise Not_found
+  if id < 0 || id >= t.next_id then raise Not_found
+  else match t.by_id.(id) with Some l -> l | None -> raise Not_found
 
 let find_link t ~src ~dst = Hashtbl.find_opt t.by_endpoints (src, dst)
 
@@ -108,3 +115,19 @@ let delay_based_hops path =
 
 let d_tot path =
   List.fold_left (fun acc l -> acc +. l.psi +. l.prop_delay) 0. path
+
+(* A structurally independent replica: same nodes, same links (same ids,
+   since ids follow insertion order), same up/down state.  Each broker
+   shard works on its own copy so no mutable topology state is ever
+   shared across domains. *)
+let copy t =
+  let c = create () in
+  List.iter (add_node c) (nodes t);
+  List.iter
+    (fun l ->
+      ignore
+        (add_link c ~src:l.src ~dst:l.dst ~capacity:l.capacity
+           ~prop_delay:l.prop_delay ~psi:l.psi l.sched))
+    (links t);
+  List.iter (fun l -> set_link_state c ~link_id:l.link_id ~up:false) (down_links t);
+  c

@@ -72,6 +72,12 @@ val out_links : t -> string -> link list
 
 val mem_node : t -> string -> bool
 
+val copy : t -> t
+(** A structurally independent replica: same nodes and links in the same
+    insertion order (so link ids coincide), same up/down state, no shared
+    mutable cells.  Broker shards running on separate domains each take a
+    copy so topology state is never shared across domains. *)
+
 (** {1 Link failure state}
 
     Links carry an up/down flag so the control plane can model data-plane

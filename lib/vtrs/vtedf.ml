@@ -376,3 +376,24 @@ let pp ppf t =
       (residual_service t ~at:t.delays.(i))
   done;
   Fmt.pf ppf "@]"
+
+(* A deep replica of the scheduler state.  The sharded broker's 2PC
+   coordinator admits multi-shard paths against copies gathered from the
+   owning shards, so it can run the exact Section-3.2 decision procedure
+   without touching another domain's live arrays.  The copy starts with a
+   clean dirty window: it is a fresh single-consumer cache root. *)
+let copy t =
+  {
+    cap = t.cap;
+    n = t.n;
+    keys = Array.copy t.keys;
+    delays = Array.copy t.delays;
+    rates = Array.copy t.rates;
+    lmaxs = Array.copy t.lmaxs;
+    counts = Array.copy t.counts;
+    total = t.total;
+    flows = t.flows;
+    version = t.version;
+    clean_version = t.version;
+    dirty_low = infinity;
+  }

@@ -126,4 +126,11 @@ val min_feasible_delay : t -> lmax:float -> float option
     positive-rate candidate is at least this.  [None] if no such delay
     exists (the scheduler is saturated). *)
 
+val copy : t -> t
+(** A deep, independent replica of the current population (identical
+    {!breakpoints}, {!demand}, {!can_admit} answers).  Used by the sharded
+    broker's coordinator to run exact cross-shard admission on state
+    gathered from owning domains.  The replica's incremental-refresh
+    window starts clean. *)
+
 val pp : t Fmt.t

@@ -1,0 +1,68 @@
+(** Multi-domain load generation for the sharded broker (ROADMAP item 1).
+
+    Builds a {!Topo_gen.regions} domain, partitions it by region across
+    [N] {!Bbr_broker.Shard_router} shards, and drives one self-contained
+    churn loop per shard ({!Bbr_broker.Shard.churn_spec}) — regional
+    traffic only, so each loop admits entirely inside its own shard with
+    no cross-shard synchronization.  Every stream is a pure function of a
+    seeded {!Bbr_util.Prng}, so a single broker can replay the identical
+    sequences sequentially; {!run_point} checks the two flow populations
+    for equality (id-blind, since parallel shards stripe their flow ids).
+
+    This is the engine behind the [admission_scaling] bench section and
+    the CI shard-smoke job. *)
+
+type config = {
+  seed : int;
+  regions : int;  (** regions in the generated domain *)
+  nodes_per_region : int;
+  extra_links : int;  (** intra-region extras beyond the spanning tree *)
+  ops_per_shard : int;  (** churn operations per shard *)
+  cap : int;  (** live flows per shard before oldest-teardown *)
+}
+
+val default : config
+
+val topology : config -> Bbr_vtrs.Topology.t
+(** The {!Topo_gen.regions} domain of [config] (deterministic in
+    [config.seed]). *)
+
+val partition : nshards:int -> string -> int
+(** Region-based partition function: [region mod nshards] (0 for names
+    without a region prefix). *)
+
+val specs : config -> nshards:int -> Bbr_broker.Shard.churn_spec array
+(** One churn spec per shard, each with a private seeded generator
+    producing requests between two distinct nodes of a region the shard
+    owns. *)
+
+val reference_flows :
+  config -> nshards:int -> (Bbr_broker.Types.flow_id * float * float * int list) list
+(** The flow population a single broker holds after executing every
+    shard's stream back-to-back — the reference side of the equivalence
+    check. *)
+
+type point = {
+  shards : int;
+  spawned : bool;  (** ran on real domains (vs inline) *)
+  ops : int;  (** total churn operations *)
+  elapsed_s : float;
+  ops_per_s : float;
+  p50_s : float;  (** median per-decision wall latency, all shards pooled *)
+  p95_s : float;
+  admitted : int;
+  rejected : int;
+  torn : int;
+  equivalent : bool option;
+      (** flowset digest matches the single-broker reference;
+          [None] when the check was skipped *)
+}
+
+val run_point : ?spawn:bool -> ?check:bool -> config -> shards:int -> unit -> point
+(** One measured churn run at the given shard count.  [spawn] (default
+    [false]) runs shards on their own domains; [check] (default [true])
+    replays the reference run and compares populations. *)
+
+val sweep : ?check:bool -> config -> shard_counts:int list -> point list
+(** {!run_point} at each count, spawning real domains whenever the
+    machine has more than one core and [shards > 1]. *)

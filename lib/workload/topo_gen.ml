@@ -146,3 +146,63 @@ let random_endpoints prng topology =
     if b = a then pick_b () else b
   in
   (nodes.(a), nodes.(pick_b ()))
+
+(* ------------------------------------------------------------------ *)
+(* Regional domains for the sharded broker.                           *)
+
+let region_prefix r = Printf.sprintf "R%d_" r
+
+let region_of_node name =
+  if String.length name < 3 || name.[0] <> 'R' then None
+  else
+    match String.index_opt name '_' with
+    | None -> None
+    | Some i -> int_of_string_opt (String.sub name 1 (i - 1))
+
+let regions prng ~regions:k ~nodes_per_region ?(extra_links = nodes_per_region)
+    ?(delay_fraction = 0.3) ?(capacity_lo = 1e6) ?(capacity_hi = 1e7)
+    ?(inter_capacity = 5e7) () =
+  if k < 1 then invalid_arg "Topo_gen.regions: at least one region";
+  if nodes_per_region < 2 then
+    invalid_arg "Topo_gen.regions: at least two nodes per region";
+  let t = Topology.create () in
+  let name r i = Printf.sprintf "%sN%d" (region_prefix r) i in
+  let sched () =
+    if Prng.float prng < delay_fraction then Topology.Delay_based
+    else Topology.Rate_based
+  in
+  let capacity () = Prng.float_range prng ~lo:capacity_lo ~hi:capacity_hi in
+  for r = 0 to k - 1 do
+    let add_pair a b =
+      if Topology.find_link t ~src:a ~dst:b = None then begin
+        let c = capacity () and s = sched () in
+        ignore (Topology.add_link t ~src:a ~dst:b ~capacity:c s);
+        ignore (Topology.add_link t ~src:b ~dst:a ~capacity:c s)
+      end
+    in
+    (* Intra-region random spanning tree plus extras, as in {!random}. *)
+    for i = 1 to nodes_per_region - 1 do
+      add_pair (name r (Prng.int prng ~bound:i)) (name r i)
+    done;
+    for _ = 1 to extra_links do
+      let a = Prng.int prng ~bound:nodes_per_region
+      and b = Prng.int prng ~bound:nodes_per_region in
+      if a <> b then add_pair (name r a) (name r b)
+    done
+  done;
+  (* Inter-region ring through each region's hub node N0: the hub is the
+     region's only gateway, so a simple path between two same-region
+     nodes can never detour through another region (it would have to
+     leave and re-enter through the same hub).  Rate-based and wide, so
+     cross-region admission is bounded by the regional links. *)
+  if k > 1 then
+    for r = 0 to k - 1 do
+      let next = (r + 1) mod k in
+      ignore
+        (Topology.add_link t ~src:(name r 0) ~dst:(name next 0)
+           ~capacity:inter_capacity Topology.Rate_based);
+      ignore
+        (Topology.add_link t ~src:(name next 0) ~dst:(name r 0)
+           ~capacity:inter_capacity Topology.Rate_based)
+    done;
+  t

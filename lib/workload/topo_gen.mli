@@ -78,3 +78,28 @@ val leaves : Bbr_vtrs.Topology.t -> string list
 
 val random_endpoints : Bbr_util.Prng.t -> Bbr_vtrs.Topology.t -> string * string
 (** Two distinct nodes of the topology. *)
+
+val regions :
+  Bbr_util.Prng.t ->
+  regions:int ->
+  nodes_per_region:int ->
+  ?extra_links:int ->
+  ?delay_fraction:float ->
+  ?capacity_lo:float ->
+  ?capacity_hi:float ->
+  ?inter_capacity:float ->
+  unit ->
+  Bbr_vtrs.Topology.t
+(** A domain of [regions] connected random regions (each a spanning tree
+    plus [extra_links] extras, generated as in {!random}), joined in a
+    ring of wide rate-based inter-region links between the regions' hub
+    nodes ["R<r>_N0"].  The hub is each region's only gateway, so minimum-
+    hop paths between two same-region nodes never leave the region — the
+    property that makes regional traffic single-shard under a
+    region-based partition ({!region_of_node}).  Nodes are named
+    ["R<r>_N<i>"].  Deterministic in the generator state. *)
+
+val region_of_node : string -> int option
+(** Parse the region index from a {!regions} node name ([None] for
+    foreign names) — the basis of the sharded broker's partition
+    function: [shard of node = region mod nshards]. *)
